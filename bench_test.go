@@ -1,0 +1,749 @@
+// Benchmarks regenerating every experiment of DESIGN.md §3 as testing.B
+// targets — one set per paper figure/section claim plus the design
+// ablations. `cmd/odbis-bench` prints the same experiments as parameter
+// sweeps; these benches give per-op numbers under the standard Go
+// harness:
+//
+//	go test -bench=. -benchmem
+package odbis
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/odbis/odbis/internal/bpm"
+	"github.com/odbis/odbis/internal/bus"
+	"github.com/odbis/odbis/internal/etl"
+	"github.com/odbis/odbis/internal/mddws"
+	"github.com/odbis/odbis/internal/mddws/process"
+	"github.com/odbis/odbis/internal/metamodel"
+	"github.com/odbis/odbis/internal/metamodel/cwm"
+	"github.com/odbis/odbis/internal/metamodel/odm"
+	"github.com/odbis/odbis/internal/olap"
+	"github.com/odbis/odbis/internal/report"
+	"github.com/odbis/odbis/internal/rules"
+	"github.com/odbis/odbis/internal/security"
+	"github.com/odbis/odbis/internal/server"
+	"github.com/odbis/odbis/internal/services"
+	"github.com/odbis/odbis/internal/sql"
+	"github.com/odbis/odbis/internal/storage"
+	"github.com/odbis/odbis/internal/storage/orm"
+	"github.com/odbis/odbis/internal/tenant"
+	"github.com/odbis/odbis/internal/workload"
+)
+
+// --- shared fixtures ---
+
+func benchPlatform(b *testing.B) (*services.Platform, *services.Session) {
+	b.Helper()
+	e := storage.MustOpenMemory()
+	b.Cleanup(func() { e.Close() })
+	reg, err := tenant.NewRegistry(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sec, err := security.NewManager(e, security.Options{HashIterations: 16, TokenSecret: []byte("bench")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := services.NewPlatform(reg, sec)
+	if err := p.Bootstrap("admin", "admin"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Registry.Create("acme", "Acme", "enterprise"); err != nil {
+		b.Fatal(err)
+	}
+	if err := sec.CreateUser(security.UserSpec{
+		Username: "bench", Password: "pw", Tenant: "acme",
+		Roles: []string{services.RoleDesigner},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	sess, _, err := p.Login("bench", "pw")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, sess
+}
+
+func benchRetailEngine(b *testing.B, facts int) *storage.Engine {
+	b.Helper()
+	e := storage.MustOpenMemory()
+	b.Cleanup(func() { e.Close() })
+	if _, err := (workload.Retail{Facts: facts, Products: 100, Stores: 20}).Load(e, nil); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func benchRetailCubeSpec() olap.CubeSpec {
+	return olap.CubeSpec{
+		Name:      "Sales",
+		FactTable: "fact_sales",
+		Measures: []olap.MeasureSpec{
+			{Name: "amount", Column: "amount", Agg: olap.AggSum},
+			{Name: "qty", Column: "qty", Agg: olap.AggSum},
+		},
+		Dimensions: []olap.DimensionSpec{
+			{Name: "Date", Table: "dim_date", Key: "id", FactFK: "date_id",
+				Levels: []olap.LevelSpec{{Name: "Year", Column: "year"}, {Name: "Quarter", Column: "quarter"}}},
+			{Name: "Product", Table: "dim_product", Key: "id", FactFK: "product_id",
+				Levels: []olap.LevelSpec{{Name: "Category", Column: "category"}}},
+			{Name: "Store", Table: "dim_store", Key: "id", FactFK: "store_id",
+				Levels: []olap.LevelSpec{{Name: "Region", Column: "region"}}},
+		},
+	}
+}
+
+// --- E1 / Figure 1: end-to-end SaaS requests ---
+
+func benchmarkFigure1(b *testing.B, tenants int) {
+	p, _ := benchPlatform(b)
+	ts := httptest.NewServer(server.New(p))
+	b.Cleanup(ts.Close)
+	admin, _, err := p.Login("admin", "admin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tokens []string
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("t%02d", i)
+		if _, err := admin.CreateTenant(id, id, "enterprise"); err != nil {
+			b.Fatal(err)
+		}
+		user := "u-" + id
+		if err := admin.CreateUser(security.UserSpec{
+			Username: user, Password: "pw", Tenant: id, Roles: []string{services.RoleDesigner},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		sess, token, err := p.Login(user, "pw")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := (workload.Healthcare{Rows: 200, Seed: int64(i + 1)}).LoadAdmissions(
+			p.Registry.Engine(), sess.Catalog.Physical("admissions")); err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.SaveReport("ops", &report.Spec{
+			Name: "bench-dash", Title: "D",
+			Elements: []report.Element{
+				{Kind: "kpi", Title: "P", Query: "SELECT SUM(patients) FROM admissions"},
+				{Kind: "table", Title: "T", Query: "SELECT ward, cost FROM admissions", Limit: 10},
+			},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		tokens = append(tokens, token)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		token := tokens[i%len(tokens)]
+		req, _ := http.NewRequest("GET", ts.URL+"/api/reports/bench-dash?format=json", nil)
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sink bytes.Buffer
+		sink.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("HTTP %d", resp.StatusCode)
+		}
+	}
+}
+
+func BenchmarkFigure1_EndToEnd_1Tenant(b *testing.B)   { benchmarkFigure1(b, 1) }
+func BenchmarkFigure1_EndToEnd_8Tenants(b *testing.B)  { benchmarkFigure1(b, 8) }
+func BenchmarkFigure1_EndToEnd_32Tenants(b *testing.B) { benchmarkFigure1(b, 32) }
+
+// --- E2 / §2: multi-tenant shared store vs isolated engines ---
+
+func BenchmarkSection2_MultiTenant_SharedQuery(b *testing.B) {
+	e := storage.MustOpenMemory()
+	b.Cleanup(func() { e.Close() })
+	reg, err := tenant.NewRegistry(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const tenants = 8
+	var catalogs []*tenant.Catalog
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("t%02d", i)
+		reg.Create(id, id, "enterprise")
+		cat, err := reg.Catalog(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := (workload.Retail{Facts: 2000, Seed: int64(i + 1)}).Load(e, cat.Physical); err != nil {
+			b.Fatal(err)
+		}
+		catalogs = append(catalogs, cat)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat := catalogs[i%tenants]
+		if _, err := cat.Query("SELECT COUNT(*) FROM fact_sales"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSection2_MultiTenant_IsolatedQuery(b *testing.B) {
+	const tenants = 8
+	var dbs []*sql.DB
+	for i := 0; i < tenants; i++ {
+		e := storage.MustOpenMemory()
+		b.Cleanup(func() { e.Close() })
+		if _, err := (workload.Retail{Facts: 2000, Seed: int64(i + 1)}).Load(e, nil); err != nil {
+			b.Fatal(err)
+		}
+		dbs = append(dbs, sql.NewDB(e))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dbs[i%tenants].Query("SELECT COUNT(*) FROM fact_sales"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3 / Figure 2: MDA pipeline ---
+
+func benchmarkFigure2(b *testing.B, dims int) {
+	spec := cwm.StarSpec{Name: "S"}
+	var names []string
+	for i := 0; i < dims; i++ {
+		name := fmt.Sprintf("D%02d", i)
+		names = append(names, name)
+		spec.Dimensions = append(spec.Dimensions, cwm.DimensionSpec{
+			Name:   name,
+			Levels: []cwm.LevelSpec{{Name: fmt.Sprintf("L%da", i)}, {Name: fmt.Sprintf("L%db", i)}},
+		})
+	}
+	spec.Facts = []cwm.FactSpec{{
+		Name:       "F",
+		Measures:   []cwm.MeasureSpec{{Name: "m", Aggregation: "sum"}},
+		Dimensions: names,
+	}}
+	cim, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mddws.BuildFromConceptual(cim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2_MDAPipeline_2Dims(b *testing.B)  { benchmarkFigure2(b, 2) }
+func BenchmarkFigure2_MDAPipeline_8Dims(b *testing.B)  { benchmarkFigure2(b, 8) }
+func BenchmarkFigure2_MDAPipeline_16Dims(b *testing.B) { benchmarkFigure2(b, 16) }
+
+// --- E4 / Figure 3: 2TUP process runs ---
+
+func benchmarkFigure3(b *testing.B, components int) {
+	var names []string
+	for i := 0; i < components; i++ {
+		names = append(names, fmt.Sprintf("c%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := process.NewRun("layer", names)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := run.RunAll(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3_Process_1Component(b *testing.B)  { benchmarkFigure3(b, 1) }
+func BenchmarkFigure3_Process_8Components(b *testing.B) { benchmarkFigure3(b, 8) }
+
+// --- E5 / Figure 4: per-layer overhead ---
+
+func benchmarkFigure4(b *testing.B, layer string) {
+	p, sess := benchPlatform(b)
+	e := p.Registry.Engine()
+	if _, err := (workload.Retail{Facts: 2000}).Load(e, sess.Catalog.Physical); err != nil {
+		b.Fatal(err)
+	}
+	factTable := sess.Catalog.Physical("fact_sales")
+	schema, err := e.Schema(factTable)
+	if err != nil {
+		b.Fatal(err)
+	}
+	amountPos, _ := schema.ColumnIndex("amount")
+	db := sql.NewDB(e)
+	logical := "SELECT SUM(amount) FROM fact_sales"
+	physical := "SELECT SUM(amount) FROM " + factTable
+
+	var fn func() error
+	switch layer {
+	case "storage":
+		fn = func() error {
+			return e.View(func(tx *storage.Tx) error {
+				sum := 0.0
+				return tx.Scan(factTable, func(_ storage.RID, row storage.Row) bool {
+					if f, ok := row[amountPos].(float64); ok {
+						sum += f
+					}
+					return true
+				})
+			})
+		}
+	case "sql":
+		fn = func() error { _, err := db.Query(physical); return err }
+	case "catalog":
+		fn = func() error { _, err := sess.Catalog.Query(logical); return err }
+	case "service":
+		fn = func() error { _, err := sess.Query(logical); return err }
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4_Layer_Storage(b *testing.B) { benchmarkFigure4(b, "storage") }
+func BenchmarkFigure4_Layer_SQL(b *testing.B)     { benchmarkFigure4(b, "sql") }
+func BenchmarkFigure4_Layer_Catalog(b *testing.B) { benchmarkFigure4(b, "catalog") }
+func BenchmarkFigure4_Layer_Service(b *testing.B) { benchmarkFigure4(b, "service") }
+
+// --- E6 / Figure 5: integrated stack ---
+
+type benchMeta struct {
+	ID   int64 `orm:"id,pk"`
+	Name string
+	Size int64
+}
+
+func BenchmarkFigure5_Stack_ORM(b *testing.B) {
+	e := storage.MustOpenMemory()
+	b.Cleanup(func() { e.Close() })
+	mapper, err := orm.NewMapper[benchMeta](e, "meta")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj := benchMeta{ID: int64(i), Name: "o", Size: int64(i % 1000)}
+		if err := mapper.Save(&obj); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := mapper.Get(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5_Stack_ORMPlusRules(b *testing.B) {
+	e := storage.MustOpenMemory()
+	b.Cleanup(func() { e.Close() })
+	mapper, err := orm.NewMapper[benchMeta](e, "meta")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := rules.NewEngine(rules.Rule{
+		Name: "oversize",
+		When: []rules.Condition{{Var: "o", Kind: "Meta", Where: "o.size > 500"}},
+		Then: func(s *rules.Session, bn rules.Bindings) error { return nil },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj := benchMeta{ID: int64(i), Name: "o", Size: int64(i % 1000)}
+		if err := mapper.Save(&obj); err != nil {
+			b.Fatal(err)
+		}
+		s := eng.NewSession()
+		s.Assert("Meta", map[string]storage.Value{"id": obj.ID, "size": obj.Size})
+		if _, err := s.FireAll(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5_Stack_ORMViaBus(b *testing.B) {
+	e := storage.MustOpenMemory()
+	b.Cleanup(func() { e.Close() })
+	mapper, err := orm.NewMapper[benchMeta](e, "meta")
+	if err != nil {
+		b.Fatal(err)
+	}
+	esb := bus.New()
+	esb.Subscribe("meta.save", func(m *bus.Message) (*bus.Message, error) {
+		obj := m.Body.(benchMeta)
+		return nil, mapper.Save(&obj)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := esb.Send("meta.save", bus.NewMessage(benchMeta{ID: int64(i), Name: "o"})); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7 / Figure 6: dashboard builds ---
+
+func benchmarkFigure6(b *testing.B, widgets int) {
+	e := storage.MustOpenMemory()
+	b.Cleanup(func() { e.Close() })
+	if _, err := (workload.Healthcare{Rows: 10000}).LoadAdmissions(e, "admissions"); err != nil {
+		b.Fatal(err)
+	}
+	db := sql.NewDB(e)
+	all := []report.Element{
+		{Kind: "kpi", Title: "P", Query: "SELECT SUM(patients) FROM admissions"},
+		{Kind: "chart", Title: "W", Chart: report.ChartBar,
+			Query: "SELECT ward, SUM(patients) AS p FROM admissions GROUP BY ward", Label: "ward"},
+		{Kind: "chart", Title: "T", Chart: report.ChartLine,
+			Query: "SELECT month, SUM(cost) AS c FROM admissions GROUP BY month ORDER BY month", Label: "month"},
+		{Kind: "table", Title: "D", Query: "SELECT ward, cost FROM admissions ORDER BY cost DESC", Limit: 20},
+		{Kind: "chart", Title: "S", Chart: report.ChartPie,
+			Query: "SELECT severity, COUNT(*) AS n FROM admissions GROUP BY severity", Label: "severity"},
+		{Kind: "kpi", Title: "A", Query: "SELECT AVG(stay_days) FROM admissions"},
+		{Kind: "chart", Title: "SS", Chart: report.ChartBar,
+			Query: "SELECT severity, AVG(stay_days) AS d FROM admissions GROUP BY severity", Label: "severity"},
+		{Kind: "table", Title: "M", Query: "SELECT month, COUNT(*) AS n FROM admissions GROUP BY month"},
+	}
+	spec := &report.Spec{Name: "d", Title: "D", Elements: all[:widgets]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := report.Run(db, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := report.RenderHTML(&buf, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6_Dashboard_1Widget(b *testing.B)  { benchmarkFigure6(b, 1) }
+func BenchmarkFigure6_Dashboard_4Widgets(b *testing.B) { benchmarkFigure6(b, 4) }
+func BenchmarkFigure6_Dashboard_8Widgets(b *testing.B) { benchmarkFigure6(b, 8) }
+
+// --- E8 / §3.1 IS: ETL throughput ---
+
+func benchmarkETL(b *testing.B, rows int) {
+	csvData := workload.Healthcare{Rows: rows}.AdmissionsCSV()
+	b.SetBytes(int64(len(csvData)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := storage.MustOpenMemory()
+		pipe := &etl.Pipeline{
+			Source: &etl.CSVSource{Data: csvData},
+			Transforms: []etl.Transform{
+				etl.Filter{Condition: "cost IS NOT NULL"},
+				etl.Derive{Field: "cost_per_day", Expression: "cost / stay_days"},
+			},
+			Sink: &etl.TableSink{Engine: e, Table: "admissions", CreateTable: true},
+		}
+		if _, _, err := pipe.Run(); err != nil {
+			b.Fatal(err)
+		}
+		e.Close()
+	}
+}
+
+func BenchmarkIS_ETL_1kRows(b *testing.B)  { benchmarkETL(b, 1000) }
+func BenchmarkIS_ETL_10kRows(b *testing.B) { benchmarkETL(b, 10000) }
+
+// --- E9 / §3.1 AS: OLAP build + navigation ---
+
+func BenchmarkAS_OLAP_Build100k(b *testing.B) {
+	e := benchRetailEngine(b, 100000)
+	spec := benchRetailCubeSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := olap.Build(e, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAS_OLAP_GroupByRegion(b *testing.B) {
+	e := benchRetailEngine(b, 100000)
+	cube, err := olap.Build(e, benchRetailCubeSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cube.SetCache(0)
+	q := olap.Query{Rows: []olap.LevelRef{{Dimension: "Store", Level: "Region"}}, Measures: []string{"amount"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAS_OLAP_DrillThreeAxes(b *testing.B) {
+	e := benchRetailEngine(b, 100000)
+	cube, err := olap.Build(e, benchRetailCubeSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cube.SetCache(0)
+	q := olap.Query{
+		Rows: []olap.LevelRef{
+			{Dimension: "Store", Level: "Region"},
+			{Dimension: "Product", Level: "Category"},
+			{Dimension: "Date", Level: "Year"},
+		},
+		Measures: []string{"amount", "qty"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E10 / §3.1 MDS: metadata operations ---
+
+func BenchmarkMDS_Metadata_CreateRunDelete(b *testing.B) {
+	_, sess := benchPlatform(b)
+	if _, err := sess.Query("CREATE TABLE t (x INT)"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Query("INSERT INTO t VALUES (1), (2), (3)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("ds-%d", i)
+		if err := sess.CreateDataSet(name, "", "SELECT COUNT(*) FROM t", ""); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.RunDataSet(name); err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.DeleteDataSet(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- A1: index ablation ---
+
+func benchmarkIndexAblation(b *testing.B, disable bool) {
+	e := storage.MustOpenMemory()
+	b.Cleanup(func() { e.Close() })
+	db := sql.NewDB(e)
+	if _, err := db.Query("CREATE TABLE ev (id INT PRIMARY KEY, bucket INT, payload TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	err := e.Update(func(tx *storage.Tx) error {
+		for i := 0; i < 50000; i++ {
+			if _, err := tx.Insert("ev", storage.Row{int64(i), int64(i % 1000), "x"}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Query("CREATE INDEX ev_bucket ON ev (bucket)"); err != nil {
+		b.Fatal(err)
+	}
+	db.DisableIndexes = disable
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT COUNT(*) FROM ev WHERE bucket = ?", int64(i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_Index_Scan(b *testing.B)  { benchmarkIndexAblation(b, true) }
+func BenchmarkAblation_Index_Probe(b *testing.B) { benchmarkIndexAblation(b, false) }
+
+// --- A2: cube cache ablation ---
+
+func benchmarkCubeCache(b *testing.B, size int) {
+	e := benchRetailEngine(b, 50000)
+	cube, err := olap.Build(e, benchRetailCubeSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cube.SetCache(size)
+	q := olap.Query{
+		Rows:     []olap.LevelRef{{Dimension: "Store", Level: "Region"}, {Dimension: "Product", Level: "Category"}},
+		Measures: []string{"amount"},
+	}
+	if _, err := cube.Execute(q); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_CubeCache_Off(b *testing.B) { benchmarkCubeCache(b, 0) }
+func BenchmarkAblation_CubeCache_On(b *testing.B)  { benchmarkCubeCache(b, 256) }
+
+// --- A3: bus ablation ---
+
+func BenchmarkAblation_Bus_Send(b *testing.B) {
+	esb := bus.New()
+	esb.Subscribe("work", func(m *bus.Message) (*bus.Message, error) {
+		return bus.NewMessage(m.Body.(int) + 1), nil
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := esb.Send("work", bus.NewMessage(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- A4: WAL durability ablation ---
+
+func benchmarkWAL(b *testing.B, mode storage.SyncMode) {
+	e, err := storage.Open(storage.Options{Dir: b.TempDir(), Sync: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { e.Close() })
+	schema, _ := storage.NewSchema("ev", []storage.Column{
+		{Name: "id", Type: storage.TypeInt},
+		{Name: "payload", Type: storage.TypeString},
+	})
+	if err := e.CreateTable(schema); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := e.Update(func(tx *storage.Tx) error {
+			_, err := tx.Insert("ev", storage.Row{int64(i), "payload"})
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_WAL_SyncNone(b *testing.B)     { benchmarkWAL(b, storage.SyncNone) }
+func BenchmarkAblation_WAL_SyncBuffered(b *testing.B) { benchmarkWAL(b, storage.SyncBuffered) }
+func BenchmarkAblation_WAL_SyncFull(b *testing.B)     { benchmarkWAL(b, storage.SyncFull) }
+
+// --- MDDWS extras: XMI round-trip of a realistic model ---
+
+func BenchmarkMDDWS_XMIRoundTrip(b *testing.B) {
+	spec := cwm.StarSpec{
+		Name: "S",
+		Dimensions: []cwm.DimensionSpec{
+			{Name: "D1", Levels: []cwm.LevelSpec{{Name: "a"}, {Name: "b"}, {Name: "c"}}},
+			{Name: "D2", Levels: []cwm.LevelSpec{{Name: "x"}, {Name: "y"}}},
+		},
+		Facts: []cwm.FactSpec{{
+			Name:       "F",
+			Measures:   []cwm.MeasureSpec{{Name: "m1"}, {Name: "m2"}},
+			Dimensions: []string{"D1", "D2"},
+		}},
+	}
+	cim, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xml, err := cim.ExportString()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := metamodel.ImportString(cwm.Conceptual, xml); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- extension benches: ODM semantic alignment, BPM process execution ---
+
+func BenchmarkODM_AlignSchemas(b *testing.B) {
+	onto, err := odm.Spec{
+		Name:    "o",
+		Classes: []odm.ClassSpec{{Name: "Sale"}},
+		Properties: []odm.PropertySpec{
+			{Name: "revenue", Domain: "Sale", Synonyms: []string{"turnover", "sales_amount"}},
+			{Name: "customer", Domain: "Sale", Synonyms: []string{"client", "buyer"}},
+		},
+	}.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkModel := func(table string, cols []string) *metamodel.Model {
+		m := metamodel.NewModel(cwm.Relational)
+		tab := m.MustNew("Table").MustSet("name", table)
+		for _, c := range cols {
+			col := m.MustNew("Column").MustSet("name", c).MustSet("type", "TEXT")
+			tab.MustAdd("columns", col)
+		}
+		return m
+	}
+	var srcCols, dstCols []string
+	for i := 0; i < 30; i++ {
+		srcCols = append(srcCols, fmt.Sprintf("col_%02d", i))
+		dstCols = append(dstCols, fmt.Sprintf("col_%02d", i))
+	}
+	srcCols = append(srcCols, "client", "turnover", "ship_datee")
+	dstCols = append(dstCols, "customer", "revenue", "ship_date")
+	src := mkModel("s", srcCols)
+	dst := mkModel("d", dstCols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := odm.AlignSchemas(src, dst, onto, odm.AlignOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBPM_ProcessRun(b *testing.B) {
+	esb := bus.New()
+	esb.Subscribe("scoring", func(m *bus.Message) (*bus.Message, error) {
+		return bus.NewMessage(map[string]storage.Value{"score": int64(75)}), nil
+	})
+	d, err := bpm.Define("approval", "score",
+		bpm.Step{Name: "score", Kind: bpm.StepService, Channel: "scoring", Next: "route"},
+		bpm.Step{Name: "route", Kind: bpm.StepGateway, Branches: []bpm.Branch{
+			{Condition: "score >= 80", To: "approve"},
+			{Condition: "score >= 40", To: "review"},
+			{To: "reject"},
+		}},
+		bpm.Step{Name: "approve", Kind: bpm.StepSet, Variable: "outcome", Expression: "'approved'", Next: "done"},
+		bpm.Step{Name: "review", Kind: bpm.StepSet, Variable: "outcome", Expression: "'review'", Next: "done"},
+		bpm.Step{Name: "reject", Kind: bpm.StepSet, Variable: "outcome", Expression: "'rejected'", Next: "done"},
+		bpm.Step{Name: "done", Kind: bpm.StepEnd},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := &bpm.Engine{Bus: esb}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(d, map[string]storage.Value{"amount": float64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command odbis-bench regenerates every experiment of DESIGN.md §3 (one
+// per paper figure or section claim plus the design ablations) and prints
+// the tables recorded in EXPERIMENTS.md.
+//
+//	odbis-bench            # full parameter sweeps
+//	odbis-bench -quick     # reduced sweeps (~seconds)
+//	odbis-bench -run E2,A1 # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/odbis/odbis/internal/bench"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+		run   = flag.String("run", "", "comma-separated experiment ids (default: all)")
+	)
+	flag.Parse()
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			selected[id] = true
+		}
+	}
+
+	tmpDir, err := os.MkdirTemp("", "odbis-bench")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odbis-bench:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(tmpDir)
+
+	fmt.Printf("odbis-bench (quick=%v) — reproducing the DESIGN.md experiment index\n", *quick)
+	fmt.Println(strings.Repeat("=", 78))
+	start := time.Now()
+	failures := 0
+	for _, exp := range bench.All(tmpDir) {
+		if len(selected) > 0 && !selected[exp.ID] {
+			continue
+		}
+		expStart := time.Now()
+		table, err := exp.Run(*quick)
+		if err != nil {
+			fmt.Printf("\n%s FAILED: %v\n", exp.ID, err)
+			failures++
+			continue
+		}
+		fmt.Println()
+		fmt.Print(table)
+		fmt.Printf("(%s in %.1fs)\n", exp.ID, time.Since(expStart).Seconds())
+	}
+	fmt.Println(strings.Repeat("=", 78))
+	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

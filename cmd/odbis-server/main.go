@@ -1,0 +1,54 @@
+// Command odbis-server runs the ODBIS platform as an HTTP SaaS endpoint:
+// the paper's deployment model where customers subscribe to centrally
+// operated business-intelligence services.
+//
+//	odbis-server -addr :8080 -data ./data -admin-user admin -admin-password secret
+//
+// With no -data directory the platform runs in memory (demo mode).
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"github.com/odbis/odbis"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		dataDir     = flag.String("data", "", "data directory (empty = in-memory)")
+		adminUser   = flag.String("admin-user", "admin", "bootstrap administrator username")
+		adminPass   = flag.String("admin-password", "admin", "bootstrap administrator password")
+		tokenSecret = flag.String("token-secret", "", "HMAC secret for session tokens (random when empty)")
+		syncFull    = flag.Bool("sync-full", false, "fsync the WAL on every commit")
+	)
+	flag.Parse()
+
+	opts := odbis.Options{
+		DataDir:       *dataDir,
+		SyncFull:      *syncFull,
+		AdminUser:     *adminUser,
+		AdminPassword: *adminPass,
+	}
+	if *tokenSecret != "" {
+		opts.TokenSecret = []byte(*tokenSecret)
+	}
+	p, err := odbis.Open(opts)
+	if err != nil {
+		log.Fatalf("odbis-server: %v", err)
+	}
+	defer p.Close()
+
+	mode := "in-memory"
+	if *dataDir != "" {
+		mode = "durable (" + *dataDir + ")"
+	}
+	log.Printf("odbis-server listening on %s, storage %s", *addr, mode)
+	log.Printf("login: POST %s/api/login {\"username\":%q,\"password\":\"…\"}", *addr, *adminUser)
+	if err := p.ListenAndServe(*addr); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}

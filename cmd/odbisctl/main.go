@@ -1,0 +1,260 @@
+// Command odbisctl is a CLI client for the ODBIS HTTP API — the
+// "desktop tool" access channel the paper lists as future work for the
+// end-user access layer.
+//
+// Usage:
+//
+//	odbisctl -server http://localhost:8080 login -user admin -password admin
+//	ODBIS_TOKEN=… odbisctl query "SELECT * FROM sales"
+//	ODBIS_TOKEN=… odbisctl report sales-dash -format text
+//	ODBIS_TOKEN=… odbisctl tenants
+//	ODBIS_TOKEN=… odbisctl usage acme
+//	ODBIS_TOKEN=… odbisctl datasets
+//	ODBIS_TOKEN=… odbisctl whoami
+//
+// The token comes from -token or the ODBIS_TOKEN environment variable.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		server = flag.String("server", envDefault("ODBIS_SERVER", "http://localhost:8080"), "server base URL")
+		token  = flag.String("token", os.Getenv("ODBIS_TOKEN"), "bearer token (or $ODBIS_TOKEN)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimRight(*server, "/"), token: *token}
+	var err error
+	switch args[0] {
+	case "login":
+		err = cmdLogin(c, args[1:])
+	case "whoami":
+		err = c.getJSON("/api/whoami")
+	case "query":
+		err = cmdQuery(c, args[1:])
+	case "report":
+		err = cmdReport(c, args[1:])
+	case "tenants":
+		err = c.getJSON("/api/admin/tenants")
+	case "usage":
+		if len(args) < 2 {
+			err = fmt.Errorf("usage: odbisctl usage <tenant>")
+		} else {
+			err = c.getJSON("/api/admin/tenants/" + args[1] + "/usage")
+		}
+	case "invoice":
+		if len(args) < 2 {
+			err = fmt.Errorf("usage: odbisctl invoice <tenant>")
+		} else {
+			err = c.getJSON("/api/admin/tenants/" + args[1] + "/invoice")
+		}
+	case "datasets":
+		err = c.getJSON("/api/metadata/datasets")
+	case "datasources":
+		err = c.getJSON("/api/metadata/datasources")
+	case "cubes":
+		err = c.getJSON("/api/cubes")
+	case "reports":
+		err = c.getJSON("/api/reports")
+	case "audit":
+		err = c.getJSON("/api/admin/audit")
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odbisctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `odbisctl — ODBIS command-line client
+
+commands:
+  login -user U -password P     authenticate, print a bearer token
+  whoami                        show the current principal
+  query "SQL"                   run SQL against the tenant catalog
+  report NAME [-format F]       run a stored report (text|html|csv|json)
+  tenants | usage T | invoice T administration
+  datasets | datasources        metadata listings
+  cubes | reports | audit       more listings
+
+flags: -server URL  -token T (or $ODBIS_TOKEN / $ODBIS_SERVER)`)
+}
+
+func envDefault(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+type client struct {
+	base  string
+	token string
+}
+
+func (c *client) do(method, path string, body any) (*http.Response, error) {
+	var rdr io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rdr = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.base+path, rdr)
+	if err != nil {
+		return nil, err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// getJSON fetches a path and pretty-prints the JSON response.
+func (c *client) getJSON(path string) error {
+	resp, err := c.do("GET", path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return printResponse(resp)
+}
+
+func printResponse(resp *http.Response) error {
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	os.Stdout.Write(raw)
+	if len(raw) > 0 && raw[len(raw)-1] != '\n' {
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdLogin(c *client, args []string) error {
+	fs := flag.NewFlagSet("login", flag.ExitOnError)
+	user := fs.String("user", "", "username")
+	pass := fs.String("password", "", "password")
+	fs.Parse(args)
+	if *user == "" {
+		return fmt.Errorf("login needs -user")
+	}
+	resp, err := c.do("POST", "/api/login", map[string]string{"username": *user, "password": *pass})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var body struct {
+		Token string `json:"token"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		return err
+	}
+	fmt.Println(body.Token)
+	fmt.Fprintln(os.Stderr, "export ODBIS_TOKEN to use it:")
+	fmt.Fprintf(os.Stderr, "  export ODBIS_TOKEN=%s\n", body.Token)
+	return nil
+}
+
+func cmdQuery(c *client, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: odbisctl query \"SQL\"")
+	}
+	resp, err := c.do("POST", "/api/query", map[string]any{"sql": args[0]})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var res struct {
+		Columns  []string `json:"columns"`
+		Rows     [][]any  `json:"rows"`
+		Affected int      `json:"affected"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return err
+	}
+	if len(res.Columns) == 0 {
+		fmt.Printf("ok (%d rows affected)\n", res.Affected)
+		return nil
+	}
+	// Fixed-width table.
+	widths := make([]int, len(res.Columns))
+	cells := [][]string{res.Columns}
+	for _, row := range res.Rows {
+		line := make([]string, len(row))
+		for i, v := range row {
+			line[i] = fmt.Sprintf("%v", v)
+		}
+		cells = append(cells, line)
+	}
+	for _, line := range cells {
+		for i, cell := range line {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for r, line := range cells {
+		for i, cell := range line {
+			fmt.Printf("%-*s  ", widths[i], cell)
+		}
+		fmt.Println()
+		if r == 0 {
+			for _, w := range widths {
+				fmt.Print(strings.Repeat("-", w), "  ")
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+	return nil
+}
+
+func cmdReport(c *client, args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	format := fs.String("format", "text", "delivery format: text|html|csv|json")
+	if len(args) < 1 {
+		return fmt.Errorf("usage: odbisctl report NAME [-format F]")
+	}
+	name := args[0]
+	fs.Parse(args[1:])
+	resp, err := c.do("GET", "/api/reports/"+name+"?format="+*format, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return printResponse(resp)
+}

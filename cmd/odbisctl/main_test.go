@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// fakeServer mimics the ODBIS API surface odbisctl talks to.
+func fakeServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/login", func(w http.ResponseWriter, r *http.Request) {
+		var req map[string]string
+		json.NewDecoder(r.Body).Decode(&req)
+		if req["password"] != "pw" {
+			w.WriteHeader(http.StatusUnauthorized)
+			json.NewEncoder(w).Encode(map[string]string{"error": "bad credentials"})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"token": "tok-123"})
+	})
+	mux.HandleFunc("GET /api/whoami", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Authorization") != "Bearer tok-123" {
+			w.WriteHeader(http.StatusUnauthorized)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"username": "ada"})
+	})
+	mux.HandleFunc("POST /api/query", func(w http.ResponseWriter, r *http.Request) {
+		var req map[string]any
+		json.NewDecoder(r.Body).Decode(&req)
+		if strings.HasPrefix(req["sql"].(string), "CREATE") {
+			json.NewEncoder(w).Encode(map[string]any{"columns": []string{}, "rows": [][]any{}, "affected": 0})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"columns":  []string{"region", "total"},
+			"rows":     [][]any{{"north", 10.5}, {"south", 20.0}},
+			"affected": 0,
+		})
+	})
+	mux.HandleFunc("GET /api/reports/dash", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("== Dash ==\n"))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// captureStdout runs fn with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	buf.ReadFrom(r)
+	return buf.String(), ferr
+}
+
+func TestCmdLogin(t *testing.T) {
+	ts := fakeServer(t)
+	c := &client{base: ts.URL}
+	out, err := captureStdout(t, func() error {
+		return cmdLogin(c, []string{"-user", "ada", "-password", "pw"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tok-123") {
+		t.Errorf("login output = %q", out)
+	}
+	if err := cmdLogin(c, []string{"-user", "ada", "-password", "wrong"}); err == nil {
+		t.Error("bad login accepted")
+	}
+	if err := cmdLogin(c, nil); err == nil {
+		t.Error("login without -user accepted")
+	}
+}
+
+func TestCmdQueryTable(t *testing.T) {
+	ts := fakeServer(t)
+	c := &client{base: ts.URL, token: "tok-123"}
+	out, err := captureStdout(t, func() error {
+		return cmdQuery(c, []string{"SELECT region, SUM(amount) FROM sales GROUP BY region"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"region", "north", "south", "(2 rows)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("query output missing %q:\n%s", want, out)
+		}
+	}
+	// DDL prints the affected form.
+	out, err = captureStdout(t, func() error {
+		return cmdQuery(c, []string{"CREATE TABLE t (x INT)"})
+	})
+	if err != nil || !strings.Contains(out, "ok (0 rows affected)") {
+		t.Errorf("ddl output = %q (%v)", out, err)
+	}
+	if err := cmdQuery(c, nil); err == nil {
+		t.Error("query without SQL accepted")
+	}
+}
+
+func TestCmdReportAndGetJSON(t *testing.T) {
+	ts := fakeServer(t)
+	c := &client{base: ts.URL, token: "tok-123"}
+	out, err := captureStdout(t, func() error {
+		return cmdReport(c, []string{"dash", "-format", "text"})
+	})
+	if err != nil || !strings.Contains(out, "== Dash ==") {
+		t.Errorf("report output = %q (%v)", out, err)
+	}
+	if err := cmdReport(c, nil); err == nil {
+		t.Error("report without name accepted")
+	}
+	out, err = captureStdout(t, func() error {
+		return c.getJSON("/api/whoami")
+	})
+	if err != nil || !strings.Contains(out, "ada") {
+		t.Errorf("whoami = %q (%v)", out, err)
+	}
+	// Unauthorized surfaces as an error with the status.
+	bad := &client{base: ts.URL, token: "nope"}
+	if err := bad.getJSON("/api/whoami"); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Errorf("unauthorized = %v", err)
+	}
+}
+
+func TestEnvDefault(t *testing.T) {
+	t.Setenv("ODBISCTL_TEST_VAR", "set")
+	if envDefault("ODBISCTL_TEST_VAR", "def") != "set" {
+		t.Error("env value ignored")
+	}
+	if envDefault("ODBISCTL_UNSET_VAR", "def") != "def" {
+		t.Error("default ignored")
+	}
+}

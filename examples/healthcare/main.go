@@ -1,0 +1,132 @@
+// Healthcare dashboard — reproduces the paper's Figure 6, "Dashboard
+// Example for Healthcare Case", built with the ad-hoc reporting module:
+// chart reports, data-table reports and a dashboard over synthetic
+// hospital-admission data.
+//
+// The program writes the dashboard as a self-contained HTML file
+// (healthcare_dashboard.html) and prints the text rendering to stdout.
+//
+// Run with:
+//
+//	go run ./examples/healthcare
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/odbis/odbis"
+)
+
+// admissionsCSV generates a deterministic synthetic admissions dataset:
+// one row per hospital admission with ward, severity, patient count,
+// cost and stay length.
+func admissionsCSV(rows int) string {
+	wards := []string{"cardiology", "neurology", "orthopedics", "oncology", "pediatrics", "emergency"}
+	severities := []string{"low", "medium", "high", "critical"}
+	rng := rand.New(rand.NewSource(42))
+	base := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	var sb strings.Builder
+	sb.WriteString("admitted,ward,severity,patients,cost,stay_days\n")
+	for i := 0; i < rows; i++ {
+		day := base.AddDate(0, 0, rng.Intn(540))
+		fmt.Fprintf(&sb, "%s,%s,%s,%d,%.1f,%d\n",
+			day.Format("2006-01-02"),
+			wards[rng.Intn(len(wards))],
+			severities[rng.Intn(len(severities))],
+			1+rng.Intn(4),
+			float64(500+rng.Intn(20000))/10,
+			1+rng.Intn(21))
+	}
+	return sb.String()
+}
+
+func main() {
+	p, err := odbis.Open(odbis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	admin, _, err := p.Login("admin", "admin")
+	if err != nil {
+		log.Fatal(err)
+	}
+	admin.CreateTenant("clinic", "Sainte-Marie Clinic", "standard")
+	admin.CreateUser(odbis.UserSpec{
+		Username: "dr-roy", Password: "pw", Tenant: "clinic",
+		Roles: []string{odbis.RoleDesigner},
+	})
+	roy, _, err := p.Login("dr-roy", "pw")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load admissions through the Integration Service, deriving the
+	// month bucket used by the trend chart.
+	jr, err := roy.RunJob(&odbis.JobSpec{
+		Name:    "load-admissions",
+		CSVData: admissionsCSV(5000),
+		Steps: []odbis.JobStep{
+			{Op: "derive", Field: "month", Expression: "FORMAT_TIME('2006-01', admitted)"},
+		},
+		Target: "admissions",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d admissions\n", jr.TotalWritten())
+
+	// Business glossary entries (Meta-Data Service).
+	roy.DefineTerm("admission", "a patient entering inpatient care", "admissions")
+	roy.DefineTerm("severity", "triage classification at admission", "admissions.severity")
+
+	// The Fig. 6 dashboard: KPI tiles, charts, data table.
+	dash := &odbis.ReportSpec{
+		Name:  "healthcare",
+		Title: "Healthcare Dashboard — Sainte-Marie Clinic",
+		Elements: []odbis.ReportElement{
+			{Kind: "kpi", Title: "Total Patients",
+				Query: "SELECT SUM(patients) FROM admissions"},
+			{Kind: "kpi", Title: "Total Cost",
+				Query: "SELECT SUM(cost) FROM admissions", Format: "%.0f €"},
+			{Kind: "kpi", Title: "Average Stay (days)",
+				Query: "SELECT AVG(stay_days) FROM admissions", Format: "%.1f"},
+			{Kind: "chart", Title: "Patients by Ward", Chart: odbis.ChartBar,
+				Query: "SELECT ward, SUM(patients) AS patients FROM admissions GROUP BY ward ORDER BY ward",
+				Label: "ward"},
+			{Kind: "chart", Title: "Monthly Cost Trend", Chart: odbis.ChartLine,
+				Query: "SELECT month, SUM(cost) AS cost FROM admissions GROUP BY month ORDER BY month",
+				Label: "month"},
+			{Kind: "chart", Title: "Severity Mix", Chart: odbis.ChartPie,
+				Query: "SELECT severity, COUNT(*) AS admissions FROM admissions GROUP BY severity ORDER BY severity",
+				Label: "severity"},
+			{Kind: "table", Title: "Costliest Wards",
+				Query: `SELECT ward, COUNT(*) AS admissions, SUM(patients) AS patients,
+				               ROUND(AVG(cost), 1) AS avg_cost
+				        FROM admissions GROUP BY ward ORDER BY avg_cost DESC`},
+		},
+	}
+	if err := roy.SaveReport("clinical", dash); err != nil {
+		log.Fatal(err)
+	}
+
+	// Deliver to the web channel (HTML file) and the terminal.
+	f, err := os.Create("healthcare_dashboard.html")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := roy.DeliverReport(f, "healthcare", odbis.FormatHTML); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Println("wrote healthcare_dashboard.html")
+	fmt.Println()
+	if err := roy.DeliverReport(os.Stdout, "healthcare", odbis.FormatText); err != nil {
+		log.Fatal(err)
+	}
+}

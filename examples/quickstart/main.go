@@ -1,0 +1,113 @@
+// Quickstart: the zero-to-dashboard path of the ODBIS platform.
+//
+// It boots an in-memory platform, provisions a tenant and a designer
+// user, loads a small CSV through the Integration Service, defines a
+// DataSet via the Meta-Data Service, and renders a text dashboard through
+// the Reporting + Information Delivery services.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/odbis/odbis"
+)
+
+func main() {
+	p, err := odbis.Open(odbis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	// 1. The platform administrator provisions a tenant and a user.
+	admin, _, err := p.Login("admin", "admin")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := admin.CreateTenant("acme", "Acme Corp", "standard"); err != nil {
+		log.Fatal(err)
+	}
+	if err := admin.CreateUser(odbis.UserSpec{
+		Username: "ada", Password: "pw",
+		Tenant: "acme", Roles: []string{odbis.RoleDesigner},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The tenant user logs in (this also yields an HTTP bearer token).
+	ada, token, err := p.Login("ada", "pw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("logged in as ada (token %.16s…)\n\n", token)
+
+	// 3. Integration Service: load CSV data with a derived column.
+	report, err := ada.RunJob(&odbis.JobSpec{
+		Name: "load-sales",
+		CSVData: `region,product,amount,qty
+north,widget,10.5,2
+north,gadget,8.0,1
+south,widget,20.0,3
+south,gadget,5.5,1
+west,widget,12.0,2
+`,
+		Steps: []odbis.JobStep{
+			{Op: "derive", Field: "total", Expression: "amount * qty"},
+		},
+		Target: "sales",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("integration service loaded %d rows into sales\n\n", report.TotalWritten())
+
+	// 4. Meta-Data Service: a reusable DataSet.
+	if err := ada.CreateDataSet("sales-by-region", "",
+		"SELECT region, SUM(total) AS total, COUNT(*) AS orders FROM sales GROUP BY region ORDER BY region",
+		"regional totals"); err != nil {
+		log.Fatal(err)
+	}
+	res, err := ada.RunDataSet("sales-by-region")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("data set sales-by-region:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-8v total=%-8v orders=%v\n", row[0], row[1], row[2])
+	}
+	fmt.Println()
+
+	// 5. Reporting + delivery: a dashboard on stdout.
+	out, err := ada.RunAdHoc(&odbis.ReportSpec{
+		Name:  "quickstart",
+		Title: "Acme Sales",
+		Elements: []odbis.ReportElement{
+			{Kind: "kpi", Title: "Total Revenue", Query: "SELECT SUM(total) FROM sales", Format: "%.2f €"},
+			{Kind: "chart", Title: "Revenue by Region", Chart: odbis.ChartBar,
+				Query: "SELECT region, SUM(total) AS total FROM sales GROUP BY region ORDER BY region",
+				Label: "region"},
+			{Kind: "table", Title: "Raw Sales",
+				Query: "SELECT region, product, amount, qty, total FROM sales ORDER BY total DESC", Limit: 5},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := odbis.Deliver(os.Stdout, odbis.FormatText, out); err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. The operator checks the pay-as-you-go meter.
+	inv, err := admin.TenantInvoice("acme")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninvoice for %s (%s): %.4f € across %d lines\n",
+		inv.Tenant, inv.Plan, inv.Total, len(inv.Lines))
+}

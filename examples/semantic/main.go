@@ -1,0 +1,119 @@
+// Semantic integration — the paper's ODM future work in action (§3.2):
+// two acquired companies upload their order extracts with incompatible
+// vocabularies; a shared business ontology aligns both schemas onto the
+// warehouse fact table, the generated merge jobs load them, and one
+// dashboard reports over the unified data.
+//
+// Run with:
+//
+//	go run ./examples/semantic
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/odbis/odbis"
+)
+
+func main() {
+	p, err := odbis.Open(odbis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	admin, _, _ := p.Login("admin", "admin")
+	admin.CreateTenant("merged", "Merged Corp", "enterprise")
+	admin.CreateUser(odbis.UserSpec{
+		Username: "di", Password: "pw", Tenant: "merged",
+		Roles: []string{odbis.RoleDesigner},
+	})
+	di, _, err := p.Login("di", "pw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustQ := func(q string) {
+		if _, err := di.Query(q); err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+	}
+
+	// The warehouse target, plus the two heterogeneous source extracts.
+	mustQ("CREATE TABLE fact_orders (order_id INT, customer TEXT, revenue FLOAT, region TEXT)")
+	if _, err := di.RunJob(&odbis.JobSpec{
+		Name: "stage-acme",
+		CSVData: `order_id,client,turnover,territory
+1,wayne,120.5,north
+2,stark,80.0,south
+`,
+		Target: "acme_orders",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := di.RunJob(&odbis.JobSpec{
+		Name: "stage-globex",
+		CSVData: `order_id,buyer_name,sales_amount,regionn
+3,oscorp,55.5,north
+4,lexcorp,210.0,west
+`,
+		Target: "globex_orders",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The shared business ontology: one concept per warehouse column,
+	// with each company's vocabulary as synonyms.
+	ontology, err := odbis.BuildOntology(odbis.OntologySpec{
+		Name: "orders",
+		Classes: []odbis.OntologyClass{
+			{Name: "Order"},
+		},
+		Properties: []odbis.OntologyProperty{
+			{Name: "customer", Domain: "Order", Synonyms: []string{"client", "buyer_name"}},
+			{Name: "revenue", Domain: "Order", Synonyms: []string{"turnover", "sales_amount"}},
+			{Name: "region", Domain: "Order", Synonyms: []string{"territory"}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Align each source against the warehouse and run the generated
+	// merge jobs.
+	for _, source := range []string{"acme_orders", "globex_orders"} {
+		matches, err := di.SemanticAlign(source, "fact_orders", ontology)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== alignment %s → fact_orders ==\n%s\n", source, odbis.ExplainMatches(matches))
+		job, err := di.SemanticMergeJob(source, "fact_orders", matches)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := di.RunJob(job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("merged %d rows from %s\n\n", report.TotalWritten(), source)
+	}
+
+	// One dashboard over the unified warehouse.
+	out, err := di.RunAdHoc(&odbis.ReportSpec{
+		Name:  "unified",
+		Title: "Unified Orders",
+		Elements: []odbis.ReportElement{
+			{Kind: "kpi", Title: "Total Revenue", Query: "SELECT SUM(revenue) FROM fact_orders", Format: "%.2f €"},
+			{Kind: "table", Title: "All Orders",
+				Query: "SELECT order_id, customer, revenue, region FROM fact_orders ORDER BY order_id"},
+			{Kind: "chart", Title: "Revenue by Region", Chart: odbis.ChartBar,
+				Query: "SELECT region, SUM(revenue) AS revenue FROM fact_orders GROUP BY region ORDER BY region",
+				Label: "region"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	odbis.Deliver(os.Stdout, odbis.FormatText, out)
+}

@@ -1,0 +1,3 @@
+module github.com/odbis/odbis
+
+go 1.22

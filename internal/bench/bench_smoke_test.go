@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment of the harness in quick
+// mode: the tables EXPERIMENTS.md records must stay regenerable by CI,
+// not only by hand.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+	for _, exp := range All(t.TempDir()) {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			table, err := exp.Run(true)
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatalf("%s produced no rows", exp.ID)
+			}
+			if len(table.Headers) == 0 || table.Claim == "" {
+				t.Errorf("%s table incomplete: %+v", exp.ID, table)
+			}
+			for i, row := range table.Rows {
+				if len(row) != len(table.Headers) {
+					t.Errorf("%s row %d has %d cells for %d headers", exp.ID, i, len(row), len(table.Headers))
+				}
+			}
+			rendered := table.String()
+			if !strings.Contains(rendered, table.ID) || !strings.Contains(rendered, table.Headers[0]) {
+				t.Errorf("%s rendering incomplete:\n%s", exp.ID, rendered)
+			}
+		})
+	}
+}

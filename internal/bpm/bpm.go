@@ -1,0 +1,271 @@
+// Package bpm is a lightweight business-process engine — the BPM half of
+// the paper's orchestration pair: "The Business Process Management (BPM)
+// defines the process logic while the Business Rules Management (BRM)
+// implements the decision logic" (§3.3).
+//
+// A Definition is a graph of steps. Service steps send a message on the
+// platform bus (the ESB of Fig. 1) and merge the reply into the process
+// variables; gateway steps branch on SQL expressions over the variables
+// (the decision logic the rules engine's expression language provides);
+// end steps terminate. Instances execute synchronously and record a full
+// audit trail.
+package bpm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/odbis/odbis/internal/bus"
+	"github.com/odbis/odbis/internal/sql"
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// StepKind discriminates process steps.
+type StepKind string
+
+// Step kinds.
+const (
+	// StepService sends the variables to a bus channel; a map reply
+	// merges into the variables.
+	StepService StepKind = "service"
+	// StepGateway routes to the first branch whose condition holds.
+	StepGateway StepKind = "gateway"
+	// StepSet assigns a variable from an expression.
+	StepSet StepKind = "set"
+	// StepEnd terminates the instance.
+	StepEnd StepKind = "end"
+)
+
+// Branch is one outgoing edge of a gateway.
+type Branch struct {
+	// Condition is a SQL boolean expression over the variables; empty is
+	// the default branch.
+	Condition string
+	// To names the next step.
+	To string
+}
+
+// Step is one node of the process graph.
+type Step struct {
+	Name string
+	Kind StepKind
+	// Channel is the bus channel a service step invokes.
+	Channel string
+	// Next names the following step (service/set steps).
+	Next string
+	// Branches are a gateway's alternatives, evaluated in order.
+	Branches []Branch
+	// Variable/Expression configure set steps.
+	Variable   string
+	Expression string
+}
+
+// Definition is a validated process definition.
+type Definition struct {
+	Name  string
+	Start string
+	steps map[string]Step
+	// conds holds compiled gateway/set expressions.
+	conds map[string]*sql.CompiledExpr
+}
+
+// Errors returned by the engine.
+var (
+	ErrNoStep   = errors.New("bpm: no such step")
+	ErrStuck    = errors.New("bpm: no branch matched and no default")
+	ErrMaxSteps = errors.New("bpm: step limit reached (possible loop)")
+)
+
+// Define validates a process definition and compiles its expressions.
+func Define(name, start string, steps ...Step) (*Definition, error) {
+	if name == "" || start == "" {
+		return nil, fmt.Errorf("bpm: definition needs a name and a start step")
+	}
+	d := &Definition{
+		Name:  name,
+		Start: start,
+		steps: make(map[string]Step, len(steps)),
+		conds: make(map[string]*sql.CompiledExpr),
+	}
+	for _, s := range steps {
+		if s.Name == "" {
+			return nil, fmt.Errorf("bpm: %s: unnamed step", name)
+		}
+		if _, dup := d.steps[s.Name]; dup {
+			return nil, fmt.Errorf("bpm: %s: duplicate step %q", name, s.Name)
+		}
+		switch s.Kind {
+		case StepService:
+			if s.Channel == "" || s.Next == "" {
+				return nil, fmt.Errorf("bpm: %s/%s: service steps need Channel and Next", name, s.Name)
+			}
+		case StepGateway:
+			if len(s.Branches) == 0 {
+				return nil, fmt.Errorf("bpm: %s/%s: gateway needs branches", name, s.Name)
+			}
+			for i, b := range s.Branches {
+				if b.To == "" {
+					return nil, fmt.Errorf("bpm: %s/%s: branch %d has no target", name, s.Name, i)
+				}
+				if b.Condition != "" {
+					expr, err := sql.CompileExpr(b.Condition)
+					if err != nil {
+						return nil, fmt.Errorf("bpm: %s/%s branch %d: %w", name, s.Name, i, err)
+					}
+					d.conds[s.Name+"#"+fmt.Sprint(i)] = expr
+				}
+			}
+		case StepSet:
+			if s.Variable == "" || s.Expression == "" || s.Next == "" {
+				return nil, fmt.Errorf("bpm: %s/%s: set steps need Variable, Expression and Next", name, s.Name)
+			}
+			expr, err := sql.CompileExpr(s.Expression)
+			if err != nil {
+				return nil, fmt.Errorf("bpm: %s/%s: %w", name, s.Name, err)
+			}
+			d.conds[s.Name] = expr
+		case StepEnd:
+		default:
+			return nil, fmt.Errorf("bpm: %s/%s: unknown kind %q", name, s.Name, s.Kind)
+		}
+		d.steps[s.Name] = s
+	}
+	// Every referenced step must exist.
+	check := func(from, to string) error {
+		if to == "" {
+			return nil
+		}
+		if _, ok := d.steps[to]; !ok {
+			return fmt.Errorf("bpm: %s/%s references missing step %q", name, from, to)
+		}
+		return nil
+	}
+	if _, ok := d.steps[start]; !ok {
+		return nil, fmt.Errorf("bpm: %s: start step %q undefined", name, start)
+	}
+	for _, s := range d.steps {
+		if err := check(s.Name, s.Next); err != nil {
+			return nil, err
+		}
+		for _, b := range s.Branches {
+			if err := check(s.Name, b.To); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}
+
+// Trace records one executed step.
+type Trace struct {
+	Step string
+	Kind StepKind
+	At   time.Time
+	// Note holds the branch taken, channel called, or variable set.
+	Note string
+}
+
+// Instance is one execution of a definition.
+type Instance struct {
+	Definition string
+	// Vars are the process variables (merged service replies included).
+	Vars map[string]storage.Value
+	// Steps is the audit trail.
+	Steps []Trace
+	// End names the end step reached.
+	End string
+}
+
+// Engine executes definitions over a bus.
+type Engine struct {
+	Bus *bus.Bus
+	// MaxSteps bounds one instance's execution (default 1000).
+	MaxSteps int
+}
+
+// Run executes the definition with the given initial variables.
+func (e *Engine) Run(d *Definition, vars map[string]storage.Value) (*Instance, error) {
+	limit := e.MaxSteps
+	if limit <= 0 {
+		limit = 1000
+	}
+	inst := &Instance{Definition: d.Name, Vars: map[string]storage.Value{}}
+	for k, v := range vars {
+		inst.Vars[k] = storage.Normalize(v)
+	}
+	cur := d.Start
+	for n := 0; n < limit; n++ {
+		step, ok := d.steps[cur]
+		if !ok {
+			return inst, fmt.Errorf("%w: %s", ErrNoStep, cur)
+		}
+		tr := Trace{Step: step.Name, Kind: step.Kind, At: time.Now().UTC()}
+		switch step.Kind {
+		case StepEnd:
+			inst.Steps = append(inst.Steps, tr)
+			inst.End = step.Name
+			return inst, nil
+		case StepSet:
+			v, err := d.conds[step.Name].Eval(inst.Vars)
+			if err != nil {
+				return inst, fmt.Errorf("bpm: %s/%s: %w", d.Name, step.Name, err)
+			}
+			inst.Vars[step.Variable] = v
+			tr.Note = fmt.Sprintf("%s = %s", step.Variable, storage.FormatValue(v))
+			inst.Steps = append(inst.Steps, tr)
+			cur = step.Next
+		case StepService:
+			if e.Bus == nil {
+				return inst, fmt.Errorf("bpm: %s/%s: engine has no bus", d.Name, step.Name)
+			}
+			reply, err := e.Bus.Send(step.Channel, bus.NewMessage(copyVars(inst.Vars),
+				"process", d.Name, "step", step.Name))
+			if err != nil {
+				return inst, fmt.Errorf("bpm: %s/%s: %w", d.Name, step.Name, err)
+			}
+			if reply != nil {
+				if m, ok := reply.Body.(map[string]storage.Value); ok {
+					for k, v := range m {
+						inst.Vars[k] = storage.Normalize(v)
+					}
+				}
+			}
+			tr.Note = "→ " + step.Channel
+			inst.Steps = append(inst.Steps, tr)
+			cur = step.Next
+		case StepGateway:
+			taken := ""
+			for i, b := range step.Branches {
+				if b.Condition == "" {
+					taken = b.To
+					tr.Note = "default → " + b.To
+					break
+				}
+				ok, err := d.conds[step.Name+"#"+fmt.Sprint(i)].EvalBool(inst.Vars)
+				if err != nil {
+					return inst, fmt.Errorf("bpm: %s/%s: %w", d.Name, step.Name, err)
+				}
+				if ok {
+					taken = b.To
+					tr.Note = b.Condition + " → " + b.To
+					break
+				}
+			}
+			if taken == "" {
+				return inst, fmt.Errorf("%w at %s/%s", ErrStuck, d.Name, step.Name)
+			}
+			inst.Steps = append(inst.Steps, tr)
+			cur = taken
+		}
+	}
+	return inst, fmt.Errorf("%w: %s", ErrMaxSteps, d.Name)
+}
+
+func copyVars(vars map[string]storage.Value) map[string]storage.Value {
+	out := make(map[string]storage.Value, len(vars))
+	for k, v := range vars {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package bpm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/odbis/odbis/internal/bus"
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// orderProcess is the canonical test process: score an order via a
+// service, route on the score, and mark the outcome.
+func orderProcess(t *testing.T) *Definition {
+	t.Helper()
+	d, err := Define("order-approval", "score",
+		Step{Name: "score", Kind: StepService, Channel: "scoring", Next: "route"},
+		Step{Name: "route", Kind: StepGateway, Branches: []Branch{
+			{Condition: "score >= 80", To: "approve"},
+			{Condition: "score >= 40", To: "review"},
+			{To: "reject"},
+		}},
+		Step{Name: "approve", Kind: StepSet, Variable: "outcome", Expression: "'approved'", Next: "done"},
+		Step{Name: "review", Kind: StepSet, Variable: "outcome", Expression: "'manual review'", Next: "done"},
+		Step{Name: "reject", Kind: StepSet, Variable: "outcome", Expression: "'rejected'", Next: "done"},
+		Step{Name: "done", Kind: StepEnd},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func scoringBus(t *testing.T) *bus.Bus {
+	t.Helper()
+	b := bus.New()
+	// The scoring service: big amounts from known customers score high.
+	b.Subscribe("scoring", func(m *bus.Message) (*bus.Message, error) {
+		vars := m.Body.(map[string]storage.Value)
+		score := int64(50)
+		if amt, ok := vars["amount"].(float64); ok && amt < 100 {
+			score = 90
+		}
+		if vars["customer"] == "unknown" {
+			score = 10
+		}
+		return bus.NewMessage(map[string]storage.Value{"score": score}), nil
+	})
+	return b
+}
+
+func TestProcessRoutes(t *testing.T) {
+	d := orderProcess(t)
+	eng := &Engine{Bus: scoringBus(t)}
+	cases := []struct {
+		vars map[string]storage.Value
+		want string
+	}{
+		{map[string]storage.Value{"customer": "acme", "amount": 50.0}, "approved"},
+		{map[string]storage.Value{"customer": "acme", "amount": 5000.0}, "manual review"},
+		{map[string]storage.Value{"customer": "unknown", "amount": 5000.0}, "rejected"},
+	}
+	for _, c := range cases {
+		inst, err := eng.Run(d, c.vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Vars["outcome"] != c.want {
+			t.Errorf("vars %v → %v, want %v", c.vars, inst.Vars["outcome"], c.want)
+		}
+		if inst.End != "done" {
+			t.Errorf("end = %q", inst.End)
+		}
+		// Audit trail covers every step.
+		if len(inst.Steps) != 4 {
+			t.Errorf("trail = %d steps", len(inst.Steps))
+		}
+		if !strings.Contains(inst.Steps[0].Note, "scoring") {
+			t.Errorf("service note = %q", inst.Steps[0].Note)
+		}
+	}
+}
+
+func TestDefineValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		steps []Step
+		start string
+	}{
+		{"", nil, "s"},
+		{"p", nil, ""},
+		{"p", []Step{{Name: "s", Kind: StepEnd}}, "ghost"},
+		{"p", []Step{{Kind: StepEnd}}, "s"},
+		{"p", []Step{{Name: "s", Kind: StepEnd}, {Name: "s", Kind: StepEnd}}, "s"},
+		{"p", []Step{{Name: "s", Kind: StepService, Next: "s"}}, "s"},
+		{"p", []Step{{Name: "s", Kind: StepService, Channel: "c", Next: "ghost"}}, "s"},
+		{"p", []Step{{Name: "s", Kind: StepGateway}}, "s"},
+		{"p", []Step{{Name: "s", Kind: StepGateway, Branches: []Branch{{Condition: "x >", To: "s"}}}}, "s"},
+		{"p", []Step{{Name: "s", Kind: StepGateway, Branches: []Branch{{To: ""}}}}, "s"},
+		{"p", []Step{{Name: "s", Kind: StepSet, Next: "s"}}, "s"},
+		{"p", []Step{{Name: "s", Kind: StepSet, Variable: "v", Expression: "SUM(x)", Next: "s"}}, "s"},
+		{"p", []Step{{Name: "s", Kind: "teleport"}}, "s"},
+	}
+	for i, c := range cases {
+		if _, err := Define(c.name, c.start, c.steps...); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGatewayStuck(t *testing.T) {
+	d, err := Define("p", "g",
+		Step{Name: "g", Kind: StepGateway, Branches: []Branch{
+			{Condition: "x > 100", To: "e"},
+		}},
+		Step{Name: "e", Kind: StepEnd},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{Bus: bus.New()}
+	_, err = eng.Run(d, map[string]storage.Value{"x": 1})
+	if !errors.Is(err, ErrStuck) {
+		t.Errorf("stuck gateway: %v", err)
+	}
+}
+
+func TestLoopGuard(t *testing.T) {
+	d, err := Define("loop", "a",
+		Step{Name: "a", Kind: StepSet, Variable: "n", Expression: "1", Next: "b"},
+		Step{Name: "b", Kind: StepGateway, Branches: []Branch{{To: "a"}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{MaxSteps: 50}
+	_, err = eng.Run(d, nil)
+	if !errors.Is(err, ErrMaxSteps) {
+		t.Errorf("loop: %v", err)
+	}
+}
+
+func TestBoundedLoopWithCounter(t *testing.T) {
+	// A legitimate loop: retry three times then exit — the gateway's
+	// decision logic comes from the expression language (the BRM).
+	d, err := Define("retry", "inc",
+		Step{Name: "inc", Kind: StepSet, Variable: "tries", Expression: "tries + 1", Next: "check"},
+		Step{Name: "check", Kind: StepGateway, Branches: []Branch{
+			{Condition: "tries < 3", To: "inc"},
+			{To: "done"},
+		}},
+		Step{Name: "done", Kind: StepEnd},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{}
+	inst, err := eng.Run(d, map[string]storage.Value{"tries": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Vars["tries"] != int64(3) {
+		t.Errorf("tries = %v", inst.Vars["tries"])
+	}
+}
+
+func TestServiceFailurePropagates(t *testing.T) {
+	b := bus.New()
+	b.Subscribe("svc", func(m *bus.Message) (*bus.Message, error) {
+		return nil, errors.New("downstream exploded")
+	})
+	d, _ := Define("p", "s",
+		Step{Name: "s", Kind: StepService, Channel: "svc", Next: "e"},
+		Step{Name: "e", Kind: StepEnd},
+	)
+	eng := &Engine{Bus: b}
+	inst, err := eng.Run(d, nil)
+	if err == nil {
+		t.Fatal("service error swallowed")
+	}
+	if len(inst.Steps) != 0 {
+		t.Errorf("failed step recorded as executed: %v", inst.Steps)
+	}
+}
+
+func TestVariablesIsolatedFromCaller(t *testing.T) {
+	d, _ := Define("p", "s",
+		Step{Name: "s", Kind: StepSet, Variable: "x", Expression: "x * 2", Next: "e"},
+		Step{Name: "e", Kind: StepEnd},
+	)
+	eng := &Engine{}
+	in := map[string]storage.Value{"x": 21}
+	inst, err := eng.Run(d, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Vars["x"] != int64(42) {
+		t.Errorf("x = %v", inst.Vars["x"])
+	}
+	if in["x"] != 21 {
+		t.Errorf("caller vars mutated: %v", in["x"])
+	}
+}

@@ -1,0 +1,275 @@
+// Package bus is an in-process enterprise service bus — the stand-in for
+// the Spring Integration module the paper plans to use for
+// "interoperability between all of these tools and APIs" (§3.1). It
+// provides named channels, point-to-point request/reply, publish/
+// subscribe fan-out, and the classic EIP building blocks: router, filter,
+// transformer.
+package bus
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Message is the unit of communication on the bus.
+type Message struct {
+	// ID is assigned by the bus on first send.
+	ID string
+	// Headers carry routing and metadata.
+	Headers map[string]string
+	// Body is the payload.
+	Body any
+}
+
+// NewMessage builds a message with a body and optional header pairs.
+func NewMessage(body any, headerPairs ...string) *Message {
+	m := &Message{Body: body, Headers: map[string]string{}}
+	for i := 0; i+1 < len(headerPairs); i += 2 {
+		m.Headers[headerPairs[i]] = headerPairs[i+1]
+	}
+	return m
+}
+
+// Header reads one header ("" when absent).
+func (m *Message) Header(key string) string {
+	if m.Headers == nil {
+		return ""
+	}
+	return m.Headers[key]
+}
+
+// clone copies the message for fan-out so subscribers cannot interfere.
+func (m *Message) clone() *Message {
+	h := make(map[string]string, len(m.Headers))
+	for k, v := range m.Headers {
+		h[k] = v
+	}
+	return &Message{ID: m.ID, Headers: h, Body: m.Body}
+}
+
+// Handler consumes a message; the returned message (may be nil) is the
+// reply for request/reply sends.
+type Handler func(*Message) (*Message, error)
+
+// ChannelStats counts traffic through one channel.
+type ChannelStats struct {
+	Sent      uint64
+	Delivered uint64
+	Errors    uint64
+}
+
+type channel struct {
+	mu        sync.RWMutex
+	handlers  []Handler
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	errors    atomic.Uint64
+}
+
+// Bus is a set of named channels. All operations are safe for concurrent
+// use; dispatch is synchronous (the caller's goroutine runs the
+// handlers), which keeps ordering deterministic.
+type Bus struct {
+	mu       sync.RWMutex
+	channels map[string]*channel
+	nextID   atomic.Uint64
+}
+
+// New returns an empty bus.
+func New() *Bus {
+	return &Bus{channels: make(map[string]*channel)}
+}
+
+func (b *Bus) channelFor(name string, create bool) (*channel, error) {
+	b.mu.RLock()
+	ch, ok := b.channels[name]
+	b.mu.RUnlock()
+	if ok {
+		return ch, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("bus: no channel %q", name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ch, ok := b.channels[name]; ok {
+		return ch, nil
+	}
+	ch = &channel{}
+	b.channels[name] = ch
+	return ch, nil
+}
+
+// Subscribe registers a handler on a channel, creating the channel if
+// needed.
+func (b *Bus) Subscribe(channelName string, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("bus: nil handler for %q", channelName)
+	}
+	ch, err := b.channelFor(channelName, true)
+	if err != nil {
+		return err
+	}
+	ch.mu.Lock()
+	ch.handlers = append(ch.handlers, h)
+	ch.mu.Unlock()
+	return nil
+}
+
+func (b *Bus) stamp(m *Message) *Message {
+	if m.ID == "" {
+		m.ID = "msg-" + strconv.FormatUint(b.nextID.Add(1), 10)
+	}
+	if m.Headers == nil {
+		m.Headers = map[string]string{}
+	}
+	return m
+}
+
+// Send is point-to-point request/reply: the message goes to exactly one
+// subscriber (the first registered) and its reply is returned.
+func (b *Bus) Send(channelName string, m *Message) (*Message, error) {
+	ch, err := b.channelFor(channelName, false)
+	if err != nil {
+		return nil, err
+	}
+	b.stamp(m)
+	ch.sent.Add(1)
+	ch.mu.RLock()
+	var h Handler
+	if len(ch.handlers) > 0 {
+		h = ch.handlers[0]
+	}
+	ch.mu.RUnlock()
+	if h == nil {
+		ch.errors.Add(1)
+		return nil, fmt.Errorf("bus: channel %q has no subscriber", channelName)
+	}
+	reply, err := h(m)
+	if err != nil {
+		ch.errors.Add(1)
+		return nil, fmt.Errorf("bus: %q: %w", channelName, err)
+	}
+	ch.delivered.Add(1)
+	return reply, nil
+}
+
+// Publish fans the message out to every subscriber (each gets its own
+// copy). The first handler error aborts and is returned; earlier
+// deliveries stand.
+func (b *Bus) Publish(channelName string, m *Message) error {
+	ch, err := b.channelFor(channelName, false)
+	if err != nil {
+		return err
+	}
+	b.stamp(m)
+	ch.sent.Add(1)
+	ch.mu.RLock()
+	handlers := append([]Handler(nil), ch.handlers...)
+	ch.mu.RUnlock()
+	if len(handlers) == 0 {
+		ch.errors.Add(1)
+		return fmt.Errorf("bus: channel %q has no subscriber", channelName)
+	}
+	for _, h := range handlers {
+		if _, err := h(m.clone()); err != nil {
+			ch.errors.Add(1)
+			return fmt.Errorf("bus: %q: %w", channelName, err)
+		}
+		ch.delivered.Add(1)
+	}
+	return nil
+}
+
+// PublishBestEffort fans the message out to every subscriber, continuing
+// past handler errors (event-stream semantics: observers must not veto
+// each other). It returns the number of successful deliveries; a missing
+// channel delivers zero.
+func (b *Bus) PublishBestEffort(channelName string, m *Message) int {
+	ch, err := b.channelFor(channelName, false)
+	if err != nil {
+		return 0
+	}
+	b.stamp(m)
+	ch.sent.Add(1)
+	ch.mu.RLock()
+	handlers := append([]Handler(nil), ch.handlers...)
+	ch.mu.RUnlock()
+	delivered := 0
+	for _, h := range handlers {
+		if _, err := h(m.clone()); err != nil {
+			ch.errors.Add(1)
+			continue
+		}
+		ch.delivered.Add(1)
+		delivered++
+	}
+	return delivered
+}
+
+// Channels lists channel names sorted.
+func (b *Bus) Channels() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	names := make([]string, 0, len(b.channels))
+	for n := range b.channels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats reports a channel's counters.
+func (b *Bus) Stats(channelName string) (ChannelStats, error) {
+	ch, err := b.channelFor(channelName, false)
+	if err != nil {
+		return ChannelStats{}, err
+	}
+	return ChannelStats{
+		Sent:      ch.sent.Load(),
+		Delivered: ch.delivered.Load(),
+		Errors:    ch.errors.Load(),
+	}, nil
+}
+
+// --- EIP building blocks ---
+
+// Route forwards messages from one channel to the channel chosen by
+// selector (a content-based router). A selector returning "" drops the
+// message.
+func (b *Bus) Route(from string, selector func(*Message) string) error {
+	return b.Subscribe(from, func(m *Message) (*Message, error) {
+		target := selector(m)
+		if target == "" {
+			return nil, nil
+		}
+		return b.Send(target, m)
+	})
+}
+
+// Filter forwards messages from one channel to another when pred holds.
+func (b *Bus) Filter(from, to string, pred func(*Message) bool) error {
+	return b.Subscribe(from, func(m *Message) (*Message, error) {
+		if !pred(m) {
+			return nil, nil
+		}
+		return b.Send(to, m)
+	})
+}
+
+// Transform rewrites messages from one channel onto another.
+func (b *Bus) Transform(from, to string, fn func(*Message) (*Message, error)) error {
+	return b.Subscribe(from, func(m *Message) (*Message, error) {
+		nm, err := fn(m)
+		if err != nil {
+			return nil, err
+		}
+		if nm == nil {
+			return nil, nil
+		}
+		return b.Send(to, nm)
+	})
+}

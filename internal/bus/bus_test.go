@@ -1,0 +1,202 @@
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSendRequestReply(t *testing.T) {
+	b := New()
+	err := b.Subscribe("echo", func(m *Message) (*Message, error) {
+		return NewMessage(fmt.Sprintf("re: %v", m.Body)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := b.Send("echo", NewMessage("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Body != "re: hello" {
+		t.Errorf("reply = %v", reply.Body)
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	b := New()
+	if _, err := b.Send("ghost", NewMessage(1)); err == nil {
+		t.Error("send to missing channel accepted")
+	}
+	b.Subscribe("boom", func(m *Message) (*Message, error) {
+		return nil, errors.New("kaboom")
+	})
+	if _, err := b.Send("boom", NewMessage(1)); err == nil {
+		t.Error("handler error swallowed")
+	}
+	if err := b.Subscribe("x", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestPublishFanOut(t *testing.T) {
+	b := New()
+	var got []string
+	for i := 0; i < 3; i++ {
+		i := i
+		b.Subscribe("events", func(m *Message) (*Message, error) {
+			got = append(got, fmt.Sprintf("%d:%v", i, m.Body))
+			return nil, nil
+		})
+	}
+	if err := b.Publish("events", NewMessage("tick")); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("deliveries = %v", got)
+	}
+}
+
+func TestPublishCopiesHeaders(t *testing.T) {
+	b := New()
+	b.Subscribe("c", func(m *Message) (*Message, error) {
+		m.Headers["mutated"] = "yes"
+		return nil, nil
+	})
+	saw := ""
+	b.Subscribe("c", func(m *Message) (*Message, error) {
+		saw = m.Header("mutated")
+		return nil, nil
+	})
+	b.Publish("c", NewMessage(1, "k", "v"))
+	if saw != "" {
+		t.Error("subscriber saw another subscriber's header mutation")
+	}
+}
+
+func TestMessageIDsAssigned(t *testing.T) {
+	b := New()
+	b.Subscribe("c", func(m *Message) (*Message, error) { return nil, nil })
+	m1, m2 := NewMessage(1), NewMessage(2)
+	b.Send("c", m1)
+	b.Send("c", m2)
+	if m1.ID == "" || m1.ID == m2.ID {
+		t.Errorf("ids = %q, %q", m1.ID, m2.ID)
+	}
+}
+
+func TestRouter(t *testing.T) {
+	b := New()
+	var big, small []any
+	b.Subscribe("big", func(m *Message) (*Message, error) { big = append(big, m.Body); return nil, nil })
+	b.Subscribe("small", func(m *Message) (*Message, error) { small = append(small, m.Body); return nil, nil })
+	b.Route("in", func(m *Message) string {
+		if n, ok := m.Body.(int); ok && n > 10 {
+			return "big"
+		}
+		if _, ok := m.Body.(int); ok {
+			return "small"
+		}
+		return "" // drop
+	})
+	for _, n := range []int{5, 50, 7} {
+		if _, err := b.Send("in", NewMessage(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Send("in", NewMessage("not-a-number")); err != nil {
+		t.Fatal(err) // dropped, not an error
+	}
+	if len(big) != 1 || len(small) != 2 {
+		t.Errorf("big=%v small=%v", big, small)
+	}
+}
+
+func TestFilterAndTransform(t *testing.T) {
+	b := New()
+	var out []any
+	b.Subscribe("out", func(m *Message) (*Message, error) { out = append(out, m.Body); return nil, nil })
+	b.Filter("raw", "pos", func(m *Message) bool { return m.Body.(int) > 0 })
+	b.Transform("pos", "out", func(m *Message) (*Message, error) {
+		return NewMessage(m.Body.(int) * 10), nil
+	})
+	for _, n := range []int{-1, 2, 3} {
+		if _, err := b.Send("raw", NewMessage(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(out) != 2 || out[0] != 20 || out[1] != 30 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := New()
+	b.Subscribe("c", func(m *Message) (*Message, error) { return nil, nil })
+	b.Send("c", NewMessage(1))
+	b.Send("c", NewMessage(2))
+	st, err := b.Stats("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent != 2 || st.Delivered != 2 || st.Errors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, err := b.Stats("ghost"); err == nil {
+		t.Error("stats for missing channel accepted")
+	}
+	if chs := b.Channels(); len(chs) != 1 || chs[0] != "c" {
+		t.Errorf("channels = %v", chs)
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	b := New()
+	var mu sync.Mutex
+	count := 0
+	b.Subscribe("c", func(m *Message) (*Message, error) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return nil, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				b.Send("c", NewMessage(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 1000 {
+		t.Errorf("count = %d", count)
+	}
+	st, _ := b.Stats("c")
+	if st.Sent != 1000 {
+		t.Errorf("sent = %d", st.Sent)
+	}
+}
+
+func TestPublishBestEffort(t *testing.T) {
+	b := New()
+	var got []any
+	b.Subscribe("ev", func(m *Message) (*Message, error) { got = append(got, m.Body); return nil, nil })
+	b.Subscribe("ev", func(m *Message) (*Message, error) { return nil, errors.New("crash") })
+	b.Subscribe("ev", func(m *Message) (*Message, error) { got = append(got, m.Body); return nil, nil })
+	delivered := b.PublishBestEffort("ev", NewMessage("x"))
+	if delivered != 2 || len(got) != 2 {
+		t.Errorf("delivered=%d got=%v", delivered, got)
+	}
+	st, _ := b.Stats("ev")
+	if st.Errors != 1 || st.Delivered != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Missing channel: zero deliveries, no panic.
+	if n := b.PublishBestEffort("ghost", NewMessage(1)); n != 0 {
+		t.Errorf("ghost deliveries = %d", n)
+	}
+}

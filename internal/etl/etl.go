@@ -1,0 +1,291 @@
+// Package etl is the data-integration substrate behind the ODBIS
+// Integration Service (IS) — the paper's "ad-hoc way to define data
+// integration jobs, jobs scheduling, etc." (§3.1), standing in for the
+// Talend/LogiXML class of tools.
+//
+// A Pipeline reads records from a Source, passes them through Transforms
+// (filter, map, derive, lookup, aggregate, …) and writes them to a Sink.
+// Pipelines compose into Jobs — DAGs of dependent tasks — and Jobs run on
+// a Scheduler with retry and history.
+package etl
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// Record is one data row keyed by field name. Values use the storage
+// engine's canonical dynamic types.
+type Record map[string]storage.Value
+
+// Clone copies the record.
+func (r Record) Clone() Record {
+	out := make(Record, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// Fields returns the record's field names sorted.
+func (r Record) Fields() []string {
+	out := make([]string, 0, len(r))
+	for k := range r {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Source produces records.
+type Source interface {
+	// Read returns every record of the source. Sources are re-readable:
+	// each call restarts from the beginning.
+	Read() ([]Record, error)
+}
+
+// SliceSource serves an in-memory record slice; the zero value is empty.
+type SliceSource struct {
+	Records []Record
+}
+
+// Read implements Source.
+func (s *SliceSource) Read() ([]Record, error) {
+	out := make([]Record, len(s.Records))
+	for i, r := range s.Records {
+		out[i] = r.Clone()
+	}
+	return out, nil
+}
+
+// CSVSource reads delimited text with a header row. Field values are
+// typed by inference (int, float, bool, RFC-3339 time, else string);
+// empty cells become NULL.
+type CSVSource struct {
+	// Path names a file to read; mutually exclusive with Data.
+	Path string
+	// Data holds inline CSV content (useful for tests and uploads).
+	Data string
+	// Comma overrides the delimiter (default ',').
+	Comma rune
+	// RawStrings disables type inference.
+	RawStrings bool
+}
+
+// Read implements Source.
+func (s *CSVSource) Read() ([]Record, error) {
+	var r io.Reader
+	switch {
+	case s.Path != "" && s.Data != "":
+		return nil, fmt.Errorf("etl: CSVSource: Path and Data are mutually exclusive")
+	case s.Path != "":
+		f, err := os.Open(s.Path)
+		if err != nil {
+			return nil, fmt.Errorf("etl: %w", err)
+		}
+		defer f.Close()
+		r = f
+	case s.Data != "":
+		r = strings.NewReader(s.Data)
+	default:
+		return nil, fmt.Errorf("etl: CSVSource: no input")
+	}
+	cr := csv.NewReader(r)
+	if s.Comma != 0 {
+		cr.Comma = s.Comma
+	}
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("etl: CSV input is empty")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("etl: read CSV header: %w", err)
+	}
+	var out []Record
+	for line := 2; ; line++ {
+		cells, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("etl: CSV line %d: %w", line, err)
+		}
+		rec := make(Record, len(header))
+		for i, h := range header {
+			if i >= len(cells) {
+				rec[h] = nil
+				continue
+			}
+			if s.RawStrings {
+				rec[h] = cells[i]
+			} else {
+				rec[h] = inferValue(cells[i])
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// inferValue types a CSV cell.
+func inferValue(cell string) storage.Value {
+	trimmed := strings.TrimSpace(cell)
+	if trimmed == "" {
+		return nil
+	}
+	if i, err := strconv.ParseInt(trimmed, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(trimmed, 64); err == nil {
+		return f
+	}
+	switch strings.ToLower(trimmed) {
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	if t, err := time.Parse(time.RFC3339, trimmed); err == nil {
+		return t.UTC()
+	}
+	if t, err := time.Parse("2006-01-02", trimmed); err == nil {
+		return t.UTC()
+	}
+	return cell
+}
+
+// JSONSource reads either a JSON array of objects or newline-delimited
+// JSON objects.
+type JSONSource struct {
+	Path string
+	Data string
+}
+
+// Read implements Source.
+func (s *JSONSource) Read() ([]Record, error) {
+	var data []byte
+	switch {
+	case s.Path != "" && s.Data != "":
+		return nil, fmt.Errorf("etl: JSONSource: Path and Data are mutually exclusive")
+	case s.Path != "":
+		b, err := os.ReadFile(s.Path)
+		if err != nil {
+			return nil, fmt.Errorf("etl: %w", err)
+		}
+		data = b
+	case s.Data != "":
+		data = []byte(s.Data)
+	default:
+		return nil, fmt.Errorf("etl: JSONSource: no input")
+	}
+	trimmed := strings.TrimSpace(string(data))
+	var objs []map[string]any
+	if strings.HasPrefix(trimmed, "[") {
+		if err := json.Unmarshal([]byte(trimmed), &objs); err != nil {
+			return nil, fmt.Errorf("etl: parse JSON array: %w", err)
+		}
+	} else {
+		dec := json.NewDecoder(strings.NewReader(trimmed))
+		for dec.More() {
+			var obj map[string]any
+			if err := dec.Decode(&obj); err != nil {
+				return nil, fmt.Errorf("etl: parse NDJSON: %w", err)
+			}
+			objs = append(objs, obj)
+		}
+	}
+	out := make([]Record, 0, len(objs))
+	for _, obj := range objs {
+		rec := make(Record, len(obj))
+		for k, v := range obj {
+			rec[k] = jsonValue(v)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func jsonValue(v any) storage.Value {
+	switch x := v.(type) {
+	case nil:
+		return nil
+	case float64:
+		if x == float64(int64(x)) {
+			return int64(x)
+		}
+		return x
+	case string:
+		if t, err := time.Parse(time.RFC3339, x); err == nil {
+			return t.UTC()
+		}
+		return x
+	case bool:
+		return x
+	default:
+		// Nested structures flatten to their JSON text.
+		b, _ := json.Marshal(x)
+		return string(b)
+	}
+}
+
+// TableSource reads every row of a storage table.
+type TableSource struct {
+	Engine *storage.Engine
+	Table  string
+}
+
+// Read implements Source.
+func (s *TableSource) Read() ([]Record, error) {
+	schema, err := s.Engine.Schema(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	names := schema.ColumnNames()
+	var out []Record
+	err = s.Engine.View(func(tx *storage.Tx) error {
+		return tx.Scan(s.Table, func(_ storage.RID, row storage.Row) bool {
+			rec := make(Record, len(names))
+			for i, n := range names {
+				rec[n] = row[i]
+			}
+			out = append(out, rec)
+			return true
+		})
+	})
+	return out, err
+}
+
+// QuerySource reads records from a SQL query against a storage engine.
+type QuerySource struct {
+	Engine *storage.Engine
+	Query  string
+	Args   []storage.Value
+}
+
+// Read implements Source.
+func (s *QuerySource) Read() ([]Record, error) {
+	db := newDB(s.Engine)
+	res, err := db.Query(s.Query, s.Args...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, len(res.Rows))
+	for i, row := range res.Rows {
+		rec := make(Record, len(res.Columns))
+		for j, c := range res.Columns {
+			rec[c] = row[j]
+		}
+		out[i] = rec
+	}
+	return out, nil
+}

@@ -1,0 +1,542 @@
+package etl
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+const salesCSV = `date,store,product,amount,qty
+2026-01-01,paris,widget,10.5,2
+2026-01-01,lyon,widget,7.0,1
+2026-01-02,paris,gadget,20.0,4
+2026-01-02,paris,widget,,3
+2026-01-03,lyon,gadget,5.5,1
+`
+
+func TestCSVSourceInference(t *testing.T) {
+	src := &CSVSource{Data: salesCSV}
+	recs, err := src.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	r := recs[0]
+	if _, ok := r["date"].(time.Time); !ok {
+		t.Errorf("date type = %T", r["date"])
+	}
+	if r["amount"] != 10.5 || r["qty"] != int64(2) || r["store"] != "paris" {
+		t.Errorf("record = %v", r)
+	}
+	if recs[3]["amount"] != nil {
+		t.Errorf("empty cell should be NULL, got %v", recs[3]["amount"])
+	}
+}
+
+func TestCSVSourceErrors(t *testing.T) {
+	if _, err := (&CSVSource{}).Read(); err == nil {
+		t.Error("empty source accepted")
+	}
+	if _, err := (&CSVSource{Data: "a,b\n1"}).Read(); err == nil {
+		t.Error("ragged CSV accepted")
+	}
+	if _, err := (&CSVSource{Path: "x", Data: "y"}).Read(); err == nil {
+		t.Error("both path and data accepted")
+	}
+}
+
+func TestJSONSource(t *testing.T) {
+	src := &JSONSource{Data: `[{"a": 1, "b": "x", "c": 1.5, "d": true, "e": null}]`}
+	recs, err := src.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := recs[0]
+	if r["a"] != int64(1) || r["b"] != "x" || r["c"] != 1.5 || r["d"] != true || r["e"] != nil {
+		t.Errorf("record = %v", r)
+	}
+	// NDJSON form.
+	src = &JSONSource{Data: "{\"a\":1}\n{\"a\":2}\n"}
+	recs, err = src.Read()
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("ndjson: %v, %d records", err, len(recs))
+	}
+}
+
+func TestFilterDerive(t *testing.T) {
+	p := &Pipeline{
+		Source: &CSVSource{Data: salesCSV},
+		Transforms: []Transform{
+			Filter{Condition: "amount IS NOT NULL AND store = 'paris'"},
+			Derive{Field: "total", Expression: "amount * qty"},
+		},
+		Sink: &SliceSink{},
+	}
+	read, written, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read != 5 || written != 2 {
+		t.Errorf("read=%d written=%d", read, written)
+	}
+	out := p.Sink.(*SliceSink).Records
+	if out[0]["total"] != 21.0 || out[1]["total"] != 80.0 {
+		t.Errorf("totals = %v, %v", out[0]["total"], out[1]["total"])
+	}
+}
+
+func TestFilterBadExpression(t *testing.T) {
+	p := &Pipeline{
+		Source:     &SliceSource{Records: []Record{{"a": int64(1)}}},
+		Transforms: []Transform{Filter{Condition: "SELECT nope"}},
+		Sink:       &SliceSink{},
+	}
+	if _, _, err := p.Run(); err == nil {
+		t.Error("bad filter expression accepted")
+	}
+}
+
+func TestRenameProject(t *testing.T) {
+	recs := []Record{{"a": int64(1), "b": int64(2), "c": int64(3)}}
+	out, err := Rename{Mapping: map[string]string{"a": "x"}}.Apply(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0]["x"] != int64(1) || out[0]["b"] != int64(2) {
+		t.Errorf("rename = %v", out[0])
+	}
+	out, err = Project{Fields: []string{"x", "ghost"}}.Apply(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[0]) != 2 || out[0]["x"] != int64(1) || out[0]["ghost"] != nil {
+		t.Errorf("project = %v", out[0])
+	}
+}
+
+func TestLookup(t *testing.T) {
+	stores := &SliceSource{Records: []Record{
+		{"id": "paris", "region": "idf", "size": int64(100)},
+		{"id": "lyon", "region": "ara", "size": int64(60)},
+	}}
+	in := []Record{
+		{"store": "paris", "amount": 1.0},
+		{"store": "nowhere", "amount": 2.0},
+	}
+	out, err := Lookup{On: "store", From: stores, Key: "id", Take: []string{"region", "size AS store_size"}}.Apply(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0]["region"] != "idf" || out[0]["store_size"] != int64(100) {
+		t.Errorf("lookup hit = %v", out[0])
+	}
+	if out[1]["region"] != nil {
+		t.Errorf("lookup miss should yield NULL, got %v", out[1]["region"])
+	}
+	// Required lookups fail on a miss.
+	_, err = Lookup{On: "store", From: stores, Key: "id", Take: []string{"region"}, Required: true}.Apply(in)
+	if err == nil {
+		t.Error("required lookup miss accepted")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	src := &CSVSource{Data: salesCSV}
+	recs, _ := src.Read()
+	out, err := Aggregate{
+		GroupBy: []string{"store"},
+		Aggs: []AggSpec{
+			{Op: "count", As: "n"},
+			{Op: "sum", Field: "amount", As: "total"},
+			{Op: "max", Field: "qty", As: "max_qty"},
+		},
+	}.Apply(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("groups = %d", len(out))
+	}
+	byStore := map[string]Record{}
+	for _, r := range out {
+		byStore[r["store"].(string)] = r
+	}
+	paris := byStore["paris"]
+	if paris["n"] != int64(3) || paris["total"] != 30.5 || paris["max_qty"] != int64(4) {
+		t.Errorf("paris = %v", paris)
+	}
+	if _, err := (Aggregate{Aggs: []AggSpec{{Op: "median", Field: "x"}}}).Apply(recs); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := (Aggregate{}).Apply(recs); err == nil {
+		t.Error("no aggs accepted")
+	}
+}
+
+func TestDedupSort(t *testing.T) {
+	recs := []Record{
+		{"k": int64(2), "v": "b"},
+		{"k": int64(1), "v": "a"},
+		{"k": int64(2), "v": "c"},
+	}
+	out, err := Dedup{Fields: []string{"k"}}.Apply(recs)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("dedup: %v, %d", err, len(out))
+	}
+	out, err = SortBy{Fields: []string{"-k"}}.Apply(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0]["k"] != int64(2) || out[1]["k"] != int64(1) {
+		t.Errorf("sort = %v", out)
+	}
+}
+
+func TestMapFunc(t *testing.T) {
+	recs := []Record{{"n": int64(1)}, {"n": int64(2)}}
+	out, err := MapFunc{Label: "odd-only", Fn: func(r Record) (Record, error) {
+		if r["n"].(int64)%2 == 0 {
+			return nil, nil
+		}
+		r["n2"] = r["n"].(int64) * 10
+		return r, nil
+	}}.Apply(recs)
+	if err != nil || len(out) != 1 || out[0]["n2"] != int64(10) {
+		t.Errorf("mapfunc: %v %v", err, out)
+	}
+}
+
+func TestTableSinkAndSource(t *testing.T) {
+	e := storage.MustOpenMemory()
+	defer e.Close()
+	sink := &TableSink{Engine: e, Table: "sales", CreateTable: true}
+	p := &Pipeline{
+		Source:     &CSVSource{Data: salesCSV},
+		Transforms: []Transform{Filter{Condition: "amount IS NOT NULL"}},
+		Sink:       sink,
+	}
+	if _, written, err := p.Run(); err != nil || written != 4 {
+		t.Fatalf("load: %v, written=%d", err, written)
+	}
+	// The inferred schema must be readable back.
+	src := &TableSource{Engine: e, Table: "sales"}
+	recs, err := src.Read()
+	if err != nil || len(recs) != 4 {
+		t.Fatalf("table source: %v, %d", err, len(recs))
+	}
+	// Truncate reload.
+	sink2 := &TableSink{Engine: e, Table: "sales", Truncate: true}
+	if _, _, err := (&Pipeline{Source: src, Sink: sink2}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = (&TableSource{Engine: e, Table: "sales"}).Read()
+	if len(recs) != 4 {
+		t.Errorf("after truncate reload: %d", len(recs))
+	}
+	// QuerySource.
+	qs := &QuerySource{Engine: e, Query: "SELECT store, SUM(amount) AS total FROM sales GROUP BY store"}
+	recs, err = qs.Read()
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("query source: %v %v", err, recs)
+	}
+}
+
+func TestCSVSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := &CSVSink{W: &buf}
+	n, err := sink.Write([]Record{{"b": int64(2), "a": "x"}, {"a": "y", "b": nil}})
+	if err != nil || n != 2 {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "a,b" || lines[1] != "x,2" || lines[2] != "y," {
+		t.Errorf("csv = %q", buf.String())
+	}
+}
+
+func TestJobDAG(t *testing.T) {
+	e := storage.MustOpenMemory()
+	defer e.Close()
+	staging := &SliceSink{}
+	job := &Job{
+		Name: "dw-load",
+		Tasks: []Task{
+			{
+				Name: "load-fact",
+				DependsOn: []string{
+					"stage",
+				},
+				Pipeline: &Pipeline{
+					Source: &CSVSource{Data: salesCSV},
+					Sink:   &TableSink{Engine: e, Table: "fact", CreateTable: true},
+				},
+			},
+			{
+				Name: "stage",
+				Pipeline: &Pipeline{
+					Source: &CSVSource{Data: salesCSV},
+					Sink:   staging,
+				},
+			},
+		},
+	}
+	report := job.Run()
+	if err := report.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 2 || report.Results[0].Task != "stage" {
+		t.Errorf("order = %+v", report.Results)
+	}
+	if report.TotalWritten() != 10 {
+		t.Errorf("total written = %d", report.TotalWritten())
+	}
+}
+
+func TestJobDependencyFailureSkips(t *testing.T) {
+	bad := &Pipeline{
+		Source: &CSVSource{Data: "x"}, // header only, then any transform ok
+		Transforms: []Transform{
+			Filter{Condition: "???bad"},
+		},
+		Sink: &SliceSink{},
+	}
+	good := &Pipeline{Source: &SliceSource{}, Sink: &SliceSink{}}
+	job := &Job{
+		Name: "j",
+		Tasks: []Task{
+			{Name: "a", Pipeline: bad},
+			{Name: "b", DependsOn: []string{"a"}, Pipeline: good},
+		},
+	}
+	report := job.Run()
+	if report.Err() == nil {
+		t.Fatal("failure not reported")
+	}
+	if !report.Results[1].Skipped {
+		t.Error("dependent task was not skipped")
+	}
+}
+
+func TestJobRetries(t *testing.T) {
+	attempts := 0
+	flaky := &Pipeline{
+		Source: &SliceSource{Records: []Record{{"a": int64(1)}}},
+		Transforms: []Transform{MapFunc{Label: "flaky", Fn: func(r Record) (Record, error) {
+			attempts++
+			if attempts < 3 {
+				return nil, errors.New("transient")
+			}
+			return r, nil
+		}}},
+		Sink: &SliceSink{},
+	}
+	job := &Job{Name: "retry", Tasks: []Task{{Name: "t", Pipeline: flaky, Retries: 3}}}
+	report := job.Run()
+	if err := report.Err(); err != nil {
+		t.Fatalf("retries exhausted: %v", err)
+	}
+	if report.Results[0].Attempts != 3 {
+		t.Errorf("attempts = %d", report.Results[0].Attempts)
+	}
+}
+
+func TestJobCycleDetection(t *testing.T) {
+	p := &Pipeline{Source: &SliceSource{}, Sink: &SliceSink{}}
+	job := &Job{Name: "cyc", Tasks: []Task{
+		{Name: "a", DependsOn: []string{"b"}, Pipeline: p},
+		{Name: "b", DependsOn: []string{"a"}, Pipeline: p},
+	}}
+	if job.Run().Err() == nil {
+		t.Error("cycle accepted")
+	}
+	job = &Job{Name: "dangling", Tasks: []Task{{Name: "a", DependsOn: []string{"ghost"}, Pipeline: p}}}
+	if job.Run().Err() == nil {
+		t.Error("unknown dependency accepted")
+	}
+}
+
+func TestSchedulerTriggerAndHistory(t *testing.T) {
+	s := NewScheduler()
+	job := &Job{Name: "j", Tasks: []Task{{Name: "t", Pipeline: &Pipeline{
+		Source: &SliceSource{Records: []Record{{"a": int64(1)}}},
+		Sink:   &SliceSink{},
+	}}}}
+	if err := s.Register(job, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(job, 0); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	report, err := s.Trigger("j")
+	if err != nil || report.Err() != nil {
+		t.Fatalf("trigger: %v / %v", err, report.Err())
+	}
+	if _, err := s.Trigger("ghost"); err == nil {
+		t.Error("unknown job triggered")
+	}
+	if h := s.History("j"); len(h) != 1 {
+		t.Errorf("history = %d", len(h))
+	}
+	if jobs := s.Jobs(); len(jobs) != 1 || jobs[0] != "j" {
+		t.Errorf("jobs = %v", jobs)
+	}
+}
+
+func TestSchedulerTick(t *testing.T) {
+	s := NewScheduler()
+	now := time.Unix(1000, 0)
+	s.clock = func() time.Time { return now }
+	job := &Job{Name: "periodic", Tasks: []Task{{Name: "t", Pipeline: &Pipeline{
+		Source: &SliceSource{Records: []Record{{"a": int64(1)}}},
+		Sink:   &SliceSink{},
+	}}}}
+	if err := s.Register(job, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Not yet due.
+	if reports := s.Tick(); len(reports) != 0 {
+		t.Errorf("early tick ran %d jobs", len(reports))
+	}
+	now = now.Add(2 * time.Minute)
+	if reports := s.Tick(); len(reports) != 1 {
+		t.Fatalf("due tick ran %d jobs", len(reports))
+	}
+	// Immediately after, the job is rescheduled in the future.
+	if reports := s.Tick(); len(reports) != 0 {
+		t.Errorf("re-run before interval: %d", len(reports))
+	}
+	// Paused jobs are skipped.
+	now = now.Add(2 * time.Minute)
+	s.Pause("periodic")
+	if reports := s.Tick(); len(reports) != 0 {
+		t.Errorf("paused job ran")
+	}
+	s.Resume("periodic")
+	now = now.Add(2 * time.Minute)
+	if reports := s.Tick(); len(reports) != 1 {
+		t.Errorf("resumed job did not run")
+	}
+	if h := s.History("periodic"); len(h) != 2 {
+		t.Errorf("history = %d", len(h))
+	}
+}
+
+func TestSchedulerHistoryBound(t *testing.T) {
+	s := NewScheduler()
+	s.HistoryLimit = 3
+	job := &Job{Name: "j", Tasks: []Task{{Name: "t", Pipeline: &Pipeline{
+		Source: &SliceSource{}, Sink: &SliceSink{},
+	}}}}
+	s.Register(job, 0)
+	for i := 0; i < 10; i++ {
+		s.Trigger("j")
+	}
+	if h := s.History("j"); len(h) != 3 {
+		t.Errorf("history = %d, want 3", len(h))
+	}
+}
+
+func TestPipelinePreview(t *testing.T) {
+	p := &Pipeline{
+		Source:     &CSVSource{Data: salesCSV},
+		Transforms: []Transform{Filter{Condition: "qty > 1"}},
+	}
+	recs, err := p.Preview(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Errorf("preview = %d records", len(recs))
+	}
+}
+
+func TestTransformNames(t *testing.T) {
+	cases := map[string]Transform{
+		"filter(x > 1)": Filter{Condition: "x > 1"},
+		"derive(y)":     Derive{Field: "y", Expression: "1"},
+		"rename":        Rename{},
+		"project(a,b)":  Project{Fields: []string{"a", "b"}},
+		"lookup(k)":     Lookup{On: "k"},
+		"aggregate(g)":  Aggregate{GroupBy: []string{"g"}},
+		"dedup":         Dedup{},
+		"sort(a,-b)":    SortBy{Fields: []string{"a", "-b"}},
+		"custom":        MapFunc{Label: "custom"},
+		"map":           MapFunc{},
+	}
+	for want, tr := range cases {
+		if got := tr.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestSchedulerUnregisterAndStart(t *testing.T) {
+	s := NewScheduler()
+	job := &Job{Name: "j", Tasks: []Task{{Name: "t", Pipeline: &Pipeline{
+		Source: &SliceSource{Records: []Record{{"a": int64(1)}}},
+		Sink:   &SliceSink{},
+	}}}}
+	if err := s.Register(job, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	stop := s.Start(2 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.History("j")) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	if len(s.History("j")) == 0 {
+		t.Fatal("ticker never ran the job")
+	}
+	s.Unregister("j")
+	if len(s.Jobs()) != 0 {
+		t.Errorf("jobs after unregister = %v", s.Jobs())
+	}
+	if len(s.History("j")) != 0 {
+		t.Error("history survived unregister")
+	}
+	if _, err := s.Trigger("j"); err == nil {
+		t.Error("unregistered job triggered")
+	}
+	// Pause/resume of unknown jobs error.
+	if err := s.Pause("ghost"); err == nil {
+		t.Error("pause ghost accepted")
+	}
+	if err := s.Resume("ghost"); err == nil {
+		t.Error("resume ghost accepted")
+	}
+	// Register validation.
+	if err := s.Register(nil, 0); err == nil {
+		t.Error("nil job accepted")
+	}
+	if err := s.Register(&Job{Name: "cyc", Tasks: []Task{
+		{Name: "a", DependsOn: []string{"a"}, Pipeline: &Pipeline{Source: &SliceSource{}, Sink: &SliceSink{}}},
+	}}, 0); err == nil {
+		t.Error("cyclic job registered")
+	}
+}
+
+func TestTableSinkCaseInsensitiveColumns(t *testing.T) {
+	e := storage.MustOpenMemory()
+	defer e.Close()
+	s, _ := storage.NewSchema("t", []storage.Column{
+		{Name: "Amount", Type: storage.TypeFloat},
+	})
+	e.CreateTable(s)
+	sink := &TableSink{Engine: e, Table: "t"}
+	n, err := sink.Write([]Record{{"AMOUNT": 1.5}})
+	if err != nil || n != 1 {
+		t.Fatalf("write: %v n=%d", err, n)
+	}
+	recs, _ := (&TableSource{Engine: e, Table: "t"}).Read()
+	if recs[0]["Amount"] != 1.5 {
+		t.Errorf("round trip = %v", recs[0])
+	}
+}

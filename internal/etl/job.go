@@ -1,0 +1,210 @@
+package etl
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Pipeline is one source → transforms → sink flow.
+type Pipeline struct {
+	Source     Source
+	Transforms []Transform
+	Sink       Sink
+}
+
+// Run executes the pipeline, returning rows read and written.
+func (p *Pipeline) Run() (read, written int, err error) {
+	if p.Source == nil || p.Sink == nil {
+		return 0, 0, fmt.Errorf("etl: pipeline needs a source and a sink")
+	}
+	recs, err := p.Source.Read()
+	if err != nil {
+		return 0, 0, err
+	}
+	read = len(recs)
+	for _, tr := range p.Transforms {
+		recs, err = tr.Apply(recs)
+		if err != nil {
+			return read, 0, fmt.Errorf("etl: transform %s: %w", tr.Name(), err)
+		}
+	}
+	written, err = p.Sink.Write(recs)
+	return read, written, err
+}
+
+// Preview runs source + transforms and returns up to limit records
+// without writing the sink (ad-hoc job design support).
+func (p *Pipeline) Preview(limit int) ([]Record, error) {
+	if p.Source == nil {
+		return nil, fmt.Errorf("etl: pipeline needs a source")
+	}
+	recs, err := p.Source.Read()
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range p.Transforms {
+		recs, err = tr.Apply(recs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if limit > 0 && len(recs) > limit {
+		recs = recs[:limit]
+	}
+	return recs, nil
+}
+
+// Task is one named node of a job DAG.
+type Task struct {
+	Name      string
+	DependsOn []string
+	Pipeline  *Pipeline
+	// Retries re-runs a failing task up to N extra times.
+	Retries int
+}
+
+// Job is a DAG of tasks.
+type Job struct {
+	Name  string
+	Tasks []Task
+}
+
+// TaskResult reports one task execution.
+type TaskResult struct {
+	Task     string
+	Read     int
+	Written  int
+	Attempts int
+	Err      error
+	Duration time.Duration
+	Skipped  bool // an upstream task failed
+}
+
+// JobReport aggregates a job run.
+type JobReport struct {
+	Job      string
+	Started  time.Time
+	Finished time.Time
+	Results  []TaskResult
+}
+
+// Err returns the first task error, or nil when the job succeeded.
+func (r *JobReport) Err() error {
+	for _, tr := range r.Results {
+		if tr.Err != nil {
+			return fmt.Errorf("etl: job %s, task %s: %w", r.Job, tr.Task, tr.Err)
+		}
+	}
+	return nil
+}
+
+// TotalWritten sums rows written across tasks.
+func (r *JobReport) TotalWritten() int {
+	n := 0
+	for _, tr := range r.Results {
+		n += tr.Written
+	}
+	return n
+}
+
+// topoOrder sorts tasks so dependencies run first, rejecting unknown
+// dependencies and cycles.
+func (j *Job) topoOrder() ([]int, error) {
+	index := make(map[string]int, len(j.Tasks))
+	for i, t := range j.Tasks {
+		if t.Name == "" {
+			return nil, fmt.Errorf("etl: job %s: task %d has no name", j.Name, i)
+		}
+		if _, dup := index[t.Name]; dup {
+			return nil, fmt.Errorf("etl: job %s: duplicate task %q", j.Name, t.Name)
+		}
+		index[t.Name] = i
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(j.Tasks))
+	var order []int
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch color[i] {
+		case gray:
+			return fmt.Errorf("etl: job %s: dependency cycle through %q", j.Name, j.Tasks[i].Name)
+		case black:
+			return nil
+		}
+		color[i] = gray
+		for _, dep := range j.Tasks[i].DependsOn {
+			di, ok := index[dep]
+			if !ok {
+				return fmt.Errorf("etl: job %s: task %q depends on unknown %q", j.Name, j.Tasks[i].Name, dep)
+			}
+			if err := visit(di); err != nil {
+				return err
+			}
+		}
+		color[i] = black
+		order = append(order, i)
+		return nil
+	}
+	// Deterministic root order.
+	roots := make([]int, len(j.Tasks))
+	for i := range roots {
+		roots[i] = i
+	}
+	sort.SliceStable(roots, func(a, b int) bool { return j.Tasks[roots[a]].Name < j.Tasks[roots[b]].Name })
+	for _, i := range roots {
+		if err := visit(i); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Run executes the job: tasks in dependency order, retrying failures,
+// skipping tasks whose dependencies failed.
+func (j *Job) Run() *JobReport {
+	report := &JobReport{Job: j.Name, Started: time.Now()}
+	defer func() { report.Finished = time.Now() }()
+	order, err := j.topoOrder()
+	if err != nil {
+		report.Results = append(report.Results, TaskResult{Task: j.Name, Err: err})
+		return report
+	}
+	failed := map[string]bool{}
+	for _, i := range order {
+		task := j.Tasks[i]
+		res := TaskResult{Task: task.Name}
+		blocked := false
+		for _, dep := range task.DependsOn {
+			if failed[dep] {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			res.Skipped = true
+			failed[task.Name] = true
+			report.Results = append(report.Results, res)
+			continue
+		}
+		start := time.Now()
+		for attempt := 0; attempt <= task.Retries; attempt++ {
+			res.Attempts++
+			read, written, err := task.Pipeline.Run()
+			res.Read, res.Written, res.Err = read, written, err
+			if err == nil {
+				break
+			}
+		}
+		res.Duration = time.Since(start)
+		if res.Err != nil {
+			failed[task.Name] = true
+		}
+		report.Results = append(report.Results, res)
+	}
+	return report
+}

@@ -1,0 +1,202 @@
+package etl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Scheduler runs registered jobs on fixed intervals — the "jobs
+// scheduling" half of the Integration Service. It keeps a bounded history
+// of reports per job.
+type Scheduler struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	history map[string][]*JobReport
+	// HistoryLimit bounds retained reports per job (default 32).
+	HistoryLimit int
+	// clock is replaceable in tests.
+	clock func() time.Time
+}
+
+type entry struct {
+	job      *Job
+	interval time.Duration
+	nextRun  time.Time
+	paused   bool
+	stop     chan struct{}
+	running  bool
+}
+
+// NewScheduler returns an empty scheduler.
+func NewScheduler() *Scheduler {
+	return &Scheduler{
+		entries:      make(map[string]*entry),
+		history:      make(map[string][]*JobReport),
+		HistoryLimit: 32,
+		clock:        time.Now,
+	}
+}
+
+// Register adds a job with a run interval. Interval 0 registers the job
+// for manual triggering only.
+func (s *Scheduler) Register(job *Job, interval time.Duration) error {
+	if job == nil || job.Name == "" {
+		return fmt.Errorf("etl: scheduler: job needs a name")
+	}
+	if _, _, err := (&Job{Name: job.Name, Tasks: job.Tasks}).validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.entries[job.Name]; dup {
+		return fmt.Errorf("etl: scheduler: job %q already registered", job.Name)
+	}
+	e := &entry{job: job, interval: interval}
+	if interval > 0 {
+		e.nextRun = s.clock().Add(interval)
+	}
+	s.entries[job.Name] = e
+	return nil
+}
+
+// validate checks the job DAG without running it.
+func (j *Job) validate() (*Job, []int, error) {
+	order, err := j.topoOrder()
+	return j, order, err
+}
+
+// Unregister removes a job and its history.
+func (s *Scheduler) Unregister(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[name]; ok && e.stop != nil {
+		close(e.stop)
+	}
+	delete(s.entries, name)
+	delete(s.history, name)
+}
+
+// Pause suspends interval runs; Trigger still works.
+func (s *Scheduler) Pause(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		return fmt.Errorf("etl: scheduler: no job %q", name)
+	}
+	e.paused = true
+	return nil
+}
+
+// Resume re-enables interval runs.
+func (s *Scheduler) Resume(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		return fmt.Errorf("etl: scheduler: no job %q", name)
+	}
+	e.paused = false
+	e.nextRun = s.clock().Add(e.interval)
+	return nil
+}
+
+// Trigger runs a job immediately and synchronously, recording the report.
+func (s *Scheduler) Trigger(name string) (*JobReport, error) {
+	s.mu.Lock()
+	e, ok := s.entries[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("etl: scheduler: no job %q", name)
+	}
+	report := e.job.Run()
+	s.record(name, report)
+	return report, nil
+}
+
+func (s *Scheduler) record(name string, report *JobReport) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := append(s.history[name], report)
+	limit := s.HistoryLimit
+	if limit <= 0 {
+		limit = 32
+	}
+	if len(h) > limit {
+		h = h[len(h)-limit:]
+	}
+	s.history[name] = h
+}
+
+// History returns the retained reports for a job, oldest first.
+func (s *Scheduler) History(name string) []*JobReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*JobReport(nil), s.history[name]...)
+}
+
+// Jobs lists registered job names sorted.
+func (s *Scheduler) Jobs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.entries))
+	for n := range s.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Tick runs every due, unpaused interval job once (synchronously) and
+// reschedules it. It is the scheduler's heartbeat: call it from a ticker
+// goroutine (Start does this) or directly in tests for deterministic
+// time control.
+func (s *Scheduler) Tick() []*JobReport {
+	now := s.clock()
+	s.mu.Lock()
+	var due []*entry
+	for _, e := range s.entries {
+		if e.interval > 0 && !e.paused && !e.running && !e.nextRun.After(now) {
+			e.running = true
+			due = append(due, e)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(due, func(i, j int) bool { return due[i].job.Name < due[j].job.Name })
+	var reports []*JobReport
+	for _, e := range due {
+		report := e.job.Run()
+		s.record(e.job.Name, report)
+		reports = append(reports, report)
+		s.mu.Lock()
+		e.running = false
+		e.nextRun = s.clock().Add(e.interval)
+		s.mu.Unlock()
+	}
+	return reports
+}
+
+// Start launches a background ticker that calls Tick every resolution.
+// The returned stop function halts it.
+func (s *Scheduler) Start(resolution time.Duration) (stop func()) {
+	if resolution <= 0 {
+		resolution = time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(resolution)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				s.Tick()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,203 @@
+package etl
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/odbis/odbis/internal/sql"
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// newDB isolates the sql dependency so sources/sinks share one
+// construction point.
+func newDB(e *storage.Engine) *sql.DB { return sql.NewDB(e) }
+
+// Sink consumes the final record stream of a pipeline.
+type Sink interface {
+	// Write stores the records, returning the number written.
+	Write(recs []Record) (int, error)
+}
+
+// SliceSink collects records in memory (tests, previews).
+type SliceSink struct {
+	Records []Record
+}
+
+// Write implements Sink.
+func (s *SliceSink) Write(recs []Record) (int, error) {
+	for _, r := range recs {
+		s.Records = append(s.Records, r.Clone())
+	}
+	return len(recs), nil
+}
+
+// TableSink loads records into a storage table.
+type TableSink struct {
+	Engine *storage.Engine
+	Table  string
+	// Truncate deletes existing rows first (full reload semantics).
+	Truncate bool
+	// CreateTable creates the table from the first record's shape when it
+	// does not exist. Column types are taken from the first non-NULL
+	// value per field; all columns are nullable with no primary key.
+	CreateTable bool
+	// BatchSize bounds rows per transaction (default 1000).
+	BatchSize int
+}
+
+// Write implements Sink.
+func (s *TableSink) Write(recs []Record) (int, error) {
+	if s.Engine == nil || s.Table == "" {
+		return 0, fmt.Errorf("etl: TableSink needs Engine and Table")
+	}
+	if !s.Engine.HasTable(s.Table) {
+		if !s.CreateTable {
+			return 0, fmt.Errorf("%w: %s", storage.ErrNoTable, s.Table)
+		}
+		if len(recs) == 0 {
+			return 0, fmt.Errorf("etl: cannot infer schema for %s from zero records", s.Table)
+		}
+		schema, err := inferSchema(s.Table, recs)
+		if err != nil {
+			return 0, err
+		}
+		if err := s.Engine.CreateTable(schema); err != nil {
+			return 0, err
+		}
+	}
+	schema, err := s.Engine.Schema(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	if s.Truncate {
+		err := s.Engine.Update(func(tx *storage.Tx) error {
+			var rids []storage.RID
+			tx.Scan(s.Table, func(rid storage.RID, _ storage.Row) bool {
+				rids = append(rids, rid)
+				return true
+			})
+			for _, rid := range rids {
+				if err := tx.DeleteRID(s.Table, rid); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	batch := s.BatchSize
+	if batch <= 0 {
+		batch = 1000
+	}
+	names := schema.ColumnNames()
+	written := 0
+	for start := 0; start < len(recs); start += batch {
+		end := start + batch
+		if end > len(recs) {
+			end = len(recs)
+		}
+		err := s.Engine.Update(func(tx *storage.Tx) error {
+			for _, rec := range recs[start:end] {
+				row := make(storage.Row, len(names))
+				for i, n := range names {
+					row[i] = lookupField(rec, n)
+				}
+				if _, err := tx.Insert(s.Table, row); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return written, fmt.Errorf("etl: load into %s: %w", s.Table, err)
+		}
+		written += end - start
+	}
+	return written, nil
+}
+
+func lookupField(rec Record, name string) storage.Value {
+	if v, ok := rec[name]; ok {
+		return v
+	}
+	for k, v := range rec {
+		if strings.EqualFold(k, name) {
+			return v
+		}
+	}
+	return nil
+}
+
+// inferSchema derives a table schema from record shapes: the union of
+// fields, each typed by its first non-NULL value.
+func inferSchema(table string, recs []Record) (*storage.Schema, error) {
+	types := map[string]storage.Type{}
+	var order []string
+	for _, rec := range recs {
+		for _, f := range rec.Fields() {
+			if _, seen := types[f]; !seen {
+				types[f] = storage.TypeInvalid
+				order = append(order, f)
+			}
+			if types[f] == storage.TypeInvalid && rec[f] != nil {
+				if t, ok := storage.TypeOf(storage.Normalize(rec[f])); ok {
+					types[f] = t
+				}
+			}
+		}
+	}
+	sort.Strings(order)
+	cols := make([]storage.Column, 0, len(order))
+	for _, f := range order {
+		t := types[f]
+		if t == storage.TypeInvalid {
+			t = storage.TypeString // all-NULL field: default to text
+		}
+		cols = append(cols, storage.Column{Name: f, Type: t})
+	}
+	return storage.NewSchema(table, cols)
+}
+
+// CSVSink writes records as CSV with a sorted header union.
+type CSVSink struct {
+	W io.Writer
+}
+
+// Write implements Sink.
+func (s *CSVSink) Write(recs []Record) (int, error) {
+	fields := map[string]bool{}
+	for _, rec := range recs {
+		for f := range rec {
+			fields[f] = true
+		}
+	}
+	header := make([]string, 0, len(fields))
+	for f := range fields {
+		header = append(header, f)
+	}
+	sort.Strings(header)
+	w := csv.NewWriter(s.W)
+	if err := w.Write(header); err != nil {
+		return 0, err
+	}
+	for _, rec := range recs {
+		cells := make([]string, len(header))
+		for i, f := range header {
+			if rec[f] == nil {
+				cells[i] = ""
+			} else {
+				cells[i] = storage.FormatValue(rec[f])
+			}
+		}
+		if err := w.Write(cells); err != nil {
+			return 0, err
+		}
+	}
+	w.Flush()
+	return len(recs), w.Error()
+}

@@ -1,0 +1,264 @@
+// Package mda implements the model-transformation engine of the MDDWS
+// design layer — the stand-in for QVT in the paper's MDA-based DW design
+// framework (§3.2, Fig. 3). Transformations are declarative rule sets
+// mapping elements of a source metamodel to elements of a target
+// metamodel, with full traceability: every produced element is linked to
+// the source element it was derived from, exactly as QVT trace models
+// link viewpoints (CIM→PIM→PSM).
+package mda
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/odbis/odbis/internal/metamodel"
+)
+
+// Rule maps source elements of one class (including subclasses) to target
+// elements.
+type Rule struct {
+	// Name identifies the rule in traces and errors.
+	Name string
+	// From is the source class the rule matches.
+	From string
+	// When optionally guards the rule; nil means always.
+	When func(src *metamodel.Element) bool
+	// To builds target elements for one source element. Use ctx.Create to
+	// instantiate targets (which records trace links) and ctx.Defer for
+	// work that needs other rules' outputs (cross-references).
+	To func(ctx *Context, src *metamodel.Element) error
+}
+
+// Transformation is an ordered rule set between two metamodels.
+type Transformation struct {
+	Name   string
+	Source *metamodel.Metamodel
+	Target *metamodel.Metamodel
+	Rules  []Rule
+}
+
+// TraceLink records that rule Rule derived Targets from Source.
+type TraceLink struct {
+	Rule    string
+	Source  string // source element id
+	Targets []string
+}
+
+// Trace is the QVT-style trace model of one transformation run.
+type Trace struct {
+	Transformation string
+	Links          []TraceLink
+	bySource       map[string][]*metamodel.Element
+}
+
+// TargetsOf returns the target elements derived from the given source
+// element.
+func (t *Trace) TargetsOf(src *metamodel.Element) []*metamodel.Element {
+	return t.bySource[src.ID()]
+}
+
+// String renders the trace as a readable table.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace of %s (%d links)\n", t.Transformation, len(t.Links))
+	for _, l := range t.Links {
+		fmt.Fprintf(&sb, "  %-28s %s -> %s\n", l.Rule, l.Source, strings.Join(l.Targets, ", "))
+	}
+	return sb.String()
+}
+
+// Context is passed to rule bodies.
+type Context struct {
+	// Source and Target are the models being read and built.
+	Source *metamodel.Model
+	Target *metamodel.Model
+
+	trace    *Trace
+	current  *metamodel.Element // source element the running rule matched
+	curRule  string
+	deferred []func() error
+}
+
+// Create instantiates a target-class element and records a trace link
+// from the current source element.
+func (ctx *Context) Create(className string) (*metamodel.Element, error) {
+	e, err := ctx.Target.New(className)
+	if err != nil {
+		return nil, fmt.Errorf("mda: rule %s: %w", ctx.curRule, err)
+	}
+	ctx.recordTrace(e)
+	return e, nil
+}
+
+// MustCreate is Create, panicking on error (for statically-known class
+// names inside rule bodies).
+func (ctx *Context) MustCreate(className string) *metamodel.Element {
+	e, err := ctx.Create(className)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (ctx *Context) recordTrace(target *metamodel.Element) {
+	srcID := ctx.current.ID()
+	ctx.trace.bySource[srcID] = append(ctx.trace.bySource[srcID], target)
+	for i := range ctx.trace.Links {
+		l := &ctx.trace.Links[i]
+		if l.Source == srcID && l.Rule == ctx.curRule {
+			l.Targets = append(l.Targets, target.ID())
+			return
+		}
+	}
+	ctx.trace.Links = append(ctx.trace.Links, TraceLink{
+		Rule:    ctx.curRule,
+		Source:  srcID,
+		Targets: []string{target.ID()},
+	})
+}
+
+// Resolve returns the elements previously derived from src (by any rule),
+// optionally filtered to a class. It is the QVT "resolve" primitive; use
+// it inside Defer callbacks, after all rules have run.
+func (ctx *Context) Resolve(src *metamodel.Element, className string) []*metamodel.Element {
+	targets := ctx.trace.bySource[src.ID()]
+	if className == "" {
+		return targets
+	}
+	var out []*metamodel.Element
+	for _, t := range targets {
+		if t.Class().IsA(className) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ResolveOne returns the single derived element of a class, erroring when
+// absent or ambiguous.
+func (ctx *Context) ResolveOne(src *metamodel.Element, className string) (*metamodel.Element, error) {
+	targets := ctx.Resolve(src, className)
+	switch len(targets) {
+	case 0:
+		return nil, fmt.Errorf("mda: no %s derived from %s", className, src.ID())
+	case 1:
+		return targets[0], nil
+	default:
+		return nil, fmt.Errorf("mda: %d %s elements derived from %s", len(targets), className, src.ID())
+	}
+}
+
+// Defer schedules fn to run after every rule has fired, in registration
+// order. Use it to wire references between elements created by different
+// rules.
+func (ctx *Context) Defer(fn func() error) {
+	ctx.deferred = append(ctx.deferred, fn)
+}
+
+// Run executes the transformation over src, returning the target model
+// and the trace. The source model is validated first and the target model
+// after; rule order follows the declaration order, and within one rule
+// source elements are visited in creation order.
+func (t *Transformation) Run(src *metamodel.Model) (*metamodel.Model, *Trace, error) {
+	if src.Metamodel() != t.Source {
+		return nil, nil, fmt.Errorf("mda: %s expects source metamodel %s, got %s",
+			t.Name, t.Source.Name, src.Metamodel().Name)
+	}
+	if err := src.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("mda: %s: invalid source model: %w", t.Name, err)
+	}
+	target := metamodel.NewModel(t.Target)
+	trace := &Trace{Transformation: t.Name, bySource: make(map[string][]*metamodel.Element)}
+	ctx := &Context{Source: src, Target: target, trace: trace}
+
+	for _, rule := range t.Rules {
+		ctx.curRule = rule.Name
+		for _, e := range src.ElementsOf(rule.From) {
+			if rule.When != nil && !rule.When(e) {
+				continue
+			}
+			ctx.current = e
+			if err := rule.To(ctx, e); err != nil {
+				return nil, nil, fmt.Errorf("mda: %s, rule %s on %s: %w", t.Name, rule.Name, e.ID(), err)
+			}
+		}
+	}
+	for _, fn := range ctx.deferred {
+		if err := fn(); err != nil {
+			return nil, nil, fmt.Errorf("mda: %s (deferred): %w", t.Name, err)
+		}
+	}
+	if err := target.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("mda: %s produced an invalid model: %w", t.Name, err)
+	}
+	return target, trace, nil
+}
+
+// Chain is a sequence of transformations applied end-to-end, e.g.
+// CIM→PIM→PSM. Each stage's output feeds the next stage's input.
+type Chain struct {
+	Name   string
+	Stages []*Transformation
+}
+
+// ChainResult carries every intermediate model and trace of a chain run.
+type ChainResult struct {
+	// Models holds the input model followed by each stage's output.
+	Models []*metamodel.Model
+	// Traces holds one trace per stage.
+	Traces []*Trace
+}
+
+// Final returns the last model of the chain.
+func (r *ChainResult) Final() *metamodel.Model {
+	return r.Models[len(r.Models)-1]
+}
+
+// Run executes every stage in order.
+func (c *Chain) Run(src *metamodel.Model) (*ChainResult, error) {
+	res := &ChainResult{Models: []*metamodel.Model{src}}
+	cur := src
+	for _, stage := range c.Stages {
+		next, trace, err := stage.Run(cur)
+		if err != nil {
+			return nil, fmt.Errorf("mda: chain %s: %w", c.Name, err)
+		}
+		res.Models = append(res.Models, next)
+		res.Traces = append(res.Traces, trace)
+		cur = next
+	}
+	return res, nil
+}
+
+// Lineage walks every stage's trace backwards from a final-model element
+// to the chain's original source elements.
+func (r *ChainResult) Lineage(final *metamodel.Element) []string {
+	// Build reverse maps stage by stage.
+	id := final.ID()
+	lineage := []string{id}
+	for i := len(r.Traces) - 1; i >= 0; i-- {
+		trace := r.Traces[i]
+		found := ""
+		for _, l := range trace.Links {
+			for _, tid := range l.Targets {
+				if tid == id {
+					found = l.Source
+					break
+				}
+			}
+			if found != "" {
+				break
+			}
+		}
+		if found == "" {
+			break
+		}
+		lineage = append(lineage, found)
+		id = found
+	}
+	// Reverse to source-first order.
+	for i, j := 0, len(lineage)-1; i < j; i, j = i+1, j-1 {
+		lineage[i], lineage[j] = lineage[j], lineage[i]
+	}
+	return lineage
+}

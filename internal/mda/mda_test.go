@@ -1,0 +1,230 @@
+package mda
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/odbis/odbis/internal/metamodel"
+)
+
+// Toy metamodels: a "class diagram" source and an "entity" target.
+func toyMetamodels(t *testing.T) (*metamodel.Metamodel, *metamodel.Metamodel) {
+	t.Helper()
+	src := metamodel.New("Src")
+	src.MustDefine(metamodel.ClassSpec{
+		Name: "Box",
+		Attributes: []metamodel.Attribute{
+			{Name: "name", Type: metamodel.AttrString, Required: true},
+			{Name: "big", Type: metamodel.AttrBool},
+		},
+		References: []metamodel.Reference{
+			{Name: "next", Target: "Box"},
+		},
+	})
+	dst := metamodel.New("Dst")
+	dst.MustDefine(metamodel.ClassSpec{
+		Name: "Entity",
+		Attributes: []metamodel.Attribute{
+			{Name: "name", Type: metamodel.AttrString, Required: true},
+		},
+		References: []metamodel.Reference{
+			{Name: "follows", Target: "Entity"},
+		},
+	})
+	return src, dst
+}
+
+func boxToEntity(src, dst *metamodel.Metamodel) *Transformation {
+	return &Transformation{
+		Name:   "box2entity",
+		Source: src,
+		Target: dst,
+		Rules: []Rule{
+			{
+				Name: "BoxToEntity",
+				From: "Box",
+				To: func(ctx *Context, b *metamodel.Element) error {
+					e := ctx.MustCreate("Entity")
+					if err := e.Set("name", "e_"+b.Name()); err != nil {
+						return err
+					}
+					// Wire the "next" reference after all entities exist.
+					ctx.Defer(func() error {
+						nb := b.Ref("next")
+						if nb == nil {
+							return nil
+						}
+						target, err := ctx.ResolveOne(nb, "Entity")
+						if err != nil {
+							return err
+						}
+						return e.Add("follows", target)
+					})
+					return nil
+				},
+			},
+		},
+	}
+}
+
+func TestTransformationRun(t *testing.T) {
+	srcMM, dstMM := toyMetamodels(t)
+	m := metamodel.NewModel(srcMM)
+	a := m.MustNew("Box").MustSet("name", "a")
+	b := m.MustNew("Box").MustSet("name", "b")
+	a.MustAdd("next", b)
+
+	tr := boxToEntity(srcMM, dstMM)
+	out, trace, err := tr.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("target len = %d", out.Len())
+	}
+	ea, ok := out.FindByName("Entity", "e_a")
+	if !ok {
+		t.Fatal("e_a missing")
+	}
+	if ea.Ref("follows") == nil || ea.Ref("follows").Name() != "e_b" {
+		t.Error("deferred reference not wired")
+	}
+	// Trace must link a → e_a.
+	targets := trace.TargetsOf(a)
+	if len(targets) != 1 || targets[0].Name() != "e_a" {
+		t.Errorf("trace targets of a = %v", targets)
+	}
+	if !strings.Contains(trace.String(), "BoxToEntity") {
+		t.Error("trace string lacks rule name")
+	}
+}
+
+func TestRuleGuard(t *testing.T) {
+	srcMM, dstMM := toyMetamodels(t)
+	m := metamodel.NewModel(srcMM)
+	m.MustNew("Box").MustSet("name", "small").MustSet("big", false)
+	m.MustNew("Box").MustSet("name", "large").MustSet("big", true)
+	tr := &Transformation{
+		Name: "bigOnly", Source: srcMM, Target: dstMM,
+		Rules: []Rule{{
+			Name: "big", From: "Box",
+			When: func(b *metamodel.Element) bool { return b.Bool("big") },
+			To: func(ctx *Context, b *metamodel.Element) error {
+				return ctx.MustCreate("Entity").Set("name", b.Name())
+			},
+		}},
+	}
+	out, _, err := tr.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("guard ignored: len = %d", out.Len())
+	}
+	if _, ok := out.FindByName("Entity", "large"); !ok {
+		t.Error("wrong element selected")
+	}
+}
+
+func TestRunRejectsWrongMetamodel(t *testing.T) {
+	srcMM, dstMM := toyMetamodels(t)
+	tr := boxToEntity(srcMM, dstMM)
+	wrong := metamodel.NewModel(dstMM)
+	if _, _, err := tr.Run(wrong); err == nil {
+		t.Error("wrong source metamodel accepted")
+	}
+}
+
+func TestRunRejectsInvalidSource(t *testing.T) {
+	srcMM, dstMM := toyMetamodels(t)
+	m := metamodel.NewModel(srcMM)
+	m.MustNew("Box") // name missing
+	tr := boxToEntity(srcMM, dstMM)
+	if _, _, err := tr.Run(m); err == nil {
+		t.Error("invalid source model accepted")
+	}
+}
+
+func TestRunRejectsInvalidTarget(t *testing.T) {
+	srcMM, dstMM := toyMetamodels(t)
+	m := metamodel.NewModel(srcMM)
+	m.MustNew("Box").MustSet("name", "x")
+	tr := &Transformation{
+		Name: "broken", Source: srcMM, Target: dstMM,
+		Rules: []Rule{{
+			Name: "r", From: "Box",
+			To: func(ctx *Context, b *metamodel.Element) error {
+				_, err := ctx.Create("Entity") // required name never set
+				return err
+			},
+		}},
+	}
+	if _, _, err := tr.Run(m); err == nil {
+		t.Error("invalid target model accepted")
+	}
+}
+
+func TestResolveOneErrors(t *testing.T) {
+	srcMM, dstMM := toyMetamodels(t)
+	m := metamodel.NewModel(srcMM)
+	m.MustNew("Box").MustSet("name", "x")
+	tr := &Transformation{
+		Name: "multi", Source: srcMM, Target: dstMM,
+		Rules: []Rule{{
+			Name: "r", From: "Box",
+			To: func(ctx *Context, b *metamodel.Element) error {
+				ctx.MustCreate("Entity").MustSet("name", "one")
+				ctx.MustCreate("Entity").MustSet("name", "two")
+				ctx.Defer(func() error {
+					_, err := ctx.ResolveOne(b, "Entity")
+					if err == nil {
+						t.Error("ResolveOne on ambiguous derivation should fail")
+					}
+					return nil
+				})
+				return nil
+			},
+		}},
+	}
+	if _, _, err := tr.Run(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainAndLineage(t *testing.T) {
+	srcMM, midMM := toyMetamodels(t)
+	// Third metamodel for the second hop.
+	finMM := metamodel.New("Fin")
+	finMM.MustDefine(metamodel.ClassSpec{
+		Name:       "Rec",
+		Attributes: []metamodel.Attribute{{Name: "name", Type: metamodel.AttrString, Required: true}},
+	})
+	hop1 := boxToEntity(srcMM, midMM)
+	hop2 := &Transformation{
+		Name: "entity2rec", Source: midMM, Target: finMM,
+		Rules: []Rule{{
+			Name: "r", From: "Entity",
+			To: func(ctx *Context, e *metamodel.Element) error {
+				return ctx.MustCreate("Rec").Set("name", "r_"+e.Name())
+			},
+		}},
+	}
+	m := metamodel.NewModel(srcMM)
+	box := m.MustNew("Box").MustSet("name", "a")
+	chain := &Chain{Name: "c", Stages: []*Transformation{hop1, hop2}}
+	res, err := chain.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 3 || len(res.Traces) != 2 {
+		t.Fatalf("chain result shape: %d models, %d traces", len(res.Models), len(res.Traces))
+	}
+	rec, ok := res.Final().FindByName("Rec", "r_e_a")
+	if !ok {
+		t.Fatal("final element missing")
+	}
+	lin := res.Lineage(rec)
+	if len(lin) != 3 || lin[0] != box.ID() || lin[2] != rec.ID() {
+		t.Errorf("lineage = %v", lin)
+	}
+}

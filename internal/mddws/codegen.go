@@ -1,0 +1,205 @@
+package mddws
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/odbis/odbis/internal/metamodel"
+	"github.com/odbis/odbis/internal/metamodel/cwm"
+	"github.com/odbis/odbis/internal/olap"
+)
+
+// Artifacts is the executable output of a full MDDWS build: the MDA
+// result is "a semi-complete system code" (paper §3.2) — here the DDL,
+// cube specifications and ETL plan that the deployment layer executes.
+type Artifacts struct {
+	// DDL holds CREATE TABLE statements, dimensions before facts.
+	DDL []string
+	// Cubes holds one cube specification per fact, ready for olap.Build.
+	Cubes []olap.CubeSpec
+	// LoadPlans describe the generated ETL activities (one per cube).
+	LoadPlans []LoadPlan
+}
+
+// LoadPlan is the generated ETL activity for one fact table.
+type LoadPlan struct {
+	Activity  string
+	FactTable string
+	// Steps in execution order, as "operation:name".
+	Steps []string
+	// StagingLocation is where the activity expects its input.
+	StagingLocation string
+}
+
+// GenerateDDL renders CREATE TABLE statements from a CWM Relational
+// model, dimension tables first so foreign keys always have a target.
+func GenerateDDL(psm *metamodel.Model) ([]string, error) {
+	if psm.Metamodel() != cwm.Relational {
+		return nil, fmt.Errorf("mddws: GenerateDDL expects a %s model", cwm.RelationalName)
+	}
+	tables := psm.ElementsOf("Table")
+	sort.SliceStable(tables, func(i, j int) bool {
+		ri, rj := tables[i].Str("role"), tables[j].Str("role")
+		if ri != rj {
+			return ri == "dimension"
+		}
+		return tables[i].Name() < tables[j].Name()
+	})
+	var out []string
+	for _, t := range tables {
+		var cols []string
+		pkCols := map[string]bool{}
+		if pk := t.Ref("primaryKey"); pk != nil {
+			for _, c := range pk.Refs("columns") {
+				pkCols[c.Name()] = true
+			}
+		}
+		for _, c := range t.Refs("columns") {
+			line := fmt.Sprintf("  %s %s", c.Name(), c.Str("type"))
+			if pkCols[c.Name()] {
+				line += " PRIMARY KEY"
+			}
+			cols = append(cols, line)
+		}
+		out = append(out, fmt.Sprintf("CREATE TABLE %s (\n%s\n)", t.Name(), strings.Join(cols, ",\n")))
+	}
+	return out, nil
+}
+
+// GenerateCubeSpecs derives olap.CubeSpec values from a CWM OLAP model.
+func GenerateCubeSpecs(pim *metamodel.Model) ([]olap.CubeSpec, error) {
+	if pim.Metamodel() != cwm.OLAP {
+		return nil, fmt.Errorf("mddws: GenerateCubeSpecs expects a %s model", cwm.OLAPName)
+	}
+	var specs []olap.CubeSpec
+	for _, cube := range pim.ElementsOf("Cube") {
+		spec := olap.CubeSpec{
+			Name:      cube.Name(),
+			FactTable: cube.Str("factTable"),
+		}
+		for _, m := range cube.Refs("measures") {
+			agg, err := olap.ParseAgg(m.Str("aggregation"))
+			if err != nil {
+				return nil, err
+			}
+			ms := olap.MeasureSpec{Name: m.Name(), Agg: agg}
+			if agg != olap.AggCount {
+				ms.Column = m.Str("column")
+			}
+			spec.Measures = append(spec.Measures, ms)
+		}
+		for _, assoc := range cube.Refs("dimensionAssociations") {
+			dim := assoc.Ref("dimension")
+			ds := olap.DimensionSpec{
+				Name:   dim.Name(),
+				Table:  dim.Str("table"),
+				Key:    dim.Str("keyColumn"),
+				FactFK: assoc.Str("foreignKeyColumn"),
+			}
+			for _, h := range dim.Refs("hierarchies") {
+				for _, l := range h.Refs("levels") {
+					ds.Levels = append(ds.Levels, olap.LevelSpec{
+						Name:   l.Name(),
+						Column: l.Str("column"),
+					})
+				}
+			}
+			spec.Dimensions = append(spec.Dimensions, ds)
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// GenerateLoadPlans summarizes the generated ETL activities of a CWM
+// Transformation model.
+func GenerateLoadPlans(etlModel *metamodel.Model) ([]LoadPlan, error) {
+	if etlModel.Metamodel() != cwm.Transformation {
+		return nil, fmt.Errorf("mddws: GenerateLoadPlans expects a %s model", cwm.TransformationName)
+	}
+	var plans []LoadPlan
+	for _, act := range etlModel.ElementsOf("TransformationActivity") {
+		plan := LoadPlan{Activity: act.Name()}
+		// Find the extract step and walk the precedence chain.
+		var start *metamodel.Element
+		preceded := map[string]bool{}
+		for _, s := range act.Refs("steps") {
+			for _, nxt := range s.Refs("precedes") {
+				preceded[nxt.ID()] = true
+			}
+		}
+		for _, s := range act.Refs("steps") {
+			if !preceded[s.ID()] {
+				start = s
+				break
+			}
+		}
+		for cur := start; cur != nil; {
+			plan.Steps = append(plan.Steps, cur.Str("operation")+":"+cur.Name())
+			if src := cur.Ref("source"); src != nil && plan.StagingLocation == "" {
+				plan.StagingLocation = src.Str("location")
+			}
+			if dst := cur.Ref("target"); dst != nil {
+				plan.FactTable = dst.Str("location")
+			}
+			nexts := cur.Refs("precedes")
+			if len(nexts) == 0 {
+				break
+			}
+			cur = nexts[0]
+		}
+		plans = append(plans, plan)
+	}
+	return plans, nil
+}
+
+// BuildResult is the full output of a model-driven build.
+type BuildResult struct {
+	// CIM, PIM, PSM and ETL are the models of each viewpoint.
+	CIM *metamodel.Model
+	PIM *metamodel.Model
+	PSM *metamodel.Model
+	ETL *metamodel.Model
+	// Artifacts are the generated executables.
+	Artifacts Artifacts
+	// Traces index target elements back to their sources, per stage.
+	Traces []string
+}
+
+// BuildFromConceptual runs the complete design pipeline: CIM → PIM
+// (OLAP) → PSM (Relational) + ETL model → artifacts.
+func BuildFromConceptual(cim *metamodel.Model) (*BuildResult, error) {
+	pim, trace1, err := CIMToPIM().Run(cim)
+	if err != nil {
+		return nil, err
+	}
+	psm, trace2, err := PIMToPSM().Run(pim)
+	if err != nil {
+		return nil, err
+	}
+	etlModel, trace3, err := PIMToETL().Run(pim)
+	if err != nil {
+		return nil, err
+	}
+	ddl, err := GenerateDDL(psm)
+	if err != nil {
+		return nil, err
+	}
+	cubes, err := GenerateCubeSpecs(pim)
+	if err != nil {
+		return nil, err
+	}
+	plans, err := GenerateLoadPlans(etlModel)
+	if err != nil {
+		return nil, err
+	}
+	return &BuildResult{
+		CIM: cim, PIM: pim, PSM: psm, ETL: etlModel,
+		Artifacts: Artifacts{DDL: ddl, Cubes: cubes, LoadPlans: plans},
+		Traces:    []string{trace1.String(), trace2.String(), trace3.String()},
+	}, nil
+}

@@ -1,0 +1,357 @@
+// Package process implements the 2TUP-based DW engineering process of
+// MDDWS (paper §3.2, Fig. 3): a Y-shaped process whose functional and
+// technical tracks run in parallel from the preliminary study and join
+// into an iterated realization track that develops the components of one
+// data-warehousing layer.
+//
+// The engine enforces the discipline ordering the figure shows:
+//
+//	preliminary study
+//	  ├─ functional track: functional capture → analysis
+//	  └─ technical track:  technical capture → generic design
+//	realization (after both tracks, once per component, in order):
+//	  preliminary design → detailed design → coding → testing → deployment
+//
+// A Run tracks one layer's construction; a multi-layer project runs one
+// Run per layer (the paper's "the MDA process is repeated for the
+// construction of each DW layer").
+package process
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Discipline is one 2TUP activity.
+type Discipline string
+
+// The disciplines of the Y model.
+const (
+	PreliminaryStudy  Discipline = "preliminary-study"
+	FunctionalCapture Discipline = "functional-capture"
+	Analysis          Discipline = "analysis"
+	TechnicalCapture  Discipline = "technical-capture"
+	GenericDesign     Discipline = "generic-design"
+	PreliminaryDesign Discipline = "preliminary-design"
+	DetailedDesign    Discipline = "detailed-design"
+	Coding            Discipline = "coding"
+	Testing           Discipline = "testing"
+	Deployment        Discipline = "deployment"
+)
+
+// Track groups disciplines.
+type Track string
+
+// Tracks of the Y model.
+const (
+	TrackRoot        Track = "root"
+	TrackFunctional  Track = "functional"
+	TrackTechnical   Track = "technical"
+	TrackRealization Track = "realization"
+)
+
+// functionalOrder and technicalOrder run after PreliminaryStudy;
+// realizationOrder runs once per component after both tracks complete.
+var (
+	functionalOrder  = []Discipline{FunctionalCapture, Analysis}
+	technicalOrder   = []Discipline{TechnicalCapture, GenericDesign}
+	realizationOrder = []Discipline{PreliminaryDesign, DetailedDesign, Coding, Testing, Deployment}
+)
+
+// TrackOf reports the track a discipline belongs to.
+func TrackOf(d Discipline) (Track, bool) {
+	if d == PreliminaryStudy {
+		return TrackRoot, true
+	}
+	for _, x := range functionalOrder {
+		if x == d {
+			return TrackFunctional, true
+		}
+	}
+	for _, x := range technicalOrder {
+		if x == d {
+			return TrackTechnical, true
+		}
+	}
+	for _, x := range realizationOrder {
+		if x == d {
+			return TrackRealization, true
+		}
+	}
+	return "", false
+}
+
+// Errors returned by the run.
+var (
+	ErrUnknownDiscipline = errors.New("process: unknown discipline")
+	ErrOutOfOrder        = errors.New("process: discipline not ready")
+	ErrAlreadyDone       = errors.New("process: already completed")
+	ErrUnknownComponent  = errors.New("process: unknown component")
+	ErrNeedComponent     = errors.New("process: realization disciplines need a component")
+)
+
+// Event records one completion for the audit trail.
+type Event struct {
+	At         time.Time
+	Discipline Discipline
+	Component  string // empty for track-level disciplines
+	Note       string
+}
+
+// Run is the construction of one DW layer: the two tracks plus one
+// realization iteration per component.
+type Run struct {
+	Layer      string
+	Components []string
+
+	done   map[string]bool // key: discipline[/component]
+	events []Event
+	now    func() time.Time
+}
+
+// NewRun starts the process for one layer. Components are realized in
+// the given order (one 2TUP iteration each).
+func NewRun(layer string, components []string) (*Run, error) {
+	if layer == "" {
+		return nil, fmt.Errorf("process: run needs a layer name")
+	}
+	if len(components) == 0 {
+		return nil, fmt.Errorf("process: layer %s needs at least one component", layer)
+	}
+	seen := map[string]bool{}
+	for _, c := range components {
+		if c == "" || seen[c] {
+			return nil, fmt.Errorf("process: layer %s: empty or duplicate component", layer)
+		}
+		seen[c] = true
+	}
+	return &Run{
+		Layer:      layer,
+		Components: append([]string(nil), components...),
+		done:       make(map[string]bool),
+		now:        time.Now,
+	}, nil
+}
+
+func key(d Discipline, component string) string {
+	if component == "" {
+		return string(d)
+	}
+	return string(d) + "/" + component
+}
+
+func (r *Run) isDone(d Discipline, component string) bool {
+	return r.done[key(d, component)]
+}
+
+func (r *Run) hasComponent(c string) bool {
+	for _, x := range r.Components {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// trackDone reports whether every discipline of an ordered track list is
+// complete.
+func (r *Run) trackDone(order []Discipline) bool {
+	for _, d := range order {
+		if !r.isDone(d, "") {
+			return false
+		}
+	}
+	return true
+}
+
+// componentDone reports whether a component's realization iteration is
+// complete.
+func (r *Run) componentDone(c string) bool {
+	for _, d := range realizationOrder {
+		if !r.isDone(d, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Ready reports whether a discipline may be completed now (for the given
+// component when it is a realization discipline).
+func (r *Run) Ready(d Discipline, component string) (bool, error) {
+	track, ok := TrackOf(d)
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrUnknownDiscipline, d)
+	}
+	switch track {
+	case TrackRoot:
+		return !r.isDone(d, ""), nil
+	case TrackFunctional, TrackTechnical:
+		if component != "" {
+			return false, fmt.Errorf("process: %s is track-level, not per-component", d)
+		}
+		if !r.isDone(PreliminaryStudy, "") {
+			return false, nil
+		}
+		order := functionalOrder
+		if track == TrackTechnical {
+			order = technicalOrder
+		}
+		for _, prev := range order {
+			if prev == d {
+				break
+			}
+			if !r.isDone(prev, "") {
+				return false, nil
+			}
+		}
+		return !r.isDone(d, ""), nil
+	case TrackRealization:
+		if component == "" {
+			return false, ErrNeedComponent
+		}
+		if !r.hasComponent(component) {
+			return false, fmt.Errorf("%w: %s", ErrUnknownComponent, component)
+		}
+		// The Y joins: both tracks must be complete.
+		if !r.trackDone(functionalOrder) || !r.trackDone(technicalOrder) {
+			return false, nil
+		}
+		// Iterations are sequential: earlier components finish first.
+		for _, c := range r.Components {
+			if c == component {
+				break
+			}
+			if !r.componentDone(c) {
+				return false, nil
+			}
+		}
+		for _, prev := range realizationOrder {
+			if prev == d {
+				break
+			}
+			if !r.isDone(prev, component) {
+				return false, nil
+			}
+		}
+		return !r.isDone(d, component), nil
+	}
+	return false, fmt.Errorf("%w: %s", ErrUnknownDiscipline, d)
+}
+
+// Complete marks a discipline done (with a component for realization
+// disciplines), enforcing the Y-model ordering.
+func (r *Run) Complete(d Discipline, component, note string) error {
+	ready, err := r.Ready(d, component)
+	if err != nil {
+		return err
+	}
+	if !ready {
+		if r.isDone(d, component) {
+			return fmt.Errorf("%w: %s", ErrAlreadyDone, key(d, component))
+		}
+		return fmt.Errorf("%w: %s", ErrOutOfOrder, key(d, component))
+	}
+	r.done[key(d, component)] = true
+	r.events = append(r.events, Event{At: r.now(), Discipline: d, Component: component, Note: note})
+	return nil
+}
+
+// Done reports whether the whole layer is built.
+func (r *Run) Done() bool {
+	if !r.isDone(PreliminaryStudy, "") || !r.trackDone(functionalOrder) || !r.trackDone(technicalOrder) {
+		return false
+	}
+	for _, c := range r.Components {
+		if !r.componentDone(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Events returns the completion history.
+func (r *Run) Events() []Event { return append([]Event(nil), r.events...) }
+
+// NextSteps lists the disciplines currently ready, as "discipline" or
+// "discipline/component" keys, sorted.
+func (r *Run) NextSteps() []string {
+	var out []string
+	tryTrack := func(d Discipline) {
+		if ok, err := r.Ready(d, ""); err == nil && ok {
+			out = append(out, string(d))
+		}
+	}
+	tryTrack(PreliminaryStudy)
+	for _, d := range functionalOrder {
+		tryTrack(d)
+	}
+	for _, d := range technicalOrder {
+		tryTrack(d)
+	}
+	for _, c := range r.Components {
+		for _, d := range realizationOrder {
+			if ok, err := r.Ready(d, c); err == nil && ok {
+				out = append(out, key(d, c))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Progress reports completed/total step counts.
+func (r *Run) Progress() (completed, total int) {
+	total = 1 + len(functionalOrder) + len(technicalOrder) + len(realizationOrder)*len(r.Components)
+	return len(r.done), total
+}
+
+// Status renders a human-readable summary.
+func (r *Run) Status() string {
+	var sb strings.Builder
+	done, total := r.Progress()
+	fmt.Fprintf(&sb, "layer %s: %d/%d steps", r.Layer, done, total)
+	if r.Done() {
+		sb.WriteString(" (complete)")
+	} else if next := r.NextSteps(); len(next) > 0 {
+		fmt.Fprintf(&sb, "; next: %s", strings.Join(next, ", "))
+	}
+	return sb.String()
+}
+
+// RunAll drives the whole process to completion in canonical order,
+// invoking visit (when non-nil) at each step. It is the programmatic
+// path MDDWS uses when executing a full model-driven build.
+func (r *Run) RunAll(visit func(d Discipline, component string) error) error {
+	step := func(d Discipline, c string) error {
+		if visit != nil {
+			if err := visit(d, c); err != nil {
+				return fmt.Errorf("process: %s: %w", key(d, c), err)
+			}
+		}
+		return r.Complete(d, c, "auto")
+	}
+	if err := step(PreliminaryStudy, ""); err != nil {
+		return err
+	}
+	for _, d := range functionalOrder {
+		if err := step(d, ""); err != nil {
+			return err
+		}
+	}
+	for _, d := range technicalOrder {
+		if err := step(d, ""); err != nil {
+			return err
+		}
+	}
+	for _, c := range r.Components {
+		for _, d := range realizationOrder {
+			if err := step(d, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package process
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func newRun(t *testing.T) *Run {
+	t.Helper()
+	r, err := NewRun("dw", []string{"sales", "inventory"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRunValidation(t *testing.T) {
+	if _, err := NewRun("", []string{"c"}); err == nil {
+		t.Error("empty layer accepted")
+	}
+	if _, err := NewRun("l", nil); err == nil {
+		t.Error("no components accepted")
+	}
+	if _, err := NewRun("l", []string{"a", "a"}); err == nil {
+		t.Error("duplicate component accepted")
+	}
+	if _, err := NewRun("l", []string{""}); err == nil {
+		t.Error("empty component accepted")
+	}
+}
+
+func TestYModelOrdering(t *testing.T) {
+	r := newRun(t)
+	// Tracks cannot start before the preliminary study.
+	if err := r.Complete(FunctionalCapture, "", ""); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("functional before preliminary: %v", err)
+	}
+	if err := r.Complete(PreliminaryStudy, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Within a track the order is enforced.
+	if err := r.Complete(Analysis, "", ""); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("analysis before capture: %v", err)
+	}
+	// Both tracks can proceed in parallel.
+	if err := r.Complete(FunctionalCapture, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Complete(TechnicalCapture, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Realization is blocked until both tracks complete.
+	if err := r.Complete(PreliminaryDesign, "sales", ""); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("realization before join: %v", err)
+	}
+	if err := r.Complete(Analysis, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Complete(GenericDesign, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Now the first component's realization can start.
+	if err := r.Complete(PreliminaryDesign, "sales", ""); err != nil {
+		t.Fatal(err)
+	}
+	// But not the second component's (iterations are sequential).
+	if err := r.Complete(PreliminaryDesign, "inventory", ""); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("second iteration early: %v", err)
+	}
+	// Realization disciplines are ordered too.
+	if err := r.Complete(Coding, "sales", ""); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("coding before detailed design: %v", err)
+	}
+}
+
+func TestRealizationRequiresComponent(t *testing.T) {
+	r := newRun(t)
+	if err := r.Complete(Coding, "", ""); !errors.Is(err, ErrNeedComponent) {
+		t.Errorf("coding without component: %v", err)
+	}
+	if _, err := r.Ready(Coding, "ghost"); !errors.Is(err, ErrUnknownComponent) {
+		t.Errorf("unknown component: %v", err)
+	}
+	if _, err := r.Ready("made-up", ""); !errors.Is(err, ErrUnknownDiscipline) {
+		t.Errorf("unknown discipline: %v", err)
+	}
+	if err := r.Complete(FunctionalCapture, "sales", ""); err == nil {
+		t.Error("track discipline with component accepted")
+	}
+}
+
+func TestDoubleCompleteRejected(t *testing.T) {
+	r := newRun(t)
+	r.Complete(PreliminaryStudy, "", "")
+	if err := r.Complete(PreliminaryStudy, "", ""); !errors.Is(err, ErrAlreadyDone) {
+		t.Errorf("double complete: %v", err)
+	}
+}
+
+func TestRunAllCompletes(t *testing.T) {
+	r := newRun(t)
+	var visited []string
+	err := r.RunAll(func(d Discipline, c string) error {
+		visited = append(visited, string(d)+"/"+c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Done() {
+		t.Error("run not done after RunAll")
+	}
+	done, total := r.Progress()
+	if done != total {
+		t.Errorf("progress = %d/%d", done, total)
+	}
+	// 1 + 2 + 2 + 5*2 = 15 steps.
+	if total != 15 || len(visited) != 15 {
+		t.Errorf("total=%d visited=%d", total, len(visited))
+	}
+	if len(r.Events()) != 15 {
+		t.Errorf("events = %d", len(r.Events()))
+	}
+	if !strings.Contains(r.Status(), "complete") {
+		t.Errorf("status = %q", r.Status())
+	}
+}
+
+func TestRunAllStopsOnVisitorError(t *testing.T) {
+	r := newRun(t)
+	calls := 0
+	err := r.RunAll(func(d Discipline, c string) error {
+		calls++
+		if calls == 3 {
+			return errors.New("review failed")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("visitor error swallowed")
+	}
+	if r.Done() {
+		t.Error("run marked done despite failure")
+	}
+	done, _ := r.Progress()
+	if done != 2 {
+		t.Errorf("completed = %d, want 2", done)
+	}
+}
+
+func TestNextSteps(t *testing.T) {
+	r := newRun(t)
+	next := r.NextSteps()
+	if len(next) != 1 || next[0] != string(PreliminaryStudy) {
+		t.Errorf("initial next = %v", next)
+	}
+	r.Complete(PreliminaryStudy, "", "")
+	next = r.NextSteps()
+	// Both track heads are now ready.
+	if len(next) != 2 {
+		t.Errorf("after preliminary: %v", next)
+	}
+	// Drive to the join.
+	r.Complete(FunctionalCapture, "", "")
+	r.Complete(Analysis, "", "")
+	r.Complete(TechnicalCapture, "", "")
+	r.Complete(GenericDesign, "", "")
+	next = r.NextSteps()
+	if len(next) != 1 || next[0] != "preliminary-design/sales" {
+		t.Errorf("after join: %v", next)
+	}
+}
+
+func TestTrackOf(t *testing.T) {
+	cases := map[Discipline]Track{
+		PreliminaryStudy:  TrackRoot,
+		FunctionalCapture: TrackFunctional,
+		Analysis:          TrackFunctional,
+		TechnicalCapture:  TrackTechnical,
+		GenericDesign:     TrackTechnical,
+		Coding:            TrackRealization,
+		Deployment:        TrackRealization,
+	}
+	for d, want := range cases {
+		got, ok := TrackOf(d)
+		if !ok || got != want {
+			t.Errorf("TrackOf(%s) = %v, %v", d, got, ok)
+		}
+	}
+	if _, ok := TrackOf("nonsense"); ok {
+		t.Error("unknown discipline has a track")
+	}
+}

@@ -1,0 +1,464 @@
+// Package mddws is the Model-Driven Data Warehouse Service of ODBIS
+// (paper §3.2, Fig. 2): the web-based environment that designs DW models
+// with the MDA framework and manages DW projects with the 2TUP process.
+//
+// The design layer is realized as an mda.Chain over the CWM metamodels:
+//
+//	CIM  (cwm.Conceptual)  — business facts/dimensions/measures
+//	PIM  (cwm.OLAP)        — platform-independent multidimensional model
+//	PSM  (cwm.Relational)  — star-schema tables for the storage engine
+//	     (cwm.Transformation) — the ETL activity feeding the star schema
+//
+// Code generation (codegen.go) turns the PSMs into executable artifacts:
+// DDL statements, an olap.CubeSpec, and an ETL load plan.
+package mddws
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"github.com/odbis/odbis/internal/mda"
+	"github.com/odbis/odbis/internal/metamodel"
+	"github.com/odbis/odbis/internal/metamodel/cwm"
+)
+
+// SnakeName converts a business name to a safe identifier: "Ward Type" →
+// "ward_type".
+func SnakeName(name string) string {
+	var sb strings.Builder
+	prevUnderscore := false
+	for _, r := range name {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			sb.WriteRune(unicode.ToLower(r))
+			prevUnderscore = false
+		default:
+			if !prevUnderscore && sb.Len() > 0 {
+				sb.WriteByte('_')
+				prevUnderscore = true
+			}
+		}
+	}
+	return strings.TrimSuffix(sb.String(), "_")
+}
+
+// DimTableName names the dimension table of a dimension concept.
+func DimTableName(dim string) string { return "dim_" + SnakeName(dim) }
+
+// FactTableName names the fact table of a fact concept.
+func FactTableName(fact string) string { return "fact_" + SnakeName(fact) }
+
+// FKColumnName names the fact-table foreign key for a dimension.
+func FKColumnName(dim string) string { return SnakeName(dim) + "_id" }
+
+// CIMToPIM maps the conceptual model onto the CWM OLAP metamodel.
+func CIMToPIM() *mda.Transformation {
+	return &mda.Transformation{
+		Name:   "cim2pim",
+		Source: cwm.Conceptual,
+		Target: cwm.OLAP,
+		Rules: []mda.Rule{
+			{
+				Name: "Dimension",
+				From: "DimensionConcept",
+				To: func(ctx *mda.Context, dc *metamodel.Element) error {
+					d := ctx.MustCreate("Dimension")
+					if err := multiSet(d,
+						"name", dc.Name(),
+						"table", DimTableName(dc.Name()),
+						"keyColumn", "id"); err != nil {
+						return err
+					}
+					if err := d.Set("temporal", dc.Bool("temporal")); err != nil {
+						return err
+					}
+					h := ctx.MustCreate("Hierarchy")
+					if err := h.Set("name", dc.Name()+" hierarchy"); err != nil {
+						return err
+					}
+					for _, lc := range dc.Refs("levels") {
+						l := ctx.MustCreate("Level")
+						if err := multiSet(l,
+							"name", lc.Name(),
+							"column", SnakeName(lc.Name())); err != nil {
+							return err
+						}
+						for _, ac := range lc.Refs("attributes") {
+							la := ctx.MustCreate("LevelAttribute")
+							if err := multiSet(la,
+								"name", ac.Name(),
+								"column", SnakeName(ac.Name()),
+								"datatype", ac.Str("datatype")); err != nil {
+								return err
+							}
+							if err := l.Add("attributes", la); err != nil {
+								return err
+							}
+						}
+						if err := h.Add("levels", l); err != nil {
+							return err
+						}
+					}
+					return d.Add("hierarchies", h)
+				},
+			},
+			{
+				Name: "Cube",
+				From: "FactConcept",
+				To: func(ctx *mda.Context, fc *metamodel.Element) error {
+					cube := ctx.MustCreate("Cube")
+					if err := multiSet(cube,
+						"name", fc.Name(),
+						"factTable", FactTableName(fc.Name())); err != nil {
+						return err
+					}
+					for _, mc := range fc.Refs("measures") {
+						m := ctx.MustCreate("Measure")
+						if err := multiSet(m,
+							"name", mc.Name(),
+							"column", SnakeName(mc.Name()),
+							"aggregation", mc.Str("aggregation")); err != nil {
+							return err
+						}
+						if err := cube.Add("measures", m); err != nil {
+							return err
+						}
+					}
+					for _, dc := range fc.Refs("dimensions") {
+						dc := dc
+						assoc := ctx.MustCreate("CubeDimensionAssociation")
+						if err := multiSet(assoc,
+							"name", fc.Name()+"-"+dc.Name(),
+							"foreignKeyColumn", FKColumnName(dc.Name())); err != nil {
+							return err
+						}
+						ctx.Defer(func() error {
+							dim, err := ctx.ResolveOne(dc, "Dimension")
+							if err != nil {
+								return err
+							}
+							return assoc.Add("dimension", dim)
+						})
+						if err := cube.Add("dimensionAssociations", assoc); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+			},
+			{
+				Name: "Schema",
+				From: "ConceptualSchema",
+				To: func(ctx *mda.Context, cs *metamodel.Element) error {
+					schema := ctx.MustCreate("Schema")
+					if err := schema.Set("name", cs.Name()); err != nil {
+						return err
+					}
+					ctx.Defer(func() error {
+						for _, fc := range cs.Refs("facts") {
+							cube, err := ctx.ResolveOne(fc, "Cube")
+							if err != nil {
+								return err
+							}
+							if err := schema.Add("cubes", cube); err != nil {
+								return err
+							}
+						}
+						for _, dc := range cs.Refs("dimensions") {
+							dim, err := ctx.ResolveOne(dc, "Dimension")
+							if err != nil {
+								return err
+							}
+							if err := schema.Add("dimensions", dim); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+					return nil
+				},
+			},
+		},
+	}
+}
+
+// attrColumnType maps a conceptual datatype to a relational column type
+// name; OLAP levels default to TEXT.
+func attrColumnType(datatype string) string {
+	switch datatype {
+	case "number":
+		return "FLOAT"
+	case "date":
+		return "TIMESTAMP"
+	case "flag":
+		return "BOOL"
+	default:
+		return "TEXT"
+	}
+}
+
+// PIMToPSM maps the OLAP model onto the CWM Relational metamodel as a
+// star schema.
+func PIMToPSM() *mda.Transformation {
+	return &mda.Transformation{
+		Name:   "pim2psm",
+		Source: cwm.OLAP,
+		Target: cwm.Relational,
+		Rules: []mda.Rule{
+			{
+				Name: "DimensionTable",
+				From: "Dimension",
+				To: func(ctx *mda.Context, dim *metamodel.Element) error {
+					t := ctx.MustCreate("Table")
+					if err := multiSet(t,
+						"name", dim.Str("table"),
+						"role", "dimension"); err != nil {
+						return err
+					}
+					idCol := ctx.MustCreate("Column")
+					if err := multiSet(idCol, "name", dim.Str("keyColumn"), "type", "INT"); err != nil {
+						return err
+					}
+					if err := t.Add("columns", idCol); err != nil {
+						return err
+					}
+					pk := ctx.MustCreate("PrimaryKey")
+					if err := pk.Set("name", dim.Str("table")+"_pk"); err != nil {
+						return err
+					}
+					if err := pk.Add("columns", idCol); err != nil {
+						return err
+					}
+					if err := t.Add("primaryKey", pk); err != nil {
+						return err
+					}
+					for _, h := range dim.Refs("hierarchies") {
+						for _, l := range h.Refs("levels") {
+							col := ctx.MustCreate("Column")
+							if err := multiSet(col, "name", l.Str("column"), "type", "TEXT"); err != nil {
+								return err
+							}
+							if err := t.Add("columns", col); err != nil {
+								return err
+							}
+							for _, la := range l.Refs("attributes") {
+								ac := ctx.MustCreate("Column")
+								if err := multiSet(ac, "name", la.Str("column"), "type", attrColumnType(la.Str("datatype"))); err != nil {
+									return err
+								}
+								if err := t.Add("columns", ac); err != nil {
+									return err
+								}
+							}
+						}
+					}
+					return nil
+				},
+			},
+			{
+				Name: "FactTable",
+				From: "Cube",
+				To: func(ctx *mda.Context, cube *metamodel.Element) error {
+					t := ctx.MustCreate("Table")
+					if err := multiSet(t,
+						"name", cube.Str("factTable"),
+						"role", "fact"); err != nil {
+						return err
+					}
+					for _, assoc := range cube.Refs("dimensionAssociations") {
+						fk := ctx.MustCreate("Column")
+						if err := multiSet(fk, "name", assoc.Str("foreignKeyColumn"), "type", "INT"); err != nil {
+							return err
+						}
+						if err := t.Add("columns", fk); err != nil {
+							return err
+						}
+						assoc := assoc
+						fkCol := fk
+						ctx.Defer(func() error {
+							dim := assoc.Ref("dimension")
+							dimTable, err := ctx.ResolveOne(dim, "Table")
+							if err != nil {
+								return err
+							}
+							fkEl := ctx.MustCreate("ForeignKey")
+							if err := fkEl.Set("name", t.Name()+"_"+fkCol.Name()+"_fk"); err != nil {
+								return err
+							}
+							if err := fkEl.Add("columns", fkCol); err != nil {
+								return err
+							}
+							return fkEl.Add("referencedTable", dimTable)
+						})
+					}
+					for _, m := range cube.Refs("measures") {
+						col := ctx.MustCreate("Column")
+						typ := "FLOAT"
+						if m.Str("aggregation") == "count" {
+							typ = "INT"
+						}
+						if err := multiSet(col, "name", m.Str("column"), "type", typ); err != nil {
+							return err
+						}
+						if err := t.Add("columns", col); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+			},
+			{
+				Name: "Schema",
+				From: "Schema",
+				To: func(ctx *mda.Context, s *metamodel.Element) error {
+					cat := ctx.MustCreate("Catalog")
+					if err := cat.Set("name", SnakeName(s.Name())+"_dw"); err != nil {
+						return err
+					}
+					schema := ctx.MustCreate("Schema")
+					if err := schema.Set("name", SnakeName(s.Name())); err != nil {
+						return err
+					}
+					if err := cat.Add("schemas", schema); err != nil {
+						return err
+					}
+					ctx.Defer(func() error {
+						// Attach every produced table and foreign key.
+						for _, t := range ctx.Target.ElementsOf("Table") {
+							if err := schema.Add("tables", t); err != nil {
+								return err
+							}
+						}
+						for _, fk := range ctx.Target.ElementsOf("ForeignKey") {
+							if err := schema.Add("foreignKeys", fk); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+					return nil
+				},
+			},
+		},
+	}
+}
+
+// PIMToETL maps the OLAP model onto the CWM Transformation metamodel: one
+// activity per cube with extract → per-dimension lookup → load steps.
+func PIMToETL() *mda.Transformation {
+	return &mda.Transformation{
+		Name:   "pim2etl",
+		Source: cwm.OLAP,
+		Target: cwm.Transformation,
+		Rules: []mda.Rule{
+			{
+				Name: "LoadActivity",
+				From: "Cube",
+				To: func(ctx *mda.Context, cube *metamodel.Element) error {
+					act := ctx.MustCreate("TransformationActivity")
+					if err := act.Set("name", "load_"+cube.Str("factTable")); err != nil {
+						return err
+					}
+					src := ctx.MustCreate("DataObject")
+					if err := multiSet(src,
+						"name", "staging_"+cube.Str("factTable"),
+						"kind", "csv",
+						"location", "staging/"+cube.Str("factTable")+".csv"); err != nil {
+						return err
+					}
+					dst := ctx.MustCreate("DataObject")
+					if err := multiSet(dst,
+						"name", cube.Str("factTable"),
+						"kind", "table",
+						"location", cube.Str("factTable")); err != nil {
+						return err
+					}
+					if err := act.Add("dataObjects", src); err != nil {
+						return err
+					}
+					if err := act.Add("dataObjects", dst); err != nil {
+						return err
+					}
+					extract := ctx.MustCreate("TransformationStep")
+					if err := multiSet(extract, "name", "extract", "operation", "extract"); err != nil {
+						return err
+					}
+					if err := extract.Add("source", src); err != nil {
+						return err
+					}
+					if err := act.Add("steps", extract); err != nil {
+						return err
+					}
+					prev := extract
+					for _, assoc := range cube.Refs("dimensionAssociations") {
+						lookup := ctx.MustCreate("TransformationStep")
+						dimName := assoc.Ref("dimension").Name()
+						if err := multiSet(lookup,
+							"name", "lookup_"+SnakeName(dimName),
+							"operation", "lookup",
+							"condition", assoc.Str("foreignKeyColumn")); err != nil {
+							return err
+						}
+						if err := prev.Add("precedes", lookup); err != nil {
+							return err
+						}
+						if err := act.Add("steps", lookup); err != nil {
+							return err
+						}
+						prev = lookup
+					}
+					load := ctx.MustCreate("TransformationStep")
+					if err := multiSet(load, "name", "load", "operation", "load"); err != nil {
+						return err
+					}
+					for _, m := range cube.Refs("measures") {
+						fm := ctx.MustCreate("FeatureMap")
+						if err := multiSet(fm,
+							"name", m.Str("column"),
+							"source", m.Str("column"),
+							"target", m.Str("column")); err != nil {
+							return err
+						}
+						if err := load.Add("featureMaps", fm); err != nil {
+							return err
+						}
+					}
+					if err := load.Add("target", dst); err != nil {
+						return err
+					}
+					if err := prev.Add("precedes", load); err != nil {
+						return err
+					}
+					return act.Add("steps", load)
+				},
+			},
+		},
+	}
+}
+
+// DesignChain is the full CIM→PIM→PSM(Relational) chain of the design
+// framework.
+func DesignChain() *mda.Chain {
+	return &mda.Chain{
+		Name:   "mddws-design",
+		Stages: []*mda.Transformation{CIMToPIM(), PIMToPSM()},
+	}
+}
+
+// multiSet sets name/value attribute pairs, returning the first error.
+func multiSet(e *metamodel.Element, pairs ...any) error {
+	if len(pairs)%2 != 0 {
+		return fmt.Errorf("mddws: multiSet needs name/value pairs")
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		name, ok := pairs[i].(string)
+		if !ok {
+			return fmt.Errorf("mddws: multiSet name %v is not a string", pairs[i])
+		}
+		if err := e.Set(name, pairs[i+1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

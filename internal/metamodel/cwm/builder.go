@@ -1,0 +1,166 @@
+package cwm
+
+import (
+	"fmt"
+
+	"github.com/odbis/odbis/internal/metamodel"
+)
+
+// StarSpec is a convenience description of a conceptual star schema, the
+// usual starting point of a DW project in the MDDWS workflow. Build turns
+// it into a validated CIM (Conceptual) model.
+type StarSpec struct {
+	Name       string
+	Facts      []FactSpec
+	Dimensions []DimensionSpec
+}
+
+// FactSpec describes one business fact.
+type FactSpec struct {
+	Name        string
+	Description string
+	Measures    []MeasureSpec
+	// Dimensions lists dimension names (must appear in StarSpec.Dimensions).
+	Dimensions []string
+}
+
+// MeasureSpec describes one measure of a fact.
+type MeasureSpec struct {
+	Name        string
+	Aggregation string // sum, avg, min, max, count
+	Unit        string
+}
+
+// DimensionSpec describes one analysis dimension.
+type DimensionSpec struct {
+	Name     string
+	Temporal bool
+	// Levels are ordered coarse→fine; each level has typed attributes.
+	Levels []LevelSpec
+}
+
+// LevelSpec describes one level of a dimension.
+type LevelSpec struct {
+	Name       string
+	Attributes []AttributeSpec
+}
+
+// AttributeSpec describes one attribute of a level.
+type AttributeSpec struct {
+	Name     string
+	Datatype string // text, number, date, flag
+}
+
+// Build constructs the conceptual model for the spec.
+func (s StarSpec) Build() (*metamodel.Model, error) {
+	m := metamodel.NewModel(Conceptual)
+	schema, err := m.New("ConceptualSchema")
+	if err != nil {
+		return nil, err
+	}
+	if err := schema.Set("name", s.Name); err != nil {
+		return nil, err
+	}
+	dims := make(map[string]*metamodel.Element, len(s.Dimensions))
+	for _, ds := range s.Dimensions {
+		d, err := m.New("DimensionConcept")
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Set("name", ds.Name); err != nil {
+			return nil, err
+		}
+		if err := d.Set("temporal", ds.Temporal); err != nil {
+			return nil, err
+		}
+		for _, ls := range ds.Levels {
+			l, err := m.New("LevelConcept")
+			if err != nil {
+				return nil, err
+			}
+			if err := l.Set("name", ls.Name); err != nil {
+				return nil, err
+			}
+			for _, as := range ls.Attributes {
+				a, err := m.New("AttributeConcept")
+				if err != nil {
+					return nil, err
+				}
+				if err := a.Set("name", as.Name); err != nil {
+					return nil, err
+				}
+				dt := as.Datatype
+				if dt == "" {
+					dt = "text"
+				}
+				if err := a.Set("datatype", dt); err != nil {
+					return nil, err
+				}
+				if err := l.Add("attributes", a); err != nil {
+					return nil, err
+				}
+			}
+			if err := d.Add("levels", l); err != nil {
+				return nil, err
+			}
+		}
+		if err := schema.Add("dimensions", d); err != nil {
+			return nil, err
+		}
+		dims[ds.Name] = d
+	}
+	for _, fs := range s.Facts {
+		f, err := m.New("FactConcept")
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Set("name", fs.Name); err != nil {
+			return nil, err
+		}
+		if fs.Description != "" {
+			if err := f.Set("description", fs.Description); err != nil {
+				return nil, err
+			}
+		}
+		for _, ms := range fs.Measures {
+			me, err := m.New("MeasureConcept")
+			if err != nil {
+				return nil, err
+			}
+			if err := me.Set("name", ms.Name); err != nil {
+				return nil, err
+			}
+			agg := ms.Aggregation
+			if agg == "" {
+				agg = "sum"
+			}
+			if err := me.Set("aggregation", agg); err != nil {
+				return nil, err
+			}
+			if ms.Unit != "" {
+				if err := me.Set("unit", ms.Unit); err != nil {
+					return nil, err
+				}
+			}
+			if err := f.Add("measures", me); err != nil {
+				return nil, err
+			}
+		}
+		for _, dn := range fs.Dimensions {
+			d, ok := dims[dn]
+			if !ok {
+				return nil, fmt.Errorf("cwm: fact %s references undeclared dimension %q", fs.Name, dn)
+			}
+			if err := f.Add("dimensions", d); err != nil {
+				return nil, err
+			}
+		}
+		if err := schema.Add("facts", f); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,377 @@
+// Package cwm defines the Common Warehouse Metamodel packages the ODBIS
+// domain model is built on (paper §3.2/§3.3): Relational,
+// Multidimensional (OLAP), Transformation, and the Business Nomenclature
+// extension, plus the conceptual (CIM-level) star-schema metamodel used
+// by the model-driven DW service.
+//
+// Each metamodel is constructed once at package init on the reflective
+// kernel of package metamodel — the same layering as CWM on MOF/JMI.
+package cwm
+
+import (
+	"github.com/odbis/odbis/internal/metamodel"
+)
+
+// Metamodel names.
+const (
+	ConceptualName     = "CWM-Conceptual"
+	RelationalName     = "CWM-Relational"
+	OLAPName           = "CWM-OLAP"
+	TransformationName = "CWM-Transformation"
+	NomenclatureName   = "CWMX-Nomenclature"
+)
+
+var (
+	// Conceptual is the CIM-level metamodel: business facts, dimensions,
+	// measures and goals, before any platform commitment.
+	Conceptual = buildConceptual()
+	// Relational is the CWM Relational package subset: catalogs, schemas,
+	// tables, columns, keys.
+	Relational = buildRelational()
+	// OLAP is the CWM OLAP package subset: cubes, dimensions,
+	// hierarchies, levels and measures.
+	OLAP = buildOLAP()
+	// Transformation is the CWM Transformation package subset: activities
+	// composed of steps mapping sources to targets.
+	Transformation = buildTransformation()
+	// Nomenclature is the CWMX business-nomenclature extension:
+	// glossaries of business terms linked to technical elements.
+	Nomenclature = buildNomenclature()
+)
+
+func named(required bool) metamodel.Attribute {
+	return metamodel.Attribute{Name: "name", Type: metamodel.AttrString, Required: required}
+}
+
+func buildConceptual() *metamodel.Metamodel {
+	mm := metamodel.New(ConceptualName)
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:     "BusinessElement",
+		Abstract: true,
+		Attributes: []metamodel.Attribute{
+			named(true),
+			{Name: "description", Type: metamodel.AttrString},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "BusinessGoal",
+		Super: "BusinessElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "priority", Type: metamodel.AttrInt},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "BusinessProcess",
+		Super: "BusinessElement",
+		References: []metamodel.Reference{
+			{Name: "goals", Target: "BusinessGoal", Many: true},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "MeasureConcept",
+		Super: "BusinessElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "aggregation", Type: metamodel.AttrString,
+				Enum: []string{"sum", "avg", "min", "max", "count"}},
+			{Name: "unit", Type: metamodel.AttrString},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "AttributeConcept",
+		Super: "BusinessElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "datatype", Type: metamodel.AttrString,
+				Enum: []string{"text", "number", "date", "flag"}},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "LevelConcept",
+		Super: "BusinessElement",
+		References: []metamodel.Reference{
+			{Name: "attributes", Target: "AttributeConcept", Containment: true, Many: true},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "DimensionConcept",
+		Super: "BusinessElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "temporal", Type: metamodel.AttrBool},
+		},
+		References: []metamodel.Reference{
+			// Levels ordered coarse→fine (year → month → day).
+			{Name: "levels", Target: "LevelConcept", Containment: true, Many: true},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "FactConcept",
+		Super: "BusinessElement",
+		References: []metamodel.Reference{
+			{Name: "measures", Target: "MeasureConcept", Containment: true, Many: true, Required: true},
+			{Name: "dimensions", Target: "DimensionConcept", Many: true, Required: true},
+			{Name: "process", Target: "BusinessProcess"},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "ConceptualSchema",
+		Super: "BusinessElement",
+		References: []metamodel.Reference{
+			{Name: "facts", Target: "FactConcept", Containment: true, Many: true},
+			{Name: "dimensions", Target: "DimensionConcept", Containment: true, Many: true},
+			{Name: "processes", Target: "BusinessProcess", Containment: true, Many: true},
+		},
+	})
+	if err := mm.Validate(); err != nil {
+		panic(err)
+	}
+	return mm
+}
+
+func buildRelational() *metamodel.Metamodel {
+	mm := metamodel.New(RelationalName)
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:     "ModelElement",
+		Abstract: true,
+		Attributes: []metamodel.Attribute{
+			named(true),
+			{Name: "description", Type: metamodel.AttrString},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "Column",
+		Super: "ModelElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "type", Type: metamodel.AttrString, Required: true,
+				Enum: []string{"INT", "FLOAT", "TEXT", "BOOL", "TIMESTAMP", "BYTES"}},
+			{Name: "nullable", Type: metamodel.AttrBool},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "PrimaryKey",
+		Super: "ModelElement",
+		References: []metamodel.Reference{
+			{Name: "columns", Target: "Column", Many: true, Required: true},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "Table",
+		Super: "ModelElement",
+		Attributes: []metamodel.Attribute{
+			// Role distinguishes star-schema parts for downstream
+			// transformations.
+			{Name: "role", Type: metamodel.AttrString,
+				Enum: []string{"fact", "dimension", "staging", "plain"}},
+		},
+		References: []metamodel.Reference{
+			{Name: "columns", Target: "Column", Containment: true, Many: true, Required: true},
+			{Name: "primaryKey", Target: "PrimaryKey", Containment: true},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "ForeignKey",
+		Super: "ModelElement",
+		References: []metamodel.Reference{
+			{Name: "columns", Target: "Column", Many: true, Required: true},
+			{Name: "referencedTable", Target: "Table", Required: true},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "Schema",
+		Super: "ModelElement",
+		References: []metamodel.Reference{
+			{Name: "tables", Target: "Table", Containment: true, Many: true},
+			{Name: "foreignKeys", Target: "ForeignKey", Containment: true, Many: true},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "Catalog",
+		Super: "ModelElement",
+		References: []metamodel.Reference{
+			{Name: "schemas", Target: "Schema", Containment: true, Many: true},
+		},
+	})
+	if err := mm.Validate(); err != nil {
+		panic(err)
+	}
+	return mm
+}
+
+func buildOLAP() *metamodel.Metamodel {
+	mm := metamodel.New(OLAPName)
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:     "OLAPElement",
+		Abstract: true,
+		Attributes: []metamodel.Attribute{
+			named(true),
+			{Name: "description", Type: metamodel.AttrString},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "LevelAttribute",
+		Super: "OLAPElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "column", Type: metamodel.AttrString, Required: true},
+			// datatype carries the conceptual typing down to the PSM:
+			// text, number, date or flag.
+			{Name: "datatype", Type: metamodel.AttrString,
+				Enum: []string{"text", "number", "date", "flag"}},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "Level",
+		Super: "OLAPElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "column", Type: metamodel.AttrString, Required: true},
+		},
+		References: []metamodel.Reference{
+			{Name: "attributes", Target: "LevelAttribute", Containment: true, Many: true},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "Hierarchy",
+		Super: "OLAPElement",
+		References: []metamodel.Reference{
+			{Name: "levels", Target: "Level", Containment: true, Many: true, Required: true},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "Dimension",
+		Super: "OLAPElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "table", Type: metamodel.AttrString, Required: true},
+			{Name: "keyColumn", Type: metamodel.AttrString, Required: true},
+			{Name: "temporal", Type: metamodel.AttrBool},
+		},
+		References: []metamodel.Reference{
+			{Name: "hierarchies", Target: "Hierarchy", Containment: true, Many: true},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "Measure",
+		Super: "OLAPElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "column", Type: metamodel.AttrString, Required: true},
+			{Name: "aggregation", Type: metamodel.AttrString, Required: true,
+				Enum: []string{"sum", "avg", "min", "max", "count"}},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "CubeDimensionAssociation",
+		Super: "OLAPElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "foreignKeyColumn", Type: metamodel.AttrString, Required: true},
+		},
+		References: []metamodel.Reference{
+			{Name: "dimension", Target: "Dimension", Required: true},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "Cube",
+		Super: "OLAPElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "factTable", Type: metamodel.AttrString, Required: true},
+		},
+		References: []metamodel.Reference{
+			{Name: "measures", Target: "Measure", Containment: true, Many: true, Required: true},
+			{Name: "dimensionAssociations", Target: "CubeDimensionAssociation", Containment: true, Many: true},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "Schema",
+		Super: "OLAPElement",
+		References: []metamodel.Reference{
+			{Name: "cubes", Target: "Cube", Containment: true, Many: true},
+			{Name: "dimensions", Target: "Dimension", Containment: true, Many: true},
+		},
+	})
+	if err := mm.Validate(); err != nil {
+		panic(err)
+	}
+	return mm
+}
+
+func buildTransformation() *metamodel.Metamodel {
+	mm := metamodel.New(TransformationName)
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:     "TransformationElement",
+		Abstract: true,
+		Attributes: []metamodel.Attribute{
+			named(true),
+			{Name: "description", Type: metamodel.AttrString},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "DataObject",
+		Super: "TransformationElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "kind", Type: metamodel.AttrString, Required: true,
+				Enum: []string{"csv", "json", "table"}},
+			{Name: "location", Type: metamodel.AttrString, Required: true},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "FeatureMap",
+		Super: "TransformationElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "source", Type: metamodel.AttrString, Required: true},
+			{Name: "target", Type: metamodel.AttrString, Required: true},
+			{Name: "expression", Type: metamodel.AttrString},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "TransformationStep",
+		Super: "TransformationElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "operation", Type: metamodel.AttrString, Required: true,
+				Enum: []string{"extract", "filter", "map", "lookup", "aggregate", "load"}},
+			{Name: "condition", Type: metamodel.AttrString},
+		},
+		References: []metamodel.Reference{
+			{Name: "source", Target: "DataObject"},
+			{Name: "target", Target: "DataObject"},
+			{Name: "featureMaps", Target: "FeatureMap", Containment: true, Many: true},
+			{Name: "precedes", Target: "TransformationStep", Many: true},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "TransformationActivity",
+		Super: "TransformationElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "schedule", Type: metamodel.AttrString},
+		},
+		References: []metamodel.Reference{
+			{Name: "steps", Target: "TransformationStep", Containment: true, Many: true, Required: true},
+			{Name: "dataObjects", Target: "DataObject", Containment: true, Many: true},
+		},
+	})
+	if err := mm.Validate(); err != nil {
+		panic(err)
+	}
+	return mm
+}
+
+func buildNomenclature() *metamodel.Metamodel {
+	mm := metamodel.New(NomenclatureName)
+	mm.MustDefine(metamodel.ClassSpec{
+		Name: "Term",
+		Attributes: []metamodel.Attribute{
+			named(true),
+			{Name: "definition", Type: metamodel.AttrString, Required: true},
+			{Name: "technicalElement", Type: metamodel.AttrString},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name: "Glossary",
+		Attributes: []metamodel.Attribute{
+			named(true),
+			{Name: "language", Type: metamodel.AttrString},
+		},
+		References: []metamodel.Reference{
+			{Name: "terms", Target: "Term", Containment: true, Many: true},
+			{Name: "related", Target: "Glossary", Many: true},
+		},
+	})
+	if err := mm.Validate(); err != nil {
+		panic(err)
+	}
+	return mm
+}

@@ -1,0 +1,175 @@
+package cwm
+
+import (
+	"testing"
+
+	"github.com/odbis/odbis/internal/metamodel"
+)
+
+func TestMetamodelsWellFormed(t *testing.T) {
+	for _, mm := range []*metamodel.Metamodel{Conceptual, Relational, OLAP, Transformation, Nomenclature} {
+		if err := mm.Validate(); err != nil {
+			t.Errorf("%s: %v", mm.Name, err)
+		}
+		if len(mm.Classes()) == 0 {
+			t.Errorf("%s: no classes", mm.Name)
+		}
+	}
+}
+
+func salesStar() StarSpec {
+	return StarSpec{
+		Name: "RetailSales",
+		Dimensions: []DimensionSpec{
+			{Name: "Date", Temporal: true, Levels: []LevelSpec{
+				{Name: "Year"}, {Name: "Month"}, {Name: "Day"},
+			}},
+			{Name: "Product", Levels: []LevelSpec{
+				{Name: "Category", Attributes: []AttributeSpec{{Name: "category_name"}}},
+				{Name: "SKU", Attributes: []AttributeSpec{{Name: "sku_name"}, {Name: "price", Datatype: "number"}}},
+			}},
+			{Name: "Store", Levels: []LevelSpec{
+				{Name: "Region"}, {Name: "City"}, {Name: "Store"},
+			}},
+		},
+		Facts: []FactSpec{
+			{
+				Name:       "Sales",
+				Measures:   []MeasureSpec{{Name: "amount", Aggregation: "sum", Unit: "EUR"}, {Name: "qty", Aggregation: "sum"}},
+				Dimensions: []string{"Date", "Product", "Store"},
+			},
+		},
+	}
+}
+
+func TestStarSpecBuild(t *testing.T) {
+	m, err := salesStar().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	facts := m.ElementsOf("FactConcept")
+	if len(facts) != 1 {
+		t.Fatalf("facts = %d", len(facts))
+	}
+	f := facts[0]
+	if len(f.Refs("measures")) != 2 || len(f.Refs("dimensions")) != 3 {
+		t.Errorf("fact shape wrong: %d measures, %d dims", len(f.Refs("measures")), len(f.Refs("dimensions")))
+	}
+	date, ok := m.FindByName("DimensionConcept", "Date")
+	if !ok || !date.Bool("temporal") {
+		t.Error("Date dimension wrong")
+	}
+	if len(date.Refs("levels")) != 3 {
+		t.Errorf("date levels = %d", len(date.Refs("levels")))
+	}
+}
+
+func TestStarSpecUnknownDimension(t *testing.T) {
+	spec := StarSpec{
+		Name:  "Bad",
+		Facts: []FactSpec{{Name: "f", Measures: []MeasureSpec{{Name: "m"}}, Dimensions: []string{"Ghost"}}},
+	}
+	if _, err := spec.Build(); err == nil {
+		t.Error("unknown dimension accepted")
+	}
+}
+
+func TestStarSpecDefaults(t *testing.T) {
+	spec := StarSpec{
+		Name:       "D",
+		Dimensions: []DimensionSpec{{Name: "X", Levels: []LevelSpec{{Name: "L", Attributes: []AttributeSpec{{Name: "a"}}}}}},
+		Facts:      []FactSpec{{Name: "f", Measures: []MeasureSpec{{Name: "m"}}, Dimensions: []string{"X"}}},
+	}
+	m, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas := m.ElementsOf("MeasureConcept")[0]
+	if meas.Str("aggregation") != "sum" {
+		t.Errorf("default aggregation = %q", meas.Str("aggregation"))
+	}
+	attr := m.ElementsOf("AttributeConcept")[0]
+	if attr.Str("datatype") != "text" {
+		t.Errorf("default datatype = %q", attr.Str("datatype"))
+	}
+}
+
+func TestConceptualXMLRoundTrip(t *testing.T) {
+	m, err := salesStar().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml, err := m.ExportString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := metamodel.ImportString(Conceptual, xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != m.Len() {
+		t.Errorf("round trip len = %d, want %d", m2.Len(), m.Len())
+	}
+	if err := m2.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelationalModelConstruction(t *testing.T) {
+	m := metamodel.NewModel(Relational)
+	cat := m.MustNew("Catalog").MustSet("name", "dw")
+	sch := m.MustNew("Schema").MustSet("name", "public")
+	cat.MustAdd("schemas", sch)
+	tab := m.MustNew("Table").MustSet("name", "fact_sales").MustSet("role", "fact")
+	sch.MustAdd("tables", tab)
+	col := m.MustNew("Column").MustSet("name", "amount").MustSet("type", "FLOAT")
+	tab.MustAdd("columns", col)
+	pkCol := m.MustNew("Column").MustSet("name", "id").MustSet("type", "INT")
+	tab.MustAdd("columns", pkCol)
+	pk := m.MustNew("PrimaryKey").MustSet("name", "fact_sales_pk")
+	pk.MustAdd("columns", pkCol)
+	tab.MustAdd("primaryKey", pk)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if col2 := m.ElementsOf("Column"); len(col2) != 2 {
+		t.Errorf("columns = %d", len(col2))
+	}
+}
+
+func TestOLAPModelConstruction(t *testing.T) {
+	m := metamodel.NewModel(OLAP)
+	cube := m.MustNew("Cube").MustSet("name", "Sales").MustSet("factTable", "fact_sales")
+	meas := m.MustNew("Measure").MustSet("name", "amount").MustSet("column", "amount").MustSet("aggregation", "sum")
+	cube.MustAdd("measures", meas)
+	dim := m.MustNew("Dimension").MustSet("name", "Date").MustSet("table", "dim_date").MustSet("keyColumn", "id")
+	h := m.MustNew("Hierarchy").MustSet("name", "calendar")
+	lvl := m.MustNew("Level").MustSet("name", "Year").MustSet("column", "year")
+	h.MustAdd("levels", lvl)
+	dim.MustAdd("hierarchies", h)
+	assoc := m.MustNew("CubeDimensionAssociation").MustSet("name", "date_assoc").MustSet("foreignKeyColumn", "date_id")
+	assoc.MustAdd("dimension", dim)
+	cube.MustAdd("dimensionAssociations", assoc)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Enum enforcement on aggregation.
+	if err := meas.Set("aggregation", "median"); err == nil {
+		t.Error("invalid aggregation accepted")
+	}
+}
+
+func TestNomenclature(t *testing.T) {
+	m := metamodel.NewModel(Nomenclature)
+	g := m.MustNew("Glossary").MustSet("name", "healthcare").MustSet("language", "en")
+	term := m.MustNew("Term").MustSet("name", "admission").
+		MustSet("definition", "a patient entering care").
+		MustSet("technicalElement", "fact_admissions")
+	g.MustAdd("terms", term)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

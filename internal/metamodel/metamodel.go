@@ -1,0 +1,226 @@
+// Package metamodel is a reflective metamodeling kernel in the spirit of
+// MOF/JMI — the stand-in for Sun's Metadata Repository (MDR) in the
+// paper's technical architecture (Fig. 5). It provides:
+//
+//   - the M3→M2 facility: define metamodels (classes with single
+//     inheritance, typed attributes, references with containment and
+//     multiplicity),
+//   - the M2→M1 facility: instantiate models whose elements are validated
+//     against their metamodel,
+//   - XMI-style XML interchange of models (Export/Import),
+//
+// The ODBIS domain model (CWM and its extensions, package cwm) is built
+// on this kernel, exactly as the paper bases its domain model on a JMI
+// implementation of CWM.
+package metamodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AttrType is the type of a metamodel attribute.
+type AttrType uint8
+
+// Attribute types.
+const (
+	AttrString AttrType = iota
+	AttrInt
+	AttrFloat
+	AttrBool
+)
+
+func (t AttrType) String() string {
+	switch t {
+	case AttrString:
+		return "string"
+	case AttrInt:
+		return "int"
+	case AttrFloat:
+		return "float"
+	default:
+		return "bool"
+	}
+}
+
+// Attribute is a typed attribute of a class.
+type Attribute struct {
+	Name     string
+	Type     AttrType
+	Required bool
+	// Enum restricts string attributes to a fixed vocabulary when
+	// non-empty.
+	Enum []string
+}
+
+// Reference is a typed link from one class to another.
+type Reference struct {
+	Name string
+	// Target is the name of the referenced class (or any subclass).
+	Target string
+	// Containment marks composite ownership: contained elements belong to
+	// exactly one container and containment must be acyclic.
+	Containment bool
+	// Many permits multiple targets; otherwise at most one.
+	Many bool
+	// Required demands at least one target.
+	Required bool
+}
+
+// Class is an M2-level class.
+type Class struct {
+	Name     string
+	Abstract bool
+	super    *Class
+	attrs    []Attribute
+	refs     []Reference
+	mm       *Metamodel
+}
+
+// Super returns the superclass (nil at the root).
+func (c *Class) Super() *Class { return c.super }
+
+// Attributes returns all attributes including inherited ones,
+// superclass-first.
+func (c *Class) Attributes() []Attribute {
+	var out []Attribute
+	if c.super != nil {
+		out = c.super.Attributes()
+	}
+	return append(out, c.attrs...)
+}
+
+// References returns all references including inherited ones.
+func (c *Class) References() []Reference {
+	var out []Reference
+	if c.super != nil {
+		out = c.super.References()
+	}
+	return append(out, c.refs...)
+}
+
+// attribute finds an attribute by name along the inheritance chain.
+func (c *Class) attribute(name string) (Attribute, bool) {
+	for cur := c; cur != nil; cur = cur.super {
+		for _, a := range cur.attrs {
+			if a.Name == name {
+				return a, true
+			}
+		}
+	}
+	return Attribute{}, false
+}
+
+func (c *Class) reference(name string) (Reference, bool) {
+	for cur := c; cur != nil; cur = cur.super {
+		for _, r := range cur.refs {
+			if r.Name == name {
+				return r, true
+			}
+		}
+	}
+	return Reference{}, false
+}
+
+// IsA reports whether c is name or a subclass of it.
+func (c *Class) IsA(name string) bool {
+	for cur := c; cur != nil; cur = cur.super {
+		if cur.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Metamodel is an M2-level metamodel: a named set of classes.
+type Metamodel struct {
+	Name    string
+	classes map[string]*Class
+}
+
+// New creates an empty metamodel.
+func New(name string) *Metamodel {
+	return &Metamodel{Name: name, classes: make(map[string]*Class)}
+}
+
+// ClassSpec declares a class for Define.
+type ClassSpec struct {
+	Name       string
+	Super      string // empty for a root class
+	Abstract   bool
+	Attributes []Attribute
+	References []Reference
+}
+
+// Define adds a class. Superclasses must already be defined.
+func (m *Metamodel) Define(spec ClassSpec) (*Class, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("metamodel: class name required")
+	}
+	if _, dup := m.classes[spec.Name]; dup {
+		return nil, fmt.Errorf("metamodel: class %s already defined in %s", spec.Name, m.Name)
+	}
+	c := &Class{Name: spec.Name, Abstract: spec.Abstract, attrs: spec.Attributes, refs: spec.References, mm: m}
+	if spec.Super != "" {
+		super, ok := m.classes[spec.Super]
+		if !ok {
+			return nil, fmt.Errorf("metamodel: superclass %s of %s not defined", spec.Super, spec.Name)
+		}
+		c.super = super
+	}
+	// Reject shadowed attribute/reference names along the chain.
+	for _, a := range spec.Attributes {
+		if c.super != nil {
+			if _, exists := c.super.attribute(a.Name); exists {
+				return nil, fmt.Errorf("metamodel: attribute %s.%s shadows an inherited attribute", spec.Name, a.Name)
+			}
+		}
+	}
+	for _, r := range spec.References {
+		if c.super != nil {
+			if _, exists := c.super.reference(r.Name); exists {
+				return nil, fmt.Errorf("metamodel: reference %s.%s shadows an inherited reference", spec.Name, r.Name)
+			}
+		}
+	}
+	m.classes[spec.Name] = c
+	return c, nil
+}
+
+// MustDefine is Define, panicking on error; for static metamodel
+// construction (cwm package).
+func (m *Metamodel) MustDefine(spec ClassSpec) *Class {
+	c, err := m.Define(spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Class looks up a class by name.
+func (m *Metamodel) Class(name string) (*Class, bool) {
+	c, ok := m.classes[name]
+	return c, ok
+}
+
+// Classes lists class names sorted.
+func (m *Metamodel) Classes() []string {
+	names := make([]string, 0, len(m.classes))
+	for n := range m.classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Validate checks the metamodel itself: reference targets must exist.
+func (m *Metamodel) Validate() error {
+	for _, c := range m.classes {
+		for _, r := range c.refs {
+			if _, ok := m.classes[r.Target]; !ok {
+				return fmt.Errorf("metamodel: reference %s.%s targets undefined class %s", c.Name, r.Name, r.Target)
+			}
+		}
+	}
+	return nil
+}

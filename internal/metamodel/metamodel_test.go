@@ -1,0 +1,367 @@
+package metamodel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testMM(t *testing.T) *Metamodel {
+	t.Helper()
+	mm := New("Test")
+	mm.MustDefine(ClassSpec{
+		Name:     "Named",
+		Abstract: true,
+		Attributes: []Attribute{
+			{Name: "name", Type: AttrString, Required: true},
+		},
+	})
+	mm.MustDefine(ClassSpec{
+		Name:  "Column",
+		Super: "Named",
+		Attributes: []Attribute{
+			{Name: "type", Type: AttrString, Enum: []string{"INT", "TEXT"}},
+			{Name: "nullable", Type: AttrBool},
+			{Name: "position", Type: AttrInt},
+			{Name: "weight", Type: AttrFloat},
+		},
+	})
+	mm.MustDefine(ClassSpec{
+		Name:  "Table",
+		Super: "Named",
+		References: []Reference{
+			{Name: "columns", Target: "Column", Containment: true, Many: true, Required: true},
+			{Name: "parent", Target: "Table"},
+		},
+	})
+	if err := mm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return mm
+}
+
+func TestDefineValidation(t *testing.T) {
+	mm := New("X")
+	if _, err := mm.Define(ClassSpec{}); err == nil {
+		t.Error("empty class name accepted")
+	}
+	mm.MustDefine(ClassSpec{Name: "A", Attributes: []Attribute{{Name: "x", Type: AttrInt}}})
+	if _, err := mm.Define(ClassSpec{Name: "A"}); err == nil {
+		t.Error("duplicate class accepted")
+	}
+	if _, err := mm.Define(ClassSpec{Name: "B", Super: "Missing"}); err == nil {
+		t.Error("missing superclass accepted")
+	}
+	if _, err := mm.Define(ClassSpec{Name: "C", Super: "A", Attributes: []Attribute{{Name: "x", Type: AttrInt}}}); err == nil {
+		t.Error("shadowed attribute accepted")
+	}
+	mm.MustDefine(ClassSpec{Name: "D", References: []Reference{{Name: "r", Target: "Nowhere"}}})
+	if err := mm.Validate(); err == nil {
+		t.Error("dangling reference target accepted")
+	}
+}
+
+func TestInstantiateAndAttrs(t *testing.T) {
+	mm := testMM(t)
+	m := NewModel(mm)
+	if _, err := m.New("Named"); err == nil {
+		t.Error("abstract class instantiated")
+	}
+	if _, err := m.New("Nope"); err == nil {
+		t.Error("unknown class instantiated")
+	}
+	col := m.MustNew("Column")
+	if err := col.Set("name", "id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Set("type", "INT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Set("type", "BLOB"); err == nil {
+		t.Error("enum violation accepted")
+	}
+	if err := col.Set("nullable", "yes"); err == nil {
+		t.Error("bool attr with string accepted")
+	}
+	if err := col.Set("position", 3); err != nil {
+		t.Errorf("int coercion: %v", err)
+	}
+	if err := col.Set("weight", 1); err != nil {
+		t.Errorf("int→float coercion: %v", err)
+	}
+	if err := col.Set("bogus", 1); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if col.Str("name") != "id" || col.Int("position") != 3 || col.Float("weight") != 1 {
+		t.Error("typed getters wrong")
+	}
+	if col.Bool("nullable") {
+		t.Error("unset bool should read false")
+	}
+}
+
+func TestReferences(t *testing.T) {
+	mm := testMM(t)
+	m := NewModel(mm)
+	tab := m.MustNew("Table").MustSet("name", "t")
+	col := m.MustNew("Column").MustSet("name", "c").MustSet("type", "INT")
+	if err := tab.Add("columns", col); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Add("bogus", col); err == nil {
+		t.Error("unknown reference accepted")
+	}
+	if err := tab.Add("columns", nil); err == nil {
+		t.Error("nil target accepted")
+	}
+	// Wrong target class.
+	other := m.MustNew("Table").MustSet("name", "o")
+	if err := tab.Add("columns", other); err == nil {
+		t.Error("wrong target class accepted")
+	}
+	// Single-valued multiplicity.
+	if err := tab.Add("parent", other); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Add("parent", other); err == nil {
+		t.Error("second target on single-valued reference accepted")
+	}
+	// Cross-model reference.
+	m2 := NewModel(mm)
+	foreign := m2.MustNew("Column").MustSet("name", "f").MustSet("type", "INT")
+	if err := tab.Add("columns", foreign); err == nil {
+		t.Error("cross-model reference accepted")
+	}
+	if got := len(tab.Refs("columns")); got != 1 {
+		t.Errorf("columns = %d", got)
+	}
+	if tab.Ref("parent") != other {
+		t.Error("Ref(parent) wrong")
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	mm := testMM(t)
+	m := NewModel(mm)
+	tab := m.MustNew("Table")
+	if err := m.Validate(); err == nil {
+		t.Error("missing required attribute accepted")
+	}
+	tab.MustSet("name", "t")
+	if err := m.Validate(); err == nil {
+		t.Error("missing required reference accepted")
+	}
+	col := m.MustNew("Column").MustSet("name", "c").MustSet("type", "INT")
+	tab.MustAdd("columns", col)
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	// Double containment.
+	tab2 := m.MustNew("Table").MustSet("name", "t2").MustAdd("columns", col)
+	if err := m.Validate(); err == nil {
+		t.Error("double containment accepted")
+	}
+	_ = tab2
+}
+
+func TestElementsOfAndFind(t *testing.T) {
+	mm := testMM(t)
+	m := NewModel(mm)
+	m.MustNew("Table").MustSet("name", "a")
+	m.MustNew("Column").MustSet("name", "b").MustSet("type", "INT")
+	if got := len(m.ElementsOf("Named")); got != 2 {
+		t.Errorf("ElementsOf(Named) = %d", got)
+	}
+	if got := len(m.ElementsOf("Table")); got != 1 {
+		t.Errorf("ElementsOf(Table) = %d", got)
+	}
+	if _, ok := m.FindByName("Column", "b"); !ok {
+		t.Error("FindByName failed")
+	}
+	if _, ok := m.FindByName("Column", "zzz"); ok {
+		t.Error("FindByName found ghost")
+	}
+}
+
+func TestXMIRoundTrip(t *testing.T) {
+	mm := testMM(t)
+	m := NewModel(mm)
+	tab := m.MustNew("Table").MustSet("name", "sales & orders <q>")
+	for i, cn := range []string{"id", "amount"} {
+		col := m.MustNew("Column").MustSet("name", cn).MustSet("type", "INT").
+			MustSet("position", i).MustSet("nullable", i == 1).MustSet("weight", 1.5)
+		tab.MustAdd("columns", col)
+	}
+	xml, err := m.ExportString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xml, "metamodel=\"Test\"") {
+		t.Errorf("xml header missing metamodel: %s", xml[:80])
+	}
+	m2, err := ImportString(mm, xml)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if m2.Len() != m.Len() {
+		t.Fatalf("len = %d, want %d", m2.Len(), m.Len())
+	}
+	tab2, ok := m2.FindByName("Table", "sales & orders <q>")
+	if !ok {
+		t.Fatal("table lost in round trip")
+	}
+	cols := tab2.Refs("columns")
+	if len(cols) != 2 || cols[0].Name() != "id" || cols[1].Name() != "amount" {
+		t.Errorf("columns = %v", cols)
+	}
+	if cols[1].Int("position") != 1 || !cols[1].Bool("nullable") || cols[1].Float("weight") != 1.5 {
+		t.Error("attribute values lost")
+	}
+	// Re-export must be byte-identical (deterministic serialization).
+	xml2, err := m2.ExportString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xml != xml2 {
+		t.Error("export not deterministic across round trip")
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	mm := testMM(t)
+	cases := []string{
+		"not xml at all",
+		`<xmi metamodel="Other" version="1.0"></xmi>`,
+		`<xmi metamodel="Test" version="1.0"><element id="x" class="Ghost"/></xmi>`,
+		`<xmi metamodel="Test" version="1.0"><element id="x" class="Named"/></xmi>`,
+		`<xmi metamodel="Test" version="1.0"><element id="x" class="Column"/><element id="x" class="Column"/></xmi>`,
+		`<xmi metamodel="Test" version="1.0"><element id="x" class="Table"><ref name="columns" targets="ghost"/></element></xmi>`,
+	}
+	for _, doc := range cases {
+		if _, err := ImportString(mm, doc); err == nil {
+			t.Errorf("ImportString(%.40q) should fail", doc)
+		}
+	}
+}
+
+func TestImportPreservesIDCounter(t *testing.T) {
+	mm := testMM(t)
+	m := NewModel(mm)
+	for i := 0; i < 5; i++ {
+		m.MustNew("Column").MustSet("name", "c").MustSet("type", "INT")
+	}
+	xml, _ := m.ExportString()
+	m2, err := ImportString(mm, xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := m2.MustNew("Column")
+	if _, dup := m.byID[fresh.ID()]; dup {
+		// IDs only need to be unique within one model; check within m2.
+	}
+	if cnt := 0; true {
+		for _, e := range m2.Elements() {
+			if e.ID() == fresh.ID() {
+				cnt++
+			}
+		}
+		if cnt != 1 {
+			t.Errorf("fresh id %s collides in imported model", fresh.ID())
+		}
+	}
+}
+
+// Property: models built from random attribute values survive the XML
+// round trip.
+func TestXMIQuick(t *testing.T) {
+	mm := testMM(t)
+	f := func(names []string, positions []int64) bool {
+		m := NewModel(mm)
+		tab := m.MustNew("Table").MustSet("name", "t")
+		n := len(names)
+		if n > 20 {
+			n = 20
+		}
+		for i := 0; i < n; i++ {
+			col := m.MustNew("Column").MustSet("name", names[i]).MustSet("type", "TEXT")
+			if i < len(positions) {
+				col.MustSet("position", positions[i])
+			}
+			tab.MustAdd("columns", col)
+		}
+		xml, err := m.ExportString()
+		if err != nil {
+			return false
+		}
+		m2, err := ImportString(mm, xml)
+		if err != nil {
+			return false
+		}
+		if m2.Len() != m.Len() {
+			return false
+		}
+		cols2 := m2.Elements()[0].Refs("columns")
+		for i := 0; i < n; i++ {
+			if cols2[i].Str("name") != names[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	mm := testMM(t)
+	m := NewModel(mm)
+	tab := m.MustNew("Table").MustSet("name", "t")
+	tab.MustAdd("columns", m.MustNew("Column").MustSet("name", "c").MustSet("type", "INT"))
+	c, err := m.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the clone must not affect the original.
+	ct, _ := c.FindByName("Table", "t")
+	ct.MustSet("name", "changed")
+	if tab.Name() != "t" {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestXMIRoundTripHostileStrings(t *testing.T) {
+	mm := testMM(t)
+	hostile := []string{
+		"control \x06 char",
+		"carriage\rreturn",
+		"null\x00byte",
+		"invalid utf8 \xff\xfe",
+		"fine <xml> & 'quotes' \"too\"",
+		"tabs\tand\nnewlines",
+		"",
+	}
+	m := NewModel(mm)
+	tab := m.MustNew("Table").MustSet("name", "t")
+	for i, s := range hostile {
+		col := m.MustNew("Column").MustSet("type", "TEXT")
+		if err := col.Set("name", s); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+		tab.MustAdd("columns", col)
+	}
+	xml, err := m.ExportString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ImportString(mm, xml)
+	if err != nil {
+		t.Fatalf("import: %v\n%s", err, xml)
+	}
+	cols := m2.Elements()[0].Refs("columns")
+	for i, s := range hostile {
+		if got := cols[i].Str("name"); got != s {
+			t.Errorf("string %d: %q != %q", i, got, s)
+		}
+	}
+}

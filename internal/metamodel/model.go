@@ -1,0 +1,328 @@
+package metamodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Element is an M1-level model element: an instance of a class with
+// attribute values and reference targets.
+type Element struct {
+	id    string
+	class *Class
+	attrs map[string]any
+	refs  map[string][]*Element
+	model *Model
+}
+
+// ID returns the element's model-unique identifier.
+func (e *Element) ID() string { return e.id }
+
+// Class returns the element's class.
+func (e *Element) Class() *Class { return e.class }
+
+// Set assigns an attribute after validating its type against the class.
+func (e *Element) Set(attr string, value any) error {
+	a, ok := e.class.attribute(attr)
+	if !ok {
+		return fmt.Errorf("metamodel: class %s has no attribute %q", e.class.Name, attr)
+	}
+	v, err := coerceAttr(a, value)
+	if err != nil {
+		return fmt.Errorf("metamodel: %s.%s: %w", e.class.Name, attr, err)
+	}
+	e.attrs[attr] = v
+	return nil
+}
+
+// MustSet is Set, panicking on error.
+func (e *Element) MustSet(attr string, value any) *Element {
+	if err := e.Set(attr, value); err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func coerceAttr(a Attribute, value any) (any, error) {
+	switch a.Type {
+	case AttrString:
+		s, ok := value.(string)
+		if !ok {
+			return nil, fmt.Errorf("expected string, got %T", value)
+		}
+		if len(a.Enum) > 0 {
+			for _, allowed := range a.Enum {
+				if s == allowed {
+					return s, nil
+				}
+			}
+			return nil, fmt.Errorf("value %q not in enum %v", s, a.Enum)
+		}
+		return s, nil
+	case AttrInt:
+		switch x := value.(type) {
+		case int:
+			return int64(x), nil
+		case int64:
+			return x, nil
+		}
+		return nil, fmt.Errorf("expected int, got %T", value)
+	case AttrFloat:
+		switch x := value.(type) {
+		case float64:
+			return x, nil
+		case int:
+			return float64(x), nil
+		case int64:
+			return float64(x), nil
+		}
+		return nil, fmt.Errorf("expected float, got %T", value)
+	case AttrBool:
+		b, ok := value.(bool)
+		if !ok {
+			return nil, fmt.Errorf("expected bool, got %T", value)
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("unknown attribute type")
+}
+
+// Get reads an attribute; the boolean reports whether it was set.
+func (e *Element) Get(attr string) (any, bool) {
+	v, ok := e.attrs[attr]
+	return v, ok
+}
+
+// Str reads a string attribute, returning "" when unset.
+func (e *Element) Str(attr string) string {
+	if v, ok := e.attrs[attr]; ok {
+		if s, ok := v.(string); ok {
+			return s
+		}
+	}
+	return ""
+}
+
+// Int reads an int attribute, returning 0 when unset.
+func (e *Element) Int(attr string) int64 {
+	if v, ok := e.attrs[attr]; ok {
+		if i, ok := v.(int64); ok {
+			return i
+		}
+	}
+	return 0
+}
+
+// Bool reads a bool attribute, returning false when unset.
+func (e *Element) Bool(attr string) bool {
+	if v, ok := e.attrs[attr]; ok {
+		if b, ok := v.(bool); ok {
+			return b
+		}
+	}
+	return false
+}
+
+// Float reads a float attribute, returning 0 when unset.
+func (e *Element) Float(attr string) float64 {
+	if v, ok := e.attrs[attr]; ok {
+		if f, ok := v.(float64); ok {
+			return f
+		}
+	}
+	return 0
+}
+
+// Add appends target to a reference after validating the target class and
+// multiplicity.
+func (e *Element) Add(ref string, target *Element) error {
+	r, ok := e.class.reference(ref)
+	if !ok {
+		return fmt.Errorf("metamodel: class %s has no reference %q", e.class.Name, ref)
+	}
+	if target == nil {
+		return fmt.Errorf("metamodel: %s.%s: nil target", e.class.Name, ref)
+	}
+	if target.model != e.model {
+		return fmt.Errorf("metamodel: %s.%s: target belongs to a different model", e.class.Name, ref)
+	}
+	if !target.class.IsA(r.Target) {
+		return fmt.Errorf("metamodel: %s.%s requires %s, got %s", e.class.Name, ref, r.Target, target.class.Name)
+	}
+	if !r.Many && len(e.refs[ref]) > 0 {
+		return fmt.Errorf("metamodel: %s.%s is single-valued", e.class.Name, ref)
+	}
+	e.refs[ref] = append(e.refs[ref], target)
+	return nil
+}
+
+// MustAdd is Add, panicking on error.
+func (e *Element) MustAdd(ref string, target *Element) *Element {
+	if err := e.Add(ref, target); err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Refs returns the targets of a reference (nil when empty).
+func (e *Element) Refs(ref string) []*Element {
+	return e.refs[ref]
+}
+
+// Ref returns the single target of a reference (nil when unset).
+func (e *Element) Ref(ref string) *Element {
+	if ts := e.refs[ref]; len(ts) > 0 {
+		return ts[0]
+	}
+	return nil
+}
+
+// Name is a convenience for the ubiquitous "name" attribute.
+func (e *Element) Name() string { return e.Str("name") }
+
+// Model is an M1-level model: a set of elements conforming to one
+// metamodel.
+type Model struct {
+	mm       *Metamodel
+	elements []*Element
+	byID     map[string]*Element
+	nextID   int
+}
+
+// NewModel creates an empty model over a metamodel.
+func NewModel(mm *Metamodel) *Model {
+	return &Model{mm: mm, byID: make(map[string]*Element)}
+}
+
+// Metamodel returns the model's metamodel.
+func (m *Model) Metamodel() *Metamodel { return m.mm }
+
+// New instantiates a class. Abstract classes cannot be instantiated.
+func (m *Model) New(className string) (*Element, error) {
+	c, ok := m.mm.classes[className]
+	if !ok {
+		return nil, fmt.Errorf("metamodel: metamodel %s has no class %q", m.mm.Name, className)
+	}
+	if c.Abstract {
+		return nil, fmt.Errorf("metamodel: class %s is abstract", className)
+	}
+	m.nextID++
+	e := &Element{
+		id:    fmt.Sprintf("%s-%d", className, m.nextID),
+		class: c,
+		attrs: make(map[string]any),
+		refs:  make(map[string][]*Element),
+		model: m,
+	}
+	m.elements = append(m.elements, e)
+	m.byID[e.id] = e
+	return e, nil
+}
+
+// MustNew is New, panicking on error.
+func (m *Model) MustNew(className string) *Element {
+	e, err := m.New(className)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Lookup finds an element by id.
+func (m *Model) Lookup(id string) (*Element, bool) {
+	e, ok := m.byID[id]
+	return e, ok
+}
+
+// Elements returns every element in creation order.
+func (m *Model) Elements() []*Element { return m.elements }
+
+// ElementsOf returns elements whose class is name or a subclass of it.
+func (m *Model) ElementsOf(className string) []*Element {
+	var out []*Element
+	for _, e := range m.elements {
+		if e.class.IsA(className) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FindByName returns the first element of the class with the given "name"
+// attribute.
+func (m *Model) FindByName(className, name string) (*Element, bool) {
+	for _, e := range m.ElementsOf(className) {
+		if e.Name() == name {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// Len reports the element count.
+func (m *Model) Len() int { return len(m.elements) }
+
+// Validate checks every element for required attributes and references,
+// and containment for single ownership and acyclicity.
+func (m *Model) Validate() error {
+	owner := make(map[*Element]*Element)
+	for _, e := range m.elements {
+		for _, a := range e.class.Attributes() {
+			if a.Required {
+				if _, ok := e.attrs[a.Name]; !ok {
+					return fmt.Errorf("metamodel: %s (%s): required attribute %q unset", e.id, e.class.Name, a.Name)
+				}
+			}
+		}
+		for _, r := range e.class.References() {
+			targets := e.refs[r.Name]
+			if r.Required && len(targets) == 0 {
+				return fmt.Errorf("metamodel: %s (%s): required reference %q empty", e.id, e.class.Name, r.Name)
+			}
+			if !r.Many && len(targets) > 1 {
+				return fmt.Errorf("metamodel: %s (%s): reference %q is single-valued, has %d targets", e.id, e.class.Name, r.Name, len(targets))
+			}
+			if r.Containment {
+				for _, t := range targets {
+					if prev, owned := owner[t]; owned && prev != e {
+						return fmt.Errorf("metamodel: element %s contained by both %s and %s", t.id, prev.id, e.id)
+					}
+					owner[t] = e
+				}
+			}
+		}
+	}
+	// Containment acyclicity.
+	for e := range owner {
+		seen := map[*Element]bool{}
+		for cur := e; cur != nil; cur = owner[cur] {
+			if seen[cur] {
+				return fmt.Errorf("metamodel: containment cycle through %s", cur.id)
+			}
+			seen[cur] = true
+		}
+	}
+	return nil
+}
+
+// sortedAttrNames returns an element's set attribute names sorted, for
+// deterministic serialization.
+func (e *Element) sortedAttrNames() []string {
+	names := make([]string, 0, len(e.attrs))
+	for n := range e.attrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (e *Element) sortedRefNames() []string {
+	names := make([]string, 0, len(e.refs))
+	for n := range e.refs {
+		if len(e.refs[n]) > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

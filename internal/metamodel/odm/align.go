@@ -1,0 +1,261 @@
+package odm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/odbis/odbis/internal/metamodel"
+	"github.com/odbis/odbis/internal/metamodel/cwm"
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// Match aligns one source column with one target column.
+type Match struct {
+	SourceTable  string
+	SourceColumn string
+	TargetTable  string
+	TargetColumn string
+	// Via explains the evidence: "exact", "ontology:<concept>" or
+	// "similarity".
+	Via string
+	// Confidence ∈ (0, 1]: 1.0 exact, 0.9 ontology, similarity score
+	// otherwise.
+	Confidence float64
+}
+
+// AlignOptions tune the matcher.
+type AlignOptions struct {
+	// MinSimilarity is the cut-off for name-similarity fallback matches
+	// (default 0.75; set above 1 to disable the fallback).
+	MinSimilarity float64
+}
+
+// AlignSchemas matches the columns of two CWM Relational models through
+// exact names, ontology concepts (names, labels, synonyms, equivalent
+// classes), and finally string similarity — the "semantic schemas
+// integration" the paper assigns to the ODM. The ontology may be nil
+// (pure lexical matching).
+func AlignSchemas(source, target *metamodel.Model, onto *metamodel.Model, opts AlignOptions) ([]Match, error) {
+	if source.Metamodel() != cwm.Relational || target.Metamodel() != cwm.Relational {
+		return nil, fmt.Errorf("odm: AlignSchemas expects %s models", cwm.RelationalName)
+	}
+	if opts.MinSimilarity == 0 {
+		opts.MinSimilarity = 0.75
+	}
+	var vocab *Vocabulary
+	if onto != nil {
+		var err error
+		vocab, err = BuildVocabulary(onto)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	type columnRef struct {
+		table, column string
+	}
+	collect := func(m *metamodel.Model) []columnRef {
+		var out []columnRef
+		for _, t := range m.ElementsOf("Table") {
+			for _, c := range t.Refs("columns") {
+				out = append(out, columnRef{table: t.Name(), column: c.Name()})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].table != out[j].table {
+				return out[i].table < out[j].table
+			}
+			return out[i].column < out[j].column
+		})
+		return out
+	}
+	src := collect(source)
+	dst := collect(target)
+
+	concept := func(name string) string {
+		if vocab == nil {
+			return ""
+		}
+		return vocab.Concept(name)
+	}
+
+	var matches []Match
+	usedTarget := map[columnRef]bool{}
+	claim := func(s, d columnRef, via string, conf float64) {
+		usedTarget[d] = true
+		matches = append(matches, Match{
+			SourceTable: s.table, SourceColumn: s.column,
+			TargetTable: d.table, TargetColumn: d.column,
+			Via: via, Confidence: conf,
+		})
+	}
+
+	// Pass 1: exact normalized names.
+	matchedSrc := map[columnRef]bool{}
+	for _, s := range src {
+		for _, d := range dst {
+			if usedTarget[d] {
+				continue
+			}
+			if normalize(s.column) == normalize(d.column) {
+				claim(s, d, "exact", 1.0)
+				matchedSrc[s] = true
+				break
+			}
+		}
+	}
+	// Pass 2: shared ontology concept.
+	for _, s := range src {
+		if matchedSrc[s] {
+			continue
+		}
+		sc := concept(s.column)
+		if sc == "" {
+			continue
+		}
+		for _, d := range dst {
+			if usedTarget[d] {
+				continue
+			}
+			if concept(d.column) == sc {
+				claim(s, d, "ontology:"+sc, 0.9)
+				matchedSrc[s] = true
+				break
+			}
+		}
+	}
+	// Pass 3: string similarity fallback.
+	if opts.MinSimilarity <= 1 {
+		for _, s := range src {
+			if matchedSrc[s] {
+				continue
+			}
+			best := columnRef{}
+			bestScore := 0.0
+			for _, d := range dst {
+				if usedTarget[d] {
+					continue
+				}
+				score := Similarity(s.column, d.column)
+				if score > bestScore {
+					best, bestScore = d, score
+				}
+			}
+			if bestScore >= opts.MinSimilarity {
+				claim(s, best, "similarity", bestScore)
+				matchedSrc[s] = true
+			}
+		}
+	}
+	return matches, nil
+}
+
+// RenameMapping converts matches into the old-name → new-name map an
+// etl.Rename transform consumes, turning schema alignment into runnable
+// data integration (the paper's "semantic data integration").
+func RenameMapping(matches []Match) map[string]string {
+	out := make(map[string]string, len(matches))
+	for _, m := range matches {
+		if m.SourceColumn != m.TargetColumn {
+			out[m.SourceColumn] = m.TargetColumn
+		}
+	}
+	return out
+}
+
+// RelationalFromSchemas lifts storage schemas into a CWM Relational
+// model so physical tables can participate in semantic alignment.
+func RelationalFromSchemas(schemas ...*storage.Schema) (*metamodel.Model, error) {
+	m := metamodel.NewModel(cwm.Relational)
+	for _, s := range schemas {
+		tab, err := m.New("Table")
+		if err != nil {
+			return nil, err
+		}
+		if err := tab.Set("name", s.Name); err != nil {
+			return nil, err
+		}
+		for _, c := range s.Columns {
+			col, err := m.New("Column")
+			if err != nil {
+				return nil, err
+			}
+			if err := col.Set("name", c.Name); err != nil {
+				return nil, err
+			}
+			if err := col.Set("type", c.Type.String()); err != nil {
+				return nil, err
+			}
+			if err := col.Set("nullable", !c.NotNull); err != nil {
+				return nil, err
+			}
+			if err := tab.Add("columns", col); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Similarity is a normalized Levenshtein similarity over normalized
+// identifiers: 1.0 identical, 0.0 disjoint.
+func Similarity(a, b string) float64 {
+	na, nb := normalize(a), normalize(b)
+	if na == nb {
+		return 1.0
+	}
+	if len(na) == 0 || len(nb) == 0 {
+		return 0.0
+	}
+	d := levenshtein(na, nb)
+	longest := len(na)
+	if len(nb) > longest {
+		longest = len(nb)
+	}
+	return 1.0 - float64(d)/float64(longest)
+}
+
+func levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func minInt(vals ...int) int {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Explain renders matches as a readable table for design-time review.
+func Explain(matches []Match) string {
+	var sb strings.Builder
+	for _, m := range matches {
+		fmt.Fprintf(&sb, "%s.%s -> %s.%s  (%s, %.2f)\n",
+			m.SourceTable, m.SourceColumn, m.TargetTable, m.TargetColumn, m.Via, m.Confidence)
+	}
+	return sb.String()
+}

@@ -1,0 +1,277 @@
+// Package odm implements the Ontology Definition Metamodel and the
+// semantic integration it enables — the paper's declared future work:
+// "The Ontology Definition Metamodel (ODM) is proposed to design some
+// model presented as ontology, used to solve the semantic schemas
+// integration and the semantic data integration problems" (§3.2), and
+// "for the future, we plan to integrate other metamodels as the ODM"
+// (§3.3).
+//
+// The metamodel is a pragmatic OWL-lite subset on the reflective kernel:
+// ontologies contain classes (with subclassing and synonyms), properties
+// (datatype or object, with domain/range), and individuals. On top of it,
+// align.go matches heterogeneous relational schemas through shared
+// ontology concepts.
+package odm
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/odbis/odbis/internal/metamodel"
+)
+
+// Name of the ODM metamodel.
+const Name = "ODM"
+
+// MM is the ODM metamodel, built once at package init.
+var MM = build()
+
+func build() *metamodel.Metamodel {
+	mm := metamodel.New(Name)
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:     "OntologyElement",
+		Abstract: true,
+		Attributes: []metamodel.Attribute{
+			{Name: "name", Type: metamodel.AttrString, Required: true},
+			{Name: "label", Type: metamodel.AttrString},
+			// synonyms is a comma-separated list of alternate names used
+			// by the schema matcher.
+			{Name: "synonyms", Type: metamodel.AttrString},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "OntClass",
+		Super: "OntologyElement",
+		References: []metamodel.Reference{
+			{Name: "subClassOf", Target: "OntClass"},
+			{Name: "equivalentTo", Target: "OntClass", Many: true},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "Property",
+		Super: "OntologyElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "kind", Type: metamodel.AttrString, Required: true,
+				Enum: []string{"datatype", "object"}},
+			{Name: "datatype", Type: metamodel.AttrString,
+				Enum: []string{"", "text", "number", "date", "flag"}},
+		},
+		References: []metamodel.Reference{
+			{Name: "domain", Target: "OntClass", Required: true},
+			{Name: "range", Target: "OntClass"},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "Individual",
+		Super: "OntologyElement",
+		References: []metamodel.Reference{
+			{Name: "type", Target: "OntClass", Required: true},
+		},
+	})
+	mm.MustDefine(metamodel.ClassSpec{
+		Name:  "Ontology",
+		Super: "OntologyElement",
+		Attributes: []metamodel.Attribute{
+			{Name: "namespace", Type: metamodel.AttrString},
+		},
+		References: []metamodel.Reference{
+			{Name: "classes", Target: "OntClass", Containment: true, Many: true},
+			{Name: "properties", Target: "Property", Containment: true, Many: true},
+			{Name: "individuals", Target: "Individual", Containment: true, Many: true},
+		},
+	})
+	if err := mm.Validate(); err != nil {
+		panic(err)
+	}
+	return mm
+}
+
+// ClassSpec declares one ontology class for Build.
+type ClassSpec struct {
+	Name     string
+	Label    string
+	Synonyms []string
+	// SubClassOf names the parent class (declared earlier in the spec).
+	SubClassOf string
+}
+
+// PropertySpec declares one property for Build.
+type PropertySpec struct {
+	Name     string
+	Synonyms []string
+	Domain   string // class name
+	Range    string // class name (object properties)
+	Datatype string // text, number, date, flag (datatype properties)
+}
+
+// Spec is a convenience description of an ontology.
+type Spec struct {
+	Name       string
+	Namespace  string
+	Classes    []ClassSpec
+	Properties []PropertySpec
+}
+
+// Build constructs a validated ODM model from the spec.
+func (s Spec) Build() (*metamodel.Model, error) {
+	m := metamodel.NewModel(MM)
+	onto, err := m.New("Ontology")
+	if err != nil {
+		return nil, err
+	}
+	if err := onto.Set("name", s.Name); err != nil {
+		return nil, err
+	}
+	if s.Namespace != "" {
+		if err := onto.Set("namespace", s.Namespace); err != nil {
+			return nil, err
+		}
+	}
+	classes := map[string]*metamodel.Element{}
+	for _, cs := range s.Classes {
+		c, err := m.New("OntClass")
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Set("name", cs.Name); err != nil {
+			return nil, err
+		}
+		if cs.Label != "" {
+			if err := c.Set("label", cs.Label); err != nil {
+				return nil, err
+			}
+		}
+		if len(cs.Synonyms) > 0 {
+			if err := c.Set("synonyms", strings.Join(cs.Synonyms, ",")); err != nil {
+				return nil, err
+			}
+		}
+		if cs.SubClassOf != "" {
+			parent, ok := classes[cs.SubClassOf]
+			if !ok {
+				return nil, fmt.Errorf("odm: class %s extends undeclared %s", cs.Name, cs.SubClassOf)
+			}
+			if err := c.Add("subClassOf", parent); err != nil {
+				return nil, err
+			}
+		}
+		if err := onto.Add("classes", c); err != nil {
+			return nil, err
+		}
+		classes[cs.Name] = c
+	}
+	for _, ps := range s.Properties {
+		p, err := m.New("Property")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Set("name", ps.Name); err != nil {
+			return nil, err
+		}
+		if len(ps.Synonyms) > 0 {
+			if err := p.Set("synonyms", strings.Join(ps.Synonyms, ",")); err != nil {
+				return nil, err
+			}
+		}
+		kind := "datatype"
+		if ps.Range != "" {
+			kind = "object"
+		}
+		if err := p.Set("kind", kind); err != nil {
+			return nil, err
+		}
+		if ps.Datatype != "" {
+			if err := p.Set("datatype", ps.Datatype); err != nil {
+				return nil, err
+			}
+		}
+		domain, ok := classes[ps.Domain]
+		if !ok {
+			return nil, fmt.Errorf("odm: property %s has undeclared domain %q", ps.Name, ps.Domain)
+		}
+		if err := p.Add("domain", domain); err != nil {
+			return nil, err
+		}
+		if ps.Range != "" {
+			rng, ok := classes[ps.Range]
+			if !ok {
+				return nil, fmt.Errorf("odm: property %s has undeclared range %q", ps.Name, ps.Range)
+			}
+			if err := p.Add("range", rng); err != nil {
+				return nil, err
+			}
+		}
+		if err := onto.Add("properties", p); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Vocabulary indexes an ontology's names and synonyms onto canonical
+// concepts, the structure the schema matcher consumes.
+type Vocabulary struct {
+	// canon maps every normalized name/label/synonym to the canonical
+	// concept name.
+	canon map[string]string
+}
+
+// BuildVocabulary indexes an ODM model. Equivalent classes collapse onto
+// one canonical concept (the first declared).
+func BuildVocabulary(onto *metamodel.Model) (*Vocabulary, error) {
+	if onto.Metamodel() != MM {
+		return nil, fmt.Errorf("odm: model conforms to %s, not %s", onto.Metamodel().Name, Name)
+	}
+	v := &Vocabulary{canon: map[string]string{}}
+	add := func(alias, canonical string) {
+		key := normalize(alias)
+		if key == "" {
+			return
+		}
+		if _, exists := v.canon[key]; !exists {
+			v.canon[key] = canonical
+		}
+	}
+	index := func(e *metamodel.Element) {
+		canonical := e.Name()
+		// Equivalent classes share the target concept.
+		if eq := e.Refs("equivalentTo"); len(eq) > 0 {
+			canonical = eq[0].Name()
+		}
+		add(e.Name(), canonical)
+		add(e.Str("label"), canonical)
+		for _, syn := range strings.Split(e.Str("synonyms"), ",") {
+			add(syn, canonical)
+		}
+	}
+	for _, c := range onto.ElementsOf("OntClass") {
+		index(c)
+	}
+	for _, p := range onto.ElementsOf("Property") {
+		index(p)
+	}
+	return v, nil
+}
+
+// Concept resolves a schema identifier to its canonical ontology concept
+// ("" when unknown).
+func (v *Vocabulary) Concept(identifier string) string {
+	return v.canon[normalize(identifier)]
+}
+
+// normalize folds case and separators: "Sales_Amount" and "sales amount"
+// meet at "salesamount".
+func normalize(s string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(s)) {
+		switch r {
+		case '_', '-', ' ', '.':
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,254 @@
+package odm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/odbis/odbis/internal/etl"
+	"github.com/odbis/odbis/internal/metamodel"
+	"github.com/odbis/odbis/internal/metamodel/cwm"
+)
+
+func salesOntology(t testing.TB) *metamodel.Model {
+	t.Helper()
+	m, err := Spec{
+		Name:      "commerce",
+		Namespace: "http://odbis.example/commerce#",
+		Classes: []ClassSpec{
+			{Name: "Party"},
+			{Name: "Customer", SubClassOf: "Party", Synonyms: []string{"client", "buyer"}},
+			{Name: "Transaction"},
+			{Name: "Sale", SubClassOf: "Transaction", Label: "sale event"},
+		},
+		Properties: []PropertySpec{
+			{Name: "revenue", Domain: "Sale", Datatype: "number",
+				Synonyms: []string{"sales_amount", "turnover", "amount"}},
+			{Name: "customerName", Domain: "Customer", Datatype: "text",
+				Synonyms: []string{"client_name", "buyer name"}},
+			{Name: "buyer", Domain: "Sale", Range: "Customer"},
+		},
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMetamodelWellFormed(t *testing.T) {
+	if err := MM.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(MM.Classes()) != 5 {
+		t.Errorf("classes = %v", MM.Classes())
+	}
+}
+
+func TestSpecBuild(t *testing.T) {
+	m := salesOntology(t)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sale, ok := m.FindByName("OntClass", "Sale")
+	if !ok {
+		t.Fatal("Sale missing")
+	}
+	if sale.Ref("subClassOf") == nil || sale.Ref("subClassOf").Name() != "Transaction" {
+		t.Error("subclassing lost")
+	}
+	buyer, _ := m.FindByName("Property", "buyer")
+	if buyer.Str("kind") != "object" || buyer.Ref("range").Name() != "Customer" {
+		t.Errorf("object property wrong: %s", buyer.Str("kind"))
+	}
+	rev, _ := m.FindByName("Property", "revenue")
+	if rev.Str("kind") != "datatype" {
+		t.Error("datatype property wrong")
+	}
+}
+
+func TestSpecBuildErrors(t *testing.T) {
+	if _, err := (Spec{Name: "x", Classes: []ClassSpec{{Name: "A", SubClassOf: "Ghost"}}}).Build(); err == nil {
+		t.Error("undeclared parent accepted")
+	}
+	if _, err := (Spec{Name: "x", Properties: []PropertySpec{{Name: "p", Domain: "Ghost"}}}).Build(); err == nil {
+		t.Error("undeclared domain accepted")
+	}
+	if _, err := (Spec{
+		Name:       "x",
+		Classes:    []ClassSpec{{Name: "A"}},
+		Properties: []PropertySpec{{Name: "p", Domain: "A", Range: "Ghost"}},
+	}).Build(); err == nil {
+		t.Error("undeclared range accepted")
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	v, err := BuildVocabulary(salesOntology(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"revenue":      "revenue",
+		"Sales_Amount": "revenue", // synonym, normalized
+		"TURNOVER":     "revenue",
+		"client":       "Customer",
+		"buyer name":   "customerName",
+		"sale event":   "Sale", // label
+		"unrelated":    "",
+	}
+	for in, want := range cases {
+		if got := v.Concept(in); got != want {
+			t.Errorf("Concept(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// Vocabulary only accepts ODM models.
+	if _, err := BuildVocabulary(metamodel.NewModel(cwm.Relational)); err == nil {
+		t.Error("non-ODM model accepted")
+	}
+}
+
+func TestEquivalentClassesShareConcept(t *testing.T) {
+	m := metamodel.NewModel(MM)
+	onto := m.MustNew("Ontology").MustSet("name", "o")
+	a := m.MustNew("OntClass").MustSet("name", "Patient")
+	b := m.MustNew("OntClass").MustSet("name", "Subject")
+	b.MustAdd("equivalentTo", a)
+	onto.MustAdd("classes", a)
+	onto.MustAdd("classes", b)
+	v, err := BuildVocabulary(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Concept("Subject") != "Patient" || v.Concept("Patient") != "Patient" {
+		t.Errorf("equivalence not collapsed: %q / %q", v.Concept("Subject"), v.Concept("Patient"))
+	}
+}
+
+// relSchema builds a CWM Relational model with one table.
+func relSchema(t testing.TB, table string, cols ...string) *metamodel.Model {
+	t.Helper()
+	m := metamodel.NewModel(cwm.Relational)
+	tab := m.MustNew("Table").MustSet("name", table)
+	for _, c := range cols {
+		col := m.MustNew("Column").MustSet("name", c).MustSet("type", "TEXT")
+		tab.MustAdd("columns", col)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAlignSchemas(t *testing.T) {
+	// Legacy CRM schema vs the warehouse target: different vocabularies.
+	src := relSchema(t, "crm_orders", "order_id", "client_name", "turnover", "ship_datee")
+	dst := relSchema(t, "fact_sales", "order_id", "customer_name", "revenue", "ship_date", "untouched")
+	matches, err := AlignSchemas(src, dst, salesOntology(t), AlignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCol := map[string]Match{}
+	for _, m := range matches {
+		byCol[m.SourceColumn] = m
+	}
+	if m := byCol["order_id"]; m.TargetColumn != "order_id" || m.Via != "exact" || m.Confidence != 1.0 {
+		t.Errorf("order_id match = %+v", m)
+	}
+	if m := byCol["turnover"]; m.TargetColumn != "revenue" || !strings.HasPrefix(m.Via, "ontology:") {
+		t.Errorf("turnover match = %+v", m)
+	}
+	if m := byCol["client_name"]; m.TargetColumn != "customer_name" || !strings.HasPrefix(m.Via, "ontology:") {
+		t.Errorf("client_name match = %+v", m)
+	}
+	// Typo matched by similarity fallback.
+	if m := byCol["ship_datee"]; m.TargetColumn != "ship_date" || m.Via != "similarity" || m.Confidence < 0.75 {
+		t.Errorf("ship_datee match = %+v", m)
+	}
+	if len(matches) != 4 {
+		t.Errorf("matches:\n%s", Explain(matches))
+	}
+}
+
+func TestAlignWithoutOntology(t *testing.T) {
+	src := relSchema(t, "a", "order_id", "turnover")
+	dst := relSchema(t, "b", "order_id", "revenue")
+	matches, err := AlignSchemas(src, dst, nil, AlignOptions{MinSimilarity: 2}) // fallback disabled
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].SourceColumn != "order_id" {
+		t.Errorf("matches = %+v", matches)
+	}
+}
+
+func TestAlignRejectsWrongMetamodels(t *testing.T) {
+	onto := salesOntology(t)
+	if _, err := AlignSchemas(onto, onto, nil, AlignOptions{}); err == nil {
+		t.Error("non-relational inputs accepted")
+	}
+}
+
+func TestRenameMappingDrivesETL(t *testing.T) {
+	src := relSchema(t, "crm_orders", "client_name", "turnover")
+	dst := relSchema(t, "fact_sales", "customer_name", "revenue")
+	matches, err := AlignSchemas(src, dst, salesOntology(t), AlignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping := RenameMapping(matches)
+	out, err := etl.Rename{Mapping: mapping}.Apply([]etl.Record{
+		{"client_name": "acme", "turnover": 12.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := out[0]
+	if rec["customer_name"] != "acme" || rec["revenue"] != 12.5 {
+		t.Errorf("semantic integration failed: %v", rec)
+	}
+	if _, stale := rec["client_name"]; stale {
+		t.Error("old field name survived")
+	}
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	if Similarity("ship_date", "ship_datee") < 0.8 {
+		t.Error("near-identical strings score low")
+	}
+	if Similarity("alpha", "omega3") > 0.5 {
+		t.Error("dissimilar strings score high")
+	}
+	// Symmetry and identity, property-based.
+	f := func(a, b string) bool {
+		sab, sba := Similarity(a, b), Similarity(b, a)
+		if sab != sba {
+			return false
+		}
+		if Similarity(a, a) != 1.0 {
+			return false
+		}
+		return sab >= 0 && sab <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestODMXMIRoundTrip(t *testing.T) {
+	m := salesOntology(t)
+	xml, err := m.ExportString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := metamodel.ImportString(MM, xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := BuildVocabulary(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Concept("turnover") != "revenue" {
+		t.Error("vocabulary lost in round trip")
+	}
+}

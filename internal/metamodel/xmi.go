@@ -1,0 +1,222 @@
+package metamodel
+
+import (
+	"encoding/base64"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// XML interchange in the spirit of XMI: models serialize to a
+// deterministic XML document and can be re-imported against the same
+// metamodel. The paper's platform relies on JMI's XMI support for
+// "metamodel and metadata interchange via XML"; this file provides the
+// equivalent facility.
+
+type xmiDoc struct {
+	XMLName   xml.Name     `xml:"xmi"`
+	Metamodel string       `xml:"metamodel,attr"`
+	Version   string       `xml:"version,attr"`
+	Elements  []xmiElement `xml:"element"`
+}
+
+type xmiElement struct {
+	ID    string    `xml:"id,attr"`
+	Class string    `xml:"class,attr"`
+	Attrs []xmiAttr `xml:"attr"`
+	Refs  []xmiRef  `xml:"ref"`
+}
+
+type xmiAttr struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+	// Enc marks base64-encoded values: strings containing characters XML
+	// cannot carry (control characters, invalid UTF-8) are transported
+	// opaquely so every Go string round-trips.
+	Enc   string `xml:"enc,attr,omitempty"`
+	Value string `xml:",chardata"`
+}
+
+// xmlSafe reports whether s consists solely of characters representable
+// in XML 1.0 character data.
+func xmlSafe(s string) bool {
+	if !utf8.ValidString(s) {
+		return false
+	}
+	for _, r := range s {
+		// \r is representable but parsers normalize it to \n, so it is
+		// treated as unsafe to keep round-trips byte-exact.
+		ok := r == 0x9 || r == 0xA ||
+			(r >= 0x20 && r <= 0xD7FF) ||
+			(r >= 0xE000 && r <= 0xFFFD) ||
+			(r >= 0x10000 && r <= 0x10FFFF)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+type xmiRef struct {
+	Name    string `xml:"name,attr"`
+	Targets string `xml:"targets,attr"` // space-separated element ids
+}
+
+const xmiVersion = "1.0"
+
+// Export writes the model as XML.
+func (m *Model) Export(w io.Writer) error {
+	doc := xmiDoc{Metamodel: m.mm.Name, Version: xmiVersion}
+	for _, e := range m.elements {
+		xe := xmiElement{ID: e.id, Class: e.class.Name}
+		for _, name := range e.sortedAttrNames() {
+			v := e.attrs[name]
+			var typ, val, enc string
+			switch x := v.(type) {
+			case string:
+				typ, val = "string", x
+				if !xmlSafe(x) {
+					val = base64.StdEncoding.EncodeToString([]byte(x))
+					enc = "base64"
+				}
+			case int64:
+				typ, val = "int", strconv.FormatInt(x, 10)
+			case float64:
+				typ, val = "float", strconv.FormatFloat(x, 'g', -1, 64)
+			case bool:
+				typ, val = "bool", strconv.FormatBool(x)
+			default:
+				return fmt.Errorf("metamodel: cannot export attribute %s=%T", name, v)
+			}
+			xe.Attrs = append(xe.Attrs, xmiAttr{Name: name, Type: typ, Enc: enc, Value: val})
+		}
+		for _, name := range e.sortedRefNames() {
+			ids := make([]string, len(e.refs[name]))
+			for i, t := range e.refs[name] {
+				ids[i] = t.id
+			}
+			xe.Refs = append(xe.Refs, xmiRef{Name: name, Targets: strings.Join(ids, " ")})
+		}
+		doc.Elements = append(doc.Elements, xe)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// ExportString renders the model as an XML string.
+func (m *Model) ExportString() (string, error) {
+	var sb strings.Builder
+	if err := m.Export(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// Import reads an XML document produced by Export into a fresh model over
+// mm. Element ids are preserved.
+func Import(mm *Metamodel, r io.Reader) (*Model, error) {
+	var doc xmiDoc
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("metamodel: import: %w", err)
+	}
+	if doc.Metamodel != mm.Name {
+		return nil, fmt.Errorf("metamodel: document targets metamodel %q, not %q", doc.Metamodel, mm.Name)
+	}
+	m := NewModel(mm)
+	// First pass: create elements with their original ids.
+	for _, xe := range doc.Elements {
+		c, ok := mm.classes[xe.Class]
+		if !ok {
+			return nil, fmt.Errorf("metamodel: import: unknown class %q", xe.Class)
+		}
+		if c.Abstract {
+			return nil, fmt.Errorf("metamodel: import: abstract class %q", xe.Class)
+		}
+		if _, dup := m.byID[xe.ID]; dup {
+			return nil, fmt.Errorf("metamodel: import: duplicate id %q", xe.ID)
+		}
+		e := &Element{id: xe.ID, class: c, attrs: make(map[string]any), refs: make(map[string][]*Element), model: m}
+		m.elements = append(m.elements, e)
+		m.byID[e.id] = e
+		// Keep the id counter ahead of any imported numeric suffix so new
+		// elements cannot collide with imported ids.
+		m.nextID++
+		if dash := strings.LastIndexByte(xe.ID, '-'); dash >= 0 {
+			if n, err := strconv.Atoi(xe.ID[dash+1:]); err == nil && n > m.nextID {
+				m.nextID = n
+			}
+		}
+		for _, xa := range xe.Attrs {
+			var v any
+			var err error
+			switch xa.Type {
+			case "string":
+				if xa.Enc == "base64" {
+					raw, derr := base64.StdEncoding.DecodeString(xa.Value)
+					if derr != nil {
+						err = fmt.Errorf("bad base64 value: %w", derr)
+						break
+					}
+					v = string(raw)
+					break
+				}
+				v = xa.Value
+			case "int":
+				v, err = strconv.ParseInt(xa.Value, 10, 64)
+			case "float":
+				v, err = strconv.ParseFloat(xa.Value, 64)
+			case "bool":
+				v, err = strconv.ParseBool(xa.Value)
+			default:
+				err = fmt.Errorf("unknown attribute type %q", xa.Type)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("metamodel: import %s.%s: %w", xe.ID, xa.Name, err)
+			}
+			if err := e.Set(xa.Name, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Second pass: resolve references.
+	for _, xe := range doc.Elements {
+		e := m.byID[xe.ID]
+		for _, xr := range xe.Refs {
+			for _, tid := range strings.Fields(xr.Targets) {
+				t, ok := m.byID[tid]
+				if !ok {
+					return nil, fmt.Errorf("metamodel: import: %s.%s references missing element %q", xe.ID, xr.Name, tid)
+				}
+				if err := e.Add(xr.Name, t); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// ImportString is Import from a string.
+func ImportString(mm *Metamodel, s string) (*Model, error) {
+	return Import(mm, strings.NewReader(s))
+}
+
+// Clone deep-copies a model via an in-memory export/import round-trip.
+func (m *Model) Clone() (*Model, error) {
+	s, err := m.ExportString()
+	if err != nil {
+		return nil, err
+	}
+	return ImportString(m.mm, s)
+}

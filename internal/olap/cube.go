@@ -1,0 +1,444 @@
+// Package olap is the multidimensional analysis substrate behind the
+// ODBIS Analysis Service (AS) — "definition of analysis data models (OLAP
+// data cube), data cube visualization and navigation" (§3.1). It stands
+// in for a Mondrian-class analysis server.
+//
+// A Cube is built from a star schema in the storage engine: a fact table
+// whose foreign keys point at dimension tables. The build step
+// dictionary-encodes every dimension level into dense integer codes, so
+// queries aggregate over compact arrays. Queries support slice, dice,
+// drill-down, roll-up and pivot, with an optional cell cache memoizing
+// aggregated blocks.
+package olap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// Agg identifies a measure aggregation.
+type Agg string
+
+// Supported aggregations.
+const (
+	AggSum   Agg = "sum"
+	AggAvg   Agg = "avg"
+	AggMin   Agg = "min"
+	AggMax   Agg = "max"
+	AggCount Agg = "count"
+)
+
+// ParseAgg validates an aggregation name.
+func ParseAgg(s string) (Agg, error) {
+	switch Agg(strings.ToLower(s)) {
+	case AggSum:
+		return AggSum, nil
+	case AggAvg:
+		return AggAvg, nil
+	case AggMin:
+		return AggMin, nil
+	case AggMax:
+		return AggMax, nil
+	case AggCount:
+		return AggCount, nil
+	}
+	return "", fmt.Errorf("olap: unknown aggregation %q", s)
+}
+
+// MeasureSpec declares one measure of a cube.
+type MeasureSpec struct {
+	Name string
+	// Column is the fact-table column holding the measure value (ignored
+	// for count).
+	Column string
+	Agg    Agg
+}
+
+// LevelSpec declares one level of a dimension hierarchy, coarse→fine.
+type LevelSpec struct {
+	Name string
+	// Column is the dimension-table column holding the level member.
+	Column string
+}
+
+// DimensionSpec declares one dimension of a cube.
+type DimensionSpec struct {
+	Name string
+	// Table is the dimension table; empty for a degenerate dimension whose
+	// levels live directly on the fact table.
+	Table string
+	// Key is the dimension table's key column joined from the fact table.
+	Key string
+	// FactFK is the fact-table foreign-key column.
+	FactFK string
+	// Levels are ordered coarse→fine.
+	Levels []LevelSpec
+}
+
+// CubeSpec declares a cube over a star schema.
+type CubeSpec struct {
+	Name       string
+	FactTable  string
+	Measures   []MeasureSpec
+	Dimensions []DimensionSpec
+}
+
+// Validate checks structural well-formedness (table existence is checked
+// at build time).
+func (s *CubeSpec) Validate() error {
+	if s.Name == "" || s.FactTable == "" {
+		return fmt.Errorf("olap: cube needs a name and a fact table")
+	}
+	if len(s.Measures) == 0 {
+		return fmt.Errorf("olap: cube %s has no measures", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, m := range s.Measures {
+		if m.Name == "" {
+			return fmt.Errorf("olap: cube %s: unnamed measure", s.Name)
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("olap: cube %s: duplicate measure %q", s.Name, m.Name)
+		}
+		seen[m.Name] = true
+		if _, err := ParseAgg(string(m.Agg)); err != nil {
+			return err
+		}
+		if m.Agg != AggCount && m.Column == "" {
+			return fmt.Errorf("olap: cube %s: measure %q needs a column", s.Name, m.Name)
+		}
+	}
+	dseen := map[string]bool{}
+	for _, d := range s.Dimensions {
+		if d.Name == "" {
+			return fmt.Errorf("olap: cube %s: unnamed dimension", s.Name)
+		}
+		if dseen[d.Name] {
+			return fmt.Errorf("olap: cube %s: duplicate dimension %q", s.Name, d.Name)
+		}
+		dseen[d.Name] = true
+		if len(d.Levels) == 0 {
+			return fmt.Errorf("olap: cube %s: dimension %q has no levels", s.Name, d.Name)
+		}
+		if d.Table != "" && (d.Key == "" || d.FactFK == "") {
+			return fmt.Errorf("olap: cube %s: dimension %q needs Key and FactFK", s.Name, d.Name)
+		}
+	}
+	return nil
+}
+
+// level is the materialized, dictionary-encoded form of one level.
+type level struct {
+	spec  LevelSpec
+	codes []int32         // one code per fact row
+	dict  []storage.Value // code → member value
+	index map[string]int32
+}
+
+type dimension struct {
+	spec   DimensionSpec
+	levels []*level
+}
+
+type measure struct {
+	spec   MeasureSpec
+	vals   []float64 // one value per fact row
+	isNull []bool
+}
+
+// Cube is a built, queryable hypercube.
+type Cube struct {
+	spec    CubeSpec
+	rows    int
+	dims    map[string]*dimension
+	dimList []*dimension
+	meas    map[string]*measure
+	cache   *cellCache
+	version int
+}
+
+// Name returns the cube name.
+func (c *Cube) Name() string { return c.spec.Name }
+
+// Rows reports the number of fact rows in the cube.
+func (c *Cube) Rows() int { return c.rows }
+
+// Spec returns the cube's specification.
+func (c *Cube) Spec() CubeSpec { return c.spec }
+
+// SetCache enables (size > 0) or disables the cell cache. The default
+// cube has a 256-entry cache.
+func (c *Cube) SetCache(size int) {
+	if size <= 0 {
+		c.cache = nil
+		return
+	}
+	c.cache = newCellCache(size)
+}
+
+// Build materializes a cube from the star schema in the engine. Every
+// fact row is joined to its dimension rows once; level members are
+// dictionary-encoded.
+func Build(e *storage.Engine, spec CubeSpec) (*Cube, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	factSchema, err := e.Schema(spec.FactTable)
+	if err != nil {
+		return nil, err
+	}
+	factCol := func(name string) (int, error) {
+		pos, ok := factSchema.ColumnIndex(name)
+		if !ok {
+			return 0, fmt.Errorf("olap: fact table %s has no column %q", spec.FactTable, name)
+		}
+		return pos, nil
+	}
+
+	// Load dimension tables into key → level-values maps.
+	type dimData struct {
+		spec      DimensionSpec
+		fkPos     int   // fact column position
+		levelPos  []int // positions within dim table (or fact for degenerate)
+		byKey     map[string][]storage.Value
+		degenPos  []int // for degenerate dims: level positions on the fact table
+		degenerte bool
+	}
+	var dimDatas []*dimData
+	for _, ds := range spec.Dimensions {
+		dd := &dimData{spec: ds}
+		if ds.Table == "" {
+			dd.degenerte = true
+			for _, ls := range ds.Levels {
+				pos, err := factCol(ls.Column)
+				if err != nil {
+					return nil, err
+				}
+				dd.degenPos = append(dd.degenPos, pos)
+			}
+		} else {
+			fkPos, err := factCol(ds.FactFK)
+			if err != nil {
+				return nil, err
+			}
+			dd.fkPos = fkPos
+			dimSchema, err := e.Schema(ds.Table)
+			if err != nil {
+				return nil, err
+			}
+			keyPos, ok := dimSchema.ColumnIndex(ds.Key)
+			if !ok {
+				return nil, fmt.Errorf("olap: dimension table %s has no key column %q", ds.Table, ds.Key)
+			}
+			for _, ls := range ds.Levels {
+				pos, ok := dimSchema.ColumnIndex(ls.Column)
+				if !ok {
+					return nil, fmt.Errorf("olap: dimension table %s has no column %q", ds.Table, ls.Column)
+				}
+				dd.levelPos = append(dd.levelPos, pos)
+			}
+			dd.byKey = make(map[string][]storage.Value)
+			err = e.View(func(tx *storage.Tx) error {
+				return tx.Scan(ds.Table, func(_ storage.RID, row storage.Row) bool {
+					vals := make([]storage.Value, len(dd.levelPos))
+					for i, p := range dd.levelPos {
+						vals[i] = row[p]
+					}
+					dd.byKey[storage.EncodeKey(row[keyPos])] = vals
+					return true
+				})
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		dimDatas = append(dimDatas, dd)
+	}
+
+	// Measure columns.
+	measPos := make([]int, len(spec.Measures))
+	for i, ms := range spec.Measures {
+		if ms.Agg == AggCount && ms.Column == "" {
+			measPos[i] = -1
+			continue
+		}
+		pos, err := factCol(ms.Column)
+		if err != nil {
+			return nil, err
+		}
+		measPos[i] = pos
+	}
+
+	cube := &Cube{
+		spec: spec,
+		dims: make(map[string]*dimension, len(spec.Dimensions)),
+		meas: make(map[string]*measure, len(spec.Measures)),
+	}
+	for _, ds := range spec.Dimensions {
+		d := &dimension{spec: ds}
+		for _, ls := range ds.Levels {
+			d.levels = append(d.levels, &level{spec: ls, index: make(map[string]int32)})
+		}
+		cube.dims[strings.ToLower(ds.Name)] = d
+		cube.dimList = append(cube.dimList, d)
+	}
+	for i, ms := range spec.Measures {
+		cube.meas[strings.ToLower(ms.Name)] = &measure{spec: spec.Measures[i]}
+	}
+
+	// Single pass over the fact table.
+	var buildErr error
+	err = e.View(func(tx *storage.Tx) error {
+		return tx.Scan(spec.FactTable, func(_ storage.RID, row storage.Row) bool {
+			for di, dd := range dimDatas {
+				d := cube.dimList[di]
+				var levelVals []storage.Value
+				if dd.degenerte {
+					levelVals = make([]storage.Value, len(dd.degenPos))
+					for i, p := range dd.degenPos {
+						levelVals[i] = row[p]
+					}
+				} else {
+					fk := row[dd.fkPos]
+					if fk != nil {
+						levelVals = dd.byKey[storage.EncodeKey(fk)]
+					}
+					if levelVals == nil {
+						// Unmatched or NULL FK: every level reads as NULL.
+						levelVals = make([]storage.Value, len(d.levels))
+					}
+				}
+				for li, lv := range d.levels {
+					lv.codes = append(lv.codes, lv.encode(levelVals[li]))
+				}
+			}
+			for i, ms := range spec.Measures {
+				m := cube.meas[strings.ToLower(ms.Name)]
+				if measPos[i] < 0 {
+					m.vals = append(m.vals, 1)
+					m.isNull = append(m.isNull, false)
+					continue
+				}
+				v := row[measPos[i]]
+				if v == nil {
+					m.vals = append(m.vals, 0)
+					m.isNull = append(m.isNull, true)
+					continue
+				}
+				f, ok := toFloat(v)
+				if !ok {
+					buildErr = fmt.Errorf("olap: cube %s: measure %s has non-numeric value %v", spec.Name, ms.Name, v)
+					return false
+				}
+				m.vals = append(m.vals, f)
+				m.isNull = append(m.isNull, false)
+			}
+			cube.rows++
+			return true
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	cube.cache = newCellCache(256)
+	cube.version = 1
+	return cube, nil
+}
+
+func (lv *level) encode(v storage.Value) int32 {
+	key := storage.EncodeKey(v)
+	if code, ok := lv.index[key]; ok {
+		return code
+	}
+	code := int32(len(lv.dict))
+	lv.dict = append(lv.dict, v)
+	lv.index[key] = code
+	return code
+}
+
+func toFloat(v storage.Value) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// dimension lookup helpers.
+
+func (c *Cube) dimension(name string) (*dimension, error) {
+	d, ok := c.dims[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("olap: cube %s has no dimension %q", c.spec.Name, name)
+	}
+	return d, nil
+}
+
+func (d *dimension) level(name string) (*level, int, error) {
+	for i, lv := range d.levels {
+		if strings.EqualFold(lv.spec.Name, name) {
+			return lv, i, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("olap: dimension %s has no level %q", d.spec.Name, name)
+}
+
+// Members returns the distinct members of a level, sorted.
+func (c *Cube) Members(dim, lvl string) ([]storage.Value, error) {
+	d, err := c.dimension(dim)
+	if err != nil {
+		return nil, err
+	}
+	lv, _, err := d.level(lvl)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]storage.Value(nil), lv.dict...)
+	sort.Slice(out, func(i, j int) bool { return storage.Compare(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+// Dimensions lists dimension names in declaration order.
+func (c *Cube) Dimensions() []string {
+	out := make([]string, len(c.dimList))
+	for i, d := range c.dimList {
+		out[i] = d.spec.Name
+	}
+	return out
+}
+
+// Levels lists the level names of a dimension, coarse→fine.
+func (c *Cube) Levels(dim string) ([]string, error) {
+	d, err := c.dimension(dim)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(d.levels))
+	for i, lv := range d.levels {
+		out[i] = lv.spec.Name
+	}
+	return out, nil
+}
+
+// MeasureNames lists measure names in declaration order.
+func (c *Cube) MeasureNames() []string {
+	out := make([]string, len(c.spec.Measures))
+	for i, m := range c.spec.Measures {
+		out[i] = m.Name
+	}
+	return out
+}

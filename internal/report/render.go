@@ -1,0 +1,346 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// RenderText writes the output as fixed-width text with ASCII bar charts,
+// the format used by the CLI and the examples.
+func RenderText(w io.Writer, out *Output) error {
+	fmt.Fprintf(w, "== %s ==\n", out.Title)
+	for _, item := range out.Items {
+		if item.Title != "" {
+			fmt.Fprintf(w, "\n-- %s --\n", item.Title)
+		} else {
+			fmt.Fprintln(w)
+		}
+		switch item.Kind {
+		case "text":
+			fmt.Fprintln(w, item.Text)
+		case "kpi":
+			fmt.Fprintf(w, "%s\n", item.Value)
+		case "table":
+			renderTextGrid(w, item.Grid)
+		case "chart":
+			renderTextChart(w, item.Chart)
+		}
+	}
+	return nil
+}
+
+func renderTextGrid(w io.Writer, g *Grid) {
+	if g == nil {
+		return
+	}
+	widths := make([]int, len(g.Columns))
+	cells := make([][]string, 0, len(g.Rows)+1)
+	header := make([]string, len(g.Columns))
+	for i, c := range g.Columns {
+		header[i] = c
+		widths[i] = len(c)
+	}
+	cells = append(cells, header)
+	for _, row := range g.Rows {
+		line := make([]string, len(row))
+		for i, v := range row {
+			line[i] = storage.FormatValue(v)
+			if len(line[i]) > widths[i] {
+				widths[i] = len(line[i])
+			}
+		}
+		cells = append(cells, line)
+	}
+	for r, line := range cells {
+		for i, cell := range line {
+			fmt.Fprintf(w, "%-*s  ", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+		if r == 0 {
+			for _, width := range widths {
+				fmt.Fprint(w, strings.Repeat("-", width), "  ")
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func renderTextChart(w io.Writer, cd *ChartData) {
+	if cd == nil || len(cd.Series) == 0 {
+		return
+	}
+	const barWidth = 40
+	s := cd.Series[0]
+	maxVal := 0.0
+	for _, v := range s.Values {
+		if math.Abs(v) > maxVal {
+			maxVal = math.Abs(v)
+		}
+	}
+	labelWidth := 0
+	for _, l := range cd.Labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	for i, l := range cd.Labels {
+		n := 0
+		if maxVal > 0 {
+			n = int(math.Round(math.Abs(s.Values[i]) / maxVal * barWidth))
+		}
+		fmt.Fprintf(w, "%-*s | %s %s\n", labelWidth, l,
+			strings.Repeat("#", n), storage.FormatValue(s.Values[i]))
+	}
+	if len(cd.Series) > 1 {
+		fmt.Fprintf(w, "(first of %d series: %s)\n", len(cd.Series), s.Name)
+	}
+}
+
+// RenderCSV writes every table element as CSV (charts and KPIs are
+// skipped); multiple tables are separated by a blank line.
+func RenderCSV(w io.Writer, out *Output) error {
+	first := true
+	for _, item := range out.Items {
+		if item.Kind != "table" || item.Grid == nil {
+			continue
+		}
+		if !first {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		cw := csv.NewWriter(w)
+		if err := cw.Write(item.Grid.Columns); err != nil {
+			return err
+		}
+		for _, row := range item.Grid.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				if v == nil {
+					cells[i] = ""
+				} else {
+					cells[i] = storage.FormatValue(v)
+				}
+			}
+			if err := cw.Write(cells); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderJSON writes the full output as JSON (the Information Delivery
+// Service's machine-readable form).
+func RenderJSON(w io.Writer, out *Output) error {
+	type jsonItem struct {
+		Kind  string     `json:"kind"`
+		Title string     `json:"title,omitempty"`
+		Grid  *Grid      `json:"grid,omitempty"`
+		Chart *ChartData `json:"chart,omitempty"`
+		Value string     `json:"value,omitempty"`
+		Text  string     `json:"text,omitempty"`
+	}
+	doc := struct {
+		Name  string     `json:"name"`
+		Title string     `json:"title"`
+		Items []jsonItem `json:"items"`
+	}{Name: out.Name, Title: out.Title}
+	for _, item := range out.Items {
+		doc.Items = append(doc.Items, jsonItem(item))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// RenderHTML writes a self-contained HTML dashboard with inline SVG
+// charts — the web-browser delivery channel of the paper's current
+// release.
+func RenderHTML(w io.Writer, out *Output) error {
+	fmt.Fprintf(w, `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>%s</title>
+<style>
+body{font-family:sans-serif;margin:2em;background:#fafafa}
+h1{color:#234} .card{background:#fff;border:1px solid #ddd;border-radius:6px;
+padding:1em;margin:1em 0;box-shadow:0 1px 2px rgba(0,0,0,.05)}
+table{border-collapse:collapse} th,td{border:1px solid #ccc;padding:4px 10px;text-align:left}
+th{background:#eef} .kpi{font-size:2.2em;font-weight:bold;color:#246}
+</style></head><body>
+<h1>%s</h1>
+`, html.EscapeString(out.Title), html.EscapeString(out.Title))
+	for _, item := range out.Items {
+		fmt.Fprint(w, `<div class="card">`)
+		if item.Title != "" {
+			fmt.Fprintf(w, "<h2>%s</h2>\n", html.EscapeString(item.Title))
+		}
+		switch item.Kind {
+		case "text":
+			fmt.Fprintf(w, "<p>%s</p>\n", html.EscapeString(item.Text))
+		case "kpi":
+			fmt.Fprintf(w, `<div class="kpi">%s</div>`+"\n", html.EscapeString(item.Value))
+		case "table":
+			renderHTMLGrid(w, item.Grid)
+		case "chart":
+			renderSVGChart(w, item.Chart)
+		}
+		fmt.Fprintln(w, `</div>`)
+	}
+	_, err := fmt.Fprintln(w, "</body></html>")
+	return err
+}
+
+func renderHTMLGrid(w io.Writer, g *Grid) {
+	if g == nil {
+		return
+	}
+	fmt.Fprint(w, "<table><tr>")
+	for _, c := range g.Columns {
+		fmt.Fprintf(w, "<th>%s</th>", html.EscapeString(c))
+	}
+	fmt.Fprintln(w, "</tr>")
+	for _, row := range g.Rows {
+		fmt.Fprint(w, "<tr>")
+		for _, v := range row {
+			fmt.Fprintf(w, "<td>%s</td>", html.EscapeString(storage.FormatValue(v)))
+		}
+		fmt.Fprintln(w, "</tr>")
+	}
+	fmt.Fprintln(w, "</table>")
+}
+
+var chartPalette = []string{"#4472c4", "#ed7d31", "#a5a5a5", "#ffc000", "#5b9bd5", "#70ad47"}
+
+// renderSVGChart draws bar, line, or pie charts as inline SVG.
+func renderSVGChart(w io.Writer, cd *ChartData) {
+	if cd == nil || len(cd.Series) == 0 || len(cd.Labels) == 0 {
+		return
+	}
+	const width, height, pad = 640, 280, 40
+	switch cd.Kind {
+	case ChartPie:
+		renderSVGPie(w, cd, width, height)
+		return
+	default:
+	}
+	maxVal := 0.0
+	for _, s := range cd.Series {
+		for _, v := range s.Values {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	plotW, plotH := float64(width-2*pad), float64(height-2*pad)
+	n := len(cd.Labels)
+	fmt.Fprintf(w, `<svg width="%d" height="%d" xmlns="http://www.w3.org/2000/svg">`+"\n", width, height)
+	// Axes.
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#888"/>`+"\n", pad, height-pad, width-pad, height-pad)
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#888"/>`+"\n", pad, pad, pad, height-pad)
+	if cd.Kind == ChartBar {
+		groupW := plotW / float64(n)
+		barW := groupW / float64(len(cd.Series)+1)
+		for si, s := range cd.Series {
+			color := chartPalette[si%len(chartPalette)]
+			for i, v := range s.Values {
+				h := v / maxVal * plotH
+				x := float64(pad) + float64(i)*groupW + float64(si)*barW + barW/2
+				y := float64(height-pad) - h
+				fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %g</title></rect>`+"\n",
+					x, y, barW, h, color, html.EscapeString(cd.Labels[i]), html.EscapeString(s.Name), v)
+			}
+		}
+	} else { // line
+		step := plotW / float64(maxInt(n-1, 1))
+		for si, s := range cd.Series {
+			color := chartPalette[si%len(chartPalette)]
+			var pts []string
+			for i, v := range s.Values {
+				x := float64(pad) + float64(i)*step
+				y := float64(height-pad) - v/maxVal*plotH
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+			}
+			fmt.Fprintf(w, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+	}
+	// X labels (sparse when crowded).
+	stepLbl := 1
+	if n > 12 {
+		stepLbl = n / 12
+	}
+	groupW := plotW / float64(n)
+	for i := 0; i < n; i += stepLbl {
+		x := float64(pad) + float64(i)*groupW + groupW/2
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			x, height-pad+14, html.EscapeString(cd.Labels[i]))
+	}
+	// Legend.
+	for si, s := range cd.Series {
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/><text x="%d" y="%d" font-size="11">%s</text>`+"\n",
+			width-pad-120, pad+si*16, chartPalette[si%len(chartPalette)],
+			width-pad-105, pad+si*16+9, html.EscapeString(s.Name))
+	}
+	fmt.Fprintln(w, "</svg>")
+}
+
+func renderSVGPie(w io.Writer, cd *ChartData, width, height int) {
+	s := cd.Series[0]
+	total := 0.0
+	for _, v := range s.Values {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total == 0 {
+		total = 1
+	}
+	cx, cy := float64(width)/2-80, float64(height)/2
+	r := float64(height)/2 - 20
+	fmt.Fprintf(w, `<svg width="%d" height="%d" xmlns="http://www.w3.org/2000/svg">`+"\n", width, height)
+	angle := -math.Pi / 2
+	for i, v := range s.Values {
+		if v <= 0 {
+			continue
+		}
+		frac := v / total
+		a2 := angle + frac*2*math.Pi
+		large := 0
+		if frac > 0.5 {
+			large = 1
+		}
+		x1, y1 := cx+r*math.Cos(angle), cy+r*math.Sin(angle)
+		x2, y2 := cx+r*math.Cos(a2), cy+r*math.Sin(a2)
+		color := chartPalette[i%len(chartPalette)]
+		fmt.Fprintf(w, `<path d="M%.1f,%.1f L%.1f,%.1f A%.1f,%.1f 0 %d 1 %.1f,%.1f Z" fill="%s"><title>%s: %g</title></path>`+"\n",
+			cx, cy, x1, y1, r, r, large, x2, y2, color, html.EscapeString(cd.Labels[i]), v)
+		angle = a2
+	}
+	for i, l := range cd.Labels {
+		fmt.Fprintf(w, `<rect x="%.1f" y="%d" width="10" height="10" fill="%s"/><text x="%.1f" y="%d" font-size="11">%s</text>`+"\n",
+			cx+r+30, 20+i*16, chartPalette[i%len(chartPalette)], cx+r+45, 29+i*16, html.EscapeString(l))
+	}
+	fmt.Fprintln(w, "</svg>")
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,381 @@
+// Package report is the reporting substrate behind the ODBIS Reporting
+// Service (RS) — the stand-in for BIRT plus the paper's ad-hoc reporting
+// module (§3.3): "an easy way to define chart reports, data-table reports
+// and to build dashboards".
+//
+// A Spec declares report elements (data tables, charts, KPIs, text) bound
+// to SQL queries; Run executes the queries against any Queryer (the
+// shared DB or a tenant catalog) and produces an Output that the
+// renderers serialize to text, HTML (with inline SVG charts), CSV or
+// JSON.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/odbis/odbis/internal/sql"
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// Queryer abstracts the data source of a report: *sql.DB and
+// *tenant.Catalog both satisfy it.
+type Queryer interface {
+	Query(query string, args ...storage.Value) (*sql.Result, error)
+}
+
+// ChartKind selects a chart shape.
+type ChartKind string
+
+// Supported chart kinds.
+const (
+	ChartBar  ChartKind = "bar"
+	ChartLine ChartKind = "line"
+	ChartPie  ChartKind = "pie"
+)
+
+// Element is one building block of a report.
+type Element struct {
+	// Kind is "table", "chart", "kpi" or "text".
+	Kind  string
+	Title string
+
+	// Query feeds table/chart/kpi elements; rows bind as declared below.
+	Query string
+	Args  []storage.Value
+
+	// Table options: which result columns to show (empty = all) and a row
+	// limit (0 = all).
+	Columns []string
+	Limit   int
+
+	// Chart options: the label column and the numeric series columns
+	// (empty series = every other column).
+	Chart  ChartKind
+	Label  string
+	Series []string
+
+	// KPI options: Format wraps the single value, e.g. "%.2f €".
+	Format string
+
+	// Text content for text elements.
+	Text string
+}
+
+// Spec is a complete report or dashboard definition.
+type Spec struct {
+	Name        string
+	Title       string
+	Description string
+	Elements    []Element
+}
+
+// Validate checks structural well-formedness without running queries.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("report: spec needs a name")
+	}
+	if len(s.Elements) == 0 {
+		return fmt.Errorf("report: %s has no elements", s.Name)
+	}
+	for i, el := range s.Elements {
+		switch el.Kind {
+		case "table", "kpi":
+			if el.Query == "" {
+				return fmt.Errorf("report: %s element %d (%s) needs a query", s.Name, i, el.Kind)
+			}
+		case "chart":
+			if el.Query == "" {
+				return fmt.Errorf("report: %s element %d (chart) needs a query", s.Name, i)
+			}
+			switch el.Chart {
+			case ChartBar, ChartLine, ChartPie:
+			default:
+				return fmt.Errorf("report: %s element %d: unknown chart kind %q", s.Name, i, el.Chart)
+			}
+		case "text":
+			if el.Text == "" {
+				return fmt.Errorf("report: %s element %d (text) is empty", s.Name, i)
+			}
+		default:
+			return fmt.Errorf("report: %s element %d: unknown kind %q", s.Name, i, el.Kind)
+		}
+	}
+	return nil
+}
+
+// Grid is a rendered data table.
+type Grid struct {
+	Columns []string
+	Rows    [][]storage.Value
+}
+
+// Series is one numeric data series of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// ChartData is the computed form of a chart element.
+type ChartData struct {
+	Kind   ChartKind
+	Labels []string
+	Series []Series
+}
+
+// Item is one executed element.
+type Item struct {
+	Kind  string
+	Title string
+	Grid  *Grid      // table
+	Chart *ChartData // chart
+	Value string     // kpi (formatted)
+	Text  string     // text
+}
+
+// Output is an executed report ready for rendering.
+type Output struct {
+	Name  string
+	Title string
+	Items []Item
+}
+
+// Run executes the spec against q.
+func Run(q Queryer, spec *Spec) (*Output, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Output{Name: spec.Name, Title: spec.Title}
+	if out.Title == "" {
+		out.Title = spec.Name
+	}
+	for i, el := range spec.Elements {
+		item, err := runElement(q, el)
+		if err != nil {
+			return nil, fmt.Errorf("report: %s element %d (%s): %w", spec.Name, i, el.Kind, err)
+		}
+		out.Items = append(out.Items, item)
+	}
+	return out, nil
+}
+
+func runElement(q Queryer, el Element) (Item, error) {
+	item := Item{Kind: el.Kind, Title: el.Title}
+	switch el.Kind {
+	case "text":
+		item.Text = el.Text
+		return item, nil
+	case "table":
+		res, err := q.Query(el.Query, el.Args...)
+		if err != nil {
+			return item, err
+		}
+		grid, err := gridFrom(res, el.Columns, el.Limit)
+		if err != nil {
+			return item, err
+		}
+		item.Grid = grid
+		return item, nil
+	case "kpi":
+		res, err := q.Query(el.Query, el.Args...)
+		if err != nil {
+			return item, err
+		}
+		if len(res.Rows) == 0 || len(res.Rows[0]) == 0 {
+			return item, fmt.Errorf("kpi query returned no value")
+		}
+		v := res.Rows[0][0]
+		if el.Format != "" {
+			switch x := storage.Normalize(v).(type) {
+			case int64:
+				item.Value = fmt.Sprintf(el.Format, x)
+			case float64:
+				item.Value = fmt.Sprintf(el.Format, x)
+			default:
+				item.Value = fmt.Sprintf(el.Format, storage.FormatValue(v))
+			}
+		} else {
+			item.Value = storage.FormatValue(v)
+		}
+		return item, nil
+	case "chart":
+		res, err := q.Query(el.Query, el.Args...)
+		if err != nil {
+			return item, err
+		}
+		chart, err := chartFrom(res, el)
+		if err != nil {
+			return item, err
+		}
+		item.Chart = chart
+		return item, nil
+	default:
+		return item, fmt.Errorf("unknown element kind %q", el.Kind)
+	}
+}
+
+func gridFrom(res *sql.Result, columns []string, limit int) (*Grid, error) {
+	idx := make([]int, 0, len(res.Columns))
+	var names []string
+	if len(columns) == 0 {
+		for i, c := range res.Columns {
+			idx = append(idx, i)
+			names = append(names, c)
+		}
+	} else {
+		for _, want := range columns {
+			found := -1
+			for i, c := range res.Columns {
+				if strings.EqualFold(c, want) {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				return nil, fmt.Errorf("result has no column %q (have %v)", want, res.Columns)
+			}
+			idx = append(idx, found)
+			names = append(names, res.Columns[found])
+		}
+	}
+	g := &Grid{Columns: names}
+	for _, row := range res.Rows {
+		if limit > 0 && len(g.Rows) >= limit {
+			break
+		}
+		out := make([]storage.Value, len(idx))
+		for i, j := range idx {
+			out[i] = row[j]
+		}
+		g.Rows = append(g.Rows, out)
+	}
+	return g, nil
+}
+
+func chartFrom(res *sql.Result, el Element) (*ChartData, error) {
+	labelIdx := 0
+	if el.Label != "" {
+		found := -1
+		for i, c := range res.Columns {
+			if strings.EqualFold(c, el.Label) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("result has no label column %q", el.Label)
+		}
+		labelIdx = found
+	}
+	var seriesIdx []int
+	var seriesNames []string
+	if len(el.Series) == 0 {
+		for i, c := range res.Columns {
+			if i == labelIdx {
+				continue
+			}
+			seriesIdx = append(seriesIdx, i)
+			seriesNames = append(seriesNames, c)
+		}
+	} else {
+		for _, want := range el.Series {
+			found := -1
+			for i, c := range res.Columns {
+				if strings.EqualFold(c, want) {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				return nil, fmt.Errorf("result has no series column %q", want)
+			}
+			seriesIdx = append(seriesIdx, found)
+			seriesNames = append(seriesNames, res.Columns[found])
+		}
+	}
+	if len(seriesIdx) == 0 {
+		return nil, fmt.Errorf("chart has no series columns")
+	}
+	cd := &ChartData{Kind: el.Chart}
+	cd.Series = make([]Series, len(seriesIdx))
+	for i, name := range seriesNames {
+		cd.Series[i].Name = name
+	}
+	for _, row := range res.Rows {
+		cd.Labels = append(cd.Labels, storage.FormatValue(row[labelIdx]))
+		for i, j := range seriesIdx {
+			f, ok := numeric(row[j])
+			if !ok {
+				return nil, fmt.Errorf("series %q has non-numeric value %v", seriesNames[i], row[j])
+			}
+			cd.Series[i].Values = append(cd.Series[i].Values, f)
+		}
+	}
+	return cd, nil
+}
+
+func numeric(v storage.Value) (float64, bool) {
+	switch x := storage.Normalize(v).(type) {
+	case nil:
+		return 0, true
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+// --- template registry (upload-and-execute, like the BIRT module) ---
+
+// Store keeps named report specs, grouped like the paper's report-groups.
+type Store struct {
+	specs  map[string]*Spec
+	groups map[string][]string
+}
+
+// NewStore returns an empty report store.
+func NewStore() *Store {
+	return &Store{specs: make(map[string]*Spec), groups: make(map[string][]string)}
+}
+
+// Save registers (or replaces) a spec under a group.
+func (st *Store) Save(group string, spec *Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if _, exists := st.specs[spec.Name]; !exists {
+		st.groups[group] = append(st.groups[group], spec.Name)
+	}
+	st.specs[spec.Name] = spec
+	return nil
+}
+
+// Get retrieves a spec by name.
+func (st *Store) Get(name string) (*Spec, bool) {
+	s, ok := st.specs[name]
+	return s, ok
+}
+
+// Delete removes a spec.
+func (st *Store) Delete(name string) {
+	delete(st.specs, name)
+	for g, names := range st.groups {
+		for i, n := range names {
+			if n == name {
+				st.groups[g] = append(names[:i], names[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Groups lists group names with their report names.
+func (st *Store) Groups() map[string][]string {
+	out := make(map[string][]string, len(st.groups))
+	for g, names := range st.groups {
+		out[g] = append([]string(nil), names...)
+	}
+	return out
+}

@@ -1,0 +1,362 @@
+// Package rules is a forward-chaining business-rules engine — the
+// stand-in for Drools in the paper's technical architecture (Fig. 5,
+// §3.3): "a SaaS platform is shared by several customers that have
+// different business processes, the definition of a business rules
+// engine is essential for the orchestration of services."
+//
+// A Rule matches tuples of facts in working memory via SQL-expression
+// conditions and runs an action when activated. Activations queue on an
+// agenda ordered by salience; firing may assert, modify or retract facts,
+// re-activating other rules, until the agenda empties (with refraction to
+// prevent re-firing on unchanged facts and a cycle bound as a loop
+// backstop).
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/odbis/odbis/internal/sql"
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// Fact is one unit of working memory: a kind plus named attributes.
+type Fact struct {
+	id      int
+	version int
+	Kind    string
+	Attrs   map[string]storage.Value
+}
+
+// NewFact builds a fact.
+func NewFact(kind string, attrs map[string]storage.Value) *Fact {
+	a := make(map[string]storage.Value, len(attrs))
+	for k, v := range attrs {
+		a[k] = storage.Normalize(v)
+	}
+	return &Fact{Kind: kind, Attrs: a}
+}
+
+// Get reads one attribute.
+func (f *Fact) Get(name string) storage.Value { return f.Attrs[name] }
+
+// String renders the fact compactly.
+func (f *Fact) String() string {
+	keys := make([]string, 0, len(f.Attrs))
+	for k := range f.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%s", k, storage.FormatValue(f.Attrs[k]))
+	}
+	return fmt.Sprintf("%s{%s}", f.Kind, strings.Join(parts, " "))
+}
+
+// Condition is one pattern of a rule: bind a fact of Kind to Var when the
+// optional Where expression holds. Where may reference the current
+// binding and earlier bindings as "var.attr".
+type Condition struct {
+	Var   string
+	Kind  string
+	Where string
+}
+
+// Rule is one production.
+type Rule struct {
+	Name string
+	// Salience orders the agenda: higher fires first (default 0).
+	Salience int
+	// When lists the conditions; all must match (conjunction).
+	When []Condition
+	// Then runs when the rule fires. The action may call Session methods
+	// to assert, modify or retract facts.
+	Then func(s *Session, b Bindings) error
+}
+
+// Bindings maps condition variables to the matched facts.
+type Bindings map[string]*Fact
+
+// Engine is an immutable rule set; sessions execute against it.
+type Engine struct {
+	rules   []compiledRule
+	ruleIdx map[string]int
+}
+
+type compiledRule struct {
+	rule  Rule
+	conds []compiledCond
+}
+
+type compiledCond struct {
+	cond Condition
+	expr *sql.CompiledExpr // nil when Where is empty
+}
+
+// NewEngine compiles a rule set. Conditions parse eagerly so malformed
+// expressions fail at definition time.
+func NewEngine(ruleSet ...Rule) (*Engine, error) {
+	e := &Engine{ruleIdx: make(map[string]int)}
+	for _, r := range ruleSet {
+		if err := e.add(r); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+func (e *Engine) add(r Rule) error {
+	if r.Name == "" {
+		return fmt.Errorf("rules: rule needs a name")
+	}
+	if _, dup := e.ruleIdx[r.Name]; dup {
+		return fmt.Errorf("rules: duplicate rule %q", r.Name)
+	}
+	if len(r.When) == 0 {
+		return fmt.Errorf("rules: rule %q has no conditions", r.Name)
+	}
+	if r.Then == nil {
+		return fmt.Errorf("rules: rule %q has no action", r.Name)
+	}
+	cr := compiledRule{rule: r}
+	vars := map[string]bool{}
+	for _, c := range r.When {
+		if c.Var == "" || c.Kind == "" {
+			return fmt.Errorf("rules: rule %q: condition needs Var and Kind", r.Name)
+		}
+		if vars[c.Var] {
+			return fmt.Errorf("rules: rule %q: duplicate variable %q", r.Name, c.Var)
+		}
+		vars[c.Var] = true
+		cc := compiledCond{cond: c}
+		if c.Where != "" {
+			expr, err := sql.CompileExpr(c.Where)
+			if err != nil {
+				return fmt.Errorf("rules: rule %q: %w", r.Name, err)
+			}
+			cc.expr = expr
+		}
+		cr.conds = append(cr.conds, cc)
+	}
+	e.ruleIdx[r.Name] = len(e.rules)
+	e.rules = append(e.rules, cr)
+	return nil
+}
+
+// Rules lists rule names in definition order.
+func (e *Engine) Rules() []string {
+	out := make([]string, len(e.rules))
+	for i, r := range e.rules {
+		out[i] = r.rule.Name
+	}
+	return out
+}
+
+// Session is a working memory bound to an engine. Sessions are not safe
+// for concurrent use.
+type Session struct {
+	engine *Engine
+	facts  map[int]*Fact
+	nextID int
+	// fired tracks refraction: an activation key fires at most once per
+	// fact-version combination.
+	fired map[string]bool
+	// Log records fired rule names in order (diagnostics, tests).
+	Log []string
+}
+
+// NewSession opens an empty working memory.
+func (e *Engine) NewSession() *Session {
+	return &Session{
+		engine: e,
+		facts:  make(map[int]*Fact),
+		fired:  make(map[string]bool),
+	}
+}
+
+// Insert asserts a fact into working memory and returns it.
+func (s *Session) Insert(f *Fact) *Fact {
+	if f.id != 0 {
+		// Re-inserting an existing fact bumps its version (modify).
+		if _, ok := s.facts[f.id]; ok {
+			f.version++
+			return f
+		}
+	}
+	s.nextID++
+	f.id = s.nextID
+	f.version = 1
+	s.facts[f.id] = f
+	return f
+}
+
+// Assert builds and inserts a fact in one call.
+func (s *Session) Assert(kind string, attrs map[string]storage.Value) *Fact {
+	return s.Insert(NewFact(kind, attrs))
+}
+
+// Update marks a fact as modified (after changing Attrs) so rules can
+// re-activate on it.
+func (s *Session) Update(f *Fact) error {
+	if _, ok := s.facts[f.id]; !ok {
+		return fmt.Errorf("rules: fact not in working memory")
+	}
+	f.version++
+	return nil
+}
+
+// Retract removes a fact from working memory.
+func (s *Session) Retract(f *Fact) {
+	delete(s.facts, f.id)
+}
+
+// Facts returns working-memory facts of a kind ("" for all), in insertion
+// order.
+func (s *Session) Facts(kind string) []*Fact {
+	ids := make([]int, 0, len(s.facts))
+	for id := range s.facts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var out []*Fact
+	for _, id := range ids {
+		f := s.facts[id]
+		if kind == "" || strings.EqualFold(f.Kind, kind) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// activation is one matched rule instance on the agenda.
+type activation struct {
+	ruleIdx int
+	facts   []*Fact
+	key     string
+}
+
+// FireAll runs the match-fire loop until the agenda is empty or maxCycles
+// firings have happened (0 means the default bound of 10000). It returns
+// the number of rules fired.
+func (s *Session) FireAll(maxCycles int) (int, error) {
+	if maxCycles <= 0 {
+		maxCycles = 10000
+	}
+	fired := 0
+	for fired < maxCycles {
+		agenda, err := s.matchAll()
+		if err != nil {
+			return fired, err
+		}
+		// Pick the highest-priority unfired activation.
+		var next *activation
+		for i := range agenda {
+			if !s.fired[agenda[i].key] {
+				next = &agenda[i]
+				break
+			}
+		}
+		if next == nil {
+			return fired, nil
+		}
+		s.fired[next.key] = true
+		rule := s.engine.rules[next.ruleIdx].rule
+		b := make(Bindings, len(rule.When))
+		for i, c := range rule.When {
+			b[c.Var] = next.facts[i]
+		}
+		s.Log = append(s.Log, rule.Name)
+		if err := rule.Then(s, b); err != nil {
+			return fired, fmt.Errorf("rules: rule %q: %w", rule.Name, err)
+		}
+		fired++
+	}
+	return fired, fmt.Errorf("rules: fire limit %d reached (possible rule loop)", maxCycles)
+}
+
+// matchAll computes the full agenda, ordered by salience (desc), rule
+// definition order, then fact recency.
+func (s *Session) matchAll() ([]activation, error) {
+	var agenda []activation
+	for ri := range s.engine.rules {
+		cr := &s.engine.rules[ri]
+		matches, err := s.matchRule(cr)
+		if err != nil {
+			return nil, err
+		}
+		agenda = append(agenda, matches...)
+	}
+	sort.SliceStable(agenda, func(i, j int) bool {
+		ri, rj := s.engine.rules[agenda[i].ruleIdx].rule, s.engine.rules[agenda[j].ruleIdx].rule
+		if ri.Salience != rj.Salience {
+			return ri.Salience > rj.Salience
+		}
+		return agenda[i].ruleIdx < agenda[j].ruleIdx
+	})
+	return agenda, nil
+}
+
+// matchRule enumerates fact tuples satisfying every condition.
+func (s *Session) matchRule(cr *compiledRule) ([]activation, error) {
+	var out []activation
+	bound := make([]*Fact, len(cr.conds))
+	var rec func(ci int) error
+	rec = func(ci int) error {
+		if ci == len(cr.conds) {
+			key := activationKey(cr.rule.Name, bound)
+			out = append(out, activation{
+				ruleIdx: s.engine.ruleIdx[cr.rule.Name],
+				facts:   append([]*Fact(nil), bound...),
+				key:     key,
+			})
+			return nil
+		}
+		cc := cr.conds[ci]
+		for _, f := range s.Facts(cc.cond.Kind) {
+			// A fact binds at most one variable of a rule instance.
+			dup := false
+			for _, prev := range bound[:ci] {
+				if prev == f {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			bound[ci] = f
+			if cc.expr != nil {
+				scopes := make(map[string]map[string]storage.Value, ci+1)
+				for k := 0; k <= ci; k++ {
+					scopes[cr.conds[k].cond.Var] = bound[k].Attrs
+				}
+				ok, err := cc.expr.EvalScopedBool(scopes)
+				if err != nil {
+					return fmt.Errorf("rules: rule %q condition %q: %w", cr.rule.Name, cc.cond.Where, err)
+				}
+				if !ok {
+					continue
+				}
+			}
+			if err := rec(ci + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func activationKey(rule string, facts []*Fact) string {
+	var sb strings.Builder
+	sb.WriteString(rule)
+	for _, f := range facts {
+		fmt.Fprintf(&sb, "|%d@%d", f.id, f.version)
+	}
+	return sb.String()
+}

@@ -1,0 +1,278 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+func v(m map[string]storage.Value) map[string]storage.Value { return m }
+
+func TestEngineCompileErrors(t *testing.T) {
+	noop := func(s *Session, b Bindings) error { return nil }
+	cases := []Rule{
+		{},
+		{Name: "r"},
+		{Name: "r", When: []Condition{{Var: "x", Kind: "K"}}},
+		{Name: "r", When: []Condition{{Kind: "K"}}, Then: noop},
+		{Name: "r", When: []Condition{{Var: "x", Kind: "K", Where: "??bad"}}, Then: noop},
+		{Name: "r", When: []Condition{{Var: "x", Kind: "K"}, {Var: "x", Kind: "K"}}, Then: noop},
+	}
+	for i, r := range cases {
+		if _, err := NewEngine(r); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := NewEngine(
+		Rule{Name: "a", When: []Condition{{Var: "x", Kind: "K"}}, Then: noop},
+		Rule{Name: "a", When: []Condition{{Var: "x", Kind: "K"}}, Then: noop},
+	); err == nil {
+		t.Error("duplicate rule name accepted")
+	}
+}
+
+func TestSimpleFiring(t *testing.T) {
+	var seen []string
+	eng, err := NewEngine(Rule{
+		Name: "big-order",
+		When: []Condition{{Var: "o", Kind: "Order", Where: "o.amount > 100"}},
+		Then: func(s *Session, b Bindings) error {
+			seen = append(seen, b["o"].Get("customer").(string))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := eng.NewSession()
+	s.Assert("Order", v(map[string]storage.Value{"customer": "acme", "amount": 250}))
+	s.Assert("Order", v(map[string]storage.Value{"customer": "tiny", "amount": 10}))
+	fired, err := s.FireAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 || len(seen) != 1 || seen[0] != "acme" {
+		t.Errorf("fired=%d seen=%v", fired, seen)
+	}
+}
+
+func TestSalienceOrdersFiring(t *testing.T) {
+	eng, _ := NewEngine(
+		Rule{
+			Name: "low", Salience: 1,
+			When: []Condition{{Var: "x", Kind: "T"}},
+			Then: func(s *Session, b Bindings) error { return nil },
+		},
+		Rule{
+			Name: "high", Salience: 10,
+			When: []Condition{{Var: "x", Kind: "T"}},
+			Then: func(s *Session, b Bindings) error { return nil },
+		},
+	)
+	s := eng.NewSession()
+	s.Assert("T", nil)
+	if _, err := s.FireAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Log) != 2 || s.Log[0] != "high" || s.Log[1] != "low" {
+		t.Errorf("log = %v", s.Log)
+	}
+}
+
+func TestChainingAssert(t *testing.T) {
+	// Rule 1 promotes big orders to Alerts; rule 2 counts alerts.
+	alerts := 0
+	eng, _ := NewEngine(
+		Rule{
+			Name: "flag",
+			When: []Condition{{Var: "o", Kind: "Order", Where: "o.amount >= 1000"}},
+			Then: func(s *Session, b Bindings) error {
+				s.Assert("Alert", v(map[string]storage.Value{"order": b["o"].Get("id")}))
+				return nil
+			},
+		},
+		Rule{
+			Name: "notify",
+			When: []Condition{{Var: "a", Kind: "Alert"}},
+			Then: func(s *Session, b Bindings) error {
+				alerts++
+				return nil
+			},
+		},
+	)
+	s := eng.NewSession()
+	s.Assert("Order", v(map[string]storage.Value{"id": 1, "amount": 2000}))
+	s.Assert("Order", v(map[string]storage.Value{"id": 2, "amount": 50}))
+	fired, err := s.FireAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alerts != 1 || fired != 2 {
+		t.Errorf("alerts=%d fired=%d", alerts, fired)
+	}
+	if len(s.Facts("Alert")) != 1 {
+		t.Errorf("working memory alerts = %d", len(s.Facts("Alert")))
+	}
+}
+
+func TestJoinConditions(t *testing.T) {
+	// Match customer + their over-limit order.
+	var hits []string
+	eng, err := NewEngine(Rule{
+		Name: "over-limit",
+		When: []Condition{
+			{Var: "c", Kind: "Customer"},
+			{Var: "o", Kind: "Order", Where: "o.customer = c.name AND o.amount > c.credit"},
+		},
+		Then: func(s *Session, b Bindings) error {
+			hits = append(hits, b["c"].Get("name").(string))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := eng.NewSession()
+	s.Assert("Customer", v(map[string]storage.Value{"name": "acme", "credit": 100}))
+	s.Assert("Customer", v(map[string]storage.Value{"name": "globex", "credit": 10000}))
+	s.Assert("Order", v(map[string]storage.Value{"customer": "acme", "amount": 500}))
+	s.Assert("Order", v(map[string]storage.Value{"customer": "globex", "amount": 500}))
+	if _, err := s.FireAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0] != "acme" {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestRefractionPreventsRefire(t *testing.T) {
+	count := 0
+	eng, _ := NewEngine(Rule{
+		Name: "once",
+		When: []Condition{{Var: "x", Kind: "T"}},
+		Then: func(s *Session, b Bindings) error { count++; return nil },
+	})
+	s := eng.NewSession()
+	s.Assert("T", nil)
+	s.FireAll(0)
+	s.FireAll(0) // second call: no new activations
+	if count != 1 {
+		t.Errorf("fired %d times", count)
+	}
+}
+
+func TestUpdateReactivates(t *testing.T) {
+	count := 0
+	eng, _ := NewEngine(Rule{
+		Name: "hot",
+		When: []Condition{{Var: "x", Kind: "Sensor", Where: "x.temp > 50"}},
+		Then: func(s *Session, b Bindings) error { count++; return nil },
+	})
+	s := eng.NewSession()
+	f := s.Assert("Sensor", v(map[string]storage.Value{"temp": 20}))
+	s.FireAll(0)
+	if count != 0 {
+		t.Fatal("cold sensor fired")
+	}
+	f.Attrs["temp"] = int64(80)
+	if err := s.Update(f); err != nil {
+		t.Fatal(err)
+	}
+	s.FireAll(0)
+	if count != 1 {
+		t.Errorf("after update fired %d", count)
+	}
+	// A second update fires again (new version).
+	f.Attrs["temp"] = int64(90)
+	s.Update(f)
+	s.FireAll(0)
+	if count != 2 {
+		t.Errorf("after second update fired %d", count)
+	}
+}
+
+func TestRetract(t *testing.T) {
+	eng, _ := NewEngine(Rule{
+		Name: "consume",
+		When: []Condition{{Var: "x", Kind: "Job"}},
+		Then: func(s *Session, b Bindings) error {
+			s.Retract(b["x"])
+			return nil
+		},
+	})
+	s := eng.NewSession()
+	for i := 0; i < 5; i++ {
+		s.Assert("Job", v(map[string]storage.Value{"n": int64(i)}))
+	}
+	fired, err := s.FireAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 5 || len(s.Facts("Job")) != 0 {
+		t.Errorf("fired=%d remaining=%d", fired, len(s.Facts("Job")))
+	}
+}
+
+func TestLoopGuard(t *testing.T) {
+	// A rule that keeps modifying its own fact loops forever; the engine
+	// must stop at the cycle bound.
+	eng, _ := NewEngine(Rule{
+		Name: "loop",
+		When: []Condition{{Var: "x", Kind: "T"}},
+		Then: func(s *Session, b Bindings) error {
+			return s.Update(b["x"])
+		},
+	})
+	s := eng.NewSession()
+	s.Assert("T", nil)
+	fired, err := s.FireAll(50)
+	if err == nil {
+		t.Fatalf("loop not detected after %d firings", fired)
+	}
+	if !strings.Contains(err.Error(), "fire limit") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestActionErrorPropagates(t *testing.T) {
+	eng, _ := NewEngine(Rule{
+		Name: "bad",
+		When: []Condition{{Var: "x", Kind: "T"}},
+		Then: func(s *Session, b Bindings) error {
+			return storage.ErrNoTable
+		},
+	})
+	s := eng.NewSession()
+	s.Assert("T", nil)
+	if _, err := s.FireAll(0); err == nil {
+		t.Error("action error swallowed")
+	}
+}
+
+func TestFactString(t *testing.T) {
+	f := NewFact("X", map[string]storage.Value{"b": 2, "a": "one"})
+	if got := f.String(); got != "X{a=one b=2}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNoSelfJoinOnSameFact(t *testing.T) {
+	pairs := 0
+	eng, _ := NewEngine(Rule{
+		Name: "pair",
+		When: []Condition{
+			{Var: "a", Kind: "P"},
+			{Var: "b", Kind: "P"},
+		},
+		Then: func(s *Session, b Bindings) error { pairs++; return nil },
+	})
+	s := eng.NewSession()
+	s.Assert("P", v(map[string]storage.Value{"n": 1}))
+	s.Assert("P", v(map[string]storage.Value{"n": 2}))
+	s.FireAll(0)
+	// Ordered pairs of distinct facts: 2.
+	if pairs != 2 {
+		t.Errorf("pairs = %d", pairs)
+	}
+}

@@ -1,0 +1,653 @@
+// Package security is the centralized authentication/authorization layer
+// of ODBIS — the stand-in for Spring Security (§1, §3.3): "an
+// enterprise-grade security including authorities, roles, users and
+// groups management". The model follows the paper's administration
+// service:
+//
+//	Authority — an atomic privilege ("report:read", "admin:users")
+//	Role      — a named set of authorities
+//	Group     — a named set of roles
+//	User      — credentials + direct roles + group memberships
+//
+// A user's effective authorities are the union over direct roles and
+// group roles. Authentication issues HMAC-signed, expiring tokens;
+// passwords are stored as salted, iterated SHA-256 digests. All entities
+// persist in the shared storage engine.
+package security
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/base64"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/odbis/odbis/internal/storage"
+	"github.com/odbis/odbis/internal/storage/orm"
+)
+
+// Errors returned by the security manager.
+var (
+	ErrBadCredentials = errors.New("security: invalid username or password")
+	ErrTokenInvalid   = errors.New("security: token invalid")
+	ErrTokenExpired   = errors.New("security: token expired")
+	ErrDenied         = errors.New("security: access denied")
+	ErrDisabled       = errors.New("security: account disabled")
+	ErrNotFound       = errors.New("security: not found")
+	ErrExists         = errors.New("security: already exists")
+)
+
+// Options configure a Manager.
+type Options struct {
+	// TokenSecret signs session tokens. Generated randomly when empty
+	// (tokens then do not survive restarts).
+	TokenSecret []byte
+	// TokenTTL bounds token lifetime (default 12h).
+	TokenTTL time.Duration
+	// HashIterations strengthens password hashing (default 4096).
+	HashIterations int
+	// Now is replaceable in tests.
+	Now func() time.Time
+}
+
+// Principal is an authenticated identity with resolved authorities.
+type Principal struct {
+	Username    string
+	Tenant      string
+	Authorities []string // sorted
+	ExpiresAt   time.Time
+}
+
+// HasAuthority reports whether the principal holds the authority. The
+// special authority "*" (granted via a role) matches everything.
+func (p *Principal) HasAuthority(name string) bool {
+	for _, a := range p.Authorities {
+		if a == name || a == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// Persistent entities (ORM-mapped).
+
+type userRow struct {
+	Username string `orm:"username,pk"`
+	Hash     string `orm:"hash,notnull"`
+	Salt     string `orm:"salt,notnull"`
+	Tenant   string `orm:"tenant,index"`
+	Active   bool
+	Created  time.Time
+}
+
+type roleRow struct {
+	Name        string `orm:"name,pk"`
+	Description string
+}
+
+type groupRow struct {
+	Name        string `orm:"name,pk"`
+	Description string
+}
+
+type authorityRow struct {
+	Name        string `orm:"name,pk"`
+	Description string
+}
+
+type userRole struct {
+	Username string `orm:"username,index"`
+	Role     string `orm:"role"`
+}
+
+type userGroup struct {
+	Username string `orm:"username,index"`
+	Group    string `orm:"grp"`
+}
+
+type groupRole struct {
+	Group string `orm:"grp,index"`
+	Role  string `orm:"role"`
+}
+
+type roleAuthority struct {
+	Role      string `orm:"role,index"`
+	Authority string `orm:"authority"`
+}
+
+type auditRow struct {
+	At       time.Time
+	Username string
+	Event    string `orm:"event,index"`
+	Detail   string
+}
+
+// Manager implements users/groups/roles/authorities over a storage
+// engine.
+type Manager struct {
+	opts Options
+
+	users     *orm.Mapper[userRow]
+	roles     *orm.Mapper[roleRow]
+	groups    *orm.Mapper[groupRow]
+	auths     *orm.Mapper[authorityRow]
+	userRoles *orm.Mapper[userRole]
+	userGrps  *orm.Mapper[userGroup]
+	grpRoles  *orm.Mapper[groupRole]
+	roleAuths *orm.Mapper[roleAuthority]
+	audit     *orm.Mapper[auditRow]
+}
+
+// NewManager opens (creating tables as needed) a security manager over
+// the engine.
+func NewManager(e *storage.Engine, opts Options) (*Manager, error) {
+	if opts.TokenTTL <= 0 {
+		opts.TokenTTL = 12 * time.Hour
+	}
+	if opts.HashIterations <= 0 {
+		opts.HashIterations = 4096
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if len(opts.TokenSecret) == 0 {
+		secret := make([]byte, 32)
+		if _, err := rand.Read(secret); err != nil {
+			return nil, fmt.Errorf("security: %w", err)
+		}
+		opts.TokenSecret = secret
+	}
+	m := &Manager{opts: opts}
+	var err error
+	if m.users, err = orm.NewMapper[userRow](e, "sec_users"); err != nil {
+		return nil, err
+	}
+	if m.roles, err = orm.NewMapper[roleRow](e, "sec_roles"); err != nil {
+		return nil, err
+	}
+	if m.groups, err = orm.NewMapper[groupRow](e, "sec_groups"); err != nil {
+		return nil, err
+	}
+	if m.auths, err = orm.NewMapper[authorityRow](e, "sec_authorities"); err != nil {
+		return nil, err
+	}
+	if m.userRoles, err = orm.NewMapper[userRole](e, "sec_user_roles"); err != nil {
+		return nil, err
+	}
+	if m.userGrps, err = orm.NewMapper[userGroup](e, "sec_user_groups"); err != nil {
+		return nil, err
+	}
+	if m.grpRoles, err = orm.NewMapper[groupRole](e, "sec_group_roles"); err != nil {
+		return nil, err
+	}
+	if m.roleAuths, err = orm.NewMapper[roleAuthority](e, "sec_role_authorities"); err != nil {
+		return nil, err
+	}
+	if m.audit, err = orm.NewMapper[auditRow](e, "sec_audit"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Manager) log(event, username, detail string) {
+	// Audit failures must not break the calling operation.
+	_ = m.audit.Insert(&auditRow{At: m.opts.Now().UTC(), Username: username, Event: event, Detail: detail})
+}
+
+// AuditEvents lists audit entries for an event type ("" for all).
+func (m *Manager) AuditEvents(event string) ([]string, error) {
+	var rows []auditRow
+	var err error
+	if event == "" {
+		rows, err = m.audit.All()
+	} else {
+		rows, err = m.audit.Where("event", event)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprintf("%s %s %s %s", r.At.Format(time.RFC3339), r.Event, r.Username, r.Detail)
+	}
+	return out, nil
+}
+
+// --- password hashing ---
+
+func (m *Manager) hashPassword(password, saltHex string) string {
+	salt, _ := hex.DecodeString(saltHex)
+	sum := append([]byte(password), salt...)
+	for i := 0; i < m.opts.HashIterations; i++ {
+		h := sha256.Sum256(sum)
+		sum = h[:]
+	}
+	return hex.EncodeToString(sum)
+}
+
+func newSalt() (string, error) {
+	salt := make([]byte, 16)
+	if _, err := rand.Read(salt); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(salt), nil
+}
+
+// --- entity management ---
+
+// CreateAuthority registers an atomic privilege.
+func (m *Manager) CreateAuthority(name, description string) error {
+	if name == "" {
+		return fmt.Errorf("security: authority needs a name")
+	}
+	if _, ok, _ := m.auths.Get(name); ok {
+		return fmt.Errorf("%w: authority %s", ErrExists, name)
+	}
+	return m.auths.Insert(&authorityRow{Name: name, Description: description})
+}
+
+// CreateRole registers a role granting the listed authorities (which must
+// exist, except the wildcard "*").
+func (m *Manager) CreateRole(name, description string, authorities ...string) error {
+	if name == "" {
+		return fmt.Errorf("security: role needs a name")
+	}
+	if _, ok, _ := m.roles.Get(name); ok {
+		return fmt.Errorf("%w: role %s", ErrExists, name)
+	}
+	for _, a := range authorities {
+		if a == "*" {
+			continue
+		}
+		if _, ok, _ := m.auths.Get(a); !ok {
+			return fmt.Errorf("%w: authority %s", ErrNotFound, a)
+		}
+	}
+	if err := m.roles.Insert(&roleRow{Name: name, Description: description}); err != nil {
+		return err
+	}
+	for _, a := range authorities {
+		if err := m.roleAuths.Insert(&roleAuthority{Role: name, Authority: a}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateGroup registers a group granting the listed roles.
+func (m *Manager) CreateGroup(name, description string, roleNames ...string) error {
+	if name == "" {
+		return fmt.Errorf("security: group needs a name")
+	}
+	if _, ok, _ := m.groups.Get(name); ok {
+		return fmt.Errorf("%w: group %s", ErrExists, name)
+	}
+	for _, r := range roleNames {
+		if _, ok, _ := m.roles.Get(r); !ok {
+			return fmt.Errorf("%w: role %s", ErrNotFound, r)
+		}
+	}
+	if err := m.groups.Insert(&groupRow{Name: name, Description: description}); err != nil {
+		return err
+	}
+	for _, r := range roleNames {
+		if err := m.grpRoles.Insert(&groupRole{Group: name, Role: r}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UserSpec configures CreateUser.
+type UserSpec struct {
+	Username string
+	Password string
+	Tenant   string
+	Roles    []string
+	Groups   []string
+}
+
+// CreateUser registers a user.
+func (m *Manager) CreateUser(spec UserSpec) error {
+	if spec.Username == "" || spec.Password == "" {
+		return fmt.Errorf("security: user needs a username and password")
+	}
+	if _, ok, _ := m.users.Get(spec.Username); ok {
+		return fmt.Errorf("%w: user %s", ErrExists, spec.Username)
+	}
+	for _, r := range spec.Roles {
+		if _, ok, _ := m.roles.Get(r); !ok {
+			return fmt.Errorf("%w: role %s", ErrNotFound, r)
+		}
+	}
+	for _, g := range spec.Groups {
+		if _, ok, _ := m.groups.Get(g); !ok {
+			return fmt.Errorf("%w: group %s", ErrNotFound, g)
+		}
+	}
+	salt, err := newSalt()
+	if err != nil {
+		return err
+	}
+	u := &userRow{
+		Username: spec.Username,
+		Hash:     m.hashPassword(spec.Password, salt),
+		Salt:     salt,
+		Tenant:   spec.Tenant,
+		Active:   true,
+		Created:  m.opts.Now().UTC(),
+	}
+	if err := m.users.Insert(u); err != nil {
+		return err
+	}
+	for _, r := range spec.Roles {
+		if err := m.userRoles.Insert(&userRole{Username: spec.Username, Role: r}); err != nil {
+			return err
+		}
+	}
+	for _, g := range spec.Groups {
+		if err := m.userGrps.Insert(&userGroup{Username: spec.Username, Group: g}); err != nil {
+			return err
+		}
+	}
+	m.log("user.create", spec.Username, "tenant="+spec.Tenant)
+	return nil
+}
+
+// SetPassword replaces a user's password.
+func (m *Manager) SetPassword(username, password string) error {
+	u, ok, err := m.users.Get(username)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: user %s", ErrNotFound, username)
+	}
+	salt, err := newSalt()
+	if err != nil {
+		return err
+	}
+	u.Salt = salt
+	u.Hash = m.hashPassword(password, salt)
+	m.log("user.password", username, "")
+	return m.users.Save(&u)
+}
+
+// SetActive enables or disables an account.
+func (m *Manager) SetActive(username string, active bool) error {
+	u, ok, err := m.users.Get(username)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: user %s", ErrNotFound, username)
+	}
+	u.Active = active
+	m.log("user.active", username, strconv.FormatBool(active))
+	return m.users.Save(&u)
+}
+
+// DeleteUser removes a user and its memberships.
+func (m *Manager) DeleteUser(username string) error {
+	ok, err := m.users.Delete(username)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: user %s", ErrNotFound, username)
+	}
+	if _, err := m.userRoles.DeleteWhere("username", username); err != nil {
+		return err
+	}
+	if _, err := m.userGrps.DeleteWhere("username", username); err != nil {
+		return err
+	}
+	m.log("user.delete", username, "")
+	return nil
+}
+
+// GrantRole adds a direct role to a user.
+func (m *Manager) GrantRole(username, role string) error {
+	if _, ok, _ := m.users.Get(username); !ok {
+		return fmt.Errorf("%w: user %s", ErrNotFound, username)
+	}
+	if _, ok, _ := m.roles.Get(role); !ok {
+		return fmt.Errorf("%w: role %s", ErrNotFound, role)
+	}
+	existing, err := m.userRoles.Where("username", username)
+	if err != nil {
+		return err
+	}
+	for _, l := range existing {
+		if l.Role == role {
+			return nil // idempotent
+		}
+	}
+	return m.userRoles.Insert(&userRole{Username: username, Role: role})
+}
+
+// AddToGroup adds a user to a group.
+func (m *Manager) AddToGroup(username, group string) error {
+	if _, ok, _ := m.users.Get(username); !ok {
+		return fmt.Errorf("%w: user %s", ErrNotFound, username)
+	}
+	if _, ok, _ := m.groups.Get(group); !ok {
+		return fmt.Errorf("%w: group %s", ErrNotFound, group)
+	}
+	existing, err := m.userGrps.Where("username", username)
+	if err != nil {
+		return err
+	}
+	for _, l := range existing {
+		if l.Group == group {
+			return nil
+		}
+	}
+	return m.userGrps.Insert(&userGroup{Username: username, Group: group})
+}
+
+// Users lists usernames sorted.
+func (m *Manager) Users() ([]string, error) {
+	rows, err := m.users.All()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.Username
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Roles lists role names sorted.
+func (m *Manager) Roles() ([]string, error) {
+	rows, err := m.roles.All()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.Name
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Groups lists group names sorted.
+func (m *Manager) Groups() ([]string, error) {
+	rows, err := m.groups.All()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.Name
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Authorities lists authority names sorted.
+func (m *Manager) Authorities() ([]string, error) {
+	rows, err := m.auths.All()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.Name
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// effectiveAuthorities resolves user → roles (direct + via groups) →
+// authorities.
+func (m *Manager) effectiveAuthorities(username string) ([]string, error) {
+	roleSet := map[string]bool{}
+	direct, err := m.userRoles.Where("username", username)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range direct {
+		roleSet[l.Role] = true
+	}
+	grps, err := m.userGrps.Where("username", username)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range grps {
+		rs, err := m.grpRoles.Where("grp", g.Group)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range rs {
+			roleSet[l.Role] = true
+		}
+	}
+	authSet := map[string]bool{}
+	for role := range roleSet {
+		as, err := m.roleAuths.Where("role", role)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range as {
+			authSet[l.Authority] = true
+		}
+	}
+	out := make([]string, 0, len(authSet))
+	for a := range authSet {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// --- authentication and tokens ---
+
+// Authenticate verifies credentials and issues a signed token plus the
+// resolved principal.
+func (m *Manager) Authenticate(username, password string) (string, *Principal, error) {
+	u, ok, err := m.users.Get(username)
+	if err != nil {
+		return "", nil, err
+	}
+	if !ok {
+		m.log("auth.fail", username, "unknown user")
+		return "", nil, ErrBadCredentials
+	}
+	want := m.hashPassword(password, u.Salt)
+	if subtle.ConstantTimeCompare([]byte(want), []byte(u.Hash)) != 1 {
+		m.log("auth.fail", username, "bad password")
+		return "", nil, ErrBadCredentials
+	}
+	if !u.Active {
+		m.log("auth.fail", username, "disabled")
+		return "", nil, ErrDisabled
+	}
+	exp := m.opts.Now().Add(m.opts.TokenTTL).UTC()
+	token := m.signToken(username, u.Tenant, exp)
+	p, err := m.principal(username, u.Tenant, exp)
+	if err != nil {
+		return "", nil, err
+	}
+	m.log("auth.ok", username, "")
+	return token, p, nil
+}
+
+func (m *Manager) principal(username, tenant string, exp time.Time) (*Principal, error) {
+	auths, err := m.effectiveAuthorities(username)
+	if err != nil {
+		return nil, err
+	}
+	return &Principal{Username: username, Tenant: tenant, Authorities: auths, ExpiresAt: exp}, nil
+}
+
+func (m *Manager) signToken(username, tenant string, exp time.Time) string {
+	payload := fmt.Sprintf("%s|%s|%d", username, tenant, exp.Unix())
+	enc := base64.RawURLEncoding.EncodeToString([]byte(payload))
+	mac := hmac.New(sha256.New, m.opts.TokenSecret)
+	mac.Write([]byte(enc))
+	return enc + "." + hex.EncodeToString(mac.Sum(nil))
+}
+
+// Verify validates a token's signature and expiry and returns the
+// principal with freshly resolved authorities.
+func (m *Manager) Verify(token string) (*Principal, error) {
+	dot := strings.LastIndexByte(token, '.')
+	if dot < 0 {
+		return nil, ErrTokenInvalid
+	}
+	enc, sigHex := token[:dot], token[dot+1:]
+	mac := hmac.New(sha256.New, m.opts.TokenSecret)
+	mac.Write([]byte(enc))
+	want := hex.EncodeToString(mac.Sum(nil))
+	if subtle.ConstantTimeCompare([]byte(want), []byte(sigHex)) != 1 {
+		return nil, ErrTokenInvalid
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(enc)
+	if err != nil {
+		return nil, ErrTokenInvalid
+	}
+	parts := strings.Split(string(raw), "|")
+	if len(parts) != 3 {
+		return nil, ErrTokenInvalid
+	}
+	expUnix, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return nil, ErrTokenInvalid
+	}
+	exp := time.Unix(expUnix, 0).UTC()
+	if m.opts.Now().After(exp) {
+		return nil, ErrTokenExpired
+	}
+	u, ok, err := m.users.Get(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	if !ok || !u.Active {
+		return nil, ErrTokenInvalid
+	}
+	return m.principal(parts[0], parts[1], exp)
+}
+
+// Authorize checks that the principal holds the authority, auditing
+// denials.
+func (m *Manager) Authorize(p *Principal, authority string) error {
+	if p == nil {
+		return ErrDenied
+	}
+	if !p.HasAuthority(authority) {
+		m.log("authz.deny", p.Username, authority)
+		return fmt.Errorf("%w: %s requires %s", ErrDenied, p.Username, authority)
+	}
+	return nil
+}

@@ -1,0 +1,333 @@
+package security
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+func newManager(t *testing.T) *Manager {
+	t.Helper()
+	e := storage.MustOpenMemory()
+	t.Cleanup(func() { e.Close() })
+	m, err := NewManager(e, Options{HashIterations: 8, TokenSecret: []byte("test-secret")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// seed builds the canonical fixture: authorities → roles → groups → user.
+func seed(t *testing.T, m *Manager) {
+	t.Helper()
+	for _, a := range []string{"report:read", "report:write", "admin:users"} {
+		if err := m.CreateAuthority(a, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.CreateRole("viewer", "read-only", "report:read"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateRole("editor", "read-write", "report:read", "report:write"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateRole("admin", "everything", "*"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateGroup("analysts", "BI analysts", "editor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateUser(UserSpec{Username: "ada", Password: "s3cret", Tenant: "acme", Groups: []string{"analysts"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateUser(UserSpec{Username: "root", Password: "toor", Roles: []string{"admin"}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthenticateAndAuthorities(t *testing.T) {
+	m := newManager(t)
+	seed(t, m)
+	token, p, err := m.Authenticate("ada", "s3cret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token == "" || p.Username != "ada" || p.Tenant != "acme" {
+		t.Errorf("principal = %+v", p)
+	}
+	// Group → role → authorities resolution.
+	if !p.HasAuthority("report:read") || !p.HasAuthority("report:write") {
+		t.Errorf("authorities = %v", p.Authorities)
+	}
+	if p.HasAuthority("admin:users") {
+		t.Error("unexpected authority")
+	}
+	if err := m.Authorize(p, "report:read"); err != nil {
+		t.Error(err)
+	}
+	if err := m.Authorize(p, "admin:users"); !errors.Is(err, ErrDenied) {
+		t.Errorf("authorize = %v", err)
+	}
+}
+
+func TestWildcardAuthority(t *testing.T) {
+	m := newManager(t)
+	seed(t, m)
+	_, p, err := m.Authenticate("root", "toor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Authorize(p, "anything:at:all"); err != nil {
+		t.Errorf("wildcard denied: %v", err)
+	}
+}
+
+func TestBadCredentials(t *testing.T) {
+	m := newManager(t)
+	seed(t, m)
+	if _, _, err := m.Authenticate("ada", "wrong"); !errors.Is(err, ErrBadCredentials) {
+		t.Errorf("wrong password: %v", err)
+	}
+	if _, _, err := m.Authenticate("ghost", "x"); !errors.Is(err, ErrBadCredentials) {
+		t.Errorf("unknown user: %v", err)
+	}
+	// Failures are audited.
+	events, err := m.AuditEvents("auth.fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Errorf("audit events = %v", events)
+	}
+}
+
+func TestTokenVerifyAndTamper(t *testing.T) {
+	m := newManager(t)
+	seed(t, m)
+	token, _, err := m.Authenticate("ada", "s3cret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Verify(token)
+	if err != nil || p.Username != "ada" {
+		t.Fatalf("verify: %v %+v", err, p)
+	}
+	// Any single-character mutation must invalidate the token.
+	for _, i := range []int{0, len(token) / 2, len(token) - 1} {
+		bad := []byte(token)
+		if bad[i] == 'A' {
+			bad[i] = 'B'
+		} else {
+			bad[i] = 'A'
+		}
+		if _, err := m.Verify(string(bad)); err == nil {
+			t.Errorf("tampered token at %d accepted", i)
+		}
+	}
+	if _, err := m.Verify("garbage"); !errors.Is(err, ErrTokenInvalid) {
+		t.Errorf("garbage token: %v", err)
+	}
+}
+
+func TestTokenExpiry(t *testing.T) {
+	e := storage.MustOpenMemory()
+	defer e.Close()
+	now := time.Unix(1000000, 0)
+	m, err := NewManager(e, Options{
+		HashIterations: 8,
+		TokenSecret:    []byte("k"),
+		TokenTTL:       time.Hour,
+		Now:            func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateUser(UserSpec{Username: "u", Password: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	token, _, err := m.Authenticate("u", "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Verify(token); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Hour)
+	if _, err := m.Verify(token); !errors.Is(err, ErrTokenExpired) {
+		t.Errorf("expired token: %v", err)
+	}
+}
+
+func TestDisabledAccount(t *testing.T) {
+	m := newManager(t)
+	seed(t, m)
+	token, _, _ := m.Authenticate("ada", "s3cret")
+	if err := m.SetActive("ada", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Authenticate("ada", "s3cret"); !errors.Is(err, ErrDisabled) {
+		t.Errorf("disabled login: %v", err)
+	}
+	// Existing tokens die with the account.
+	if _, err := m.Verify(token); err == nil {
+		t.Error("token for disabled account verified")
+	}
+	m.SetActive("ada", true)
+	if _, _, err := m.Authenticate("ada", "s3cret"); err != nil {
+		t.Errorf("re-enabled login: %v", err)
+	}
+}
+
+func TestSetPassword(t *testing.T) {
+	m := newManager(t)
+	seed(t, m)
+	if err := m.SetPassword("ada", "newpass"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Authenticate("ada", "s3cret"); err == nil {
+		t.Error("old password still works")
+	}
+	if _, _, err := m.Authenticate("ada", "newpass"); err != nil {
+		t.Errorf("new password: %v", err)
+	}
+	if err := m.SetPassword("ghost", "x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("set password on missing user: %v", err)
+	}
+}
+
+func TestGrantRoleAndGroups(t *testing.T) {
+	m := newManager(t)
+	seed(t, m)
+	if err := m.GrantRole("ada", "admin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.GrantRole("ada", "admin"); err != nil {
+		t.Errorf("grant should be idempotent: %v", err)
+	}
+	_, p, _ := m.Authenticate("ada", "s3cret")
+	if !p.HasAuthority("anything") {
+		t.Error("granted admin role not effective")
+	}
+	if err := m.GrantRole("ghost", "admin"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("grant to missing user: %v", err)
+	}
+	if err := m.GrantRole("ada", "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("grant of missing role: %v", err)
+	}
+	if err := m.AddToGroup("root", "analysts"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddToGroup("root", "analysts"); err != nil {
+		t.Errorf("add should be idempotent: %v", err)
+	}
+}
+
+func TestDeleteUserCleansMemberships(t *testing.T) {
+	m := newManager(t)
+	seed(t, m)
+	if err := m.DeleteUser("ada"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DeleteUser("ada"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+	links, _ := m.userGrps.Where("username", "ada")
+	if len(links) != 0 {
+		t.Errorf("group links remain: %v", links)
+	}
+	users, _ := m.Users()
+	if len(users) != 1 || users[0] != "root" {
+		t.Errorf("users = %v", users)
+	}
+}
+
+func TestDuplicateEntities(t *testing.T) {
+	m := newManager(t)
+	seed(t, m)
+	if err := m.CreateAuthority("report:read", ""); !errors.Is(err, ErrExists) {
+		t.Errorf("dup authority: %v", err)
+	}
+	if err := m.CreateRole("viewer", "", ""); !errors.Is(err, ErrExists) {
+		t.Errorf("dup role: %v", err)
+	}
+	if err := m.CreateGroup("analysts", ""); !errors.Is(err, ErrExists) {
+		t.Errorf("dup group: %v", err)
+	}
+	if err := m.CreateUser(UserSpec{Username: "ada", Password: "x"}); !errors.Is(err, ErrExists) {
+		t.Errorf("dup user: %v", err)
+	}
+	if err := m.CreateRole("r2", "", "no:such:authority"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("role with missing authority: %v", err)
+	}
+	if err := m.CreateGroup("g2", "", "no-such-role"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("group with missing role: %v", err)
+	}
+	if err := m.CreateUser(UserSpec{Username: "u2", Password: "p", Roles: []string{"nope"}}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("user with missing role: %v", err)
+	}
+}
+
+func TestListings(t *testing.T) {
+	m := newManager(t)
+	seed(t, m)
+	users, _ := m.Users()
+	roles, _ := m.Roles()
+	groups, _ := m.Groups()
+	auths, _ := m.Authorities()
+	if len(users) != 2 || len(roles) != 3 || len(groups) != 1 || len(auths) != 3 {
+		t.Errorf("listings: %d users %d roles %d groups %d authorities",
+			len(users), len(roles), len(groups), len(auths))
+	}
+	if users[0] != "ada" {
+		t.Errorf("users not sorted: %v", users)
+	}
+}
+
+func TestPersistenceAcrossManagers(t *testing.T) {
+	e := storage.MustOpenMemory()
+	defer e.Close()
+	m1, err := NewManager(e, Options{HashIterations: 8, TokenSecret: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.CreateUser(UserSpec{Username: "u", Password: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	token, _, err := m1.Authenticate("u", "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second manager over the same engine + secret sees the same users
+	// and accepts the token.
+	m2, err := NewManager(e, Options{HashIterations: 8, TokenSecret: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Verify(token); err != nil {
+		t.Errorf("token across managers: %v", err)
+	}
+	// A manager with a different secret must reject it.
+	m3, _ := NewManager(e, Options{HashIterations: 8, TokenSecret: []byte("other")})
+	if _, err := m3.Verify(token); err == nil {
+		t.Error("token accepted under wrong secret")
+	}
+}
+
+func TestPrincipalTenantInToken(t *testing.T) {
+	m := newManager(t)
+	seed(t, m)
+	token, _, _ := m.Authenticate("ada", "s3cret")
+	p, err := m.Verify(token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tenant != "acme" {
+		t.Errorf("tenant = %q", p.Tenant)
+	}
+	if !strings.Contains(token, ".") {
+		t.Error("token not in payload.signature form")
+	}
+}

@@ -1,0 +1,530 @@
+package server
+
+import (
+	"net/http"
+
+	"github.com/odbis/odbis/internal/olap"
+	"github.com/odbis/odbis/internal/report"
+	"github.com/odbis/odbis/internal/security"
+	"github.com/odbis/odbis/internal/services"
+	"github.com/odbis/odbis/internal/sql"
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// resultJSON is the wire form of a SQL result.
+type resultJSON struct {
+	Columns  []string `json:"columns"`
+	Rows     [][]any  `json:"rows"`
+	Affected int      `json:"affected"`
+	Plan     string   `json:"plan,omitempty"`
+}
+
+func toResultJSON(res *sql.Result) resultJSON {
+	out := resultJSON{Columns: res.Columns, Affected: res.Affected, Plan: res.Plan}
+	out.Rows = make([][]any, len(res.Rows))
+	for i, row := range res.Rows {
+		vals := make([]any, len(row))
+		for j, v := range row {
+			vals[j] = v
+		}
+		out.Rows[i] = vals
+	}
+	return out
+}
+
+// --- administration ---
+
+func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	ids, err := sess.Tenants()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": ids})
+}
+
+func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	var req struct {
+		ID   string `json:"id"`
+		Name string `json:"name"`
+		Plan string `json:"plan"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	info, err := sess.CreateTenant(req.ID, req.Name, req.Plan)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleDropTenant(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	if err := sess.DropTenant(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "dropped"})
+}
+
+func (s *Server) handleSuspendTenant(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	if err := sess.SuspendTenant(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "suspended"})
+}
+
+func (s *Server) handleResumeTenant(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	if err := sess.ResumeTenant(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "active"})
+}
+
+func (s *Server) handleTenantUsage(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	usage, err := sess.TenantUsage(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, usage)
+}
+
+func (s *Server) handleTenantInvoice(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	inv, err := sess.TenantInvoice(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, inv)
+}
+
+func (s *Server) handleCreateUser(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	var req struct {
+		Username string   `json:"username"`
+		Password string   `json:"password"`
+		Tenant   string   `json:"tenant"`
+		Roles    []string `json:"roles"`
+		Groups   []string `json:"groups"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	err := sess.CreateUser(security.UserSpec{
+		Username: req.Username, Password: req.Password,
+		Tenant: req.Tenant, Roles: req.Roles, Groups: req.Groups,
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"username": req.Username})
+}
+
+func (s *Server) handleListUsers(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	users, err := sess.Users()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"users": users})
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	events, err := sess.AuditLog(r.URL.Query().Get("event"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"events": events})
+}
+
+// --- metadata ---
+
+func (s *Server) handleListDataSources(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	srcs, err := sess.DataSources()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dataSources": srcs})
+}
+
+func (s *Server) handleCreateDataSource(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	var req struct {
+		Name string `json:"name"`
+		Kind string `json:"kind"`
+		URL  string `json:"url"`
+		User string `json:"user"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if err := sess.CreateDataSource(req.Name, req.Kind, req.URL, req.User); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
+}
+
+func (s *Server) handleDeleteDataSource(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	if err := sess.DeleteDataSource(r.PathValue("name")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (s *Server) handleListDataSets(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	sets, err := sess.DataSets()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dataSets": sets})
+}
+
+func (s *Server) handleCreateDataSet(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	var req struct {
+		Name        string `json:"name"`
+		Source      string `json:"source"`
+		Query       string `json:"query"`
+		Description string `json:"description"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if err := sess.CreateDataSet(req.Name, req.Source, req.Query, req.Description); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
+}
+
+func (s *Server) handleDeleteDataSet(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	if err := sess.DeleteDataSet(r.PathValue("name")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (s *Server) handleRunDataSet(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	var req struct {
+		Args []any `json:"args"`
+	}
+	if r.ContentLength > 0 {
+		if err := decodeBody(r, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+			return
+		}
+	}
+	res, err := sess.RunDataSet(r.PathValue("name"), toValues(req.Args)...)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResultJSON(res))
+}
+
+func toValues(args []any) []storage.Value {
+	out := make([]storage.Value, len(args))
+	for i, a := range args {
+		// JSON numbers decode as float64; send integral ones to INT
+		// columns as int64 (FLOAT columns widen int64 back).
+		if f, ok := a.(float64); ok && f == float64(int64(f)) {
+			out[i] = int64(f)
+			continue
+		}
+		out[i] = storage.Normalize(a)
+	}
+	return out
+}
+
+func (s *Server) handleListTerms(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	terms, err := sess.Terms()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"terms": terms})
+}
+
+func (s *Server) handleDefineTerm(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	var req struct {
+		Name       string `json:"name"`
+		Definition string `json:"definition"`
+		Element    string `json:"element"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if err := sess.DefineTerm(req.Name, req.Definition, req.Element); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	var req struct {
+		SQL  string `json:"sql"`
+		Args []any  `json:"args"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	res, err := sess.Query(req.SQL, toValues(req.Args)...)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResultJSON(res))
+}
+
+// handleSemanticAlign aligns two tenant tables through an optional ODM
+// ontology and returns the matches plus the generated merge job spec.
+func (s *Server) handleSemanticAlign(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	var req struct {
+		Source      string `json:"source"`
+		Target      string `json:"target"`
+		OntologyXML string `json:"ontologyXml"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	matches, err := sess.SemanticAlign(req.Source, req.Target, req.OntologyXML)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := map[string]any{"matches": matches}
+	if len(matches) > 0 {
+		if job, err := sess.SemanticMergeJob(req.Source, req.Target, matches); err == nil {
+			resp["mergeJob"] = job
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- integration ---
+
+func (s *Server) handleRunJob(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	var spec services.JobSpec
+	if err := decodeBody(r, &spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	report, err := sess.RunJob(&spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
+}
+
+func (s *Server) handlePreviewJob(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	var spec services.JobSpec
+	if err := decodeBody(r, &spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	recs, err := sess.PreviewJob(&spec, 50)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"records": recs})
+}
+
+func (s *Server) handleScheduleJob(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	var spec services.JobSpec
+	if err := decodeBody(r, &spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if err := sess.ScheduleJob(&spec); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": spec.Name})
+}
+
+func (s *Server) handleTriggerJob(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	report, err := sess.TriggerJob(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
+}
+
+func (s *Server) handleJobHistory(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	hist, err := sess.JobHistory(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"history": hist})
+}
+
+// --- analysis ---
+
+func (s *Server) handleListCubes(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	cubes, err := sess.Cubes()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"cubes": cubes})
+}
+
+func (s *Server) handleDefineCube(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	var spec olap.CubeSpec
+	if err := decodeBody(r, &spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if err := sess.DefineCube(spec); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": spec.Name})
+}
+
+func (s *Server) handleDeleteCube(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	if err := sess.DeleteCube(r.PathValue("name")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (s *Server) handleBuildCube(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	cube, err := sess.BuildCube(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": cube.Name(), "rows": cube.Rows()})
+}
+
+// cubeQueryJSON is the wire form of an OLAP query.
+type cubeQueryJSON struct {
+	Rows     []olap.LevelRef `json:"rows,omitempty"`
+	Cols     []olap.LevelRef `json:"cols,omitempty"`
+	Measures []string        `json:"measures,omitempty"`
+	Filters  []struct {
+		Dimension string `json:"dimension"`
+		Level     string `json:"level"`
+		Members   []any  `json:"members"`
+	} `json:"filters,omitempty"`
+}
+
+func (s *Server) handleQueryCube(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	var req cubeQueryJSON
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	q := olap.Query{Rows: req.Rows, Cols: req.Cols, Measures: req.Measures}
+	for _, f := range req.Filters {
+		q.Filters = append(q.Filters, olap.Filter{
+			Dimension: f.Dimension, Level: f.Level, Members: toValues(f.Members),
+		})
+	}
+	res, err := sess.Analyze(r.PathValue("name"), q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCubeMembers(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	members, err := sess.Members(r.PathValue("name"), r.URL.Query().Get("dim"), r.URL.Query().Get("level"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"members": members})
+}
+
+// --- reporting + delivery ---
+
+func (s *Server) handleListReports(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	groups, err := sess.Reports()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"groups": groups})
+}
+
+func (s *Server) handleSaveReport(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	var spec report.Spec
+	if err := decodeBody(r, &spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if err := sess.SaveReport(r.URL.Query().Get("group"), &spec); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": spec.Name})
+}
+
+func (s *Server) handleDeleteReport(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	if err := sess.DeleteReport(r.PathValue("name")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+// handleRunReport runs a stored report and delivers it in the requested
+// format (?format=html|text|csv|json, default html for browsers).
+func (s *Server) handleRunReport(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	format, err := services.ParseFormat(r.URL.Query().Get("format"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	out, err := sess.RunReport(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", format.ContentType())
+	services.Deliver(w, format, out)
+}
+
+func (s *Server) handleAdHocReport(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	var spec report.Spec
+	if err := decodeBody(r, &spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	format, err := services.ParseFormat(r.URL.Query().Get("format"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	out, err := sess.RunAdHoc(&spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", format.ContentType())
+	services.Deliver(w, format, out)
+}

@@ -1,0 +1,204 @@
+// Package server exposes the ODBIS services over HTTP — the paper's
+// end-user access layer where "only the web browser is supported as
+// access tool by the current ODBIS release" (§3.1), extended with the
+// JSON API the Information Delivery Service anticipates ("it can be also
+// presented as a web services for more flexibility").
+//
+// Authentication: POST /api/login returns a bearer token; every other
+// /api route requires "Authorization: Bearer <token>".
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/odbis/odbis/internal/security"
+	"github.com/odbis/odbis/internal/services"
+	"github.com/odbis/odbis/internal/storage"
+	"github.com/odbis/odbis/internal/tenant"
+)
+
+// Server is the HTTP façade.
+type Server struct {
+	platform *services.Platform
+	mux      *http.ServeMux
+}
+
+// New builds a server over a platform.
+func New(p *services.Platform) *Server {
+	s := &Server{platform: p, mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("POST /api/login", s.handleLogin)
+	s.mux.HandleFunc("GET /api/whoami", s.withSession(s.handleWhoami))
+
+	// Administration service.
+	s.mux.HandleFunc("GET /api/admin/tenants", s.withSession(s.handleListTenants))
+	s.mux.HandleFunc("POST /api/admin/tenants", s.withSession(s.handleCreateTenant))
+	s.mux.HandleFunc("DELETE /api/admin/tenants/{id}", s.withSession(s.handleDropTenant))
+	s.mux.HandleFunc("POST /api/admin/tenants/{id}/suspend", s.withSession(s.handleSuspendTenant))
+	s.mux.HandleFunc("POST /api/admin/tenants/{id}/resume", s.withSession(s.handleResumeTenant))
+	s.mux.HandleFunc("GET /api/admin/tenants/{id}/usage", s.withSession(s.handleTenantUsage))
+	s.mux.HandleFunc("GET /api/admin/tenants/{id}/invoice", s.withSession(s.handleTenantInvoice))
+	s.mux.HandleFunc("POST /api/admin/users", s.withSession(s.handleCreateUser))
+	s.mux.HandleFunc("GET /api/admin/users", s.withSession(s.handleListUsers))
+	s.mux.HandleFunc("GET /api/admin/audit", s.withSession(s.handleAudit))
+
+	// Meta-data service.
+	s.mux.HandleFunc("GET /api/metadata/datasources", s.withSession(s.handleListDataSources))
+	s.mux.HandleFunc("POST /api/metadata/datasources", s.withSession(s.handleCreateDataSource))
+	s.mux.HandleFunc("DELETE /api/metadata/datasources/{name}", s.withSession(s.handleDeleteDataSource))
+	s.mux.HandleFunc("GET /api/metadata/datasets", s.withSession(s.handleListDataSets))
+	s.mux.HandleFunc("POST /api/metadata/datasets", s.withSession(s.handleCreateDataSet))
+	s.mux.HandleFunc("DELETE /api/metadata/datasets/{name}", s.withSession(s.handleDeleteDataSet))
+	s.mux.HandleFunc("POST /api/metadata/datasets/{name}/run", s.withSession(s.handleRunDataSet))
+	s.mux.HandleFunc("GET /api/metadata/terms", s.withSession(s.handleListTerms))
+	s.mux.HandleFunc("POST /api/metadata/terms", s.withSession(s.handleDefineTerm))
+	s.mux.HandleFunc("POST /api/query", s.withSession(s.handleQuery))
+	s.mux.HandleFunc("POST /api/metadata/align", s.withSession(s.handleSemanticAlign))
+
+	// Integration service.
+	s.mux.HandleFunc("POST /api/jobs/run", s.withSession(s.handleRunJob))
+	s.mux.HandleFunc("POST /api/jobs/preview", s.withSession(s.handlePreviewJob))
+	s.mux.HandleFunc("POST /api/jobs/schedule", s.withSession(s.handleScheduleJob))
+	s.mux.HandleFunc("POST /api/jobs/{name}/trigger", s.withSession(s.handleTriggerJob))
+	s.mux.HandleFunc("GET /api/jobs/{name}/history", s.withSession(s.handleJobHistory))
+
+	// Analysis service.
+	s.mux.HandleFunc("GET /api/cubes", s.withSession(s.handleListCubes))
+	s.mux.HandleFunc("POST /api/cubes", s.withSession(s.handleDefineCube))
+	s.mux.HandleFunc("DELETE /api/cubes/{name}", s.withSession(s.handleDeleteCube))
+	s.mux.HandleFunc("POST /api/cubes/{name}/build", s.withSession(s.handleBuildCube))
+	s.mux.HandleFunc("POST /api/cubes/{name}/query", s.withSession(s.handleQueryCube))
+	s.mux.HandleFunc("GET /api/cubes/{name}/members", s.withSession(s.handleCubeMembers))
+
+	// Reporting + delivery services.
+	s.mux.HandleFunc("GET /api/reports", s.withSession(s.handleListReports))
+	s.mux.HandleFunc("POST /api/reports", s.withSession(s.handleSaveReport))
+	s.mux.HandleFunc("DELETE /api/reports/{name}", s.withSession(s.handleDeleteReport))
+	s.mux.HandleFunc("GET /api/reports/{name}", s.withSession(s.handleRunReport))
+	s.mux.HandleFunc("POST /api/reports/adhoc", s.withSession(s.handleAdHocReport))
+}
+
+// --- plumbing ---
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeErr maps service errors onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, security.ErrDenied):
+		status = http.StatusForbidden
+	case errors.Is(err, security.ErrBadCredentials),
+		errors.Is(err, security.ErrTokenInvalid),
+		errors.Is(err, security.ErrTokenExpired),
+		errors.Is(err, security.ErrDisabled):
+		status = http.StatusUnauthorized
+	case errors.Is(err, tenant.ErrQuota):
+		status = http.StatusPaymentRequired
+	case errors.Is(err, tenant.ErrSuspended):
+		status = http.StatusForbidden
+	case errors.Is(err, services.ErrNoDataSet),
+		errors.Is(err, services.ErrNoDataSource),
+		errors.Is(err, tenant.ErrNoTenant),
+		errors.Is(err, security.ErrNotFound),
+		errors.Is(err, storage.ErrNoTable):
+		status = http.StatusNotFound
+	case errors.Is(err, services.ErrMetaExists),
+		errors.Is(err, tenant.ErrExists),
+		errors.Is(err, security.ErrExists):
+		status = http.StatusConflict
+	default:
+		// Parse/validation errors surface as 400s; keep 500 for the rest.
+		msg := err.Error()
+		for _, marker := range []string{
+			"sql:", "needs", "unknown", "invalid", "no such", "no cube",
+			"no report", "no job", "has no", "requires", "expects",
+			"must", "cannot",
+		} {
+			if strings.Contains(msg, marker) {
+				status = http.StatusBadRequest
+				break
+			}
+		}
+	}
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+// withSession authenticates the bearer token and passes the session on.
+func (s *Server) withSession(h func(w http.ResponseWriter, r *http.Request, sess *services.Session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		auth := r.Header.Get("Authorization")
+		const prefix = "Bearer "
+		if !strings.HasPrefix(auth, prefix) {
+			writeJSON(w, http.StatusUnauthorized, apiError{Error: "missing bearer token"})
+			return
+		}
+		sess, err := s.platform.Resume(strings.TrimPrefix(auth, prefix))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		h(w, r, sess)
+	}
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Username string `json:"username"`
+		Password string `json:"password"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	_, token, err := s.platform.Login(req.Username, req.Password)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"token": token})
+}
+
+func (s *Server) handleWhoami(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"username":    sess.Principal.Username,
+		"tenant":      sess.Principal.Tenant,
+		"authorities": sess.Principal.Authorities,
+		"expiresAt":   sess.Principal.ExpiresAt,
+	})
+}

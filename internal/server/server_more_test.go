@@ -1,0 +1,229 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestDataSourceEndpoints(t *testing.T) {
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+	status, _, raw := call(t, ts, token, "POST", "/api/metadata/datasources",
+		map[string]string{"name": "src", "kind": "csv", "url": "s3://bucket", "user": "etl"})
+	if status != http.StatusCreated {
+		t.Fatalf("create: %d %s", status, raw)
+	}
+	status, body, _ := call(t, ts, token, "GET", "/api/metadata/datasources", nil)
+	srcs := body["dataSources"].([]any)
+	if status != http.StatusOK || len(srcs) != 1 {
+		t.Errorf("list = %d %v", status, body)
+	}
+	first := srcs[0].(map[string]any)
+	if first["Name"] != "src" || first["Kind"] != "csv" {
+		t.Errorf("source = %v", first)
+	}
+	status, _, _ = call(t, ts, token, "DELETE", "/api/metadata/datasources/src", nil)
+	if status != http.StatusOK {
+		t.Errorf("delete = %d", status)
+	}
+	status, _, _ = call(t, ts, token, "DELETE", "/api/metadata/datasources/src", nil)
+	if status != http.StatusNotFound {
+		t.Errorf("double delete = %d", status)
+	}
+}
+
+func TestTermEndpoints(t *testing.T) {
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+	status, _, raw := call(t, ts, token, "POST", "/api/metadata/terms",
+		map[string]string{"name": "revenue", "definition": "money in", "element": "sales.amount"})
+	if status != http.StatusCreated {
+		t.Fatalf("define term: %d %s", status, raw)
+	}
+	status, body, _ := call(t, ts, token, "GET", "/api/metadata/terms", nil)
+	terms := body["terms"].([]any)
+	if status != http.StatusOK || len(terms) != 1 {
+		t.Errorf("terms = %d %v", status, body)
+	}
+	// Empty definition → 500-family error mapped to 400.
+	status, _, _ = call(t, ts, token, "POST", "/api/metadata/terms",
+		map[string]string{"name": "x"})
+	if status != http.StatusBadRequest {
+		t.Errorf("bad term = %d", status)
+	}
+}
+
+func TestAuditEndpoint(t *testing.T) {
+	ts := testServer(t)
+	admin := login(t, ts, "root", "toor")
+	// Generate a failed login for the audit log.
+	call(t, ts, "", "POST", "/api/login", map[string]string{"username": "root", "password": "no"})
+	status, body, _ := call(t, ts, admin, "GET", "/api/admin/audit?event=auth.fail", nil)
+	if status != http.StatusOK {
+		t.Fatalf("audit = %d", status)
+	}
+	if events := body["events"].([]any); len(events) == 0 {
+		t.Error("no audit events")
+	}
+	status, body, _ = call(t, ts, admin, "GET", "/api/admin/users", nil)
+	if status != http.StatusOK || len(body["users"].([]any)) != 1 {
+		t.Errorf("users = %d %v", status, body)
+	}
+}
+
+func TestMalformedBodiesRejected(t *testing.T) {
+	ts := testServer(t)
+	admin := login(t, ts, "root", "toor")
+	paths := []string{
+		"/api/admin/tenants",
+		"/api/admin/users",
+		"/api/metadata/datasets",
+		"/api/metadata/datasources",
+		"/api/metadata/terms",
+		"/api/jobs/run",
+		"/api/jobs/schedule",
+		"/api/cubes",
+		"/api/reports",
+		"/api/query",
+	}
+	for _, path := range paths {
+		status, _, _ := call(t, ts, admin, "POST", path, map[string]any{"unknownField": 1})
+		if status != http.StatusBadRequest {
+			t.Errorf("POST %s with junk = %d", path, status)
+		}
+	}
+}
+
+func TestCubeErrorsOverHTTP(t *testing.T) {
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+	// Invalid cube spec (no measures).
+	status, _, _ := call(t, ts, token, "POST", "/api/cubes",
+		map[string]any{"Name": "c", "FactTable": "f"})
+	if status != http.StatusBadRequest {
+		t.Errorf("invalid cube = %d", status)
+	}
+	// Unknown cube operations.
+	status, _, _ = call(t, ts, token, "POST", "/api/cubes/ghost/build", nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("build ghost = %d", status)
+	}
+	status, _, _ = call(t, ts, token, "GET", "/api/cubes/ghost/members?dim=x&level=y", nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("members ghost = %d", status)
+	}
+	status, _, _ = call(t, ts, token, "DELETE", "/api/cubes/ghost", nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("delete ghost = %d", status)
+	}
+}
+
+func TestReportNotFoundOverHTTP(t *testing.T) {
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+	status, _, _ := call(t, ts, token, "GET", "/api/reports/ghost", nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("ghost report = %d", status)
+	}
+	status, _, _ = call(t, ts, token, "DELETE", "/api/reports/ghost", nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("delete ghost report = %d", status)
+	}
+	// Invalid spec rejected at save.
+	status, _, _ = call(t, ts, token, "POST", "/api/reports",
+		map[string]any{"Name": "r"})
+	if status != http.StatusBadRequest {
+		t.Errorf("empty report spec = %d", status)
+	}
+}
+
+func TestTenantAdminErrorsOverHTTP(t *testing.T) {
+	ts := testServer(t)
+	admin := login(t, ts, "root", "toor")
+	// Unknown plan.
+	status, _, _ := call(t, ts, admin, "POST", "/api/admin/tenants",
+		map[string]string{"id": "x", "name": "X", "plan": "platinum"})
+	if status != http.StatusBadRequest {
+		t.Errorf("unknown plan = %d", status)
+	}
+	// Unknown tenant usage → 404.
+	status, _, _ = call(t, ts, admin, "GET", "/api/admin/tenants/ghost/usage", nil)
+	if status != http.StatusNotFound {
+		t.Errorf("ghost usage = %d", status)
+	}
+	status, _, _ = call(t, ts, admin, "POST", "/api/admin/tenants/ghost/suspend", nil)
+	if status != http.StatusNotFound {
+		t.Errorf("ghost suspend = %d", status)
+	}
+	// Duplicate tenant → 409.
+	call(t, ts, admin, "POST", "/api/admin/tenants", map[string]string{"id": "dup", "name": "D", "plan": "free"})
+	status, _, _ = call(t, ts, admin, "POST", "/api/admin/tenants", map[string]string{"id": "dup", "name": "D", "plan": "free"})
+	if status != http.StatusConflict {
+		t.Errorf("duplicate tenant = %d", status)
+	}
+	// Duplicate user → 409.
+	call(t, ts, admin, "POST", "/api/admin/users", map[string]any{"username": "u1", "password": "p", "tenant": "dup"})
+	status, _, _ = call(t, ts, admin, "POST", "/api/admin/users", map[string]any{"username": "u1", "password": "p", "tenant": "dup"})
+	if status != http.StatusConflict {
+		t.Errorf("duplicate user = %d", status)
+	}
+}
+
+func TestJobScheduleValidation(t *testing.T) {
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+	// Schedule without interval is a 400.
+	status, _, _ := call(t, ts, token, "POST", "/api/jobs/schedule",
+		map[string]any{"name": "j", "csvData": "a\n1\n", "target": "t"})
+	if status != http.StatusBadRequest {
+		t.Errorf("schedule without interval = %d", status)
+	}
+	// Trigger of unknown job.
+	status, _, _ = call(t, ts, token, "POST", "/api/jobs/ghost/trigger", nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("trigger ghost = %d", status)
+	}
+}
+
+func TestSemanticAlignEndpoint(t *testing.T) {
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+	call(t, ts, token, "POST", "/api/query", map[string]any{"sql": "CREATE TABLE a (order_id INT, ship_datee TEXT)"})
+	call(t, ts, token, "POST", "/api/query", map[string]any{"sql": "CREATE TABLE b (order_id INT, ship_date TEXT)"})
+	status, body, raw := call(t, ts, token, "POST", "/api/metadata/align",
+		map[string]string{"source": "a", "target": "b"})
+	if status != http.StatusOK {
+		t.Fatalf("align: %d %s", status, raw)
+	}
+	if len(body["matches"].([]any)) != 2 {
+		t.Errorf("matches = %v", body["matches"])
+	}
+	if body["mergeJob"] == nil {
+		t.Error("merge job missing")
+	}
+	status, _, _ = call(t, ts, token, "POST", "/api/metadata/align",
+		map[string]string{"source": "ghost", "target": "b"})
+	if status != http.StatusNotFound {
+		t.Errorf("ghost align = %d", status)
+	}
+}
+
+func TestDropTenantEndpoint(t *testing.T) {
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+	call(t, ts, token, "POST", "/api/query", map[string]any{"sql": "CREATE TABLE t (x INT)"})
+	admin := login(t, ts, "root", "toor")
+	status, _, raw := call(t, ts, admin, "DELETE", "/api/admin/tenants/acme", nil)
+	if status != http.StatusOK {
+		t.Fatalf("drop: %d %s", status, raw)
+	}
+	// The tenant's session is now dead.
+	status, _, _ = call(t, ts, token, "POST", "/api/query", map[string]any{"sql": "SELECT 1"})
+	if status == http.StatusOK {
+		t.Errorf("dropped tenant still serves = %d", status)
+	}
+	status, _, _ = call(t, ts, admin, "DELETE", "/api/admin/tenants/acme", nil)
+	if status != http.StatusNotFound {
+		t.Errorf("double drop = %d", status)
+	}
+}

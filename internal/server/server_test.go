@@ -1,0 +1,431 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/odbis/odbis/internal/security"
+	"github.com/odbis/odbis/internal/services"
+	"github.com/odbis/odbis/internal/storage"
+	"github.com/odbis/odbis/internal/tenant"
+)
+
+// testServer boots a platform with admin root/toor, tenant acme, designer
+// ada, and returns the HTTP test server.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	e := storage.MustOpenMemory()
+	t.Cleanup(func() { e.Close() })
+	reg, err := tenant.NewRegistry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := security.NewManager(e, security.Options{HashIterations: 8, TokenSecret: []byte("test")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := services.NewPlatform(reg, sec)
+	if err := p.Bootstrap("root", "toor"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(p))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// call makes an authenticated JSON request and decodes the response.
+func call(t *testing.T, ts *httptest.Server, token, method, path string, body any) (int, map[string]any, string) {
+	t.Helper()
+	var rdr io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rdr = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var decoded map[string]any
+	json.Unmarshal(raw, &decoded)
+	return resp.StatusCode, decoded, string(raw)
+}
+
+func login(t *testing.T, ts *httptest.Server, user, pass string) string {
+	t.Helper()
+	status, body, raw := call(t, ts, "", "POST", "/api/login",
+		map[string]string{"username": user, "password": pass})
+	if status != http.StatusOK {
+		t.Fatalf("login %s: %d %s", user, status, raw)
+	}
+	return body["token"].(string)
+}
+
+// setupTenantWithUser provisions acme + designer ada and returns ada's
+// token.
+func setupTenantWithUser(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	admin := login(t, ts, "root", "toor")
+	status, _, raw := call(t, ts, admin, "POST", "/api/admin/tenants",
+		map[string]string{"id": "acme", "name": "Acme", "plan": "standard"})
+	if status != http.StatusCreated {
+		t.Fatalf("create tenant: %d %s", status, raw)
+	}
+	status, _, raw = call(t, ts, admin, "POST", "/api/admin/users", map[string]any{
+		"username": "ada", "password": "pw", "tenant": "acme",
+		"roles": []string{services.RoleDesigner},
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("create user: %d %s", status, raw)
+	}
+	return login(t, ts, "ada", "pw")
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	ts := testServer(t)
+	status, _, _ := call(t, ts, "", "GET", "/api/whoami", nil)
+	if status != http.StatusUnauthorized {
+		t.Errorf("no token = %d", status)
+	}
+	status, _, _ = call(t, ts, "garbage", "GET", "/api/whoami", nil)
+	if status != http.StatusUnauthorized {
+		t.Errorf("bad token = %d", status)
+	}
+	status, _, raw := call(t, ts, "", "POST", "/api/login",
+		map[string]string{"username": "root", "password": "wrong"})
+	if status != http.StatusUnauthorized {
+		t.Errorf("bad login = %d %s", status, raw)
+	}
+}
+
+func TestWhoami(t *testing.T) {
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+	status, body, _ := call(t, ts, token, "GET", "/api/whoami", nil)
+	if status != http.StatusOK || body["username"] != "ada" || body["tenant"] != "acme" {
+		t.Errorf("whoami = %d %v", status, body)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+	status, _, raw := call(t, ts, token, "POST", "/api/query",
+		map[string]any{"sql": "CREATE TABLE t (a INT, b TEXT)"})
+	if status != http.StatusOK {
+		t.Fatalf("ddl: %d %s", status, raw)
+	}
+	status, _, _ = call(t, ts, token, "POST", "/api/query",
+		map[string]any{"sql": "INSERT INTO t VALUES (?, ?)", "args": []any{1, "x"}})
+	if status != http.StatusOK {
+		t.Fatalf("insert: %d", status)
+	}
+	status, body, _ := call(t, ts, token, "POST", "/api/query",
+		map[string]any{"sql": "SELECT a, b FROM t"})
+	if status != http.StatusOK {
+		t.Fatal(status)
+	}
+	rows := body["rows"].([]any)
+	if len(rows) != 1 {
+		t.Errorf("rows = %v", rows)
+	}
+	// Parse errors are 400s.
+	status, _, _ = call(t, ts, token, "POST", "/api/query", map[string]any{"sql": "SELEC"})
+	if status != http.StatusBadRequest {
+		t.Errorf("parse error = %d", status)
+	}
+}
+
+func TestMetadataEndpoints(t *testing.T) {
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+	call(t, ts, token, "POST", "/api/query", map[string]any{"sql": "CREATE TABLE v (x INT)"})
+	call(t, ts, token, "POST", "/api/query", map[string]any{"sql": "INSERT INTO v VALUES (1), (2)"})
+
+	status, _, raw := call(t, ts, token, "POST", "/api/metadata/datasets",
+		map[string]string{"name": "all-v", "query": "SELECT * FROM v"})
+	if status != http.StatusCreated {
+		t.Fatalf("create dataset: %d %s", status, raw)
+	}
+	// Duplicate → 409.
+	status, _, _ = call(t, ts, token, "POST", "/api/metadata/datasets",
+		map[string]string{"name": "all-v", "query": "SELECT * FROM v"})
+	if status != http.StatusConflict {
+		t.Errorf("duplicate dataset = %d", status)
+	}
+	status, body, _ := call(t, ts, token, "POST", "/api/metadata/datasets/all-v/run", nil)
+	if status != http.StatusOK || len(body["rows"].([]any)) != 2 {
+		t.Errorf("run dataset = %d %v", status, body)
+	}
+	status, _, _ = call(t, ts, token, "POST", "/api/metadata/datasets/ghost/run", nil)
+	if status != http.StatusNotFound {
+		t.Errorf("missing dataset = %d", status)
+	}
+	status, body, _ = call(t, ts, token, "GET", "/api/metadata/datasets", nil)
+	if status != http.StatusOK || len(body["dataSets"].([]any)) != 1 {
+		t.Errorf("list datasets = %d %v", status, body)
+	}
+	status, _, _ = call(t, ts, token, "DELETE", "/api/metadata/datasets/all-v", nil)
+	if status != http.StatusOK {
+		t.Errorf("delete dataset = %d", status)
+	}
+}
+
+func TestJobEndpoints(t *testing.T) {
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+	spec := map[string]any{
+		"name":    "load",
+		"csvData": "region,amount\nnorth,10.0\nsouth,20.0\n",
+		"steps": []map[string]any{
+			{"op": "derive", "field": "amount2", "expression": "amount * 2"},
+		},
+		"target": "sales",
+	}
+	status, body, raw := call(t, ts, token, "POST", "/api/jobs/run", spec)
+	if status != http.StatusOK {
+		t.Fatalf("run job: %d %s", status, raw)
+	}
+	if body["Job"] != "acme/load" {
+		t.Errorf("job report = %v", body)
+	}
+	status, body, _ = call(t, ts, token, "POST", "/api/query",
+		map[string]any{"sql": "SELECT SUM(amount2) FROM sales"})
+	if status != http.StatusOK {
+		t.Fatal(status)
+	}
+	row := body["rows"].([]any)[0].([]any)
+	if row[0].(float64) != 60 {
+		t.Errorf("derived sum = %v", row[0])
+	}
+	// Preview endpoint.
+	status, body, _ = call(t, ts, token, "POST", "/api/jobs/preview", spec)
+	if status != http.StatusOK || len(body["records"].([]any)) != 2 {
+		t.Errorf("preview = %d %v", status, body)
+	}
+	// Schedule + trigger + history.
+	sched := map[string]any{
+		"name": "nightly", "csvData": "a\n1\n", "target": "nightly_t",
+		"intervalSeconds": 3600,
+	}
+	status, _, raw = call(t, ts, token, "POST", "/api/jobs/schedule", sched)
+	if status != http.StatusCreated {
+		t.Fatalf("schedule: %d %s", status, raw)
+	}
+	status, _, _ = call(t, ts, token, "POST", "/api/jobs/nightly/trigger", nil)
+	if status != http.StatusOK {
+		t.Errorf("trigger = %d", status)
+	}
+	status, body, _ = call(t, ts, token, "GET", "/api/jobs/nightly/history", nil)
+	if status != http.StatusOK || len(body["history"].([]any)) != 1 {
+		t.Errorf("history = %d %v", status, body)
+	}
+}
+
+func TestCubeEndpoints(t *testing.T) {
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+	for _, q := range []string{
+		"CREATE TABLE dim_r (id INT PRIMARY KEY, name TEXT)",
+		"INSERT INTO dim_r VALUES (1, 'n'), (2, 's')",
+		"CREATE TABLE f (r_id INT, v FLOAT)",
+		"INSERT INTO f VALUES (1, 10.0), (1, 5.0), (2, 2.0)",
+	} {
+		status, _, raw := call(t, ts, token, "POST", "/api/query", map[string]any{"sql": q})
+		if status != http.StatusOK {
+			t.Fatalf("%s: %d %s", q, status, raw)
+		}
+	}
+	spec := map[string]any{
+		"Name":      "C",
+		"FactTable": "f",
+		"Measures":  []map[string]any{{"Name": "v", "Column": "v", "Agg": "sum"}},
+		"Dimensions": []map[string]any{{
+			"Name": "R", "Table": "dim_r", "Key": "id", "FactFK": "r_id",
+			"Levels": []map[string]any{{"Name": "Name", "Column": "name"}},
+		}},
+	}
+	status, _, raw := call(t, ts, token, "POST", "/api/cubes", spec)
+	if status != http.StatusCreated {
+		t.Fatalf("define cube: %d %s", status, raw)
+	}
+	status, body, _ := call(t, ts, token, "POST", "/api/cubes/C/build", nil)
+	if status != http.StatusOK || body["rows"].(float64) != 3 {
+		t.Errorf("build = %d %v", status, body)
+	}
+	status, body, raw = call(t, ts, token, "POST", "/api/cubes/C/query", map[string]any{
+		"rows":     []map[string]string{{"Dimension": "R", "Level": "Name"}},
+		"measures": []string{"v"},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("query cube: %d %s", status, raw)
+	}
+	cells := body["Cells"].([]any)
+	if len(cells) != 2 {
+		t.Errorf("cells = %v", cells)
+	}
+	status, body, _ = call(t, ts, token, "GET", "/api/cubes/C/members?dim=R&level=Name", nil)
+	if status != http.StatusOK || len(body["members"].([]any)) != 2 {
+		t.Errorf("members = %d %v", status, body)
+	}
+	status, _, _ = call(t, ts, token, "DELETE", "/api/cubes/C", nil)
+	if status != http.StatusOK {
+		t.Errorf("delete cube = %d", status)
+	}
+}
+
+func TestReportEndpointsAndDelivery(t *testing.T) {
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+	call(t, ts, token, "POST", "/api/query", map[string]any{"sql": "CREATE TABLE s (w TEXT, n INT)"})
+	call(t, ts, token, "POST", "/api/query", map[string]any{"sql": "INSERT INTO s VALUES ('a', 1), ('b', 2)"})
+	spec := map[string]any{
+		"Name":  "dash",
+		"Title": "Dash",
+		"Elements": []map[string]any{
+			{"Kind": "kpi", "Title": "Total", "Query": "SELECT SUM(n) FROM s"},
+			{"Kind": "chart", "Title": "By W", "Chart": "bar",
+				"Query": "SELECT w, SUM(n) AS n FROM s GROUP BY w", "Label": "w"},
+		},
+	}
+	status, _, raw := call(t, ts, token, "POST", "/api/reports?group=ops", spec)
+	if status != http.StatusCreated {
+		t.Fatalf("save report: %d %s", status, raw)
+	}
+	// HTML delivery.
+	req, _ := http.NewRequest("GET", ts.URL+"/api/reports/dash?format=html", nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(html), "<svg") {
+		t.Errorf("html delivery: %d, svg present: %v", resp.StatusCode, strings.Contains(string(html), "<svg"))
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+	// JSON delivery.
+	req, _ = http.NewRequest("GET", ts.URL+"/api/reports/dash?format=json", nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, _ = http.DefaultClient.Do(req)
+	var doc map[string]any
+	json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if doc["name"] != "dash" {
+		t.Errorf("json delivery = %v", doc)
+	}
+	// Bad format.
+	status, _, _ = call(t, ts, token, "GET", "/api/reports/dash?format=smoke", nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("bad format = %d", status)
+	}
+	// Ad-hoc report.
+	status, _, raw = call(t, ts, token, "POST", "/api/reports/adhoc?format=json", spec)
+	if status != http.StatusOK {
+		t.Errorf("adhoc: %d %s", status, raw)
+	}
+	// Group listing.
+	status, body, _ := call(t, ts, token, "GET", "/api/reports", nil)
+	groups := body["groups"].(map[string]any)
+	if status != http.StatusOK || len(groups["ops"].([]any)) != 1 {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestForbiddenForViewer(t *testing.T) {
+	ts := testServer(t)
+	admin := login(t, ts, "root", "toor")
+	call(t, ts, admin, "POST", "/api/admin/tenants", map[string]string{"id": "acme", "name": "A", "plan": "free"})
+	call(t, ts, admin, "POST", "/api/admin/users", map[string]any{
+		"username": "vic", "password": "pw", "tenant": "acme", "roles": []string{services.RoleViewer}})
+	vic := login(t, ts, "vic", "pw")
+	status, _, _ := call(t, ts, vic, "POST", "/api/query", map[string]any{"sql": "CREATE TABLE t (x INT)"})
+	if status != http.StatusForbidden {
+		t.Errorf("viewer ddl = %d", status)
+	}
+	status, _, _ = call(t, ts, vic, "GET", "/api/admin/tenants", nil)
+	if status != http.StatusForbidden {
+		t.Errorf("viewer admin = %d", status)
+	}
+}
+
+func TestAdminUsageAndInvoiceEndpoints(t *testing.T) {
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+	call(t, ts, token, "POST", "/api/query", map[string]any{"sql": "CREATE TABLE t (x INT)"})
+	admin := login(t, ts, "root", "toor")
+	status, body, _ := call(t, ts, admin, "GET", "/api/admin/tenants/acme/usage", nil)
+	if status != http.StatusOK || body["queries"].(float64) < 1 {
+		t.Errorf("usage = %d %v", status, body)
+	}
+	status, body, _ = call(t, ts, admin, "GET", "/api/admin/tenants/acme/invoice", nil)
+	if status != http.StatusOK || body["Total"].(float64) <= 0 {
+		t.Errorf("invoice = %d %v", status, body)
+	}
+	// Suspension returns 403 on tenant ops.
+	call(t, ts, admin, "POST", "/api/admin/tenants/acme/suspend", nil)
+	status, _, _ = call(t, ts, token, "POST", "/api/query", map[string]any{"sql": "SELECT 1"})
+	if status != http.StatusForbidden {
+		t.Errorf("suspended query = %d", status)
+	}
+	call(t, ts, admin, "POST", "/api/admin/tenants/acme/resume", nil)
+	status, _, _ = call(t, ts, token, "POST", "/api/query", map[string]any{"sql": "SELECT 1"})
+	if status != http.StatusOK {
+		t.Errorf("resumed query = %d", status)
+	}
+}
+
+func TestQuotaReturns402(t *testing.T) {
+	ts := testServer(t)
+	admin := login(t, ts, "root", "toor")
+	call(t, ts, admin, "POST", "/api/admin/tenants", map[string]string{"id": "tiny", "name": "T", "plan": "free"})
+	call(t, ts, admin, "POST", "/api/admin/users", map[string]any{
+		"username": "tim", "password": "pw", "tenant": "tiny", "roles": []string{services.RoleDesigner}})
+	tim := login(t, ts, "tim", "pw")
+	for i := 0; i < 5; i++ {
+		status, _, raw := call(t, ts, tim, "POST", "/api/query",
+			map[string]any{"sql": fmt.Sprintf("CREATE TABLE t%d (x INT)", i)})
+		if status != http.StatusOK {
+			t.Fatalf("table %d: %d %s", i, status, raw)
+		}
+	}
+	status, _, _ := call(t, ts, tim, "POST", "/api/query", map[string]any{"sql": "CREATE TABLE t6 (x INT)"})
+	if status != http.StatusPaymentRequired {
+		t.Errorf("quota status = %d", status)
+	}
+}

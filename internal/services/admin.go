@@ -1,0 +1,149 @@
+package services
+
+import (
+	"github.com/odbis/odbis/internal/security"
+	"github.com/odbis/odbis/internal/tenant"
+)
+
+// The administration service "provides a secure web-based application to
+// manage authorities (privileges), roles, users, and groups" (§3.3) and,
+// as the SaaS operator console, tenants, plans and usage. Every call
+// requires the admin authority.
+
+// CreateTenant provisions a tenant on a plan.
+func (s *Session) CreateTenant(id, name, plan string) (*tenant.Info, error) {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return nil, err
+	}
+	info, err := s.p.Registry.Create(id, name, plan)
+	if err != nil {
+		return nil, err
+	}
+	s.p.publish(Event{Kind: EventTenantCreated, Tenant: id, User: s.Principal.Username, Subject: id, Detail: plan})
+	return info, nil
+}
+
+// Tenants lists tenant ids.
+func (s *Session) Tenants() ([]string, error) {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return nil, err
+	}
+	return s.p.Registry.List()
+}
+
+// SuspendTenant blocks a tenant.
+func (s *Session) SuspendTenant(id string) error {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return err
+	}
+	if err := s.p.Registry.Suspend(id); err != nil {
+		return err
+	}
+	s.p.publish(Event{Kind: EventTenantSuspended, Tenant: id, User: s.Principal.Username, Subject: id})
+	return nil
+}
+
+// DropTenant removes a tenant, its usage records, and every physical
+// table in its namespace.
+func (s *Session) DropTenant(id string) error {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return err
+	}
+	return s.p.Registry.Drop(id)
+}
+
+// ResumeTenant re-enables a tenant.
+func (s *Session) ResumeTenant(id string) error {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return err
+	}
+	return s.p.Registry.Resume(id)
+}
+
+// TenantUsage reports a tenant's metered usage for the current period.
+func (s *Session) TenantUsage(id string) (map[string]int64, error) {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return nil, err
+	}
+	return s.p.Registry.Usage(id)
+}
+
+// TenantInvoice computes a tenant's current bill.
+func (s *Session) TenantInvoice(id string) (*tenant.Invoice, error) {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return nil, err
+	}
+	return s.p.Registry.Invoice(id)
+}
+
+// CreateUser registers a platform user.
+func (s *Session) CreateUser(spec security.UserSpec) error {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return err
+	}
+	return s.p.Security.CreateUser(spec)
+}
+
+// Users lists usernames.
+func (s *Session) Users() ([]string, error) {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return nil, err
+	}
+	return s.p.Security.Users()
+}
+
+// GrantRole grants a role to a user.
+func (s *Session) GrantRole(username, role string) error {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return err
+	}
+	return s.p.Security.GrantRole(username, role)
+}
+
+// CreateRole defines a role with authorities.
+func (s *Session) CreateRole(name, description string, authorities ...string) error {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return err
+	}
+	return s.p.Security.CreateRole(name, description, authorities...)
+}
+
+// CreateGroup defines a group with roles.
+func (s *Session) CreateGroup(name, description string, roles ...string) error {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return err
+	}
+	return s.p.Security.CreateGroup(name, description, roles...)
+}
+
+// AddToGroup puts a user in a group.
+func (s *Session) AddToGroup(username, group string) error {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return err
+	}
+	return s.p.Security.AddToGroup(username, group)
+}
+
+// SetUserActive enables or disables a user.
+func (s *Session) SetUserActive(username string, active bool) error {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return err
+	}
+	return s.p.Security.SetActive(username, active)
+}
+
+// DeleteUser removes a user.
+func (s *Session) DeleteUser(username string) error {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return err
+	}
+	return s.p.Security.DeleteUser(username)
+}
+
+// AuditLog returns security audit events ("" for all kinds).
+func (s *Session) AuditLog(event string) ([]string, error) {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return nil, err
+	}
+	return s.p.Security.AuditEvents(event)
+}

@@ -1,0 +1,199 @@
+package services
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/odbis/odbis/internal/olap"
+	"github.com/odbis/odbis/internal/storage"
+	"github.com/odbis/odbis/internal/storage/orm"
+)
+
+// The Analysis Service (AS) "allows definition of analysis data models
+// (OLAP data cube), data cube visualization and navigation" (§3.1). Cube
+// definitions persist as metadata; built cubes are cached per tenant and
+// rebuilt on demand.
+
+// cubeRow persists a cube definition as JSON metadata.
+type cubeRow struct {
+	Key      string `orm:"key,pk"` // tenant|name
+	Tenant   string `orm:"tenant,index"`
+	Name     string
+	SpecJSON string
+	Created  time.Time
+}
+
+func (p *Platform) cubeStore() (*orm.Mapper[cubeRow], error) {
+	return orm.NewMapper[cubeRow](p.Registry.Engine(), "as_cubes")
+}
+
+// DefineCube stores a cube definition over tenant tables. Table names in
+// the spec are logical; they bind to the tenant's physical tables at
+// build time.
+func (s *Session) DefineCube(spec olap.CubeSpec) error {
+	if err := s.authorize(AuthAnalysis); err != nil {
+		return err
+	}
+	if _, err := s.requireCatalog(); err != nil {
+		return err
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	store, err := s.p.cubeStore()
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	s.invalidateCube(spec.Name)
+	return store.Save(&cubeRow{
+		Key:      metaKey(s.Principal.Tenant, spec.Name),
+		Tenant:   s.Principal.Tenant,
+		Name:     spec.Name,
+		SpecJSON: string(raw),
+		Created:  time.Now().UTC(),
+	})
+}
+
+// Cubes lists the tenant's cube names sorted.
+func (s *Session) Cubes() ([]string, error) {
+	if err := s.authorize(AuthAnalysis); err != nil {
+		return nil, err
+	}
+	store, err := s.p.cubeStore()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := store.Where("tenant", s.Principal.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.Name
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// CubeSpecOf returns a stored cube definition.
+func (s *Session) CubeSpecOf(name string) (olap.CubeSpec, error) {
+	var spec olap.CubeSpec
+	store, err := s.p.cubeStore()
+	if err != nil {
+		return spec, err
+	}
+	row, ok, err := store.Get(metaKey(s.Principal.Tenant, name))
+	if err != nil {
+		return spec, err
+	}
+	if !ok {
+		return spec, fmt.Errorf("services: no cube %q", name)
+	}
+	if err := json.Unmarshal([]byte(row.SpecJSON), &spec); err != nil {
+		return spec, fmt.Errorf("services: cube %s metadata corrupt: %w", name, err)
+	}
+	return spec, nil
+}
+
+// DeleteCube removes a definition and its cached build.
+func (s *Session) DeleteCube(name string) error {
+	if err := s.authorize(AuthAnalysis); err != nil {
+		return err
+	}
+	store, err := s.p.cubeStore()
+	if err != nil {
+		return err
+	}
+	ok, err := store.Delete(metaKey(s.Principal.Tenant, name))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("services: no cube %q", name)
+	}
+	s.invalidateCube(name)
+	return nil
+}
+
+func (s *Session) invalidateCube(name string) {
+	s.p.mu.Lock()
+	defer s.p.mu.Unlock()
+	if tc := s.p.cubes[s.Principal.Tenant]; tc != nil {
+		delete(tc, name)
+	}
+}
+
+// BuildCube (re)builds a cube from current tenant data and caches it.
+func (s *Session) BuildCube(name string) (*olap.Cube, error) {
+	if err := s.authorize(AuthAnalysis); err != nil {
+		return nil, err
+	}
+	cat, err := s.requireCatalog()
+	if err != nil {
+		return nil, err
+	}
+	spec, err := s.CubeSpecOf(name)
+	if err != nil {
+		return nil, err
+	}
+	// Bind logical table names to the tenant namespace.
+	spec.FactTable = cat.Physical(spec.FactTable)
+	for i := range spec.Dimensions {
+		if spec.Dimensions[i].Table != "" {
+			spec.Dimensions[i].Table = cat.Physical(spec.Dimensions[i].Table)
+		}
+	}
+	cube, err := olap.Build(s.p.Registry.Engine(), spec)
+	if err != nil {
+		return nil, err
+	}
+	s.p.mu.Lock()
+	if s.p.cubes[s.Principal.Tenant] == nil {
+		s.p.cubes[s.Principal.Tenant] = make(map[string]*olap.Cube)
+	}
+	s.p.cubes[s.Principal.Tenant][name] = cube
+	s.p.mu.Unlock()
+	s.p.publish(Event{Kind: EventCubeBuilt, Tenant: s.Principal.Tenant,
+		User: s.Principal.Username, Subject: name,
+		Detail: fmt.Sprintf("%d facts", cube.Rows())})
+	return cube, nil
+}
+
+// Cube returns the cached cube, building it when absent.
+func (s *Session) Cube(name string) (*olap.Cube, error) {
+	s.p.mu.Lock()
+	cube := s.p.cubes[s.Principal.Tenant][name]
+	s.p.mu.Unlock()
+	if cube != nil {
+		if err := s.authorize(AuthAnalysis); err != nil {
+			return nil, err
+		}
+		return cube, nil
+	}
+	return s.BuildCube(name)
+}
+
+// Analyze runs an OLAP query against a cube.
+func (s *Session) Analyze(cubeName string, q olap.Query) (*olap.Result, error) {
+	cube, err := s.Cube(cubeName)
+	if err != nil {
+		return nil, err
+	}
+	return cube.Execute(q)
+}
+
+// Members lists the distinct members of a cube level (for navigation
+// UIs).
+func (s *Session) Members(cubeName, dim, level string) ([]storage.Value, error) {
+	cube, err := s.Cube(cubeName)
+	if err != nil {
+		return nil, err
+	}
+	return cube.Members(dim, level)
+}

@@ -1,0 +1,74 @@
+package services
+
+import (
+	"time"
+
+	"github.com/odbis/odbis/internal/bus"
+)
+
+// The paper plans an ESB ("we plan to use spring integration module",
+// §3.1) for interoperability between the platform's tools. Here the bus
+// carries platform events: every service publishes what it did onto the
+// EventChannel, and operators or other services subscribe — the
+// integration seam for alerting, cache invalidation and audit shipping.
+
+// EventChannel is the bus channel carrying platform events.
+const EventChannel = "odbis.events"
+
+// Event kinds published by the services.
+const (
+	EventTenantCreated   = "tenant.created"
+	EventTenantSuspended = "tenant.suspended"
+	EventJobCompleted    = "job.completed"
+	EventJobFailed       = "job.failed"
+	EventCubeBuilt       = "cube.built"
+	EventReportExecuted  = "report.executed"
+	EventAccessDenied    = "access.denied"
+)
+
+// Event is the payload body of a platform event message.
+type Event struct {
+	Kind   string
+	Tenant string
+	User   string
+	// Subject names the object acted on (job, cube, report, tenant id).
+	Subject string
+	// Detail carries kind-specific information.
+	Detail string
+	At     time.Time
+}
+
+// initEvents attaches the bus and a sink subscriber so publishing never
+// fails when no consumer is attached.
+func (p *Platform) initEvents() {
+	p.Bus = bus.New()
+	p.Bus.Subscribe(EventChannel, func(*bus.Message) (*bus.Message, error) {
+		return nil, nil
+	})
+}
+
+// OnEvent subscribes fn to platform events. Handlers run synchronously
+// on the publishing goroutine; they must be fast and must not call back
+// into the publishing service.
+func (p *Platform) OnEvent(fn func(Event)) {
+	p.Bus.Subscribe(EventChannel, func(m *bus.Message) (*bus.Message, error) {
+		if ev, ok := m.Body.(Event); ok {
+			fn(ev)
+		}
+		return nil, nil
+	})
+}
+
+// publish emits a platform event (best effort: a failing subscriber does
+// not fail the service call that triggered it).
+func (p *Platform) publish(ev Event) {
+	ev.At = time.Now().UTC()
+	msg := bus.NewMessage(ev, "kind", ev.Kind, "tenant", ev.Tenant)
+	// Best effort: events observe service calls, they must not veto them.
+	p.Bus.PublishBestEffort(EventChannel, msg)
+}
+
+// EventStats reports bus counters for the event channel.
+func (p *Platform) EventStats() (bus.ChannelStats, error) {
+	return p.Bus.Stats(EventChannel)
+}

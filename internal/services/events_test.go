@@ -1,0 +1,163 @@
+package services
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/odbis/odbis/internal/bus"
+	"github.com/odbis/odbis/internal/olap"
+)
+
+// eventCollector subscribes and records events thread-safely.
+type eventCollector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func collect(p *Platform) *eventCollector {
+	c := &eventCollector{}
+	p.OnEvent(func(ev Event) {
+		c.mu.Lock()
+		c.events = append(c.events, ev)
+		c.mu.Unlock()
+	})
+	return c
+}
+
+func (c *eventCollector) kinds() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.events))
+	for i, ev := range c.events {
+		out[i] = ev.Kind
+	}
+	return out
+}
+
+func (c *eventCollector) find(kind string) (Event, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ev := range c.events {
+		if ev.Kind == kind {
+			return ev, true
+		}
+	}
+	return Event{}, false
+}
+
+func TestEventsFlowThroughBus(t *testing.T) {
+	p, admin := newPlatform(t)
+	c := collect(p)
+	ada := designer(t, p)
+
+	// Integration job → job.completed.
+	if _, err := ada.RunJob(&JobSpec{
+		Name: "j", CSVData: "a,b\n1,2\n", Target: "t",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := c.find(EventJobCompleted)
+	if !ok || ev.Tenant != "acme" || ev.User != "ada" || ev.Subject != "j" {
+		t.Errorf("job event = %+v ok=%v", ev, ok)
+	}
+	if ev.At.IsZero() {
+		t.Error("event timestamp unset")
+	}
+
+	// Failed job → job.failed.
+	if _, err := ada.RunJob(&JobSpec{
+		Name: "bad", CSVData: "a\n1\n",
+		Steps:  []StepSpec{{Op: "filter", Condition: "nonexistent_col > 1"}},
+		Target: "t2",
+	}); err == nil {
+		t.Fatal("bad job succeeded")
+	}
+	if _, ok := c.find(EventJobFailed); !ok {
+		t.Error("job.failed not published")
+	}
+
+	// Cube build → cube.built.
+	ada.Query("CREATE TABLE f (g TEXT, v INT)")
+	ada.Query("INSERT INTO f VALUES ('x', 1)")
+	ada.DefineCube(olap.CubeSpec{
+		Name: "C", FactTable: "f",
+		Measures:   []olap.MeasureSpec{{Name: "v", Column: "v", Agg: olap.AggSum}},
+		Dimensions: []olap.DimensionSpec{{Name: "G", Levels: []olap.LevelSpec{{Name: "G", Column: "g"}}}},
+	})
+	if _, err := ada.BuildCube("C"); err != nil {
+		t.Fatal(err)
+	}
+	if ev, ok := c.find(EventCubeBuilt); !ok || ev.Subject != "C" {
+		t.Errorf("cube event = %+v ok=%v", ev, ok)
+	}
+
+	// Tenant administration events.
+	if _, err := admin.CreateTenant("globex", "Globex", "free"); err != nil {
+		t.Fatal(err)
+	}
+	if ev, ok := c.find(EventTenantCreated); !ok || ev.Subject != "globex" {
+		t.Errorf("tenant event = %+v ok=%v", ev, ok)
+	}
+	if err := admin.SuspendTenant("globex"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.find(EventTenantSuspended); !ok {
+		t.Error("tenant.suspended not published")
+	}
+
+	// Authorization denial.
+	vic := viewer(t, p)
+	vic.Query("CREATE TABLE nope (x INT)")
+	if ev, ok := c.find(EventAccessDenied); !ok || ev.User != "vic" {
+		t.Errorf("denied event = %+v ok=%v", ev, ok)
+	}
+}
+
+func TestEventSubscriberErrorDoesNotBreakService(t *testing.T) {
+	p, _ := newPlatform(t)
+	p.OnEvent(func(ev Event) {})
+	p.Bus.Subscribe(EventChannel, func(m *bus.Message) (*bus.Message, error) {
+		return nil, errors.New("observer crashed")
+	})
+	received := 0
+	p.OnEvent(func(ev Event) { received++ })
+	ada := designer(t, p)
+	if _, err := ada.RunJob(&JobSpec{Name: "j", CSVData: "a\n1\n", Target: "t"}); err != nil {
+		t.Fatalf("service call failed because of observer: %v", err)
+	}
+	if received == 0 {
+		t.Error("subscriber after the failing one was skipped")
+	}
+}
+
+func TestEventStats(t *testing.T) {
+	p, _ := newPlatform(t)
+	ada := designer(t, p)
+	ada.RunJob(&JobSpec{Name: "j", CSVData: "a\n1\n", Target: "t"})
+	st, err := p.EventStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReportExecutedEvent(t *testing.T) {
+	p, _ := newPlatform(t)
+	c := collect(p)
+	ada := designer(t, p)
+	ada.Query("CREATE TABLE s (x INT)")
+	ada.Query("INSERT INTO s VALUES (1)")
+	spec := reportSpecFixture()
+	if err := ada.SaveReport("g", spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ada.RunReport(spec.Name); err != nil {
+		t.Fatal(err)
+	}
+	if ev, ok := c.find(EventReportExecuted); !ok || ev.Subject != spec.Name {
+		t.Errorf("report event = %+v ok=%v (kinds %v)", ev, ok, c.kinds())
+	}
+}

@@ -1,0 +1,250 @@
+package services
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/odbis/odbis/internal/etl"
+	"github.com/odbis/odbis/internal/tenant"
+)
+
+// The Integration Service (IS) "offers an ad-hoc way to define data
+// integration jobs, jobs scheduling, etc." (§3.1). Jobs are declared with
+// a serializable JobSpec (the ad-hoc web form of the paper's vision),
+// compiled onto the etl substrate, and run immediately or on a schedule.
+
+// StepSpec is one declarative transform of a job.
+type StepSpec struct {
+	// Op is filter, derive, rename, project, lookup, aggregate, dedup or
+	// sort.
+	Op string `json:"op"`
+	// Condition configures filter.
+	Condition string `json:"condition,omitempty"`
+	// Field/Expression configure derive.
+	Field      string `json:"field,omitempty"`
+	Expression string `json:"expression,omitempty"`
+	// Mapping configures rename.
+	Mapping map[string]string `json:"mapping,omitempty"`
+	// Fields configure project/dedup/sort.
+	Fields []string `json:"fields,omitempty"`
+	// Lookup options: On/Key/Take plus LookupTable (a tenant table).
+	On          string   `json:"on,omitempty"`
+	Key         string   `json:"key,omitempty"`
+	Take        []string `json:"take,omitempty"`
+	LookupTable string   `json:"lookupTable,omitempty"`
+	Required    bool     `json:"required,omitempty"`
+	// Aggregate options.
+	GroupBy []string     `json:"groupBy,omitempty"`
+	Aggs    []AggregDecl `json:"aggs,omitempty"`
+}
+
+// AggregDecl declares one aggregation of an aggregate step.
+type AggregDecl struct {
+	Op    string `json:"op"`
+	Field string `json:"field,omitempty"`
+	As    string `json:"as,omitempty"`
+}
+
+// JobSpec declares an integration job.
+type JobSpec struct {
+	Name string `json:"name"`
+	// Source: exactly one of CSVData, JSONData, SourceTable or
+	// SourceQuery.
+	CSVData     string `json:"csvData,omitempty"`
+	JSONData    string `json:"jsonData,omitempty"`
+	SourceTable string `json:"sourceTable,omitempty"`
+	SourceQuery string `json:"sourceQuery,omitempty"`
+	// Steps apply in order.
+	Steps []StepSpec `json:"steps,omitempty"`
+	// Target is the tenant table loaded (created when missing).
+	Target string `json:"target"`
+	// Truncate reloads the target from scratch.
+	Truncate bool `json:"truncate,omitempty"`
+	// IntervalSeconds schedules the job; 0 means on-demand only.
+	IntervalSeconds int `json:"intervalSeconds,omitempty"`
+}
+
+// compile turns the spec into an etl.Job bound to the tenant catalog.
+func (s *Session) compile(spec *JobSpec) (*etl.Job, error) {
+	cat, err := s.requireCatalog()
+	if err != nil {
+		return nil, err
+	}
+	if spec.Name == "" || spec.Target == "" {
+		return nil, fmt.Errorf("services: job needs a name and a target table")
+	}
+	var source etl.Source
+	declared := 0
+	if spec.CSVData != "" {
+		source = &etl.CSVSource{Data: spec.CSVData}
+		declared++
+	}
+	if spec.JSONData != "" {
+		source = &etl.JSONSource{Data: spec.JSONData}
+		declared++
+	}
+	if spec.SourceTable != "" {
+		source = &etl.TableSource{Engine: s.p.Registry.Engine(), Table: cat.Physical(spec.SourceTable)}
+		declared++
+	}
+	if spec.SourceQuery != "" {
+		source = &catalogQuerySource{cat: cat, query: spec.SourceQuery}
+		declared++
+	}
+	if declared != 1 {
+		return nil, fmt.Errorf("services: job %s must declare exactly one source, has %d", spec.Name, declared)
+	}
+	var transforms []etl.Transform
+	for i, st := range spec.Steps {
+		tr, err := s.compileStep(st)
+		if err != nil {
+			return nil, fmt.Errorf("services: job %s step %d: %w", spec.Name, i, err)
+		}
+		transforms = append(transforms, tr)
+	}
+	pipeline := &etl.Pipeline{
+		Source:     source,
+		Transforms: transforms,
+		Sink: &etl.TableSink{
+			Engine:      s.p.Registry.Engine(),
+			Table:       cat.Physical(spec.Target),
+			Truncate:    spec.Truncate,
+			CreateTable: true,
+		},
+	}
+	return &etl.Job{
+		Name:  s.Principal.Tenant + "/" + spec.Name,
+		Tasks: []etl.Task{{Name: "run", Pipeline: pipeline, Retries: 1}},
+	}, nil
+}
+
+func (s *Session) compileStep(st StepSpec) (etl.Transform, error) {
+	switch st.Op {
+	case "filter":
+		if st.Condition == "" {
+			return nil, fmt.Errorf("filter needs a condition")
+		}
+		return etl.Filter{Condition: st.Condition}, nil
+	case "derive":
+		if st.Field == "" || st.Expression == "" {
+			return nil, fmt.Errorf("derive needs field and expression")
+		}
+		return etl.Derive{Field: st.Field, Expression: st.Expression}, nil
+	case "rename":
+		return etl.Rename{Mapping: st.Mapping}, nil
+	case "project":
+		return etl.Project{Fields: st.Fields}, nil
+	case "dedup":
+		return etl.Dedup{Fields: st.Fields}, nil
+	case "sort":
+		return etl.SortBy{Fields: st.Fields}, nil
+	case "lookup":
+		if st.LookupTable == "" || st.On == "" || st.Key == "" {
+			return nil, fmt.Errorf("lookup needs lookupTable, on and key")
+		}
+		return etl.Lookup{
+			On:       st.On,
+			From:     &etl.TableSource{Engine: s.p.Registry.Engine(), Table: s.Catalog.Physical(st.LookupTable)},
+			Key:      st.Key,
+			Take:     st.Take,
+			Required: st.Required,
+		}, nil
+	case "aggregate":
+		var aggs []etl.AggSpec
+		for _, a := range st.Aggs {
+			aggs = append(aggs, etl.AggSpec{Op: a.Op, Field: a.Field, As: a.As})
+		}
+		return etl.Aggregate{GroupBy: st.GroupBy, Aggs: aggs}, nil
+	default:
+		return nil, fmt.Errorf("unknown step op %q", st.Op)
+	}
+}
+
+// catalogQuerySource reads the records of a tenant-scoped SQL query, so
+// jobs can chain off earlier loads with logical table names.
+type catalogQuerySource struct {
+	cat   *tenant.Catalog
+	query string
+}
+
+// Read implements etl.Source.
+func (c *catalogQuerySource) Read() ([]etl.Record, error) {
+	res, err := c.cat.Query(c.query)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]etl.Record, len(res.Rows))
+	for i, row := range res.Rows {
+		rec := make(etl.Record, len(res.Columns))
+		for j, col := range res.Columns {
+			rec[col] = row[j]
+		}
+		out[i] = rec
+	}
+	return out, nil
+}
+
+// RunJob compiles and executes a job immediately, metering rows loaded.
+func (s *Session) RunJob(spec *JobSpec) (*etl.JobReport, error) {
+	if err := s.authorize(AuthIntegration); err != nil {
+		return nil, err
+	}
+	job, err := s.compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	report := job.Run()
+	if err := report.Err(); err != nil {
+		s.p.publish(Event{Kind: EventJobFailed, Tenant: s.Principal.Tenant,
+			User: s.Principal.Username, Subject: spec.Name, Detail: err.Error()})
+		return report, err
+	}
+	s.p.publish(Event{Kind: EventJobCompleted, Tenant: s.Principal.Tenant,
+		User: s.Principal.Username, Subject: spec.Name,
+		Detail: fmt.Sprintf("%d rows", report.TotalWritten())})
+	return report, nil
+}
+
+// ScheduleJob registers a job on the platform scheduler.
+func (s *Session) ScheduleJob(spec *JobSpec) error {
+	if err := s.authorize(AuthIntegration); err != nil {
+		return err
+	}
+	if spec.IntervalSeconds <= 0 {
+		return fmt.Errorf("services: job %s needs intervalSeconds > 0 to be scheduled", spec.Name)
+	}
+	job, err := s.compile(spec)
+	if err != nil {
+		return err
+	}
+	return s.p.Scheduler.Register(job, time.Duration(spec.IntervalSeconds)*time.Second)
+}
+
+// TriggerJob runs a previously scheduled job now.
+func (s *Session) TriggerJob(name string) (*etl.JobReport, error) {
+	if err := s.authorize(AuthIntegration); err != nil {
+		return nil, err
+	}
+	return s.p.Scheduler.Trigger(s.Principal.Tenant + "/" + name)
+}
+
+// JobHistory returns the retained reports of a scheduled job.
+func (s *Session) JobHistory(name string) ([]*etl.JobReport, error) {
+	if err := s.authorize(AuthIntegration); err != nil {
+		return nil, err
+	}
+	return s.p.Scheduler.History(s.Principal.Tenant + "/" + name), nil
+}
+
+// PreviewJob runs source + steps and returns up to limit records without
+// loading the target (the ad-hoc design loop).
+func (s *Session) PreviewJob(spec *JobSpec, limit int) ([]etl.Record, error) {
+	if err := s.authorize(AuthIntegration); err != nil {
+		return nil, err
+	}
+	job, err := s.compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	return job.Tasks[0].Pipeline.Preview(limit)
+}

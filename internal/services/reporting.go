@@ -1,0 +1,230 @@
+package services
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/odbis/odbis/internal/report"
+	"github.com/odbis/odbis/internal/storage/orm"
+)
+
+// The Reporting Service (RS) provides "(i) features to manage
+// report-groups and reports; (ii) a BIRT-like module that allows upload
+// and execute reports; (iii) an ad-hoc reporting module which offers an
+// easy way to define chart reports, data-table reports and to build
+// dashboards" (§3.3). Report specs persist as JSON metadata per tenant
+// and execute against the tenant catalog.
+
+// reportRow persists a report spec.
+type reportRow struct {
+	Key       string `orm:"key,pk"` // tenant|name
+	Tenant    string `orm:"tenant,index"`
+	Name      string
+	GroupName string
+	SpecJSON  string
+	Created   time.Time
+}
+
+func (p *Platform) reportStore() (*orm.Mapper[reportRow], error) {
+	return orm.NewMapper[reportRow](p.Registry.Engine(), "rs_reports")
+}
+
+// SaveReport uploads (or replaces) a report spec under a report group.
+func (s *Session) SaveReport(group string, spec *report.Spec) error {
+	if err := s.authorize(AuthReportWrite); err != nil {
+		return err
+	}
+	if _, err := s.requireCatalog(); err != nil {
+		return err
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	store, err := s.p.reportStore()
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	if group == "" {
+		group = "default"
+	}
+	return store.Save(&reportRow{
+		Key:       metaKey(s.Principal.Tenant, spec.Name),
+		Tenant:    s.Principal.Tenant,
+		Name:      spec.Name,
+		GroupName: group,
+		SpecJSON:  string(raw),
+		Created:   time.Now().UTC(),
+	})
+}
+
+// Reports lists the tenant's reports grouped by report group.
+func (s *Session) Reports() (map[string][]string, error) {
+	if err := s.authorize(AuthReportRead); err != nil {
+		return nil, err
+	}
+	store, err := s.p.reportStore()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := store.Where("tenant", s.Principal.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]string{}
+	for _, r := range rows {
+		out[r.GroupName] = append(out[r.GroupName], r.Name)
+	}
+	for g := range out {
+		sort.Strings(out[g])
+	}
+	return out, nil
+}
+
+// ReportSpec fetches a stored spec.
+func (s *Session) ReportSpec(name string) (*report.Spec, error) {
+	if err := s.authorize(AuthReportRead); err != nil {
+		return nil, err
+	}
+	store, err := s.p.reportStore()
+	if err != nil {
+		return nil, err
+	}
+	row, ok, err := store.Get(metaKey(s.Principal.Tenant, name))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("services: no report %q", name)
+	}
+	var spec report.Spec
+	if err := json.Unmarshal([]byte(row.SpecJSON), &spec); err != nil {
+		return nil, fmt.Errorf("services: report %s metadata corrupt: %w", name, err)
+	}
+	return &spec, nil
+}
+
+// DeleteReport removes a stored report.
+func (s *Session) DeleteReport(name string) error {
+	if err := s.authorize(AuthReportWrite); err != nil {
+		return err
+	}
+	store, err := s.p.reportStore()
+	if err != nil {
+		return err
+	}
+	ok, err := store.Delete(metaKey(s.Principal.Tenant, name))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("services: no report %q", name)
+	}
+	return nil
+}
+
+// RunReport executes a stored report against the tenant catalog.
+func (s *Session) RunReport(name string) (*report.Output, error) {
+	spec, err := s.ReportSpec(name)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := s.requireCatalog()
+	if err != nil {
+		return nil, err
+	}
+	out, err := report.Run(cat, spec)
+	if err != nil {
+		return nil, err
+	}
+	s.p.publish(Event{Kind: EventReportExecuted, Tenant: s.Principal.Tenant,
+		User: s.Principal.Username, Subject: spec.Name})
+	return out, nil
+}
+
+// RunAdHoc executes an unsaved spec (the ad-hoc reporting module).
+func (s *Session) RunAdHoc(spec *report.Spec) (*report.Output, error) {
+	if err := s.authorize(AuthReportRead); err != nil {
+		return nil, err
+	}
+	cat, err := s.requireCatalog()
+	if err != nil {
+		return nil, err
+	}
+	return report.Run(cat, spec)
+}
+
+// --- Information Delivery Service (IDS) ---
+
+// Format names a delivery channel encoding.
+type Format string
+
+// Delivery formats: web browser (HTML), office tools (CSV), programmatic
+// clients (JSON), terminals (text). The IDS is "an abstraction level to
+// support many client interfaces and technologies" (§3.1).
+const (
+	FormatText Format = "text"
+	FormatHTML Format = "html"
+	FormatCSV  Format = "csv"
+	FormatJSON Format = "json"
+)
+
+// ParseFormat validates a format name (default text).
+func ParseFormat(s string) (Format, error) {
+	switch Format(strings.ToLower(s)) {
+	case "", FormatText:
+		return FormatText, nil
+	case FormatHTML:
+		return FormatHTML, nil
+	case FormatCSV:
+		return FormatCSV, nil
+	case FormatJSON:
+		return FormatJSON, nil
+	default:
+		return "", fmt.Errorf("services: unknown delivery format %q", s)
+	}
+}
+
+// ContentType maps a format to its MIME type.
+func (f Format) ContentType() string {
+	switch f {
+	case FormatHTML:
+		return "text/html; charset=utf-8"
+	case FormatCSV:
+		return "text/csv; charset=utf-8"
+	case FormatJSON:
+		return "application/json"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+// Deliver renders a report output onto a client channel.
+func Deliver(w io.Writer, f Format, out *report.Output) error {
+	switch f {
+	case FormatHTML:
+		return report.RenderHTML(w, out)
+	case FormatCSV:
+		return report.RenderCSV(w, out)
+	case FormatJSON:
+		return report.RenderJSON(w, out)
+	default:
+		return report.RenderText(w, out)
+	}
+}
+
+// DeliverReport runs a stored report and renders it in one call.
+func (s *Session) DeliverReport(w io.Writer, name string, f Format) error {
+	out, err := s.RunReport(name)
+	if err != nil {
+		return err
+	}
+	return Deliver(w, f, out)
+}

@@ -1,0 +1,83 @@
+package services
+
+import (
+	"fmt"
+
+	"github.com/odbis/odbis/internal/metamodel"
+	"github.com/odbis/odbis/internal/metamodel/odm"
+)
+
+// Semantic integration (paper §3.2): "The Ontology Definition Metamodel
+// (ODM) is proposed to design some model presented as ontology, used to
+// solve the semantic schemas integration and the semantic data
+// integration problems." The MDS exposes it as a service: align two
+// tenant tables through an ontology, then turn the alignment into a
+// runnable integration job.
+
+// SchemaMatch is one column alignment (re-exported for the wire API).
+type SchemaMatch = odm.Match
+
+// SemanticAlign matches the columns of two tenant tables. ontologyXML is
+// an optional ODM model export (see odm.Spec); empty means pure lexical
+// matching. Requires metadata read authority.
+func (s *Session) SemanticAlign(sourceTable, targetTable, ontologyXML string) ([]SchemaMatch, error) {
+	if err := s.authorize(AuthMetadataRead); err != nil {
+		return nil, err
+	}
+	cat, err := s.requireCatalog()
+	if err != nil {
+		return nil, err
+	}
+	srcSchema, err := cat.Schema(sourceTable)
+	if err != nil {
+		return nil, err
+	}
+	dstSchema, err := cat.Schema(targetTable)
+	if err != nil {
+		return nil, err
+	}
+	srcModel, err := odm.RelationalFromSchemas(srcSchema)
+	if err != nil {
+		return nil, err
+	}
+	dstModel, err := odm.RelationalFromSchemas(dstSchema)
+	if err != nil {
+		return nil, err
+	}
+	var onto *metamodel.Model
+	if ontologyXML != "" {
+		onto, err = metamodel.ImportString(odm.MM, ontologyXML)
+		if err != nil {
+			return nil, fmt.Errorf("services: ontology: %w", err)
+		}
+	}
+	return odm.AlignSchemas(srcModel, dstModel, onto, odm.AlignOptions{})
+}
+
+// SemanticMergeJob builds the integration JobSpec that copies
+// sourceTable into targetTable with the aligned columns renamed and
+// unmatched source columns dropped — semantic data integration as a
+// one-call service.
+func (s *Session) SemanticMergeJob(sourceTable, targetTable string, matches []SchemaMatch) (*JobSpec, error) {
+	if err := s.authorize(AuthIntegration); err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("services: no matches to merge on")
+	}
+	mapping := odm.RenameMapping(matches)
+	var keep []string
+	for _, m := range matches {
+		keep = append(keep, m.TargetColumn)
+	}
+	spec := &JobSpec{
+		Name:        "merge-" + sourceTable + "-into-" + targetTable,
+		SourceTable: sourceTable,
+		Target:      targetTable,
+	}
+	if len(mapping) > 0 {
+		spec.Steps = append(spec.Steps, StepSpec{Op: "rename", Mapping: mapping})
+	}
+	spec.Steps = append(spec.Steps, StepSpec{Op: "project", Fields: keep})
+	return spec, nil
+}

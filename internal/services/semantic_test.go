@@ -1,0 +1,124 @@
+package services
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/odbis/odbis/internal/metamodel/odm"
+	"github.com/odbis/odbis/internal/security"
+)
+
+func commerceOntologyXML(t *testing.T) string {
+	t.Helper()
+	m, err := odm.Spec{
+		Name: "commerce",
+		Classes: []odm.ClassSpec{
+			{Name: "Sale"},
+		},
+		Properties: []odm.PropertySpec{
+			{Name: "revenue", Domain: "Sale", Synonyms: []string{"turnover", "amount"}},
+			{Name: "customer", Domain: "Sale", Synonyms: []string{"client"}},
+		},
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml, err := m.ExportString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return xml
+}
+
+func TestSemanticAlignAndMerge(t *testing.T) {
+	p, _ := newPlatform(t)
+	ada := designer(t, p)
+	// Legacy CRM extract vs the warehouse fact table.
+	mustQ := func(q string) {
+		if _, err := ada.Query(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	mustQ("CREATE TABLE crm_orders (order_id INT, client TEXT, turnover FLOAT, noise TEXT)")
+	mustQ("INSERT INTO crm_orders VALUES (1, 'acme', 10.5, 'x'), (2, 'globex', 20.0, 'y')")
+	mustQ("CREATE TABLE fact_sales (order_id INT, customer TEXT, revenue FLOAT)")
+
+	matches, err := ada.SemanticAlign("crm_orders", "fact_sales", commerceOntologyXML(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCol := map[string]SchemaMatch{}
+	for _, m := range matches {
+		byCol[m.SourceColumn] = m
+	}
+	if m := byCol["turnover"]; m.TargetColumn != "revenue" || !strings.HasPrefix(m.Via, "ontology:") {
+		t.Errorf("turnover match = %+v", m)
+	}
+	if m := byCol["client"]; m.TargetColumn != "customer" {
+		t.Errorf("client match = %+v", m)
+	}
+	if m := byCol["order_id"]; m.Via != "exact" {
+		t.Errorf("order_id match = %+v", m)
+	}
+	if _, noisy := byCol["noise"]; noisy {
+		t.Error("unrelated column matched")
+	}
+
+	// Merge job copies and renames.
+	spec, err := ada.SemanticMergeJob("crm_orders", "fact_sales", matches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ada.RunJob(spec); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ada.Query("SELECT customer, revenue FROM fact_sales ORDER BY customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != "acme" || res.Rows[0][1] != 10.5 {
+		t.Errorf("merged rows = %v", res.Rows)
+	}
+}
+
+func TestSemanticAlignWithoutOntology(t *testing.T) {
+	p, _ := newPlatform(t)
+	ada := designer(t, p)
+	ada.Query("CREATE TABLE a (order_id INT, ship_datee TEXT)")
+	ada.Query("CREATE TABLE b (order_id INT, ship_date TEXT)")
+	matches, err := ada.SemanticAlign("a", "b", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Errorf("matches = %+v", matches)
+	}
+}
+
+func TestSemanticAlignErrors(t *testing.T) {
+	p, _ := newPlatform(t)
+	ada := designer(t, p)
+	ada.Query("CREATE TABLE a (x INT)")
+	if _, err := ada.SemanticAlign("ghost", "a", ""); err == nil {
+		t.Error("missing source accepted")
+	}
+	if _, err := ada.SemanticAlign("a", "ghost", ""); err == nil {
+		t.Error("missing target accepted")
+	}
+	if _, err := ada.SemanticAlign("a", "a", "<xmi>broken"); err == nil {
+		t.Error("broken ontology accepted")
+	}
+	if _, err := ada.SemanticMergeJob("a", "a", nil); err == nil {
+		t.Error("empty matches accepted")
+	}
+	// Viewers lack the integration authority for merge jobs.
+	if err := p.Security.CreateUser(security.UserSpec{
+		Username: "view2", Password: "pw", Tenant: "acme", Roles: []string{RoleViewer},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vic, _, _ := p.Login("view2", "pw")
+	if _, err := vic.SemanticMergeJob("a", "a", []SchemaMatch{{SourceColumn: "x", TargetColumn: "x"}}); err == nil {
+		t.Error("viewer merge accepted")
+	}
+}

@@ -1,0 +1,184 @@
+// Package services implements the five core business-intelligence
+// services of the ODBIS architecture (paper §3.1, green bricks of
+// Fig. 1) plus the administration service:
+//
+//	MDS — meta-data service: data-sources and data-sets
+//	IS  — integration service: ad-hoc ETL jobs and scheduling
+//	AS  — analysis service: OLAP cube definition and navigation
+//	RS  — reporting service: report templates, ad-hoc charts, dashboards
+//	IDS — information delivery service: renders any result for a client
+//	      channel (text, HTML, CSV, JSON)
+//	Admin — authorities/roles/users/groups and tenant administration
+//
+// Every service call is authenticated (a security principal), authorized
+// against a service-specific authority, scoped to the caller's tenant
+// catalog, and metered for pay-as-you-go billing.
+package services
+
+import (
+	"errors"
+	"fmt"
+
+	"sync"
+
+	"github.com/odbis/odbis/internal/bus"
+	"github.com/odbis/odbis/internal/etl"
+	"github.com/odbis/odbis/internal/olap"
+	"github.com/odbis/odbis/internal/security"
+	"github.com/odbis/odbis/internal/tenant"
+)
+
+// Authorities used by the core services. The admin bootstrap creates all
+// of them.
+const (
+	AuthMetadataRead  = "mds:read"
+	AuthMetadataWrite = "mds:write"
+	AuthIntegration   = "is:run"
+	AuthAnalysis      = "as:query"
+	AuthReportRead    = "rs:read"
+	AuthReportWrite   = "rs:write"
+	AuthAdmin         = "admin:all"
+)
+
+// AllAuthorities lists every authority the platform defines.
+var AllAuthorities = []string{
+	AuthMetadataRead, AuthMetadataWrite, AuthIntegration,
+	AuthAnalysis, AuthReportRead, AuthReportWrite, AuthAdmin,
+}
+
+// Built-in roles created by Bootstrap.
+const (
+	RoleViewer   = "viewer"
+	RoleAnalyst  = "analyst"
+	RoleDesigner = "designer"
+	RoleAdmin    = "admin"
+)
+
+// Platform bundles the shared substrates the services run on.
+type Platform struct {
+	Registry *tenant.Registry
+	Security *security.Manager
+	// Scheduler runs integration jobs.
+	Scheduler *etl.Scheduler
+	// Bus is the platform's service bus; services publish Events on
+	// EventChannel (events.go).
+	Bus *bus.Bus
+
+	mu sync.Mutex
+	// cubes caches built cubes per tenant and cube name.
+	cubes map[string]map[string]*olap.Cube
+	md    *Metadata
+	mdErr error
+	once  sync.Once
+}
+
+// NewPlatform wires the service layer over its substrates.
+func NewPlatform(reg *tenant.Registry, sec *security.Manager) *Platform {
+	p := &Platform{
+		Registry:  reg,
+		Security:  sec,
+		Scheduler: etl.NewScheduler(),
+		cubes:     make(map[string]map[string]*olap.Cube),
+	}
+	p.initEvents()
+	return p
+}
+
+// Bootstrap creates the platform authorities, the built-in roles, and an
+// initial administrator account. It is idempotent.
+func (p *Platform) Bootstrap(adminUser, adminPassword string) error {
+	for _, a := range AllAuthorities {
+		if err := p.Security.CreateAuthority(a, "odbis built-in"); err != nil && !errors.Is(err, security.ErrExists) {
+			return err
+		}
+	}
+	roles := map[string][]string{
+		RoleViewer:   {AuthMetadataRead, AuthReportRead},
+		RoleAnalyst:  {AuthMetadataRead, AuthReportRead, AuthAnalysis},
+		RoleDesigner: {AuthMetadataRead, AuthMetadataWrite, AuthReportRead, AuthReportWrite, AuthAnalysis, AuthIntegration},
+		RoleAdmin:    {"*"},
+	}
+	for name, auths := range roles {
+		if err := p.Security.CreateRole(name, "odbis built-in", auths...); err != nil && !errors.Is(err, security.ErrExists) {
+			return err
+		}
+	}
+	if adminUser != "" {
+		err := p.Security.CreateUser(security.UserSpec{
+			Username: adminUser,
+			Password: adminPassword,
+			Roles:    []string{RoleAdmin},
+		})
+		if err != nil && !errors.Is(err, security.ErrExists) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Session is an authenticated, tenant-scoped service context.
+type Session struct {
+	p         *Platform
+	Principal *security.Principal
+	Catalog   *tenant.Catalog
+}
+
+// Login authenticates and opens the caller's tenant catalog. Users
+// without a tenant (platform admins) get a nil catalog and can only use
+// admin APIs plus tenant-explicit calls.
+func (p *Platform) Login(username, password string) (*Session, string, error) {
+	token, principal, err := p.Security.Authenticate(username, password)
+	if err != nil {
+		return nil, "", err
+	}
+	s, err := p.sessionFor(principal)
+	if err != nil {
+		return nil, "", err
+	}
+	return s, token, nil
+}
+
+// Resume validates a token and rebuilds the session.
+func (p *Platform) Resume(token string) (*Session, error) {
+	principal, err := p.Security.Verify(token)
+	if err != nil {
+		return nil, err
+	}
+	return p.sessionFor(principal)
+}
+
+func (p *Platform) sessionFor(principal *security.Principal) (*Session, error) {
+	s := &Session{p: p, Principal: principal}
+	if principal.Tenant != "" {
+		cat, err := p.Registry.Catalog(principal.Tenant)
+		if err != nil {
+			return nil, err
+		}
+		s.Catalog = cat
+	}
+	return s, nil
+}
+
+// authorize checks one authority and meters the API call.
+func (s *Session) authorize(authority string) error {
+	if err := s.p.Security.Authorize(s.Principal, authority); err != nil {
+		s.p.publish(Event{
+			Kind: EventAccessDenied, Tenant: s.Principal.Tenant,
+			User: s.Principal.Username, Subject: authority,
+		})
+		return err
+	}
+	if s.Principal.Tenant != "" {
+		s.p.Registry.Record(s.Principal.Tenant, tenant.MetricAPICalls, 1)
+	}
+	return nil
+}
+
+// requireCatalog returns the tenant catalog or an error for tenant-less
+// sessions.
+func (s *Session) requireCatalog() (*tenant.Catalog, error) {
+	if s.Catalog == nil {
+		return nil, fmt.Errorf("services: user %s has no tenant", s.Principal.Username)
+	}
+	return s.Catalog, nil
+}

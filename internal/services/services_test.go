@@ -1,0 +1,506 @@
+package services
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/odbis/odbis/internal/olap"
+	"github.com/odbis/odbis/internal/report"
+	"github.com/odbis/odbis/internal/security"
+	"github.com/odbis/odbis/internal/storage"
+	"github.com/odbis/odbis/internal/tenant"
+)
+
+// newPlatform boots a platform with an admin, a tenant "acme", a designer
+// "ada" and a viewer "vic".
+func newPlatform(t *testing.T) (*Platform, *Session) {
+	t.Helper()
+	e := storage.MustOpenMemory()
+	t.Cleanup(func() { e.Close() })
+	reg, err := tenant.NewRegistry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := security.NewManager(e, security.Options{HashIterations: 8, TokenSecret: []byte("test")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlatform(reg, sec)
+	if err := p.Bootstrap("root", "toor"); err != nil {
+		t.Fatal(err)
+	}
+	admin, _, err := p.Login("root", "toor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.CreateTenant("acme", "Acme Corp", "standard"); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.CreateUser(security.UserSpec{
+		Username: "ada", Password: "pw", Tenant: "acme", Roles: []string{RoleDesigner},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.CreateUser(security.UserSpec{
+		Username: "vic", Password: "pw", Tenant: "acme", Roles: []string{RoleViewer},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return p, admin
+}
+
+func designer(t *testing.T, p *Platform) *Session {
+	t.Helper()
+	s, _, err := p.Login("ada", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func viewer(t *testing.T, p *Platform) *Session {
+	t.Helper()
+	s, _, err := p.Login("vic", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBootstrapIdempotent(t *testing.T) {
+	p, _ := newPlatform(t)
+	if err := p.Bootstrap("root", "toor"); err != nil {
+		t.Errorf("second bootstrap: %v", err)
+	}
+}
+
+func TestLoginAndResume(t *testing.T) {
+	p, _ := newPlatform(t)
+	s, token, err := p.Login("ada", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Catalog == nil || s.Catalog.TenantID() != "acme" {
+		t.Error("tenant catalog not opened")
+	}
+	s2, err := p.Resume(token)
+	if err != nil || s2.Principal.Username != "ada" {
+		t.Fatalf("resume: %v", err)
+	}
+	if _, err := p.Resume("bogus"); err == nil {
+		t.Error("bogus token resumed")
+	}
+	if _, _, err := p.Login("ada", "wrong"); err == nil {
+		t.Error("bad password accepted")
+	}
+}
+
+func TestMetadataService(t *testing.T) {
+	p, _ := newPlatform(t)
+	ada := designer(t, p)
+	if err := ada.CreateDataSource("warehouse", "internal", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := ada.CreateDataSource("warehouse", "internal", "", ""); !errors.Is(err, ErrMetaExists) {
+		t.Errorf("duplicate source: %v", err)
+	}
+	// A table to query.
+	if _, err := ada.Query("CREATE TABLE sales (region TEXT, amount FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ada.Query("INSERT INTO sales VALUES ('north', 10.0), ('south', 20.0)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ada.CreateDataSet("sales-by-region", "warehouse",
+		"SELECT region, SUM(amount) AS total FROM sales GROUP BY region ORDER BY region", "totals"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ada.CreateDataSet("broken", "warehouse", "SELEC nothing", ""); err == nil {
+		t.Error("unparseable data set accepted")
+	}
+	res, err := ada.RunDataSet("sales-by-region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1] != 10.0 {
+		t.Errorf("data set result = %v", res.Rows)
+	}
+	sets, _ := ada.DataSets()
+	if len(sets) != 1 || sets[0].Name != "sales-by-region" {
+		t.Errorf("data sets = %v", sets)
+	}
+	srcs, _ := ada.DataSources()
+	if len(srcs) != 1 {
+		t.Errorf("sources = %v", srcs)
+	}
+	// Glossary.
+	if err := ada.DefineTerm("revenue", "money coming in", "sales.amount"); err != nil {
+		t.Fatal(err)
+	}
+	terms, _ := ada.Terms()
+	if len(terms) != 1 || terms[0].Element != "sales.amount" {
+		t.Errorf("terms = %v", terms)
+	}
+	// Cleanup paths.
+	if err := ada.DeleteDataSet("sales-by-region"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ada.DeleteDataSet("sales-by-region"); !errors.Is(err, ErrNoDataSet) {
+		t.Errorf("double delete: %v", err)
+	}
+	if err := ada.DeleteDataSource("warehouse"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthorizationEnforced(t *testing.T) {
+	p, _ := newPlatform(t)
+	vic := viewer(t, p)
+	// Viewers can read metadata but not write.
+	if _, err := vic.DataSets(); err != nil {
+		t.Errorf("viewer read: %v", err)
+	}
+	if err := vic.CreateDataSource("x", "", "", ""); !errors.Is(err, security.ErrDenied) {
+		t.Errorf("viewer write: %v", err)
+	}
+	// Viewers cannot run DDL via ad-hoc query.
+	if _, err := vic.Query("CREATE TABLE t (x INT)"); !errors.Is(err, security.ErrDenied) {
+		t.Errorf("viewer ddl: %v", err)
+	}
+	// Viewers cannot run ETL or analysis.
+	if _, err := vic.RunJob(&JobSpec{Name: "j", Target: "t", CSVData: "a\n1\n"}); !errors.Is(err, security.ErrDenied) {
+		t.Errorf("viewer etl: %v", err)
+	}
+	if _, err := vic.Analyze("c", olap.Query{}); !errors.Is(err, security.ErrDenied) {
+		t.Errorf("viewer olap: %v", err)
+	}
+	// Viewers cannot administer.
+	if _, err := vic.Tenants(); !errors.Is(err, security.ErrDenied) {
+		t.Errorf("viewer admin: %v", err)
+	}
+}
+
+func TestIntegrationService(t *testing.T) {
+	p, _ := newPlatform(t)
+	ada := designer(t, p)
+	spec := &JobSpec{
+		Name:    "load-sales",
+		CSVData: "region,amount\nnorth,10.5\nsouth,20.0\nnorth,\n",
+		Steps: []StepSpec{
+			{Op: "filter", Condition: "amount IS NOT NULL"},
+			{Op: "derive", Field: "amount_eur", Expression: "amount * 0.9"},
+		},
+		Target: "sales",
+	}
+	// Preview does not create the target.
+	recs, err := ada.PreviewJob(spec, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0]["amount_eur"] == nil {
+		t.Errorf("preview = %v", recs)
+	}
+	if ada.Catalog.HasTable("sales") {
+		t.Error("preview created the target")
+	}
+	report, err := ada.RunJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalWritten() != 2 {
+		t.Errorf("written = %d", report.TotalWritten())
+	}
+	res, _ := ada.Query("SELECT COUNT(*) FROM sales")
+	if res.Rows[0][0] != int64(2) {
+		t.Errorf("loaded rows = %v", res.Rows[0][0])
+	}
+	// Chained job via SourceQuery with aggregation.
+	agg := &JobSpec{
+		Name:        "aggregate-sales",
+		SourceQuery: "SELECT region, amount FROM sales",
+		Steps: []StepSpec{
+			{Op: "aggregate", GroupBy: []string{"region"}, Aggs: []AggregDecl{{Op: "sum", Field: "amount", As: "total"}}},
+		},
+		Target: "sales_summary",
+	}
+	if _, err := ada.RunJob(agg); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = ada.Query("SELECT COUNT(*) FROM sales_summary")
+	if res.Rows[0][0] != int64(2) {
+		t.Errorf("summary rows = %v", res.Rows[0][0])
+	}
+	// Scheduling.
+	sched := *spec
+	sched.Name = "nightly"
+	sched.Truncate = true
+	sched.IntervalSeconds = 3600
+	if err := ada.ScheduleJob(&sched); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ada.TriggerJob("nightly"); err != nil {
+		t.Fatal(err)
+	}
+	hist, _ := ada.JobHistory("nightly")
+	if len(hist) != 1 {
+		t.Errorf("history = %d", len(hist))
+	}
+	// Bad specs.
+	if _, err := ada.RunJob(&JobSpec{Name: "x", Target: "t"}); err == nil {
+		t.Error("job without source accepted")
+	}
+	if _, err := ada.RunJob(&JobSpec{Name: "x", Target: "t", CSVData: "a\n1\n", JSONData: "[]"}); err == nil {
+		t.Error("job with two sources accepted")
+	}
+	if _, err := ada.RunJob(&JobSpec{Name: "x", Target: "t", CSVData: "a\n1\n",
+		Steps: []StepSpec{{Op: "teleport"}}}); err == nil {
+		t.Error("unknown step accepted")
+	}
+}
+
+func loadStarData(t *testing.T, ada *Session) {
+	t.Helper()
+	for _, q := range []string{
+		"CREATE TABLE dim_region (id INT PRIMARY KEY, name TEXT, country TEXT)",
+		"INSERT INTO dim_region VALUES (1, 'north', 'fr'), (2, 'south', 'fr'), (3, 'west', 'es')",
+		"CREATE TABLE fact_orders (region_id INT, amount FLOAT, qty INT)",
+		`INSERT INTO fact_orders VALUES
+			(1, 10.0, 1), (1, 20.0, 2), (2, 5.0, 1), (3, 8.0, 4), (3, 2.0, 1)`,
+	} {
+		if _, err := ada.Query(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+}
+
+func TestAnalysisService(t *testing.T) {
+	p, _ := newPlatform(t)
+	ada := designer(t, p)
+	loadStarData(t, ada)
+	spec := olap.CubeSpec{
+		Name:      "Orders",
+		FactTable: "fact_orders",
+		Measures: []olap.MeasureSpec{
+			{Name: "amount", Column: "amount", Agg: olap.AggSum},
+			{Name: "n", Agg: olap.AggCount},
+		},
+		Dimensions: []olap.DimensionSpec{
+			{Name: "Region", Table: "dim_region", Key: "id", FactFK: "region_id",
+				Levels: []olap.LevelSpec{{Name: "Country", Column: "country"}, {Name: "Name", Column: "name"}}},
+		},
+	}
+	if err := ada.DefineCube(spec); err != nil {
+		t.Fatal(err)
+	}
+	cubes, _ := ada.Cubes()
+	if len(cubes) != 1 || cubes[0] != "Orders" {
+		t.Errorf("cubes = %v", cubes)
+	}
+	res, err := ada.Analyze("Orders", olap.Query{
+		Rows:     []olap.LevelRef{{Dimension: "Region", Level: "Country"}},
+		Measures: []string{"amount"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RowHeaders) != 2 {
+		t.Fatalf("countries = %v", res.RowHeaders)
+	}
+	cell, _ := res.Cell(0, 0) // es
+	if cell[0] != 10 {
+		t.Errorf("es amount = %v", cell[0])
+	}
+	members, err := ada.Members("Orders", "Region", "Name")
+	if err != nil || len(members) != 3 {
+		t.Errorf("members = %v (%v)", members, err)
+	}
+	// Rebuild after new data picks up changes.
+	ada.Query("INSERT INTO fact_orders VALUES (2, 100.0, 1)")
+	if _, err := ada.BuildCube("Orders"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = ada.Analyze("Orders", olap.Query{Measures: []string{"amount"}})
+	total, _ := res.Cell(0, 0)
+	if total[0] != 145 {
+		t.Errorf("total after rebuild = %v", total[0])
+	}
+	if err := ada.DeleteCube("Orders"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ada.Analyze("Orders", olap.Query{}); err == nil {
+		t.Error("deleted cube still queryable")
+	}
+}
+
+func TestReportingAndDelivery(t *testing.T) {
+	p, _ := newPlatform(t)
+	ada := designer(t, p)
+	loadStarData(t, ada)
+	spec := &report.Spec{
+		Name:  "orders-dash",
+		Title: "Orders",
+		Elements: []report.Element{
+			{Kind: "kpi", Title: "Total", Query: "SELECT SUM(amount) FROM fact_orders"},
+			{Kind: "chart", Title: "By Region", Chart: report.ChartBar,
+				Query: "SELECT r.name, SUM(f.amount) AS amount FROM fact_orders f JOIN dim_region r ON f.region_id = r.id GROUP BY r.name ORDER BY r.name",
+				Label: "name"},
+			{Kind: "table", Title: "Raw", Query: "SELECT * FROM fact_orders", Limit: 3},
+		},
+	}
+	if err := ada.SaveReport("ops", spec); err != nil {
+		t.Fatal(err)
+	}
+	groups, _ := ada.Reports()
+	if len(groups["ops"]) != 1 {
+		t.Errorf("groups = %v", groups)
+	}
+	out, err := ada.RunReport("orders-dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 3 || out.Items[0].Value != "45.0" {
+		t.Errorf("items = %+v", out.Items[0])
+	}
+	// Viewers may run but not modify reports.
+	vic := viewer(t, p)
+	if _, err := vic.RunReport("orders-dash"); err != nil {
+		t.Errorf("viewer run: %v", err)
+	}
+	if err := vic.DeleteReport("orders-dash"); !errors.Is(err, security.ErrDenied) {
+		t.Errorf("viewer delete: %v", err)
+	}
+	// Delivery formats.
+	for _, f := range []Format{FormatText, FormatHTML, FormatCSV, FormatJSON} {
+		var buf bytes.Buffer
+		if err := ada.DeliverReport(&buf, "orders-dash", f); err != nil {
+			t.Errorf("deliver %s: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("deliver %s produced nothing", f)
+		}
+	}
+	var buf bytes.Buffer
+	if err := ada.DeliverReport(&buf, "orders-dash", FormatHTML); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Error("html delivery lacks chart")
+	}
+	if _, err := ParseFormat("html"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseFormat("telepathy"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestAdminService(t *testing.T) {
+	p, admin := newPlatform(t)
+	tenants, err := admin.Tenants()
+	if err != nil || len(tenants) != 1 {
+		t.Fatalf("tenants = %v (%v)", tenants, err)
+	}
+	users, _ := admin.Users()
+	if len(users) != 3 {
+		t.Errorf("users = %v", users)
+	}
+	// Usage accrues from service calls.
+	ada := designer(t, p)
+	ada.Query("CREATE TABLE t (x INT)")
+	ada.Query("INSERT INTO t VALUES (1)")
+	usage, err := admin.TenantUsage("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usage[tenant.MetricAPICalls] == 0 || usage[tenant.MetricQueries] == 0 {
+		t.Errorf("usage = %v", usage)
+	}
+	inv, err := admin.TenantInvoice("acme")
+	if err != nil || inv.Total <= 0 {
+		t.Errorf("invoice = %+v (%v)", inv, err)
+	}
+	// Suspension blocks tenant logins.
+	if err := admin.SuspendTenant("acme"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Login("ada", "pw"); err == nil {
+		t.Error("login into suspended tenant accepted")
+	}
+	admin.ResumeTenant("acme")
+	if _, _, err := p.Login("ada", "pw"); err != nil {
+		t.Errorf("after resume: %v", err)
+	}
+	// Audit log captures security events.
+	events, err := admin.AuditLog("")
+	if err != nil || len(events) == 0 {
+		t.Errorf("audit = %d events (%v)", len(events), err)
+	}
+	// Role/group management round trip.
+	if err := admin.CreateRole("custom", "", AuthReportRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.CreateGroup("night-shift", "", "custom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.AddToGroup("vic", "night-shift"); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.SetUserActive("vic", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Login("vic", "pw"); err == nil {
+		t.Error("disabled user logged in")
+	}
+	if err := admin.DeleteUser("vic"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTenantIsolationThroughServices(t *testing.T) {
+	p, admin := newPlatform(t)
+	if _, err := admin.CreateTenant("globex", "Globex", "standard"); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.CreateUser(security.UserSpec{
+		Username: "gus", Password: "pw", Tenant: "globex", Roles: []string{RoleDesigner},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ada := designer(t, p)
+	gus, _, err := p.Login("gus", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ada.Query("CREATE TABLE secrets (v TEXT)")
+	ada.Query("INSERT INTO secrets VALUES ('acme-only')")
+	// Same logical name in the other tenant is a different table.
+	if _, err := gus.Query("SELECT * FROM secrets"); err == nil {
+		t.Error("cross-tenant table visible")
+	}
+	gus.Query("CREATE TABLE secrets (v TEXT)")
+	res, err := gus.Query("SELECT COUNT(*) FROM secrets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != int64(0) {
+		t.Error("cross-tenant rows leaked")
+	}
+	// Metadata is tenant-scoped too.
+	ada.CreateDataSet("ds", "", "SELECT * FROM secrets", "")
+	sets, _ := gus.DataSets()
+	if len(sets) != 0 {
+		t.Errorf("cross-tenant data sets visible: %v", sets)
+	}
+}
+
+// reportSpecFixture is a minimal valid report used by event tests.
+func reportSpecFixture() *report.Spec {
+	return &report.Spec{
+		Name: "evt-report",
+		Elements: []report.Element{
+			{Kind: "kpi", Title: "N", Query: "SELECT COUNT(*) FROM s"},
+		},
+	}
+}

@@ -1,0 +1,139 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+func (ex *executor) runInsert(ins *InsertStmt, params []storage.Value) (*Result, error) {
+	schema, err := ex.schemaOf(ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols := ins.Columns
+	if len(cols) == 0 {
+		cols = schema.ColumnNames()
+	}
+	positions := make([]int, len(cols))
+	for i, c := range cols {
+		pos, ok := schema.ColumnIndex(c)
+		if !ok {
+			return nil, fmt.Errorf("sql: table %s has no column %q", ins.Table, c)
+		}
+		positions[i] = pos
+	}
+	ec := &evalCtx{params: params, exec: ex, now: ex.now}
+	affected := 0
+	for _, exprRow := range ins.Rows {
+		if len(exprRow) != len(cols) {
+			return nil, fmt.Errorf("sql: INSERT expects %d values, got %d", len(cols), len(exprRow))
+		}
+		row := make(storage.Row, len(schema.Columns))
+		for i := range schema.Columns {
+			row[i] = schema.Columns[i].Default
+		}
+		for i, e := range exprRow {
+			v, err := ec.eval(e)
+			if err != nil {
+				return nil, err
+			}
+			row[positions[i]] = v
+		}
+		if _, err := ex.tx.Insert(ins.Table, row); err != nil {
+			return nil, err
+		}
+		affected++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (ex *executor) runUpdate(upd *UpdateStmt, params []storage.Value) (*Result, error) {
+	schema, err := ex.schemaOf(upd.Table)
+	if err != nil {
+		return nil, err
+	}
+	setPos := make([]int, len(upd.Set))
+	for i, a := range upd.Set {
+		pos, ok := schema.ColumnIndex(a.Column)
+		if !ok {
+			return nil, fmt.Errorf("sql: table %s has no column %q", upd.Table, a.Column)
+		}
+		setPos[i] = pos
+	}
+	bindName := strings.ToLower(upd.Table)
+	bindings := []binding{{name: bindName, cols: lowerCols(schema)}}
+
+	// Collect targets first (RIDs + current rows), then apply updates.
+	type target struct {
+		rid storage.RID
+		row storage.Row
+	}
+	var targets []target
+	err = ex.tx.Scan(upd.Table, func(rid storage.RID, row storage.Row) bool {
+		targets = append(targets, target{rid: rid, row: row.Clone()})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	for _, tgt := range targets {
+		ec := &evalCtx{params: params, exec: ex, now: ex.now,
+			row: makeEnv(bindings, joined{tgt.row}, nil)}
+		if upd.Where != nil {
+			ok, err := ec.evalBool(upd.Where)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		newRow := tgt.row.Clone()
+		for i, a := range upd.Set {
+			v, err := ec.eval(a.Value)
+			if err != nil {
+				return nil, err
+			}
+			newRow[setPos[i]] = v
+		}
+		if _, err := ex.tx.UpdateRID(upd.Table, tgt.rid, newRow); err != nil {
+			return nil, err
+		}
+		affected++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (ex *executor) runDelete(del *DeleteStmt, params []storage.Value) (*Result, error) {
+	schema, err := ex.schemaOf(del.Table)
+	if err != nil {
+		return nil, err
+	}
+	bindName := strings.ToLower(del.Table)
+	bindings := []binding{{name: bindName, cols: lowerCols(schema)}}
+	var rids []storage.RID
+	err = ex.tx.Scan(del.Table, func(rid storage.RID, row storage.Row) bool {
+		if del.Where != nil {
+			ec := &evalCtx{params: params, exec: ex, now: ex.now,
+				row: makeEnv(bindings, joined{row}, nil)}
+			ok, err := ec.evalBool(del.Where)
+			if err != nil || !ok {
+				return true
+			}
+		}
+		rids = append(rids, rid)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rid := range rids {
+		if err := ex.tx.DeleteRID(del.Table, rid); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(rids)}, nil
+}

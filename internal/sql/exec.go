@@ -1,0 +1,745 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// DB executes SQL against a storage engine.
+type DB struct {
+	// Engine is the underlying storage engine.
+	Engine *storage.Engine
+	// DisableIndexes forces full scans even when an index matches the
+	// predicate; used by the index-ablation benchmarks (DESIGN.md A1).
+	DisableIndexes bool
+}
+
+// NewDB wraps an engine.
+func NewDB(e *storage.Engine) *DB { return &DB{Engine: e} }
+
+// Result is the outcome of a query.
+type Result struct {
+	Columns []string
+	Rows    []storage.Row
+	// Affected is the row count touched by INSERT/UPDATE/DELETE.
+	Affected int
+	// Plan describes the chosen access path for the outermost table
+	// ("scan" or "index:<name>"), for tests and EXPLAIN-style output.
+	Plan string
+}
+
+// Query parses and executes a statement inside its own transaction.
+// Positional ? placeholders bind to args in order.
+func (db *DB) Query(query string, args ...storage.Value) (*Result, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	err = db.Engine.Update(func(tx *storage.Tx) error {
+		var err error
+		res, err = db.exec(tx, stmt, args)
+		return err
+	})
+	return res, err
+}
+
+// QueryTx executes a statement inside an existing transaction.
+func (db *DB) QueryTx(tx *storage.Tx, query string, args ...storage.Value) (*Result, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.exec(tx, stmt, args)
+}
+
+// QueryStatement executes an already-parsed (possibly rewritten)
+// statement inside its own transaction.
+func (db *DB) QueryStatement(stmt Statement, args ...storage.Value) (*Result, error) {
+	var res *Result
+	err := db.Engine.Update(func(tx *storage.Tx) error {
+		var err error
+		res, err = db.exec(tx, stmt, args)
+		return err
+	})
+	return res, err
+}
+
+// QueryStatementTx executes an already-parsed statement inside an
+// existing transaction.
+func (db *DB) QueryStatementTx(tx *storage.Tx, stmt Statement, args ...storage.Value) (*Result, error) {
+	return db.exec(tx, stmt, args)
+}
+
+// Exec runs a statement and returns the affected row count.
+func (db *DB) Exec(query string, args ...storage.Value) (int, error) {
+	res, err := db.Query(query, args...)
+	if err != nil {
+		return 0, err
+	}
+	return res.Affected, nil
+}
+
+func (db *DB) exec(tx *storage.Tx, stmt Statement, params []storage.Value) (*Result, error) {
+	ex := &executor{db: db, tx: tx, now: time.Now().UTC().Truncate(time.Microsecond)}
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return ex.runSelect(s, params, nil)
+	case *InsertStmt:
+		return ex.runInsert(s, params)
+	case *UpdateStmt:
+		return ex.runUpdate(s, params)
+	case *DeleteStmt:
+		return ex.runDelete(s, params)
+	case *CreateTableStmt:
+		if s.IfNotExists && db.Engine.HasTable(s.Schema.Name) {
+			return &Result{}, nil
+		}
+		return &Result{}, db.Engine.CreateTable(s.Schema)
+	case *CreateIndexStmt:
+		return &Result{}, db.Engine.CreateIndex(s.Info)
+	case *DropTableStmt:
+		if s.IfExists && !db.Engine.HasTable(s.Table) {
+			return &Result{}, nil
+		}
+		return &Result{}, db.Engine.DropTable(s.Table)
+	case *DropIndexStmt:
+		return &Result{}, db.Engine.DropIndex(s.Table, s.Index)
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+	}
+}
+
+type executor struct {
+	db  *DB
+	tx  *storage.Tx
+	now time.Time
+}
+
+// joined is one row of the join pipeline: one storage.Row per bound table
+// (nil = null-extended LEFT side).
+type joined []storage.Row
+
+// binding describes one FROM entry's name and columns.
+type binding struct {
+	name string // lower-cased alias or table name
+	cols []string
+}
+
+func (ex *executor) schemaOf(table string) (*storage.Schema, error) {
+	return ex.db.Engine.Schema(table)
+}
+
+func lowerCols(s *storage.Schema) []string {
+	cols := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		cols[i] = strings.ToLower(c.Name)
+	}
+	return cols
+}
+
+// env builds a rowEnv for one joined row.
+func makeEnv(bindings []binding, row joined, outer *rowEnv) *rowEnv {
+	env := &rowEnv{outer: outer, tables: make([]boundTable, len(bindings))}
+	for i, b := range bindings {
+		var vals storage.Row
+		if i < len(row) {
+			vals = row[i]
+		}
+		// vals stays nil for the synthetic empty-group row of a grouped
+		// query over zero input rows: every column reads as NULL.
+		env.tables[i] = boundTable{name: b.name, cols: b.cols, vals: vals}
+	}
+	return env
+}
+
+// runSelect executes a SELECT. outer supplies bindings for correlated
+// subqueries.
+func (ex *executor) runSelect(sel *SelectStmt, params []storage.Value, outer *rowEnv) (*Result, error) {
+	if sel.Union != nil {
+		return ex.runUnion(sel, params, outer)
+	}
+	bindings, rows, plan, err := ex.buildFrom(sel, params, outer)
+	if err != nil {
+		return nil, err
+	}
+
+	baseCtx := func(row joined) *evalCtx {
+		return &evalCtx{row: makeEnv(bindings, row, outer), params: params, exec: ex, now: ex.now}
+	}
+
+	// WHERE.
+	if sel.Where != nil {
+		filtered := rows[:0]
+		for _, row := range rows {
+			ok, err := baseCtx(row).evalBool(sel.Where)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				filtered = append(filtered, row)
+			}
+		}
+		rows = filtered
+	}
+
+	// Resolve alias / positional references in GROUP BY and ORDER BY.
+	groupBy, err := resolveRefs(sel.GroupBy, sel.Items)
+	if err != nil {
+		return nil, err
+	}
+	orderExprs := make([]Expr, len(sel.OrderBy))
+	for i, oi := range sel.OrderBy {
+		orderExprs[i] = oi.Expr
+	}
+	orderExprs, err = resolveRefs(orderExprs, sel.Items)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect aggregate calls from every clause evaluated post-grouping.
+	var aggNodes []*FuncCall
+	for _, item := range sel.Items {
+		if !item.Star {
+			aggNodes = collectAggregates(item.Expr, aggNodes)
+		}
+	}
+	aggNodes = collectAggregates(sel.Having, aggNodes)
+	for _, e := range orderExprs {
+		aggNodes = collectAggregates(e, aggNodes)
+	}
+	grouped := len(groupBy) > 0 || len(aggNodes) > 0
+
+	// Expand stars into concrete column refs.
+	items, err := expandStars(sel.Items, bindings)
+	if err != nil {
+		return nil, err
+	}
+	columns := outputColumns(items)
+
+	type outRow struct {
+		vals storage.Row
+		keys storage.Row // ORDER BY sort keys
+	}
+	var outs []outRow
+
+	project := func(ec *evalCtx) error {
+		vals := make(storage.Row, len(items))
+		for i, item := range items {
+			v, err := ec.eval(item.Expr)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		keys := make(storage.Row, len(orderExprs))
+		for i, oe := range orderExprs {
+			v, err := ec.eval(oe)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		outs = append(outs, outRow{vals: vals, keys: keys})
+		return nil
+	}
+
+	if grouped {
+		groups, err := ex.groupRows(rows, groupBy, aggNodes, baseCtx)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range groups {
+			ec := baseCtx(g.rep)
+			ec.aggs = g.aggs
+			if sel.Having != nil {
+				ok, err := ec.evalBool(sel.Having)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			if err := project(ec); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if sel.Having != nil {
+			return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
+		}
+		for _, row := range rows {
+			if err := project(baseCtx(row)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// DISTINCT.
+	if sel.Distinct {
+		seen := make(map[string]bool, len(outs))
+		dedup := outs[:0]
+		for _, o := range outs {
+			k := storage.EncodeKey(o.vals...)
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, o)
+			}
+		}
+		outs = dedup
+	}
+
+	// ORDER BY.
+	if len(orderExprs) > 0 {
+		desc := make([]bool, len(sel.OrderBy))
+		for i, oi := range sel.OrderBy {
+			desc[i] = oi.Desc
+		}
+		sort.SliceStable(outs, func(i, j int) bool {
+			for k := range orderExprs {
+				c := storage.Compare(outs[i].keys[k], outs[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if desc[k] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	// LIMIT / OFFSET.
+	if sel.Limit != nil || sel.Offset != nil {
+		lim, off, err := ex.evalLimit(sel, params)
+		if err != nil {
+			return nil, err
+		}
+		if off > len(outs) {
+			off = len(outs)
+		}
+		outs = outs[off:]
+		if lim >= 0 && lim < len(outs) {
+			outs = outs[:lim]
+		}
+	}
+
+	res := &Result{Columns: columns, Plan: plan}
+	res.Rows = make([]storage.Row, len(outs))
+	for i, o := range outs {
+		res.Rows[i] = o.vals
+	}
+	return res, nil
+}
+
+// runUnion evaluates a UNION [ALL] chain left to right. The leftmost
+// statement's ORDER BY and LIMIT apply to the combined result; ORDER BY
+// keys must reference output columns (by alias, name or position).
+func (ex *executor) runUnion(sel *SelectStmt, params []storage.Value, outer *rowEnv) (*Result, error) {
+	core := *sel
+	core.Union, core.UnionAll = nil, false
+	core.OrderBy, core.Limit, core.Offset = nil, nil, nil
+	left, err := ex.runSelect(&core, params, outer)
+	if err != nil {
+		return nil, err
+	}
+	acc := left.Rows
+	for node := sel; node.Union != nil; node = node.Union {
+		rightCore := *node.Union
+		rightCore.Union, rightCore.UnionAll = nil, false
+		right, err := ex.runSelect(&rightCore, params, outer)
+		if err != nil {
+			return nil, err
+		}
+		if len(right.Columns) != len(left.Columns) {
+			return nil, fmt.Errorf("sql: UNION arms have %d and %d columns",
+				len(left.Columns), len(right.Columns))
+		}
+		acc = append(acc, right.Rows...)
+		if !node.UnionAll {
+			seen := make(map[string]bool, len(acc))
+			dedup := acc[:0]
+			for _, row := range acc {
+				k := storage.EncodeKey(row...)
+				if !seen[k] {
+					seen[k] = true
+					dedup = append(dedup, row)
+				}
+			}
+			acc = dedup
+		}
+	}
+
+	// ORDER BY over the combined rows: keys must be output columns.
+	if len(sel.OrderBy) > 0 {
+		keys := make([]int, len(sel.OrderBy))
+		for i, oi := range sel.OrderBy {
+			pos, err := unionOrderPos(oi.Expr, sel.Items, left.Columns)
+			if err != nil {
+				return nil, err
+			}
+			if oi.Desc {
+				keys[i] = -pos - 1
+			} else {
+				keys[i] = pos
+			}
+		}
+		storage.SortRows(acc, keys)
+	}
+	if sel.Limit != nil || sel.Offset != nil {
+		lim, off, err := ex.evalLimit(sel, params)
+		if err != nil {
+			return nil, err
+		}
+		if off > len(acc) {
+			off = len(acc)
+		}
+		acc = acc[off:]
+		if lim >= 0 && lim < len(acc) {
+			acc = acc[:lim]
+		}
+	}
+	return &Result{Columns: left.Columns, Rows: acc, Plan: "union"}, nil
+}
+
+// unionOrderPos resolves an ORDER BY key of a union to an output column
+// position: 1-based literal, select alias, or projected column name.
+func unionOrderPos(e Expr, items []SelectItem, columns []string) (int, error) {
+	switch x := e.(type) {
+	case *Literal:
+		if n, ok := x.Val.(int64); ok {
+			if n < 1 || int(n) > len(columns) {
+				return 0, fmt.Errorf("sql: ORDER BY position %d is not in the select list", n)
+			}
+			return int(n - 1), nil
+		}
+	case *ColumnRef:
+		if x.Table == "" {
+			for i, item := range items {
+				if item.Alias != "" && strings.EqualFold(item.Alias, x.Column) {
+					return i, nil
+				}
+			}
+			for i, c := range columns {
+				if strings.EqualFold(c, x.Column) {
+					return i, nil
+				}
+			}
+		}
+	}
+	return 0, fmt.Errorf("sql: ORDER BY over UNION must name an output column or position, got %s", e.String())
+}
+
+func (ex *executor) evalLimit(sel *SelectStmt, params []storage.Value) (lim, off int, err error) {
+	lim = -1
+	ec := &evalCtx{params: params, now: ex.now}
+	if sel.Limit != nil {
+		v, err := ec.eval(sel.Limit)
+		if err != nil {
+			return 0, 0, err
+		}
+		n, ok := v.(int64)
+		if !ok || n < 0 {
+			return 0, 0, fmt.Errorf("sql: LIMIT must be a non-negative integer")
+		}
+		lim = int(n)
+	}
+	if sel.Offset != nil {
+		v, err := ec.eval(sel.Offset)
+		if err != nil {
+			return 0, 0, err
+		}
+		n, ok := v.(int64)
+		if !ok || n < 0 {
+			return 0, 0, fmt.Errorf("sql: OFFSET must be a non-negative integer")
+		}
+		off = int(n)
+	}
+	return lim, off, nil
+}
+
+// group accumulates one GROUP BY bucket.
+type group struct {
+	rep  joined // representative row (first of the bucket)
+	aggs map[*FuncCall]storage.Value
+}
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	count    int64
+	sumI     int64
+	sumF     float64
+	isFloat  bool
+	min, max storage.Value
+	distinct map[string]bool
+}
+
+func (ex *executor) groupRows(rows []joined, groupBy []Expr, aggNodes []*FuncCall, baseCtx func(joined) *evalCtx) ([]*group, error) {
+	type bucket struct {
+		g      *group
+		states []*aggState
+	}
+	order := []string{}
+	buckets := map[string]*bucket{}
+
+	for _, row := range rows {
+		ec := baseCtx(row)
+		keyVals := make(storage.Row, len(groupBy))
+		for i, ge := range groupBy {
+			v, err := ec.eval(ge)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+		}
+		key := storage.EncodeKey(keyVals...)
+		b, ok := buckets[key]
+		if !ok {
+			b = &bucket{g: &group{rep: row}, states: make([]*aggState, len(aggNodes))}
+			for i := range b.states {
+				b.states[i] = &aggState{}
+			}
+			buckets[key] = b
+			order = append(order, key)
+		}
+		for i, node := range aggNodes {
+			if err := ex.accumulate(b.states[i], node, ec); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// With no GROUP BY, aggregates over zero rows still yield one group.
+	if len(groupBy) == 0 && len(order) == 0 {
+		b := &bucket{g: &group{rep: nil}, states: make([]*aggState, len(aggNodes))}
+		for i := range b.states {
+			b.states[i] = &aggState{}
+		}
+		buckets[""] = b
+		order = append(order, "")
+	}
+
+	groups := make([]*group, 0, len(order))
+	for _, key := range order {
+		b := buckets[key]
+		b.g.aggs = make(map[*FuncCall]storage.Value, len(aggNodes))
+		for i, node := range aggNodes {
+			b.g.aggs[node] = finishAggregate(node, b.states[i])
+		}
+		if b.g.rep == nil {
+			b.g.rep = make(joined, 0)
+		}
+		groups = append(groups, b.g)
+	}
+	return groups, nil
+}
+
+func (ex *executor) accumulate(st *aggState, node *FuncCall, ec *evalCtx) error {
+	if node.Star { // COUNT(*)
+		st.count++
+		return nil
+	}
+	if len(node.Args) != 1 {
+		return fmt.Errorf("sql: %s takes exactly one argument", node.Name)
+	}
+	v, err := ec.eval(node.Args[0])
+	if err != nil {
+		return err
+	}
+	if v == nil {
+		return nil // aggregates skip NULLs
+	}
+	if node.Distinct {
+		if st.distinct == nil {
+			st.distinct = make(map[string]bool)
+		}
+		k := storage.EncodeKey(v)
+		if st.distinct[k] {
+			return nil
+		}
+		st.distinct[k] = true
+	}
+	st.count++
+	switch node.Name {
+	case "COUNT":
+	case "SUM", "AVG":
+		switch x := v.(type) {
+		case int64:
+			st.sumI += x
+			st.sumF += float64(x)
+		case float64:
+			st.isFloat = true
+			st.sumF += x
+		default:
+			return fmt.Errorf("sql: %s requires numeric values, got %T", node.Name, v)
+		}
+	case "MIN":
+		if st.min == nil || storage.Compare(v, st.min) < 0 {
+			st.min = v
+		}
+	case "MAX":
+		if st.max == nil || storage.Compare(v, st.max) > 0 {
+			st.max = v
+		}
+	default:
+		return fmt.Errorf("sql: unknown aggregate %s", node.Name)
+	}
+	return nil
+}
+
+func finishAggregate(node *FuncCall, st *aggState) storage.Value {
+	switch node.Name {
+	case "COUNT":
+		return st.count
+	case "SUM":
+		if st.count == 0 {
+			return nil
+		}
+		if st.isFloat {
+			return st.sumF
+		}
+		return st.sumI
+	case "AVG":
+		if st.count == 0 {
+			return nil
+		}
+		return st.sumF / float64(st.count)
+	case "MIN":
+		return st.min
+	case "MAX":
+		return st.max
+	}
+	return nil
+}
+
+// collectAggregates appends every aggregate FuncCall in e (not descending
+// into subqueries, which are independently executed).
+func collectAggregates(e Expr, acc []*FuncCall) []*FuncCall {
+	switch x := e.(type) {
+	case nil:
+		return acc
+	case *FuncCall:
+		if isAggregate(x.Name) || x.Star && isAggregate(x.Name) {
+			return append(acc, x)
+		}
+		for _, a := range x.Args {
+			acc = collectAggregates(a, acc)
+		}
+	case *BinaryExpr:
+		acc = collectAggregates(x.Left, acc)
+		acc = collectAggregates(x.Right, acc)
+	case *UnaryExpr:
+		acc = collectAggregates(x.X, acc)
+	case *InExpr:
+		acc = collectAggregates(x.X, acc)
+		for _, it := range x.List {
+			acc = collectAggregates(it, acc)
+		}
+	case *BetweenExpr:
+		acc = collectAggregates(x.X, acc)
+		acc = collectAggregates(x.Lo, acc)
+		acc = collectAggregates(x.Hi, acc)
+	case *IsNullExpr:
+		acc = collectAggregates(x.X, acc)
+	case *CaseExpr:
+		acc = collectAggregates(x.Operand, acc)
+		for _, w := range x.Whens {
+			acc = collectAggregates(w.Cond, acc)
+			acc = collectAggregates(w.Then, acc)
+		}
+		acc = collectAggregates(x.Else, acc)
+	case *CastExpr:
+		acc = collectAggregates(x.X, acc)
+	}
+	return acc
+}
+
+// resolveRefs rewrites bare column refs matching select aliases and
+// 1-based integer literals into the corresponding select expressions
+// (GROUP BY 1, ORDER BY total).
+func resolveRefs(exprs []Expr, items []SelectItem) ([]Expr, error) {
+	if len(exprs) == 0 {
+		return exprs, nil
+	}
+	out := make([]Expr, len(exprs))
+	for i, e := range exprs {
+		out[i] = e
+		switch x := e.(type) {
+		case *Literal:
+			if n, ok := x.Val.(int64); ok {
+				if n < 1 || int(n) > len(items) {
+					return nil, fmt.Errorf("sql: position %d is not in the select list", n)
+				}
+				if items[n-1].Star {
+					return nil, fmt.Errorf("sql: cannot reference * by position")
+				}
+				out[i] = items[n-1].Expr
+			}
+		case *ColumnRef:
+			if x.Table != "" {
+				continue
+			}
+			for _, item := range items {
+				if item.Alias != "" && strings.EqualFold(item.Alias, x.Column) && !item.Star {
+					out[i] = item.Expr
+					break
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// expandStars replaces * and t.* items with explicit column refs.
+func expandStars(items []SelectItem, bindings []binding) ([]SelectItem, error) {
+	var out []SelectItem
+	for _, item := range items {
+		if !item.Star {
+			out = append(out, item)
+			continue
+		}
+		matched := false
+		for _, b := range bindings {
+			if item.Table != "" && !strings.EqualFold(item.Table, b.name) {
+				continue
+			}
+			matched = true
+			for _, c := range b.cols {
+				out = append(out, SelectItem{
+					Expr:  &ColumnRef{Table: b.name, Column: c},
+					Alias: c,
+				})
+			}
+		}
+		if !matched {
+			if item.Table != "" {
+				return nil, fmt.Errorf("sql: unknown table %q in %s.*", item.Table, item.Table)
+			}
+			return nil, fmt.Errorf("sql: SELECT * requires a FROM clause")
+		}
+	}
+	return out, nil
+}
+
+func outputColumns(items []SelectItem) []string {
+	cols := make([]string, len(items))
+	for i, item := range items {
+		switch {
+		case item.Alias != "":
+			cols[i] = item.Alias
+		default:
+			if cr, ok := item.Expr.(*ColumnRef); ok {
+				cols[i] = cr.Column
+			} else {
+				cols[i] = item.Expr.String()
+			}
+		}
+	}
+	return cols
+}

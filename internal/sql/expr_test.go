@@ -1,0 +1,153 @@
+package sql
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+func TestCompileExprBasics(t *testing.T) {
+	expr, err := CompileExpr("amount * qty + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expr.Source() != "amount * qty + 1" {
+		t.Errorf("source = %q", expr.Source())
+	}
+	got, err := expr.Eval(map[string]storage.Value{"amount": 2.5, "qty": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 11.0 {
+		t.Errorf("eval = %v", got)
+	}
+	// Field names are case-insensitive.
+	got, err = expr.Eval(map[string]storage.Value{"Amount": 2.0, "QTY": 3})
+	if err != nil || got != 7.0 {
+		t.Errorf("case-insensitive eval = %v (%v)", got, err)
+	}
+}
+
+func TestCompileExprRejectsNonScalar(t *testing.T) {
+	bad := []string{
+		"SUM(x)",
+		"COUNT(*)",
+		"(SELECT 1)",
+		"EXISTS (SELECT 1)",
+		"x IN (SELECT y FROM t)",
+		"?",
+		"CASE WHEN SUM(x) > 1 THEN 1 ELSE 0 END",
+		"1; DROP TABLE users",
+		"",
+		"x FROM t",
+	}
+	for _, src := range bad {
+		if _, err := CompileExpr(src); err == nil {
+			t.Errorf("CompileExpr(%q) should fail", src)
+		}
+	}
+	// MustCompileExpr panics on bad input.
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompileExpr did not panic")
+		}
+	}()
+	MustCompileExpr("SUM(x)")
+}
+
+func TestCompileExprEvalBool(t *testing.T) {
+	pred := MustCompileExpr("age >= 18 AND country = 'FR'")
+	ok, err := pred.EvalBool(map[string]storage.Value{"age": 20, "country": "FR"})
+	if err != nil || !ok {
+		t.Errorf("adult FR = %v (%v)", ok, err)
+	}
+	ok, _ = pred.EvalBool(map[string]storage.Value{"age": 12, "country": "FR"})
+	if ok {
+		t.Error("minor matched")
+	}
+	// NULL → false, not error.
+	ok, err = pred.EvalBool(map[string]storage.Value{"age": nil, "country": "FR"})
+	if err != nil || ok {
+		t.Errorf("null age = %v (%v)", ok, err)
+	}
+	// Unknown column is an error.
+	if _, err := pred.EvalBool(map[string]storage.Value{"age": 20}); err == nil {
+		t.Error("missing column accepted")
+	}
+}
+
+func TestCompileExprColumns(t *testing.T) {
+	expr := MustCompileExpr("COALESCE(a, b) + CASE WHEN c > 1 THEN d ELSE e END")
+	got := expr.Columns()
+	want := []string{"a", "b", "c", "d", "e"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Columns = %v, want %v", got, want)
+	}
+	if cols := MustCompileExpr("1 + 2").Columns(); len(cols) != 0 {
+		t.Errorf("constant expr columns = %v", cols)
+	}
+	if cols := MustCompileExpr("x BETWEEN lo AND hi").Columns(); !reflect.DeepEqual(cols, []string{"hi", "lo", "x"}) {
+		t.Errorf("between columns = %v", cols)
+	}
+}
+
+func TestEvalScoped(t *testing.T) {
+	expr := MustCompileExpr("o.amount > c.credit")
+	scopes := map[string]map[string]storage.Value{
+		"o": {"amount": 500},
+		"c": {"credit": 100},
+	}
+	got, err := expr.EvalScoped(scopes)
+	if err != nil || got != true {
+		t.Errorf("scoped eval = %v (%v)", got, err)
+	}
+	ok, err := expr.EvalScopedBool(scopes)
+	if err != nil || !ok {
+		t.Errorf("scoped bool = %v (%v)", ok, err)
+	}
+	// Bare names resolve when unambiguous across scopes.
+	bare := MustCompileExpr("amount - credit")
+	v, err := bare.EvalScoped(scopes)
+	if err != nil || v != int64(400) {
+		t.Errorf("bare scoped = %v (%v)", v, err)
+	}
+	// Ambiguous bare names error.
+	amb := MustCompileExpr("v")
+	_, err = amb.EvalScoped(map[string]map[string]storage.Value{
+		"a": {"v": 1}, "b": {"v": 2},
+	})
+	if err == nil {
+		t.Error("ambiguous bare name accepted")
+	}
+	// Unknown scope errors.
+	if _, err := expr.EvalScoped(map[string]map[string]storage.Value{"o": {"amount": 1}}); err == nil {
+		t.Error("missing scope accepted")
+	}
+}
+
+func TestCompiledExprReusableConcurrently(t *testing.T) {
+	expr := MustCompileExpr("n * 2")
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 200; i++ {
+				v, err := expr.Eval(map[string]storage.Value{"n": int64(i)})
+				if err != nil {
+					done <- err
+					return
+				}
+				if v != int64(i*2) {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

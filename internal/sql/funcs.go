@@ -1,0 +1,334 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// aggregateFuncs are the functions the executor computes per group.
+var aggregateFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// isAggregate reports whether name is an aggregate function.
+func isAggregate(name string) bool { return aggregateFuncs[strings.ToUpper(name)] }
+
+// evalFunc evaluates a scalar function call.
+func (ec *evalCtx) evalFunc(f *FuncCall) (storage.Value, error) {
+	if isAggregate(f.Name) {
+		return nil, fmt.Errorf("sql: aggregate %s not allowed here", f.Name)
+	}
+	args := make([]storage.Value, len(f.Args))
+	for i, a := range f.Args {
+		v, err := ec.eval(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return callScalar(f.Name, args, ec.now)
+}
+
+func needArgs(name string, args []storage.Value, min, max int) error {
+	if len(args) < min || (max >= 0 && len(args) > max) {
+		return fmt.Errorf("sql: %s: wrong argument count %d", name, len(args))
+	}
+	return nil
+}
+
+// callScalar dispatches the built-in scalar function library.
+func callScalar(name string, args []storage.Value, now time.Time) (storage.Value, error) {
+	switch name {
+	case "COALESCE":
+		for _, a := range args {
+			if a != nil {
+				return a, nil
+			}
+		}
+		return nil, nil
+	case "NULLIF":
+		if err := needArgs(name, args, 2, 2); err != nil {
+			return nil, err
+		}
+		if args[0] != nil && args[1] != nil && comparable(args[0], args[1]) && storage.Equal(args[0], args[1]) {
+			return nil, nil
+		}
+		return args[0], nil
+	case "IFNULL":
+		if err := needArgs(name, args, 2, 2); err != nil {
+			return nil, err
+		}
+		if args[0] == nil {
+			return args[1], nil
+		}
+		return args[0], nil
+	case "GREATEST", "LEAST":
+		if err := needArgs(name, args, 1, -1); err != nil {
+			return nil, err
+		}
+		var best storage.Value
+		for _, a := range args {
+			if a == nil {
+				return nil, nil
+			}
+			if best == nil {
+				best = a
+				continue
+			}
+			c := storage.Compare(a, best)
+			if (name == "GREATEST" && c > 0) || (name == "LEAST" && c < 0) {
+				best = a
+			}
+		}
+		return best, nil
+	case "NOW", "CURRENT_TIMESTAMP":
+		return now, nil
+	}
+
+	// Single-null propagation for the remaining functions.
+	for _, a := range args {
+		if a == nil {
+			return nil, nil
+		}
+	}
+
+	switch name {
+	case "ABS":
+		if err := needArgs(name, args, 1, 1); err != nil {
+			return nil, err
+		}
+		switch x := args[0].(type) {
+		case int64:
+			if x < 0 {
+				return -x, nil
+			}
+			return x, nil
+		case float64:
+			return math.Abs(x), nil
+		}
+		return nil, fmt.Errorf("sql: ABS requires a number")
+	case "ROUND":
+		if err := needArgs(name, args, 1, 2); err != nil {
+			return nil, err
+		}
+		f, ok := asNumber(args[0])
+		if !ok {
+			return nil, fmt.Errorf("sql: ROUND requires a number")
+		}
+		digits := int64(0)
+		if len(args) == 2 {
+			d, ok := args[1].(int64)
+			if !ok {
+				return nil, fmt.Errorf("sql: ROUND digits must be an integer")
+			}
+			digits = d
+		}
+		scale := math.Pow(10, float64(digits))
+		return math.Round(f*scale) / scale, nil
+	case "CEIL", "CEILING":
+		f, ok := asNumber(args[0])
+		if !ok {
+			return nil, fmt.Errorf("sql: CEIL requires a number")
+		}
+		return math.Ceil(f), nil
+	case "FLOOR":
+		f, ok := asNumber(args[0])
+		if !ok {
+			return nil, fmt.Errorf("sql: FLOOR requires a number")
+		}
+		return math.Floor(f), nil
+	case "SQRT":
+		f, ok := asNumber(args[0])
+		if !ok || f < 0 {
+			return nil, fmt.Errorf("sql: SQRT requires a non-negative number")
+		}
+		return math.Sqrt(f), nil
+	case "POWER", "POW":
+		if err := needArgs(name, args, 2, 2); err != nil {
+			return nil, err
+		}
+		b, ok1 := asNumber(args[0])
+		e, ok2 := asNumber(args[1])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("sql: POWER requires numbers")
+		}
+		return math.Pow(b, e), nil
+	case "MOD":
+		if err := needArgs(name, args, 2, 2); err != nil {
+			return nil, err
+		}
+		return arith("%", args[0], args[1])
+	case "UPPER":
+		s, err := argString(name, args)
+		if err != nil {
+			return nil, err
+		}
+		return strings.ToUpper(s), nil
+	case "LOWER":
+		s, err := argString(name, args)
+		if err != nil {
+			return nil, err
+		}
+		return strings.ToLower(s), nil
+	case "LENGTH", "LEN":
+		s, err := argString(name, args)
+		if err != nil {
+			return nil, err
+		}
+		return int64(len([]rune(s))), nil
+	case "TRIM":
+		s, err := argString(name, args)
+		if err != nil {
+			return nil, err
+		}
+		return strings.TrimSpace(s), nil
+	case "LTRIM":
+		s, err := argString(name, args)
+		if err != nil {
+			return nil, err
+		}
+		return strings.TrimLeft(s, " \t\n"), nil
+	case "RTRIM":
+		s, err := argString(name, args)
+		if err != nil {
+			return nil, err
+		}
+		return strings.TrimRight(s, " \t\n"), nil
+	case "REVERSE":
+		s, err := argString(name, args)
+		if err != nil {
+			return nil, err
+		}
+		r := []rune(s)
+		for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+			r[i], r[j] = r[j], r[i]
+		}
+		return string(r), nil
+	case "SUBSTR", "SUBSTRING":
+		if err := needArgs(name, args, 2, 3); err != nil {
+			return nil, err
+		}
+		s, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("sql: SUBSTR requires a string")
+		}
+		start, ok := args[1].(int64)
+		if !ok {
+			return nil, fmt.Errorf("sql: SUBSTR start must be an integer")
+		}
+		runes := []rune(s)
+		// SQL is 1-based.
+		i := int(start) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i > len(runes) {
+			i = len(runes)
+		}
+		j := len(runes)
+		if len(args) == 3 {
+			l, ok := args[2].(int64)
+			if !ok || l < 0 {
+				return nil, fmt.Errorf("sql: SUBSTR length must be a non-negative integer")
+			}
+			if i+int(l) < j {
+				j = i + int(l)
+			}
+		}
+		return string(runes[i:j]), nil
+	case "REPLACE":
+		if err := needArgs(name, args, 3, 3); err != nil {
+			return nil, err
+		}
+		s, ok1 := args[0].(string)
+		old, ok2 := args[1].(string)
+		repl, ok3 := args[2].(string)
+		if !ok1 || !ok2 || !ok3 {
+			return nil, fmt.Errorf("sql: REPLACE requires strings")
+		}
+		return strings.ReplaceAll(s, old, repl), nil
+	case "CONCAT":
+		var sb strings.Builder
+		for _, a := range args {
+			sb.WriteString(storage.FormatValue(a))
+		}
+		return sb.String(), nil
+	case "YEAR", "MONTH", "DAY", "HOUR", "MINUTE":
+		if err := needArgs(name, args, 1, 1); err != nil {
+			return nil, err
+		}
+		ts, ok := args[0].(time.Time)
+		if !ok {
+			return nil, fmt.Errorf("sql: %s requires a timestamp", name)
+		}
+		switch name {
+		case "YEAR":
+			return int64(ts.Year()), nil
+		case "MONTH":
+			return int64(ts.Month()), nil
+		case "DAY":
+			return int64(ts.Day()), nil
+		case "HOUR":
+			return int64(ts.Hour()), nil
+		default:
+			return int64(ts.Minute()), nil
+		}
+	case "DATE_TRUNC":
+		if err := needArgs(name, args, 2, 2); err != nil {
+			return nil, err
+		}
+		unit, ok1 := args[0].(string)
+		ts, ok2 := args[1].(time.Time)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("sql: DATE_TRUNC(unit, timestamp)")
+		}
+		switch strings.ToLower(unit) {
+		case "year":
+			return time.Date(ts.Year(), 1, 1, 0, 0, 0, 0, time.UTC), nil
+		case "quarter":
+			q := (int(ts.Month()) - 1) / 3
+			return time.Date(ts.Year(), time.Month(q*3+1), 1, 0, 0, 0, 0, time.UTC), nil
+		case "month":
+			return time.Date(ts.Year(), ts.Month(), 1, 0, 0, 0, 0, time.UTC), nil
+		case "week":
+			d := ts.Truncate(24 * time.Hour)
+			for d.Weekday() != time.Monday {
+				d = d.AddDate(0, 0, -1)
+			}
+			return d, nil
+		case "day":
+			return time.Date(ts.Year(), ts.Month(), ts.Day(), 0, 0, 0, 0, time.UTC), nil
+		case "hour":
+			return ts.Truncate(time.Hour), nil
+		default:
+			return nil, fmt.Errorf("sql: DATE_TRUNC: unknown unit %q", unit)
+		}
+	case "FORMAT_TIME":
+		if err := needArgs(name, args, 2, 2); err != nil {
+			return nil, err
+		}
+		layout, ok1 := args[0].(string)
+		ts, ok2 := args[1].(time.Time)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("sql: FORMAT_TIME(layout, timestamp)")
+		}
+		return ts.Format(layout), nil
+	default:
+		return nil, fmt.Errorf("sql: unknown function %s", name)
+	}
+}
+
+func argString(name string, args []storage.Value) (string, error) {
+	if err := needArgs(name, args, 1, 1); err != nil {
+		return "", err
+	}
+	s, ok := args[0].(string)
+	if !ok {
+		return "", fmt.Errorf("sql: %s requires a string, got %T", name, args[0])
+	}
+	return s, nil
+}

@@ -1,0 +1,186 @@
+// Package sql implements the SQL subset that powers ODBIS DataSets — the
+// paper's "SQL query abstraction used by charts, data-tables and
+// dashboards" (§3.3). It provides a lexer, a recursive-descent parser, a
+// planner that selects storage indexes, and an executor over the storage
+// engine.
+//
+// Supported statements:
+//
+//	SELECT [DISTINCT] exprs FROM tables [JOIN ...] [WHERE] [GROUP BY]
+//	    [HAVING] [ORDER BY] [LIMIT [OFFSET]]
+//	INSERT INTO t [(cols)] VALUES (...), (...)
+//	UPDATE t SET col = expr, ... [WHERE]
+//	DELETE FROM t [WHERE]
+//	CREATE TABLE t (col TYPE [NOT NULL] [DEFAULT lit] ..., PRIMARY KEY (...))
+//	CREATE [UNIQUE] INDEX ix ON t (cols) [USING HASH|BTREE]
+//	DROP TABLE t / DROP INDEX ix ON t
+//
+// Expressions cover arithmetic, comparison, AND/OR/NOT, LIKE, IN (list or
+// subquery), BETWEEN, IS [NOT] NULL, CASE, scalar functions, aggregate
+// functions, ? placeholders, and scalar subqueries.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp    // symbols: = <> < <= > >= + - * / % ( ) , . ?
+	tokParam // ? placeholder
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int    // byte offset in the input
+}
+
+// keywords recognized by the lexer. Everything else alphabetic is an
+// identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
+	"ASC": true, "DESC": true, "AS": true, "DISTINCT": true, "ALL": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true,
+	"CROSS": true, "ON": true, "AND": true, "OR": true, "NOT": true,
+	"IN": true, "BETWEEN": true, "LIKE": true, "IS": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "INDEX": true, "UNIQUE": true, "DROP": true,
+	"PRIMARY": true, "KEY": true, "DEFAULT": true, "USING": true,
+	"HASH": true, "BTREE": true, "CAST": true, "EXISTS": true,
+	"UNION": true, "IF": true,
+}
+
+// Error is a SQL-layer error carrying the offending position.
+type Error struct {
+	Msg string
+	Pos int
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql: %s (at offset %d)", e.Msg, e.Pos) }
+
+func errf(pos int, format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...), Pos: pos}
+}
+
+// lex tokenizes the input. String literals use single quotes with ”
+// escaping; identifiers may be double-quoted; -- and /* */ comments are
+// skipped.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && input[i+1] == '*':
+			end := strings.Index(input[i+2:], "*/")
+			if end < 0 {
+				return nil, errf(i, "unterminated comment")
+			}
+			i += end + 4
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, errf(start, "unterminated string literal")
+				}
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '"':
+			start := i
+			i++
+			j := strings.IndexByte(input[i:], '"')
+			if j < 0 {
+				return nil, errf(start, "unterminated quoted identifier")
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[i : i+j], pos: start})
+			i += j + 1
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			for i < n && (input[i] >= '0' && input[i] <= '9' || input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+				((input[i] == '+' || input[i] == '-') && (input[i-1] == 'e' || input[i-1] == 'E'))) {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		case c == '?':
+			toks = append(toks, token{kind: tokParam, text: "?", pos: i})
+			i++
+		default:
+			start := i
+			var op string
+			switch {
+			case strings.HasPrefix(input[i:], "<>"), strings.HasPrefix(input[i:], "!="):
+				op = "<>"
+				i += 2
+			case strings.HasPrefix(input[i:], "<="):
+				op = "<="
+				i += 2
+			case strings.HasPrefix(input[i:], ">="):
+				op = ">="
+				i += 2
+			case strings.HasPrefix(input[i:], "||"):
+				op = "||"
+				i += 2
+			case strings.ContainsRune("=<>+-*/%(),.;", rune(c)):
+				op = string(c)
+				i++
+			default:
+				return nil, errf(i, "unexpected character %q", c)
+			}
+			toks = append(toks, token{kind: tokOp, text: op, pos: start})
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

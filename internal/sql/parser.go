@@ -1,0 +1,1089 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// Parse parses a single SQL statement.
+func Parse(input string) (Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	// Allow a single trailing semicolon.
+	if p.peek().kind == tokOp && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, errf(p.peek().pos, "unexpected %q after statement", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	// nparams counts ? placeholders seen so far so each gets a position.
+	nparams int
+}
+
+func (p *parser) peek() token   { return p.toks[p.pos] }
+func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(s int) { p.pos = s }
+
+// acceptKeyword consumes kw when it is next.
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return errf(p.peek().pos, "expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if t := p.peek(); t.kind == tokOp && t.text == op {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return errf(p.peek().pos, "expected %q, got %q", op, p.peek().text)
+	}
+	return nil
+}
+
+// ident accepts an identifier or a non-reserved use of a keyword-looking
+// word (we keep it strict: identifiers only).
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		p.next()
+		return t.text, nil
+	}
+	return "", errf(t.pos, "expected identifier, got %q", t.text)
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return nil, errf(t.pos, "expected statement keyword, got %q", t.text)
+	}
+	switch t.text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	default:
+		return nil, errf(t.pos, "unsupported statement %s", t.text)
+	}
+}
+
+// parseSelect parses a full query: one or more select cores chained with
+// UNION [ALL], followed by ORDER BY / LIMIT applying to the combination.
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	sel, err := p.parseSelectCore()
+	if err != nil {
+		return nil, err
+	}
+	cur := sel
+	for p.acceptKeyword("UNION") {
+		all := p.acceptKeyword("ALL")
+		right, err := p.parseSelectCore()
+		if err != nil {
+			return nil, err
+		}
+		cur.Union = right
+		cur.UnionAll = all
+		cur = right
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = e
+		if p.acceptKeyword("OFFSET") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.Offset = e
+		}
+	}
+	return sel, nil
+}
+
+// parseSelectCore parses SELECT … [FROM …] [WHERE …] [GROUP BY …]
+// [HAVING …] without the trailing ORDER BY/LIMIT (those belong to the
+// whole, possibly unioned, query).
+func (p *parser) parseSelectCore() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{}
+	if p.acceptKeyword("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		refs, err := p.parseFrom()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = refs
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	// "*" or "t.*"
+	if p.peek().kind == tokOp && p.peek().text == "*" {
+		p.next()
+		return SelectItem{Star: true}, nil
+	}
+	start := p.save()
+	if p.peek().kind == tokIdent {
+		name := p.next().text
+		if p.acceptOp(".") && p.peek().kind == tokOp && p.peek().text == "*" {
+			p.next()
+			return SelectItem{Star: true, Table: name}, nil
+		}
+		p.restore(start)
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.peek().kind == tokIdent {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseFrom() ([]TableRef, error) {
+	first, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	refs := []TableRef{first}
+	for {
+		var kind JoinKind
+		switch {
+		case p.acceptOp(","):
+			kind = JoinCross
+		case p.acceptKeyword("CROSS"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinCross
+		case p.acceptKeyword("INNER"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinInner
+		case p.acceptKeyword("LEFT"):
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinLeft
+		case p.acceptKeyword("JOIN"):
+			kind = JoinInner
+		default:
+			return refs, nil
+		}
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		ref.Join = kind
+		if kind != JoinCross {
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ref.On = on
+		}
+		refs = append(refs, ref)
+	}
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name, Join: JoinCross}
+	if p.acceptKeyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias
+	} else if p.peek().kind == tokIdent {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: table}
+	if p.acceptOp("(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	upd := &UpdateStmt{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Set = append(upd.Set, Assignment{Column: col, Value: val})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Where = e
+	}
+	return upd, nil
+}
+
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := &DeleteStmt{Table: table}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = e
+	}
+	return del, nil
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	unique := p.acceptKeyword("UNIQUE")
+	switch {
+	case p.acceptKeyword("TABLE"):
+		if unique {
+			return nil, errf(p.peek().pos, "UNIQUE is not valid for CREATE TABLE")
+		}
+		return p.parseCreateTable()
+	case p.acceptKeyword("INDEX"):
+		return p.parseCreateIndex(unique)
+	default:
+		return nil, errf(p.peek().pos, "expected TABLE or INDEX after CREATE")
+	}
+}
+
+func (p *parser) parseCreateTable() (*CreateTableStmt, error) {
+	ifNot := false
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		ifNot = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	schema := &storage.Schema{Name: name}
+	for {
+		if p.acceptKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				schema.PrimaryKey = append(schema.PrimaryKey, col)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			colName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typTok := p.next()
+			if typTok.kind != tokIdent && typTok.kind != tokKeyword {
+				return nil, errf(typTok.pos, "expected type name, got %q", typTok.text)
+			}
+			typ, ok := storage.ParseType(typTok.text)
+			if !ok {
+				return nil, errf(typTok.pos, "unknown type %q", typTok.text)
+			}
+			// Swallow optional size: VARCHAR(255).
+			if p.acceptOp("(") {
+				for p.peek().kind == tokNumber || (p.peek().kind == tokOp && p.peek().text == ",") {
+					p.next()
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+			}
+			col := storage.Column{Name: colName, Type: typ}
+			for {
+				switch {
+				case p.acceptKeyword("NOT"):
+					if err := p.expectKeyword("NULL"); err != nil {
+						return nil, err
+					}
+					col.NotNull = true
+				case p.acceptKeyword("NULL"):
+				case p.acceptKeyword("DEFAULT"):
+					lit, err := p.parseLiteralValue()
+					if err != nil {
+						return nil, err
+					}
+					col.Default = lit
+				case p.acceptKeyword("PRIMARY"):
+					if err := p.expectKeyword("KEY"); err != nil {
+						return nil, err
+					}
+					col.NotNull = true
+					schema.PrimaryKey = append(schema.PrimaryKey, colName)
+				default:
+					goto colDone
+				}
+			}
+		colDone:
+			schema.Columns = append(schema.Columns, col)
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &CreateTableStmt{IfNotExists: ifNot, Schema: schema}, nil
+}
+
+// parseLiteralValue parses a literal (optionally signed number, string,
+// TRUE/FALSE/NULL) for DEFAULT clauses.
+func (p *parser) parseLiteralValue() (storage.Value, error) {
+	neg := false
+	if p.peek().kind == tokOp && p.peek().text == "-" {
+		p.next()
+		neg = true
+	}
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		v, err := parseNumber(t)
+		if err != nil {
+			return nil, err
+		}
+		if neg {
+			switch x := v.(type) {
+			case int64:
+				return -x, nil
+			case float64:
+				return -x, nil
+			}
+		}
+		return v, nil
+	case tokString:
+		if neg {
+			return nil, errf(t.pos, "cannot negate a string")
+		}
+		return t.text, nil
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			return true, nil
+		case "FALSE":
+			return false, nil
+		case "NULL":
+			return nil, nil
+		}
+	}
+	return nil, errf(t.pos, "expected literal, got %q", t.text)
+}
+
+func (p *parser) parseCreateIndex(unique bool) (*CreateIndexStmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	info := storage.IndexInfo{Name: name, Table: table, Unique: unique, Kind: storage.IndexBTree}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		info.Columns = append(info.Columns, col)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("USING") {
+		switch {
+		case p.acceptKeyword("HASH"):
+			info.Kind = storage.IndexHash
+		case p.acceptKeyword("BTREE"):
+			info.Kind = storage.IndexBTree
+		default:
+			return nil, errf(p.peek().pos, "expected HASH or BTREE after USING")
+		}
+	}
+	return &CreateIndexStmt{Info: info}, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKeyword("TABLE"):
+		ifExists := false
+		if p.acceptKeyword("IF") {
+			if err := p.expectKeyword("EXISTS"); err != nil {
+				return nil, err
+			}
+			ifExists = true
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTableStmt{Table: name, IfExists: ifExists}, nil
+	case p.acceptKeyword("INDEX"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropIndexStmt{Table: table, Index: name}, nil
+	default:
+		return nil, errf(p.peek().pos, "expected TABLE or INDEX after DROP")
+	}
+}
+
+// Expression parsing: precedence climbing.
+//
+//	OR < AND < NOT < comparison/IN/BETWEEN/LIKE/IS < additive (+ - ||)
+//	  < multiplicative (* / %) < unary minus < primary
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		// AND binds BETWEEN's hi bound tighter; parseComparison handles
+		// BETWEEN before we see AND here.
+		if !p.acceptKeyword("AND") {
+			return left, nil
+		}
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// Postfix predicates.
+	for {
+		not := false
+		save := p.save()
+		if p.acceptKeyword("NOT") {
+			not = true
+		}
+		switch {
+		case p.acceptKeyword("IN"):
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			in := &InExpr{X: left, Not: not}
+			if p.peek().kind == tokKeyword && p.peek().text == "SELECT" {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				in.Sub = sub
+			} else {
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					in.List = append(in.List, e)
+					if !p.acceptOp(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			left = in
+			continue
+		case p.acceptKeyword("BETWEEN"):
+			lo, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BetweenExpr{X: left, Lo: lo, Hi: hi, Not: not}
+			continue
+		case p.acceptKeyword("LIKE"):
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			like := Expr(&BinaryExpr{Op: "LIKE", Left: left, Right: right})
+			if not {
+				like = &UnaryExpr{Op: "NOT", X: like}
+			}
+			left = like
+			continue
+		case not:
+			// A bare NOT belongs to an outer context.
+			p.restore(save)
+		}
+		break
+	}
+	if p.acceptKeyword("IS") {
+		not := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: left, Not: not}, nil
+	}
+	for _, op := range []string{"=", "<>", "<=", ">=", "<", ">"} {
+		if p.peek().kind == tokOp && p.peek().text == op {
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokOp && (t.text == "+" || t.text == "-" || t.text == "||") {
+			p.next()
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokOp && (t.text == "*" || t.text == "/" || t.text == "%") {
+			p.next()
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: t.text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.peek().kind == tokOp && p.peek().text == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	if p.peek().kind == tokOp && p.peek().text == "+" {
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		v, err := parseNumber(t)
+		if err != nil {
+			return nil, err
+		}
+		return &Literal{Val: v}, nil
+	case tokString:
+		p.next()
+		return &Literal{Val: t.text}, nil
+	case tokParam:
+		p.next()
+		idx := p.nparams
+		p.nparams++
+		return &Param{Index: idx}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return &Literal{Val: nil}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Val: true}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Val: false}, nil
+		case "CASE":
+			return p.parseCase()
+		case "CAST":
+			return p.parseCast()
+		case "EXISTS":
+			p.next()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Sub: sub}, nil
+		}
+		return nil, errf(t.pos, "unexpected keyword %s in expression", t.text)
+	case tokIdent:
+		p.next()
+		// Function call?
+		if p.peek().kind == tokOp && p.peek().text == "(" {
+			return p.parseFuncCall(t.text)
+		}
+		// Qualified column?
+		if p.acceptOp(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.text, Column: col}, nil
+		}
+		return &ColumnRef{Column: t.text}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.next()
+			// Scalar subquery?
+			if p.peek().kind == tokKeyword && p.peek().text == "SELECT" {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &SubqueryExpr{Sub: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, errf(t.pos, "unexpected %q in expression", t.text)
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: strings.ToUpper(name)}
+	if p.peek().kind == tokOp && p.peek().text == "*" {
+		p.next()
+		fc.Star = true
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if p.acceptOp(")") {
+		return fc, nil
+	}
+	if p.acceptKeyword("DISTINCT") {
+		fc.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fc.Args = append(fc.Args, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	ce := &CaseExpr{}
+	if !(p.peek().kind == tokKeyword && (p.peek().text == "WHEN" || p.peek().text == "END")) {
+		operand, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Operand = operand
+	}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, WhenClause{Cond: cond, Then: then})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, errf(p.peek().pos, "CASE requires at least one WHEN")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}
+
+func (p *parser) parseCast() (Expr, error) {
+	if err := p.expectKeyword("CAST"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	typTok := p.next()
+	if typTok.kind != tokIdent && typTok.kind != tokKeyword {
+		return nil, errf(typTok.pos, "expected type name")
+	}
+	typ, ok := storage.ParseType(typTok.text)
+	if !ok {
+		return nil, errf(typTok.pos, "unknown type %q", typTok.text)
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &CastExpr{X: x, To: typ}, nil
+}
+
+func parseNumber(t token) (storage.Value, error) {
+	if !strings.ContainsAny(t.text, ".eE") {
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err == nil {
+			return i, nil
+		}
+	}
+	f, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return nil, errf(t.pos, "bad number %q", t.text)
+	}
+	return f, nil
+}

@@ -1,0 +1,314 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+func mustParse(t *testing.T, q string) Statement {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return stmt
+}
+
+func TestParseSelectBasic(t *testing.T) {
+	stmt := mustParse(t, "SELECT id, name AS n FROM users WHERE age > 30 ORDER BY name DESC LIMIT 10 OFFSET 5")
+	sel := stmt.(*SelectStmt)
+	if len(sel.Items) != 2 || sel.Items[1].Alias != "n" {
+		t.Errorf("items = %+v", sel.Items)
+	}
+	if len(sel.From) != 1 || sel.From[0].Table != "users" {
+		t.Errorf("from = %+v", sel.From)
+	}
+	if sel.Where == nil || sel.Limit == nil || sel.Offset == nil {
+		t.Error("missing clauses")
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Errorf("order by = %+v", sel.OrderBy)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	sel := mustParse(t, "SELECT *, u.* FROM users u").(*SelectStmt)
+	if !sel.Items[0].Star || sel.Items[0].Table != "" {
+		t.Errorf("item 0 = %+v", sel.Items[0])
+	}
+	if !sel.Items[1].Star || sel.Items[1].Table != "u" {
+		t.Errorf("item 1 = %+v", sel.Items[1])
+	}
+	if sel.From[0].Alias != "u" {
+		t.Errorf("alias = %q", sel.From[0].Alias)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	sel := mustParse(t, `SELECT a.x FROM t1 a JOIN t2 b ON a.id = b.id LEFT JOIN t3 ON b.k = t3.k CROSS JOIN t4`).(*SelectStmt)
+	if len(sel.From) != 4 {
+		t.Fatalf("from = %d refs", len(sel.From))
+	}
+	if sel.From[1].Join != JoinInner || sel.From[1].On == nil {
+		t.Error("inner join wrong")
+	}
+	if sel.From[2].Join != JoinLeft {
+		t.Error("left join wrong")
+	}
+	if sel.From[3].Join != JoinCross || sel.From[3].On != nil {
+		t.Error("cross join wrong")
+	}
+}
+
+func TestParseGroupHaving(t *testing.T) {
+	sel := mustParse(t, "SELECT dept, COUNT(*) c FROM emp GROUP BY dept HAVING COUNT(*) > 2").(*SelectStmt)
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("group/having missing")
+	}
+	fc := sel.Items[1].Expr.(*FuncCall)
+	if fc.Name != "COUNT" || !fc.Star {
+		t.Errorf("count = %+v", fc)
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	cases := []string{
+		"SELECT 1 + 2 * 3",
+		"SELECT -x FROM t",
+		"SELECT a || 'x' FROM t",
+		"SELECT x FROM t WHERE a = 1 AND b <> 2 OR NOT c",
+		"SELECT x FROM t WHERE name LIKE 'A%'",
+		"SELECT x FROM t WHERE name NOT LIKE 'A%'",
+		"SELECT x FROM t WHERE a IN (1, 2, 3)",
+		"SELECT x FROM t WHERE a NOT IN (SELECT b FROM u)",
+		"SELECT x FROM t WHERE a BETWEEN 1 AND 10 AND b = 2",
+		"SELECT x FROM t WHERE a IS NULL",
+		"SELECT x FROM t WHERE a IS NOT NULL",
+		"SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t",
+		"SELECT CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t",
+		"SELECT CAST(a AS TEXT) FROM t",
+		"SELECT COUNT(DISTINCT a) FROM t",
+		"SELECT COALESCE(a, b, 0) FROM t",
+		"SELECT x FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)",
+		"SELECT (SELECT MAX(b) FROM u) FROM t",
+		"SELECT x FROM t WHERE a = ? AND b > ?",
+		"SELECT x -- comment\nFROM t /* block */ WHERE a = 1",
+		"SELECT 'it''s' FROM t",
+		"SELECT \"select\" FROM t",
+	}
+	for _, q := range cases {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("Parse(%q): %v", q, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELEC x",
+		"SELECT",
+		"SELECT x FROM",
+		"SELECT x FROM t WHERE",
+		"SELECT x FROM t GROUP",
+		"INSERT INTO t",
+		"INSERT INTO t VALUES (1,)",
+		"UPDATE t",
+		"DELETE t",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (a FROBTYPE)",
+		"DROP",
+		"SELECT x FROM t extra garbage ,,",
+		"SELECT 'unterminated",
+		"SELECT x FROM t WHERE CASE END",
+	}
+	for _, q := range cases {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	ins := mustParse(t, "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").(*InsertStmt)
+	if ins.Table != "t" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Errorf("insert = %+v", ins)
+	}
+	ins = mustParse(t, "INSERT INTO t VALUES (1, 2)").(*InsertStmt)
+	if len(ins.Columns) != 0 || len(ins.Rows[0]) != 2 {
+		t.Errorf("insert = %+v", ins)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	upd := mustParse(t, "UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").(*UpdateStmt)
+	if len(upd.Set) != 2 || upd.Where == nil {
+		t.Errorf("update = %+v", upd)
+	}
+	del := mustParse(t, "DELETE FROM t WHERE a < 5").(*DeleteStmt)
+	if del.Table != "t" || del.Where == nil {
+		t.Errorf("delete = %+v", del)
+	}
+	del = mustParse(t, "DELETE FROM t").(*DeleteStmt)
+	if del.Where != nil {
+		t.Error("where should be nil")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	ct := mustParse(t, `CREATE TABLE emp (
+		id INT PRIMARY KEY,
+		name VARCHAR(64) NOT NULL,
+		salary FLOAT DEFAULT 0.0,
+		hired TIMESTAMP,
+		active BOOL DEFAULT TRUE
+	)`).(*CreateTableStmt)
+	s := ct.Schema
+	if s.Name != "emp" || len(s.Columns) != 5 {
+		t.Fatalf("schema = %+v", s)
+	}
+	if s.Columns[0].Type != storage.TypeInt || !s.Columns[0].NotNull {
+		t.Errorf("id column = %+v", s.Columns[0])
+	}
+	if len(s.PrimaryKey) != 1 || s.PrimaryKey[0] != "id" {
+		t.Errorf("pk = %v", s.PrimaryKey)
+	}
+	if s.Columns[2].Default != float64(0) {
+		t.Errorf("salary default = %v", s.Columns[2].Default)
+	}
+	if s.Columns[4].Default != true {
+		t.Errorf("active default = %v", s.Columns[4].Default)
+	}
+
+	ct = mustParse(t, "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))").(*CreateTableStmt)
+	if len(ct.Schema.PrimaryKey) != 2 {
+		t.Errorf("composite pk = %v", ct.Schema.PrimaryKey)
+	}
+	ct = mustParse(t, "CREATE TABLE IF NOT EXISTS t (a INT)").(*CreateTableStmt)
+	if !ct.IfNotExists {
+		t.Error("IF NOT EXISTS lost")
+	}
+}
+
+func TestParseCreateDropIndex(t *testing.T) {
+	ci := mustParse(t, "CREATE UNIQUE INDEX ix ON t (a, b) USING HASH").(*CreateIndexStmt)
+	if !ci.Info.Unique || ci.Info.Kind != storage.IndexHash || len(ci.Info.Columns) != 2 {
+		t.Errorf("index = %+v", ci.Info)
+	}
+	ci = mustParse(t, "CREATE INDEX ix ON t (a)").(*CreateIndexStmt)
+	if ci.Info.Kind != storage.IndexBTree {
+		t.Error("default kind should be btree")
+	}
+	di := mustParse(t, "DROP INDEX ix ON t").(*DropIndexStmt)
+	if di.Index != "ix" || di.Table != "t" {
+		t.Errorf("drop index = %+v", di)
+	}
+	dt := mustParse(t, "DROP TABLE IF EXISTS t").(*DropTableStmt)
+	if !dt.IfExists {
+		t.Error("IF EXISTS lost")
+	}
+}
+
+func TestParamNumbering(t *testing.T) {
+	sel := mustParse(t, "SELECT ? FROM t WHERE a = ? AND b = ?").(*SelectStmt)
+	p0 := sel.Items[0].Expr.(*Param)
+	if p0.Index != 0 {
+		t.Errorf("first param index = %d", p0.Index)
+	}
+	and := sel.Where.(*BinaryExpr)
+	p1 := and.Left.(*BinaryExpr).Right.(*Param)
+	p2 := and.Right.(*BinaryExpr).Right.(*Param)
+	if p1.Index != 1 || p2.Index != 2 {
+		t.Errorf("param indexes = %d, %d", p1.Index, p2.Index)
+	}
+}
+
+// Property-ish test: rendering an expression to SQL and reparsing it
+// yields an expression that renders identically (print→reparse fix
+// point).
+func TestExprPrintReparseFixpoint(t *testing.T) {
+	exprs := []string{
+		"SELECT (a + (2 * b)) FROM t",
+		"SELECT ((a = 1) AND (b <> 2)) FROM t",
+		"SELECT (name LIKE 'A%') FROM t",
+		"SELECT (a IN (1, 2, 3)) FROM t",
+		"SELECT (a BETWEEN 1 AND 10) FROM t",
+		"SELECT (a IS NOT NULL) FROM t",
+		"SELECT CASE WHEN (a > 1) THEN 'x' ELSE 'y' END FROM t",
+		"SELECT COUNT(*) FROM t",
+		"SELECT SUM(DISTINCT a) FROM t",
+		"SELECT CAST(a AS INT) FROM t",
+		"SELECT COALESCE(a, 'x') FROM t",
+	}
+	for _, q := range exprs {
+		sel1 := mustParse(t, q).(*SelectStmt)
+		printed := sel1.Items[0].Expr.String()
+		sel2 := mustParse(t, "SELECT "+printed+" FROM t").(*SelectStmt)
+		if got := sel2.Items[0].Expr.String(); got != printed {
+			t.Errorf("fixpoint failed:\n  once:  %s\n  twice: %s", printed, got)
+		}
+	}
+}
+
+func TestParseBetweenAndPrecedence(t *testing.T) {
+	// The AND inside BETWEEN must bind to BETWEEN, the outer one to the
+	// conjunction.
+	sel := mustParse(t, "SELECT x FROM t WHERE a BETWEEN 1 AND 10 AND b = 2").(*SelectStmt)
+	and, ok := sel.Where.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("top = %T %v", sel.Where, sel.Where)
+	}
+	if _, ok := and.Left.(*BetweenExpr); !ok {
+		t.Errorf("left of AND = %T", and.Left)
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	if _, err := Parse("select X from T where A = 1 order by X"); err != nil {
+		t.Errorf("lowercase keywords: %v", err)
+	}
+}
+
+func TestErrorReportsPosition(t *testing.T) {
+	_, err := Parse("SELECT x FROM t WHERE @")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var se *Error
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error lacks position: %v", err)
+	}
+	_ = se
+}
+
+// Property: the parser never panics, whatever the input.
+func TestParserNeverPanics(t *testing.T) {
+	inputs := []string{
+		"", ";;;", "SELECT", "SELECT ((((", "SELECT * FROM", "'",
+		"SELECT * FROM t WHERE a = ", "INSERT INTO", "CREATE TABLE t (",
+		"SELECT CASE", "SELECT CAST(x AS", "-- only a comment",
+		"/* unterminated", "SELECT 1e999999", "SELECT \x00\x01\x02",
+		"UNION SELECT 1", "SELECT 1 UNION", "SELECT 1 ORDER BY",
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Parse(%q) panicked: %v", in, r)
+				}
+			}()
+			Parse(in)
+		}()
+	}
+	f := func(s string) bool {
+		defer func() { recover() }()
+		Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,441 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// buildFrom materializes the joined row set of the FROM clause. It
+// returns the table bindings, the joined rows, and a short plan note for
+// the outermost table's access path.
+func (ex *executor) buildFrom(sel *SelectStmt, params []storage.Value, outer *rowEnv) ([]binding, []joined, string, error) {
+	if len(sel.From) == 0 {
+		// SELECT without FROM: one empty row, no bindings.
+		return nil, []joined{{}}, "const", nil
+	}
+
+	// First table: use the planner to pick an access path driven by WHERE.
+	first := sel.From[0]
+	firstSchema, err := ex.schemaOf(first.Table)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	bindings := []binding{{name: strings.ToLower(first.Name()), cols: lowerCols(firstSchema)}}
+	firstRows, plan, err := ex.scanTable(first.Table, bindings[0].name, sel.Where, params)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	rows := make([]joined, len(firstRows))
+	for i, r := range firstRows {
+		rows[i] = joined{r}
+	}
+
+	for _, ref := range sel.From[1:] {
+		schema, err := ex.schemaOf(ref.Table)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		newBinding := binding{name: strings.ToLower(ref.Name()), cols: lowerCols(schema)}
+		for _, b := range bindings {
+			if b.name == newBinding.name {
+				return nil, nil, "", fmt.Errorf("sql: duplicate table name or alias %q in FROM", ref.Name())
+			}
+		}
+		right, err := ex.allRows(ref.Table)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		rows, err = ex.join(bindings, newBinding, rows, right, ref, params, outer)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		bindings = append(bindings, newBinding)
+	}
+	return bindings, rows, plan, nil
+}
+
+// allRows scans every visible row of a table.
+func (ex *executor) allRows(table string) ([]storage.Row, error) {
+	var out []storage.Row
+	err := ex.tx.Scan(table, func(_ storage.RID, row storage.Row) bool {
+		out = append(out, row)
+		return true
+	})
+	return out, err
+}
+
+// scanTable returns the rows of a table, using an index access path when
+// the WHERE clause pins or bounds an indexed column of that table.
+func (ex *executor) scanTable(table, bindName string, where Expr, params []storage.Value) ([]storage.Row, string, error) {
+	if where != nil && !ex.db.DisableIndexes {
+		if rows, plan, ok, err := ex.tryIndexPath(table, bindName, where, params); err != nil {
+			return nil, "", err
+		} else if ok {
+			return rows, plan, nil
+		}
+	}
+	rows, err := ex.allRows(table)
+	return rows, "scan", err
+}
+
+// colBound is one sargable predicate on a column of the target table.
+type colBound struct {
+	column string
+	op     string // = < <= > >=
+	value  storage.Value
+}
+
+// tryIndexPath inspects the WHERE conjuncts for predicates of the form
+// <col> <op> <constant> on the target table and probes a matching index.
+func (ex *executor) tryIndexPath(table, bindName string, where Expr, params []storage.Value) ([]storage.Row, string, bool, error) {
+	bounds := collectBounds(where, bindName, params, ex)
+	if len(bounds) == 0 {
+		return nil, "", false, nil
+	}
+	infos, err := ex.db.Engine.Indexes(table)
+	if err != nil {
+		return nil, "", false, err
+	}
+
+	// Prefer an equality probe on the full index key; fall back to a
+	// range scan on a single-column btree index.
+	for _, info := range infos {
+		key := make([]storage.Value, 0, len(info.Columns))
+		for _, col := range info.Columns {
+			found := false
+			for _, b := range bounds {
+				if b.op == "=" && strings.EqualFold(b.column, col) {
+					key = append(key, b.value)
+					found = true
+					break
+				}
+			}
+			if !found {
+				break
+			}
+		}
+		if len(key) != len(info.Columns) {
+			continue
+		}
+		var rows []storage.Row
+		err := ex.tx.LookupEqual(table, info.Name, key, func(_ storage.RID, row storage.Row) bool {
+			rows = append(rows, row)
+			return true
+		})
+		if err != nil {
+			return nil, "", false, err
+		}
+		return rows, "index:" + info.Name, true, nil
+	}
+
+	for _, info := range infos {
+		if info.Kind != storage.IndexBTree || len(info.Columns) == 0 {
+			continue
+		}
+		col := info.Columns[0]
+		var lo, hi []storage.Value
+		matched := false
+		for _, b := range bounds {
+			if !strings.EqualFold(b.column, col) {
+				continue
+			}
+			switch b.op {
+			case ">", ">=":
+				// Half-open scan from the bound; residual WHERE evaluation
+				// re-checks strictness for ">".
+				if lo == nil {
+					lo = []storage.Value{b.value}
+					matched = true
+				}
+			case "<", "<=":
+				if hi == nil {
+					// For <= we cannot easily build an exclusive upper key
+					// on arbitrary types; scan to the bound plus an equality
+					// probe would be needed. Keep it simple: use the bound
+					// as the exclusive limit for "<", skip for "<=".
+					if b.op == "<" {
+						hi = []storage.Value{b.value}
+						matched = true
+					}
+				}
+			}
+		}
+		if !matched {
+			continue
+		}
+		var rows []storage.Row
+		err := ex.tx.ScanRange(table, info.Name, lo, hi, func(_ storage.RID, row storage.Row) bool {
+			rows = append(rows, row)
+			return true
+		})
+		if err != nil {
+			return nil, "", false, err
+		}
+		return rows, "index:" + info.Name, true, nil
+	}
+	return nil, "", false, nil
+}
+
+// collectBounds walks the top-level AND conjuncts of where, gathering
+// sargable predicates on bindName's columns whose other side is a
+// constant (literal, param, or constant-foldable expression).
+func collectBounds(where Expr, bindName string, params []storage.Value, ex *executor) []colBound {
+	var bounds []colBound
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		b, ok := e.(*BinaryExpr)
+		if !ok {
+			return
+		}
+		if b.Op == "AND" {
+			walk(b.Left)
+			walk(b.Right)
+			return
+		}
+		switch b.Op {
+		case "=", "<", "<=", ">", ">=":
+		default:
+			return
+		}
+		tryAdd := func(colSide, constSide Expr, op string) {
+			cr, ok := colSide.(*ColumnRef)
+			if !ok {
+				return
+			}
+			if cr.Table != "" && !strings.EqualFold(cr.Table, bindName) {
+				return
+			}
+			v, ok := constValue(constSide, params, ex)
+			if !ok {
+				return
+			}
+			bounds = append(bounds, colBound{column: cr.Column, op: op, value: v})
+		}
+		tryAdd(b.Left, b.Right, b.Op)
+		tryAdd(b.Right, b.Left, flipOp(b.Op))
+	}
+	walk(where)
+	return bounds
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// constValue evaluates e when it contains no column references.
+func constValue(e Expr, params []storage.Value, ex *executor) (storage.Value, bool) {
+	if hasColumnRef(e) {
+		return nil, false
+	}
+	ec := &evalCtx{params: params, now: ex.now}
+	v, err := ec.eval(e)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+func hasColumnRef(e Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *ColumnRef:
+		return true
+	case *BinaryExpr:
+		return hasColumnRef(x.Left) || hasColumnRef(x.Right)
+	case *UnaryExpr:
+		return hasColumnRef(x.X)
+	case *FuncCall:
+		for _, a := range x.Args {
+			if hasColumnRef(a) {
+				return true
+			}
+		}
+		return false
+	case *CastExpr:
+		return hasColumnRef(x.X)
+	case *Literal, *Param:
+		return false
+	default:
+		// Conservative: subqueries, CASE, IN etc. are not treated as
+		// constants.
+		return true
+	}
+}
+
+// join combines the accumulated rows with a new table. Inner equi-joins
+// use a hash join; everything else is a nested loop.
+func (ex *executor) join(oldBindings []binding, newB binding, left []joined, right []storage.Row, ref TableRef, params []storage.Value, outer *rowEnv) ([]joined, error) {
+	var out []joined
+	allBindings := append(append([]binding(nil), oldBindings...), newB)
+
+	if ref.Join == JoinCross {
+		for _, l := range left {
+			for _, r := range right {
+				out = append(out, append(append(joined(nil), l...), r))
+			}
+		}
+		return out, nil
+	}
+
+	// Hash-join fast path: On is exactly `A = B` with one side resolving
+	// in the old bindings and the other in the new table.
+	if leftExpr, rightExpr, ok := equiJoinSides(ref.On, oldBindings, newB); ok {
+		table := make(map[string][]storage.Row, len(right))
+		rec := &evalCtx{params: params, now: ex.now, exec: ex}
+		for _, r := range right {
+			rec.row = makeEnv([]binding{newB}, joined{r}, nil)
+			v, err := rec.eval(rightExpr)
+			if err != nil {
+				return nil, err
+			}
+			if v == nil {
+				continue // NULL never equi-joins
+			}
+			k := storage.EncodeKey(v)
+			table[k] = append(table[k], r)
+		}
+		for _, l := range left {
+			lec := &evalCtx{params: params, now: ex.now, exec: ex,
+				row: makeEnv(oldBindings, l, outer)}
+			v, err := lec.eval(leftExpr)
+			if err != nil {
+				return nil, err
+			}
+			var matches []storage.Row
+			if v != nil {
+				matches = table[storage.EncodeKey(v)]
+			}
+			if len(matches) == 0 {
+				if ref.Join == JoinLeft {
+					out = append(out, append(append(joined(nil), l...), nil))
+				}
+				continue
+			}
+			for _, r := range matches {
+				out = append(out, append(append(joined(nil), l...), r))
+			}
+		}
+		return out, nil
+	}
+
+	// General nested loop.
+	for _, l := range left {
+		matched := false
+		for _, r := range right {
+			row := append(append(joined(nil), l...), r)
+			ec := &evalCtx{params: params, now: ex.now, exec: ex,
+				row: makeEnv(allBindings, row, outer)}
+			ok, err := ec.evalBool(ref.On)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				matched = true
+				out = append(out, row)
+			}
+		}
+		if !matched && ref.Join == JoinLeft {
+			out = append(out, append(append(joined(nil), l...), nil))
+		}
+	}
+	return out, nil
+}
+
+// equiJoinSides reports whether on is `X = Y` with X referencing only old
+// bindings and Y only the new one (in some order). It returns the
+// old-side and new-side expressions.
+func equiJoinSides(on Expr, oldBindings []binding, newB binding) (oldSide, newSide Expr, ok bool) {
+	b, isBin := on.(*BinaryExpr)
+	if !isBin || b.Op != "=" {
+		return nil, nil, false
+	}
+	oldNames := map[string]bool{}
+	oldCols := map[string]int{}
+	for _, ob := range oldBindings {
+		oldNames[ob.name] = true
+		for _, c := range ob.cols {
+			oldCols[c]++
+		}
+	}
+	newCols := map[string]bool{}
+	for _, c := range newB.cols {
+		newCols[c] = true
+	}
+	side := func(e Expr) (onlyOld, onlyNew, valid bool) {
+		onlyOld, onlyNew, valid = true, true, true
+		var walk func(Expr)
+		walk = func(e Expr) {
+			if !valid {
+				return
+			}
+			switch x := e.(type) {
+			case *ColumnRef:
+				col := strings.ToLower(x.Column)
+				tbl := strings.ToLower(x.Table)
+				switch {
+				case tbl == newB.name:
+					onlyOld = false
+				case tbl != "" && oldNames[tbl]:
+					onlyNew = false
+				case tbl == "":
+					inOld := oldCols[col] > 0
+					inNew := newCols[col]
+					switch {
+					case inOld && inNew:
+						valid = false // ambiguous, fall back to nested loop
+					case inOld:
+						onlyNew = false
+					case inNew:
+						onlyOld = false
+					default:
+						valid = false
+					}
+				default:
+					valid = false
+				}
+			case *BinaryExpr:
+				walk(x.Left)
+				walk(x.Right)
+			case *UnaryExpr:
+				walk(x.X)
+			case *FuncCall:
+				for _, a := range x.Args {
+					walk(a)
+				}
+			case *CastExpr:
+				walk(x.X)
+			case *Literal, *Param:
+			default:
+				valid = false
+			}
+		}
+		walk(e)
+		return
+	}
+	lOld, lNew, lValid := side(b.Left)
+	rOld, rNew, rValid := side(b.Right)
+	if !lValid || !rValid {
+		return nil, nil, false
+	}
+	switch {
+	case lOld && rNew:
+		return b.Left, b.Right, true
+	case lNew && rOld:
+		return b.Right, b.Left, true
+	}
+	return nil, nil, false
+}

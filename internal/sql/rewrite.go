@@ -1,0 +1,152 @@
+package sql
+
+// RewriteTables returns a copy of the statement with every referenced
+// table name mapped through fn. The tenant layer uses this to namespace
+// logical table names into per-tenant physical tables while sharing one
+// storage engine (the paper's multi-tenant "one database stores all
+// customers' data" model, §2).
+//
+// Index names in CREATE/DROP INDEX are mapped too, so per-tenant indexes
+// cannot collide.
+func RewriteTables(stmt Statement, fn func(string) string) Statement {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return rewriteSelect(s, fn)
+	case *InsertStmt:
+		ns := *s
+		ns.Table = fn(s.Table)
+		ns.Rows = make([][]Expr, len(s.Rows))
+		for i, row := range s.Rows {
+			ns.Rows[i] = rewriteExprs(row, fn)
+		}
+		return &ns
+	case *UpdateStmt:
+		ns := *s
+		ns.Table = fn(s.Table)
+		ns.Set = make([]Assignment, len(s.Set))
+		for i, a := range s.Set {
+			ns.Set[i] = Assignment{Column: a.Column, Value: rewriteExpr(a.Value, fn)}
+		}
+		ns.Where = rewriteExpr(s.Where, fn)
+		return &ns
+	case *DeleteStmt:
+		ns := *s
+		ns.Table = fn(s.Table)
+		ns.Where = rewriteExpr(s.Where, fn)
+		return &ns
+	case *CreateTableStmt:
+		ns := *s
+		schema := s.Schema.Clone()
+		schema.Name = fn(s.Schema.Name)
+		ns.Schema = schema
+		return &ns
+	case *CreateIndexStmt:
+		ns := *s
+		ns.Info.Table = fn(s.Info.Table)
+		ns.Info.Name = fn(s.Info.Name)
+		ns.Info.Columns = append([]string(nil), s.Info.Columns...)
+		return &ns
+	case *DropTableStmt:
+		ns := *s
+		ns.Table = fn(s.Table)
+		return &ns
+	case *DropIndexStmt:
+		ns := *s
+		ns.Table = fn(s.Table)
+		ns.Index = fn(s.Index)
+		return &ns
+	default:
+		return stmt
+	}
+}
+
+func rewriteSelect(s *SelectStmt, fn func(string) string) *SelectStmt {
+	if s == nil {
+		return nil
+	}
+	ns := *s
+	ns.From = make([]TableRef, len(s.From))
+	for i, ref := range s.From {
+		nr := ref
+		nr.Table = fn(ref.Table)
+		if nr.Alias == "" {
+			// Preserve the logical name as the binding alias so column
+			// qualifiers keep working after the physical rename.
+			nr.Alias = ref.Table
+		}
+		nr.On = rewriteExpr(ref.On, fn)
+		ns.From[i] = nr
+	}
+	ns.Items = make([]SelectItem, len(s.Items))
+	for i, item := range s.Items {
+		ni := item
+		ni.Expr = rewriteExpr(item.Expr, fn)
+		ns.Items[i] = ni
+	}
+	ns.Where = rewriteExpr(s.Where, fn)
+	ns.GroupBy = rewriteExprs(s.GroupBy, fn)
+	ns.Having = rewriteExpr(s.Having, fn)
+	ns.OrderBy = make([]OrderItem, len(s.OrderBy))
+	for i, oi := range s.OrderBy {
+		ns.OrderBy[i] = OrderItem{Expr: rewriteExpr(oi.Expr, fn), Desc: oi.Desc}
+	}
+	ns.Limit = rewriteExpr(s.Limit, fn)
+	ns.Offset = rewriteExpr(s.Offset, fn)
+	ns.Union = rewriteSelect(s.Union, fn)
+	return &ns
+}
+
+func rewriteExprs(exprs []Expr, fn func(string) string) []Expr {
+	if exprs == nil {
+		return nil
+	}
+	out := make([]Expr, len(exprs))
+	for i, e := range exprs {
+		out[i] = rewriteExpr(e, fn)
+	}
+	return out
+}
+
+// rewriteExpr descends into subqueries; plain expressions are shared
+// (they contain no table names — column qualifiers refer to FROM aliases,
+// which rewriteSelect preserves).
+func rewriteExpr(e Expr, fn func(string) string) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *SubqueryExpr:
+		return &SubqueryExpr{Sub: rewriteSelect(x.Sub, fn)}
+	case *ExistsExpr:
+		return &ExistsExpr{Sub: rewriteSelect(x.Sub, fn), Not: x.Not}
+	case *InExpr:
+		ni := *x
+		ni.X = rewriteExpr(x.X, fn)
+		ni.List = rewriteExprs(x.List, fn)
+		if x.Sub != nil {
+			ni.Sub = rewriteSelect(x.Sub, fn)
+		}
+		return &ni
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, Left: rewriteExpr(x.Left, fn), Right: rewriteExpr(x.Right, fn)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, X: rewriteExpr(x.X, fn)}
+	case *FuncCall:
+		nf := *x
+		nf.Args = rewriteExprs(x.Args, fn)
+		return &nf
+	case *BetweenExpr:
+		return &BetweenExpr{X: rewriteExpr(x.X, fn), Lo: rewriteExpr(x.Lo, fn), Hi: rewriteExpr(x.Hi, fn), Not: x.Not}
+	case *IsNullExpr:
+		return &IsNullExpr{X: rewriteExpr(x.X, fn), Not: x.Not}
+	case *CaseExpr:
+		nc := &CaseExpr{Operand: rewriteExpr(x.Operand, fn), Else: rewriteExpr(x.Else, fn)}
+		for _, w := range x.Whens {
+			nc.Whens = append(nc.Whens, WhenClause{Cond: rewriteExpr(w.Cond, fn), Then: rewriteExpr(w.Then, fn)})
+		}
+		return nc
+	case *CastExpr:
+		return &CastExpr{X: rewriteExpr(x.X, fn), To: x.To}
+	default:
+		return e
+	}
+}

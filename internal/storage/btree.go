@@ -1,0 +1,195 @@
+package storage
+
+import "sort"
+
+// btree is an in-memory B+tree mapping order-preserving string keys to
+// sets of row ids. It backs ordered secondary indexes: equality probes,
+// half-open range scans and full in-order traversal. Keys are the
+// EncodeKey form of the indexed column tuple, so lexicographic key order
+// equals value order.
+//
+// The tree is not safe for concurrent use; the owning table serializes
+// access.
+type btree struct {
+	root   *btreeNode
+	degree int // max children per interior node
+	size   int // number of distinct keys
+}
+
+type btreeNode struct {
+	leaf     bool
+	keys     []string
+	children []*btreeNode // interior: len(keys)+1 children
+	vals     [][]rowID    // leaf: parallel to keys
+	next     *btreeNode   // leaf chain for range scans
+}
+
+const defaultBTreeDegree = 64
+
+func newBTree() *btree {
+	return &btree{
+		root:   &btreeNode{leaf: true},
+		degree: defaultBTreeDegree,
+	}
+}
+
+// Len reports the number of distinct keys in the tree.
+func (t *btree) Len() int { return t.size }
+
+// Insert adds id under key, creating the key when absent.
+func (t *btree) Insert(key string, id rowID) {
+	if len(t.root.keys) >= t.maxKeys() {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.splitChild(t.root, 0)
+	}
+	t.insertNonFull(t.root, key, id)
+}
+
+func (t *btree) maxKeys() int { return t.degree - 1 }
+
+func (t *btree) insertNonFull(n *btreeNode, key string, id rowID) {
+	for {
+		i := sort.SearchStrings(n.keys, key)
+		if n.leaf {
+			if i < len(n.keys) && n.keys[i] == key {
+				n.vals[i] = append(n.vals[i], id)
+				return
+			}
+			n.keys = append(n.keys, "")
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = key
+			n.vals = append(n.vals, nil)
+			copy(n.vals[i+1:], n.vals[i:])
+			n.vals[i] = []rowID{id}
+			t.size++
+			return
+		}
+		// Same convention as Get/Delete: keys equal to a separator live in
+		// the right subtree.
+		if i < len(n.keys) && n.keys[i] == key {
+			i++
+		}
+		if len(n.children[i].keys) >= t.maxKeys() {
+			t.splitChild(n, i)
+			if key >= n.keys[i] {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// splitChild splits the full child at position i of parent p. For leaves
+// the separator key is copied up (B+tree style); for interior nodes it
+// moves up.
+func (t *btree) splitChild(p *btreeNode, i int) {
+	child := p.children[i]
+	mid := len(child.keys) / 2
+	var sep string
+	right := &btreeNode{leaf: child.leaf}
+	if child.leaf {
+		sep = child.keys[mid]
+		right.keys = append(right.keys, child.keys[mid:]...)
+		right.vals = append(right.vals, child.vals[mid:]...)
+		child.keys = child.keys[:mid:mid]
+		child.vals = child.vals[:mid:mid]
+		right.next = child.next
+		child.next = right
+	} else {
+		sep = child.keys[mid]
+		right.keys = append(right.keys, child.keys[mid+1:]...)
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.keys = child.keys[:mid:mid]
+		child.children = child.children[: mid+1 : mid+1]
+	}
+	p.keys = append(p.keys, "")
+	copy(p.keys[i+1:], p.keys[i:])
+	p.keys[i] = sep
+	p.children = append(p.children, nil)
+	copy(p.children[i+2:], p.children[i+1:])
+	p.children[i+1] = right
+}
+
+// Delete removes id from key's posting list, dropping the key when the
+// list empties. Underflowed nodes are left in place (deletes are rare
+// relative to scans in this workload; structure is rebuilt on checkpoint
+// load), which keeps the invariant simple: keys always route correctly.
+func (t *btree) Delete(key string, id rowID) {
+	n := t.root
+	for !n.leaf {
+		i := sort.SearchStrings(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			i++
+		}
+		n = n.children[i]
+	}
+	i := sort.SearchStrings(n.keys, key)
+	if i >= len(n.keys) || n.keys[i] != key {
+		return
+	}
+	ids := n.vals[i]
+	for j, got := range ids {
+		if got == id {
+			ids[j] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		t.size--
+		return
+	}
+	n.vals[i] = ids
+}
+
+// Get returns the posting list for an exact key (nil when absent). The
+// returned slice is owned by the tree; callers must not modify it.
+func (t *btree) Get(key string) []rowID {
+	n := t.root
+	for !n.leaf {
+		i := sort.SearchStrings(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			i++
+		}
+		n = n.children[i]
+	}
+	i := sort.SearchStrings(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i]
+	}
+	return nil
+}
+
+// Range visits keys in [lo, hi) in ascending order, calling fn with each
+// key's posting list. Empty lo means from the start; empty hi means to the
+// end. fn returning false stops the scan.
+func (t *btree) Range(lo, hi string, fn func(key string, ids []rowID) bool) {
+	n := t.root
+	for !n.leaf {
+		i := sort.SearchStrings(n.keys, lo)
+		if i < len(n.keys) && n.keys[i] == lo {
+			i++
+		}
+		n = n.children[i]
+	}
+	for n != nil {
+		start := sort.SearchStrings(n.keys, lo)
+		for i := start; i < len(n.keys); i++ {
+			if hi != "" && n.keys[i] >= hi {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Ascend visits every key in order.
+func (t *btree) Ascend(fn func(key string, ids []rowID) bool) {
+	t.Range("", "", fn)
+}

@@ -1,0 +1,214 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeInsertGet(t *testing.T) {
+	bt := newBTree()
+	for i := 0; i < 1000; i++ {
+		bt.Insert(fmt.Sprintf("k%06d", i), rowID(i))
+	}
+	if bt.Len() != 1000 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		ids := bt.Get(fmt.Sprintf("k%06d", i))
+		if len(ids) != 1 || ids[0] != rowID(i) {
+			t.Fatalf("Get(k%06d) = %v", i, ids)
+		}
+	}
+	if bt.Get("missing") != nil {
+		t.Error("Get(missing) should be nil")
+	}
+}
+
+func TestBTreeDuplicateKeys(t *testing.T) {
+	bt := newBTree()
+	for i := 0; i < 10; i++ {
+		bt.Insert("same", rowID(i))
+	}
+	if bt.Len() != 1 {
+		t.Errorf("Len = %d, want 1 distinct key", bt.Len())
+	}
+	if got := len(bt.Get("same")); got != 10 {
+		t.Errorf("posting list length = %d", got)
+	}
+	bt.Delete("same", rowID(3))
+	if got := len(bt.Get("same")); got != 9 {
+		t.Errorf("after delete, posting list length = %d", got)
+	}
+}
+
+func TestBTreeRange(t *testing.T) {
+	bt := newBTree()
+	for i := 0; i < 500; i++ {
+		bt.Insert(fmt.Sprintf("%04d", i), rowID(i))
+	}
+	var got []string
+	bt.Range("0100", "0200", func(k string, _ []rowID) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 100 {
+		t.Fatalf("range size = %d", len(got))
+	}
+	if got[0] != "0100" || got[99] != "0199" {
+		t.Errorf("range bounds: %s .. %s", got[0], got[99])
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Error("range not sorted")
+	}
+	// Unbounded scans.
+	n := 0
+	bt.Ascend(func(string, []rowID) bool { n++; return true })
+	if n != 500 {
+		t.Errorf("Ascend visited %d keys", n)
+	}
+	// Early stop.
+	n = 0
+	bt.Range("", "", func(string, []rowID) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestBTreeDeleteReinsert(t *testing.T) {
+	bt := newBTree()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		bt.Insert(fmt.Sprintf("%05d", i), rowID(i))
+	}
+	for i := 0; i < n; i += 2 {
+		bt.Delete(fmt.Sprintf("%05d", i), rowID(i))
+	}
+	if bt.Len() != n/2 {
+		t.Fatalf("Len after deletes = %d", bt.Len())
+	}
+	for i := 0; i < n; i++ {
+		ids := bt.Get(fmt.Sprintf("%05d", i))
+		if i%2 == 0 && ids != nil {
+			t.Fatalf("deleted key %d still present", i)
+		}
+		if i%2 == 1 && len(ids) != 1 {
+			t.Fatalf("kept key %d missing", i)
+		}
+	}
+	// Reinsert the deleted half; the tree must route correctly through
+	// stale separators.
+	for i := 0; i < n; i += 2 {
+		bt.Insert(fmt.Sprintf("%05d", i), rowID(i+10000))
+	}
+	for i := 0; i < n; i += 2 {
+		ids := bt.Get(fmt.Sprintf("%05d", i))
+		if len(ids) != 1 || ids[0] != rowID(i+10000) {
+			t.Fatalf("reinserted key %d wrong: %v", i, ids)
+		}
+	}
+}
+
+// Property: a btree behaves like a sorted map from key to multiset of ids.
+func TestBTreeQuickAgainstModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		bt := newBTree()
+		model := map[string][]rowID{}
+		rng := rand.New(rand.NewSource(42))
+		for _, op := range ops {
+			key := fmt.Sprintf("%03d", op%200)
+			id := rowID(op)
+			if op%3 == 0 && len(model[key]) > 0 {
+				victim := model[key][rng.Intn(len(model[key]))]
+				bt.Delete(key, victim)
+				ids := model[key]
+				for i, got := range ids {
+					if got == victim {
+						ids[i] = ids[len(ids)-1]
+						ids = ids[:len(ids)-1]
+						break
+					}
+				}
+				if len(ids) == 0 {
+					delete(model, key)
+				} else {
+					model[key] = ids
+				}
+			} else {
+				bt.Insert(key, id)
+				model[key] = append(model[key], id)
+			}
+		}
+		if bt.Len() != len(model) {
+			return false
+		}
+		for key, want := range model {
+			got := bt.Get(key)
+			if len(got) != len(want) {
+				return false
+			}
+		}
+		// Full scan order equals sorted model keys.
+		var keys []string
+		bt.Ascend(func(k string, _ []rowID) bool { keys = append(keys, k); return true })
+		if !sort.StringsAreSorted(keys) {
+			return false
+		}
+		return len(keys) == len(model)
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: index scans and table scans agree on the visible row set.
+func TestIndexScanEquivalence(t *testing.T) {
+	e := newTestEngine(t)
+	if err := e.CreateIndex(IndexInfo{Name: "users_age_bt", Table: "users", Columns: []string{"age"}, Kind: IndexBTree}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		mustInsert(t, e, "users", Row{int64(i), fmt.Sprintf("u%d", i), int64(rng.Intn(40)), nil})
+	}
+	// Delete a random third.
+	e.Update(func(tx *Tx) error {
+		return tx.Scan("users", func(rid RID, row Row) bool {
+			if rng.Intn(3) == 0 {
+				tx.DeleteRID("users", rid)
+			}
+			return true
+		})
+	})
+	for trial := 0; trial < 20; trial++ {
+		lo := int64(rng.Intn(40))
+		hi := lo + int64(rng.Intn(10))
+		viaScan := map[RID]bool{}
+		viaIndex := map[RID]bool{}
+		e.View(func(tx *Tx) error {
+			tx.Scan("users", func(rid RID, row Row) bool {
+				age := row[2].(int64)
+				if age >= lo && age < hi {
+					viaScan[rid] = true
+				}
+				return true
+			})
+			tx.ScanRange("users", "users_age_bt", []Value{lo}, []Value{hi}, func(rid RID, row Row) bool {
+				viaIndex[rid] = true
+				return true
+			})
+			return nil
+		})
+		if len(viaScan) != len(viaIndex) {
+			t.Fatalf("trial %d [%d,%d): scan=%d index=%d", trial, lo, hi, len(viaScan), len(viaIndex))
+		}
+		for rid := range viaScan {
+			if !viaIndex[rid] {
+				t.Fatalf("trial %d: rid %d in scan but not index", trial, rid)
+			}
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Binary codec shared by the WAL and snapshot files. Values are encoded as
+// a one-byte tag followed by a fixed or length-prefixed payload. All
+// integers are unsigned varints unless noted.
+
+const (
+	tagNull  byte = 0
+	tagInt   byte = 1
+	tagFloat byte = 2
+	tagStr   byte = 3
+	tagBool  byte = 4
+	tagTime  byte = 5
+	tagBytes byte = 6
+)
+
+type encoder struct {
+	w   *bufio.Writer
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func newEncoder(w io.Writer) *encoder {
+	if bw, ok := w.(*bufio.Writer); ok {
+		return &encoder{w: bw}
+	}
+	return &encoder{w: bufio.NewWriter(w)}
+}
+
+func (e *encoder) flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+func (e *encoder) byte(b byte) {
+	if e.err == nil {
+		e.err = e.w.WriteByte(b)
+	}
+}
+
+func (e *encoder) uvarint(u uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], u)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) varint(i int64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutVarint(e.buf[:], i)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.uvarint(uint64(len(b)))
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+func (e *encoder) value(v Value) {
+	switch x := Normalize(v).(type) {
+	case nil:
+		e.byte(tagNull)
+	case int64:
+		e.byte(tagInt)
+		e.varint(x)
+	case float64:
+		e.byte(tagFloat)
+		e.uvarint(math.Float64bits(x))
+	case string:
+		e.byte(tagStr)
+		e.str(x)
+	case bool:
+		e.byte(tagBool)
+		if x {
+			e.byte(1)
+		} else {
+			e.byte(0)
+		}
+	case time.Time:
+		e.byte(tagTime)
+		e.varint(x.UnixMicro())
+	case []byte:
+		e.byte(tagBytes)
+		e.bytes(x)
+	default:
+		if e.err == nil {
+			e.err = fmt.Errorf("storage: cannot encode value of type %T", v)
+		}
+	}
+}
+
+func (e *encoder) row(r Row) {
+	e.uvarint(uint64(len(r)))
+	for _, v := range r {
+		e.value(v)
+	}
+}
+
+func (e *encoder) schema(s *Schema) {
+	e.str(s.Name)
+	e.uvarint(uint64(len(s.Columns)))
+	for _, c := range s.Columns {
+		e.str(c.Name)
+		e.byte(byte(c.Type))
+		if c.NotNull {
+			e.byte(1)
+		} else {
+			e.byte(0)
+		}
+		e.value(c.Default)
+	}
+	e.uvarint(uint64(len(s.PrimaryKey)))
+	for _, pk := range s.PrimaryKey {
+		e.str(pk)
+	}
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func newDecoder(r io.Reader) *decoder {
+	if br, ok := r.(*bufio.Reader); ok {
+		return &decoder{r: br}
+	}
+	return &decoder{r: bufio.NewReader(r)}
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil && err != nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.r.ReadByte()
+	d.fail(err)
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	u, err := binary.ReadUvarint(d.r)
+	d.fail(err)
+	return u
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	i, err := binary.ReadVarint(d.r)
+	d.fail(err)
+	return i
+}
+
+// maxBlob bounds length prefixes so a corrupt file cannot trigger a huge
+// allocation.
+const maxBlob = 1 << 30
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxBlob {
+		d.fail(fmt.Errorf("storage: corrupt length %d", n))
+		return ""
+	}
+	b := make([]byte, n)
+	_, err := io.ReadFull(d.r, b)
+	d.fail(err)
+	return string(b)
+}
+
+func (d *decoder) blob() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxBlob {
+		d.fail(fmt.Errorf("storage: corrupt length %d", n))
+		return nil
+	}
+	b := make([]byte, n)
+	_, err := io.ReadFull(d.r, b)
+	d.fail(err)
+	return b
+}
+
+func (d *decoder) value() Value {
+	switch tag := d.byte(); tag {
+	case tagNull:
+		return nil
+	case tagInt:
+		return d.varint()
+	case tagFloat:
+		return math.Float64frombits(d.uvarint())
+	case tagStr:
+		return d.str()
+	case tagBool:
+		return d.byte() == 1
+	case tagTime:
+		return time.UnixMicro(d.varint()).UTC()
+	case tagBytes:
+		return d.blob()
+	default:
+		d.fail(fmt.Errorf("storage: corrupt value tag %d", tag))
+		return nil
+	}
+}
+
+func (d *decoder) row() Row {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxBlob {
+		d.fail(fmt.Errorf("storage: corrupt row arity %d", n))
+		return nil
+	}
+	r := make(Row, n)
+	for i := range r {
+		r[i] = d.value()
+	}
+	return r
+}
+
+func (d *decoder) schema() *Schema {
+	s := &Schema{Name: d.str()}
+	ncols := d.uvarint()
+	if d.err != nil || ncols > 1<<16 {
+		d.fail(fmt.Errorf("storage: corrupt schema"))
+		return nil
+	}
+	s.Columns = make([]Column, ncols)
+	for i := range s.Columns {
+		s.Columns[i].Name = d.str()
+		s.Columns[i].Type = Type(d.byte())
+		s.Columns[i].NotNull = d.byte() == 1
+		s.Columns[i].Default = d.value()
+	}
+	npk := d.uvarint()
+	if d.err != nil || npk > ncols {
+		d.fail(fmt.Errorf("storage: corrupt schema pk"))
+		return nil
+	}
+	s.PrimaryKey = make([]string, npk)
+	for i := range s.PrimaryKey {
+		s.PrimaryKey[i] = d.str()
+	}
+	return s
+}

@@ -1,0 +1,610 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// SyncMode selects the durability of committed transactions.
+type SyncMode uint8
+
+const (
+	// SyncNone keeps WAL records in the process buffer; a crash may lose
+	// recent commits. Fastest.
+	SyncNone SyncMode = iota
+	// SyncBuffered flushes WAL records to the operating system at every
+	// commit; an OS crash may lose recent commits, a process crash does not.
+	SyncBuffered
+	// SyncFull fsyncs the WAL at every commit. Slowest, fully durable.
+	SyncFull
+)
+
+// Options configure Open.
+type Options struct {
+	// Dir is the data directory. Empty means a purely in-memory engine
+	// with no durability.
+	Dir string
+	// Sync selects WAL durability (ignored for in-memory engines).
+	Sync SyncMode
+}
+
+// Common error values returned by the engine.
+var (
+	ErrTableExists   = errors.New("storage: table already exists")
+	ErrNoTable       = errors.New("storage: no such table")
+	ErrNoIndex       = errors.New("storage: no such index")
+	ErrIndexExists   = errors.New("storage: index already exists")
+	ErrDuplicate     = errors.New("storage: unique constraint violation")
+	ErrConflict      = errors.New("storage: transaction conflict")
+	ErrTxDone        = errors.New("storage: transaction already finished")
+	ErrNoRow         = errors.New("storage: no such row")
+	ErrClosed        = errors.New("storage: engine closed")
+	ErrRowNotVisible = errors.New("storage: row not visible to transaction")
+)
+
+// rowID indexes a version slot within a table.
+type rowID uint32
+
+// RID is the stable, engine-wide identity of a row version. RIDs survive
+// restarts and checkpoints and are how callers address updates/deletes.
+type RID uint64
+
+type txStatus uint8
+
+const (
+	txActive txStatus = iota
+	txCommitted
+	txAborted
+)
+
+// version is one MVCC version of a row.
+type version struct {
+	rid  RID
+	row  Row
+	xmin uint64 // creating transaction; 0 means frozen (always committed)
+	xmax uint64 // deleting transaction; 0 means live
+}
+
+// IndexKind selects the index structure.
+type IndexKind uint8
+
+const (
+	// IndexHash supports equality probes only.
+	IndexHash IndexKind = iota
+	// IndexBTree supports equality probes and ordered range scans.
+	IndexBTree
+)
+
+func (k IndexKind) String() string {
+	if k == IndexHash {
+		return "hash"
+	}
+	return "btree"
+}
+
+// IndexInfo describes a secondary index.
+type IndexInfo struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+	Kind    IndexKind
+}
+
+type index struct {
+	info IndexInfo
+	cols []int              // column positions
+	hash map[string][]rowID // IndexHash
+	tree *btree             // IndexBTree
+}
+
+func (ix *index) insert(key string, id rowID) {
+	if ix.tree != nil {
+		ix.tree.Insert(key, id)
+		return
+	}
+	ix.hash[key] = append(ix.hash[key], id)
+}
+
+func (ix *index) remove(key string, id rowID) {
+	if ix.tree != nil {
+		ix.tree.Delete(key, id)
+		return
+	}
+	ids := ix.hash[key]
+	for i, got := range ids {
+		if got == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(ix.hash, key)
+		return
+	}
+	ix.hash[key] = ids
+}
+
+func (ix *index) lookup(key string) []rowID {
+	if ix.tree != nil {
+		return ix.tree.Get(key)
+	}
+	return ix.hash[key]
+}
+
+func (ix *index) keyFor(row Row) string {
+	vals := make([]Value, len(ix.cols))
+	for i, c := range ix.cols {
+		vals[i] = row[c]
+	}
+	return EncodeKey(vals...)
+}
+
+// table holds the versions and indexes of one relation.
+type table struct {
+	mu       sync.RWMutex
+	schema   *Schema
+	versions []version
+	byRID    map[RID]rowID
+	indexes  map[string]*index // lower-cased index name
+	pkIndex  *index            // nil when the table has no primary key
+	dead     int               // committed-dead version count, drives vacuum
+}
+
+// Engine is the storage engine. It is safe for concurrent use.
+type Engine struct {
+	opts Options
+
+	mu     sync.RWMutex // guards tables map and closing
+	tables map[string]*table
+	closed bool
+
+	txMu     sync.Mutex // guards txActive and txAborted
+	txActive map[uint64]bool
+	// txAborted retains aborted transaction ids until vacuum rewrites
+	// the row versions that reference them; committed ids need no entry
+	// (statusOf treats unknown ids as committed).
+	txAborted map[uint64]bool
+	nextTxID  atomic.Uint64
+	nextRID   atomic.Uint64
+
+	seqMu sync.Mutex
+	seqs  map[string]int64
+
+	wal *wal // nil for in-memory engines
+
+	statsReads  atomic.Uint64
+	statsWrites atomic.Uint64
+}
+
+// Open creates or recovers an engine. With a non-empty Options.Dir the
+// directory is created if needed, the latest snapshot is loaded and the
+// WAL replayed.
+func Open(opts Options) (*Engine, error) {
+	e := &Engine{
+		opts:      opts,
+		tables:    make(map[string]*table),
+		txActive:  make(map[uint64]bool),
+		txAborted: make(map[uint64]bool),
+		seqs:      make(map[string]int64),
+	}
+	e.nextTxID.Store(1)
+	e.nextRID.Store(1)
+	if opts.Dir == "" {
+		return e, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create dir: %w", err)
+	}
+	if err := e.loadSnapshot(filepath.Join(opts.Dir, snapshotFile)); err != nil {
+		return nil, err
+	}
+	w, err := openWAL(filepath.Join(opts.Dir, walFile), opts.Sync)
+	if err != nil {
+		return nil, err
+	}
+	e.wal = w
+	if err := e.replayWAL(); err != nil {
+		w.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// MustOpenMemory returns an in-memory engine, panicking on failure. It is
+// a convenience for tests and examples.
+func MustOpenMemory() *Engine {
+	e, err := Open(Options{})
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Close flushes the WAL and releases resources. Closing twice is an error.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.closed = true
+	if e.wal != nil {
+		return e.wal.Close()
+	}
+	return nil
+}
+
+// Dir reports the data directory ("" for in-memory engines).
+func (e *Engine) Dir() string { return e.opts.Dir }
+
+// Stats reports cumulative engine counters.
+type Stats struct {
+	Tables int
+	Rows   int // live committed rows across all tables
+	Reads  uint64
+	Writes uint64
+}
+
+// Stats returns a point-in-time snapshot of engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := Stats{
+		Tables: len(e.tables),
+		Reads:  e.statsReads.Load(),
+		Writes: e.statsWrites.Load(),
+	}
+	snap := e.takeSnapshotLocked()
+	for _, t := range e.tables {
+		t.mu.RLock()
+		for i := range t.versions {
+			if e.visible(&t.versions[i], snap, 0) {
+				st.Rows++
+			}
+		}
+		t.mu.RUnlock()
+	}
+	return st
+}
+
+func lowerName(name string) string { return strings.ToLower(name) }
+
+func (e *Engine) getTable(name string) (*table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	t, ok := e.tables[lowerName(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// CreateTable registers a new table. DDL is auto-committed and durable
+// immediately.
+func (e *Engine) CreateTable(s *Schema) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	s = s.Clone()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	key := lowerName(s.Name)
+	if _, ok := e.tables[key]; ok {
+		return fmt.Errorf("%w: %s", ErrTableExists, s.Name)
+	}
+	t := &table{
+		schema:  s,
+		byRID:   make(map[RID]rowID),
+		indexes: make(map[string]*index),
+	}
+	if len(s.PrimaryKey) > 0 {
+		pk := e.buildIndex(t, IndexInfo{
+			Name:    s.Name + "_pkey",
+			Table:   s.Name,
+			Columns: append([]string(nil), s.PrimaryKey...),
+			Unique:  true,
+			Kind:    IndexBTree,
+		})
+		t.pkIndex = pk
+		t.indexes[lowerName(pk.info.Name)] = pk
+	}
+	e.tables[key] = t
+	if e.wal != nil {
+		if err := e.wal.logCreateTable(s); err != nil {
+			delete(e.tables, key)
+			return err
+		}
+	}
+	return nil
+}
+
+// DropTable removes a table and its indexes.
+func (e *Engine) DropTable(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	key := lowerName(name)
+	if _, ok := e.tables[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	delete(e.tables, key)
+	if e.wal != nil {
+		return e.wal.logDropTable(name)
+	}
+	return nil
+}
+
+// HasTable reports whether the named table exists.
+func (e *Engine) HasTable(name string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.tables[lowerName(name)]
+	return ok
+}
+
+// Schema returns a copy of the named table's schema.
+func (e *Engine) Schema(name string) (*Schema, error) {
+	t, err := e.getTable(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.schema.Clone(), nil
+}
+
+// Tables lists table names in sorted order.
+func (e *Engine) Tables() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.tables))
+	for _, t := range e.tables {
+		names = append(names, t.schema.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (e *Engine) buildIndex(t *table, info IndexInfo) *index {
+	ix := &index{info: info}
+	ix.cols = make([]int, len(info.Columns))
+	for i, c := range info.Columns {
+		pos, _ := t.schema.ColumnIndex(c)
+		ix.cols[i] = pos
+	}
+	if info.Kind == IndexBTree {
+		ix.tree = newBTree()
+	} else {
+		ix.hash = make(map[string][]rowID)
+	}
+	for id := range t.versions {
+		v := &t.versions[id]
+		ix.insert(ix.keyFor(v.row), rowID(id))
+	}
+	return ix
+}
+
+// CreateIndex builds a secondary index over existing and future rows.
+// Unique indexes reject creation when committed rows already violate
+// uniqueness.
+func (e *Engine) CreateIndex(info IndexInfo) error {
+	t, err := e.getTable(info.Table)
+	if err != nil {
+		return err
+	}
+	if !ValidIdent(info.Name) {
+		return fmt.Errorf("storage: invalid index name %q", info.Name)
+	}
+	for _, c := range info.Columns {
+		if _, ok := t.schema.ColumnIndex(c); !ok {
+			return fmt.Errorf("storage: index %s: no column %q in table %s", info.Name, c, info.Table)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := lowerName(info.Name)
+	if _, ok := t.indexes[key]; ok {
+		return fmt.Errorf("%w: %s", ErrIndexExists, info.Name)
+	}
+	ix := e.buildIndex(t, info)
+	if info.Unique {
+		snap := e.takeSnapshot()
+		dup := false
+		check := func(ids []rowID) bool {
+			live := 0
+			for _, id := range ids {
+				if e.visible(&t.versions[id], snap, 0) {
+					live++
+				}
+			}
+			return live > 1
+		}
+		if ix.tree != nil {
+			ix.tree.Ascend(func(_ string, ids []rowID) bool {
+				dup = check(ids)
+				return !dup
+			})
+		} else {
+			for _, ids := range ix.hash {
+				if check(ids) {
+					dup = true
+					break
+				}
+			}
+		}
+		if dup {
+			return fmt.Errorf("%w: existing rows violate unique index %s", ErrDuplicate, info.Name)
+		}
+	}
+	t.indexes[key] = ix
+	if e.wal != nil {
+		return e.wal.logCreateIndex(info)
+	}
+	return nil
+}
+
+// DropIndex removes a secondary index. The implicit primary-key index
+// cannot be dropped.
+func (e *Engine) DropIndex(tableName, indexName string) error {
+	t, err := e.getTable(tableName)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := lowerName(indexName)
+	ix, ok := t.indexes[key]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoIndex, indexName)
+	}
+	if ix == t.pkIndex {
+		return fmt.Errorf("storage: cannot drop primary key index %s", indexName)
+	}
+	delete(t.indexes, key)
+	if e.wal != nil {
+		return e.wal.logDropIndex(tableName, indexName)
+	}
+	return nil
+}
+
+// Indexes lists the indexes defined on a table.
+func (e *Engine) Indexes(tableName string) ([]IndexInfo, error) {
+	t, err := e.getTable(tableName)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]IndexInfo, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		info := ix.info
+		info.Columns = append([]string(nil), ix.info.Columns...)
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// NextSequence atomically increments and returns the named sequence,
+// starting from 1. Sequence bumps are durable independently of any open
+// transaction (like PostgreSQL sequences, they do not roll back).
+func (e *Engine) NextSequence(name string) (int64, error) {
+	e.seqMu.Lock()
+	e.seqs[name]++
+	v := e.seqs[name]
+	e.seqMu.Unlock()
+	if e.wal != nil {
+		if err := e.wal.logSequence(name, v); err != nil {
+			return 0, err
+		}
+	}
+	return v, nil
+}
+
+// SequenceValue reports the current value of a sequence without
+// incrementing it.
+func (e *Engine) SequenceValue(name string) int64 {
+	e.seqMu.Lock()
+	defer e.seqMu.Unlock()
+	return e.seqs[name]
+}
+
+func (e *Engine) setSequence(name string, v int64) {
+	e.seqMu.Lock()
+	if v > e.seqs[name] {
+		e.seqs[name] = v
+	}
+	e.seqMu.Unlock()
+}
+
+// snapshot captures the visibility horizon of a transaction.
+type snapshot struct {
+	xmax   uint64          // transactions with id >= xmax are invisible
+	active map[uint64]bool // transactions in-flight at snapshot time
+}
+
+func (e *Engine) takeSnapshot() snapshot {
+	e.txMu.Lock()
+	defer e.txMu.Unlock()
+	return e.takeSnapshotTxLocked()
+}
+
+func (e *Engine) takeSnapshotTxLocked() snapshot {
+	s := snapshot{xmax: e.nextTxID.Load(), active: nil}
+	if len(e.txActive) > 0 {
+		s.active = make(map[uint64]bool, len(e.txActive))
+		for id := range e.txActive {
+			s.active[id] = true
+		}
+	}
+	return s
+}
+
+// takeSnapshotLocked is takeSnapshot for callers already holding e.mu.
+func (e *Engine) takeSnapshotLocked() snapshot { return e.takeSnapshot() }
+
+func (e *Engine) statusOf(txid uint64) txStatus {
+	if txid == 0 {
+		return txCommitted
+	}
+	e.txMu.Lock()
+	defer e.txMu.Unlock()
+	switch {
+	case e.txActive[txid]:
+		return txActive
+	case e.txAborted[txid]:
+		return txAborted
+	default:
+		// Committed transactions carry no entry.
+		return txCommitted
+	}
+}
+
+// committedBefore reports whether txid committed before the snapshot was
+// taken.
+func (e *Engine) committedBefore(txid uint64, s snapshot) bool {
+	if txid == 0 {
+		return true
+	}
+	if txid >= s.xmax || s.active[txid] {
+		return false
+	}
+	return e.statusOf(txid) == txCommitted
+}
+
+// visible reports whether version v is visible under snapshot s to the
+// transaction with id self (0 for a read-only observer).
+func (e *Engine) visible(v *version, s snapshot, self uint64) bool {
+	switch {
+	case v.xmin == self && self != 0:
+		// Our own insert: visible unless we deleted it ourselves.
+		if v.xmax == self {
+			return false
+		}
+	case !e.committedBefore(v.xmin, s):
+		return false
+	}
+	if v.xmax == 0 {
+		return true
+	}
+	if v.xmax == self && self != 0 {
+		return false
+	}
+	// A delete is effective only when its transaction committed before our
+	// snapshot; otherwise the row is still visible to us.
+	return !e.committedBefore(v.xmax, s)
+}

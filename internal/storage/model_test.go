@@ -1,0 +1,241 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestEngineAgainstMapModel drives random committed operation sequences
+// through the engine and a plain map model in lockstep, then checks that
+// scans, pk lookups and counts agree. It exercises insert/update/delete,
+// rollbacks (which must not change the model), and interleaved vacuums.
+func TestEngineAgainstMapModel(t *testing.T) {
+	type op struct {
+		Kind uint8 // insert/update/delete/rollback-insert/vacuum
+		Key  uint8 // pk space 0..31 keeps collisions frequent
+		Val  int16
+	}
+	f := func(ops []op, seed int64) bool {
+		e := MustOpenMemory()
+		defer e.Close()
+		s, err := NewSchema("kv",
+			[]Column{
+				{Name: "k", Type: TypeInt, NotNull: true},
+				{Name: "v", Type: TypeInt},
+			}, "k")
+		if err != nil {
+			return false
+		}
+		if err := e.CreateTable(s); err != nil {
+			return false
+		}
+		model := map[int64]int64{}
+		rng := rand.New(rand.NewSource(seed))
+
+		findRID := func(tx *Tx, k int64) (RID, bool) {
+			var rid RID
+			found := false
+			tx.LookupEqual("kv", "kv_pkey", []Value{k}, func(r RID, _ Row) bool {
+				rid, found = r, true
+				return false
+			})
+			return rid, found
+		}
+
+		for _, o := range ops {
+			k := int64(o.Key % 32)
+			v := int64(o.Val)
+			switch o.Kind % 5 {
+			case 0: // insert (skip when key exists)
+				if _, exists := model[k]; exists {
+					continue
+				}
+				err := e.Update(func(tx *Tx) error {
+					_, err := tx.Insert("kv", Row{k, v})
+					return err
+				})
+				if err != nil {
+					return false
+				}
+				model[k] = v
+			case 1: // update existing
+				if _, exists := model[k]; !exists {
+					continue
+				}
+				err := e.Update(func(tx *Tx) error {
+					rid, ok := findRID(tx, k)
+					if !ok {
+						return fmt.Errorf("model/engine divergence: key %d missing", k)
+					}
+					_, err := tx.UpdateRID("kv", rid, Row{k, v})
+					return err
+				})
+				if err != nil {
+					return false
+				}
+				model[k] = v
+			case 2: // delete existing
+				if _, exists := model[k]; !exists {
+					continue
+				}
+				err := e.Update(func(tx *Tx) error {
+					rid, ok := findRID(tx, k)
+					if !ok {
+						return fmt.Errorf("model/engine divergence: key %d missing", k)
+					}
+					return tx.DeleteRID("kv", rid)
+				})
+				if err != nil {
+					return false
+				}
+				delete(model, k)
+			case 3: // rolled-back mutation must not change anything
+				tx := e.Begin()
+				if _, exists := model[k]; exists {
+					if rid, ok := findRID(tx, k); ok {
+						tx.DeleteRID("kv", rid)
+					}
+				} else {
+					tx.Insert("kv", Row{k, v})
+				}
+				tx.Rollback()
+			case 4: // occasional explicit vacuum
+				if rng.Intn(4) == 0 {
+					e.Vacuum()
+				}
+			}
+		}
+
+		// Compare final states three ways.
+		got := map[int64]int64{}
+		err = e.View(func(tx *Tx) error {
+			return tx.Scan("kv", func(_ RID, row Row) bool {
+				got[row[0].(int64)] = row[1].(int64)
+				return true
+			})
+		})
+		if err != nil || len(got) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if got[k] != v {
+				return false
+			}
+		}
+		// PK index agrees with the scan.
+		err = e.View(func(tx *Tx) error {
+			for k, v := range model {
+				hits := 0
+				tx.LookupEqual("kv", "kv_pkey", []Value{k}, func(_ RID, row Row) bool {
+					hits++
+					if row[1].(int64) != v {
+						hits = -999
+					}
+					return true
+				})
+				if hits != 1 {
+					return fmt.Errorf("pk index wrong for %d", k)
+				}
+			}
+			n, _ := tx.Count("kv")
+			if n != len(model) {
+				return fmt.Errorf("count %d != %d", n, len(model))
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEngineModelSurvivesRestart extends the model check across a WAL
+// recovery: the recovered engine must equal the model exactly.
+func TestEngineModelSurvivesRestart(t *testing.T) {
+	type op struct {
+		Key uint8
+		Val int16
+		Del bool
+	}
+	f := func(ops []op) bool {
+		dir := t.TempDir()
+		e, err := Open(Options{Dir: dir, Sync: SyncBuffered})
+		if err != nil {
+			return false
+		}
+		s, _ := NewSchema("kv",
+			[]Column{
+				{Name: "k", Type: TypeInt, NotNull: true},
+				{Name: "v", Type: TypeInt},
+			}, "k")
+		if err := e.CreateTable(s); err != nil {
+			return false
+		}
+		model := map[int64]int64{}
+		for _, o := range ops {
+			k := int64(o.Key % 16)
+			if o.Del {
+				if _, exists := model[k]; !exists {
+					continue
+				}
+				err := e.Update(func(tx *Tx) error {
+					var rid RID
+					found := false
+					tx.LookupEqual("kv", "kv_pkey", []Value{k}, func(r RID, _ Row) bool {
+						rid, found = r, true
+						return false
+					})
+					if !found {
+						return fmt.Errorf("missing key")
+					}
+					return tx.DeleteRID("kv", rid)
+				})
+				if err != nil {
+					return false
+				}
+				delete(model, k)
+				continue
+			}
+			if _, exists := model[k]; exists {
+				continue
+			}
+			if err := e.Update(func(tx *Tx) error {
+				_, err := tx.Insert("kv", Row{k, int64(o.Val)})
+				return err
+			}); err != nil {
+				return false
+			}
+			model[k] = int64(o.Val)
+		}
+		if err := e.Close(); err != nil {
+			return false
+		}
+		e2, err := Open(Options{Dir: dir, Sync: SyncBuffered})
+		if err != nil {
+			return false
+		}
+		defer e2.Close()
+		got := map[int64]int64{}
+		e2.View(func(tx *Tx) error {
+			return tx.Scan("kv", func(_ RID, row Row) bool {
+				got[row[0].(int64)] = row[1].(int64)
+				return true
+			})
+		})
+		if len(got) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,441 @@
+// Package orm is a small object-relational mapper over the storage
+// engine, the stand-in for the JPA/Hibernate persistence layer of the
+// paper's technical architecture (Fig. 5). Domain structs are mapped to
+// tables via `orm` struct tags; the mapper derives schemas, persists
+// structs, and loads them back.
+//
+// Tag grammar, on exported fields only:
+//
+//	orm:"column_name[,pk][,notnull][,index][,unique]"
+//	orm:"-"                 // field is not persisted
+//
+// Untagged exported fields map to the snake_case of the field name.
+// Supported field types: integer kinds, float kinds, string, bool,
+// time.Time, []byte.
+package orm
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"time"
+	"unicode"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// Mapper persists one struct type T to one table.
+type Mapper[T any] struct {
+	e      *storage.Engine
+	schema *storage.Schema
+	fields []fieldInfo
+	pkCol  int // position of the single pk column, -1 when absent
+}
+
+type fieldInfo struct {
+	structIdx int
+	column    string
+	typ       storage.Type
+	pk        bool
+	notNull   bool
+	index     bool
+	unique    bool
+}
+
+// NewMapper inspects T, creates the backing table (and tagged indexes) if
+// missing, and returns a mapper. The table name is the snake_case plural
+// of the struct name unless overridden.
+func NewMapper[T any](e *storage.Engine, tableName string) (*Mapper[T], error) {
+	var zero T
+	rt := reflect.TypeOf(zero)
+	if rt == nil || rt.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("orm: type parameter must be a struct, got %T", zero)
+	}
+	if tableName == "" {
+		tableName = SnakeCase(rt.Name())
+	}
+	m := &Mapper[T]{e: e, pkCol: -1}
+	var cols []storage.Column
+	var pk []string
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		tag := f.Tag.Get("orm")
+		if tag == "-" {
+			continue
+		}
+		info := fieldInfo{structIdx: i, column: SnakeCase(f.Name)}
+		parts := strings.Split(tag, ",")
+		if parts[0] != "" {
+			info.column = parts[0]
+		}
+		for _, opt := range parts[1:] {
+			switch strings.TrimSpace(opt) {
+			case "pk":
+				info.pk = true
+				info.notNull = true
+			case "notnull":
+				info.notNull = true
+			case "index":
+				info.index = true
+			case "unique":
+				info.unique = true
+			case "":
+			default:
+				return nil, fmt.Errorf("orm: unknown tag option %q on %s.%s", opt, rt.Name(), f.Name)
+			}
+		}
+		st, err := storageType(f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("orm: field %s.%s: %w", rt.Name(), f.Name, err)
+		}
+		info.typ = st
+		if info.pk {
+			if len(pk) > 0 {
+				return nil, fmt.Errorf("orm: %s has multiple pk fields", rt.Name())
+			}
+			pk = append(pk, info.column)
+			m.pkCol = len(cols)
+		}
+		cols = append(cols, storage.Column{Name: info.column, Type: st, NotNull: info.notNull})
+		m.fields = append(m.fields, info)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("orm: %s has no persistable fields", rt.Name())
+	}
+	schema, err := storage.NewSchema(tableName, cols, pk...)
+	if err != nil {
+		return nil, err
+	}
+	m.schema = schema
+	if !e.HasTable(tableName) {
+		if err := e.CreateTable(schema); err != nil {
+			return nil, err
+		}
+		for _, f := range m.fields {
+			if !f.index && !f.unique || f.pk {
+				continue
+			}
+			err := e.CreateIndex(storage.IndexInfo{
+				Name:    tableName + "_" + f.column + "_ix",
+				Table:   tableName,
+				Columns: []string{f.column},
+				Unique:  f.unique,
+				Kind:    storage.IndexBTree,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// Table returns the mapped table name.
+func (m *Mapper[T]) Table() string { return m.schema.Name }
+
+// Schema returns a copy of the derived schema.
+func (m *Mapper[T]) Schema() *storage.Schema { return m.schema.Clone() }
+
+func storageType(t reflect.Type) (storage.Type, error) {
+	switch t.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return storage.TypeInt, nil
+	case reflect.Float32, reflect.Float64:
+		return storage.TypeFloat, nil
+	case reflect.String:
+		return storage.TypeString, nil
+	case reflect.Bool:
+		return storage.TypeBool, nil
+	case reflect.Struct:
+		if t == reflect.TypeOf(time.Time{}) {
+			return storage.TypeTime, nil
+		}
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			return storage.TypeBytes, nil
+		}
+	}
+	return storage.TypeInvalid, fmt.Errorf("unsupported field type %s", t)
+}
+
+// SnakeCase converts CamelCase to snake_case ("DataSourceID" →
+// "data_source_id").
+func SnakeCase(s string) string {
+	var sb strings.Builder
+	runes := []rune(s)
+	for i, r := range runes {
+		if unicode.IsUpper(r) {
+			// Insert an underscore at a lower→Upper boundary or at the end
+			// of an acronym run ("ID" in "DataSourceIDx").
+			if i > 0 && (unicode.IsLower(runes[i-1]) ||
+				(i+1 < len(runes) && unicode.IsLower(runes[i+1]) && unicode.IsUpper(runes[i-1]))) {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(unicode.ToLower(r))
+			continue
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}
+
+// toRow converts a struct value to a positional row.
+func (m *Mapper[T]) toRow(v *T) (storage.Row, error) {
+	rv := reflect.ValueOf(v).Elem()
+	row := make(storage.Row, len(m.fields))
+	for i, f := range m.fields {
+		fv := rv.Field(f.structIdx)
+		switch f.typ {
+		case storage.TypeInt:
+			if fv.CanInt() {
+				row[i] = fv.Int()
+			} else {
+				row[i] = int64(fv.Uint())
+			}
+		case storage.TypeFloat:
+			row[i] = fv.Float()
+		case storage.TypeString:
+			row[i] = fv.String()
+		case storage.TypeBool:
+			row[i] = fv.Bool()
+		case storage.TypeTime:
+			ts := fv.Interface().(time.Time)
+			if ts.IsZero() {
+				row[i] = nil
+			} else {
+				row[i] = ts
+			}
+		case storage.TypeBytes:
+			b := fv.Bytes()
+			if b == nil {
+				row[i] = nil
+			} else {
+				row[i] = append([]byte(nil), b...)
+			}
+		}
+	}
+	return row, nil
+}
+
+// fromRow populates a struct from a positional row.
+func (m *Mapper[T]) fromRow(row storage.Row) (T, error) {
+	var out T
+	rv := reflect.ValueOf(&out).Elem()
+	for i, f := range m.fields {
+		v := row[i]
+		if v == nil {
+			continue // leave zero value
+		}
+		fv := rv.Field(f.structIdx)
+		switch f.typ {
+		case storage.TypeInt:
+			if fv.CanInt() {
+				fv.SetInt(v.(int64))
+			} else {
+				fv.SetUint(uint64(v.(int64)))
+			}
+		case storage.TypeFloat:
+			fv.SetFloat(v.(float64))
+		case storage.TypeString:
+			fv.SetString(v.(string))
+		case storage.TypeBool:
+			fv.SetBool(v.(bool))
+		case storage.TypeTime:
+			fv.Set(reflect.ValueOf(v.(time.Time)))
+		case storage.TypeBytes:
+			fv.SetBytes(append([]byte(nil), v.([]byte)...))
+		}
+	}
+	return out, nil
+}
+
+// Save inserts v, or replaces the row with the same primary key when one
+// exists (upsert semantics, like JPA merge).
+func (m *Mapper[T]) Save(v *T) error {
+	row, err := m.toRow(v)
+	if err != nil {
+		return err
+	}
+	return m.e.Update(func(tx *storage.Tx) error {
+		if m.pkCol >= 0 {
+			var existing storage.RID
+			found := false
+			err := tx.LookupEqual(m.schema.Name, m.schema.Name+"_pkey", []storage.Value{row[m.pkCol]},
+				func(rid storage.RID, _ storage.Row) bool {
+					existing, found = rid, true
+					return false
+				})
+			if err != nil {
+				return err
+			}
+			if found {
+				_, err := tx.UpdateRID(m.schema.Name, existing, row)
+				return err
+			}
+		}
+		_, err := tx.Insert(m.schema.Name, row)
+		return err
+	})
+}
+
+// Insert adds v, failing on primary-key collision.
+func (m *Mapper[T]) Insert(v *T) error {
+	row, err := m.toRow(v)
+	if err != nil {
+		return err
+	}
+	return m.e.Update(func(tx *storage.Tx) error {
+		_, err := tx.Insert(m.schema.Name, row)
+		return err
+	})
+}
+
+// Get loads the struct with the given primary-key value. The boolean
+// reports whether it was found.
+func (m *Mapper[T]) Get(pk storage.Value) (T, bool, error) {
+	var out T
+	if m.pkCol < 0 {
+		return out, false, fmt.Errorf("orm: %s has no primary key", m.schema.Name)
+	}
+	found := false
+	err := m.e.View(func(tx *storage.Tx) error {
+		return tx.LookupEqual(m.schema.Name, m.schema.Name+"_pkey", []storage.Value{storage.Normalize(pk)},
+			func(_ storage.RID, row storage.Row) bool {
+				out, _ = m.fromRow(row)
+				found = true
+				return false
+			})
+	})
+	return out, found, err
+}
+
+// Delete removes the struct with the given primary-key value, reporting
+// whether a row was deleted.
+func (m *Mapper[T]) Delete(pk storage.Value) (bool, error) {
+	if m.pkCol < 0 {
+		return false, fmt.Errorf("orm: %s has no primary key", m.schema.Name)
+	}
+	deleted := false
+	err := m.e.Update(func(tx *storage.Tx) error {
+		var rid storage.RID
+		found := false
+		err := tx.LookupEqual(m.schema.Name, m.schema.Name+"_pkey", []storage.Value{storage.Normalize(pk)},
+			func(r storage.RID, _ storage.Row) bool {
+				rid, found = r, true
+				return false
+			})
+		if err != nil {
+			return err
+		}
+		if !found {
+			return nil
+		}
+		if err := tx.DeleteRID(m.schema.Name, rid); err != nil {
+			return err
+		}
+		deleted = true
+		return nil
+	})
+	return deleted, err
+}
+
+// All loads every persisted struct in insertion order.
+func (m *Mapper[T]) All() ([]T, error) {
+	var out []T
+	err := m.e.View(func(tx *storage.Tx) error {
+		return tx.Scan(m.schema.Name, func(_ storage.RID, row storage.Row) bool {
+			v, _ := m.fromRow(row)
+			out = append(out, v)
+			return true
+		})
+	})
+	return out, err
+}
+
+// Where loads structs whose mapped column equals value, using a tagged
+// index when one exists and a scan otherwise.
+func (m *Mapper[T]) Where(column string, value storage.Value) ([]T, error) {
+	value = storage.Normalize(value)
+	pos, ok := m.schema.ColumnIndex(column)
+	if !ok {
+		return nil, fmt.Errorf("orm: %s has no column %q", m.schema.Name, column)
+	}
+	ixName := m.schema.Name + "_" + strings.ToLower(column) + "_ix"
+	var out []T
+	err := m.e.View(func(tx *storage.Tx) error {
+		collect := func(_ storage.RID, row storage.Row) bool {
+			v, _ := m.fromRow(row)
+			out = append(out, v)
+			return true
+		}
+		if hasIndex(m.e, m.schema.Name, ixName) {
+			return tx.LookupEqual(m.schema.Name, ixName, []storage.Value{value}, collect)
+		}
+		return tx.Scan(m.schema.Name, func(rid storage.RID, row storage.Row) bool {
+			if storage.Equal(row[pos], value) {
+				return collect(rid, row)
+			}
+			return true
+		})
+	})
+	return out, err
+}
+
+// DeleteWhere removes every row whose mapped column equals value,
+// returning the number deleted.
+func (m *Mapper[T]) DeleteWhere(column string, value storage.Value) (int, error) {
+	value = storage.Normalize(value)
+	pos, ok := m.schema.ColumnIndex(column)
+	if !ok {
+		return 0, fmt.Errorf("orm: %s has no column %q", m.schema.Name, column)
+	}
+	deleted := 0
+	err := m.e.Update(func(tx *storage.Tx) error {
+		var rids []storage.RID
+		err := tx.Scan(m.schema.Name, func(rid storage.RID, row storage.Row) bool {
+			if storage.Equal(row[pos], value) {
+				rids = append(rids, rid)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		for _, rid := range rids {
+			if err := tx.DeleteRID(m.schema.Name, rid); err != nil {
+				return err
+			}
+			deleted++
+		}
+		return nil
+	})
+	return deleted, err
+}
+
+// Count reports the number of persisted structs.
+func (m *Mapper[T]) Count() (int, error) {
+	n := 0
+	err := m.e.View(func(tx *storage.Tx) error {
+		var err error
+		n, err = tx.Count(m.schema.Name)
+		return err
+	})
+	return n, err
+}
+
+func hasIndex(e *storage.Engine, table, name string) bool {
+	infos, err := e.Indexes(table)
+	if err != nil {
+		return false
+	}
+	for _, info := range infos {
+		if strings.EqualFold(info.Name, name) {
+			return true
+		}
+	}
+	return false
+}

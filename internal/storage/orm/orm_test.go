@@ -1,0 +1,230 @@
+package orm
+
+import (
+	"testing"
+	"time"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+type account struct {
+	ID        int64  `orm:"id,pk"`
+	Email     string `orm:"email,notnull,unique"`
+	Tenant    string `orm:"tenant,index"`
+	Balance   float64
+	Active    bool
+	CreatedAt time.Time
+	Note      []byte
+	skip      int    // unexported: ignored
+	Temp      string `orm:"-"`
+}
+
+func newMapper(t *testing.T) (*storage.Engine, *Mapper[account]) {
+	t.Helper()
+	e := storage.MustOpenMemory()
+	t.Cleanup(func() { e.Close() })
+	m, err := NewMapper[account](e, "accounts")
+	if err != nil {
+		t.Fatalf("NewMapper: %v", err)
+	}
+	return e, m
+}
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"ID":           "id",
+		"DataSourceID": "data_source_id",
+		"CreatedAt":    "created_at",
+		"HTMLBody":     "html_body",
+		"Name":         "name",
+	}
+	for in, want := range cases {
+		if got := SnakeCase(in); got != want {
+			t.Errorf("SnakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMapperSchema(t *testing.T) {
+	_, m := newMapper(t)
+	s := m.Schema()
+	if s.Name != "accounts" {
+		t.Errorf("table = %s", s.Name)
+	}
+	wantCols := []string{"id", "email", "tenant", "balance", "active", "created_at", "note"}
+	if len(s.Columns) != len(wantCols) {
+		t.Fatalf("columns = %v", s.ColumnNames())
+	}
+	for i, w := range wantCols {
+		if s.Columns[i].Name != w {
+			t.Errorf("column %d = %s, want %s", i, s.Columns[i].Name, w)
+		}
+	}
+	if len(s.PrimaryKey) != 1 || s.PrimaryKey[0] != "id" {
+		t.Errorf("pk = %v", s.PrimaryKey)
+	}
+}
+
+func TestSaveGetRoundTrip(t *testing.T) {
+	_, m := newMapper(t)
+	now := time.Now().UTC().Truncate(time.Microsecond)
+	a := account{ID: 1, Email: "ada@odbis.io", Tenant: "acme", Balance: 12.5, Active: true, CreatedAt: now, Note: []byte("hi")}
+	if err := m.Insert(&a); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := m.Get(1)
+	if err != nil || !ok {
+		t.Fatalf("Get: %v ok=%v", err, ok)
+	}
+	if got.Email != a.Email || got.Balance != a.Balance || !got.Active || !got.CreatedAt.Equal(now) || string(got.Note) != "hi" {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got.Temp != "" || got.skip != 0 {
+		t.Error("ignored fields leaked")
+	}
+}
+
+func TestSaveUpsert(t *testing.T) {
+	_, m := newMapper(t)
+	a := account{ID: 1, Email: "a@x", Tenant: "t"}
+	if err := m.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	a.Email = "b@x"
+	if err := m.Save(&a); err != nil {
+		t.Fatalf("upsert: %v", err)
+	}
+	n, _ := m.Count()
+	if n != 1 {
+		t.Errorf("count after upsert = %d", n)
+	}
+	got, _, _ := m.Get(1)
+	if got.Email != "b@x" {
+		t.Errorf("email = %s", got.Email)
+	}
+	// Insert (not Save) on an existing pk must fail.
+	if err := m.Insert(&a); err == nil {
+		t.Error("duplicate Insert accepted")
+	}
+}
+
+func TestUniqueTagEnforced(t *testing.T) {
+	_, m := newMapper(t)
+	if err := m.Insert(&account{ID: 1, Email: "same@x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(&account{ID: 2, Email: "same@x"}); err == nil {
+		t.Error("unique tag not enforced")
+	}
+}
+
+func TestWhereUsesIndexAndScan(t *testing.T) {
+	e, m := newMapper(t)
+	for i := int64(1); i <= 10; i++ {
+		tenant := "a"
+		if i%2 == 0 {
+			tenant = "b"
+		}
+		if err := m.Insert(&account{ID: i, Email: string(rune('a'+i)) + "@x", Tenant: tenant, Balance: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// tenant has an index.
+	got, err := m.Where("tenant", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Errorf("Where(tenant=b) = %d rows", len(got))
+	}
+	// balance has no index: scan path.
+	got, err = m.Where("balance", 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 3 {
+		t.Errorf("Where(balance=3) = %+v", got)
+	}
+	if _, err := m.Where("nope", 1); err == nil {
+		t.Error("unknown column accepted")
+	}
+	_ = e
+}
+
+func TestDeleteAndAll(t *testing.T) {
+	_, m := newMapper(t)
+	for i := int64(1); i <= 3; i++ {
+		if err := m.Insert(&account{ID: i, Email: string(rune('a'+i)) + "@x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := m.Delete(2)
+	if err != nil || !ok {
+		t.Fatalf("Delete: %v ok=%v", err, ok)
+	}
+	ok, err = m.Delete(2)
+	if err != nil || ok {
+		t.Fatalf("second Delete: %v ok=%v", err, ok)
+	}
+	all, err := m.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all[0].ID != 1 || all[1].ID != 3 {
+		t.Errorf("All = %+v", all)
+	}
+}
+
+func TestZeroTimeStoredAsNull(t *testing.T) {
+	_, m := newMapper(t)
+	if err := m.Insert(&account{ID: 1, Email: "a@x"}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := m.Get(1)
+	if !got.CreatedAt.IsZero() {
+		t.Errorf("zero time round trip = %v", got.CreatedAt)
+	}
+}
+
+func TestMapperRejectsBadTypes(t *testing.T) {
+	e := storage.MustOpenMemory()
+	defer e.Close()
+	type bad struct {
+		M map[string]int
+	}
+	if _, err := NewMapper[bad](e, ""); err == nil {
+		t.Error("map field accepted")
+	}
+	type empty struct{ hidden int }
+	if _, err := NewMapper[empty](e, ""); err == nil {
+		t.Error("struct without persistable fields accepted")
+	}
+	type twoPK struct {
+		A int64 `orm:"a,pk"`
+		B int64 `orm:"b,pk"`
+	}
+	if _, err := NewMapper[twoPK](e, ""); err == nil {
+		t.Error("two pk fields accepted")
+	}
+}
+
+func TestMapperReopenExistingTable(t *testing.T) {
+	e := storage.MustOpenMemory()
+	defer e.Close()
+	m1, err := NewMapper[account](e, "accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Insert(&account{ID: 1, Email: "a@x"}); err != nil {
+		t.Fatal(err)
+	}
+	// A second mapper over the same engine reuses the existing table.
+	m2, err := NewMapper[account](e, "accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := m2.Count()
+	if n != 1 {
+		t.Errorf("second mapper sees %d rows", n)
+	}
+}

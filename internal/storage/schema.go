@@ -1,0 +1,178 @@
+package storage
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name    string
+	Type    Type
+	NotNull bool
+	Default Value // applied when an insert omits the column; nil means none
+}
+
+// Schema describes a table: its name, columns and primary key. The zero
+// value is not usable; build schemas with NewSchema or validate with
+// Validate before use.
+type Schema struct {
+	Name       string
+	Columns    []Column
+	PrimaryKey []string // column names; empty means no primary key
+}
+
+var identRe = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_.$-]*$`)
+
+// ValidIdent reports whether name is acceptable as a table, column or
+// index identifier.
+func ValidIdent(name string) bool { return identRe.MatchString(name) }
+
+// NewSchema builds and validates a schema.
+func NewSchema(name string, cols []Column, primaryKey ...string) (*Schema, error) {
+	s := &Schema{Name: name, Columns: cols, PrimaryKey: primaryKey}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Validate checks identifier syntax, duplicate columns, default-value
+// typing and primary-key references.
+func (s *Schema) Validate() error {
+	if !ValidIdent(s.Name) {
+		return fmt.Errorf("storage: invalid table name %q", s.Name)
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("storage: table %s has no columns", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for i := range s.Columns {
+		c := &s.Columns[i]
+		if !ValidIdent(c.Name) {
+			return fmt.Errorf("storage: invalid column name %q in table %s", c.Name, s.Name)
+		}
+		lower := strings.ToLower(c.Name)
+		if seen[lower] {
+			return fmt.Errorf("storage: duplicate column %q in table %s", c.Name, s.Name)
+		}
+		seen[lower] = true
+		if c.Type == TypeInvalid {
+			return fmt.Errorf("storage: column %s.%s has invalid type", s.Name, c.Name)
+		}
+		if c.Default != nil {
+			v, err := CheckValue(c.Type, c.Default)
+			if err != nil {
+				return fmt.Errorf("storage: default for %s.%s: %w", s.Name, c.Name, err)
+			}
+			c.Default = v
+		}
+	}
+	for _, pk := range s.PrimaryKey {
+		if _, ok := s.ColumnIndex(pk); !ok {
+			return fmt.Errorf("storage: primary key column %q not in table %s", pk, s.Name)
+		}
+	}
+	return nil
+}
+
+// ColumnIndex returns the position of the named column
+// (case-insensitive), or false when absent.
+func (s *Schema) ColumnIndex(name string) (int, bool) {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ColumnNames returns the column names in declaration order.
+func (s *Schema) ColumnNames() []string {
+	names := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Clone deep-copies the schema.
+func (s *Schema) Clone() *Schema {
+	out := &Schema{Name: s.Name}
+	out.Columns = append([]Column(nil), s.Columns...)
+	out.PrimaryKey = append([]string(nil), s.PrimaryKey...)
+	return out
+}
+
+// CheckRow validates and normalizes a full positional row against the
+// schema, enforcing types and NOT NULL. It returns a new row; the input is
+// not modified.
+func (s *Schema) CheckRow(r Row) (Row, error) {
+	if len(r) != len(s.Columns) {
+		return nil, fmt.Errorf("storage: table %s expects %d values, got %d", s.Name, len(s.Columns), len(r))
+	}
+	out := make(Row, len(r))
+	for i, c := range s.Columns {
+		v, err := CheckValue(c.Type, r[i])
+		if err != nil {
+			return nil, fmt.Errorf("storage: column %s.%s: %w", s.Name, c.Name, err)
+		}
+		if v == nil && c.Default != nil {
+			v = c.Default
+		}
+		if v == nil && c.NotNull {
+			return nil, fmt.Errorf("storage: column %s.%s is NOT NULL", s.Name, c.Name)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// RowFromMap builds a positional row from a column→value map, applying
+// defaults for omitted columns. Unknown keys are an error.
+func (s *Schema) RowFromMap(m map[string]Value) (Row, error) {
+	r := make(Row, len(s.Columns))
+	used := 0
+	for i, c := range s.Columns {
+		if v, ok := lookupFold(m, c.Name); ok {
+			r[i] = v
+			used++
+		} else {
+			r[i] = c.Default
+		}
+	}
+	if used != len(m) {
+		for k := range m {
+			if _, ok := s.ColumnIndex(k); !ok {
+				return nil, fmt.Errorf("storage: table %s has no column %q", s.Name, k)
+			}
+		}
+	}
+	return s.CheckRow(r)
+}
+
+func lookupFold(m map[string]Value, name string) (Value, bool) {
+	if v, ok := m[name]; ok {
+		return v, true
+	}
+	for k, v := range m {
+		if strings.EqualFold(k, name) {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// pkIndexes returns the column positions of the primary key.
+func (s *Schema) pkIndexes() []int {
+	if len(s.PrimaryKey) == 0 {
+		return nil
+	}
+	idx := make([]int, len(s.PrimaryKey))
+	for i, name := range s.PrimaryKey {
+		pos, _ := s.ColumnIndex(name)
+		idx[i] = pos
+	}
+	return idx
+}

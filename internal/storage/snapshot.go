@@ -1,0 +1,336 @@
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+const (
+	snapshotFile  = "odbis.snap"
+	snapshotMagic = "ODBISNAP1"
+)
+
+// Checkpoint writes a consistent snapshot of the committed state to disk,
+// truncates the WAL, and — when no transactions are in flight — vacuums
+// dead row versions and compacts version slots.
+//
+// Checkpoint is a no-op for in-memory engines.
+func (e *Engine) Checkpoint() error {
+	if e.opts.Dir == "" {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.txMu.Lock()
+	anyActive := len(e.txActive) > 0
+	snap := e.takeSnapshotTxLocked()
+	e.txMu.Unlock()
+
+	if !anyActive {
+		for _, t := range e.tables {
+			e.vacuumTable(t, snap)
+		}
+		e.txMu.Lock()
+		e.txAborted = make(map[uint64]bool)
+		e.txMu.Unlock()
+	}
+
+	path := filepath.Join(e.opts.Dir, snapshotFile)
+	tmp := path + ".tmp"
+	if err := e.writeSnapshot(tmp, snap); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("storage: publish snapshot: %w", err)
+	}
+	// Truncate the WAL: everything it held is now in the snapshot.
+	e.wal.mu.Lock()
+	defer e.wal.mu.Unlock()
+	if err := e.wal.f.Truncate(0); err != nil {
+		return fmt.Errorf("storage: truncate wal: %w", err)
+	}
+	if _, err := e.wal.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return e.wal.f.Sync()
+}
+
+// Vacuum reclaims dead row versions and compacts indexes across every
+// table, in memory. It is a no-op (returning false) while any transaction
+// is active. Durable engines get this automatically from Checkpoint; the
+// engine also triggers it opportunistically when a table accumulates many
+// dead versions (update-heavy counters would otherwise degrade index
+// probes linearly).
+func (e *Engine) Vacuum() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	snap, ok := e.quiescentSnapshot()
+	if !ok {
+		return false
+	}
+	for _, t := range e.tables {
+		e.vacuumTable(t, snap)
+	}
+	e.txMu.Lock()
+	e.txAborted = make(map[uint64]bool)
+	e.txMu.Unlock()
+	return true
+}
+
+// quiescentSnapshot returns a snapshot when no transaction is active.
+// Caller must hold e.mu (which blocks all table access, so no new writes
+// can land while the caller vacuums).
+func (e *Engine) quiescentSnapshot() (snapshot, bool) {
+	e.txMu.Lock()
+	defer e.txMu.Unlock()
+	if len(e.txActive) > 0 {
+		return snapshot{}, false
+	}
+	return e.takeSnapshotTxLocked(), true
+}
+
+// maybeVacuumTable vacuums one table when it is safe to do so.
+func (e *Engine) maybeVacuumTable(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	t, ok := e.tables[name]
+	if !ok {
+		return
+	}
+	snap, quiet := e.quiescentSnapshot()
+	if !quiet {
+		return
+	}
+	e.vacuumTable(t, snap)
+}
+
+// vacuumThreshold is the per-table dead-version count that triggers an
+// opportunistic vacuum after a commit.
+const vacuumThreshold = 256
+
+// vacuumTable removes versions invisible to every present and future
+// transaction and freezes the survivors. Caller holds e.mu and guarantees
+// no transaction is active.
+func (e *Engine) vacuumTable(t *table, snap snapshot) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := make([]version, 0, len(t.versions))
+	for i := range t.versions {
+		v := &t.versions[i]
+		if e.visible(v, snap, 0) {
+			kept = append(kept, version{rid: v.rid, row: v.row})
+		}
+	}
+	t.versions = kept
+	t.byRID = make(map[RID]rowID, len(kept))
+	for i := range kept {
+		t.byRID[kept[i].rid] = rowID(i)
+	}
+	for _, ix := range t.indexes {
+		rebuilt := e.buildIndex(t, ix.info)
+		*ix = *rebuilt
+	}
+	t.dead = 0
+}
+
+// crcWriter tees writes through a CRC-32 so the snapshot carries an
+// end-to-end checksum.
+type crcWriter struct {
+	w io.Writer
+	h hash.Hash32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.h.Write(p)
+	return c.w.Write(p)
+}
+
+func (e *Engine) writeSnapshot(path string, snap snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: create snapshot: %w", err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	cw := &crcWriter{w: bw, h: crc32.NewIEEE()}
+	enc := newEncoder(cw)
+
+	enc.str(snapshotMagic)
+	enc.uvarint(e.nextRID.Load())
+	enc.uvarint(e.nextTxID.Load())
+
+	e.seqMu.Lock()
+	seqNames := make([]string, 0, len(e.seqs))
+	for name := range e.seqs {
+		seqNames = append(seqNames, name)
+	}
+	sort.Strings(seqNames)
+	enc.uvarint(uint64(len(seqNames)))
+	for _, name := range seqNames {
+		enc.str(name)
+		enc.varint(e.seqs[name])
+	}
+	e.seqMu.Unlock()
+
+	tableNames := make([]string, 0, len(e.tables))
+	for k := range e.tables {
+		tableNames = append(tableNames, k)
+	}
+	sort.Strings(tableNames)
+	enc.uvarint(uint64(len(tableNames)))
+	for _, k := range tableNames {
+		t := e.tables[k]
+		t.mu.RLock()
+		enc.schema(t.schema)
+		// Secondary indexes (the PK index is implied by the schema).
+		var secondary []*index
+		for _, ix := range t.indexes {
+			if ix != t.pkIndex {
+				secondary = append(secondary, ix)
+			}
+		}
+		sort.Slice(secondary, func(i, j int) bool { return secondary[i].info.Name < secondary[j].info.Name })
+		enc.uvarint(uint64(len(secondary)))
+		for _, ix := range secondary {
+			encodeIndexInfo(enc, ix.info)
+		}
+		// Committed-visible rows only.
+		var rows []*version
+		for i := range t.versions {
+			if e.visible(&t.versions[i], snap, 0) {
+				rows = append(rows, &t.versions[i])
+			}
+		}
+		enc.uvarint(uint64(len(rows)))
+		for _, v := range rows {
+			enc.uvarint(uint64(v.rid))
+			enc.row(v.row)
+		}
+		t.mu.RUnlock()
+	}
+	if err := enc.flush(); err != nil {
+		return err
+	}
+	var crcBuf [4]byte
+	binary.BigEndian.PutUint32(crcBuf[:], cw.h.Sum32())
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// loadSnapshot restores engine state from a snapshot file. A missing file
+// is not an error (fresh database); a corrupt file is.
+func (e *Engine) loadSnapshot(path string) error {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: open snapshot: %w", err)
+	}
+	if len(raw) < 4 {
+		return fmt.Errorf("storage: snapshot %s truncated", path)
+	}
+	body, crcBytes := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(crcBytes) {
+		return fmt.Errorf("storage: snapshot %s checksum mismatch", path)
+	}
+	dec := newDecoder(bytes.NewReader(body))
+
+	if magic := dec.str(); magic != snapshotMagic {
+		return fmt.Errorf("storage: snapshot %s: bad magic %q", path, magic)
+	}
+	nextRID := dec.uvarint()
+	nextTx := dec.uvarint()
+	nseq := dec.uvarint()
+	if dec.err != nil || nseq > 1<<20 {
+		return fmt.Errorf("storage: snapshot %s corrupt (sequences)", path)
+	}
+	for i := uint64(0); i < nseq; i++ {
+		name := dec.str()
+		v := dec.varint()
+		if dec.err == nil {
+			e.seqs[name] = v
+		}
+	}
+	ntab := dec.uvarint()
+	if dec.err != nil || ntab > 1<<20 {
+		return fmt.Errorf("storage: snapshot %s corrupt (tables)", path)
+	}
+	for i := uint64(0); i < ntab; i++ {
+		s := dec.schema()
+		if dec.err != nil {
+			return fmt.Errorf("storage: snapshot %s corrupt: %v", path, dec.err)
+		}
+		t := &table{schema: s, byRID: make(map[RID]rowID), indexes: make(map[string]*index)}
+		nix := dec.uvarint()
+		if dec.err != nil || nix > 1<<12 {
+			return fmt.Errorf("storage: snapshot %s corrupt (indexes)", path)
+		}
+		infos := make([]IndexInfo, nix)
+		for j := range infos {
+			infos[j] = decodeIndexInfo(dec)
+		}
+		nrows := dec.uvarint()
+		if dec.err != nil || nrows > maxBlob {
+			return fmt.Errorf("storage: snapshot %s corrupt (rows)", path)
+		}
+		t.versions = make([]version, 0, nrows)
+		for j := uint64(0); j < nrows; j++ {
+			rid := RID(dec.uvarint())
+			row := dec.row()
+			if dec.err != nil {
+				return fmt.Errorf("storage: snapshot %s corrupt: %v", path, dec.err)
+			}
+			t.byRID[rid] = rowID(len(t.versions))
+			t.versions = append(t.versions, version{rid: rid, row: row})
+		}
+		if len(s.PrimaryKey) > 0 {
+			pk := e.buildIndex(t, IndexInfo{
+				Name:    s.Name + "_pkey",
+				Table:   s.Name,
+				Columns: append([]string(nil), s.PrimaryKey...),
+				Unique:  true,
+				Kind:    IndexBTree,
+			})
+			t.pkIndex = pk
+			t.indexes[lowerName(pk.info.Name)] = pk
+		}
+		for _, info := range infos {
+			t.indexes[lowerName(info.Name)] = e.buildIndex(t, info)
+		}
+		e.tables[lowerName(s.Name)] = t
+	}
+	if dec.err != nil {
+		return fmt.Errorf("storage: snapshot %s corrupt: %v", path, dec.err)
+	}
+	if nextRID > e.nextRID.Load() {
+		e.nextRID.Store(nextRID)
+	}
+	if nextTx > e.nextTxID.Load() {
+		e.nextTxID.Store(nextTx)
+	}
+	return nil
+}

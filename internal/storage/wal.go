@@ -1,0 +1,357 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+const walFile = "odbis.wal"
+
+// Record types in the write-ahead log.
+const (
+	recCreateTable byte = 'T'
+	recDropTable   byte = 'D'
+	recCreateIndex byte = 'I'
+	recDropIndex   byte = 'X'
+	recSequence    byte = 'S'
+	recCommit      byte = 'C'
+)
+
+// wal is an append-only redo log. Records are framed as
+//
+//	[uint32 payload length][payload][uint32 CRC-32 of payload]
+//
+// where the payload starts with a record-type byte. A torn final record
+// (short frame or CRC mismatch) marks the end of the recoverable log and
+// is truncated on the next append.
+type wal struct {
+	mu   sync.Mutex
+	f    *os.File
+	sync SyncMode
+	buf  bytes.Buffer
+}
+
+func openWAL(path string, mode SyncMode) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	return &wal{f: f, sync: mode}, nil
+}
+
+func (w *wal) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// append frames and writes one record built by fn, honoring the sync mode.
+func (w *wal) append(fn func(enc *encoder)) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return ErrClosed
+	}
+	w.buf.Reset()
+	enc := newEncoder(&w.buf)
+	fn(enc)
+	if err := enc.flush(); err != nil {
+		return err
+	}
+	payload := w.buf.Bytes()
+	var frame [8]byte
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	// Seek to end: recovery may have left the offset mid-file after a torn
+	// record.
+	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(frame[:4]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(frame[4:]); err != nil {
+		return err
+	}
+	if w.sync == SyncFull {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+func (w *wal) logCreateTable(s *Schema) error {
+	return w.append(func(enc *encoder) {
+		enc.byte(recCreateTable)
+		enc.schema(s)
+	})
+}
+
+func (w *wal) logDropTable(name string) error {
+	return w.append(func(enc *encoder) {
+		enc.byte(recDropTable)
+		enc.str(name)
+	})
+}
+
+func (w *wal) logCreateIndex(info IndexInfo) error {
+	return w.append(func(enc *encoder) {
+		enc.byte(recCreateIndex)
+		encodeIndexInfo(enc, info)
+	})
+}
+
+func encodeIndexInfo(enc *encoder, info IndexInfo) {
+	enc.str(info.Table)
+	enc.str(info.Name)
+	enc.uvarint(uint64(len(info.Columns)))
+	for _, c := range info.Columns {
+		enc.str(c)
+	}
+	if info.Unique {
+		enc.byte(1)
+	} else {
+		enc.byte(0)
+	}
+	enc.byte(byte(info.Kind))
+}
+
+func decodeIndexInfo(dec *decoder) IndexInfo {
+	var info IndexInfo
+	info.Table = dec.str()
+	info.Name = dec.str()
+	n := dec.uvarint()
+	if dec.err != nil || n > 1<<12 {
+		dec.fail(fmt.Errorf("storage: corrupt index info"))
+		return info
+	}
+	info.Columns = make([]string, n)
+	for i := range info.Columns {
+		info.Columns[i] = dec.str()
+	}
+	info.Unique = dec.byte() == 1
+	info.Kind = IndexKind(dec.byte())
+	return info
+}
+
+func (w *wal) logDropIndex(table, name string) error {
+	return w.append(func(enc *encoder) {
+		enc.byte(recDropIndex)
+		enc.str(table)
+		enc.str(name)
+	})
+}
+
+func (w *wal) logSequence(name string, v int64) error {
+	return w.append(func(enc *encoder) {
+		enc.byte(recSequence)
+		enc.str(name)
+		enc.varint(v)
+	})
+}
+
+func (w *wal) logTx(txid uint64, ops []txOp) error {
+	return w.append(func(enc *encoder) {
+		enc.byte(recCommit)
+		enc.uvarint(txid)
+		enc.uvarint(uint64(len(ops)))
+		for _, op := range ops {
+			enc.byte(byte(op.kind))
+			enc.str(op.table)
+			enc.uvarint(uint64(op.rid))
+			if op.kind == opInsert {
+				enc.row(op.row)
+			}
+		}
+	})
+}
+
+// errTornRecord marks the recoverable end of the log during replay.
+var errTornRecord = errors.New("storage: torn wal record")
+
+// replayWAL applies every intact record from the WAL. A torn tail is
+// truncated so future appends produce a clean log.
+func (e *Engine) replayWAL() error {
+	w := e.wal
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	var goodEnd int64
+	var maxTx, maxRID uint64
+	r := io.Reader(w.f)
+	for {
+		payload, n, err := readFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, errTornRecord) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		tx, rid, aerr := e.applyWALRecord(payload)
+		if aerr != nil {
+			return aerr
+		}
+		if tx > maxTx {
+			maxTx = tx
+		}
+		if rid > maxRID {
+			maxRID = rid
+		}
+		goodEnd += int64(n)
+	}
+	if err := w.f.Truncate(goodEnd); err != nil {
+		return fmt.Errorf("storage: truncate torn wal: %w", err)
+	}
+	if maxTx >= e.nextTxID.Load() {
+		e.nextTxID.Store(maxTx + 1)
+	}
+	if maxRID >= e.nextRID.Load() {
+		e.nextRID.Store(maxRID + 1)
+	}
+	return nil
+}
+
+// readFrame reads one framed record, returning the payload and the total
+// frame size consumed.
+func readFrame(r io.Reader) ([]byte, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, errTornRecord
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxBlob {
+		return nil, 0, errTornRecord
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, errTornRecord
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return nil, 0, errTornRecord
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(crcBuf[:]) {
+		return nil, 0, errTornRecord
+	}
+	return payload, int(n) + 8, nil
+}
+
+// applyWALRecord applies one record to in-memory state during recovery.
+// It returns the highest transaction id and RID referenced.
+func (e *Engine) applyWALRecord(payload []byte) (maxTx, maxRID uint64, err error) {
+	dec := newDecoder(bytes.NewReader(payload))
+	switch typ := dec.byte(); typ {
+	case recCreateTable:
+		s := dec.schema()
+		if dec.err != nil {
+			return 0, 0, dec.err
+		}
+		// Recreate directly (not via CreateTable: no re-logging).
+		if err := s.Validate(); err != nil {
+			return 0, 0, err
+		}
+		t := &table{schema: s, byRID: make(map[RID]rowID), indexes: make(map[string]*index)}
+		if len(s.PrimaryKey) > 0 {
+			pk := e.buildIndex(t, IndexInfo{
+				Name:    s.Name + "_pkey",
+				Table:   s.Name,
+				Columns: append([]string(nil), s.PrimaryKey...),
+				Unique:  true,
+				Kind:    IndexBTree,
+			})
+			t.pkIndex = pk
+			t.indexes[lowerName(pk.info.Name)] = pk
+		}
+		e.tables[lowerName(s.Name)] = t
+	case recDropTable:
+		delete(e.tables, lowerName(dec.str()))
+	case recCreateIndex:
+		info := decodeIndexInfo(dec)
+		if dec.err != nil {
+			return 0, 0, dec.err
+		}
+		if t, ok := e.tables[lowerName(info.Table)]; ok {
+			ix := e.buildIndex(t, info)
+			t.indexes[lowerName(info.Name)] = ix
+		}
+	case recDropIndex:
+		tbl, name := dec.str(), dec.str()
+		if t, ok := e.tables[lowerName(tbl)]; ok {
+			delete(t.indexes, lowerName(name))
+		}
+	case recSequence:
+		name := dec.str()
+		v := dec.varint()
+		if dec.err == nil {
+			e.setSequence(name, v)
+		}
+	case recCommit:
+		txid := dec.uvarint()
+		nops := dec.uvarint()
+		if dec.err != nil || nops > maxBlob {
+			return 0, 0, fmt.Errorf("storage: corrupt commit record")
+		}
+		for i := uint64(0); i < nops; i++ {
+			kind := txOpKind(dec.byte())
+			tableName := dec.str()
+			rid := RID(dec.uvarint())
+			if uint64(rid) > maxRID {
+				maxRID = uint64(rid)
+			}
+			t, ok := e.tables[lowerName(tableName)]
+			switch kind {
+			case opInsert:
+				row := dec.row()
+				if dec.err != nil {
+					return 0, 0, dec.err
+				}
+				if !ok {
+					continue // table was dropped later in the log
+				}
+				slot := rowID(len(t.versions))
+				t.versions = append(t.versions, version{rid: rid, row: row})
+				t.byRID[rid] = slot
+				for _, ix := range t.indexes {
+					ix.insert(ix.keyFor(row), slot)
+				}
+			case opDelete:
+				if !ok {
+					continue
+				}
+				if slot, exists := t.byRID[rid]; exists {
+					t.versions[slot].xmax = txid
+				}
+			default:
+				return 0, 0, fmt.Errorf("storage: corrupt op kind %d", kind)
+			}
+		}
+		if txid > maxTx {
+			maxTx = txid
+		}
+	default:
+		return 0, 0, fmt.Errorf("storage: unknown wal record type %q", typ)
+	}
+	return maxTx, maxRID, dec.err
+}

@@ -1,0 +1,271 @@
+package tenant
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+func newRegistry(t *testing.T) *Registry {
+	t.Helper()
+	e := storage.MustOpenMemory()
+	t.Cleanup(func() { e.Close() })
+	r, err := NewRegistry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCreateAndLookup(t *testing.T) {
+	r := newRegistry(t)
+	info, err := r.Create("acme", "Acme Corp", "standard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Active || info.Plan != "standard" {
+		t.Errorf("info = %+v", info)
+	}
+	if _, err := r.Create("acme", "again", "free"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, err := r.Create("Bad ID!", "x", "free"); !errors.Is(err, ErrBadTenantID) {
+		t.Errorf("bad id: %v", err)
+	}
+	if _, err := r.Create("x", "x", "platinum"); !errors.Is(err, ErrUnknownPlan) {
+		t.Errorf("bad plan: %v", err)
+	}
+	if _, err := r.Get("ghost"); !errors.Is(err, ErrNoTenant) {
+		t.Errorf("missing tenant: %v", err)
+	}
+	r.Create("beta", "Beta", "free")
+	ids, _ := r.List()
+	if len(ids) != 2 || ids[0] != "acme" {
+		t.Errorf("list = %v", ids)
+	}
+}
+
+func TestCatalogIsolation(t *testing.T) {
+	r := newRegistry(t)
+	r.Create("a", "A", "standard")
+	r.Create("b", "B", "standard")
+	ca, err := r.Catalog("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := r.Catalog("b")
+
+	// Same logical table name, different physical tables.
+	if _, err := ca.Exec("CREATE TABLE sales (id INT PRIMARY KEY, amount FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.Exec("CREATE TABLE sales (id INT PRIMARY KEY, amount FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	ca.Exec("INSERT INTO sales VALUES (1, 10.0), (2, 20.0)")
+	cb.Exec("INSERT INTO sales VALUES (1, 999.0)")
+
+	resA, err := ca.Query("SELECT COUNT(*), SUM(amount) FROM sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Rows[0][0] != int64(2) || resA.Rows[0][1] != 30.0 {
+		t.Errorf("tenant a sees %v", resA.Rows[0])
+	}
+	resB, _ := cb.Query("SELECT COUNT(*), SUM(amount) FROM sales")
+	if resB.Rows[0][0] != int64(1) {
+		t.Errorf("tenant b sees %v", resB.Rows[0])
+	}
+	// Physical names carry the tenant prefix in the shared engine.
+	shared := r.Engine().Tables()
+	foundA, foundB := false, false
+	for _, tbl := range shared {
+		if tbl == "t_a__sales" {
+			foundA = true
+		}
+		if tbl == "t_b__sales" {
+			foundB = true
+		}
+	}
+	if !foundA || !foundB {
+		t.Errorf("physical tables = %v", shared)
+	}
+	if tables := ca.Tables(); len(tables) != 1 || tables[0] != "sales" {
+		t.Errorf("logical tables = %v", tables)
+	}
+}
+
+func TestCatalogJoinsAndAliases(t *testing.T) {
+	r := newRegistry(t)
+	r.Create("a", "A", "standard")
+	c, _ := r.Catalog("a")
+	c.Exec("CREATE TABLE d (id INT PRIMARY KEY, name TEXT)")
+	c.Exec("CREATE TABLE f (d_id INT, v INT)")
+	c.Exec("INSERT INTO d VALUES (1, 'x'), (2, 'y')")
+	c.Exec("INSERT INTO f VALUES (1, 10), (1, 5), (2, 1)")
+	res, err := c.Query(`
+		SELECT d.name, SUM(f.v) AS total
+		FROM f JOIN d ON f.d_id = d.id
+		GROUP BY d.name ORDER BY d.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1] != int64(15) {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// Subqueries are rewritten too.
+	res, err = c.Query("SELECT name FROM d WHERE id IN (SELECT d_id FROM f WHERE v > 9)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "x" {
+		t.Errorf("subquery rows = %v", res.Rows)
+	}
+}
+
+func TestSuspendResume(t *testing.T) {
+	r := newRegistry(t)
+	r.Create("a", "A", "free")
+	c, _ := r.Catalog("a")
+	c.Exec("CREATE TABLE t (x INT)")
+	if err := r.Suspend("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Catalog("a"); !errors.Is(err, ErrSuspended) {
+		t.Errorf("catalog for suspended tenant: %v", err)
+	}
+	// An already-open catalog is blocked at the next statement.
+	if _, err := c.Query("SELECT * FROM t"); !errors.Is(err, ErrSuspended) {
+		t.Errorf("query on suspended tenant: %v", err)
+	}
+	r.Resume("a")
+	if _, err := c.Query("SELECT * FROM t"); err != nil {
+		t.Errorf("after resume: %v", err)
+	}
+}
+
+func TestQuotas(t *testing.T) {
+	r := newRegistry(t)
+	r.DefinePlan(Plan{Name: "tiny", MaxTables: 1, MaxRows: 3})
+	r.Create("a", "A", "tiny")
+	c, _ := r.Catalog("a")
+	if _, err := c.Exec("CREATE TABLE t1 (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("CREATE TABLE t2 (x INT)"); !errors.Is(err, ErrQuota) {
+		t.Errorf("table quota: %v", err)
+	}
+	if _, err := c.Exec("INSERT INTO t1 VALUES (1), (2), (3)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("INSERT INTO t1 VALUES (4)"); !errors.Is(err, ErrQuota) {
+		t.Errorf("row quota: %v", err)
+	}
+	// Upgrading the plan lifts the quota.
+	if err := r.SetPlan("a", "enterprise"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("INSERT INTO t1 VALUES (4)"); err != nil {
+		t.Errorf("after upgrade: %v", err)
+	}
+}
+
+func TestMeteringAndInvoice(t *testing.T) {
+	r := newRegistry(t)
+	r.Create("a", "A", "standard")
+	c, _ := r.Catalog("a")
+	c.Exec("CREATE TABLE t (x INT)")
+	c.Exec("INSERT INTO t VALUES (1), (2)")
+	c.Query("SELECT * FROM t")
+	c.Query("SELECT COUNT(*) FROM t")
+	usage, err := r.Usage("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 statements total (CREATE + INSERT + 2 SELECT).
+	if usage[MetricQueries] != 4 {
+		t.Errorf("queries = %d", usage[MetricQueries])
+	}
+	if usage[MetricRowsLoaded] != 2 {
+		t.Errorf("rows loaded = %d", usage[MetricRowsLoaded])
+	}
+	inv, err := r.Invoice("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Plan != "standard" || inv.Total <= 49 {
+		t.Errorf("invoice = %+v", inv)
+	}
+	found := false
+	for _, l := range inv.Lines {
+		if strings.Contains(l.Item, "queries") && l.Qty == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("invoice lines = %+v", inv.Lines)
+	}
+}
+
+func TestDropTenantRemovesPhysicalTables(t *testing.T) {
+	r := newRegistry(t)
+	r.Create("a", "A", "standard")
+	r.Create("b", "B", "standard")
+	ca, _ := r.Catalog("a")
+	cb, _ := r.Catalog("b")
+	ca.Exec("CREATE TABLE t (x INT)")
+	cb.Exec("CREATE TABLE t (x INT)")
+	if err := r.Drop("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("a"); !errors.Is(err, ErrNoTenant) {
+		t.Errorf("dropped tenant still present: %v", err)
+	}
+	for _, tbl := range r.Engine().Tables() {
+		if strings.HasPrefix(tbl, "t_a__") {
+			t.Errorf("orphan physical table %s", tbl)
+		}
+	}
+	// Tenant b untouched.
+	if !cb.HasTable("t") {
+		t.Error("tenant b lost its table")
+	}
+}
+
+func TestSchemaLogicalName(t *testing.T) {
+	r := newRegistry(t)
+	r.Create("a", "A", "standard")
+	c, _ := r.Catalog("a")
+	c.Exec("CREATE TABLE orders (id INT PRIMARY KEY)")
+	s, err := c.Schema("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "orders" {
+		t.Errorf("schema name = %q", s.Name)
+	}
+	if !c.HasTable("orders") || c.HasTable("ghost") {
+		t.Error("HasTable wrong")
+	}
+	if c.Physical("orders") != "t_a__orders" {
+		t.Errorf("physical = %q", c.Physical("orders"))
+	}
+}
+
+func TestPlans(t *testing.T) {
+	r := newRegistry(t)
+	if _, err := r.Plan("standard"); err != nil {
+		t.Error(err)
+	}
+	if _, err := r.Plan("ghost"); !errors.Is(err, ErrUnknownPlan) {
+		t.Errorf("missing plan: %v", err)
+	}
+	if err := r.DefinePlan(Plan{}); err == nil {
+		t.Error("unnamed plan accepted")
+	}
+	if err := r.SetPlan("nobody", "standard"); !errors.Is(err, ErrNoTenant) {
+		t.Errorf("set plan on missing tenant: %v", err)
+	}
+}

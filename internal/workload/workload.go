@@ -1,0 +1,231 @@
+// Package workload generates deterministic synthetic datasets for the
+// examples, tests and benchmarks. The paper evaluates nothing
+// quantitatively and ships no data; these generators stand in for the
+// customer data a production ODBIS deployment would host (DESIGN.md
+// substitution table). All generators are seeded and reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"github.com/odbis/odbis/internal/etl"
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// Healthcare generates the admissions dataset behind the paper's Fig. 6
+// dashboard example: hospital wards, months, admissions with patient
+// counts and costs.
+type Healthcare struct {
+	// Rows is the number of admission facts (default 1000).
+	Rows int
+	// Seed drives the generator (default 1).
+	Seed int64
+}
+
+// Wards used by the healthcare generator.
+var Wards = []string{"cardiology", "neurology", "orthopedics", "oncology", "pediatrics", "emergency"}
+
+// Severities used by the healthcare generator.
+var Severities = []string{"low", "medium", "high", "critical"}
+
+// AdmissionsCSV renders the dataset as CSV, the upload format of the
+// Integration Service.
+func (h Healthcare) AdmissionsCSV() string {
+	rows := h.Rows
+	if rows <= 0 {
+		rows = 1000
+	}
+	seed := h.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.WriteString("admitted,ward,severity,patients,cost,stay_days\n")
+	base := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < rows; i++ {
+		day := base.AddDate(0, 0, rng.Intn(540))
+		ward := Wards[rng.Intn(len(Wards))]
+		sev := Severities[rng.Intn(len(Severities))]
+		patients := 1 + rng.Intn(4)
+		cost := float64(500+rng.Intn(20000)) / 10
+		stay := 1 + rng.Intn(21)
+		fmt.Fprintf(&sb, "%s,%s,%s,%d,%.1f,%d\n",
+			day.Format("2006-01-02"), ward, sev, patients, cost, stay)
+	}
+	return sb.String()
+}
+
+// LoadAdmissions loads the dataset directly into an engine table
+// (creating it), returning the row count. It is the fast path for
+// benchmarks that do not exercise the ETL service.
+func (h Healthcare) LoadAdmissions(e *storage.Engine, table string) (int, error) {
+	sink := &etl.TableSink{Engine: e, Table: table, CreateTable: true}
+	pipe := &etl.Pipeline{
+		Source: &etl.CSVSource{Data: h.AdmissionsCSV()},
+		Transforms: []etl.Transform{
+			etl.Derive{Field: "month", Expression: "FORMAT_TIME('2006-01', admitted)"},
+		},
+		Sink: sink,
+	}
+	_, written, err := pipe.Run()
+	return written, err
+}
+
+// Retail generates a star schema: dim_date, dim_product, dim_store plus
+// fact_sales, loaded straight into an engine.
+type Retail struct {
+	// Facts is the fact row count (default 10000).
+	Facts int
+	// Products, Stores bound the dimension cardinalities.
+	Products int
+	Stores   int
+	Seed     int64
+}
+
+// Categories used by the retail generator.
+var Categories = []string{"toys", "electronics", "grocery", "clothing", "sports"}
+
+// Regions used by the retail generator.
+var Regions = []string{"north", "south", "east", "west"}
+
+// Load creates and fills the star schema using the given table-name
+// mapping (identity when nil; tenant catalogs pass Catalog.Physical).
+// It returns the number of fact rows.
+func (r Retail) Load(e *storage.Engine, tableFor func(string) string) (int, error) {
+	if tableFor == nil {
+		tableFor = func(s string) string { return s }
+	}
+	facts := r.Facts
+	if facts <= 0 {
+		facts = 10000
+	}
+	products := r.Products
+	if products <= 0 {
+		products = 50
+	}
+	stores := r.Stores
+	if stores <= 0 {
+		stores = 12
+	}
+	seed := r.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	mkSchema := func(name string, cols []storage.Column, pk ...string) (*storage.Schema, error) {
+		return storage.NewSchema(tableFor(name), cols, pk...)
+	}
+	dateSchema, err := mkSchema("dim_date", []storage.Column{
+		{Name: "id", Type: storage.TypeInt, NotNull: true},
+		{Name: "year", Type: storage.TypeInt},
+		{Name: "quarter", Type: storage.TypeString},
+		{Name: "month", Type: storage.TypeInt},
+	}, "id")
+	if err != nil {
+		return 0, err
+	}
+	prodSchema, err := mkSchema("dim_product", []storage.Column{
+		{Name: "id", Type: storage.TypeInt, NotNull: true},
+		{Name: "category", Type: storage.TypeString},
+		{Name: "sku", Type: storage.TypeString},
+		{Name: "price", Type: storage.TypeFloat},
+	}, "id")
+	if err != nil {
+		return 0, err
+	}
+	storeSchema, err := mkSchema("dim_store", []storage.Column{
+		{Name: "id", Type: storage.TypeInt, NotNull: true},
+		{Name: "region", Type: storage.TypeString},
+		{Name: "city", Type: storage.TypeString},
+	}, "id")
+	if err != nil {
+		return 0, err
+	}
+	factSchema, err := mkSchema("fact_sales", []storage.Column{
+		{Name: "date_id", Type: storage.TypeInt},
+		{Name: "product_id", Type: storage.TypeInt},
+		{Name: "store_id", Type: storage.TypeInt},
+		{Name: "amount", Type: storage.TypeFloat},
+		{Name: "qty", Type: storage.TypeInt},
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, s := range []*storage.Schema{dateSchema, prodSchema, storeSchema, factSchema} {
+		if !e.HasTable(s.Name) {
+			if err := e.CreateTable(s); err != nil {
+				return 0, err
+			}
+		}
+	}
+	err = e.Update(func(tx *storage.Tx) error {
+		// 24 months of dates.
+		id := int64(1)
+		for _, y := range []int64{2025, 2026} {
+			for m := int64(1); m <= 12; m++ {
+				q := fmt.Sprintf("Q%d", (m-1)/3+1)
+				if _, err := tx.Insert(dateSchema.Name, storage.Row{id, y, q, m}); err != nil {
+					return err
+				}
+				id++
+			}
+		}
+		for i := 1; i <= products; i++ {
+			row := storage.Row{
+				int64(i),
+				Categories[rng.Intn(len(Categories))],
+				fmt.Sprintf("sku-%04d", i),
+				float64(100+rng.Intn(9900)) / 100,
+			}
+			if _, err := tx.Insert(prodSchema.Name, row); err != nil {
+				return err
+			}
+		}
+		for i := 1; i <= stores; i++ {
+			row := storage.Row{
+				int64(i),
+				Regions[rng.Intn(len(Regions))],
+				fmt.Sprintf("city-%02d", i),
+			}
+			if _, err := tx.Insert(storeSchema.Name, row); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Facts in batches to bound transaction size.
+	const batch = 5000
+	for start := 0; start < facts; start += batch {
+		end := start + batch
+		if end > facts {
+			end = facts
+		}
+		err := e.Update(func(tx *storage.Tx) error {
+			for i := start; i < end; i++ {
+				row := storage.Row{
+					int64(rng.Intn(24) + 1),
+					int64(rng.Intn(products) + 1),
+					int64(rng.Intn(stores) + 1),
+					float64(rng.Intn(50000)) / 100,
+					int64(rng.Intn(9) + 1),
+				}
+				if _, err := tx.Insert(factSchema.Name, row); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return start, err
+		}
+	}
+	return facts, nil
+}

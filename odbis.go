@@ -1,0 +1,295 @@
+// Package odbis is the public API of the ODBIS platform — an open-source
+// infrastructure to build and deliver On-Demand Business Intelligence
+// Services, reproducing Essaidi's EDBT 2010 architecture as a
+// self-contained Go library.
+//
+// A Platform bundles the five-layer SaaS architecture of the paper:
+//
+//	technical resources   — embedded storage engine, SQL, OLAP, ETL,
+//	                        rules and bus substrates
+//	design & management   — MDDWS: model-driven DW design (CWM/MDA/2TUP)
+//	administration        — tenants, plans, users/groups/roles/authorities
+//	core BI services      — metadata, integration, analysis, reporting,
+//	                        information delivery
+//	end-user access       — HTTP/JSON + HTML dashboards (Handler)
+//
+// Quickstart:
+//
+//	p, err := odbis.Open(odbis.Options{})          // in-memory platform
+//	defer p.Close()
+//	admin, _, _ := p.Login("admin", "admin")       // bootstrap credentials
+//	admin.CreateTenant("acme", "Acme Corp", "standard")
+//	admin.CreateUser(odbis.UserSpec{Username: "ada", Password: "pw",
+//	    Tenant: "acme", Roles: []string{odbis.RoleDesigner}})
+//	ada, _, _ := p.Login("ada", "pw")
+//	ada.Query("CREATE TABLE sales (region TEXT, amount FLOAT)")
+//
+// See the examples directory for complete scenarios: quickstart, the
+// paper's healthcare dashboard (Fig. 6), a retail ETL→OLAP pipeline, a
+// full model-driven DW build, and ontology-driven semantic integration.
+package odbis
+
+import (
+	"fmt"
+	"net/http"
+
+	"github.com/odbis/odbis/internal/mddws"
+	"github.com/odbis/odbis/internal/metamodel"
+	"github.com/odbis/odbis/internal/metamodel/cwm"
+	"github.com/odbis/odbis/internal/metamodel/odm"
+	"github.com/odbis/odbis/internal/olap"
+	"github.com/odbis/odbis/internal/report"
+	"github.com/odbis/odbis/internal/security"
+	"github.com/odbis/odbis/internal/server"
+	"github.com/odbis/odbis/internal/services"
+	"github.com/odbis/odbis/internal/sql"
+	"github.com/odbis/odbis/internal/storage"
+	"github.com/odbis/odbis/internal/tenant"
+)
+
+// --- re-exported domain types (aliases keep one canonical definition) ---
+
+// Value is a cell value: nil, int64, float64, string, bool, time.Time or
+// []byte.
+type Value = storage.Value
+
+// Session is an authenticated, tenant-scoped service context exposing the
+// five core BI services plus administration.
+type Session = services.Session
+
+// UserSpec configures user creation.
+type UserSpec = security.UserSpec
+
+// TenantInfo is a tenant account.
+type TenantInfo = tenant.Info
+
+// Plan is a subscription tier.
+type Plan = tenant.Plan
+
+// QueryResult is the outcome of a SQL query.
+type QueryResult = sql.Result
+
+// CubeSpec declares an OLAP cube; CubeQuery navigates it.
+type (
+	CubeSpec      = olap.CubeSpec
+	MeasureSpec   = olap.MeasureSpec
+	DimensionSpec = olap.DimensionSpec
+	CubeLevelSpec = olap.LevelSpec
+	CubeQuery     = olap.Query
+	CubeResult    = olap.Result
+	LevelRef      = olap.LevelRef
+)
+
+// ReportSpec declares a report or dashboard; ReportElement is one block.
+type (
+	ReportSpec    = report.Spec
+	ReportElement = report.Element
+	ReportOutput  = report.Output
+)
+
+// JobSpec declares an integration job; JobStep one transform.
+type (
+	JobSpec = services.JobSpec
+	JobStep = services.StepSpec
+	JobAgg  = services.AggregDecl
+)
+
+// StarSpec describes a conceptual star schema for the model-driven
+// designer.
+type (
+	StarSpec          = cwm.StarSpec
+	FactSpec          = cwm.FactSpec
+	StarMeasureSpec   = cwm.MeasureSpec
+	StarDimensionSpec = cwm.DimensionSpec
+	StarLevelSpec     = cwm.LevelSpec
+	StarAttributeSpec = cwm.AttributeSpec
+)
+
+// Model is a metamodel-conforming model (CIM/PIM/PSM viewpoints).
+type Model = metamodel.Model
+
+// Ontology types (ODM) for semantic schema integration.
+type (
+	OntologySpec     = odm.Spec
+	OntologyClass    = odm.ClassSpec
+	OntologyProperty = odm.PropertySpec
+	SchemaMatch      = odm.Match
+)
+
+// BuildOntology constructs an ODM ontology and returns its XML export —
+// the form Session.SemanticAlign and POST /api/metadata/align accept.
+func BuildOntology(spec OntologySpec) (string, error) {
+	m, err := spec.Build()
+	if err != nil {
+		return "", err
+	}
+	return m.ExportString()
+}
+
+// ExplainMatches renders schema matches as a readable table.
+func ExplainMatches(matches []SchemaMatch) string { return odm.Explain(matches) }
+
+// BuildResult is the output of a model-driven DW build.
+type BuildResult = mddws.BuildResult
+
+// DeliveryFormat selects a client channel encoding.
+type DeliveryFormat = services.Format
+
+// Built-in roles, formats and aggregations.
+const (
+	RoleViewer   = services.RoleViewer
+	RoleAnalyst  = services.RoleAnalyst
+	RoleDesigner = services.RoleDesigner
+	RoleAdmin    = services.RoleAdmin
+
+	FormatText = services.FormatText
+	FormatHTML = services.FormatHTML
+	FormatCSV  = services.FormatCSV
+	FormatJSON = services.FormatJSON
+
+	ChartBar  = report.ChartBar
+	ChartLine = report.ChartLine
+	ChartPie  = report.ChartPie
+
+	AggSum   = olap.AggSum
+	AggAvg   = olap.AggAvg
+	AggMin   = olap.AggMin
+	AggMax   = olap.AggMax
+	AggCount = olap.AggCount
+)
+
+// Deliver renders a report output onto w in the given format.
+func Deliver(w interface{ Write([]byte) (int, error) }, f DeliveryFormat, out *ReportOutput) error {
+	return services.Deliver(w, f, out)
+}
+
+// Options configure Open.
+type Options struct {
+	// DataDir is the durable data directory; empty runs fully in memory.
+	DataDir string
+	// SyncFull fsyncs the WAL on every commit (durable but slower).
+	SyncFull bool
+	// AdminUser/AdminPassword seed the first administrator
+	// (default admin/admin; set explicitly in production).
+	AdminUser     string
+	AdminPassword string
+	// TokenSecret signs session tokens; random (non-restart-safe) when
+	// empty.
+	TokenSecret []byte
+}
+
+// Platform is a running ODBIS instance.
+type Platform struct {
+	engine   *storage.Engine
+	registry *tenant.Registry
+	security *security.Manager
+	services *services.Platform
+	mddws    *mddws.Service
+	handler  http.Handler
+}
+
+// Open boots (or recovers) a platform.
+func Open(opts Options) (*Platform, error) {
+	mode := storage.SyncBuffered
+	if opts.SyncFull {
+		mode = storage.SyncFull
+	}
+	engine, err := storage.Open(storage.Options{Dir: opts.DataDir, Sync: mode})
+	if err != nil {
+		return nil, err
+	}
+	registry, err := tenant.NewRegistry(engine)
+	if err != nil {
+		engine.Close()
+		return nil, err
+	}
+	sec, err := security.NewManager(engine, security.Options{TokenSecret: opts.TokenSecret})
+	if err != nil {
+		engine.Close()
+		return nil, err
+	}
+	svc := services.NewPlatform(registry, sec)
+	adminUser, adminPass := opts.AdminUser, opts.AdminPassword
+	if adminUser == "" {
+		adminUser, adminPass = "admin", "admin"
+	}
+	if err := svc.Bootstrap(adminUser, adminPass); err != nil {
+		engine.Close()
+		return nil, fmt.Errorf("odbis: bootstrap: %w", err)
+	}
+	designer, err := mddws.NewService(engine)
+	if err != nil {
+		engine.Close()
+		return nil, err
+	}
+	return &Platform{
+		engine:   engine,
+		registry: registry,
+		security: sec,
+		services: svc,
+		mddws:    designer,
+		handler:  server.New(svc),
+	}, nil
+}
+
+// Close checkpoints (for durable platforms) and releases the engine.
+func (p *Platform) Close() error {
+	if err := p.engine.Checkpoint(); err != nil {
+		p.engine.Close()
+		return err
+	}
+	return p.engine.Close()
+}
+
+// Login authenticates a user and returns a service session plus a bearer
+// token for the HTTP API.
+func (p *Platform) Login(username, password string) (*Session, string, error) {
+	return p.services.Login(username, password)
+}
+
+// Resume rebuilds a session from a bearer token.
+func (p *Platform) Resume(token string) (*Session, error) {
+	return p.services.Resume(token)
+}
+
+// Handler is the HTTP façade (mount it on any mux or server).
+func (p *Platform) Handler() http.Handler { return p.handler }
+
+// ListenAndServe runs the HTTP API on addr (blocking).
+func (p *Platform) ListenAndServe(addr string) error {
+	return http.ListenAndServe(addr, p.handler)
+}
+
+// Designer returns the MDDWS model-driven design service.
+func (p *Platform) Designer() *mddws.Service { return p.mddws }
+
+// OnEvent subscribes fn to the platform event stream (the service-bus
+// channel every service publishes on): job completions, cube builds,
+// report executions, tenant administration, access denials. Handlers run
+// synchronously on the publishing goroutine.
+func (p *Platform) OnEvent(fn func(kind, tenant, subject string)) {
+	p.services.OnEvent(func(ev services.Event) {
+		fn(ev.Kind, ev.Tenant, ev.Subject)
+	})
+}
+
+// BuildStar runs the full model-driven pipeline for a conceptual star
+// schema: CIM → PIM (OLAP) → PSM (relational + ETL) → DDL/cube/load-plan
+// artifacts.
+func BuildStar(spec StarSpec) (*BuildResult, error) {
+	cim, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	return mddws.BuildFromConceptual(cim)
+}
+
+// DefinePlan registers a custom subscription plan.
+func (p *Platform) DefinePlan(plan Plan) error { return p.registry.DefinePlan(plan) }
+
+// EngineStats reports storage-engine counters (tables, rows, reads,
+// writes).
+func (p *Platform) EngineStats() storage.Stats { return p.engine.Stats() }
+
+// Checkpoint forces a snapshot + WAL truncation on durable platforms.
+func (p *Platform) Checkpoint() error { return p.engine.Checkpoint() }

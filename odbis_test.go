@@ -1,0 +1,258 @@
+package odbis
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/odbis/odbis/internal/olap"
+)
+
+func openPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := Open(Options{TokenSecret: []byte("test")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// TestEndToEnd walks the whole public API: provision a tenant, load data
+// through the integration service, define a cube, run a dashboard, and
+// check billing — the platform's zero-to-dashboard path.
+func TestEndToEnd(t *testing.T) {
+	p := openPlatform(t)
+	admin, _, err := p.Login("admin", "admin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.CreateTenant("acme", "Acme Corp", "standard"); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.CreateUser(UserSpec{
+		Username: "ada", Password: "pw", Tenant: "acme", Roles: []string{RoleDesigner},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ada, token, err := p.Login("ada", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token == "" {
+		t.Fatal("no token")
+	}
+
+	// Integration: load CSV into the warehouse.
+	_, err = ada.RunJob(&JobSpec{
+		Name: "load",
+		CSVData: `region,amount,qty
+north,10.5,1
+north,4.5,2
+south,20.0,3
+`,
+		Steps:  []JobStep{{Op: "derive", Field: "total", Expression: "amount * qty"}},
+		Target: "sales",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Metadata: a reusable data set.
+	if err := ada.CreateDataSet("by-region", "",
+		"SELECT region, SUM(total) AS total FROM sales GROUP BY region ORDER BY region", ""); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ada.RunDataSet("by-region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != "north" {
+		t.Errorf("data set = %v", res.Rows)
+	}
+
+	// Analysis: a degenerate-dimension cube.
+	if err := ada.DefineCube(CubeSpec{
+		Name:      "Sales",
+		FactTable: "sales",
+		Measures:  []MeasureSpec{{Name: "total", Column: "total", Agg: AggSum}},
+		Dimensions: []DimensionSpec{
+			{Name: "Region", Levels: []CubeLevelSpec{{Name: "Region", Column: "region"}}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cres, err := ada.Analyze("Sales", CubeQuery{
+		Rows: []LevelRef{{Dimension: "Region", Level: "Region"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cres.RowHeaders) != 2 {
+		t.Errorf("cube rows = %v", cres.RowHeaders)
+	}
+
+	// Reporting: dashboard in every delivery format.
+	if err := ada.SaveReport("ops", &ReportSpec{
+		Name: "dash", Title: "Sales Dashboard",
+		Elements: []ReportElement{
+			{Kind: "kpi", Title: "Total", Query: "SELECT SUM(total) FROM sales"},
+			{Kind: "chart", Title: "By Region", Chart: ChartBar,
+				Query: "SELECT region, SUM(total) AS t FROM sales GROUP BY region", Label: "region"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ada.DeliverReport(&buf, "dash", FormatHTML); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Sales Dashboard") {
+		t.Error("dashboard title missing")
+	}
+
+	// Billing accrued.
+	inv, err := admin.TenantInvoice("acme")
+	if err != nil || inv.Total <= 0 {
+		t.Errorf("invoice = %+v (%v)", inv, err)
+	}
+
+	// HTTP facade serves with the same token.
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+	req := httptest.NewRequest("GET", "/api/whoami", nil)
+	_ = req
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestDurablePlatformSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Open(Options{DataDir: dir, TokenSecret: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin, _, err := p.Login("admin", "admin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin.CreateTenant("acme", "Acme", "standard")
+	admin.CreateUser(UserSpec{Username: "ada", Password: "pw", Tenant: "acme", Roles: []string{RoleDesigner}})
+	ada, _, _ := p.Login("ada", "pw")
+	ada.Query("CREATE TABLE t (x INT)")
+	ada.Query("INSERT INTO t VALUES (1), (2), (3)")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := Open(Options{DataDir: dir, TokenSecret: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	ada2, _, err := p2.Login("ada", "pw")
+	if err != nil {
+		t.Fatalf("login after restart: %v", err)
+	}
+	res, err := ada2.Query("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != int64(3) {
+		t.Errorf("rows after restart = %v", res.Rows[0][0])
+	}
+}
+
+func TestBuildStarPublicAPI(t *testing.T) {
+	result, err := BuildStar(StarSpec{
+		Name: "Clinic",
+		Dimensions: []StarDimensionSpec{
+			{Name: "Ward", Levels: []StarLevelSpec{{Name: "Ward"}}},
+		},
+		Facts: []FactSpec{{
+			Name:       "Admissions",
+			Measures:   []StarMeasureSpec{{Name: "patients", Aggregation: "sum"}},
+			Dimensions: []string{"Ward"},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(result.Artifacts.DDL) != 2 || len(result.Artifacts.Cubes) != 1 {
+		t.Errorf("artifacts = %+v", result.Artifacts)
+	}
+	// The generated DDL deploys through a tenant session.
+	p := openPlatform(t)
+	admin, _, _ := p.Login("admin", "admin")
+	admin.CreateTenant("clinic", "Clinic", "standard")
+	admin.CreateUser(UserSpec{Username: "d", Password: "pw", Tenant: "clinic", Roles: []string{RoleDesigner}})
+	d, _, _ := p.Login("d", "pw")
+	for _, ddl := range result.Artifacts.DDL {
+		if _, err := d.Query(ddl); err != nil {
+			t.Fatalf("deploy: %v", err)
+		}
+	}
+	if err := d.DefineCube(result.Artifacts.Cubes[0]); err != nil {
+		t.Fatalf("define generated cube: %v", err)
+	}
+}
+
+func TestDefinePlanAndQuota(t *testing.T) {
+	p := openPlatform(t)
+	if err := p.DefinePlan(Plan{Name: "micro", MaxTables: 1}); err != nil {
+		t.Fatal(err)
+	}
+	admin, _, _ := p.Login("admin", "admin")
+	if _, err := admin.CreateTenant("m", "Micro", "micro"); err != nil {
+		t.Fatal(err)
+	}
+	admin.CreateUser(UserSpec{Username: "u", Password: "pw", Tenant: "m", Roles: []string{RoleDesigner}})
+	u, _, _ := p.Login("u", "pw")
+	if _, err := u.Query("CREATE TABLE a (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Query("CREATE TABLE b (x INT)"); err == nil {
+		t.Error("quota not enforced")
+	}
+}
+
+func TestEngineStats(t *testing.T) {
+	p := openPlatform(t)
+	st := p.EngineStats()
+	if st.Tables == 0 {
+		t.Error("no system tables reported")
+	}
+}
+
+func TestAnalyzeMatchesSQL(t *testing.T) {
+	p := openPlatform(t)
+	admin, _, _ := p.Login("admin", "admin")
+	admin.CreateTenant("acme", "A", "standard")
+	admin.CreateUser(UserSpec{Username: "a", Password: "pw", Tenant: "acme", Roles: []string{RoleDesigner}})
+	a, _, _ := p.Login("a", "pw")
+	a.Query("CREATE TABLE f (g TEXT, v INT)")
+	a.Query("INSERT INTO f VALUES ('x', 1), ('x', 2), ('y', 10)")
+	a.DefineCube(CubeSpec{
+		Name: "C", FactTable: "f",
+		Measures:   []MeasureSpec{{Name: "v", Column: "v", Agg: olap.AggSum}},
+		Dimensions: []DimensionSpec{{Name: "G", Levels: []CubeLevelSpec{{Name: "G", Column: "g"}}}},
+	})
+	cres, err := a.Analyze("C", CubeQuery{Rows: []LevelRef{{Dimension: "G", Level: "G"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqlRes, _ := a.Query("SELECT g, SUM(v) FROM f GROUP BY g ORDER BY g")
+	for i, row := range sqlRes.Rows {
+		cell, _ := cres.Cell(i, 0)
+		if float64(row[1].(int64)) != cell[0] {
+			t.Errorf("group %v: cube %v vs sql %v", row[0], cell[0], row[1])
+		}
+	}
+}

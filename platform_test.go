@@ -1,0 +1,200 @@
+package odbis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/odbis/odbis/internal/etl"
+	"github.com/odbis/odbis/internal/mddws"
+)
+
+// TestDesignerProjectFlow drives the MDDWS project service through the
+// public façade: project → conceptual model → 2TUP process → build →
+// deploy into a tenant.
+func TestDesignerProjectFlow(t *testing.T) {
+	p := openPlatform(t)
+	admin, _, _ := p.Login("admin", "admin")
+	admin.CreateTenant("dw", "DW Inc", "enterprise")
+	admin.CreateUser(UserSpec{Username: "arch", Password: "pw", Tenant: "dw", Roles: []string{RoleDesigner}})
+	arch, _, err := p.Login("arch", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc := p.Designer()
+	if _, err := svc.CreateProject("warehouse", "dw"); err != nil {
+		t.Fatal(err)
+	}
+	cim, err := StarSpec{
+		Name: "Ops",
+		Dimensions: []StarDimensionSpec{
+			{Name: "Team", Levels: []StarLevelSpec{{Name: "Team"}}},
+		},
+		Facts: []FactSpec{{
+			Name:       "Tickets",
+			Measures:   []StarMeasureSpec{{Name: "count_open", Aggregation: "sum"}},
+			Dimensions: []string{"Team"},
+		}},
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SaveConceptualModel("warehouse", cim); err != nil {
+		t.Fatal(err)
+	}
+	run, err := svc.StartProcess("warehouse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Done() {
+		t.Fatal("fresh process already done")
+	}
+	result, err := svc.Build("warehouse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Done() {
+		t.Error("Build did not drive the 2TUP run")
+	}
+	n, err := svc.Deploy("warehouse", result, arch.Catalog)
+	if err != nil || n != 2 {
+		t.Fatalf("deploy: %v n=%d", err, n)
+	}
+	proj, _ := svc.Project("warehouse")
+	if proj.Phase != "transition" {
+		t.Errorf("phase = %s", proj.Phase)
+	}
+	if !arch.Catalog.HasTable("fact_tickets") {
+		t.Errorf("generated table missing; tenant tables: %v", arch.Catalog.Tables())
+	}
+	// Generated load plan can be completed into a runnable job through
+	// the public facade types.
+	job, err := mddws.BuildLoadJob(mddws.LoadJobConfig{
+		Plan:     result.Artifacts.LoadPlans[0],
+		Source:   &etl.SliceSource{Records: []etl.Record{{"team_id": int64(1), "count_open": 3.0}}},
+		Engine:   p.engine,
+		TableFor: arch.Catalog.Physical,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Run().Err(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := arch.Query("SELECT SUM(count_open) FROM fact_tickets")
+	if err != nil || res.Rows[0][0] != 3.0 {
+		t.Errorf("loaded fact = %v (%v)", res.Rows, err)
+	}
+}
+
+func TestDeliverFormatsPublicAPI(t *testing.T) {
+	p := openPlatform(t)
+	admin, _, _ := p.Login("admin", "admin")
+	admin.CreateTenant("acme", "A", "standard")
+	admin.CreateUser(UserSpec{Username: "u", Password: "pw", Tenant: "acme", Roles: []string{RoleDesigner}})
+	u, _, _ := p.Login("u", "pw")
+	u.Query("CREATE TABLE s (g TEXT, v INT)")
+	u.Query("INSERT INTO s VALUES ('a', 1), ('b', 2)")
+	out, err := u.RunAdHoc(&ReportSpec{
+		Name: "r",
+		Elements: []ReportElement{
+			{Kind: "table", Title: "T", Query: "SELECT g, v FROM s ORDER BY g"},
+			{Kind: "chart", Title: "C", Chart: ChartPie,
+				Query: "SELECT g, SUM(v) AS v FROM s GROUP BY g", Label: "g"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[DeliveryFormat]string{
+		FormatText: "T",
+		FormatHTML: "<svg",
+		FormatCSV:  "g,v",
+		FormatJSON: `"name": "r"`,
+	}
+	for f, want := range wants {
+		var buf bytes.Buffer
+		if err := Deliver(&buf, f, out); err != nil {
+			t.Fatalf("deliver %s: %v", f, err)
+		}
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("format %s missing %q", f, want)
+		}
+	}
+}
+
+func TestBuildStarErrors(t *testing.T) {
+	// A fact without measures violates the conceptual metamodel.
+	if _, err := BuildStar(StarSpec{
+		Name:       "Bad",
+		Dimensions: []StarDimensionSpec{{Name: "D", Levels: []StarLevelSpec{{Name: "L"}}}},
+		Facts:      []FactSpec{{Name: "F", Dimensions: []string{"D"}}},
+	}); err == nil {
+		t.Error("fact without measures accepted")
+	}
+	if _, err := BuildStar(StarSpec{
+		Name:  "Bad2",
+		Facts: []FactSpec{{Name: "F", Measures: []StarMeasureSpec{{Name: "m"}}, Dimensions: []string{"Ghost"}}},
+	}); err == nil {
+		t.Error("unknown dimension accepted")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	// Opening over a file (not a directory) fails cleanly.
+	if _, err := Open(Options{DataDir: "/dev/null/impossible"}); err == nil {
+		t.Error("bad data dir accepted")
+	}
+}
+
+func TestPlatformCheckpointAndReopenKeepsDesigns(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Open(Options{DataDir: dir, TokenSecret: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := p.Designer()
+	if _, err := svc.CreateProject("proj", "none"); err != nil {
+		t.Fatal(err)
+	}
+	cim, _ := StarSpec{
+		Name:       "S",
+		Dimensions: []StarDimensionSpec{{Name: "D", Levels: []StarLevelSpec{{Name: "L"}}}},
+		Facts:      []FactSpec{{Name: "F", Measures: []StarMeasureSpec{{Name: "m"}}, Dimensions: []string{"D"}}},
+	}.Build()
+	if err := svc.SaveConceptualModel("proj", cim); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Open(Options{DataDir: dir, TokenSecret: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	restored, err := p2.Designer().ConceptualModel("proj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := restored.FindByName("FactConcept", "F"); !ok {
+		t.Error("design lost across restart")
+	}
+}
+
+func TestEventsThroughPublicFacade(t *testing.T) {
+	p := openPlatform(t)
+	var kinds []string
+	p.OnEvent(func(kind, tenant, subject string) {
+		kinds = append(kinds, kind)
+	})
+	admin, _, _ := p.Login("admin", "admin")
+	admin.CreateTenant("evt", "E", "free")
+	if len(kinds) == 0 || kinds[0] != "tenant.created" {
+		t.Errorf("events = %v", kinds)
+	}
+}
