@@ -1,0 +1,19 @@
+.PHONY: build test vet ci bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# vet runs both the stock Go checks and the ODBIS platform-invariant
+# analyzers (tenant isolation, layer DAG, lock discipline, ...).
+vet:
+	go vet ./...
+	go run ./cmd/odbis-vet ./...
+
+ci:
+	sh scripts/ci.sh
+
+bench:
+	go run ./cmd/odbis-bench

@@ -1,0 +1,26 @@
+// Command odbis-vet runs the ODBIS platform-invariant analyzers over Go
+// packages and exits non-zero on findings. It is the architecture
+// counterpart of go vet: where the compiler checks types, odbis-vet
+// checks the paper's §2 tenant-isolation contract and the Fig. 1 layer
+// DAG, plus the concurrency and API hygiene rules in internal/analysis.
+//
+// Usage:
+//
+//	odbis-vet ./...                 # whole module
+//	odbis-vet -checks layercheck,tenantisolation ./internal/...
+//	odbis-vet -list                 # show the analyzer suite
+//
+// Suppress an intentional finding with a trailing comment:
+//
+//	//odbis:ignore <check> -- justification
+package main
+
+import (
+	"os"
+
+	"github.com/odbis/odbis/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -11,8 +11,11 @@
 //	ODBIS_TOKEN=… odbisctl usage acme
 //	ODBIS_TOKEN=… odbisctl datasets
 //	ODBIS_TOKEN=… odbisctl whoami
+//	odbisctl vet ./...
 //
 // The token comes from -token or the ODBIS_TOKEN environment variable.
+// The vet subcommand runs the platform-invariant static analyzers
+// (see internal/analysis) locally and needs no server or token.
 package main
 
 import (
@@ -24,6 +27,8 @@ import (
 	"net/http"
 	"os"
 	"strings"
+
+	"github.com/odbis/odbis/internal/analysis"
 )
 
 func main() {
@@ -72,6 +77,10 @@ func main() {
 		err = c.getJSON("/api/reports")
 	case "audit":
 		err = c.getJSON("/api/admin/audit")
+	case "vet":
+		// Operator entry point to the platform-invariant analyzers; runs
+		// locally against the source tree, no server needed.
+		os.Exit(analysis.Main(args[1:], os.Stdout, os.Stderr))
 	default:
 		usage()
 		os.Exit(2)
@@ -93,6 +102,7 @@ commands:
   tenants | usage T | invoice T administration
   datasets | datasources        metadata listings
   cubes | reports | audit       more listings
+  vet [packages]                run the platform-invariant static analyzers
 
 flags: -server URL  -token T (or $ODBIS_TOKEN / $ODBIS_SERVER)`)
 }

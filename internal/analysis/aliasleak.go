@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AliasLeak flags exported methods and functions that return an internal
+// mutable slice or map without copying: callers can then mutate tenant
+// plans, schema columns, or report widget lists behind the owner's back
+// — and behind its mutex. A return leaks when the returned expression is
+//
+//   - a field (or nested field) of the receiver or a parameter,
+//   - an index into such a field (map-of-slices lookups), or
+//   - a local assigned once from either of the above and returned as-is.
+//
+// Fresh slices built in the function, append-copies
+// (append([]T(nil), x...)), and scalar/struct returns all pass. Exported
+// identity accessors that deliberately share state should say so:
+// //odbis:ignore aliasleak -- <why sharing is the contract>.
+var AliasLeak = &Analyzer{
+	Name: "aliasleak",
+	Doc:  "flag exported methods returning internal mutable slices/maps without copying",
+	Run:  runAliasLeak,
+}
+
+func runAliasLeak(pass *Pass) {
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			// Methods on unexported receiver types are internal API.
+			if fn.Recv != nil {
+				if _, typeName := receiverNames(fn); typeName != "" && !ast.IsExported(typeName) {
+					continue
+				}
+			}
+			checkAliasLeaks(pass, fn)
+		}
+	}
+}
+
+func checkAliasLeaks(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo()
+	// Parameters and the receiver are the "owned state" roots.
+	owned := map[types.Object]bool{}
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	collect(fn.Recv)
+	collect(fn.Type.Params)
+
+	// leaksOwnedState reports whether e aliases memory reachable from an
+	// owned root without an intervening copy. Only chains that pass
+	// through an unexported field count: returning r.Cells[i] where
+	// Cells is an exported field hands out state the caller could reach
+	// anyway, but returning m.elements leaks state the type system says
+	// is private.
+	leaksOwnedState := func(e ast.Expr) (types.Object, bool) {
+		e = ast.Unparen(e)
+		switch e.(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr:
+		default:
+			return nil, false
+		}
+		root := rootIdent(e)
+		if root == nil {
+			return nil, false
+		}
+		obj := info.Uses[root]
+		if obj == nil || !owned[obj] {
+			return nil, false
+		}
+		t := info.Types[e].Type
+		if t == nil || !isMutableAlias(t) {
+			return nil, false
+		}
+		if !hasUnexportedField(e) {
+			return nil, false
+		}
+		return obj, true
+	}
+
+	// singleAssign maps locals assigned exactly once from a leaking expr
+	// and never reassigned.
+	type taint struct {
+		src   ast.Expr
+		count int
+	}
+	locals := map[types.Object]*taint{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if t, seen := locals[obj]; seen {
+				t.count++
+				continue
+			}
+			locals[obj] = &taint{src: as.Rhs[i], count: 1}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			res = ast.Unparen(res)
+			if obj, leaks := leaksOwnedState(res); leaks {
+				pass.Reportf(res.Pos(),
+					"%s returns internal %s state (%s) without copying; callers can mutate it — return a copy",
+					fn.Name.Name, typeKind(info.Types[res].Type), obj.Name())
+				continue
+			}
+			if id, ok := res.(*ast.Ident); ok {
+				obj := info.Uses[id]
+				if obj == nil {
+					continue
+				}
+				if t, seen := locals[obj]; seen && t.count == 1 {
+					if srcObj, leaks := leaksOwnedState(t.src); leaks {
+						pass.Reportf(res.Pos(),
+							"%s returns internal %s state (via %s from %s) without copying; callers can mutate it — return a copy",
+							fn.Name.Name, typeKind(info.Types[res].Type), id.Name, srcObj.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// hasUnexportedField reports whether the selector/index chain passes
+// through at least one unexported field.
+func hasUnexportedField(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if !x.Sel.IsExported() {
+				return true
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// isMutableAlias reports whether returning t shares mutable backing
+// store: slices and maps do, everything else (strings, scalars, structs,
+// channels, pointers — sharing a pointer is explicit) does not.
+func isMutableAlias(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+func typeKind(t types.Type) string {
+	if t == nil {
+		return "aliased"
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "aliased"
+}

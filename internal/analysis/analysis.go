@@ -1,0 +1,147 @@
+// Package analysis is a stdlib-only static-analysis framework enforcing
+// ODBIS platform invariants. The paper's SaaS model (§2) rests on rules
+// the Go compiler cannot check: every data access must flow through the
+// tenant Catalog rewrite so "one database stores all customers' data"
+// stays logically isolated, and the layered architecture (Fig. 1/Fig. 4)
+// forbids upper layers from reaching around the service layer into
+// storage. The analyzers here turn those architecture contracts into
+// machine-checked diagnostics, the same role platform-model conformance
+// checking plays in explicit execution-platform modelling for MDE.
+//
+// The framework is deliberately dependency-free: packages are located
+// with go/build, parsed with go/parser, and type-checked with go/types
+// plus a module-aware importer (see load.go) — no golang.org/x/tools.
+//
+// Diagnostics print as "file:line: [check] message". An intentional
+// violation is suppressed with a trailing or preceding comment:
+//
+//	//odbis:ignore <check>[,<check>...] -- justification
+//
+// which silences the named checks on that line and the next.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding by one analyzer.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the canonical "file:line: [check] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Check, d.Message)
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name appears in diagnostics and in //odbis:ignore comments.
+	Name string
+	// Doc is a one-line description for CLI usage output.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed files.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// TypesInfo returns the package's type-check results.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// TypesPkg returns the package's types object.
+func (p *Pass) TypesPkg() *types.Package { return p.Pkg.Types }
+
+// Path returns the package import path.
+func (p *Pass) Path() string { return p.Pkg.Path }
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AliasLeak,
+		ErrConvention,
+		GoroutineHygiene,
+		LayerCheck,
+		LockDiscipline,
+		TenantIsolation,
+	}
+}
+
+// ByName resolves a subset of analyzers by name; empty names means All.
+func ByName(names []string) ([]*Analyzer, error) {
+	if len(names) == 0 {
+		return All(), nil
+	}
+	index := map[string]*Analyzer{}
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := index[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown check %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunAnalyzers applies each analyzer to each package, drops suppressed
+// findings, and returns the rest sorted by file, line, then check name.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := buildIgnoreIndex(pkg)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			a.Run(pass)
+		}
+		for _, d := range pkgDiags {
+			if !ignores.covers(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches `// want `regex`` expectation comments in fixtures.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// runFixture loads testdata/src/<name> and checks the analyzer's
+// diagnostics against the fixture's want comments: every want must be
+// matched by exactly one diagnostic on its line, and no diagnostic may
+// go unexpected. Suppressed and negative cases are covered by the
+// no-unexpected-diagnostics side.
+func runFixture(t *testing.T, a *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", a.Name)
+	pkgs, err := Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages under %s", dir)
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errs {
+			t.Errorf("%s: load error: %v", pkg.Path, e)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		hit  bool
+	}
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &want{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   regexp.MustCompile(m[1]),
+					})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", dir)
+	}
+
+	diags := RunAnalyzers(pkgs, []*Analyzer{a})
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestTenantIsolationFixture(t *testing.T)  { runFixture(t, TenantIsolation) }
+func TestLayerCheckFixture(t *testing.T)       { runFixture(t, LayerCheck) }
+func TestLockDisciplineFixture(t *testing.T)   { runFixture(t, LockDiscipline) }
+func TestGoroutineHygieneFixture(t *testing.T) { runFixture(t, GoroutineHygiene) }
+func TestErrConventionFixture(t *testing.T)    { runFixture(t, ErrConvention) }
+func TestAliasLeakFixture(t *testing.T)        { runFixture(t, AliasLeak) }
+
+// TestCLIGolden pins the driver's output format: sorted diagnostics in
+// "file:line: [check] message" form, findings summary on stderr, exit
+// code 1.
+func TestCLIGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"-checks", "aliasleak,errconvention", "testdata/src/cli"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	goldenPath := filepath.Join("testdata", "cli.golden")
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if got, want := stdout.String(), string(golden); got != want {
+		t.Errorf("CLI output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if !strings.Contains(stderr.String(), "2 finding(s)") {
+		t.Errorf("stderr = %q, want findings summary", stderr.String())
+	}
+}
+
+// TestCLICleanTree ensures the analyzers stay green on the repo itself:
+// the same invariant the ci script enforces, kept close to the code so
+// `go test ./internal/analysis` catches regressions without the CLI.
+func TestCLICleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"../..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Errorf("odbis-vet on the repo = exit %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, a := range All() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing %s", a.Name)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName([]string{"nosuch"}); err == nil {
+		t.Fatal("expected error for unknown check")
+	}
+	as, err := ByName(nil)
+	if err != nil || len(as) != len(All()) {
+		t.Fatalf("ByName(nil) = %d analyzers, err %v", len(as), err)
+	}
+}
+
+// TestIgnoreCoversNextLine checks the suppression span: the directive
+// line and the one after it, nothing further.
+func TestIgnoreCoversNextLine(t *testing.T) {
+	dir := t.TempDir()
+	src := `package tmp
+
+import "errors"
+
+//odbis:ignore errconvention -- covers the next line
+var First = errors.New("x")
+var Second = errors.New("y")
+`
+	writeModule(t, dir, src)
+	pkgs, err := Load(dir, []string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkgs, []*Analyzer{ErrConvention})
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly the Second finding", diags)
+	}
+	if !strings.Contains(diags[0].Message, "Second") {
+		t.Errorf("surviving diagnostic = %s, want the one for Second", diags[0])
+	}
+}
+
+// TestBareIgnoreSuppressesNothing: a directive must name its checks.
+func TestBareIgnoreSuppressesNothing(t *testing.T) {
+	dir := t.TempDir()
+	src := `package tmp
+
+import "errors"
+
+var Oops = errors.New("x") //odbis:ignore
+`
+	writeModule(t, dir, src)
+	pkgs, err := Load(dir, []string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkgs, []*Analyzer{ErrConvention})
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want 1 (bare ignore must not suppress)", diags)
+	}
+}
+
+func writeModule(t *testing.T, dir, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module example.com/tmp\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tmp.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Main is the shared CLI driver behind `odbis-vet` and `odbisctl vet`.
+// It loads the packages matched by the argument patterns (default
+// ./...), runs the analyzer suite, prints one "file:line: [check]
+// message" diagnostic per finding, and returns the process exit code:
+// 0 clean, 1 findings, 2 usage or load failure.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("odbis-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: odbis-vet [-checks c1,c2] [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range All() {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	var names []string
+	if *checks != "" {
+		names = strings.Split(*checks, ",")
+	}
+	analyzers, err := ByName(names)
+	if err != nil {
+		fmt.Fprintln(stderr, "odbis-vet:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "odbis-vet:", err)
+		return 2
+	}
+	loadFailed := false
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errs {
+			fmt.Fprintf(stderr, "odbis-vet: %s: %v\n", pkg.Path, e)
+			loadFailed = true
+		}
+	}
+	if loadFailed {
+		return 2
+	}
+	diags := RunAnalyzers(pkgs, analyzers)
+	cwd, _ := filepath.Abs(".")
+	for _, d := range diags {
+		d.Pos.Filename = relativize(cwd, d.Pos.Filename)
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "odbis-vet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func relativize(base, path string) string {
+	if rel, err := filepath.Rel(base, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

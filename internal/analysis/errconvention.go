@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrConvention pins the repo's error style, modelled on the existing
+// ErrNoTenant family: package-level exported error values are `Err*`
+// sentinel vars, and call sites that embed a sentinel in fmt.Errorf must
+// wrap it with %w so errors.Is keeps matching through the wrap. Two
+// rules:
+//
+//  1. an exported package-level var of type error must be named Err...;
+//  2. fmt.Errorf with an Err* sentinel argument must use the %w verb
+//     for it (not %v/%s, which break errors.Is/As at every API layer).
+var ErrConvention = &Analyzer{
+	Name: "errconvention",
+	Doc:  "enforce Err* sentinel naming and %w wrapping of sentinels",
+	Run:  runErrConvention,
+}
+
+func runErrConvention(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := info.Defs[name]
+					if obj == nil || !obj.Exported() {
+						continue
+					}
+					if _, isVar := obj.(*types.Var); !isVar {
+						continue
+					}
+					if !isErrorType(obj.Type()) {
+						continue
+					}
+					if !strings.HasPrefix(name.Name, "Err") {
+						pass.Reportf(name.Pos(),
+							"exported error value %s should be named Err* to match the package sentinel convention",
+							name.Name)
+					}
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(pass, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" || obj.Name() != "Errorf" {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			format, ok := stringLiteral(pass, call.Args[0])
+			if !ok {
+				return true
+			}
+			verbs := formatVerbs(format)
+			for i, arg := range call.Args[1:] {
+				// Sentinels arrive bare (ErrMissing) or qualified
+				// (tenant.ErrNoTenant); both resolve through the final
+				// identifier.
+				var id *ast.Ident
+				switch x := ast.Unparen(arg).(type) {
+				case *ast.Ident:
+					id = x
+				case *ast.SelectorExpr:
+					id = x.Sel
+				}
+				if id == nil || !strings.HasPrefix(id.Name, "Err") {
+					continue
+				}
+				use := info.Uses[id]
+				if use == nil || !isErrorType(use.Type()) {
+					continue
+				}
+				if _, isPkgVar := use.(*types.Var); !isPkgVar || use.Parent() != use.Pkg().Scope() {
+					continue
+				}
+				if i < len(verbs) && verbs[i] != 'w' {
+					pass.Reportf(arg.Pos(),
+						"sentinel %s formatted with %%%c; wrap with %%w so errors.Is matches through the wrap",
+						id.Name, verbs[i])
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// formatVerbs extracts the verb letters from a format string in
+// argument order.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		j := i + 1
+		// Skip flags, width, precision.
+		for j < len(format) && strings.ContainsRune("+-# 0123456789.*", rune(format[j])) {
+			j++
+		}
+		if j >= len(format) {
+			break
+		}
+		if format[j] == '%' {
+			i = j
+			continue
+		}
+		verbs = append(verbs, format[j])
+		i = j
+	}
+	return verbs
+}

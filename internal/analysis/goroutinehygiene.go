@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineHygiene requires every `go` statement in non-test code to
+// have a visible join or shutdown path. A production platform that
+// serves millions of users cannot afford fire-and-forget goroutines:
+// they outlive requests, leak under load, and make clean shutdown
+// impossible. A launched func literal passes when its body contains any
+// of:
+//
+//   - a channel receive or a select statement (a stop/done signal),
+//   - a range over a channel (drains until close),
+//   - a sync.WaitGroup Done (the launcher can join it).
+//
+// Launching a named function hides the body from the check, so it is
+// flagged unconditionally — wrap it in a literal with a shutdown path,
+// or suppress with //odbis:ignore goroutinehygiene -- <why it may dangle>.
+var GoroutineHygiene = &Analyzer{
+	Name: "goroutinehygiene",
+	Doc:  "flag go statements with no join or shutdown path",
+	Run:  runGoroutineHygiene,
+}
+
+func runGoroutineHygiene(pass *Pass) {
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				pass.Reportf(g.Pos(),
+					"goroutine launches a named function whose shutdown path is not visible here; wrap it in a func literal with a done channel or WaitGroup")
+				return true
+			}
+			if !hasShutdownPath(pass, lit.Body) {
+				pass.Reportf(g.Pos(),
+					"goroutine has no join or shutdown path (no channel receive, select, channel range, or WaitGroup.Done)")
+			}
+			return true
+		})
+	}
+}
+
+func hasShutdownPath(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo().Types[x.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if isNamed(pass.TypesInfo().Types[sel.X].Type, "sync", "WaitGroup") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// namedType unwraps pointers and aliases down to a *types.Named, or nil.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		case *types.Alias:
+			t = types.Unalias(x)
+		default:
+			return nil
+		}
+	}
+}
+
+// isNamed reports whether t (possibly behind pointers) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Name() != name {
+		return false
+	}
+	pkg := obj.Pkg()
+	return pkg != nil && pkg.Path() == pkgPath
+}
+
+// group names every package resolves to for layer and allowlist checks.
+// The group is the first path segment after the LAST "internal/" marker,
+// so fixture trees under testdata/src/... can impersonate real layers;
+// packages with no internal segment (the root façade, cmd/*, examples/*)
+// form the top-level "main" group.
+func groupOf(importPath string) string {
+	i := strings.LastIndex(importPath, "internal/")
+	if i < 0 {
+		return "main"
+	}
+	rest := importPath[i+len("internal/"):]
+	if j := strings.IndexByte(rest, '/'); j >= 0 {
+		rest = rest[:j]
+	}
+	return rest
+}
+
+// stringLiteral returns the unquoted value of a string literal (or
+// constant-folded string), and whether arg is one.
+func stringLiteral(pass *Pass, arg ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo().Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// calleeObj resolves the called function/method object of a call, or nil.
+func calleeObj(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo().Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo().Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return pass.TypesInfo().Uses[fun.Sel]
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		switch x := ast.Unparen(fun.X).(type) {
+		case *ast.Ident:
+			return pass.TypesInfo().Uses[x]
+		case *ast.SelectorExpr:
+			return pass.TypesInfo().Uses[x.Sel]
+		}
+	}
+	return nil
+}
+
+// methodReceiverType returns the receiver type of the method being
+// called through a selector, or nil when the call is not a method call.
+func methodReceiverType(pass *Pass, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.TypesInfo().Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil
+	}
+	return s.Recv()
+}
+
+// rootIdent walks selector/index/slice expressions down to their base
+// identifier ("c" in c.reg.engine.Tables()[0]), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment. The full grammar is
+//
+//	//odbis:ignore check[,check...] [-- justification]
+//
+// A suppression covers its own source line and the line directly below
+// it, so it works both as a trailing comment and as a lead-in line above
+// the flagged statement.
+const ignorePrefix = "//odbis:ignore"
+
+// ignoreIndex maps "file:line" to the set of suppressed check names.
+type ignoreIndex map[string]map[string]bool
+
+func ignoreKey(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+// itoa avoids strconv in the hot path for small line numbers; plain and
+// allocation-free for the common case.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// buildIgnoreIndex scans every comment in the package for suppression
+// directives.
+func buildIgnoreIndex(pkg *Package) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				// Strip the optional "-- justification" tail.
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = strings.TrimSpace(rest[:i])
+				}
+				if rest == "" {
+					continue // a bare ignore suppresses nothing: checks must be named
+				}
+				checks := map[string]bool{}
+				for _, name := range strings.Split(rest, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						checks[name] = true
+					}
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := ignoreKey(pos.Filename, line)
+					if idx[key] == nil {
+						idx[key] = map[string]bool{}
+					}
+					for name := range checks {
+						idx[key][name] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// covers reports whether the diagnostic is suppressed.
+func (idx ignoreIndex) covers(d Diagnostic) bool {
+	checks, ok := idx[ignoreKey(d.Pos.Filename, d.Pos.Line)]
+	return ok && checks[d.Check]
+}

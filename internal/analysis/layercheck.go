@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"strconv"
+)
+
+// LayerCheck enforces the Fig. 1 layer DAG. Each package group may only
+// import the groups listed for it below; anything else is an upward or
+// layer-skipping edge. The intended stack, top to bottom:
+//
+//	main (cmd/*, examples/*, root façade)
+//	server                      — end-user access layer
+//	services                    — service façades
+//	tenant report olap etl      — domain subsystems
+//	rules bpm workload security
+//	sql                         — query layer
+//	storage (+ orm)             — shared engine
+//
+// with the MDA side column (metamodel → mda → mddws) allowed to reach
+// across into the domain/query layers it generates artifacts for, and
+// bus as a freestanding infrastructure package. Value types (storage.Value,
+// sql.Result, report.Spec, …) legitimately cross layers, so lower-layer
+// imports for types are allowed where listed; what the DAG forbids is a
+// layer reaching AROUND its façade (e.g. storage importing sql, a domain
+// package importing services, sql importing tenant).
+var LayerCheck = &Analyzer{
+	Name: "layercheck",
+	Doc:  "enforce the Fig. 1 layer DAG between package groups",
+	Run:  runLayerCheck,
+}
+
+// layerDAG maps an importer group to the set of module groups it may
+// import. Same-group imports (subpackages) are always allowed. Groups
+// missing from the map (main, bench, analysis fixtures' hosts) may
+// import anything.
+var layerDAG = map[string][]string{
+	"storage":   {},
+	"bus":       {},
+	"sql":       {"storage"},
+	"security":  {"storage"},
+	"tenant":    {"sql", "storage"},
+	"etl":       {"sql", "storage"},
+	"olap":      {"sql", "storage"},
+	"report":    {"sql", "storage"},
+	"rules":     {"sql", "storage"},
+	"bpm":       {"bus", "sql", "storage"},
+	"workload":  {"etl", "sql", "storage"},
+	"metamodel": {"etl", "storage"},
+	"mda":       {"metamodel"},
+	"mddws":     {"etl", "mda", "metamodel", "olap", "sql", "storage"},
+	"services": {"bpm", "bus", "etl", "mda", "metamodel", "mddws", "olap",
+		"report", "rules", "security", "sql", "storage", "tenant", "workload"},
+	"server": {"olap", "report", "security", "services", "sql", "storage", "tenant"},
+	"analysis": {},
+}
+
+func runLayerCheck(pass *Pass) {
+	self := groupOf(pass.Path())
+	allowed, constrained := layerDAG[self]
+	if !constrained {
+		return
+	}
+	allowSet := map[string]bool{self: true}
+	for _, g := range allowed {
+		allowSet[g] = true
+	}
+	for _, f := range pass.Files() {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			// Imports without an internal/ segment (stdlib, the root
+			// façade) carry no layer and are always allowed. The tool is
+			// project-specific and the module has no external deps, so
+			// every internal/ import is one of ours.
+			g := groupOf(path)
+			if g == "main" || allowSet[g] {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"layer %q may not import layer %q (%s); route through the service layer per the Fig. 1 DAG",
+				self, g, path)
+		}
+	}
+}

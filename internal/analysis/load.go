@@ -1,0 +1,293 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("github.com/odbis/odbis/internal/tenant").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset is shared by every package in one Load call.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+	// Errs collects parse and type-check errors; analyzers still run on
+	// the partial results, but drivers should surface these.
+	Errs []error
+}
+
+// loader resolves and type-checks packages without shelling out to the
+// go tool: go/build locates sources, go/parser reads them, go/types
+// checks them, and stdlib imports come from the source importer. Module
+// imports are intercepted and resolved against the module root, which is
+// the piece go/importer cannot do by itself.
+type loader struct {
+	root   string // directory containing go.mod
+	module string // module path from go.mod
+	fset   *token.FileSet
+	ctx    build.Context
+	std    types.ImporterFrom
+	pkgs   map[string]*Package // by import path
+	active map[string]bool     // cycle guard
+}
+
+func newLoader(root, module string) *loader {
+	fset := token.NewFileSet()
+	ctx := build.Default
+	return &loader{
+		root:   root,
+		module: module,
+		fset:   fset,
+		ctx:    ctx,
+		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:   map[string]*Package{},
+		active: map[string]bool{},
+	}
+}
+
+// Load type-checks the packages matched by patterns. Each pattern is a
+// directory path, optionally ending in "/..." for a recursive walk
+// (testdata, vendor, and dot/underscore directories are skipped, except
+// when the pattern root itself lies inside one). Patterns resolve
+// relative to dir; the module root is found by walking up to go.mod.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, module, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(root, module)
+	dirs, err := expandPatterns(abs, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, d := range dirs {
+		pkg, err := l.loadDir(d)
+		if err != nil {
+			if _, nogo := err.(*build.NoGoError); nogo {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and reads its
+// module path.
+func findModule(dir string) (root, module string, err error) {
+	for d := dir; ; {
+		gomod := filepath.Join(d, "go.mod")
+		if data, err := os.ReadFile(gomod); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s has no module line", gomod)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// expandPatterns resolves "dir" and "dir/..." patterns to directories
+// containing buildable Go files.
+func expandPatterns(base string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		p := pat
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(base, p)
+		}
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("analysis: %s: not a directory", pat)
+		}
+		if !recursive {
+			add(p)
+			continue
+		}
+		err = filepath.WalkDir(p, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if path != p {
+				name := d.Name()
+				if name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+					return filepath.SkipDir
+				}
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps a directory under the module root to its import
+// path.
+func (l *loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.module, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.module)
+	}
+	return l.module + "/" + filepath.ToSlash(rel), nil
+}
+
+func (l *loader) dirForImport(path string) string {
+	if path == l.module {
+		return l.root
+	}
+	return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
+}
+
+func (l *loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(path, dir)
+}
+
+// load parses and type-checks one module package, memoized by import
+// path.
+func (l *loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.active[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.active[path] = true
+	defer delete(l.active, path)
+
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			pkg.Errs = append(pkg.Errs, err)
+			continue
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { pkg.Errs = append(pkg.Errs, err) },
+	}
+	pkg.Types, _ = conf.Check(path, l.fset, pkg.Files, pkg.Info)
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loaderImporter adapts the loader to types.Importer: module paths are
+// resolved against the module root, everything else (the stdlib) goes to
+// the source importer.
+type loaderImporter loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*loader)(li)
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.load(path, l.dirForImport(path))
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("analysis: %s failed to type-check", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,383 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockDiscipline catches the three mutex mistakes that matter most in a
+// heavily concurrent platform:
+//
+//  1. a mutex copied by value — value receivers or value parameters on
+//     types that contain a sync.Mutex/RWMutex, which silently fork the
+//     lock;
+//  2. Lock() not followed by defer Unlock() when an early return sits
+//     between the Lock and the eventual explicit Unlock, leaking the
+//     lock on the error path;
+//  3. a method that acquires a mutex calling another method of the same
+//     receiver that acquires the same mutex — a guaranteed self-deadlock
+//     since sync.Mutex is not reentrant.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "flag copied mutexes, early returns that leak a held lock, and self-deadlocking method calls",
+	Run:  runLockDiscipline,
+}
+
+func isMutexType(t types.Type) bool {
+	return isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex")
+}
+
+// containsMutex reports whether a value of type t embeds a mutex by
+// value (so copying t copies the lock). Depth-limited to keep recursive
+// types safe.
+func containsMutex(t types.Type, depth int) bool {
+	if depth > 6 {
+		return false
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return false
+	}
+	if isMutexType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutex(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutex(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// lockCall matches expr to a mutex method call and classifies it.
+// root is the base identifier the mutex hangs off ("s" in s.mu.Lock()).
+type lockCall struct {
+	call   *ast.CallExpr
+	method string     // Lock, RLock, Unlock, RUnlock
+	path   string     // printable selector path, e.g. "s.mu"
+	root   *ast.Ident // receiver/variable the mutex belongs to
+}
+
+func asLockCall(pass *Pass, n ast.Node) (lockCall, bool) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return lockCall{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockCall{}, false
+	}
+	m := sel.Sel.Name
+	switch m {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockCall{}, false
+	}
+	if !isMutexType(pass.TypesInfo().Types[sel.X].Type) {
+		return lockCall{}, false
+	}
+	return lockCall{call: call, method: m, path: exprPath(sel.X), root: rootIdent(sel.X)}, true
+}
+
+// exprPath renders a selector chain for diagnostics ("s.mu"); non-ident
+// bases collapse to "<expr>".
+func exprPath(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprPath(x.X) + "." + x.Sel.Name
+	default:
+		return "<expr>"
+	}
+}
+
+func unlockFor(lockMethod string) string {
+	if lockMethod == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+func runLockDiscipline(pass *Pass) {
+	checkMutexCopies(pass)
+	locking := collectLockingMethods(pass)
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkLockPaths(pass, fn, locking)
+		}
+	}
+}
+
+// checkMutexCopies flags value receivers and value parameters whose type
+// carries a mutex.
+func checkMutexCopies(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			var fields []*ast.Field
+			if fn.Recv != nil {
+				fields = append(fields, fn.Recv.List...)
+			}
+			if fn.Type.Params != nil {
+				fields = append(fields, fn.Type.Params.List...)
+			}
+			for _, field := range fields {
+				t := info.Types[field.Type].Type
+				if t == nil {
+					continue
+				}
+				if containsMutex(t, 0) {
+					kind := "parameter"
+					if fn.Recv != nil && len(fn.Recv.List) > 0 && field == fn.Recv.List[0] {
+						kind = "receiver"
+					}
+					pass.Reportf(field.Pos(),
+						"%s of %s passes a type containing a mutex by value, copying the lock; use a pointer",
+						kind, fn.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+// methodKey identifies a method on a named receiver type.
+type methodKey struct {
+	typeName string
+	method   string
+}
+
+// lockingMethod records which mutex paths (receiver-relative, e.g.
+// "mu") a method acquires.
+type lockingMethod struct {
+	fields map[string]bool // mutex selector path below the receiver
+}
+
+// collectLockingMethods finds, per method, the receiver mutex fields it
+// locks (either flavor), to feed the self-deadlock check.
+func collectLockingMethods(pass *Pass) map[methodKey]lockingMethod {
+	out := map[methodKey]lockingMethod{}
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			recvName, typeName := receiverNames(fn)
+			if recvName == "" || typeName == "" {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				lc, ok := asLockCall(pass, n)
+				if !ok || lc.root == nil || lc.root.Name != recvName {
+					return true
+				}
+				if lc.method != "Lock" && lc.method != "RLock" {
+					return true
+				}
+				key := methodKey{typeName, fn.Name.Name}
+				m, ok := out[key]
+				if !ok {
+					m = lockingMethod{fields: map[string]bool{}}
+					out[key] = m
+				}
+				// Strip the receiver name: "s.mu" -> "mu".
+				m.fields[stripRoot(lc.path)] = true
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func receiverNames(fn *ast.FuncDecl) (recvName, typeName string) {
+	field := fn.Recv.List[0]
+	if len(field.Names) > 0 {
+		recvName = field.Names[0].Name
+	}
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch x := t.(type) {
+	case *ast.Ident:
+		typeName = x.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, ok := x.X.(*ast.Ident); ok {
+			typeName = id.Name
+		}
+	}
+	return recvName, typeName
+}
+
+func stripRoot(path string) string {
+	for i := 0; i < len(path); i++ {
+		if path[i] == '.' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// checkLockPaths walks one function body looking for Lock() calls and
+// then (a) early returns before the matching explicit Unlock and (b)
+// same-receiver locked-method calls while the lock is held.
+func checkLockPaths(pass *Pass, fn *ast.FuncDecl, locking map[methodKey]lockingMethod) {
+	var recvName, typeName string
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		recvName, typeName = receiverNames(fn)
+	}
+	var walkBlock func(stmts []ast.Stmt)
+	walkBlock = func(stmts []ast.Stmt) {
+		for i, stmt := range stmts {
+			// Recurse into nested blocks first so inner Lock/Unlock
+			// pairs are judged in their own scope.
+			switch s := stmt.(type) {
+			case *ast.BlockStmt:
+				walkBlock(s.List)
+			case *ast.IfStmt:
+				walkBlock(s.Body.List)
+				if els, ok := s.Else.(*ast.BlockStmt); ok {
+					walkBlock(els.List)
+				}
+			case *ast.ForStmt:
+				walkBlock(s.Body.List)
+			case *ast.RangeStmt:
+				walkBlock(s.Body.List)
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walkBlock(cc.Body)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walkBlock(cc.Body)
+					}
+				}
+			case *ast.SelectStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						walkBlock(cc.Body)
+					}
+				}
+			}
+			expr, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			lc, ok := asLockCall(pass, expr.X)
+			if !ok || (lc.method != "Lock" && lc.method != "RLock") {
+				continue
+			}
+			want := unlockFor(lc.method)
+			deferred := false
+			if i+1 < len(stmts) {
+				if d, ok := stmts[i+1].(*ast.DeferStmt); ok {
+					if dc, ok := asLockCall(pass, d.Call); ok &&
+						dc.method == want && dc.path == lc.path {
+						deferred = true
+					}
+				}
+			}
+			// Find the matching explicit unlock at this block level, and
+			// any return statement (at any nesting depth) that executes
+			// with the lock still held — i.e. no unlock of the same
+			// mutex anywhere in source order before it. Branches that
+			// unlock-then-return ("if bad { mu.Unlock(); return err }")
+			// are the sanctioned manual pattern and pass.
+			unlockPos := token.NoPos
+			var returnBefore token.Pos
+			heldEnd := token.NoPos
+			firstUnlockAnyDepth := token.NoPos
+			for _, later := range stmts[i+1:] {
+				if e, ok := later.(*ast.ExprStmt); ok {
+					if uc, ok := asLockCall(pass, e.X); ok &&
+						uc.method == want && uc.path == lc.path {
+						unlockPos = later.Pos()
+						break
+					}
+				}
+				if !deferred {
+					ast.Inspect(later, func(n ast.Node) bool {
+						if _, isFn := n.(*ast.FuncLit); isFn {
+							return false
+						}
+						if uc, ok := asLockCall(pass, n); ok &&
+							uc.method == want && uc.path == lc.path &&
+							firstUnlockAnyDepth == token.NoPos {
+							firstUnlockAnyDepth = uc.call.Pos()
+						}
+						if r, isRet := n.(*ast.ReturnStmt); isRet && returnBefore == token.NoPos {
+							if firstUnlockAnyDepth == token.NoPos || r.Pos() < firstUnlockAnyDepth {
+								returnBefore = r.Pos()
+							}
+						}
+						return true
+					})
+				}
+				heldEnd = later.End()
+			}
+			if deferred {
+				heldEnd = fn.Body.End()
+			} else if unlockPos != token.NoPos {
+				heldEnd = unlockPos
+			}
+			if !deferred && returnBefore != token.NoPos && unlockPos != token.NoPos {
+				pass.Reportf(returnBefore,
+					"early return while %s is held: %s on line %d has no defer %s",
+					lc.path, lc.method, pass.Fset().Position(lc.call.Pos()).Line, want)
+			}
+			// Self-deadlock: calls to same-receiver methods that lock the
+			// same mutex field, within the held span.
+			if recvName != "" && lc.root != nil && lc.root.Name == recvName && heldEnd != token.NoPos {
+				field := stripRoot(lc.path)
+				for _, later := range stmts[i+1:] {
+					if later.Pos() >= heldEnd {
+						break
+					}
+					ast.Inspect(later, func(n ast.Node) bool {
+						if _, isFn := n.(*ast.FuncLit); isFn {
+							return false
+						}
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+						if !ok {
+							return true
+						}
+						base, ok := ast.Unparen(sel.X).(*ast.Ident)
+						if !ok || base.Name != recvName {
+							return true
+						}
+						callee := methodKey{typeName, sel.Sel.Name}
+						if lm, ok := locking[callee]; ok && lm.fields[field] {
+							pass.Reportf(call.Pos(),
+								"%s.%s acquires %s.%s already held by %s (locked on line %d): self-deadlock",
+								recvName, sel.Sel.Name, recvName, field, fn.Name.Name,
+								pass.Fset().Position(lc.call.Pos()).Line)
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+	walkBlock(fn.Body.List)
+}

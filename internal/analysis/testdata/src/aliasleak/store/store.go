@@ -1,0 +1,57 @@
+// Package store is an aliasleak fixture.
+package store
+
+// Store owns mutable collections behind accessors.
+type Store struct {
+	items  []string
+	index  map[string]int
+	groups map[string][]string
+	// Public is exported: callers can already reach it, so handing it
+	// out is not a leak of private state.
+	Public []string
+}
+
+// Items leaks the backing slice.
+func (s *Store) Items() []string {
+	return s.items // want `Items returns internal slice state`
+}
+
+// Index leaks the backing map.
+func (s *Store) Index() map[string]int {
+	return s.index // want `Index returns internal map state`
+}
+
+// Group leaks through a map lookup.
+func (s *Store) Group(name string) []string {
+	return s.groups[name] // want `Group returns internal slice state`
+}
+
+// Via leaks through a single-assignment local.
+func (s *Store) Via() []string {
+	xs := s.items
+	return xs // want `Via returns internal slice state \(via xs from s\)`
+}
+
+// Copied is the sanctioned pattern.
+func (s *Store) Copied() []string {
+	return append([]string(nil), s.items...)
+}
+
+// FromPublic returns exported-field state the caller could touch anyway.
+func (s *Store) FromPublic() []string {
+	return s.Public
+}
+
+// Rebuilt returns a fresh map.
+func (s *Store) Rebuilt() map[string]int {
+	out := make(map[string]int, len(s.index))
+	for k, v := range s.index {
+		out[k] = v
+	}
+	return out
+}
+
+// Shared documents deliberate aliasing.
+func (s *Store) Shared() []string {
+	return s.items //odbis:ignore aliasleak -- fixture: documented zero-copy accessor
+}

@@ -1,0 +1,16 @@
+// Package cli is the golden-output fixture for the odbis-vet driver:
+// two deterministic findings from two different analyzers.
+package cli
+
+import "errors"
+
+// WrongName violates the sentinel naming convention.
+var WrongName = errors.New("cli: wrong name")
+
+// Box hides a slice behind an accessor that leaks it.
+type Box struct {
+	vals []int
+}
+
+// Vals leaks the backing slice.
+func (b *Box) Vals() []int { return b.vals }

@@ -1,0 +1,35 @@
+// Package errs is an errconvention fixture.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMissing follows the sentinel convention.
+var ErrMissing = errors.New("errs: missing")
+
+// BadName is exported error state without the Err prefix.
+var BadName = errors.New("errs: bad name") // want `exported error value BadName should be named Err\*`
+
+// LegacyFailure is intentionally grandfathered.
+var LegacyFailure = errors.New("errs: legacy") //odbis:ignore errconvention -- fixture: kept for API compatibility
+
+func Wrapped(id string) error {
+	return fmt.Errorf("%w: %s", ErrMissing, id)
+}
+
+func BadWrap(id string) error {
+	return fmt.Errorf("lookup %s: %v", id, ErrMissing) // want `sentinel ErrMissing formatted with %v`
+}
+
+func BadWrapS(id string) error {
+	return fmt.Errorf("lookup %s: %s", id, ErrMissing) // want `sentinel ErrMissing formatted with %s`
+}
+
+// unexported sentinels are package-internal style, not checked.
+var errInternal = errors.New("errs: internal")
+
+func useInternal() error { return errInternal }
+
+var _ = useInternal

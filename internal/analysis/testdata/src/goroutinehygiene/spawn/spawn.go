@@ -1,0 +1,57 @@
+// Package spawn is a goroutinehygiene fixture.
+package spawn
+
+import "sync"
+
+func work() {}
+
+// BadFireAndForget launches a goroutine nothing can stop or join.
+func BadFireAndForget() {
+	go func() { // want `goroutine has no join or shutdown path`
+		for i := 0; i < 1000; i++ {
+			work()
+		}
+	}()
+}
+
+// BadNamed hides the body from the analyzer.
+func BadNamed() {
+	go work() // want `goroutine launches a named function whose shutdown path is not visible here`
+}
+
+// OKDoneChannel has a stop signal.
+func OKDoneChannel(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// OKWaitGroup is joinable.
+func OKWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// OKRange drains a channel until close.
+func OKRange(jobs chan int) {
+	go func() {
+		for range jobs {
+			work()
+		}
+	}()
+}
+
+// OKSuppressed documents a deliberate dangling goroutine.
+func OKSuppressed() {
+	go work() //odbis:ignore goroutinehygiene -- fixture: process-lifetime logger
+}

@@ -1,0 +1,9 @@
+// Package sqlfix is a layercheck fixture that impersonates the query
+// layer (its import path ends in internal/sql) and imports upward.
+package sqlfix
+
+import (
+	_ "github.com/odbis/odbis/internal/report" //odbis:ignore layercheck -- fixture: demonstrating the escape hatch
+	_ "github.com/odbis/odbis/internal/storage"
+	_ "github.com/odbis/odbis/internal/tenant" // want `layer "sql" may not import layer "tenant"`
+)

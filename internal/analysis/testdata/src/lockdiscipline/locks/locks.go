@@ -1,0 +1,79 @@
+// Package locks is a lockdiscipline fixture.
+package locks
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Value copies the mutex through its value receiver.
+func (c Counter) Value() int { // want `receiver of Value passes a type containing a mutex by value`
+	return c.n
+}
+
+// Merge copies a mutex through a value parameter.
+func Merge(a *Counter, b Counter) { // want `parameter of Merge passes a type containing a mutex by value`
+	a.n += b.n
+}
+
+// LeakOnError returns with the lock held on the error path.
+func (c *Counter) LeakOnError(fail bool) error {
+	c.mu.Lock()
+	if fail {
+		return errFailed // want `early return while c.mu is held`
+	}
+	c.n++
+	c.mu.Unlock()
+	return nil
+}
+
+// Deadlock calls a locked method while holding the same mutex.
+func (c *Counter) Deadlock() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Locked() // want `c.Locked acquires c.mu already held by Deadlock`
+}
+
+// Locked acquires the mutex itself.
+func (c *Counter) Locked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// OKDefer is the sanctioned pattern.
+func (c *Counter) OKDefer() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// OKManual unlocks on every path before returning.
+func (c *Counter) OKManual(fail bool) error {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		return errFailed
+	}
+	c.n++
+	c.mu.Unlock()
+	return nil
+}
+
+// OKSuppressed documents an intentional hand-off of a held lock.
+func (c *Counter) OKSuppressed() error {
+	c.mu.Lock()
+	if c.n == 0 {
+		return errFailed //odbis:ignore lockdiscipline -- fixture: caller unlocks via Close
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+var errFailed = errString("failed")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -54,7 +54,7 @@ type Trace struct {
 // TargetsOf returns the target elements derived from the given source
 // element.
 func (t *Trace) TargetsOf(src *metamodel.Element) []*metamodel.Element {
-	return t.bySource[src.ID()]
+	return append([]*metamodel.Element(nil), t.bySource[src.ID()]...)
 }
 
 // String renders the trace as a readable table.
@@ -123,7 +123,7 @@ func (ctx *Context) recordTrace(target *metamodel.Element) {
 func (ctx *Context) Resolve(src *metamodel.Element, className string) []*metamodel.Element {
 	targets := ctx.trace.bySource[src.ID()]
 	if className == "" {
-		return targets
+		return append([]*metamodel.Element(nil), targets...)
 	}
 	var out []*metamodel.Element
 	for _, t := range targets {

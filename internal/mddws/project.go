@@ -52,7 +52,7 @@ type Service struct {
 
 // NewService opens the service over the shared engine.
 func NewService(e *storage.Engine) (*Service, error) {
-	m, err := orm.NewMapper[projectRow](e, "mddws_projects")
+	m, err := orm.NewMapper[projectRow](e, "mddws_projects") //odbis:ignore tenantisolation -- MDDWS design projects are platform artifacts, not tenant data
 	if err != nil {
 		return nil, err
 	}

@@ -166,7 +166,11 @@ func (e *Element) MustAdd(ref string, target *Element) *Element {
 
 // Refs returns the targets of a reference (nil when empty).
 func (e *Element) Refs(ref string) []*Element {
-	return e.refs[ref]
+	ts := e.refs[ref]
+	if ts == nil {
+		return nil
+	}
+	return append([]*Element(nil), ts...)
 }
 
 // Ref returns the single target of a reference (nil when unset).
@@ -235,7 +239,7 @@ func (m *Model) Lookup(id string) (*Element, bool) {
 }
 
 // Elements returns every element in creation order.
-func (m *Model) Elements() []*Element { return m.elements }
+func (m *Model) Elements() []*Element { return append([]*Element(nil), m.elements...) }
 
 // ElementsOf returns elements whose class is name or a subclass of it.
 func (m *Model) ElementsOf(className string) []*Element {

@@ -166,31 +166,31 @@ func NewManager(e *storage.Engine, opts Options) (*Manager, error) {
 	}
 	m := &Manager{opts: opts}
 	var err error
-	if m.users, err = orm.NewMapper[userRow](e, "sec_users"); err != nil {
+	if m.users, err = orm.NewMapper[userRow](e, "sec_users"); err != nil { //odbis:ignore tenantisolation -- platform security principals live in shared physical tables by design
 		return nil, err
 	}
-	if m.roles, err = orm.NewMapper[roleRow](e, "sec_roles"); err != nil {
+	if m.roles, err = orm.NewMapper[roleRow](e, "sec_roles"); err != nil { //odbis:ignore tenantisolation -- platform security principals live in shared physical tables by design
 		return nil, err
 	}
-	if m.groups, err = orm.NewMapper[groupRow](e, "sec_groups"); err != nil {
+	if m.groups, err = orm.NewMapper[groupRow](e, "sec_groups"); err != nil { //odbis:ignore tenantisolation -- platform security principals live in shared physical tables by design
 		return nil, err
 	}
-	if m.auths, err = orm.NewMapper[authorityRow](e, "sec_authorities"); err != nil {
+	if m.auths, err = orm.NewMapper[authorityRow](e, "sec_authorities"); err != nil { //odbis:ignore tenantisolation -- platform security principals live in shared physical tables by design
 		return nil, err
 	}
-	if m.userRoles, err = orm.NewMapper[userRole](e, "sec_user_roles"); err != nil {
+	if m.userRoles, err = orm.NewMapper[userRole](e, "sec_user_roles"); err != nil { //odbis:ignore tenantisolation -- platform security principals live in shared physical tables by design
 		return nil, err
 	}
-	if m.userGrps, err = orm.NewMapper[userGroup](e, "sec_user_groups"); err != nil {
+	if m.userGrps, err = orm.NewMapper[userGroup](e, "sec_user_groups"); err != nil { //odbis:ignore tenantisolation -- platform security principals live in shared physical tables by design
 		return nil, err
 	}
-	if m.grpRoles, err = orm.NewMapper[groupRole](e, "sec_group_roles"); err != nil {
+	if m.grpRoles, err = orm.NewMapper[groupRole](e, "sec_group_roles"); err != nil { //odbis:ignore tenantisolation -- platform security principals live in shared physical tables by design
 		return nil, err
 	}
-	if m.roleAuths, err = orm.NewMapper[roleAuthority](e, "sec_role_authorities"); err != nil {
+	if m.roleAuths, err = orm.NewMapper[roleAuthority](e, "sec_role_authorities"); err != nil { //odbis:ignore tenantisolation -- platform security principals live in shared physical tables by design
 		return nil, err
 	}
-	if m.audit, err = orm.NewMapper[auditRow](e, "sec_audit"); err != nil {
+	if m.audit, err = orm.NewMapper[auditRow](e, "sec_audit"); err != nil { //odbis:ignore tenantisolation -- platform security principals live in shared physical tables by design
 		return nil, err
 	}
 	return m, nil

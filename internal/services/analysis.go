@@ -26,7 +26,7 @@ type cubeRow struct {
 }
 
 func (p *Platform) cubeStore() (*orm.Mapper[cubeRow], error) {
-	return orm.NewMapper[cubeRow](p.Registry.Engine(), "as_cubes")
+	return orm.NewMapper[cubeRow](p.Registry.Engine(), "as_cubes") //odbis:ignore tenantisolation -- cube registry is platform metadata; specs are tenant-scoped by the Tenant column
 }
 
 // DefineCube stores a cube definition over tenant tables. Table names in

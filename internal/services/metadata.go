@@ -70,15 +70,15 @@ type Metadata struct {
 
 // NewMetadata opens the service over the shared engine.
 func NewMetadata(e *storage.Engine) (*Metadata, error) {
-	srcs, err := orm.NewMapper[DataSource](e, "mds_sources")
+	srcs, err := orm.NewMapper[DataSource](e, "mds_sources") //odbis:ignore tenantisolation -- shared metadata catalog (paper Fig. 4), tenant-scoped per row
 	if err != nil {
 		return nil, err
 	}
-	sets, err := orm.NewMapper[DataSet](e, "mds_datasets")
+	sets, err := orm.NewMapper[DataSet](e, "mds_datasets") //odbis:ignore tenantisolation -- shared metadata catalog (paper Fig. 4), tenant-scoped per row
 	if err != nil {
 		return nil, err
 	}
-	terms, err := orm.NewMapper[BusinessTerm](e, "mds_terms")
+	terms, err := orm.NewMapper[BusinessTerm](e, "mds_terms") //odbis:ignore tenantisolation -- shared metadata catalog (paper Fig. 4), tenant-scoped per row
 	if err != nil {
 		return nil, err
 	}

@@ -30,7 +30,7 @@ type reportRow struct {
 }
 
 func (p *Platform) reportStore() (*orm.Mapper[reportRow], error) {
-	return orm.NewMapper[reportRow](p.Registry.Engine(), "rs_reports")
+	return orm.NewMapper[reportRow](p.Registry.Engine(), "rs_reports") //odbis:ignore tenantisolation -- report catalog is platform metadata; specs are tenant-scoped by the Tenant column
 }
 
 // SaveReport uploads (or replaces) a report spec under a report group.

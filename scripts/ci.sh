@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI pipeline for the ODBIS repo: build, vet (both the stock tool and the
+# platform-invariant analyzers), tests, and the race detector over the
+# concurrency-heavy packages. Fails fast on the first broken stage.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> odbis-vet ./..."
+go run ./cmd/odbis-vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (bus, etl, storage, tenant)"
+go test -race ./internal/bus/ ./internal/etl/ ./internal/storage/ ./internal/tenant/
+
+echo "CI OK"
