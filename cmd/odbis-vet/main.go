@@ -9,6 +9,11 @@
 //	odbis-vet ./...                 # whole module
 //	odbis-vet -checks layercheck,tenantisolation ./internal/...
 //	odbis-vet -list                 # show the analyzer suite
+//	odbis-vet -json ./...           # [{file,line,check,message,fixable}]
+//	odbis-vet -fix -dry-run ./...   # preview mechanical fixes as a diff
+//	odbis-vet -fix ./...            # apply fixes atomically per file
+//	odbis-vet -write-baseline vet-baseline.txt ./...
+//	odbis-vet -baseline vet-baseline.txt ./...   # report only new findings
 //
 // Suppress an intentional finding with a trailing comment:
 //

@@ -102,7 +102,8 @@ commands:
   tenants | usage T | invoice T administration
   datasets | datasources        metadata listings
   cubes | reports | audit       more listings
-  vet [packages]                run the platform-invariant static analyzers
+  vet [flags] [packages]        run the platform-invariant static analyzers
+                                (-json, -fix [-dry-run], -baseline/-write-baseline)
 
 flags: -server URL  -token T (or $ODBIS_TOKEN / $ODBIS_SERVER)`)
 }

@@ -2,7 +2,9 @@ package analysis
 
 import (
 	"go/ast"
+	"go/printer"
 	"go/types"
+	"strings"
 )
 
 // AliasLeak flags exported methods and functions that return an internal
@@ -136,7 +138,7 @@ func checkAliasLeaks(pass *Pass, fn *ast.FuncDecl) {
 		for _, res := range ret.Results {
 			res = ast.Unparen(res)
 			if obj, leaks := leaksOwnedState(res); leaks {
-				pass.Reportf(res.Pos(),
+				pass.ReportFix(res.Pos(), copySliceFix(pass, res),
 					"%s returns internal %s state (%s) without copying; callers can mutate it — return a copy",
 					fn.Name.Name, typeKind(info.Types[res].Type), obj.Name())
 				continue
@@ -157,6 +159,43 @@ func checkAliasLeaks(pass *Pass, fn *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// copySliceFix wraps a leaked slice return in an append copy:
+// `m.cols` becomes `append([]Column(nil), m.cols...)`. Only slices get
+// a fix (a map copy needs a loop, not an expression) and only when the
+// slice type is expressible without referencing another package — an
+// import alias in the enclosing file could differ from the package name
+// the type printer would choose.
+func copySliceFix(pass *Pass, res ast.Expr) *SuggestedFix {
+	info := pass.TypesInfo()
+	t := info.Types[res].Type
+	if t == nil {
+		return nil
+	}
+	if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+		return nil
+	}
+	foreign := false
+	qual := func(p *types.Package) string {
+		if p != pass.TypesPkg() {
+			foreign = true
+		}
+		return p.Name()
+	}
+	typeName := types.TypeString(t, qual)
+	if foreign {
+		return nil
+	}
+	var src strings.Builder
+	if err := printer.Fprint(&src, pass.Fset(), res); err != nil {
+		return nil
+	}
+	return &SuggestedFix{
+		Message: "return an append copy of the slice",
+		Edits: []TextEdit{editAt(pass.Fset(), res.Pos(), res.End(),
+			"append("+typeName+"(nil), "+src.String()+"...)")},
+	}
 }
 
 // hasUnexportedField reports whether the selector/index chain passes

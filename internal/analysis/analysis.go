@@ -33,6 +33,9 @@ type Diagnostic struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	// Fix is an optional mechanical rewrite (see SuggestedFix); nil when
+	// the finding needs human judgement.
+	Fix *SuggestedFix
 }
 
 // String renders the canonical "file:line: [check] message" form.
@@ -40,7 +43,10 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Check, d.Message)
 }
 
-// Analyzer is one named invariant check.
+// Analyzer is one named invariant check. Per-package analyzers set Run
+// and are invoked once per loaded package; whole-program analyzers set
+// RunProgram instead and are invoked once with the module-wide call
+// graph (exactly one of the two must be non-nil).
 type Analyzer struct {
 	// Name appears in diagnostics and in //odbis:ignore comments.
 	Name string
@@ -48,6 +54,8 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunProgram inspects the whole loaded program at once.
+	RunProgram func(*ProgramPass)
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -74,21 +82,38 @@ func (p *Pass) Path() string { return p.Pkg.Path }
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportFix(pos, nil, format, args...)
+}
+
+// ReportFix records a diagnostic carrying a suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:     p.Pkg.Fset.Position(pos),
 		Check:   p.Analyzer.Name,
 		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
 	})
 }
 
-// All returns the full analyzer suite in stable order.
+// editAt resolves a node span to a byte-offset TextEdit.
+func editAt(fset *token.FileSet, pos, end token.Pos, newText string) TextEdit {
+	p, e := fset.Position(pos), fset.Position(end)
+	return TextEdit{File: p.Filename, Off: p.Offset, End: e.Offset, NewText: newText}
+}
+
+// All returns the full analyzer suite in stable order: the six
+// per-package checks from PR 1 plus the three interprocedural ones
+// (ctxtenant, lockorder, sqltaint) that need the whole call graph.
 func All() []*Analyzer {
 	return []*Analyzer{
 		AliasLeak,
+		CtxTenant,
 		ErrConvention,
 		GoroutineHygiene,
 		LayerCheck,
 		LockDiscipline,
+		LockOrder,
+		SQLTaint,
 		TenantIsolation,
 	}
 }
@@ -113,21 +138,32 @@ func ByName(names []string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// RunAnalyzers applies each analyzer to each package, drops suppressed
+// RunAnalyzers applies each analyzer (per-package ones to each package,
+// whole-program ones once over the call graph), drops suppressed
 // findings, and returns the rest sorted by file, line, then check name.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+	ignores := ignoreIndex{}
 	for _, pkg := range pkgs {
-		ignores := buildIgnoreIndex(pkg)
-		var pkgDiags []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
-			a.Run(pass)
-		}
-		for _, d := range pkgDiags {
-			if !ignores.covers(d) {
-				diags = append(diags, d)
+		ignores.merge(buildIgnoreIndex(pkg))
+	}
+	var all []Diagnostic
+	var prog *Program // built lazily: only when an interprocedural check runs
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			if prog == nil {
+				prog = NewProgram(pkgs)
 			}
+			a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, diags: &all})
+			continue
+		}
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &all})
+		}
+	}
+	var diags []Diagnostic
+	for _, d := range all {
+		if !ignores.covers(d) {
+			diags = append(diags, d)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -207,3 +207,137 @@ func writeModule(t *testing.T, dir, src string) {
 		t.Fatal(err)
 	}
 }
+
+func TestSQLTaintFixture(t *testing.T)  { runFixture(t, SQLTaint) }
+func TestLockOrderFixture(t *testing.T) { runFixture(t, LockOrder) }
+func TestCtxTenantFixture(t *testing.T) { runFixture(t, CtxTenant) }
+
+// TestJSONGolden pins the -json wire format.
+func TestJSONGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"-json", "-checks", "aliasleak,errconvention", "testdata/src/cli"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "cli.json.golden"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if got, want := stdout.String(), string(golden); got != want {
+		t.Errorf("-json output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFixDryRun: -fix -dry-run prints a non-empty diff and leaves the
+// fixture untouched.
+func TestFixDryRun(t *testing.T) {
+	src := filepath.Join("testdata", "src", "errconvention", "errs", "errs.go")
+	before, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"-checks", "errconvention", "-fix", "-dry-run", "testdata/src/errconvention/..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (all errconvention findings are fixable)\nstderr: %s", code, stderr.String())
+	}
+	diff := stdout.String()
+	if !strings.Contains(diff, "@@") || !strings.Contains(diff, "+var ErrBadName") {
+		t.Errorf("dry-run diff missing expected hunks:\n%s", diff)
+	}
+	if !strings.Contains(stderr.String(), "would apply 3 fix(es)") {
+		t.Errorf("stderr = %q, want a would-apply summary", stderr.String())
+	}
+	after, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("dry-run modified the fixture file")
+	}
+}
+
+// TestFixApplyIdempotent applies fixes to a copy of the errconvention
+// fixture: the first pass repairs every finding, the second finds
+// nothing left to do.
+func TestFixApplyIdempotent(t *testing.T) {
+	fixture, err := os.ReadFile(filepath.Join("testdata", "src", "errconvention", "errs", "errs.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	writeModule(t, dir, string(fixture))
+
+	run := func() ([]Diagnostic, *FixResult) {
+		pkgs, err := Load(dir, []string{"."})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags := RunAnalyzers(pkgs, []*Analyzer{ErrConvention})
+		res, err := ApplyFixes(diags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diags, res
+	}
+	diags, res := run()
+	if len(diags) != 3 || res.Applied != 3 {
+		t.Fatalf("first pass: %d findings, %d applied; want 3 and 3\n%v", len(diags), res.Applied, diags)
+	}
+	if err := res.WriteFixes(); err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "tmp.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"var ErrBadName", "%w", "lookup %s: %w"} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed file missing %q", want)
+		}
+	}
+	diags, res = run()
+	if len(diags) != 0 || res.Applied != 0 || len(res.Files) != 0 {
+		t.Errorf("second pass: %d findings, %d applied, %d files; want all zero\n%v",
+			len(diags), res.Applied, len(res.Files), diags)
+	}
+}
+
+// TestSQLTaintPlaceholderFix: the mechanical rewrite moves Sprintf
+// values into bind arguments and drops SQL quotes around the verb.
+func TestSQLTaintPlaceholderFix(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"-checks", "sqltaint", "-fix", "-dry-run", "testdata/src/sqltaint/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (non-inline findings have no fix)\nstderr: %s", code, stderr.String())
+	}
+	diff := stdout.String()
+	want := `db.Query("SELECT id FROM orders WHERE region = ?", r.FormValue("region"))`
+	if !strings.Contains(diff, want) {
+		t.Errorf("dry-run diff missing placeholder rewrite %q:\n%s", want, diff)
+	}
+}
+
+// TestBaselineRoundTrip: -write-baseline records findings, -baseline
+// silences exactly them.
+func TestBaselineRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.txt")
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"-checks", "aliasleak,errconvention", "-write-baseline", base, "testdata/src/cli"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-write-baseline exit = %d\nstderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "[errconvention]") {
+		t.Errorf("baseline content missing entries:\n%s", data)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code = Main([]string{"-checks", "aliasleak,errconvention", "-baseline", base, "testdata/src/cli"}, &stdout, &stderr)
+	if code != 0 {
+		t.Errorf("-baseline exit = %d, want 0 (all findings baselined)\nstdout: %s", code, stdout.String())
+	}
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadFixturePkgs loads one fixture tree once per benchmark; loading
+// dominates end-to-end vet time (the source importer type-checks the
+// stdlib), so the benchmarks below separate analysis cost from load
+// cost.
+func loadFixturePkgs(b *testing.B, name string) []*Package {
+	b.Helper()
+	pkgs, err := Load(filepath.Join("testdata", "src", name), []string{"./..."})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pkgs
+}
+
+// BenchmarkNewProgram measures call-graph construction, the shared cost
+// every interprocedural analyzer pays once per run.
+func BenchmarkNewProgram(b *testing.B) {
+	pkgs := loadFixturePkgs(b, "sqltaint")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewProgram(pkgs)
+	}
+}
+
+// BenchmarkSQLTaint measures the taint fixpoint plus reporting over the
+// cross-package fixture.
+func BenchmarkSQLTaint(b *testing.B) {
+	pkgs := loadFixturePkgs(b, "sqltaint")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunAnalyzers(pkgs, []*Analyzer{SQLTaint})
+	}
+}
+
+// BenchmarkLockOrder measures lock summaries, edge collection, and SCC
+// detection over the cycle fixture.
+func BenchmarkLockOrder(b *testing.B) {
+	pkgs := loadFixturePkgs(b, "lockorder")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunAnalyzers(pkgs, []*Analyzer{LockOrder})
+	}
+}
+
+// BenchmarkFullSuite runs all nine analyzers over the sqltaint fixture:
+// the per-run cost ci.sh pays beyond loading.
+func BenchmarkFullSuite(b *testing.B) {
+	pkgs := loadFixturePkgs(b, "sqltaint")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunAnalyzers(pkgs, All())
+	}
+}

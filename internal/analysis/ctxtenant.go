@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxTenant is the interprocedural upgrade of tenantisolation: where
+// that check flags literal physical-table access one call at a time,
+// this one proves the paper's §2 identity contract across the call
+// graph — the tenant identity established at the internal/server
+// boundary must flow, via parameter or context, into every
+// internal/storage / internal/sql data access reachable from a handler.
+//
+// Concretely: starting from every HTTP handler (a server-group function
+// with a *net/http.Request parameter), the analyzer walks the static
+// call graph. Any reached function outside the namespace owners
+// (tenant, storage, sql, bench) that directly invokes a data-access
+// method on storage.Engine, storage.Tx, or sql.DB must "carry tenant
+// identity": a receiver or parameter whose type is (or holds, up to two
+// struct-field levels) a type from internal/tenant, or a
+// context.Context the identity can ride on. Substrates that are handed
+// pre-resolved physical names via Catalog.Physical suppress the finding
+// with a justification:
+//
+//	//odbis:ignore ctxtenant -- sink writes physical tables resolved by Catalog.Physical upstream
+//
+// The call graph is static (see Program), so paths through interfaces
+// or stored function values are invisible; this analyzer understates
+// reachability rather than inventing paths.
+var CtxTenant = &Analyzer{
+	Name:       "ctxtenant",
+	Doc:        "prove tenant identity flows from every handler into all reachable storage/sql accesses",
+	RunProgram: runCtxTenant,
+}
+
+// ctxTenantExemptGroups own the physical namespace (or measure it):
+// inside them, data access without a tenant value is the implementation
+// of the rewrite itself, not a bypass.
+var ctxTenantExemptGroups = map[string]bool{
+	"tenant":  true,
+	"storage": true,
+	"sql":     true,
+	"bench":   true,
+}
+
+func runCtxTenant(pass *ProgramPass) {
+	prog := pass.Prog
+	// Reachability from handlers, with one witness chain per function.
+	type reach struct {
+		handler string
+		chain   []string
+	}
+	reached := map[*types.Func]reach{}
+	var queue []*types.Func
+	for _, fi := range prog.Funcs() {
+		if isHandlerBoundary(fi) {
+			name := shortFuncName(fi.Obj)
+			reached[fi.Obj] = reach{handler: name}
+			queue = append(queue, fi.Obj)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		from := reached[fn]
+		for _, cs := range prog.CallsFrom(fn) {
+			if _, seen := reached[cs.Callee]; seen {
+				continue
+			}
+			if prog.DeclOf(cs.Callee) == nil {
+				continue
+			}
+			chain := append(append([]string(nil), from.chain...), shortFuncName(cs.Callee))
+			reached[cs.Callee] = reach{handler: from.handler, chain: chain}
+			queue = append(queue, cs.Callee)
+		}
+	}
+	for _, fi := range prog.Funcs() {
+		r, ok := reached[fi.Obj]
+		if !ok || ctxTenantExemptGroups[groupOf(fi.Pkg.Path)] {
+			continue
+		}
+		if carriesTenantIdentity(fi.Obj) {
+			continue
+		}
+		info := fi.Pkg.Info
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			target := dataAccessTarget(info, call)
+			if target == "" {
+				return true
+			}
+			via := ""
+			if len(r.chain) > 0 {
+				via = " via " + strings.Join(capChain(r.chain, 5), " → ")
+			}
+			pass.Reportf(call.Pos(),
+				"%s calls %s with no tenant identity in scope (reachable from handler %s%s); thread the tenant Catalog or a context.Context through this path",
+				shortFuncName(fi.Obj), target, r.handler, via)
+			return true
+		})
+	}
+}
+
+// capChain elides the middle of long witness chains.
+func capChain(chain []string, max int) []string {
+	if len(chain) <= max {
+		return chain
+	}
+	head := chain[:max-1]
+	return append(append([]string(nil), head...), "…", chain[len(chain)-1])
+}
+
+// isHandlerBoundary reports whether fi is where tenant identity enters:
+// a server-group function taking *net/http.Request.
+func isHandlerBoundary(fi *FuncInfo) bool {
+	if groupOf(fi.Pkg.Path) != "server" {
+		return false
+	}
+	sig, ok := fi.Obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isNamed(sig.Params().At(i).Type(), "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+// dataAccessTarget classifies a call as tenant-data access and names it,
+// or returns "".
+func dataAccessTarget(info *types.Info, call *ast.CallExpr) string {
+	recv := methodReceiverType(info, call)
+	if recv == nil {
+		return ""
+	}
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	name := sel.Sel.Name
+	const storagePath = "github.com/odbis/odbis/internal/storage"
+	const sqlPath = "github.com/odbis/odbis/internal/sql"
+	switch {
+	case isNamed(recv, storagePath, "Engine"):
+		return "storage.Engine." + name
+	case isNamed(recv, storagePath, "Tx"):
+		return "storage.Tx." + name
+	case isNamed(recv, sqlPath, "DB"):
+		return "sql.DB." + name
+	}
+	return ""
+}
+
+// carriesTenantIdentity reports whether fn's receiver or any parameter
+// can carry who the tenant is: a type from internal/tenant, a
+// context.Context, or a struct holding either within two field levels
+// (services.Session carries Catalog *tenant.Catalog, for example).
+func carriesTenantIdentity(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for _, v := range receiverAndParams(sig) {
+		if typeCarriesTenant(v.Type(), 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func typeCarriesTenant(t types.Type, depth int) bool {
+	if depth > 2 {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if n := namedType(t); n != nil && n.Obj().Pkg() != nil {
+		path := n.Obj().Pkg().Path()
+		if strings.HasSuffix(path, "internal/tenant") {
+			return true
+		}
+		if path == "context" && n.Obj().Name() == "Context" {
+			return true
+		}
+	}
+	if st, ok := t.Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if typeCarriesTenant(st.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,10 +1,13 @@
 package analysis
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -13,13 +16,29 @@ import (
 // ./...), runs the analyzer suite, prints one "file:line: [check]
 // message" diagnostic per finding, and returns the process exit code:
 // 0 clean, 1 findings, 2 usage or load failure.
+//
+// Output and filtering modes:
+//
+//	-json                machine output: [{file,line,check,message,fixable}]
+//	-fix                 apply suggested fixes, report what remains
+//	-fix -dry-run        print the fix diff without writing files
+//	-baseline FILE       drop findings recorded in FILE (adopt-gradually mode)
+//	-write-baseline FILE record current findings to FILE and exit 0
+//
+// Baseline entries are "file: [check] message" — no line numbers, so a
+// baseline survives unrelated edits to the file above the finding.
 func Main(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("odbis-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	checks := fs.String("checks", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	fix := fs.Bool("fix", false, "apply suggested fixes to the source files")
+	dryRun := fs.Bool("dry-run", false, "with -fix: print the diff instead of writing files")
+	baseline := fs.String("baseline", "", "suppress findings listed in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to a baseline file and exit")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: odbis-vet [-checks c1,c2] [-list] [packages]")
+		fmt.Fprintln(stderr, "usage: odbis-vet [-checks c1,c2] [-list] [-json] [-fix [-dry-run]] [-baseline file] [-write-baseline file] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -30,6 +49,14 @@ func Main(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *dryRun && !*fix {
+		fmt.Fprintln(stderr, "odbis-vet: -dry-run requires -fix")
+		return 2
+	}
+	if *jsonOut && *fix {
+		fmt.Fprintln(stderr, "odbis-vet: -json and -fix are mutually exclusive")
+		return 2
 	}
 	var names []string
 	if *checks != "" {
@@ -60,16 +87,156 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	diags := RunAnalyzers(pkgs, analyzers)
+	// Relativize before baseline handling so baseline keys are portable
+	// across checkouts.
 	cwd, _ := filepath.Abs(".")
-	for _, d := range diags {
-		d.Pos.Filename = relativize(cwd, d.Pos.Filename)
-		fmt.Fprintln(stdout, d.String())
+	for i := range diags {
+		diags[i].Pos.Filename = relativize(cwd, diags[i].Pos.Filename)
+	}
+	if *writeBaseline != "" {
+		if err := saveBaseline(*writeBaseline, diags); err != nil {
+			fmt.Fprintln(stderr, "odbis-vet:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "odbis-vet: wrote %d baseline entrie(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+	if *baseline != "" {
+		keep, err := filterBaseline(*baseline, diags)
+		if err != nil {
+			fmt.Fprintln(stderr, "odbis-vet:", err)
+			return 2
+		}
+		diags = keep
+	}
+	if *fix {
+		return runFixMode(diags, *dryRun, cwd, stdout, stderr)
+	}
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "odbis-vet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "odbis-vet: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// runFixMode applies (or previews) suggested fixes, then reports the
+// findings that had no mechanical fix. Exit 0 only when nothing remains.
+func runFixMode(diags []Diagnostic, dryRun bool, cwd string, stdout, stderr io.Writer) int {
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		fmt.Fprintln(stderr, "odbis-vet:", err)
+		return 2
+	}
+	if dryRun {
+		fmt.Fprint(stdout, res.Diff(cwd))
+	} else if len(res.Files) > 0 {
+		if err := res.WriteFixes(); err != nil {
+			fmt.Fprintln(stderr, "odbis-vet:", err)
+			return 2
+		}
+	}
+	verb := "applied"
+	if dryRun {
+		verb = "would apply"
+	}
+	fmt.Fprintf(stderr, "odbis-vet: %s %d fix(es) in %d file(s), %d skipped\n",
+		verb, res.Applied, len(res.Files), res.Skipped)
+	var remaining []Diagnostic
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			remaining = append(remaining, d)
+		}
+	}
+	for _, d := range remaining {
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(remaining) > 0 {
+		fmt.Fprintf(stderr, "odbis-vet: %d finding(s) not auto-fixable\n", len(remaining))
+		return 1
+	}
+	return 0
+}
+
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	Fixable bool   `json:"fixable"`
+}
+
+func writeJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Check:   d.Check,
+			Message: d.Message,
+			Fixable: d.Fix != nil && len(d.Fix.Edits) > 0,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// baselineKey identifies a finding without its line number, so recorded
+// findings stay suppressed while the file shifts around them.
+func baselineKey(d Diagnostic) string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos.Filename, d.Check, d.Message)
+}
+
+func saveBaseline(path string, diags []Diagnostic) error {
+	keys := make([]string, 0, len(diags))
+	seen := map[string]bool{}
+	for _, d := range diags {
+		k := baselineKey(d)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("# odbis-vet baseline: one \"file: [check] message\" per line.\n")
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+func filterBaseline(path string, diags []Diagnostic) ([]Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	known := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && !strings.HasPrefix(line, "#") {
+			known[line] = true
+		}
+	}
+	var keep []Diagnostic
+	for _, d := range diags {
+		if !known[baselineKey(d)] {
+			keep = append(keep, d)
+		}
+	}
+	return keep, nil
 }
 
 func relativize(base, path string) string {

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -46,7 +47,7 @@ func runErrConvention(pass *Pass) {
 						continue
 					}
 					if !strings.HasPrefix(name.Name, "Err") {
-						pass.Reportf(name.Pos(),
+						pass.ReportFix(name.Pos(), renameSentinelFix(pass, name, obj),
 							"exported error value %s should be named Err* to match the package sentinel convention",
 							name.Name)
 					}
@@ -58,14 +59,14 @@ func runErrConvention(pass *Pass) {
 			if !ok {
 				return true
 			}
-			obj := calleeObj(pass, call)
+			obj := calleeObj(pass.TypesInfo(), call)
 			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" || obj.Name() != "Errorf" {
 				return true
 			}
 			if len(call.Args) < 2 {
 				return true
 			}
-			format, ok := stringLiteral(pass, call.Args[0])
+			format, ok := stringLiteral(pass.TypesInfo(), call.Args[0])
 			if !ok {
 				return true
 			}
@@ -92,7 +93,7 @@ func runErrConvention(pass *Pass) {
 					continue
 				}
 				if i < len(verbs) && verbs[i] != 'w' {
-					pass.Reportf(arg.Pos(),
+					pass.ReportFix(arg.Pos(), wrapVerbFix(pass, call.Args[0], i, verbs),
 						"sentinel %s formatted with %%%c; wrap with %%w so errors.Is matches through the wrap",
 						id.Name, verbs[i])
 				}
@@ -100,6 +101,90 @@ func runErrConvention(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// renameSentinelFix rewrites a misnamed sentinel to Err<Name> at its
+// definition and every same-package use. Cross-package references are
+// out of the loaded fix scope, so the fix is withheld for nothing —
+// exported sentinels are almost always consumed through errors.Is with
+// the same package qualifier, and a leftover reference is a compile
+// error, not silent breakage. Withheld only when the target name is
+// already taken at package scope.
+func renameSentinelFix(pass *Pass, def *ast.Ident, obj types.Object) *SuggestedFix {
+	newName := "Err" + def.Name
+	if pass.TypesPkg().Scope().Lookup(newName) != nil {
+		return nil
+	}
+	fix := &SuggestedFix{
+		Message: "rename " + def.Name + " to " + newName + " (same-package references only)",
+		Edits:   []TextEdit{editAt(pass.Fset(), def.Pos(), def.End(), newName)},
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if ok && info.Uses[id] == obj {
+				fix.Edits = append(fix.Edits, editAt(pass.Fset(), id.Pos(), id.End(), newName))
+			}
+			return true
+		})
+	}
+	return fix
+}
+
+// wrapVerbFix flips the i-th verb of the Errorf format literal to %w.
+// Only plain %v/%s verbs qualify: anything carrying flags or a width
+// would change meaning, and non-literal formats cannot be edited. Verb
+// offsets are located in the literal's source text; interpreted-string
+// escapes never contain '%', so source positions line up with the
+// decoded format the report indexed — when they do not (count
+// mismatch), the fix is withheld.
+func wrapVerbFix(pass *Pass, formatArg ast.Expr, i int, verbs []byte) *SuggestedFix {
+	if i >= len(verbs) || (verbs[i] != 'v' && verbs[i] != 's') {
+		return nil
+	}
+	lit, ok := ast.Unparen(formatArg).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil
+	}
+	offsets := verbOffsets(lit.Value)
+	if len(offsets) != len(verbs) {
+		return nil
+	}
+	off := offsets[i]
+	if lit.Value[off-1] != '%' { // flags/width in between: not a plain verb
+		return nil
+	}
+	pos := lit.Pos() + token.Pos(off)
+	return &SuggestedFix{
+		Message: "wrap the sentinel with %w",
+		Edits:   []TextEdit{editAt(pass.Fset(), pos, pos+1, "w")},
+	}
+}
+
+// verbOffsets locates each format verb character inside the literal's
+// source text (quotes included), mirroring formatVerbs' scan.
+func verbOffsets(src string) []int {
+	var offs []int
+	for i := 0; i < len(src); i++ {
+		if src[i] != '%' {
+			continue
+		}
+		j := i + 1
+		for j < len(src) && strings.ContainsRune("+-# 0123456789.*", rune(src[j])) {
+			j++
+		}
+		if j >= len(src) {
+			break
+		}
+		if src[j] == '%' {
+			i = j
+			continue
+		}
+		offs = append(offs, j)
+		i = j
+	}
+	return offs
 }
 
 func isErrorType(t types.Type) bool {

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SuggestedFix is a mechanical rewrite attached to a diagnostic. Edits
+// are resolved to file byte offsets at report time (the analyzer holds
+// the FileSet, the applier does not), so a fix survives being carried
+// through sorting, baseline filtering, and JSON encoding unchanged.
+//
+// Fixes are deliberately conservative: an analyzer only attaches one
+// when the rewrite is purely mechanical (rename a sentinel and its
+// same-package uses, flip a format verb to %w, wrap a leaked slice in an
+// append copy, swap a Sprintf-built query for placeholders). Anything
+// needing judgement stays a bare diagnostic.
+type SuggestedFix struct {
+	// Message is a one-line description, e.g. "rename BadName to ErrBadName".
+	Message string
+	// Edits are non-overlapping byte-range replacements.
+	Edits []TextEdit
+}
+
+// TextEdit replaces file bytes [Off, End) with NewText.
+type TextEdit struct {
+	File     string
+	Off, End int
+	NewText  string
+}
+
+// FixResult summarizes one ApplyFixes run.
+type FixResult struct {
+	// Applied counts the fixes accepted (non-conflicting, files readable).
+	Applied int
+	// Skipped counts fixes dropped because they overlapped an earlier fix.
+	Skipped int
+	// Files maps each rewritten file to its new content, in the order the
+	// files were first touched.
+	Files []FixedFile
+}
+
+// FixedFile is one rewritten file: the original and patched bytes.
+type FixedFile struct {
+	Path     string
+	Old, New []byte
+}
+
+// ApplyFixes merges the suggested fixes of diags into per-file rewrites.
+// Conflicting fixes (overlapping byte ranges) are resolved first-wins in
+// diagnostic order, which is already sorted by position. Nothing is
+// written to disk; the caller chooses between WriteFixes and a dry-run
+// diff.
+func ApplyFixes(diags []Diagnostic) (*FixResult, error) {
+	type fileEdits struct {
+		path  string
+		edits []TextEdit
+	}
+	res := &FixResult{}
+	byFile := map[string]*fileEdits{}
+	var order []string
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		conflict := false
+		for _, e := range d.Fix.Edits {
+			fe := byFile[e.File]
+			if fe == nil {
+				continue
+			}
+			for _, prev := range fe.edits {
+				if e.Off < prev.End && prev.Off < e.End {
+					conflict = true
+				}
+			}
+		}
+		if conflict {
+			res.Skipped++
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			fe := byFile[e.File]
+			if fe == nil {
+				fe = &fileEdits{path: e.File}
+				byFile[e.File] = fe
+				order = append(order, e.File)
+			}
+			fe.edits = append(fe.edits, e)
+		}
+		res.Applied++
+	}
+	for _, path := range order {
+		fe := byFile[path]
+		old, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fix target: %w", err)
+		}
+		sort.Slice(fe.edits, func(i, j int) bool { return fe.edits[i].Off < fe.edits[j].Off })
+		var out []byte
+		last := 0
+		valid := true
+		for _, e := range fe.edits {
+			if e.Off < last || e.End > len(old) || e.Off > e.End {
+				valid = false
+				break
+			}
+			out = append(out, old[last:e.Off]...)
+			out = append(out, e.NewText...)
+			last = e.End
+		}
+		if !valid {
+			return nil, fmt.Errorf("analysis: fix edits out of range in %s", path)
+		}
+		out = append(out, old[last:]...)
+		res.Files = append(res.Files, FixedFile{Path: path, Old: old, New: out})
+	}
+	return res, nil
+}
+
+// WriteFixes persists the rewrites atomically per file: each file is
+// written to a temp sibling and renamed into place, so a crash leaves
+// either the old or the new content, never a torn file.
+func (r *FixResult) WriteFixes() error {
+	for _, f := range r.Files {
+		dir := filepath.Dir(f.Path)
+		tmp, err := os.CreateTemp(dir, ".odbis-vet-fix-*")
+		if err != nil {
+			return err
+		}
+		name := tmp.Name()
+		if _, err := tmp.Write(f.New); err != nil {
+			tmp.Close()
+			os.Remove(name)
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(name)
+			return err
+		}
+		if info, err := os.Stat(f.Path); err == nil {
+			os.Chmod(name, info.Mode().Perm())
+		}
+		if err := os.Rename(name, f.Path); err != nil {
+			os.Remove(name)
+			return err
+		}
+	}
+	return nil
+}
+
+// Diff renders the rewrites as a unified-style diff for -fix -dry-run.
+// File names are relativized against base when possible.
+func (r *FixResult) Diff(base string) string {
+	var sb strings.Builder
+	for _, f := range r.Files {
+		name := relativize(base, f.Path)
+		fmt.Fprintf(&sb, "--- %s\n+++ %s (fixed)\n", name, name)
+		sb.WriteString(unifiedDiff(splitLines(string(f.Old)), splitLines(string(f.New))))
+	}
+	return sb.String()
+}
+
+func splitLines(s string) []string {
+	lines := strings.SplitAfter(s, "\n")
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+// unifiedDiff is a minimal LCS line diff: each run of changes becomes
+// one hunk with a "@@ -n +m @@" header and no context lines. Files here
+// are source files, small enough for the quadratic table.
+func unifiedDiff(a, b []string) string {
+	// lcs[i][j] = length of the LCS of a[i:] and b[j:].
+	lcs := make([][]int, len(a)+1)
+	for i := range lcs {
+		lcs[i] = make([]int, len(b)+1)
+	}
+	for i := len(a) - 1; i >= 0; i-- {
+		for j := len(b) - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var sb strings.Builder
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		if i < len(a) && j < len(b) && a[i] == b[j] {
+			i++
+			j++
+			continue
+		}
+		// A change run starts: gather deletions then insertions until the
+		// sequences re-synchronize.
+		hunkA, hunkB := i, j
+		var del, ins []string
+		for i < len(a) || j < len(b) {
+			if i < len(a) && j < len(b) && a[i] == b[j] {
+				break // re-synchronized
+			}
+			if j >= len(b) || (i < len(a) && lcs[i+1][j] >= lcs[i][j+1]) {
+				del = append(del, a[i])
+				i++
+			} else {
+				ins = append(ins, b[j])
+				j++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", hunkA+1, len(del), hunkB+1, len(ins))
+		for _, l := range del {
+			sb.WriteString("-" + strings.TrimSuffix(l, "\n") + "\n")
+		}
+		for _, l := range ins {
+			sb.WriteString("+" + strings.TrimSuffix(l, "\n") + "\n")
+		}
+	}
+	return sb.String()
+}

@@ -57,8 +57,8 @@ func groupOf(importPath string) string {
 
 // stringLiteral returns the unquoted value of a string literal (or
 // constant-folded string), and whether arg is one.
-func stringLiteral(pass *Pass, arg ast.Expr) (string, bool) {
-	tv, ok := pass.TypesInfo().Types[arg]
+func stringLiteral(info *types.Info, arg ast.Expr) (string, bool) {
+	tv, ok := info.Types[arg]
 	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
 		return "", false
 	}
@@ -66,21 +66,21 @@ func stringLiteral(pass *Pass, arg ast.Expr) (string, bool) {
 }
 
 // calleeObj resolves the called function/method object of a call, or nil.
-func calleeObj(pass *Pass, call *ast.CallExpr) types.Object {
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		return pass.TypesInfo().Uses[fun]
+		return info.Uses[fun]
 	case *ast.SelectorExpr:
-		if sel, ok := pass.TypesInfo().Selections[fun]; ok {
+		if sel, ok := info.Selections[fun]; ok {
 			return sel.Obj()
 		}
-		return pass.TypesInfo().Uses[fun.Sel]
+		return info.Uses[fun.Sel]
 	case *ast.IndexExpr: // generic instantiation f[T](...)
 		switch x := ast.Unparen(fun.X).(type) {
 		case *ast.Ident:
-			return pass.TypesInfo().Uses[x]
+			return info.Uses[x]
 		case *ast.SelectorExpr:
-			return pass.TypesInfo().Uses[x.Sel]
+			return info.Uses[x.Sel]
 		}
 	}
 	return nil
@@ -88,12 +88,12 @@ func calleeObj(pass *Pass, call *ast.CallExpr) types.Object {
 
 // methodReceiverType returns the receiver type of the method being
 // called through a selector, or nil when the call is not a method call.
-func methodReceiverType(pass *Pass, call *ast.CallExpr) types.Type {
+func methodReceiverType(info *types.Info, call *ast.CallExpr) types.Type {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return nil
 	}
-	s, ok := pass.TypesInfo().Selections[sel]
+	s, ok := info.Selections[sel]
 	if !ok || s.Kind() != types.MethodVal {
 		return nil
 	}

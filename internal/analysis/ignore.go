@@ -85,6 +85,20 @@ func buildIgnoreIndex(pkg *Package) ignoreIndex {
 	return idx
 }
 
+// merge folds another package's suppressions into idx; keys are
+// file:line so indices from different packages never collide.
+func (idx ignoreIndex) merge(other ignoreIndex) {
+	for key, checks := range other {
+		if idx[key] == nil {
+			idx[key] = checks
+			continue
+		}
+		for name := range checks {
+			idx[key][name] = true
+		}
+	}
+}
+
 // covers reports whether the diagnostic is suppressed.
 func (idx ignoreIndex) covers(d Diagnostic) bool {
 	checks, ok := idx[ignoreKey(d.Pos.Filename, d.Pos.Line)]

@@ -63,7 +63,7 @@ type lockCall struct {
 	root   *ast.Ident // receiver/variable the mutex belongs to
 }
 
-func asLockCall(pass *Pass, n ast.Node) (lockCall, bool) {
+func asLockCall(info *types.Info, n ast.Node) (lockCall, bool) {
 	call, ok := n.(*ast.CallExpr)
 	if !ok {
 		return lockCall{}, false
@@ -78,7 +78,7 @@ func asLockCall(pass *Pass, n ast.Node) (lockCall, bool) {
 	default:
 		return lockCall{}, false
 	}
-	if !isMutexType(pass.TypesInfo().Types[sel.X].Type) {
+	if !isMutexType(info.Types[sel.X].Type) {
 		return lockCall{}, false
 	}
 	return lockCall{call: call, method: m, path: exprPath(sel.X), root: rootIdent(sel.X)}, true
@@ -181,7 +181,7 @@ func collectLockingMethods(pass *Pass) map[methodKey]lockingMethod {
 				continue
 			}
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				lc, ok := asLockCall(pass, n)
+				lc, ok := asLockCall(pass.TypesInfo(), n)
 				if !ok || lc.root == nil || lc.root.Name != recvName {
 					return true
 				}
@@ -280,7 +280,7 @@ func checkLockPaths(pass *Pass, fn *ast.FuncDecl, locking map[methodKey]lockingM
 			if !ok {
 				continue
 			}
-			lc, ok := asLockCall(pass, expr.X)
+			lc, ok := asLockCall(pass.TypesInfo(), expr.X)
 			if !ok || (lc.method != "Lock" && lc.method != "RLock") {
 				continue
 			}
@@ -288,7 +288,7 @@ func checkLockPaths(pass *Pass, fn *ast.FuncDecl, locking map[methodKey]lockingM
 			deferred := false
 			if i+1 < len(stmts) {
 				if d, ok := stmts[i+1].(*ast.DeferStmt); ok {
-					if dc, ok := asLockCall(pass, d.Call); ok &&
+					if dc, ok := asLockCall(pass.TypesInfo(), d.Call); ok &&
 						dc.method == want && dc.path == lc.path {
 						deferred = true
 					}
@@ -306,7 +306,7 @@ func checkLockPaths(pass *Pass, fn *ast.FuncDecl, locking map[methodKey]lockingM
 			firstUnlockAnyDepth := token.NoPos
 			for _, later := range stmts[i+1:] {
 				if e, ok := later.(*ast.ExprStmt); ok {
-					if uc, ok := asLockCall(pass, e.X); ok &&
+					if uc, ok := asLockCall(pass.TypesInfo(), e.X); ok &&
 						uc.method == want && uc.path == lc.path {
 						unlockPos = later.Pos()
 						break
@@ -317,7 +317,7 @@ func checkLockPaths(pass *Pass, fn *ast.FuncDecl, locking map[methodKey]lockingM
 						if _, isFn := n.(*ast.FuncLit); isFn {
 							return false
 						}
-						if uc, ok := asLockCall(pass, n); ok &&
+						if uc, ok := asLockCall(pass.TypesInfo(), n); ok &&
 							uc.method == want && uc.path == lc.path &&
 							firstUnlockAnyDepth == token.NoPos {
 							firstUnlockAnyDepth = uc.call.Pos()

@@ -1,0 +1,420 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a global lock-acquisition-order graph across the
+// whole module and reports cycles as potential deadlocks. Where
+// lockdiscipline judges one function at a time (copied mutexes, leaked
+// locks, self-deadlock on one receiver), this analyzer answers the
+// cross-cutting question a concurrent platform actually deadlocks on:
+// does any code path acquire storage.Engine.mu while holding
+// bus.Bus.mu, when another path nests them the other way round?
+//
+// Locks are identified by their static home, not their instance:
+// "storage.Engine.mu" for a field mutex, "etl.schedMu" for a
+// package-level one. Within each function the analyzer finds the span
+// over which each lock is held (Lock...Unlock at the same block level,
+// or defer Unlock extending to function end) and records an edge to
+// every lock acquired inside that span — directly, or transitively
+// through the static call graph (a call to Engine.Begin while holding
+// bus.Bus.mu contributes bus.Bus.mu → storage.Engine.txMu). Function
+// literals inside `go` and `defer` statements run on another schedule
+// and are excluded from spans.
+//
+// Each cycle is reported once, anchored at the acquisition site of the
+// edge leaving its lexicographically-smallest lock, with the full
+// witness path (which function acquires what, where, and through which
+// callees). Self-edges are lockdiscipline's territory and are skipped.
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "report cycles in the module-wide lock-acquisition-order graph as potential deadlocks",
+	RunProgram: runLockOrder,
+}
+
+// lockID names a mutex by its static home: package name + owner type +
+// field for field mutexes, package name + var for package-level ones.
+func lockIDOf(pkg *Package, muExpr ast.Expr) string {
+	info := pkg.Info
+	switch x := ast.Unparen(muExpr).(type) {
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[x]
+		if !ok || sel.Kind() != types.FieldVal {
+			// Qualified package-level mutex (pkg.Mu) resolves via Uses.
+			if obj, ok := info.Uses[x.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+				obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+			return ""
+		}
+		owner := namedType(sel.Recv())
+		if owner == nil || owner.Obj().Pkg() == nil {
+			return ""
+		}
+		return owner.Obj().Pkg().Name() + "." + owner.Obj().Name() + "." + sel.Obj().Name()
+	case *ast.Ident:
+		obj, ok := info.Uses[x].(*types.Var)
+		if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+			return "" // local mutex variables have no global identity
+		}
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return ""
+}
+
+// lockAcq is one (possibly transitive) lock acquisition a function may
+// perform: the lock, where the acquiring call sits, and the call chain
+// that reaches it ("" when the function locks it directly).
+type lockAcq struct {
+	id  string
+	pos token.Pos
+	via string
+}
+
+// lockSummaries computes, per function, the set of locks it may acquire
+// directly or through callees, with one witness chain each. The
+// fixpoint is monotone over a finite domain (lock ids discovered in the
+// module), so iteration to stability terminates.
+func lockSummaries(prog *Program) map[*types.Func]map[string]lockAcq {
+	sums := map[*types.Func]map[string]lockAcq{}
+	// Seed with direct acquisitions.
+	for _, fi := range prog.Funcs() {
+		direct := map[string]lockAcq{}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			lc, ok := asLockCall(fi.Pkg.Info, n)
+			if !ok || (lc.method != "Lock" && lc.method != "RLock") {
+				return true
+			}
+			sel := ast.Unparen(lc.call.Fun).(*ast.SelectorExpr)
+			if id := lockIDOf(fi.Pkg, sel.X); id != "" {
+				if _, seen := direct[id]; !seen {
+					direct[id] = lockAcq{id: id, pos: lc.call.Pos()}
+				}
+			}
+			return true
+		})
+		sums[fi.Obj] = direct
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range prog.Funcs() {
+			sum := sums[fi.Obj]
+			for _, cs := range prog.CallsFrom(fi.Obj) {
+				calleeSum, ok := sums[cs.Callee]
+				if !ok {
+					continue
+				}
+				for id, acq := range calleeSum {
+					if _, seen := sum[id]; seen {
+						continue
+					}
+					via := shortFuncName(cs.Callee)
+					if acq.via != "" {
+						via += " → " + acq.via
+					}
+					sum[id] = lockAcq{id: id, pos: cs.Call.Pos(), via: via}
+					changed = true
+				}
+			}
+		}
+	}
+	return sums
+}
+
+// shortFuncName renders "pkg.Func" or "pkg.Type.Method".
+func shortFuncName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if owner := namedType(sig.Recv().Type()); owner != nil {
+			name = owner.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// lockEdge is one observed nesting: `to` acquired while `from` is held.
+type lockEdge struct {
+	from, to string
+	fn       *types.Func
+	pos      token.Pos // acquisition site of `to` (or the call reaching it)
+	via      string    // callee chain, "" for a direct Lock in fn
+}
+
+func runLockOrder(pass *ProgramPass) {
+	prog := pass.Prog
+	sums := lockSummaries(prog)
+	edges := map[[2]string]lockEdge{}
+	addEdge := func(e lockEdge) {
+		if e.from == e.to {
+			return // same static lock: lockdiscipline's self-deadlock check
+		}
+		key := [2]string{e.from, e.to}
+		if _, seen := edges[key]; !seen {
+			edges[key] = e
+		}
+	}
+	for _, fi := range prog.Funcs() {
+		collectLockEdges(fi, sums, addEdge)
+	}
+	reportLockCycles(pass, edges)
+}
+
+// collectLockEdges walks one function finding held-lock spans and the
+// acquisitions inside them.
+func collectLockEdges(fi *FuncInfo, sums map[*types.Func]map[string]lockAcq, add func(lockEdge)) {
+	info := fi.Pkg.Info
+	var walkBlock func(stmts []ast.Stmt)
+	walkBlock = func(stmts []ast.Stmt) {
+		for i, stmt := range stmts {
+			switch s := stmt.(type) {
+			case *ast.BlockStmt:
+				walkBlock(s.List)
+			case *ast.IfStmt:
+				walkBlock(s.Body.List)
+				if els, ok := s.Else.(*ast.BlockStmt); ok {
+					walkBlock(els.List)
+				}
+			case *ast.ForStmt:
+				walkBlock(s.Body.List)
+			case *ast.RangeStmt:
+				walkBlock(s.Body.List)
+			case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				var body *ast.BlockStmt
+				switch x := s.(type) {
+				case *ast.SwitchStmt:
+					body = x.Body
+				case *ast.TypeSwitchStmt:
+					body = x.Body
+				case *ast.SelectStmt:
+					body = x.Body
+				}
+				for _, c := range body.List {
+					switch cc := c.(type) {
+					case *ast.CaseClause:
+						walkBlock(cc.Body)
+					case *ast.CommClause:
+						walkBlock(cc.Body)
+					}
+				}
+			}
+			expr, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			lc, ok := asLockCall(info, expr.X)
+			if !ok || (lc.method != "Lock" && lc.method != "RLock") {
+				continue
+			}
+			sel := ast.Unparen(lc.call.Fun).(*ast.SelectorExpr)
+			held := lockIDOf(fi.Pkg, sel.X)
+			if held == "" {
+				continue
+			}
+			// The held span: to the matching explicit unlock at this block
+			// level, or (with defer Unlock) the rest of the statement list.
+			want := unlockFor(lc.method)
+			end := len(stmts)
+			deferred := false
+			if i+1 < len(stmts) {
+				if d, ok := stmts[i+1].(*ast.DeferStmt); ok {
+					if dc, ok := asLockCall(info, d.Call); ok && dc.method == want && dc.path == lc.path {
+						deferred = true
+					}
+				}
+			}
+			if !deferred {
+				for j := i + 1; j < len(stmts); j++ {
+					if e, ok := stmts[j].(*ast.ExprStmt); ok {
+						if uc, ok := asLockCall(info, e.X); ok && uc.method == want && uc.path == lc.path {
+							end = j
+							break
+						}
+					}
+				}
+			}
+			for j := i + 1; j < end; j++ {
+				inspectSynchronous(stmts[j], func(n ast.Node) {
+					inner, ok := asLockCall(info, n)
+					if ok && (inner.method == "Lock" || inner.method == "RLock") {
+						isel := ast.Unparen(inner.call.Fun).(*ast.SelectorExpr)
+						if id := lockIDOf(fi.Pkg, isel.X); id != "" {
+							add(lockEdge{from: held, to: id, fn: fi.Obj, pos: inner.call.Pos()})
+						}
+						return
+					}
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return
+					}
+					callee := staticCallee(info, call)
+					if callee == nil || callee == fi.Obj {
+						return
+					}
+					for _, acq := range sums[callee] {
+						via := shortFuncName(callee)
+						if acq.via != "" {
+							via += " → " + acq.via
+						}
+						add(lockEdge{from: held, to: acq.id, fn: fi.Obj, pos: call.Pos(), via: via})
+					}
+				})
+			}
+		}
+	}
+	walkBlock(fi.Decl.Body.List)
+}
+
+// inspectSynchronous visits nodes that run on the current goroutine with
+// the lock still held: it descends into function literals (View/Update
+// callbacks execute inline) but not into `go` or `defer` statements.
+func inspectSynchronous(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.GoStmt, *ast.DeferStmt:
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// reportLockCycles finds strongly connected components of the order
+// graph and reports one witness cycle per component.
+func reportLockCycles(pass *ProgramPass, edges map[[2]string]lockEdge) {
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+		nodes[key[0]], nodes[key[1]] = true, true
+	}
+	var names []string
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, outs := range adj {
+		sort.Strings(outs)
+	}
+	// Tarjan's SCC, iterative enough for our sizes via recursion.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sort.Strings(scc)
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, v := range names {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	for _, scc := range sccs {
+		reportOneCycle(pass, scc, edges, adj)
+	}
+}
+
+// reportOneCycle walks a witness cycle inside one SCC starting from its
+// smallest lock and renders every hop with its acquisition site.
+func reportOneCycle(pass *ProgramPass, scc []string, edges map[[2]string]lockEdge, adj map[string][]string) {
+	inSCC := map[string]bool{}
+	for _, n := range scc {
+		inSCC[n] = true
+	}
+	start := scc[0]
+	// Greedy walk through in-SCC edges until we return to start; every
+	// node in an SCC lies on a cycle, so the walk terminates.
+	var hops []lockEdge
+	seen := map[string]bool{}
+	cur := start
+	for {
+		var next string
+		for _, w := range adj[cur] {
+			if inSCC[w] && (w == start && len(hops) > 0 || !seen[w]) {
+				next = w
+				break
+			}
+		}
+		if next == "" {
+			// Dead end in the greedy walk (possible in dense SCCs): fall
+			// back to any in-SCC successor to keep the witness moving.
+			for _, w := range adj[cur] {
+				if inSCC[w] {
+					next = w
+					break
+				}
+			}
+			if next == "" {
+				return
+			}
+		}
+		hops = append(hops, edges[[2]string{cur, next}])
+		if next == start || len(hops) > len(scc)+2 {
+			break
+		}
+		seen[next] = true
+		cur = next
+	}
+	var sb strings.Builder
+	sb.WriteString("lock-order cycle: " + start)
+	for _, h := range hops {
+		p := pass.Fset().Position(h.pos)
+		detail := fmt.Sprintf("%s at %s:%d", shortFuncName(h.fn), baseName(p.Filename), p.Line)
+		if h.via != "" {
+			detail += " via " + h.via
+		}
+		fmt.Fprintf(&sb, " → %s (%s)", h.to, detail)
+	}
+	sb.WriteString(": potential deadlock")
+	pass.Reportf(hops[0].pos, "%s", sb.String())
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

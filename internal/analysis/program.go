@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Program is the whole-module view the interprocedural analyzers
+// (sqltaint, lockorder, ctxtenant) run over: every function declaration
+// in the loaded packages plus the static call graph between them. The
+// graph is best-effort by construction — only calls the type checker
+// resolves to a concrete *types.Func appear (direct calls, method calls
+// through a concrete receiver); calls through interfaces, function
+// values, and reflection are invisible, so the interprocedural analyzers
+// under-approximate reachability rather than over-report.
+//
+// Calls made inside function literals are attributed to the enclosing
+// declared function: the closures in this codebase (Engine.View/Update
+// callbacks, report element runners) execute synchronously on the
+// caller's goroutine, so folding them into the enclosing function keeps
+// both taint flow and lock-order edges honest. Literals launched via a
+// `go` statement run on another goroutine and are excluded from
+// lock-order spans by the analyzer itself.
+type Program struct {
+	Pkgs []*Package
+	Fset *token.FileSet
+	// infos indexes every declared function with a body.
+	infos map[*types.Func]*FuncInfo
+	// calls lists the resolved static call sites per caller.
+	calls map[*types.Func][]CallSite
+	// funcs is the deterministic iteration order (package path, file
+	// name, declaration order).
+	funcs []*FuncInfo
+}
+
+// FuncInfo pairs a function object with its declaration and package.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// CallSite is one resolved static call.
+type CallSite struct {
+	Caller *types.Func
+	Callee *types.Func
+	Call   *ast.CallExpr
+}
+
+// NewProgram builds the function index and call graph. Packages arrive
+// sorted from Load and files sorted from the loader, so iteration order
+// is stable without extra bookkeeping.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		Pkgs:  pkgs,
+		infos: map[*types.Func]*FuncInfo{},
+		calls: map[*types.Func][]CallSite{},
+	}
+	if len(pkgs) > 0 {
+		p.Fset = pkgs[0].Fset
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				info := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
+				p.infos[obj] = info
+				p.funcs = append(p.funcs, info)
+			}
+		}
+	}
+	for _, info := range p.funcs {
+		caller, pkg := info.Obj, info.Pkg
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := staticCallee(pkg.Info, call); callee != nil {
+				p.calls[caller] = append(p.calls[caller], CallSite{caller, callee, call})
+			}
+			return true
+		})
+	}
+	return p
+}
+
+// Funcs returns every declared function in deterministic order.
+func (p *Program) Funcs() []*FuncInfo { return append([]*FuncInfo(nil), p.funcs...) }
+
+// DeclOf returns the declaration info for fn, or nil when fn has no body
+// in the loaded packages (imports outside the pattern set, stdlib,
+// interface methods).
+func (p *Program) DeclOf(fn *types.Func) *FuncInfo { return p.infos[fn] }
+
+// CallsFrom returns the resolved static call sites inside fn.
+func (p *Program) CallsFrom(fn *types.Func) []CallSite {
+	return append([]CallSite(nil), p.calls[fn]...)
+}
+
+// staticCallee resolves a call to a concrete *types.Func, or nil for
+// dynamic calls (interface dispatch, function values) and conversions.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel]
+		}
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		switch x := ast.Unparen(fun.X).(type) {
+		case *ast.Ident:
+			obj = info.Uses[x]
+		case *ast.SelectorExpr:
+			obj = info.Uses[x.Sel]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// ProgramPass carries the whole program through one interprocedural
+// analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	diags    *[]Diagnostic
+}
+
+// Fset returns the file set shared by every loaded package.
+func (p *ProgramPass) Fset() *token.FileSet { return p.Prog.Fset }
+
+// Reportf records a diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportFix records a diagnostic carrying a suggested fix.
+func (p *ProgramPass) ReportFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	p.report(pos, fix, format, args...)
+}
+
+func (p *ProgramPass) report(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Prog.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
+	})
+}
+
+// receiverAndParams flattens a signature into [receiver?, params...] so
+// interprocedural summaries index arguments uniformly: for a method call
+// x.M(a, b) the argument vector is [x, a, b].
+func receiverAndParams(sig *types.Signature) []*types.Var {
+	var out []*types.Var
+	if recv := sig.Recv(); recv != nil {
+		out = append(out, recv)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// callArgVector pairs a call's argument expressions with the callee's
+// receiverAndParams indexing: index 0 is the receiver expression for
+// method calls (nil for plain functions whose summaries start at the
+// first parameter). Variadic overflow arguments all map to the last
+// parameter index.
+func callArgVector(info *types.Info, call *ast.CallExpr, callee *types.Func) []ast.Expr {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []ast.Expr
+	if sig.Recv() != nil {
+		var recv ast.Expr
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				recv = sel.X
+			}
+		}
+		out = append(out, recv) // nil for method expressions; callers skip nil
+	}
+	out = append(out, call.Args...)
+	return out
+}

@@ -73,14 +73,14 @@ func runTenantIsolation(pass *Pass) {
 			if !ok {
 				return true
 			}
-			if recv := methodReceiverType(pass, call); recv != nil {
+			if recv := methodReceiverType(pass.TypesInfo(), call); recv != nil {
 				sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 				name := sel.Sel.Name
 				switch {
 				case isNamed(recv, storagePath, "Engine") && engineTableMethods[name],
 					isNamed(recv, storagePath, "Tx") && txTableMethods[name]:
 					if len(call.Args) > 0 {
-						if tbl, ok := stringLiteral(pass, call.Args[0]); ok {
+						if tbl, ok := stringLiteral(pass.TypesInfo(), call.Args[0]); ok {
 							pass.Reportf(call.Pos(),
 								"direct engine access to physical table %q bypasses the tenant Catalog rewrite; use tenant.Catalog (or Catalog.Physical for substrates)",
 								tbl)
@@ -88,7 +88,7 @@ func runTenantIsolation(pass *Pass) {
 					}
 				case isNamed(recv, sqlPath, "DB") && dbQueryMethods[name]:
 					for _, arg := range call.Args {
-						if stmt, ok := stringLiteral(pass, arg); ok && looksLikeSQL(stmt) {
+						if stmt, ok := stringLiteral(pass.TypesInfo(), arg); ok && looksLikeSQL(stmt) {
 							pass.Reportf(call.Pos(),
 								"raw sql.DB.%s with literal statement bypasses the tenant Catalog rewrite; use Catalog.Query/Exec",
 								name)
@@ -100,10 +100,10 @@ func runTenantIsolation(pass *Pass) {
 			}
 			// orm.NewMapper[T](engine, "table") binds a mapper to a
 			// literal physical table.
-			if obj := calleeObj(pass, call); obj != nil && obj.Name() == "NewMapper" &&
+			if obj := calleeObj(pass.TypesInfo(), call); obj != nil && obj.Name() == "NewMapper" &&
 				obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/storage/orm") {
 				if len(call.Args) >= 2 {
-					if tbl, ok := stringLiteral(pass, call.Args[1]); ok {
+					if tbl, ok := stringLiteral(pass.TypesInfo(), call.Args[1]); ok {
 						pass.Reportf(call.Pos(),
 							"orm.NewMapper binds literal physical table %q outside the tenant namespace owners",
 							tbl)

@@ -1,0 +1,57 @@
+// Package server is the ctxtenant fixture. Its import path ends in
+// internal/server, so groupOf places it in the "server" group and its
+// request-taking functions are handler boundaries: tenant identity is
+// established here and must flow into every reachable storage access.
+package server
+
+import (
+	"context"
+	"net/http"
+
+	"github.com/odbis/odbis/internal/storage"
+	"github.com/odbis/odbis/internal/tenant"
+)
+
+// HandleBad reaches storage through a helper that carries no tenant
+// identity: the finding lands on the access inside the helper.
+func HandleBad(w http.ResponseWriter, r *http.Request, e *storage.Engine) {
+	rawLookup(e, r.URL.Path)
+}
+
+func rawLookup(e *storage.Engine, name string) bool {
+	return e.HasTable(name) // want `rawLookup calls storage\.Engine\.HasTable with no tenant identity in scope \(reachable from handler server\.HandleBad via server\.rawLookup\)`
+}
+
+// HandleCatalog threads the tenant Catalog: the helper carries identity.
+func HandleCatalog(w http.ResponseWriter, r *http.Request, cat *tenant.Catalog, e *storage.Engine) {
+	catalogLookup(cat, e, "orders")
+}
+
+func catalogLookup(cat *tenant.Catalog, e *storage.Engine, name string) bool {
+	return e.HasTable(cat.Physical(name)) // ok: Catalog in scope
+}
+
+// HandleCtx threads a context.Context the identity can ride on.
+func HandleCtx(w http.ResponseWriter, r *http.Request, e *storage.Engine) {
+	ctxLookup(r.Context(), e, "orders")
+}
+
+func ctxLookup(ctx context.Context, e *storage.Engine, name string) bool {
+	return e.HasTable(name) // ok: context carries identity
+}
+
+// notReachable is never called from a handler: no finding even though
+// it carries nothing.
+func notReachable(e *storage.Engine) bool {
+	return e.HasTable("x")
+}
+
+// HandleSuppressed shows the justified-suppression escape hatch for
+// substrates handed pre-resolved physical names.
+func HandleSuppressed(w http.ResponseWriter, r *http.Request, e *storage.Engine) {
+	physicalProbe(e)
+}
+
+func physicalProbe(e *storage.Engine) bool {
+	return e.HasTable("t1_orders") //odbis:ignore ctxtenant -- fixture: physical name resolved upstream
+}

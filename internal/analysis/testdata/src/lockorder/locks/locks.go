@@ -1,0 +1,49 @@
+// Package locks is the lockorder fixture: AB nests A.mu → B.mu while BA
+// nests B.mu → A.mu (through lockA), a two-mutex cycle that deadlocks
+// when both run concurrently.
+package locks
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// lockA contributes A.mu to its callers' summaries.
+func lockA(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// AB acquires B.mu while holding A.mu.
+func AB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order cycle: locks\.A\.mu → locks\.B\.mu \(locks\.AB at locks\.go:\d+\) → locks\.A\.mu \(locks\.BA at locks\.go:\d+ via locks\.lockA\): potential deadlock`
+	b.mu.Unlock()
+}
+
+// BA acquires A.mu (via lockA) while holding B.mu: the reverse nesting.
+func BA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockA(a)
+}
+
+// Nested takes both locks in the same order as AB: consistent nesting
+// adds no new cycle.
+func Nested(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// Local locks a function-local mutex: no global identity, no edges.
+func Local(b *B) {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}

@@ -186,7 +186,7 @@ func Build(e *storage.Engine, spec CubeSpec) (*Cube, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	factSchema, err := e.Schema(spec.FactTable)
+	factSchema, err := e.Schema(spec.FactTable) //odbis:ignore ctxtenant -- Build consumes physical table names pre-resolved by Catalog.Physical in services.Session.BuildCube
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +225,7 @@ func Build(e *storage.Engine, spec CubeSpec) (*Cube, error) {
 				return nil, err
 			}
 			dd.fkPos = fkPos
-			dimSchema, err := e.Schema(ds.Table)
+			dimSchema, err := e.Schema(ds.Table) //odbis:ignore ctxtenant -- Build consumes physical table names pre-resolved by Catalog.Physical in services.Session.BuildCube
 			if err != nil {
 				return nil, err
 			}
@@ -241,7 +241,7 @@ func Build(e *storage.Engine, spec CubeSpec) (*Cube, error) {
 				dd.levelPos = append(dd.levelPos, pos)
 			}
 			dd.byKey = make(map[string][]storage.Value)
-			err = e.View(func(tx *storage.Tx) error {
+			err = e.View(func(tx *storage.Tx) error { //odbis:ignore ctxtenant -- Build consumes physical table names pre-resolved by Catalog.Physical in services.Session.BuildCube
 				return tx.Scan(ds.Table, func(_ storage.RID, row storage.Row) bool {
 					vals := make([]storage.Value, len(dd.levelPos))
 					for i, p := range dd.levelPos {
@@ -291,7 +291,7 @@ func Build(e *storage.Engine, spec CubeSpec) (*Cube, error) {
 
 	// Single pass over the fact table.
 	var buildErr error
-	err = e.View(func(tx *storage.Tx) error {
+	err = e.View(func(tx *storage.Tx) error { //odbis:ignore ctxtenant -- Build consumes physical table names pre-resolved by Catalog.Physical in services.Session.BuildCube
 		return tx.Scan(spec.FactTable, func(_ storage.RID, row storage.Row) bool {
 			for di, dd := range dimDatas {
 				d := cube.dimList[di]

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Benchmark harness: runs the Go benchmarks and records the results as a
+# JSON baseline so future PRs can diff analyzer performance instead of
+# guessing. Output file defaults to BENCH_PR2.json at the repo root;
+# override with BENCH_OUT.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_PR2.json}"
+PKGS="${BENCH_PKGS:-./internal/analysis/}"
+
+echo "==> go test -bench (${PKGS}) -> ${OUT}"
+go test -bench . -benchmem -benchtime "${BENCH_TIME:-20x}" -run '^$' ${PKGS} |
+	awk -v out="$OUT" '
+	/^Benchmark/ {
+		name = $1; iters = $2; ns = $3
+		bop = "null"; aop = "null"
+		for (i = 4; i <= NF; i++) {
+			if ($i == "B/op") bop = $(i - 1)
+			if ($i == "allocs/op") aop = $(i - 1)
+		}
+		if (n++) printf ",\n" > out
+		else printf "[\n" > out
+		printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+			name, iters, ns, bop, aop >> out
+	}
+	{ print }
+	END {
+		if (n) printf "\n]\n" >> out
+		else { printf "[]\n" > out; exit 1 }
+	}
+	'
+echo "==> wrote ${OUT}"
