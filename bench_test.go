@@ -8,6 +8,7 @@
 package odbis
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"net/http"
@@ -111,11 +112,11 @@ func benchmarkFigure1(b *testing.B, tenants int) {
 	var tokens []string
 	for i := 0; i < tenants; i++ {
 		id := fmt.Sprintf("t%02d", i)
-		if _, err := admin.CreateTenant(id, id, "enterprise"); err != nil {
+		if _, err := admin.CreateTenant(context.Background(), id, id, "enterprise"); err != nil {
 			b.Fatal(err)
 		}
 		user := "u-" + id
-		if err := admin.CreateUser(security.UserSpec{
+		if err := admin.CreateUser(context.Background(), security.UserSpec{
 			Username: user, Password: "pw", Tenant: id, Roles: []string{services.RoleDesigner},
 		}); err != nil {
 			b.Fatal(err)
@@ -128,7 +129,7 @@ func benchmarkFigure1(b *testing.B, tenants int) {
 			p.Registry.Engine(), sess.Catalog.Physical("admissions")); err != nil {
 			b.Fatal(err)
 		}
-		if err := sess.SaveReport("ops", &report.Spec{
+		if err := sess.SaveReport(context.Background(), "ops", &report.Spec{
 			Name: "bench-dash", Title: "D",
 			Elements: []report.Element{
 				{Kind: "kpi", Title: "P", Query: "SELECT SUM(patients) FROM admissions"},
@@ -187,7 +188,7 @@ func BenchmarkSection2_MultiTenant_SharedQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cat := catalogs[i%tenants]
-		if _, err := cat.Query("SELECT COUNT(*) FROM fact_sales"); err != nil {
+		if _, err := cat.Query(context.Background(), "SELECT COUNT(*) FROM fact_sales"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -303,9 +304,9 @@ func benchmarkFigure4(b *testing.B, layer string) {
 	case "sql":
 		fn = func() error { _, err := db.Query(physical); return err }
 	case "catalog":
-		fn = func() error { _, err := sess.Catalog.Query(logical); return err }
+		fn = func() error { _, err := sess.Catalog.Query(context.Background(), logical); return err }
 	case "service":
-		fn = func() error { _, err := sess.Query(logical); return err }
+		fn = func() error { _, err := sess.Query(context.Background(), logical); return err }
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -370,7 +371,7 @@ func BenchmarkFigure5_Stack_ORMPlusRules(b *testing.B) {
 		}
 		s := eng.NewSession()
 		s.Assert("Meta", map[string]storage.Value{"id": obj.ID, "size": obj.Size})
-		if _, err := s.FireAll(0); err != nil {
+		if _, err := s.FireAll(context.Background(), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -422,7 +423,7 @@ func benchmarkFigure6(b *testing.B, widgets int) {
 	spec := &report.Spec{Name: "d", Title: "D", Elements: all[:widgets]}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := report.Run(db, spec)
+		out, err := report.Run(context.Background(), report.DBQueryer(db), spec)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -453,7 +454,7 @@ func benchmarkETL(b *testing.B, rows int) {
 			},
 			Sink: &etl.TableSink{Engine: e, Table: "admissions", CreateTable: true},
 		}
-		if _, _, err := pipe.Run(); err != nil {
+		if _, _, err := pipe.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 		e.Close()
@@ -470,7 +471,7 @@ func BenchmarkAS_OLAP_Build100k(b *testing.B) {
 	spec := benchRetailCubeSpec()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := olap.Build(e, spec); err != nil {
+		if _, err := olap.Build(context.Background(), e, spec); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -478,7 +479,7 @@ func BenchmarkAS_OLAP_Build100k(b *testing.B) {
 
 func BenchmarkAS_OLAP_GroupByRegion(b *testing.B) {
 	e := benchRetailEngine(b, 100000)
-	cube, err := olap.Build(e, benchRetailCubeSpec())
+	cube, err := olap.Build(context.Background(), e, benchRetailCubeSpec())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -486,7 +487,7 @@ func BenchmarkAS_OLAP_GroupByRegion(b *testing.B) {
 	q := olap.Query{Rows: []olap.LevelRef{{Dimension: "Store", Level: "Region"}}, Measures: []string{"amount"}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cube.Execute(q); err != nil {
+		if _, err := cube.Execute(context.Background(), q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -494,7 +495,7 @@ func BenchmarkAS_OLAP_GroupByRegion(b *testing.B) {
 
 func BenchmarkAS_OLAP_DrillThreeAxes(b *testing.B) {
 	e := benchRetailEngine(b, 100000)
-	cube, err := olap.Build(e, benchRetailCubeSpec())
+	cube, err := olap.Build(context.Background(), e, benchRetailCubeSpec())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -509,7 +510,7 @@ func BenchmarkAS_OLAP_DrillThreeAxes(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cube.Execute(q); err != nil {
+		if _, err := cube.Execute(context.Background(), q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -519,22 +520,22 @@ func BenchmarkAS_OLAP_DrillThreeAxes(b *testing.B) {
 
 func BenchmarkMDS_Metadata_CreateRunDelete(b *testing.B) {
 	_, sess := benchPlatform(b)
-	if _, err := sess.Query("CREATE TABLE t (x INT)"); err != nil {
+	if _, err := sess.Query(context.Background(), "CREATE TABLE t (x INT)"); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := sess.Query("INSERT INTO t VALUES (1), (2), (3)"); err != nil {
+	if _, err := sess.Query(context.Background(), "INSERT INTO t VALUES (1), (2), (3)"); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		name := fmt.Sprintf("ds-%d", i)
-		if err := sess.CreateDataSet(name, "", "SELECT COUNT(*) FROM t", ""); err != nil {
+		if err := sess.CreateDataSet(context.Background(), name, "", "SELECT COUNT(*) FROM t", ""); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := sess.RunDataSet(name); err != nil {
+		if _, err := sess.RunDataSet(context.Background(), name); err != nil {
 			b.Fatal(err)
 		}
-		if err := sess.DeleteDataSet(name); err != nil {
+		if err := sess.DeleteDataSet(context.Background(), name); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -579,7 +580,7 @@ func BenchmarkAblation_Index_Probe(b *testing.B) { benchmarkIndexAblation(b, fal
 
 func benchmarkCubeCache(b *testing.B, size int) {
 	e := benchRetailEngine(b, 50000)
-	cube, err := olap.Build(e, benchRetailCubeSpec())
+	cube, err := olap.Build(context.Background(), e, benchRetailCubeSpec())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -588,12 +589,12 @@ func benchmarkCubeCache(b *testing.B, size int) {
 		Rows:     []olap.LevelRef{{Dimension: "Store", Level: "Region"}, {Dimension: "Product", Level: "Category"}},
 		Measures: []string{"amount"},
 	}
-	if _, err := cube.Execute(q); err != nil { // warm
+	if _, err := cube.Execute(context.Background(), q); err != nil { // warm
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cube.Execute(q); err != nil {
+		if _, err := cube.Execute(context.Background(), q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -742,7 +743,7 @@ func BenchmarkBPM_ProcessRun(b *testing.B) {
 	eng := &bpm.Engine{Bus: esb}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Run(d, map[string]storage.Value{"amount": float64(i)}); err != nil {
+		if _, err := eng.Run(context.Background(), d, map[string]storage.Value{"amount": float64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}

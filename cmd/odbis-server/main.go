@@ -2,7 +2,8 @@
 // the paper's deployment model where customers subscribe to centrally
 // operated business-intelligence services.
 //
-//	odbis-server -addr :8080 -data ./data -admin-user admin -admin-password secret
+//	odbis-server -addr :8080 -data ./data -admin-user admin -admin-password secret \
+//	             -request-timeout 30s
 //
 // With no -data directory the platform runs in memory (demo mode).
 package main
@@ -23,14 +24,16 @@ func main() {
 		adminPass   = flag.String("admin-password", "admin", "bootstrap administrator password")
 		tokenSecret = flag.String("token-secret", "", "HMAC secret for session tokens (random when empty)")
 		syncFull    = flag.Bool("sync-full", false, "fsync the WAL on every commit")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline for API calls (e.g. 30s); in-flight queries, cube builds and jobs abort and roll back at the deadline (0 = unbounded)")
 	)
 	flag.Parse()
 
 	opts := odbis.Options{
-		DataDir:       *dataDir,
-		SyncFull:      *syncFull,
-		AdminUser:     *adminUser,
-		AdminPassword: *adminPass,
+		DataDir:        *dataDir,
+		SyncFull:       *syncFull,
+		AdminUser:      *adminUser,
+		AdminPassword:  *adminPass,
+		RequestTimeout: *reqTimeout,
 	}
 	if *tokenSecret != "" {
 		opts.TokenSecret = []byte(*tokenSecret)

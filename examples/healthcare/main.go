@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -56,8 +57,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	admin.CreateTenant("clinic", "Sainte-Marie Clinic", "standard")
-	admin.CreateUser(odbis.UserSpec{
+	admin.CreateTenant(context.Background(), "clinic", "Sainte-Marie Clinic", "standard")
+	admin.CreateUser(context.Background(), odbis.UserSpec{
 		Username: "dr-roy", Password: "pw", Tenant: "clinic",
 		Roles: []string{odbis.RoleDesigner},
 	})
@@ -68,7 +69,7 @@ func main() {
 
 	// Load admissions through the Integration Service, deriving the
 	// month bucket used by the trend chart.
-	jr, err := roy.RunJob(&odbis.JobSpec{
+	jr, err := roy.RunJob(context.Background(), &odbis.JobSpec{
 		Name:    "load-admissions",
 		CSVData: admissionsCSV(5000),
 		Steps: []odbis.JobStep{
@@ -82,8 +83,8 @@ func main() {
 	fmt.Printf("loaded %d admissions\n", jr.TotalWritten())
 
 	// Business glossary entries (Meta-Data Service).
-	roy.DefineTerm("admission", "a patient entering inpatient care", "admissions")
-	roy.DefineTerm("severity", "triage classification at admission", "admissions.severity")
+	roy.DefineTerm(context.Background(), "admission", "a patient entering inpatient care", "admissions")
+	roy.DefineTerm(context.Background(), "severity", "triage classification at admission", "admissions.severity")
 
 	// The Fig. 6 dashboard: KPI tiles, charts, data table.
 	dash := &odbis.ReportSpec{
@@ -111,7 +112,7 @@ func main() {
 				        FROM admissions GROUP BY ward ORDER BY avg_cost DESC`},
 		},
 	}
-	if err := roy.SaveReport("clinical", dash); err != nil {
+	if err := roy.SaveReport(context.Background(), "clinical", dash); err != nil {
 		log.Fatal(err)
 	}
 
@@ -120,13 +121,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := roy.DeliverReport(f, "healthcare", odbis.FormatHTML); err != nil {
+	if err := roy.DeliverReport(context.Background(), f, "healthcare", odbis.FormatHTML); err != nil {
 		log.Fatal(err)
 	}
 	f.Close()
 	fmt.Println("wrote healthcare_dashboard.html")
 	fmt.Println()
-	if err := roy.DeliverReport(os.Stdout, "healthcare", odbis.FormatText); err != nil {
+	if err := roy.DeliverReport(context.Background(), os.Stdout, "healthcare", odbis.FormatText); err != nil {
 		log.Fatal(err)
 	}
 }

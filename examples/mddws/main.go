@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -71,8 +72,8 @@ func main() {
 	}
 	defer p.Close()
 	admin, _, _ := p.Login("admin", "admin")
-	admin.CreateTenant("hospital", "City Hospital", "standard")
-	admin.CreateUser(odbis.UserSpec{
+	admin.CreateTenant(context.Background(), "hospital", "City Hospital", "standard")
+	admin.CreateUser(context.Background(), odbis.UserSpec{
 		Username: "arch", Password: "pw", Tenant: "hospital",
 		Roles: []string{odbis.RoleDesigner},
 	})
@@ -81,7 +82,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, ddl := range result.Artifacts.DDL {
-		if _, err := arch.Query(ddl); err != nil {
+		if _, err := arch.Query(context.Background(), ddl); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -89,7 +90,7 @@ func main() {
 
 	// 4. Code completion: fill the generated tables with a little data.
 	mustExec := func(q string) {
-		if _, err := arch.Query(q); err != nil {
+		if _, err := arch.Query(context.Background(), q); err != nil {
 			log.Fatalf("%s: %v", q, err)
 		}
 	}
@@ -100,10 +101,10 @@ func main() {
 		(2, 1, 22.0, 91000.0, 21), (3, 2, 51.0, 43000.0, 47)`)
 
 	// 5. The generated cube spec drives the Analysis Service directly.
-	if err := arch.DefineCube(result.Artifacts.Cubes[0]); err != nil {
+	if err := arch.DefineCube(context.Background(), result.Artifacts.Cubes[0]); err != nil {
 		log.Fatal(err)
 	}
-	res, err := arch.Analyze("Admissions", odbis.CubeQuery{
+	res, err := arch.Analyze(context.Background(), "Admissions", odbis.CubeQuery{
 		Rows:     []odbis.LevelRef{{Dimension: "Ward", Level: "Department"}},
 		Measures: []string{"patients", "cost"},
 	})

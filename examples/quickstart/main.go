@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -30,10 +31,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := admin.CreateTenant("acme", "Acme Corp", "standard"); err != nil {
+	if _, err := admin.CreateTenant(context.Background(), "acme", "Acme Corp", "standard"); err != nil {
 		log.Fatal(err)
 	}
-	if err := admin.CreateUser(odbis.UserSpec{
+	if err := admin.CreateUser(context.Background(), odbis.UserSpec{
 		Username: "ada", Password: "pw",
 		Tenant: "acme", Roles: []string{odbis.RoleDesigner},
 	}); err != nil {
@@ -48,7 +49,7 @@ func main() {
 	fmt.Printf("logged in as ada (token %.16s…)\n\n", token)
 
 	// 3. Integration Service: load CSV data with a derived column.
-	report, err := ada.RunJob(&odbis.JobSpec{
+	report, err := ada.RunJob(context.Background(), &odbis.JobSpec{
 		Name: "load-sales",
 		CSVData: `region,product,amount,qty
 north,widget,10.5,2
@@ -68,12 +69,12 @@ west,widget,12.0,2
 	fmt.Printf("integration service loaded %d rows into sales\n\n", report.TotalWritten())
 
 	// 4. Meta-Data Service: a reusable DataSet.
-	if err := ada.CreateDataSet("sales-by-region", "",
+	if err := ada.CreateDataSet(context.Background(), "sales-by-region", "",
 		"SELECT region, SUM(total) AS total, COUNT(*) AS orders FROM sales GROUP BY region ORDER BY region",
 		"regional totals"); err != nil {
 		log.Fatal(err)
 	}
-	res, err := ada.RunDataSet("sales-by-region")
+	res, err := ada.RunDataSet(context.Background(), "sales-by-region")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,7 +85,7 @@ west,widget,12.0,2
 	fmt.Println()
 
 	// 5. Reporting + delivery: a dashboard on stdout.
-	out, err := ada.RunAdHoc(&odbis.ReportSpec{
+	out, err := ada.RunAdHoc(context.Background(), &odbis.ReportSpec{
 		Name:  "quickstart",
 		Title: "Acme Sales",
 		Elements: []odbis.ReportElement{
@@ -104,7 +105,7 @@ west,widget,12.0,2
 	}
 
 	// 6. The operator checks the pay-as-you-go meter.
-	inv, err := admin.TenantInvoice("acme")
+	inv, err := admin.TenantInvoice(context.Background(), "acme")
 	if err != nil {
 		log.Fatal(err)
 	}

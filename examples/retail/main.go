@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -46,8 +47,8 @@ func main() {
 	defer p.Close()
 
 	admin, _, _ := p.Login("admin", "admin")
-	admin.CreateTenant("mart", "MegaMart", "enterprise")
-	admin.CreateUser(odbis.UserSpec{
+	admin.CreateTenant(context.Background(), "mart", "MegaMart", "enterprise")
+	admin.CreateUser(context.Background(), odbis.UserSpec{
 		Username: "bi", Password: "pw", Tenant: "mart",
 		Roles: []string{odbis.RoleDesigner},
 	})
@@ -58,7 +59,7 @@ func main() {
 
 	// Load the staging extract, then derive the star schema with
 	// chained integration jobs (aggregate → dimension, lookup → fact).
-	if _, err := bi.RunJob(&odbis.JobSpec{
+	if _, err := bi.RunJob(context.Background(), &odbis.JobSpec{
 		Name:    "stage",
 		CSVData: stagingCSV(20000),
 		Target:  "staging_sales",
@@ -69,7 +70,7 @@ func main() {
 
 	// The fact table keeps degenerate time/category/region dimensions —
 	// the cube engine joins either dimension tables or fact columns.
-	if _, err := bi.RunJob(&odbis.JobSpec{
+	if _, err := bi.RunJob(context.Background(), &odbis.JobSpec{
 		Name:        "load-fact",
 		SourceQuery: "SELECT year, quarter, category, region, amount, qty FROM staging_sales",
 		Target:      "fact_sales",
@@ -79,7 +80,7 @@ func main() {
 	}
 
 	// Define the cube.
-	if err := bi.DefineCube(odbis.CubeSpec{
+	if err := bi.DefineCube(context.Background(), odbis.CubeSpec{
 		Name:      "Sales",
 		FactTable: "fact_sales",
 		Measures: []odbis.MeasureSpec{
@@ -98,14 +99,14 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	cube, err := bi.BuildCube("Sales")
+	cube, err := bi.BuildCube(context.Background(), "Sales")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("built cube %s over %d facts\n\n", cube.Name(), cube.Rows())
 
 	show := func(title string, q odbis.CubeQuery) odbis.CubeQuery {
-		res, err := bi.Analyze("Sales", q)
+		res, err := bi.Analyze(context.Background(), "Sales", q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func main() {
 	show("pivoted: region × quarter (units)", piv.Pivot())
 
 	// The cell cache pays off on repeated navigation.
-	bi.Analyze("Sales", q)
-	res, _ := bi.Analyze("Sales", q)
+	bi.Analyze(context.Background(), "Sales", q)
+	res, _ := bi.Analyze(context.Background(), "Sales", q)
 	fmt.Printf("repeated query served from cache: %v\n", res.FromCache)
 }

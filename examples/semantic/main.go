@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -25,8 +26,8 @@ func main() {
 	defer p.Close()
 
 	admin, _, _ := p.Login("admin", "admin")
-	admin.CreateTenant("merged", "Merged Corp", "enterprise")
-	admin.CreateUser(odbis.UserSpec{
+	admin.CreateTenant(context.Background(), "merged", "Merged Corp", "enterprise")
+	admin.CreateUser(context.Background(), odbis.UserSpec{
 		Username: "di", Password: "pw", Tenant: "merged",
 		Roles: []string{odbis.RoleDesigner},
 	})
@@ -35,14 +36,14 @@ func main() {
 		log.Fatal(err)
 	}
 	mustQ := func(q string) {
-		if _, err := di.Query(q); err != nil {
+		if _, err := di.Query(context.Background(), q); err != nil {
 			log.Fatalf("%s: %v", q, err)
 		}
 	}
 
 	// The warehouse target, plus the two heterogeneous source extracts.
 	mustQ("CREATE TABLE fact_orders (order_id INT, customer TEXT, revenue FLOAT, region TEXT)")
-	if _, err := di.RunJob(&odbis.JobSpec{
+	if _, err := di.RunJob(context.Background(), &odbis.JobSpec{
 		Name: "stage-acme",
 		CSVData: `order_id,client,turnover,territory
 1,wayne,120.5,north
@@ -52,7 +53,7 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := di.RunJob(&odbis.JobSpec{
+	if _, err := di.RunJob(context.Background(), &odbis.JobSpec{
 		Name: "stage-globex",
 		CSVData: `order_id,buyer_name,sales_amount,regionn
 3,oscorp,55.5,north
@@ -83,16 +84,16 @@ func main() {
 	// Align each source against the warehouse and run the generated
 	// merge jobs.
 	for _, source := range []string{"acme_orders", "globex_orders"} {
-		matches, err := di.SemanticAlign(source, "fact_orders", ontology)
+		matches, err := di.SemanticAlign(context.Background(), source, "fact_orders", ontology)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("== alignment %s → fact_orders ==\n%s\n", source, odbis.ExplainMatches(matches))
-		job, err := di.SemanticMergeJob(source, "fact_orders", matches)
+		job, err := di.SemanticMergeJob(context.Background(), source, "fact_orders", matches)
 		if err != nil {
 			log.Fatal(err)
 		}
-		report, err := di.RunJob(job)
+		report, err := di.RunJob(context.Background(), job)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func main() {
 	}
 
 	// One dashboard over the unified warehouse.
-	out, err := di.RunAdHoc(&odbis.ReportSpec{
+	out, err := di.RunAdHoc(context.Background(), &odbis.ReportSpec{
 		Name:  "unified",
 		Title: "Unified Orders",
 		Elements: []odbis.ReportElement{

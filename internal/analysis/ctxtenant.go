@@ -9,20 +9,29 @@ import (
 // CtxTenant is the interprocedural upgrade of tenantisolation: where
 // that check flags literal physical-table access one call at a time,
 // this one proves the paper's §2 identity contract across the call
-// graph — the tenant identity established at the internal/server
-// boundary must flow, via parameter or context, into every
-// internal/storage / internal/sql data access reachable from a handler.
+// graph — the tenant identity AND the request lifetime established at
+// the internal/server boundary must flow, via an explicit
+// context.Context, into every internal/storage / internal/sql data
+// access reachable from a handler.
 //
 // Concretely: starting from every HTTP handler (a server-group function
 // with a *net/http.Request parameter), the analyzer walks the static
-// call graph. Any reached function outside the namespace owners
-// (tenant, storage, sql, bench) that directly invokes a data-access
-// method on storage.Engine, storage.Tx, or sql.DB must "carry tenant
-// identity": a receiver or parameter whose type is (or holds, up to two
-// struct-field levels) a type from internal/tenant, or a
-// context.Context the identity can ride on. Substrates that are handed
-// pre-resolved physical names via Catalog.Physical suppress the finding
-// with a justification:
+// call graph and enforces two rules on reached functions outside the
+// namespace owners (tenant, storage, sql, bench):
+//
+//  1. Any reached function that directly invokes a data-access method
+//     on storage.Engine, storage.Tx, or sql.DB must take a
+//     context.Context (receiver or parameter, direct type — a struct
+//     that merely holds one is not enough, because cancellation cannot
+//     be observed through it without an accessor on the path).
+//  2. Any reached function below the server layer that has no
+//     context.Context of its own must not manufacture one with
+//     context.Background() or context.TODO(): a fresh root context
+//     severs the request's cancellation chain exactly where the
+//     signature should have threaded it.
+//
+// Substrates that are handed pre-resolved physical names via
+// Catalog.Physical suppress a finding with a justification:
 //
 //	//odbis:ignore ctxtenant -- sink writes physical tables resolved by Catalog.Physical upstream
 //
@@ -31,13 +40,14 @@ import (
 // reachability rather than inventing paths.
 var CtxTenant = &Analyzer{
 	Name:       "ctxtenant",
-	Doc:        "prove tenant identity flows from every handler into all reachable storage/sql accesses",
+	Doc:        "prove request context and tenant identity flow from every handler into all reachable storage/sql accesses",
 	RunProgram: runCtxTenant,
 }
 
 // ctxTenantExemptGroups own the physical namespace (or measure it):
 // inside them, data access without a tenant value is the implementation
-// of the rewrite itself, not a bypass.
+// of the rewrite itself, not a bypass — and the legacy
+// context.Background() delegation shims live there by design.
 var ctxTenantExemptGroups = map[string]bool{
 	"tenant":  true,
 	"storage": true,
@@ -82,25 +92,38 @@ func runCtxTenant(pass *ProgramPass) {
 		if !ok || ctxTenantExemptGroups[groupOf(fi.Pkg.Path)] {
 			continue
 		}
-		if carriesTenantIdentity(fi.Obj) {
-			continue
-		}
+		hasCtx := hasDirectContextParam(fi.Obj)
+		isServer := groupOf(fi.Pkg.Path) == "server"
 		info := fi.Pkg.Info
+		via := ""
+		if len(r.chain) > 0 {
+			via = " via " + strings.Join(capChain(r.chain, 5), " → ")
+		}
 		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
+				return true
+			}
+			// Rule 2: a reached function below the server layer with no
+			// context of its own must not mint a root context.
+			if !isServer && !hasCtx {
+				if root := rootContextCall(info, call); root != "" {
+					pass.Reportf(call.Pos(),
+						"%s manufactures %s below the server layer (reachable from handler %s%s); a fresh root context severs the request's cancellation chain — add a context.Context parameter and derive from it",
+						shortFuncName(fi.Obj), root, r.handler, via)
+					return true
+				}
+			}
+			// Rule 1: direct data access needs an explicit context.
+			if hasCtx {
 				return true
 			}
 			target := dataAccessTarget(info, call)
 			if target == "" {
 				return true
 			}
-			via := ""
-			if len(r.chain) > 0 {
-				via = " via " + strings.Join(capChain(r.chain, 5), " → ")
-			}
 			pass.Reportf(call.Pos(),
-				"%s calls %s with no tenant identity in scope (reachable from handler %s%s); thread the tenant Catalog or a context.Context through this path",
+				"%s calls %s with no context.Context on its signature (reachable from handler %s%s); neither cancellation nor tenant identity can reach this access — thread ctx through this path",
 				shortFuncName(fi.Obj), target, r.handler, via)
 			return true
 		})
@@ -156,44 +179,36 @@ func dataAccessTarget(info *types.Info, call *ast.CallExpr) string {
 	return ""
 }
 
-// carriesTenantIdentity reports whether fn's receiver or any parameter
-// can carry who the tenant is: a type from internal/tenant, a
-// context.Context, or a struct holding either within two field levels
-// (services.Session carries Catalog *tenant.Catalog, for example).
-func carriesTenantIdentity(fn *types.Func) bool {
+// rootContextCall reports whether call is context.Background() or
+// context.TODO(), naming it, or returns "".
+func rootContextCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return "context." + fn.Name() + "()"
+	}
+	return ""
+}
+
+// hasDirectContextParam reports whether fn's receiver or any parameter
+// is a context.Context itself. A struct that merely embeds one does not
+// count: the request lifetime must be observable at the signature for
+// cancellation to propagate through this function.
+func hasDirectContextParam(fn *types.Func) bool {
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok {
 		return false
 	}
 	for _, v := range receiverAndParams(sig) {
-		if typeCarriesTenant(v.Type(), 0) {
+		if n := namedType(v.Type()); n != nil && n.Obj().Pkg() != nil &&
+			n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context" {
 			return true
-		}
-	}
-	return false
-}
-
-func typeCarriesTenant(t types.Type, depth int) bool {
-	if depth > 2 {
-		return false
-	}
-	if ptr, ok := t.Underlying().(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	if n := namedType(t); n != nil && n.Obj().Pkg() != nil {
-		path := n.Obj().Pkg().Path()
-		if strings.HasSuffix(path, "internal/tenant") {
-			return true
-		}
-		if path == "context" && n.Obj().Name() == "Context" {
-			return true
-		}
-	}
-	if st, ok := t.Underlying().(*types.Struct); ok {
-		for i := 0; i < st.NumFields(); i++ {
-			if typeCarriesTenant(st.Field(i).Type(), depth+1) {
-				return true
-			}
 		}
 	}
 	return false

@@ -1,0 +1,23 @@
+// Package services is the below-the-server-layer half of the ctxtenant
+// fixture: its import path ends in internal/services, so rule 2 (no
+// manufactured root contexts) applies to functions reached here.
+package services
+
+import (
+	"context"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// BridgedLookup lacks a context of its own and bridges to a ctx-first
+// API with a manufactured root — the severed-chain pattern rule 2
+// exists for.
+func BridgedLookup(e *storage.Engine) bool {
+	return CtxLookup(context.Background(), e, "orders") // want `BridgedLookup manufactures context\.Background\(\) below the server layer \(reachable from handler server\.HandleBridged via services\.BridgedLookup\)`
+}
+
+// CtxLookup threads the caller's context: identity and lifetime reach
+// the access.
+func CtxLookup(ctx context.Context, e *storage.Engine, name string) bool {
+	return e.HasTable(name) // ok: context carries identity and deadline
+}

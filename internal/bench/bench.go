@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -101,11 +102,11 @@ func newPlatform() (*services.Platform, *services.Session, error) {
 
 // provisionTenant creates a tenant + designer and returns the session.
 func provisionTenant(p *services.Platform, admin *services.Session, id string) (*services.Session, error) {
-	if _, err := admin.CreateTenant(id, id, "enterprise"); err != nil {
+	if _, err := admin.CreateTenant(context.Background(), id, id, "enterprise"); err != nil {
 		return nil, err
 	}
 	user := "u-" + id
-	if err := admin.CreateUser(security.UserSpec{
+	if err := admin.CreateUser(context.Background(), security.UserSpec{
 		Username: user, Password: "pw", Tenant: id,
 		Roles: []string{services.RoleDesigner},
 	}); err != nil {
@@ -152,7 +153,7 @@ func E1EndToEnd(quick bool) (*Table, error) {
 				ts.Close()
 				return nil, err
 			}
-			if err := sess.SaveReport("ops", dashboardSpec()); err != nil {
+			if err := sess.SaveReport(context.Background(), "ops", dashboardSpec()); err != nil {
 				ts.Close()
 				return nil, err
 			}
@@ -268,7 +269,7 @@ func E2MultiTenant(quick bool) (*Table, error) {
 		loadShared := time.Since(loadStart)
 		qStart := time.Now()
 		for _, cat := range catalogs {
-			if _, err := cat.Query("SELECT COUNT(*), SUM(amount) FROM fact_sales"); err != nil {
+			if _, err := cat.Query(context.Background(), "SELECT COUNT(*), SUM(amount) FROM fact_sales"); err != nil {
 				return nil, err
 			}
 		}
@@ -404,11 +405,11 @@ func E5Layers(quick bool) (*Table, error) {
 			return err
 		}},
 		{"tenant (catalog)", func() error {
-			_, err := sess.Catalog.Query(query)
+			_, err := sess.Catalog.Query(context.Background(), query)
 			return err
 		}},
 		{"service (session)", func() error {
-			_, err := sess.Query(query)
+			_, err := sess.Query(context.Background(), query)
 			return err
 		}},
 		{"http (rest)", func() error {
@@ -499,7 +500,7 @@ func E7Dashboard(quick bool) (*Table, error) {
 		var htmlLen int
 		start := time.Now()
 		for i := 0; i < iters; i++ {
-			out, err := report.Run(db, spec)
+			out, err := report.Run(context.Background(), report.DBQueryer(db), spec)
 			if err != nil {
 				return nil, err
 			}
@@ -533,7 +534,7 @@ func E9OLAP(quick bool) (*Table, error) {
 	}
 	spec := retailCubeSpec()
 	buildStart := time.Now()
-	cube, err := olap.Build(e, spec)
+	cube, err := olap.Build(context.Background(), e, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -572,7 +573,7 @@ func E9OLAP(quick bool) (*Table, error) {
 		cube.SetCache(0) // measure raw aggregation
 		start := time.Now()
 		for i := 0; i < iters; i++ {
-			if _, err := cube.Execute(op.q); err != nil {
+			if _, err := cube.Execute(context.Background(), op.q); err != nil {
 				return nil, err
 			}
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -197,7 +198,7 @@ func E6Stack(quick bool) (*Table, error) {
 			}
 			s := eng.NewSession()
 			s.Assert("Meta", map[string]storage.Value{"id": obj.ID, "size": obj.Size})
-			_, err := s.FireAll(0)
+			_, err := s.FireAll(context.Background(), 0)
 			return err
 		}},
 		{"orm via bus", func(i int) error {
@@ -246,7 +247,7 @@ func E8ETL(quick bool) (*Table, error) {
 			Sink: &etl.TableSink{Engine: e, Table: "admissions", CreateTable: true},
 		}
 		start := time.Now()
-		_, written, err := pipe.Run()
+		_, written, err := pipe.Run(context.Background())
 		if err != nil {
 			e.Close()
 			return nil, err
@@ -276,7 +277,7 @@ func E10Metadata(quick bool) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := sess.Query("CREATE TABLE t (x INT)"); err != nil {
+	if _, err := sess.Query(context.Background(), "CREATE TABLE t (x INT)"); err != nil {
 		return nil, err
 	}
 	t := &Table{
@@ -295,11 +296,11 @@ func E10Metadata(quick bool) (*Table, error) {
 			defer wg.Done()
 			for i := 0; i < opsPer; i++ {
 				name := fmt.Sprintf("ds-%d-%d", w, i)
-				if err := sess.CreateDataSet(name, "", "SELECT * FROM t", ""); err != nil {
+				if err := sess.CreateDataSet(context.Background(), name, "", "SELECT * FROM t", ""); err != nil {
 					errs <- err
 					return
 				}
-				if err := sess.DeleteDataSet(name); err != nil {
+				if err := sess.DeleteDataSet(context.Background(), name); err != nil {
 					errs <- err
 					return
 				}
@@ -311,7 +312,7 @@ func E10Metadata(quick bool) (*Table, error) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < opsPer; i++ {
-				if _, err := sess.DataSets(); err != nil {
+				if _, err := sess.DataSets(context.Background()); err != nil {
 					errs <- err
 					return
 				}
@@ -423,7 +424,7 @@ func A2CubeCache(quick bool) (*Table, error) {
 	if _, err := (workload.Retail{Facts: facts, Products: 100, Stores: 20}).Load(e, nil); err != nil {
 		return nil, err
 	}
-	cube, err := olap.Build(e, retailCubeSpec())
+	cube, err := olap.Build(context.Background(), e, retailCubeSpec())
 	if err != nil {
 		return nil, err
 	}
@@ -452,14 +453,14 @@ func A2CubeCache(quick bool) (*Table, error) {
 		}
 		// Warm once (fills the cache in cached mode).
 		for _, q := range drill {
-			if _, err := cube.Execute(q); err != nil {
+			if _, err := cube.Execute(context.Background(), q); err != nil {
 				return nil, err
 			}
 		}
 		start := time.Now()
 		for i := 0; i < iters; i++ {
 			for _, q := range drill {
-				if _, err := cube.Execute(q); err != nil {
+				if _, err := cube.Execute(context.Background(), q); err != nil {
 					return nil, err
 				}
 			}

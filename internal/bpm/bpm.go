@@ -12,6 +12,7 @@
 package bpm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -184,8 +185,10 @@ type Engine struct {
 	MaxSteps int
 }
 
-// Run executes the definition with the given initial variables.
-func (e *Engine) Run(d *Definition, vars map[string]storage.Value) (*Instance, error) {
+// Run executes the definition with the given initial variables. ctx
+// bounds the instance: a cancelled or expired context stops execution at
+// the next step boundary with the ctx error.
+func (e *Engine) Run(ctx context.Context, d *Definition, vars map[string]storage.Value) (*Instance, error) {
 	limit := e.MaxSteps
 	if limit <= 0 {
 		limit = 1000
@@ -196,6 +199,9 @@ func (e *Engine) Run(d *Definition, vars map[string]storage.Value) (*Instance, e
 	}
 	cur := d.Start
 	for n := 0; n < limit; n++ {
+		if err := ctx.Err(); err != nil {
+			return inst, err
+		}
 		step, ok := d.steps[cur]
 		if !ok {
 			return inst, fmt.Errorf("%w: %s", ErrNoStep, cur)

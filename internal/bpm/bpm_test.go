@@ -1,6 +1,7 @@
 package bpm
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -61,7 +62,7 @@ func TestProcessRoutes(t *testing.T) {
 		{map[string]storage.Value{"customer": "unknown", "amount": 5000.0}, "rejected"},
 	}
 	for _, c := range cases {
-		inst, err := eng.Run(d, c.vars)
+		inst, err := eng.Run(context.Background(), d, c.vars)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -119,7 +120,7 @@ func TestGatewayStuck(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := &Engine{Bus: bus.New()}
-	_, err = eng.Run(d, map[string]storage.Value{"x": 1})
+	_, err = eng.Run(context.Background(), d, map[string]storage.Value{"x": 1})
 	if !errors.Is(err, ErrStuck) {
 		t.Errorf("stuck gateway: %v", err)
 	}
@@ -134,7 +135,7 @@ func TestLoopGuard(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := &Engine{MaxSteps: 50}
-	_, err = eng.Run(d, nil)
+	_, err = eng.Run(context.Background(), d, nil)
 	if !errors.Is(err, ErrMaxSteps) {
 		t.Errorf("loop: %v", err)
 	}
@@ -155,7 +156,7 @@ func TestBoundedLoopWithCounter(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := &Engine{}
-	inst, err := eng.Run(d, map[string]storage.Value{"tries": 0})
+	inst, err := eng.Run(context.Background(), d, map[string]storage.Value{"tries": 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestServiceFailurePropagates(t *testing.T) {
 		Step{Name: "e", Kind: StepEnd},
 	)
 	eng := &Engine{Bus: b}
-	inst, err := eng.Run(d, nil)
+	inst, err := eng.Run(context.Background(), d, nil)
 	if err == nil {
 		t.Fatal("service error swallowed")
 	}
@@ -190,7 +191,7 @@ func TestVariablesIsolatedFromCaller(t *testing.T) {
 	)
 	eng := &Engine{}
 	in := map[string]storage.Value{"x": 21}
-	inst, err := eng.Run(d, in)
+	inst, err := eng.Run(context.Background(), d, in)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -71,16 +71,35 @@ type channel struct {
 
 // Bus is a set of named channels. All operations are safe for concurrent
 // use; dispatch is synchronous (the caller's goroutine runs the
-// handlers), which keeps ordering deterministic.
+// handlers), which keeps ordering deterministic — except PublishDetached,
+// whose fan-out goroutines are bound to the bus lifetime and joined by
+// Close.
 type Bus struct {
 	mu       sync.RWMutex
 	channels map[string]*channel
 	nextID   atomic.Uint64
+
+	// lifeMu guards closed and the wg.Add race against Close; wg counts
+	// in-flight detached deliveries.
+	lifeMu sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
 }
 
 // New returns an empty bus.
 func New() *Bus {
 	return &Bus{channels: make(map[string]*channel)}
+}
+
+// Close marks the bus closed and waits for every in-flight detached
+// delivery to finish. Further PublishDetached calls schedule nothing;
+// synchronous operations keep working (draining a queue during shutdown
+// is legitimate). Close is idempotent.
+func (b *Bus) Close() {
+	b.lifeMu.Lock()
+	b.closed = true
+	b.lifeMu.Unlock()
+	b.wg.Wait()
 }
 
 func (b *Bus) channelFor(name string, create bool) (*channel, error) {
@@ -208,6 +227,44 @@ func (b *Bus) PublishBestEffort(channelName string, m *Message) int {
 		delivered++
 	}
 	return delivered
+}
+
+// PublishDetached fans the message out to every subscriber on separate
+// goroutines, continuing past handler errors, and returns the number of
+// deliveries scheduled without waiting for them. Every goroutine is
+// registered with the bus lifetime, so Close blocks until all detached
+// deliveries have finished — the platform cannot leak dispatch goroutines
+// on shutdown. After Close, PublishDetached schedules nothing.
+func (b *Bus) PublishDetached(channelName string, m *Message) int {
+	ch, err := b.channelFor(channelName, false)
+	if err != nil {
+		return 0
+	}
+	b.stamp(m)
+	ch.sent.Add(1)
+	ch.mu.RLock()
+	handlers := append([]Handler(nil), ch.handlers...)
+	ch.mu.RUnlock()
+	scheduled := 0
+	for _, h := range handlers {
+		b.lifeMu.Lock()
+		if b.closed {
+			b.lifeMu.Unlock()
+			break
+		}
+		b.wg.Add(1)
+		b.lifeMu.Unlock()
+		scheduled++
+		go func(h Handler, m *Message) {
+			defer b.wg.Done()
+			if _, err := h(m); err != nil {
+				ch.errors.Add(1)
+				return
+			}
+			ch.delivered.Add(1)
+		}(h, m.clone())
+	}
+	return scheduled
 }
 
 // Channels lists channel names sorted.

@@ -1,0 +1,83 @@
+package bus
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCloseJoinsDetachedDeliveries: Close must block until every
+// goroutine spawned by PublishDetached has finished — the platform's
+// guarantee that shutdown leaks no dispatch goroutines.
+func TestCloseJoinsDetachedDeliveries(t *testing.T) {
+	b := New()
+	release := make(chan struct{})
+	var delivered atomic.Int64
+	for i := 0; i < 3; i++ {
+		b.Subscribe("events", func(m *Message) (*Message, error) {
+			<-release
+			delivered.Add(1)
+			return nil, nil
+		})
+	}
+	if n := b.PublishDetached("events", NewMessage("tick")); n != 3 {
+		t.Fatalf("scheduled %d deliveries, want 3", n)
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		b.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while detached deliveries were in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close never returned after deliveries finished")
+	}
+	if got := delivered.Load(); got != 3 {
+		t.Errorf("delivered = %d after Close, want 3 — Close did not join all goroutines", got)
+	}
+}
+
+// TestPublishDetachedAfterClose: a closed bus schedules nothing — no
+// goroutine can outlive Close.
+func TestPublishDetachedAfterClose(t *testing.T) {
+	b := New()
+	var delivered atomic.Int64
+	b.Subscribe("events", func(m *Message) (*Message, error) {
+		delivered.Add(1)
+		return nil, nil
+	})
+	b.Close()
+	if n := b.PublishDetached("events", NewMessage("late")); n != 0 {
+		t.Errorf("post-Close PublishDetached scheduled %d deliveries", n)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := delivered.Load(); got != 0 {
+		t.Errorf("handler ran %d times after Close", got)
+	}
+	// Close is idempotent.
+	b.Close()
+}
+
+// TestSynchronousPathsSurviveClose: Send/Publish are caller-synchronous
+// and thus not lifecycle-managed; they still work after Close (the
+// caller owns its own lifetime), keeping legacy call sites safe.
+func TestSynchronousPathsSurviveClose(t *testing.T) {
+	b := New()
+	b.Subscribe("echo", func(m *Message) (*Message, error) {
+		return NewMessage(m.Body), nil
+	})
+	b.Close()
+	reply, err := b.Send("echo", NewMessage("x"))
+	if err != nil || reply.Body != "x" {
+		t.Errorf("Send after Close = %v, %v", reply, err)
+	}
+}

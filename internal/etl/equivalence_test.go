@@ -1,6 +1,7 @@
 package etl
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -52,7 +53,7 @@ func TestAggregateMatchesSQL(t *testing.T) {
 		e := storage.MustOpenMemory()
 		defer e.Close()
 		sink := &TableSink{Engine: e, Table: "d", CreateTable: true}
-		if _, err := sink.Write(recs); err != nil {
+		if _, err := sink.Write(context.Background(), recs); err != nil {
 			return false
 		}
 		db := sql.NewDB(e)

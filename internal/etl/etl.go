@@ -10,6 +10,7 @@
 package etl
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -49,8 +50,10 @@ func (r Record) Fields() []string {
 // Source produces records.
 type Source interface {
 	// Read returns every record of the source. Sources are re-readable:
-	// each call restarts from the beginning.
-	Read() ([]Record, error)
+	// each call restarts from the beginning. ctx bounds the read;
+	// sources backed by table scans or queries stop at the next row
+	// checkpoint once ctx is cancelled.
+	Read(ctx context.Context) ([]Record, error)
 }
 
 // SliceSource serves an in-memory record slice; the zero value is empty.
@@ -59,7 +62,7 @@ type SliceSource struct {
 }
 
 // Read implements Source.
-func (s *SliceSource) Read() ([]Record, error) {
+func (s *SliceSource) Read(ctx context.Context) ([]Record, error) {
 	out := make([]Record, len(s.Records))
 	for i, r := range s.Records {
 		out[i] = r.Clone()
@@ -82,7 +85,7 @@ type CSVSource struct {
 }
 
 // Read implements Source.
-func (s *CSVSource) Read() ([]Record, error) {
+func (s *CSVSource) Read(ctx context.Context) ([]Record, error) {
 	var r io.Reader
 	switch {
 	case s.Path != "" && s.Data != "":
@@ -172,7 +175,7 @@ type JSONSource struct {
 }
 
 // Read implements Source.
-func (s *JSONSource) Read() ([]Record, error) {
+func (s *JSONSource) Read(ctx context.Context) ([]Record, error) {
 	var data []byte
 	switch {
 	case s.Path != "" && s.Data != "":
@@ -245,14 +248,14 @@ type TableSource struct {
 }
 
 // Read implements Source.
-func (s *TableSource) Read() ([]Record, error) {
+func (s *TableSource) Read(ctx context.Context) ([]Record, error) {
 	schema, err := s.Engine.Schema(s.Table)
 	if err != nil {
 		return nil, err
 	}
 	names := schema.ColumnNames()
 	var out []Record
-	err = s.Engine.View(func(tx *storage.Tx) error {
+	err = s.Engine.ViewCtx(ctx, func(tx *storage.Tx) error {
 		return tx.Scan(s.Table, func(_ storage.RID, row storage.Row) bool {
 			rec := make(Record, len(names))
 			for i, n := range names {
@@ -273,9 +276,9 @@ type QuerySource struct {
 }
 
 // Read implements Source.
-func (s *QuerySource) Read() ([]Record, error) {
+func (s *QuerySource) Read(ctx context.Context) ([]Record, error) {
 	db := newDB(s.Engine)
-	res, err := db.Query(s.Query, s.Args...)
+	res, err := db.QueryContext(ctx, s.Query, s.Args...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package etl
 
 import (
+	"context"
 	"bytes"
 	"errors"
 	"strings"
@@ -20,7 +21,7 @@ const salesCSV = `date,store,product,amount,qty
 
 func TestCSVSourceInference(t *testing.T) {
 	src := &CSVSource{Data: salesCSV}
-	recs, err := src.Read()
+	recs, err := src.Read(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,20 +41,20 @@ func TestCSVSourceInference(t *testing.T) {
 }
 
 func TestCSVSourceErrors(t *testing.T) {
-	if _, err := (&CSVSource{}).Read(); err == nil {
+	if _, err := (&CSVSource{}).Read(context.Background()); err == nil {
 		t.Error("empty source accepted")
 	}
-	if _, err := (&CSVSource{Data: "a,b\n1"}).Read(); err == nil {
+	if _, err := (&CSVSource{Data: "a,b\n1"}).Read(context.Background()); err == nil {
 		t.Error("ragged CSV accepted")
 	}
-	if _, err := (&CSVSource{Path: "x", Data: "y"}).Read(); err == nil {
+	if _, err := (&CSVSource{Path: "x", Data: "y"}).Read(context.Background()); err == nil {
 		t.Error("both path and data accepted")
 	}
 }
 
 func TestJSONSource(t *testing.T) {
 	src := &JSONSource{Data: `[{"a": 1, "b": "x", "c": 1.5, "d": true, "e": null}]`}
-	recs, err := src.Read()
+	recs, err := src.Read(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestJSONSource(t *testing.T) {
 	}
 	// NDJSON form.
 	src = &JSONSource{Data: "{\"a\":1}\n{\"a\":2}\n"}
-	recs, err = src.Read()
+	recs, err = src.Read(context.Background())
 	if err != nil || len(recs) != 2 {
 		t.Fatalf("ndjson: %v, %d records", err, len(recs))
 	}
@@ -78,7 +79,7 @@ func TestFilterDerive(t *testing.T) {
 		},
 		Sink: &SliceSink{},
 	}
-	read, written, err := p.Run()
+	read, written, err := p.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestFilterBadExpression(t *testing.T) {
 		Transforms: []Transform{Filter{Condition: "SELECT nope"}},
 		Sink:       &SliceSink{},
 	}
-	if _, _, err := p.Run(); err == nil {
+	if _, _, err := p.Run(context.Background()); err == nil {
 		t.Error("bad filter expression accepted")
 	}
 }
@@ -148,7 +149,7 @@ func TestLookup(t *testing.T) {
 
 func TestAggregate(t *testing.T) {
 	src := &CSVSource{Data: salesCSV}
-	recs, _ := src.Read()
+	recs, _ := src.Read(context.Background())
 	out, err := Aggregate{
 		GroupBy: []string{"store"},
 		Aggs: []AggSpec{
@@ -221,27 +222,27 @@ func TestTableSinkAndSource(t *testing.T) {
 		Transforms: []Transform{Filter{Condition: "amount IS NOT NULL"}},
 		Sink:       sink,
 	}
-	if _, written, err := p.Run(); err != nil || written != 4 {
+	if _, written, err := p.Run(context.Background()); err != nil || written != 4 {
 		t.Fatalf("load: %v, written=%d", err, written)
 	}
 	// The inferred schema must be readable back.
 	src := &TableSource{Engine: e, Table: "sales"}
-	recs, err := src.Read()
+	recs, err := src.Read(context.Background())
 	if err != nil || len(recs) != 4 {
 		t.Fatalf("table source: %v, %d", err, len(recs))
 	}
 	// Truncate reload.
 	sink2 := &TableSink{Engine: e, Table: "sales", Truncate: true}
-	if _, _, err := (&Pipeline{Source: src, Sink: sink2}).Run(); err != nil {
+	if _, _, err := (&Pipeline{Source: src, Sink: sink2}).Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	recs, _ = (&TableSource{Engine: e, Table: "sales"}).Read()
+	recs, _ = (&TableSource{Engine: e, Table: "sales"}).Read(context.Background())
 	if len(recs) != 4 {
 		t.Errorf("after truncate reload: %d", len(recs))
 	}
 	// QuerySource.
 	qs := &QuerySource{Engine: e, Query: "SELECT store, SUM(amount) AS total FROM sales GROUP BY store"}
-	recs, err = qs.Read()
+	recs, err = qs.Read(context.Background())
 	if err != nil || len(recs) != 2 {
 		t.Fatalf("query source: %v %v", err, recs)
 	}
@@ -250,7 +251,7 @@ func TestTableSinkAndSource(t *testing.T) {
 func TestCSVSink(t *testing.T) {
 	var buf bytes.Buffer
 	sink := &CSVSink{W: &buf}
-	n, err := sink.Write([]Record{{"b": int64(2), "a": "x"}, {"a": "y", "b": nil}})
+	n, err := sink.Write(context.Background(), []Record{{"b": int64(2), "a": "x"}, {"a": "y", "b": nil}})
 	if err != nil || n != 2 {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestJobDAG(t *testing.T) {
 			},
 		},
 	}
-	report := job.Run()
+	report := job.Run(context.Background())
 	if err := report.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestJobDependencyFailureSkips(t *testing.T) {
 			{Name: "b", DependsOn: []string{"a"}, Pipeline: good},
 		},
 	}
-	report := job.Run()
+	report := job.Run(context.Background())
 	if report.Err() == nil {
 		t.Fatal("failure not reported")
 	}
@@ -337,7 +338,7 @@ func TestJobRetries(t *testing.T) {
 		Sink: &SliceSink{},
 	}
 	job := &Job{Name: "retry", Tasks: []Task{{Name: "t", Pipeline: flaky, Retries: 3}}}
-	report := job.Run()
+	report := job.Run(context.Background())
 	if err := report.Err(); err != nil {
 		t.Fatalf("retries exhausted: %v", err)
 	}
@@ -352,11 +353,11 @@ func TestJobCycleDetection(t *testing.T) {
 		{Name: "a", DependsOn: []string{"b"}, Pipeline: p},
 		{Name: "b", DependsOn: []string{"a"}, Pipeline: p},
 	}}
-	if job.Run().Err() == nil {
+	if job.Run(context.Background()).Err() == nil {
 		t.Error("cycle accepted")
 	}
 	job = &Job{Name: "dangling", Tasks: []Task{{Name: "a", DependsOn: []string{"ghost"}, Pipeline: p}}}
-	if job.Run().Err() == nil {
+	if job.Run(context.Background()).Err() == nil {
 		t.Error("unknown dependency accepted")
 	}
 }
@@ -373,11 +374,11 @@ func TestSchedulerTriggerAndHistory(t *testing.T) {
 	if err := s.Register(job, 0); err == nil {
 		t.Error("duplicate registration accepted")
 	}
-	report, err := s.Trigger("j")
+	report, err := s.Trigger(context.Background(), "j")
 	if err != nil || report.Err() != nil {
 		t.Fatalf("trigger: %v / %v", err, report.Err())
 	}
-	if _, err := s.Trigger("ghost"); err == nil {
+	if _, err := s.Trigger(context.Background(), "ghost"); err == nil {
 		t.Error("unknown job triggered")
 	}
 	if h := s.History("j"); len(h) != 1 {
@@ -400,26 +401,26 @@ func TestSchedulerTick(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Not yet due.
-	if reports := s.Tick(); len(reports) != 0 {
+	if reports := s.Tick(context.Background()); len(reports) != 0 {
 		t.Errorf("early tick ran %d jobs", len(reports))
 	}
 	now = now.Add(2 * time.Minute)
-	if reports := s.Tick(); len(reports) != 1 {
+	if reports := s.Tick(context.Background()); len(reports) != 1 {
 		t.Fatalf("due tick ran %d jobs", len(reports))
 	}
 	// Immediately after, the job is rescheduled in the future.
-	if reports := s.Tick(); len(reports) != 0 {
+	if reports := s.Tick(context.Background()); len(reports) != 0 {
 		t.Errorf("re-run before interval: %d", len(reports))
 	}
 	// Paused jobs are skipped.
 	now = now.Add(2 * time.Minute)
 	s.Pause("periodic")
-	if reports := s.Tick(); len(reports) != 0 {
+	if reports := s.Tick(context.Background()); len(reports) != 0 {
 		t.Errorf("paused job ran")
 	}
 	s.Resume("periodic")
 	now = now.Add(2 * time.Minute)
-	if reports := s.Tick(); len(reports) != 1 {
+	if reports := s.Tick(context.Background()); len(reports) != 1 {
 		t.Errorf("resumed job did not run")
 	}
 	if h := s.History("periodic"); len(h) != 2 {
@@ -435,7 +436,7 @@ func TestSchedulerHistoryBound(t *testing.T) {
 	}}}}
 	s.Register(job, 0)
 	for i := 0; i < 10; i++ {
-		s.Trigger("j")
+		s.Trigger(context.Background(), "j")
 	}
 	if h := s.History("j"); len(h) != 3 {
 		t.Errorf("history = %d, want 3", len(h))
@@ -447,7 +448,7 @@ func TestPipelinePreview(t *testing.T) {
 		Source:     &CSVSource{Data: salesCSV},
 		Transforms: []Transform{Filter{Condition: "qty > 1"}},
 	}
-	recs, err := p.Preview(2)
+	recs, err := p.Preview(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -485,7 +486,7 @@ func TestSchedulerUnregisterAndStart(t *testing.T) {
 	if err := s.Register(job, 5*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	stop := s.Start(2 * time.Millisecond)
+	stop := s.Start(context.Background(), 2 * time.Millisecond)
 	deadline := time.Now().Add(2 * time.Second)
 	for len(s.History("j")) == 0 && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
@@ -502,7 +503,7 @@ func TestSchedulerUnregisterAndStart(t *testing.T) {
 	if len(s.History("j")) != 0 {
 		t.Error("history survived unregister")
 	}
-	if _, err := s.Trigger("j"); err == nil {
+	if _, err := s.Trigger(context.Background(), "j"); err == nil {
 		t.Error("unregistered job triggered")
 	}
 	// Pause/resume of unknown jobs error.
@@ -531,11 +532,11 @@ func TestTableSinkCaseInsensitiveColumns(t *testing.T) {
 	})
 	e.CreateTable(s)
 	sink := &TableSink{Engine: e, Table: "t"}
-	n, err := sink.Write([]Record{{"AMOUNT": 1.5}})
+	n, err := sink.Write(context.Background(), []Record{{"AMOUNT": 1.5}})
 	if err != nil || n != 1 {
 		t.Fatalf("write: %v n=%d", err, n)
 	}
-	recs, _ := (&TableSource{Engine: e, Table: "t"}).Read()
+	recs, _ := (&TableSource{Engine: e, Table: "t"}).Read(context.Background())
 	if recs[0]["Amount"] != 1.5 {
 		t.Errorf("round trip = %v", recs[0])
 	}

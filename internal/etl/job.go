@@ -1,6 +1,8 @@
 package etl
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -13,38 +15,46 @@ type Pipeline struct {
 	Sink       Sink
 }
 
-// Run executes the pipeline, returning rows read and written.
-func (p *Pipeline) Run() (read, written int, err error) {
+// Run executes the pipeline, returning rows read and written. ctx bounds
+// every stage: the source read, each transform, and the sink write all
+// stop at their next checkpoint once ctx is cancelled.
+func (p *Pipeline) Run(ctx context.Context) (read, written int, err error) {
 	if p.Source == nil || p.Sink == nil {
 		return 0, 0, fmt.Errorf("etl: pipeline needs a source and a sink")
 	}
-	recs, err := p.Source.Read()
+	recs, err := p.Source.Read(ctx)
 	if err != nil {
 		return 0, 0, err
 	}
 	read = len(recs)
 	for _, tr := range p.Transforms {
-		recs, err = tr.Apply(recs)
+		if err := ctx.Err(); err != nil {
+			return read, 0, err
+		}
+		recs, err = applyTransform(ctx, tr, recs)
 		if err != nil {
 			return read, 0, fmt.Errorf("etl: transform %s: %w", tr.Name(), err)
 		}
 	}
-	written, err = p.Sink.Write(recs)
+	written, err = p.Sink.Write(ctx, recs)
 	return read, written, err
 }
 
 // Preview runs source + transforms and returns up to limit records
 // without writing the sink (ad-hoc job design support).
-func (p *Pipeline) Preview(limit int) ([]Record, error) {
+func (p *Pipeline) Preview(ctx context.Context, limit int) ([]Record, error) {
 	if p.Source == nil {
 		return nil, fmt.Errorf("etl: pipeline needs a source")
 	}
-	recs, err := p.Source.Read()
+	recs, err := p.Source.Read(ctx)
 	if err != nil {
 		return nil, err
 	}
 	for _, tr := range p.Transforms {
-		recs, err = tr.Apply(recs)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		recs, err = applyTransform(ctx, tr, recs)
 		if err != nil {
 			return nil, err
 		}
@@ -165,8 +175,10 @@ func (j *Job) topoOrder() ([]int, error) {
 }
 
 // Run executes the job: tasks in dependency order, retrying failures,
-// skipping tasks whose dependencies failed.
-func (j *Job) Run() *JobReport {
+// skipping tasks whose dependencies failed. A cancelled ctx fails the
+// current task without retrying (retrying a dead request wastes work)
+// and skips the remaining tasks.
+func (j *Job) Run(ctx context.Context) *JobReport {
 	report := &JobReport{Job: j.Name, Started: time.Now()}
 	defer func() { report.Finished = time.Now() }()
 	order, err := j.topoOrder()
@@ -185,6 +197,12 @@ func (j *Job) Run() *JobReport {
 				break
 			}
 		}
+		if err := ctx.Err(); err != nil && !blocked {
+			res.Err = err
+			failed[task.Name] = true
+			report.Results = append(report.Results, res)
+			continue
+		}
 		if blocked {
 			res.Skipped = true
 			failed[task.Name] = true
@@ -194,9 +212,9 @@ func (j *Job) Run() *JobReport {
 		start := time.Now()
 		for attempt := 0; attempt <= task.Retries; attempt++ {
 			res.Attempts++
-			read, written, err := task.Pipeline.Run()
+			read, written, err := task.Pipeline.Run(ctx)
 			res.Read, res.Written, res.Err = read, written, err
-			if err == nil {
+			if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				break
 			}
 		}

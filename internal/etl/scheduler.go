@@ -1,6 +1,7 @@
 package etl
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,12 +11,20 @@ import (
 // Scheduler runs registered jobs on fixed intervals — the "jobs
 // scheduling" half of the Integration Service. It keeps a bounded history
 // of reports per job.
+//
+// Lifecycle is context-driven: Start derives a run context and the stop
+// function cancels it and waits for the in-flight Tick, so no job can
+// fire concurrently with (or after) shutdown or entry removal.
 type Scheduler struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 	history map[string][]*JobReport
 	// HistoryLimit bounds retained reports per job (default 32).
 	HistoryLimit int
+	// OnReport, when set, is called synchronously after every scheduled
+	// (Tick-driven) run with the job name and its report. Set it before
+	// Start; it must not call back into the scheduler.
+	OnReport func(job string, report *JobReport)
 	// clock is replaceable in tests.
 	clock func() time.Time
 }
@@ -25,7 +34,6 @@ type entry struct {
 	interval time.Duration
 	nextRun  time.Time
 	paused   bool
-	stop     chan struct{}
 	running  bool
 }
 
@@ -67,13 +75,12 @@ func (j *Job) validate() (*Job, []int, error) {
 	return j, order, err
 }
 
-// Unregister removes a job and its history.
+// Unregister removes a job and its history. A run already in flight
+// finishes (its report is recorded under the removed name and then
+// dropped with the history); future Ticks no longer see the entry.
 func (s *Scheduler) Unregister(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if e, ok := s.entries[name]; ok && e.stop != nil {
-		close(e.stop)
-	}
 	delete(s.entries, name)
 	delete(s.history, name)
 }
@@ -103,15 +110,16 @@ func (s *Scheduler) Resume(name string) error {
 	return nil
 }
 
-// Trigger runs a job immediately and synchronously, recording the report.
-func (s *Scheduler) Trigger(name string) (*JobReport, error) {
+// Trigger runs a job immediately and synchronously under ctx, recording
+// the report.
+func (s *Scheduler) Trigger(ctx context.Context, name string) (*JobReport, error) {
 	s.mu.Lock()
 	e, ok := s.entries[name]
 	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("etl: scheduler: no job %q", name)
 	}
-	report := e.job.Run()
+	report := e.job.Run(ctx)
 	s.record(name, report)
 	return report, nil
 }
@@ -149,11 +157,12 @@ func (s *Scheduler) Jobs() []string {
 	return names
 }
 
-// Tick runs every due, unpaused interval job once (synchronously) and
-// reschedules it. It is the scheduler's heartbeat: call it from a ticker
-// goroutine (Start does this) or directly in tests for deterministic
-// time control.
-func (s *Scheduler) Tick() []*JobReport {
+// Tick runs every due, unpaused interval job once (synchronously) under
+// ctx and reschedules it. It is the scheduler's heartbeat: call it from a
+// ticker goroutine (Start does this) or directly in tests for
+// deterministic time control. A cancelled ctx makes due jobs fail fast at
+// their first checkpoint rather than silently skipping them.
+func (s *Scheduler) Tick(ctx context.Context) []*JobReport {
 	now := s.clock()
 	s.mu.Lock()
 	var due []*entry
@@ -167,36 +176,47 @@ func (s *Scheduler) Tick() []*JobReport {
 	sort.Slice(due, func(i, j int) bool { return due[i].job.Name < due[j].job.Name })
 	var reports []*JobReport
 	for _, e := range due {
-		report := e.job.Run()
+		report := e.job.Run(ctx)
 		s.record(e.job.Name, report)
 		reports = append(reports, report)
 		s.mu.Lock()
 		e.running = false
 		e.nextRun = s.clock().Add(e.interval)
 		s.mu.Unlock()
+		if s.OnReport != nil {
+			s.OnReport(e.job.Name, report)
+		}
 	}
 	return reports
 }
 
-// Start launches a background ticker that calls Tick every resolution.
-// The returned stop function halts it.
-func (s *Scheduler) Start(resolution time.Duration) (stop func()) {
+// Start launches a background ticker that calls Tick every resolution,
+// bound to ctx. The returned stop function cancels the run context and
+// blocks until the ticker goroutine — including any in-flight Tick — has
+// fully exited, so shutdown cannot race a running job. Cancelling the
+// parent ctx stops the ticker the same way (stop then just waits).
+func (s *Scheduler) Start(ctx context.Context, resolution time.Duration) (stop func()) {
 	if resolution <= 0 {
 		resolution = time.Second
 	}
-	done := make(chan struct{})
+	runCtx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		ticker := time.NewTicker(resolution)
 		defer ticker.Stop()
 		for {
 			select {
-			case <-done:
+			case <-runCtx.Done():
 				return
 			case <-ticker.C:
-				s.Tick()
+				s.Tick(runCtx)
 			}
 		}
 	}()
-	var once sync.Once
-	return func() { once.Do(func() { close(done) }) }
+	return func() {
+		cancel()
+		wg.Wait()
+	}
 }

@@ -1,0 +1,137 @@
+package etl
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gateSource blocks Read until released (or, when honorCtx is set,
+// until the run context dies), signalling when a run has entered it.
+type gateSource struct {
+	startOnce sync.Once
+	started   chan struct{}
+	release   chan struct{}
+	honorCtx  bool
+}
+
+func newGateSource(honorCtx bool) *gateSource {
+	return &gateSource{started: make(chan struct{}), release: make(chan struct{}), honorCtx: honorCtx}
+}
+
+func (g *gateSource) Read(ctx context.Context) ([]Record, error) {
+	g.startOnce.Do(func() { close(g.started) })
+	if g.honorCtx {
+		select {
+		case <-g.release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	} else {
+		<-g.release
+	}
+	return []Record{{"a": int64(1)}}, nil
+}
+
+func (g *gateSource) Name() string { return "gate" }
+
+// TestSchedulerStopWaitsForInflightJob: the regression test for the
+// shutdown race — stop must not return while a Tick-driven job is still
+// running, and no job may start after stop returns. Run under -race.
+func TestSchedulerStopWaitsForInflightJob(t *testing.T) {
+	s := NewScheduler()
+	gate := newGateSource(false)
+	job := &Job{Name: "slow", Tasks: []Task{{Name: "t", Pipeline: &Pipeline{
+		Source: gate, Sink: &SliceSink{},
+	}}}}
+	if err := s.Register(job, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	stop := s.Start(context.Background(), time.Millisecond)
+
+	select {
+	case <-gate.started:
+	case <-time.After(2 * time.Second):
+		t.Fatal("job never started")
+	}
+
+	stopped := make(chan struct{})
+	go func() {
+		stop()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+		t.Fatal("stop returned while a job was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(gate.release)
+	select {
+	case <-stopped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stop never returned after the job finished")
+	}
+
+	// The in-flight run completed and was recorded; nothing runs after.
+	if len(s.History("slow")) == 0 {
+		t.Error("in-flight run was not recorded before shutdown")
+	}
+	n := len(s.History("slow"))
+	time.Sleep(20 * time.Millisecond)
+	if got := len(s.History("slow")); got != n {
+		t.Errorf("job ran after stop: history %d -> %d", n, got)
+	}
+}
+
+// TestSchedulerStopCancelsInflightJob: a job that honors its context is
+// cancelled by stop rather than waited out — shutdown is bounded.
+func TestSchedulerStopCancelsInflightJob(t *testing.T) {
+	s := NewScheduler()
+	gate := newGateSource(true)
+	job := &Job{Name: "ctxed", Tasks: []Task{{Name: "t", Pipeline: &Pipeline{
+		Source: gate, Sink: &SliceSink{},
+	}}}}
+	if err := s.Register(job, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	stop := s.Start(context.Background(), time.Millisecond)
+	select {
+	case <-gate.started:
+	case <-time.After(2 * time.Second):
+		t.Fatal("job never started")
+	}
+	stop() // never released: returns only because cancellation unblocks Read
+
+	h := s.History("ctxed")
+	if len(h) == 0 {
+		t.Fatal("cancelled run not recorded")
+	}
+	if err := h[len(h)-1].Err(); !errors.Is(err, context.Canceled) {
+		t.Errorf("report err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSchedulerUnregisterDuringTick: removing a job while its run is in
+// flight must be safe (run under -race) — the run finishes, the entry
+// and history are gone.
+func TestSchedulerUnregisterDuringTick(t *testing.T) {
+	s := NewScheduler()
+	gate := newGateSource(false)
+	job := &Job{Name: "doomed", Tasks: []Task{{Name: "t", Pipeline: &Pipeline{
+		Source: gate, Sink: &SliceSink{},
+	}}}}
+	if err := s.Register(job, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	stop := s.Start(context.Background(), time.Millisecond)
+	<-gate.started
+	s.Unregister("doomed")
+	close(gate.release)
+	stop()
+	if len(s.Jobs()) != 0 {
+		t.Errorf("jobs = %v after unregister", s.Jobs())
+	}
+}

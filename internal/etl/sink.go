@@ -1,6 +1,7 @@
 package etl
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -17,8 +18,10 @@ func newDB(e *storage.Engine) *sql.DB { return sql.NewDB(e) }
 
 // Sink consumes the final record stream of a pipeline.
 type Sink interface {
-	// Write stores the records, returning the number written.
-	Write(recs []Record) (int, error)
+	// Write stores the records, returning the number written. ctx bounds
+	// the write: a cancelled context rolls back the in-flight batch, so
+	// table sinks never commit a partial batch.
+	Write(ctx context.Context, recs []Record) (int, error)
 }
 
 // SliceSink collects records in memory (tests, previews).
@@ -27,7 +30,7 @@ type SliceSink struct {
 }
 
 // Write implements Sink.
-func (s *SliceSink) Write(recs []Record) (int, error) {
+func (s *SliceSink) Write(ctx context.Context, recs []Record) (int, error) {
 	for _, r := range recs {
 		s.Records = append(s.Records, r.Clone())
 	}
@@ -49,7 +52,7 @@ type TableSink struct {
 }
 
 // Write implements Sink.
-func (s *TableSink) Write(recs []Record) (int, error) {
+func (s *TableSink) Write(ctx context.Context, recs []Record) (int, error) {
 	if s.Engine == nil || s.Table == "" {
 		return 0, fmt.Errorf("etl: TableSink needs Engine and Table")
 	}
@@ -73,7 +76,7 @@ func (s *TableSink) Write(recs []Record) (int, error) {
 		return 0, err
 	}
 	if s.Truncate {
-		err := s.Engine.Update(func(tx *storage.Tx) error {
+		err := s.Engine.UpdateCtx(ctx, func(tx *storage.Tx) error {
 			var rids []storage.RID
 			tx.Scan(s.Table, func(rid storage.RID, _ storage.Row) bool {
 				rids = append(rids, rid)
@@ -101,7 +104,7 @@ func (s *TableSink) Write(recs []Record) (int, error) {
 		if end > len(recs) {
 			end = len(recs)
 		}
-		err := s.Engine.Update(func(tx *storage.Tx) error {
+		err := s.Engine.UpdateCtx(ctx, func(tx *storage.Tx) error {
 			for _, rec := range recs[start:end] {
 				row := make(storage.Row, len(names))
 				for i, n := range names {
@@ -169,7 +172,7 @@ type CSVSink struct {
 }
 
 // Write implements Sink.
-func (s *CSVSink) Write(recs []Record) (int, error) {
+func (s *CSVSink) Write(ctx context.Context, recs []Record) (int, error) {
 	fields := map[string]bool{}
 	for _, rec := range recs {
 		for f := range rec {

@@ -1,6 +1,7 @@
 package etl
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -16,6 +17,23 @@ type Transform interface {
 	Name() string
 	// Apply consumes the input stream and produces the output stream.
 	Apply(in []Record) ([]Record, error)
+}
+
+// ContextTransform is implemented by transforms that do I/O and must
+// observe request cancellation (e.g. Lookup, which reads a reference
+// Source). Pipeline.Run prefers ApplyContext when available.
+type ContextTransform interface {
+	Transform
+	ApplyContext(ctx context.Context, in []Record) ([]Record, error)
+}
+
+// applyTransform runs one transform, routing through ApplyContext when
+// the transform observes cancellation.
+func applyTransform(ctx context.Context, t Transform, in []Record) ([]Record, error) {
+	if ct, ok := t.(ContextTransform); ok {
+		return ct.ApplyContext(ctx, in)
+	}
+	return t.Apply(in)
 }
 
 // Filter keeps records matching a SQL predicate over the record's fields.
@@ -144,7 +162,13 @@ func (l Lookup) Name() string { return "lookup(" + l.On + ")" }
 
 // Apply implements Transform.
 func (l Lookup) Apply(in []Record) ([]Record, error) {
-	refs, err := l.From.Read()
+	return l.ApplyContext(context.Background(), in)
+}
+
+// ApplyContext implements ContextTransform: the reference-source read is
+// bounded by ctx.
+func (l Lookup) ApplyContext(ctx context.Context, in []Record) ([]Record, error) {
+	refs, err := l.From.Read(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("etl: lookup %s: %w", l.On, err)
 	}

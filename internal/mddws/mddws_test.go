@@ -1,6 +1,7 @@
 package mddws
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -206,11 +207,11 @@ func TestGeneratedCubeSpecWorksEndToEnd(t *testing.T) {
 			t.Fatalf("%s: %v", q, err)
 		}
 	}
-	cube, err := olap.Build(e, spec)
+	cube, err := olap.Build(context.Background(), e, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cube.Execute(olap.Query{
+	res, err := cube.Execute(context.Background(), olap.Query{
 		Rows:     []olap.LevelRef{{Dimension: "Product", Level: "Category"}},
 		Measures: []string{"amount"},
 	})
@@ -283,7 +284,7 @@ func TestBuildLoadJobRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report := job.Run()
+	report := job.Run(context.Background())
 	if err := report.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +352,7 @@ func TestProjectLifecycle(t *testing.T) {
 	}
 	// Deploy into the same engine.
 	db := sql.NewDB(e)
-	n, err := svc.Deploy("retail-dw", result, dbDeployer{db})
+	n, err := svc.Deploy(context.Background(), "retail-dw", result, dbDeployer{db})
 	if err != nil || n != 3 {
 		t.Fatalf("deploy: %v n=%d", err, n)
 	}
@@ -375,8 +376,8 @@ func TestProjectLifecycle(t *testing.T) {
 // dbDeployer adapts sql.DB to the Deployer interface.
 type dbDeployer struct{ db *sql.DB }
 
-func (d dbDeployer) Exec(q string, args ...storage.Value) (int, error) {
-	return d.db.Exec(q, args...)
+func (d dbDeployer) Exec(ctx context.Context, q string, args ...storage.Value) (int, error) {
+	return d.db.ExecContext(ctx, q, args...)
 }
 
 func TestChainLineage(t *testing.T) {

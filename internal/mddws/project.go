@@ -1,6 +1,7 @@
 package mddws
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -219,17 +220,22 @@ func (s *Service) Build(name string) (*BuildResult, error) {
 }
 
 // Deployer abstracts the target of a deployment: the shared DB or a
-// tenant catalog (both expose Exec for DDL).
+// tenant catalog (both expose a context-bound Exec for DDL).
 type Deployer interface {
-	Exec(query string, args ...storage.Value) (int, error)
+	Exec(ctx context.Context, query string, args ...storage.Value) (int, error)
 }
 
 // Deploy executes the generated DDL against the deployment target and
 // marks the transition phase. It returns the number of statements run.
-func (s *Service) Deploy(name string, result *BuildResult, target Deployer) (int, error) {
+// ctx bounds the whole deployment; a cancelled context stops between
+// statements (each statement is its own transaction).
+func (s *Service) Deploy(ctx context.Context, name string, result *BuildResult, target Deployer) (int, error) {
 	n := 0
 	for _, ddl := range result.Artifacts.DDL {
-		if _, err := target.Exec(ddl); err != nil {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
+		if _, err := target.Exec(ctx, ddl); err != nil {
 			return n, fmt.Errorf("mddws: deploy %s: %w", name, err)
 		}
 		n++

@@ -1,0 +1,100 @@
+package olap
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// errAfter is a deterministic context: Err reports context.Canceled
+// once polled more than n times — a client that disconnects while the
+// cube is still scanning the fact table.
+type errAfter struct {
+	n     int64
+	polls atomic.Int64
+}
+
+func (c *errAfter) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *errAfter) Done() <-chan struct{}       { return nil }
+func (c *errAfter) Value(key any) any           { return nil }
+func (c *errAfter) Err() error {
+	if c.polls.Add(1) > c.n {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestBuildCancelMidScan: cancelling during Build surfaces
+// context.Canceled from a fact-row checkpoint, and a subsequent Build
+// on a fresh context produces a complete, correct cube.
+func TestBuildCancelMidScan(t *testing.T) {
+	e, spec := starFixture(t, 2000)
+	ctx := &errAfter{n: 2}
+	if _, err := Build(ctx, e, spec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Build err = %v, want context.Canceled", err)
+	}
+	if got := ctx.polls.Load(); got <= ctx.n {
+		t.Errorf("ctx polled %d times — Build never reached a mid-scan checkpoint", got)
+	}
+	cube, err := Build(context.Background(), e, spec)
+	if err != nil {
+		t.Fatalf("rebuild after cancel: %v", err)
+	}
+	if cube.Rows() != 2000 {
+		t.Errorf("rows = %d after aborted build, want 2000", cube.Rows())
+	}
+}
+
+// TestExecuteCancelLeavesCacheClean: a query cancelled mid-aggregation
+// must not poison the cell cache — the next execution recomputes from
+// scratch and only then becomes cacheable.
+func TestExecuteCancelLeavesCacheClean(t *testing.T) {
+	e, spec := starFixture(t, 2000)
+	cube, err := Build(context.Background(), e, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Rows: []LevelRef{{Dimension: "Store", Level: "Region"}}}
+
+	if _, err := cube.Execute(&errAfter{n: 2}, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Execute err = %v, want context.Canceled", err)
+	}
+
+	// First clean run: must be a cache miss (nothing partial was put).
+	res, err := cube.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatalf("re-execute after cancel: %v", err)
+	}
+	if res.FromCache {
+		t.Fatal("result served from cache right after a cancelled run — partial cells were cached")
+	}
+	if len(res.RowHeaders) != 2 {
+		t.Errorf("regions = %v, want north/south", res.RowHeaders)
+	}
+	want, _ := res.Cell(0, 0)
+
+	// Second clean run: now the complete result is cached, unchanged.
+	res2, err := cube.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.FromCache {
+		t.Error("complete result was not cached")
+	}
+	got, _ := res2.Cell(0, 0)
+	if want[0] != got[0] {
+		t.Errorf("cached cell %v != computed cell %v", got, want)
+	}
+}
+
+// TestBuildPreCancelled: a dead context aborts before any scan starts.
+func TestBuildPreCancelled(t *testing.T) {
+	e, spec := starFixture(t, 10)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Build(cancelled, e, spec); !errors.Is(err, context.Canceled) {
+		t.Errorf("Build err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,71 @@
+package olap
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkCtxOverhead_* measure the cancellation checkpoints on the
+// OLAP hot paths (fact scan in Build, cell aggregation in Execute).
+// The cell cache is disabled so Execute measures compute, not lookups.
+
+func BenchmarkCtxOverhead_CubeBuild_Background(b *testing.B) {
+	e, spec := starFixture(b, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(context.Background(), e, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCtxOverhead_CubeBuild_LiveCtx(b *testing.B) {
+	e, spec := starFixture(b, 2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(ctx, e, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCtxCube(b *testing.B) (*Cube, Query) {
+	b.Helper()
+	e, spec := starFixture(b, 2000)
+	cube, err := Build(context.Background(), e, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cube.SetCache(0)
+	q := Query{
+		Rows: []LevelRef{{Dimension: "Store", Level: "City"}},
+		Cols: []LevelRef{{Dimension: "Date", Level: "Month"}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	return cube, q
+}
+
+func BenchmarkCtxOverhead_CubeExecute_Background(b *testing.B) {
+	cube, q := benchCtxCube(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.Execute(context.Background(), q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCtxOverhead_CubeExecute_LiveCtx(b *testing.B) {
+	cube, q := benchCtxCube(b)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.Execute(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package olap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -181,12 +182,14 @@ func (c *Cube) SetCache(size int) {
 
 // Build materializes a cube from the star schema in the engine. Every
 // fact row is joined to its dimension rows once; level members are
-// dictionary-encoded.
-func Build(e *storage.Engine, spec CubeSpec) (*Cube, error) {
+// dictionary-encoded. ctx bounds the build: the dimension and fact scans
+// stop at the next row checkpoint once ctx is cancelled, and the partial
+// cube is discarded.
+func Build(ctx context.Context, e *storage.Engine, spec CubeSpec) (*Cube, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	factSchema, err := e.Schema(spec.FactTable) //odbis:ignore ctxtenant -- Build consumes physical table names pre-resolved by Catalog.Physical in services.Session.BuildCube
+	factSchema, err := e.Schema(spec.FactTable)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +228,7 @@ func Build(e *storage.Engine, spec CubeSpec) (*Cube, error) {
 				return nil, err
 			}
 			dd.fkPos = fkPos
-			dimSchema, err := e.Schema(ds.Table) //odbis:ignore ctxtenant -- Build consumes physical table names pre-resolved by Catalog.Physical in services.Session.BuildCube
+			dimSchema, err := e.Schema(ds.Table)
 			if err != nil {
 				return nil, err
 			}
@@ -241,7 +244,7 @@ func Build(e *storage.Engine, spec CubeSpec) (*Cube, error) {
 				dd.levelPos = append(dd.levelPos, pos)
 			}
 			dd.byKey = make(map[string][]storage.Value)
-			err = e.View(func(tx *storage.Tx) error { //odbis:ignore ctxtenant -- Build consumes physical table names pre-resolved by Catalog.Physical in services.Session.BuildCube
+			err = e.ViewCtx(ctx, func(tx *storage.Tx) error {
 				return tx.Scan(ds.Table, func(_ storage.RID, row storage.Row) bool {
 					vals := make([]storage.Value, len(dd.levelPos))
 					for i, p := range dd.levelPos {
@@ -291,7 +294,7 @@ func Build(e *storage.Engine, spec CubeSpec) (*Cube, error) {
 
 	// Single pass over the fact table.
 	var buildErr error
-	err = e.View(func(tx *storage.Tx) error { //odbis:ignore ctxtenant -- Build consumes physical table names pre-resolved by Catalog.Physical in services.Session.BuildCube
+	err = e.ViewCtx(ctx, func(tx *storage.Tx) error {
 		return tx.Scan(spec.FactTable, func(_ storage.RID, row storage.Row) bool {
 			for di, dd := range dimDatas {
 				d := cube.dimList[di]

@@ -1,6 +1,7 @@
 package olap
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -112,7 +113,7 @@ func TestSpecValidate(t *testing.T) {
 
 func TestBuildAndIntrospect(t *testing.T) {
 	e, spec := starFixture(t, 500)
-	cube, err := Build(e, spec)
+	cube, err := Build(context.Background(), e, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,29 +144,29 @@ func TestBuildErrors(t *testing.T) {
 	e, spec := starFixture(t, 10)
 	bad := spec
 	bad.FactTable = "missing"
-	if _, err := Build(e, bad); err == nil {
+	if _, err := Build(context.Background(), e, bad); err == nil {
 		t.Error("missing fact table accepted")
 	}
 	bad = spec
 	bad.Measures = []MeasureSpec{{Name: "m", Column: "channel", Agg: AggSum}}
-	if _, err := Build(e, bad); err == nil {
+	if _, err := Build(context.Background(), e, bad); err == nil {
 		t.Error("non-numeric measure accepted")
 	}
 	bad = spec
 	bad.Dimensions = append([]DimensionSpec(nil), spec.Dimensions...)
 	bad.Dimensions[0].FactFK = "ghost"
-	if _, err := Build(e, bad); err == nil {
+	if _, err := Build(context.Background(), e, bad); err == nil {
 		t.Error("missing fk column accepted")
 	}
 }
 
 func TestQueryTotals(t *testing.T) {
 	e, spec := starFixture(t, 300)
-	cube, err := Build(e, spec)
+	cube, err := Build(context.Background(), e, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cube.Execute(Query{Measures: []string{"orders", "amount"}})
+	res, err := cube.Execute(context.Background(), Query{Measures: []string{"orders", "amount"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,14 +193,14 @@ func TestQueryTotals(t *testing.T) {
 // SQL GROUP BY recomputation across axes and filters.
 func TestCubeAgainstSQL(t *testing.T) {
 	e, spec := starFixture(t, 1000)
-	cube, err := Build(e, spec)
+	cube, err := Build(context.Background(), e, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	db := sql.NewDB(e)
 
 	// Group by region × year, sum(amount).
-	res, err := cube.Execute(Query{
+	res, err := cube.Execute(context.Background(), Query{
 		Rows:     []LevelRef{{Dimension: "Store", Level: "Region"}},
 		Cols:     []LevelRef{{Dimension: "Date", Level: "Year"}},
 		Measures: []string{"amount"},
@@ -245,7 +246,7 @@ func TestCubeAgainstSQL(t *testing.T) {
 
 func TestSliceDice(t *testing.T) {
 	e, spec := starFixture(t, 800)
-	cube, _ := Build(e, spec)
+	cube, _ := Build(context.Background(), e, spec)
 	db := sql.NewDB(e)
 
 	q := Query{
@@ -253,7 +254,7 @@ func TestSliceDice(t *testing.T) {
 		Measures: []string{"qty"},
 	}.Slice("Date", "Year", 2026).Dice("Channel", "Channel", "web")
 
-	res, err := cube.Execute(q)
+	res, err := cube.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,11 +281,11 @@ func TestSliceDice(t *testing.T) {
 
 func TestDrillRollPivot(t *testing.T) {
 	e, spec := starFixture(t, 400)
-	cube, _ := Build(e, spec)
+	cube, _ := Build(context.Background(), e, spec)
 
 	base := Query{Rows: []LevelRef{{Dimension: "Store", Level: "Region"}}, Measures: []string{"orders"}}
 	drilled := base.DrillDown("Store", "City")
-	res, err := cube.Execute(drilled)
+	res, err := cube.Execute(context.Background(), drilled)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestDrillRollPivot(t *testing.T) {
 		t.Errorf("drilled tuple arity = %d", len(res.RowHeaders[0]))
 	}
 	rolled := drilled.RollUp("Store") // removes City
-	res2, err := cube.Execute(rolled)
+	res2, err := cube.Execute(context.Background(), rolled)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestDrillRollPivot(t *testing.T) {
 		Rows: []LevelRef{{Dimension: "Store", Level: "Region"}},
 		Cols: []LevelRef{{Dimension: "Date", Level: "Year"}},
 	}.Pivot()
-	res3, err := cube.Execute(piv)
+	res3, err := cube.Execute(context.Background(), piv)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +329,7 @@ func TestAvgMinMax(t *testing.T) {
 	for i, g := range []string{"a", "a", "a", "b"} {
 		db.Query("INSERT INTO f VALUES (?, ?)", g, float64(i+1)) // a: 1,2,3; b: 4
 	}
-	cube, err := Build(e, CubeSpec{
+	cube, err := Build(context.Background(), e, CubeSpec{
 		Name: "c", FactTable: "f",
 		Measures: []MeasureSpec{
 			{Name: "avg_v", Column: "v", Agg: AggAvg},
@@ -340,7 +341,7 @@ func TestAvgMinMax(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cube.Execute(Query{Rows: []LevelRef{{Dimension: "G", Level: "G"}}})
+	res, err := cube.Execute(context.Background(), Query{Rows: []LevelRef{{Dimension: "G", Level: "G"}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +363,7 @@ func TestNullMeasuresAndFKs(t *testing.T) {
 	db.Query("INSERT INTO dim VALUES (1, 'x')")
 	db.Query("CREATE TABLE f (dim_id INT, v FLOAT)")
 	db.Query("INSERT INTO f VALUES (1, 10.0), (1, NULL), (NULL, 5.0), (99, 2.0)")
-	cube, err := Build(e, CubeSpec{
+	cube, err := Build(context.Background(), e, CubeSpec{
 		Name: "c", FactTable: "f",
 		Measures: []MeasureSpec{
 			{Name: "total", Column: "v", Agg: AggSum},
@@ -374,7 +375,7 @@ func TestNullMeasuresAndFKs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cube.Execute(Query{Rows: []LevelRef{{Dimension: "D", Level: "Name"}}})
+	res, err := cube.Execute(context.Background(), Query{Rows: []LevelRef{{Dimension: "D", Level: "Name"}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,16 +399,16 @@ func TestNullMeasuresAndFKs(t *testing.T) {
 
 func TestCellCache(t *testing.T) {
 	e, spec := starFixture(t, 500)
-	cube, _ := Build(e, spec)
+	cube, _ := Build(context.Background(), e, spec)
 	q := Query{Rows: []LevelRef{{Dimension: "Store", Level: "Region"}}, Measures: []string{"amount"}}
-	r1, err := cube.Execute(q)
+	r1, err := cube.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r1.FromCache {
 		t.Error("first execution served from cache")
 	}
-	r2, err := cube.Execute(q)
+	r2, err := cube.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,7 +424,7 @@ func TestCellCache(t *testing.T) {
 	}
 	// Disabled cache never serves cached results.
 	cube.SetCache(0)
-	r3, _ := cube.Execute(q)
+	r3, _ := cube.Execute(context.Background(), q)
 	if r3.FromCache {
 		t.Error("disabled cache served a result")
 	}
@@ -431,12 +432,12 @@ func TestCellCache(t *testing.T) {
 	cube.SetCache(16)
 	qa := q.Slice("Date", "Year", 2025)
 	qb := q.Slice("Date", "Year", 2026)
-	ra, _ := cube.Execute(qa)
-	rb, _ := cube.Execute(qb)
+	ra, _ := cube.Execute(context.Background(), qa)
+	rb, _ := cube.Execute(context.Background(), qb)
 	if ra.Grand(0) == rb.Grand(0) {
 		t.Log("warning: 2025 and 2026 totals happen to be equal (unlikely)")
 	}
-	rb2, _ := cube.Execute(qb)
+	rb2, _ := cube.Execute(context.Background(), qb)
 	if !rb2.FromCache || rb2.Grand(0) != rb.Grand(0) {
 		t.Error("cache key collision or miss")
 	}
@@ -444,8 +445,8 @@ func TestCellCache(t *testing.T) {
 
 func TestResultString(t *testing.T) {
 	e, spec := starFixture(t, 100)
-	cube, _ := Build(e, spec)
-	res, _ := cube.Execute(Query{
+	cube, _ := Build(context.Background(), e, spec)
+	res, _ := cube.Execute(context.Background(), Query{
 		Rows:     []LevelRef{{Dimension: "Store", Level: "Region"}},
 		Cols:     []LevelRef{{Dimension: "Date", Level: "Year"}},
 		Measures: []string{"orders"},
@@ -458,25 +459,25 @@ func TestResultString(t *testing.T) {
 
 func TestUnknownRefsRejected(t *testing.T) {
 	e, spec := starFixture(t, 10)
-	cube, _ := Build(e, spec)
-	if _, err := cube.Execute(Query{Rows: []LevelRef{{Dimension: "Ghost", Level: "X"}}}); err == nil {
+	cube, _ := Build(context.Background(), e, spec)
+	if _, err := cube.Execute(context.Background(), Query{Rows: []LevelRef{{Dimension: "Ghost", Level: "X"}}}); err == nil {
 		t.Error("unknown dimension accepted")
 	}
-	if _, err := cube.Execute(Query{Rows: []LevelRef{{Dimension: "Store", Level: "Ghost"}}}); err == nil {
+	if _, err := cube.Execute(context.Background(), Query{Rows: []LevelRef{{Dimension: "Store", Level: "Ghost"}}}); err == nil {
 		t.Error("unknown level accepted")
 	}
-	if _, err := cube.Execute(Query{Measures: []string{"ghost"}}); err == nil {
+	if _, err := cube.Execute(context.Background(), Query{Measures: []string{"ghost"}}); err == nil {
 		t.Error("unknown measure accepted")
 	}
-	if _, err := cube.Execute(Query{Filters: []Filter{{Dimension: "Ghost", Level: "X"}}}); err == nil {
+	if _, err := cube.Execute(context.Background(), Query{Filters: []Filter{{Dimension: "Ghost", Level: "X"}}}); err == nil {
 		t.Error("unknown filter dimension accepted")
 	}
 }
 
 func TestFilterUnknownMemberYieldsEmpty(t *testing.T) {
 	e, spec := starFixture(t, 50)
-	cube, _ := Build(e, spec)
-	res, err := cube.Execute(Query{Measures: []string{"orders"}}.Slice("Store", "Region", "atlantis"))
+	cube, _ := Build(context.Background(), e, spec)
+	res, err := cube.Execute(context.Background(), Query{Measures: []string{"orders"}}.Slice("Store", "Region", "atlantis"))
 	if err != nil {
 		t.Fatal(err)
 	}

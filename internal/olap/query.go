@@ -1,6 +1,7 @@
 package olap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -144,8 +145,10 @@ type Result struct {
 	FromCache bool
 }
 
-// Execute runs a query against the cube.
-func (c *Cube) Execute(q Query) (*Result, error) {
+// Execute runs a query against the cube. ctx bounds the fact loop: a
+// cancelled or expired context aborts the aggregation mid-row, and the
+// partial result is never cached (the put only happens on success).
+func (c *Cube) Execute(ctx context.Context, q Query) (*Result, error) {
 	measures := q.Measures
 	if len(measures) == 0 {
 		measures = c.MeasureNames()
@@ -228,6 +231,11 @@ func (c *Cube) Execute(q Query) (*Result, error) {
 	colCodes := make([]int32, len(colLevels))
 facts:
 	for i := 0; i < c.rows; i++ {
+		if ctx != nil && i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for _, fs := range fsets {
 			if !fs.allowed[fs.lv.codes[i]] {
 				continue facts

@@ -11,6 +11,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,11 +19,23 @@ import (
 	"github.com/odbis/odbis/internal/storage"
 )
 
-// Queryer abstracts the data source of a report: *sql.DB and
-// *tenant.Catalog both satisfy it.
+// Queryer abstracts the data source of a report: *tenant.Catalog
+// satisfies it directly, and *sql.DB via DBQueryer.
 type Queryer interface {
-	Query(query string, args ...storage.Value) (*sql.Result, error)
+	Query(ctx context.Context, query string, args ...storage.Value) (*sql.Result, error)
 }
+
+// QueryerFunc adapts a function to the Queryer interface.
+type QueryerFunc func(ctx context.Context, query string, args ...storage.Value) (*sql.Result, error)
+
+// Query implements Queryer.
+func (f QueryerFunc) Query(ctx context.Context, query string, args ...storage.Value) (*sql.Result, error) {
+	return f(ctx, query, args...)
+}
+
+// DBQueryer adapts a raw *sql.DB (whose context-aware entry point is
+// QueryContext) to the Queryer interface.
+func DBQueryer(db *sql.DB) Queryer { return QueryerFunc(db.QueryContext) }
 
 // ChartKind selects a chart shape.
 type ChartKind string
@@ -140,8 +153,10 @@ type Output struct {
 	Items []Item
 }
 
-// Run executes the spec against q.
-func Run(q Queryer, spec *Spec) (*Output, error) {
+// Run executes the spec against q. ctx bounds every element query; a
+// cancelled or expired context aborts the report between (and inside)
+// elements with the ctx error.
+func Run(ctx context.Context, q Queryer, spec *Spec) (*Output, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -150,7 +165,10 @@ func Run(q Queryer, spec *Spec) (*Output, error) {
 		out.Title = spec.Name
 	}
 	for i, el := range spec.Elements {
-		item, err := runElement(q, el)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		item, err := runElement(ctx, q, el)
 		if err != nil {
 			return nil, fmt.Errorf("report: %s element %d (%s): %w", spec.Name, i, el.Kind, err)
 		}
@@ -159,14 +177,14 @@ func Run(q Queryer, spec *Spec) (*Output, error) {
 	return out, nil
 }
 
-func runElement(q Queryer, el Element) (Item, error) {
+func runElement(ctx context.Context, q Queryer, el Element) (Item, error) {
 	item := Item{Kind: el.Kind, Title: el.Title}
 	switch el.Kind {
 	case "text":
 		item.Text = el.Text
 		return item, nil
 	case "table":
-		res, err := q.Query(el.Query, el.Args...)
+		res, err := q.Query(ctx, el.Query, el.Args...)
 		if err != nil {
 			return item, err
 		}
@@ -177,7 +195,7 @@ func runElement(q Queryer, el Element) (Item, error) {
 		item.Grid = grid
 		return item, nil
 	case "kpi":
-		res, err := q.Query(el.Query, el.Args...)
+		res, err := q.Query(ctx, el.Query, el.Args...)
 		if err != nil {
 			return item, err
 		}
@@ -199,7 +217,7 @@ func runElement(q Queryer, el Element) (Item, error) {
 		}
 		return item, nil
 	case "chart":
-		res, err := q.Query(el.Query, el.Args...)
+		res, err := q.Query(ctx, el.Query, el.Args...)
 		if err != nil {
 			return item, err
 		}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"bytes"
 	"encoding/json"
 	"strings"
@@ -74,7 +75,7 @@ func TestValidate(t *testing.T) {
 
 func TestRunDashboard(t *testing.T) {
 	db := fixture(t)
-	out, err := Run(db, dashboardSpec())
+	out, err := Run(context.Background(), DBQueryer(db), dashboardSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,28 +104,28 @@ func TestRunDashboard(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	db := fixture(t)
 	bad := &Spec{Name: "x", Elements: []Element{{Kind: "table", Query: "SELECT * FROM missing"}}}
-	if _, err := Run(db, bad); err == nil {
+	if _, err := Run(context.Background(), DBQueryer(db), bad); err == nil {
 		t.Error("query error swallowed")
 	}
 	bad = &Spec{Name: "x", Elements: []Element{{Kind: "chart", Chart: ChartBar,
 		Query: "SELECT ward, ward AS w2 FROM admissions", Label: "ward"}}}
-	if _, err := Run(db, bad); err == nil {
+	if _, err := Run(context.Background(), DBQueryer(db), bad); err == nil {
 		t.Error("non-numeric series accepted")
 	}
 	bad = &Spec{Name: "x", Elements: []Element{{Kind: "table",
 		Query: "SELECT ward FROM admissions", Columns: []string{"ghost"}}}}
-	if _, err := Run(db, bad); err == nil {
+	if _, err := Run(context.Background(), DBQueryer(db), bad); err == nil {
 		t.Error("unknown column accepted")
 	}
 	bad = &Spec{Name: "x", Elements: []Element{{Kind: "kpi", Query: "SELECT patients FROM admissions WHERE 1 = 0"}}}
-	if _, err := Run(db, bad); err == nil {
+	if _, err := Run(context.Background(), DBQueryer(db), bad); err == nil {
 		t.Error("empty kpi accepted")
 	}
 }
 
 func TestRenderText(t *testing.T) {
 	db := fixture(t)
-	out, _ := Run(db, dashboardSpec())
+	out, _ := Run(context.Background(), DBQueryer(db), dashboardSpec())
 	var buf bytes.Buffer
 	if err := RenderText(&buf, out); err != nil {
 		t.Fatal(err)
@@ -139,7 +140,7 @@ func TestRenderText(t *testing.T) {
 
 func TestRenderHTML(t *testing.T) {
 	db := fixture(t)
-	out, _ := Run(db, dashboardSpec())
+	out, _ := Run(context.Background(), DBQueryer(db), dashboardSpec())
 	var buf bytes.Buffer
 	if err := RenderHTML(&buf, out); err != nil {
 		t.Fatal(err)
@@ -153,7 +154,7 @@ func TestRenderHTML(t *testing.T) {
 	// XSS safety: titles are escaped.
 	spec := dashboardSpec()
 	spec.Title = `<script>alert(1)</script>`
-	out2, _ := Run(db, spec)
+	out2, _ := Run(context.Background(), DBQueryer(db), spec)
 	buf.Reset()
 	RenderHTML(&buf, out2)
 	if strings.Contains(buf.String(), "<script>alert") {
@@ -163,7 +164,7 @@ func TestRenderHTML(t *testing.T) {
 
 func TestRenderCSV(t *testing.T) {
 	db := fixture(t)
-	out, _ := Run(db, dashboardSpec())
+	out, _ := Run(context.Background(), DBQueryer(db), dashboardSpec())
 	var buf bytes.Buffer
 	if err := RenderCSV(&buf, out); err != nil {
 		t.Fatal(err)
@@ -179,7 +180,7 @@ func TestRenderCSV(t *testing.T) {
 
 func TestRenderJSON(t *testing.T) {
 	db := fixture(t)
-	out, _ := Run(db, dashboardSpec())
+	out, _ := Run(context.Background(), DBQueryer(db), dashboardSpec())
 	var buf bytes.Buffer
 	if err := RenderJSON(&buf, out); err != nil {
 		t.Fatal(err)
@@ -232,7 +233,7 @@ func TestChartSeriesSelection(t *testing.T) {
 		Label:  "ward",
 		Series: []string{"c"},
 	}}}
-	out, err := Run(db, spec)
+	out, err := Run(context.Background(), DBQueryer(db), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestChartSeriesSelection(t *testing.T) {
 	}
 	// Default series: every non-label column.
 	spec.Elements[0].Series = nil
-	out, _ = Run(db, spec)
+	out, _ = Run(context.Background(), DBQueryer(db), spec)
 	if len(out.Items[0].Chart.Series) != 2 {
 		t.Errorf("default series = %+v", out.Items[0].Chart.Series)
 	}

@@ -13,6 +13,7 @@
 package rules
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -239,13 +240,17 @@ type activation struct {
 
 // FireAll runs the match-fire loop until the agenda is empty or maxCycles
 // firings have happened (0 means the default bound of 10000). It returns
-// the number of rules fired.
-func (s *Session) FireAll(maxCycles int) (int, error) {
+// the number of rules fired. ctx bounds the loop: a cancelled or expired
+// context stops matching at the next cycle with the ctx error.
+func (s *Session) FireAll(ctx context.Context, maxCycles int) (int, error) {
 	if maxCycles <= 0 {
 		maxCycles = 10000
 	}
 	fired := 0
 	for fired < maxCycles {
+		if err := ctx.Err(); err != nil {
+			return fired, err
+		}
 		agenda, err := s.matchAll()
 		if err != nil {
 			return fired, err

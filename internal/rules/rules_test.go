@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestSimpleFiring(t *testing.T) {
 	s := eng.NewSession()
 	s.Assert("Order", v(map[string]storage.Value{"customer": "acme", "amount": 250}))
 	s.Assert("Order", v(map[string]storage.Value{"customer": "tiny", "amount": 10}))
-	fired, err := s.FireAll(0)
+	fired, err := s.FireAll(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestSalienceOrdersFiring(t *testing.T) {
 	)
 	s := eng.NewSession()
 	s.Assert("T", nil)
-	if _, err := s.FireAll(0); err != nil {
+	if _, err := s.FireAll(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if len(s.Log) != 2 || s.Log[0] != "high" || s.Log[1] != "low" {
@@ -104,7 +105,7 @@ func TestChainingAssert(t *testing.T) {
 	s := eng.NewSession()
 	s.Assert("Order", v(map[string]storage.Value{"id": 1, "amount": 2000}))
 	s.Assert("Order", v(map[string]storage.Value{"id": 2, "amount": 50}))
-	fired, err := s.FireAll(0)
+	fired, err := s.FireAll(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestJoinConditions(t *testing.T) {
 	s.Assert("Customer", v(map[string]storage.Value{"name": "globex", "credit": 10000}))
 	s.Assert("Order", v(map[string]storage.Value{"customer": "acme", "amount": 500}))
 	s.Assert("Order", v(map[string]storage.Value{"customer": "globex", "amount": 500}))
-	if _, err := s.FireAll(0); err != nil {
+	if _, err := s.FireAll(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if len(hits) != 1 || hits[0] != "acme" {
@@ -155,8 +156,8 @@ func TestRefractionPreventsRefire(t *testing.T) {
 	})
 	s := eng.NewSession()
 	s.Assert("T", nil)
-	s.FireAll(0)
-	s.FireAll(0) // second call: no new activations
+	s.FireAll(context.Background(), 0)
+	s.FireAll(context.Background(), 0) // second call: no new activations
 	if count != 1 {
 		t.Errorf("fired %d times", count)
 	}
@@ -171,7 +172,7 @@ func TestUpdateReactivates(t *testing.T) {
 	})
 	s := eng.NewSession()
 	f := s.Assert("Sensor", v(map[string]storage.Value{"temp": 20}))
-	s.FireAll(0)
+	s.FireAll(context.Background(), 0)
 	if count != 0 {
 		t.Fatal("cold sensor fired")
 	}
@@ -179,14 +180,14 @@ func TestUpdateReactivates(t *testing.T) {
 	if err := s.Update(f); err != nil {
 		t.Fatal(err)
 	}
-	s.FireAll(0)
+	s.FireAll(context.Background(), 0)
 	if count != 1 {
 		t.Errorf("after update fired %d", count)
 	}
 	// A second update fires again (new version).
 	f.Attrs["temp"] = int64(90)
 	s.Update(f)
-	s.FireAll(0)
+	s.FireAll(context.Background(), 0)
 	if count != 2 {
 		t.Errorf("after second update fired %d", count)
 	}
@@ -205,7 +206,7 @@ func TestRetract(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		s.Assert("Job", v(map[string]storage.Value{"n": int64(i)}))
 	}
-	fired, err := s.FireAll(0)
+	fired, err := s.FireAll(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestLoopGuard(t *testing.T) {
 	})
 	s := eng.NewSession()
 	s.Assert("T", nil)
-	fired, err := s.FireAll(50)
+	fired, err := s.FireAll(context.Background(), 50)
 	if err == nil {
 		t.Fatalf("loop not detected after %d firings", fired)
 	}
@@ -245,7 +246,7 @@ func TestActionErrorPropagates(t *testing.T) {
 	})
 	s := eng.NewSession()
 	s.Assert("T", nil)
-	if _, err := s.FireAll(0); err == nil {
+	if _, err := s.FireAll(context.Background(), 0); err == nil {
 		t.Error("action error swallowed")
 	}
 }
@@ -270,7 +271,7 @@ func TestNoSelfJoinOnSameFact(t *testing.T) {
 	s := eng.NewSession()
 	s.Assert("P", v(map[string]storage.Value{"n": 1}))
 	s.Assert("P", v(map[string]storage.Value{"n": 2}))
-	s.FireAll(0)
+	s.FireAll(context.Background(), 0)
 	// Ordered pairs of distinct facts: 2.
 	if pairs != 2 {
 		t.Errorf("pairs = %d", pairs)

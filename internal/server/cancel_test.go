@@ -1,0 +1,127 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/odbis/odbis/internal/security"
+	"github.com/odbis/odbis/internal/services"
+	"github.com/odbis/odbis/internal/storage"
+	"github.com/odbis/odbis/internal/tenant"
+)
+
+// testPlatform boots a bare platform (admin root/toor) so tests can
+// front it with differently-configured HTTP servers.
+func testPlatform(t *testing.T) *services.Platform {
+	t.Helper()
+	e := storage.MustOpenMemory()
+	t.Cleanup(func() { e.Close() })
+	reg, err := tenant.NewRegistry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := security.NewManager(e, security.Options{HashIterations: 8, TokenSecret: []byte("test")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := services.NewPlatform(reg, sec)
+	if err := p.Bootstrap("root", "toor"); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestRequestTimeoutMapsTo504: a request deadline that expires before
+// the query runs surfaces as 504 Gateway Timeout, and the timed-out
+// mutation is rolled back — nothing of it is visible afterwards.
+func TestRequestTimeoutMapsTo504(t *testing.T) {
+	p := testPlatform(t)
+	// Two fronts on one platform: unbounded for setup and verification,
+	// and one whose per-request deadline has always already expired.
+	ts := httptest.NewServer(New(p))
+	t.Cleanup(ts.Close)
+	tsTimeout := httptest.NewServer(NewWithOptions(p, Options{RequestTimeout: time.Nanosecond}))
+	t.Cleanup(tsTimeout.Close)
+
+	token := setupTenantWithUser(t, ts)
+	if status, _, raw := call(t, ts, token, "POST", "/api/query",
+		map[string]any{"sql": "CREATE TABLE t (x INT)"}); status != http.StatusOK {
+		t.Fatalf("create table: %d %s", status, raw)
+	}
+
+	status, body, raw := call(t, tsTimeout, token, "POST", "/api/query",
+		map[string]any{"sql": "INSERT INTO t VALUES (1)"})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out insert = %d %s, want 504", status, raw)
+	}
+	if body["error"] == "" || body["error"] == nil {
+		t.Errorf("504 body lacks structured error: %s", raw)
+	}
+
+	status, body, raw = call(t, ts, token, "POST", "/api/query",
+		map[string]any{"sql": "SELECT COUNT(*) FROM t"})
+	if status != http.StatusOK {
+		t.Fatalf("verify count: %d %s", status, raw)
+	}
+	rows := body["rows"].([]any)
+	if n := rows[0].([]any)[0].(float64); n != 0 {
+		t.Errorf("count = %v after timed-out insert, want 0 (rollback)", n)
+	}
+}
+
+// TestClientDisconnectMapsTo499: a request whose context is already
+// cancelled (the client went away) aborts with the non-standard 499
+// status, and its mutation is rolled back.
+func TestClientDisconnectMapsTo499(t *testing.T) {
+	p := testPlatform(t)
+	ts := httptest.NewServer(New(p))
+	t.Cleanup(ts.Close)
+	token := setupTenantWithUser(t, ts)
+	if status, _, raw := call(t, ts, token, "POST", "/api/query",
+		map[string]any{"sql": "CREATE TABLE t (x INT)"}); status != http.StatusOK {
+		t.Fatalf("create table: %d %s", status, raw)
+	}
+
+	// Drive the handler directly with a pre-cancelled request context —
+	// the in-process equivalent of a dropped connection.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/api/query",
+		bytes.NewReader([]byte(`{"sql": "INSERT INTO t VALUES (1)"}`)))
+	req = req.WithContext(cancelled)
+	req.Header.Set("Authorization", "Bearer "+token)
+	req.Header.Set("Content-Type", "application/json")
+	rr := httptest.NewRecorder()
+	New(p).ServeHTTP(rr, req)
+	if rr.Code != StatusClientClosedRequest {
+		t.Fatalf("cancelled request = %d (%s), want %d", rr.Code, rr.Body.String(), StatusClientClosedRequest)
+	}
+
+	status, body, raw := call(t, ts, token, "POST", "/api/query",
+		map[string]any{"sql": "SELECT COUNT(*) FROM t"})
+	if status != http.StatusOK {
+		t.Fatalf("verify count: %d %s", status, raw)
+	}
+	rows := body["rows"].([]any)
+	if n := rows[0].([]any)[0].(float64); n != 0 {
+		t.Errorf("count = %v after cancelled insert, want 0 (rollback)", n)
+	}
+}
+
+// TestRequestTimeoutGenerousPasses: a sane deadline leaves normal
+// requests untouched.
+func TestRequestTimeoutGenerousPasses(t *testing.T) {
+	p := testPlatform(t)
+	ts := httptest.NewServer(NewWithOptions(p, Options{RequestTimeout: 30 * time.Second}))
+	t.Cleanup(ts.Close)
+	token := setupTenantWithUser(t, ts)
+	status, _, raw := call(t, ts, token, "POST", "/api/query",
+		map[string]any{"sql": "CREATE TABLE ok (x INT)"})
+	if status != http.StatusOK {
+		t.Errorf("query under generous timeout = %d %s", status, raw)
+	}
+}

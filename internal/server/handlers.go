@@ -35,7 +35,7 @@ func toResultJSON(res *sql.Result) resultJSON {
 // --- administration ---
 
 func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	ids, err := sess.Tenants()
+	ids, err := sess.Tenants(r.Context())
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -53,7 +53,7 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request, sess
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	info, err := sess.CreateTenant(req.ID, req.Name, req.Plan)
+	info, err := sess.CreateTenant(r.Context(), req.ID, req.Name, req.Plan)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -62,7 +62,7 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request, sess
 }
 
 func (s *Server) handleDropTenant(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	if err := sess.DropTenant(r.PathValue("id")); err != nil {
+	if err := sess.DropTenant(r.Context(), r.PathValue("id")); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -70,7 +70,7 @@ func (s *Server) handleDropTenant(w http.ResponseWriter, r *http.Request, sess *
 }
 
 func (s *Server) handleSuspendTenant(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	if err := sess.SuspendTenant(r.PathValue("id")); err != nil {
+	if err := sess.SuspendTenant(r.Context(), r.PathValue("id")); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -78,7 +78,7 @@ func (s *Server) handleSuspendTenant(w http.ResponseWriter, r *http.Request, ses
 }
 
 func (s *Server) handleResumeTenant(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	if err := sess.ResumeTenant(r.PathValue("id")); err != nil {
+	if err := sess.ResumeTenant(r.Context(), r.PathValue("id")); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -86,7 +86,7 @@ func (s *Server) handleResumeTenant(w http.ResponseWriter, r *http.Request, sess
 }
 
 func (s *Server) handleTenantUsage(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	usage, err := sess.TenantUsage(r.PathValue("id"))
+	usage, err := sess.TenantUsage(r.Context(), r.PathValue("id"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -95,7 +95,7 @@ func (s *Server) handleTenantUsage(w http.ResponseWriter, r *http.Request, sess 
 }
 
 func (s *Server) handleTenantInvoice(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	inv, err := sess.TenantInvoice(r.PathValue("id"))
+	inv, err := sess.TenantInvoice(r.Context(), r.PathValue("id"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -115,7 +115,7 @@ func (s *Server) handleCreateUser(w http.ResponseWriter, r *http.Request, sess *
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	err := sess.CreateUser(security.UserSpec{
+	err := sess.CreateUser(r.Context(), security.UserSpec{
 		Username: req.Username, Password: req.Password,
 		Tenant: req.Tenant, Roles: req.Roles, Groups: req.Groups,
 	})
@@ -127,7 +127,7 @@ func (s *Server) handleCreateUser(w http.ResponseWriter, r *http.Request, sess *
 }
 
 func (s *Server) handleListUsers(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	users, err := sess.Users()
+	users, err := sess.Users(r.Context())
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -136,7 +136,7 @@ func (s *Server) handleListUsers(w http.ResponseWriter, r *http.Request, sess *s
 }
 
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	events, err := sess.AuditLog(r.URL.Query().Get("event"))
+	events, err := sess.AuditLog(r.Context(), r.URL.Query().Get("event"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -147,7 +147,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request, sess *servi
 // --- metadata ---
 
 func (s *Server) handleListDataSources(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	srcs, err := sess.DataSources()
+	srcs, err := sess.DataSources(r.Context())
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -166,7 +166,7 @@ func (s *Server) handleCreateDataSource(w http.ResponseWriter, r *http.Request, 
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	if err := sess.CreateDataSource(req.Name, req.Kind, req.URL, req.User); err != nil {
+	if err := sess.CreateDataSource(r.Context(), req.Name, req.Kind, req.URL, req.User); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -174,7 +174,7 @@ func (s *Server) handleCreateDataSource(w http.ResponseWriter, r *http.Request, 
 }
 
 func (s *Server) handleDeleteDataSource(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	if err := sess.DeleteDataSource(r.PathValue("name")); err != nil {
+	if err := sess.DeleteDataSource(r.Context(), r.PathValue("name")); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -182,7 +182,7 @@ func (s *Server) handleDeleteDataSource(w http.ResponseWriter, r *http.Request, 
 }
 
 func (s *Server) handleListDataSets(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	sets, err := sess.DataSets()
+	sets, err := sess.DataSets(r.Context())
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -201,7 +201,7 @@ func (s *Server) handleCreateDataSet(w http.ResponseWriter, r *http.Request, ses
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	if err := sess.CreateDataSet(req.Name, req.Source, req.Query, req.Description); err != nil {
+	if err := sess.CreateDataSet(r.Context(), req.Name, req.Source, req.Query, req.Description); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -209,7 +209,7 @@ func (s *Server) handleCreateDataSet(w http.ResponseWriter, r *http.Request, ses
 }
 
 func (s *Server) handleDeleteDataSet(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	if err := sess.DeleteDataSet(r.PathValue("name")); err != nil {
+	if err := sess.DeleteDataSet(r.Context(), r.PathValue("name")); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -226,7 +226,7 @@ func (s *Server) handleRunDataSet(w http.ResponseWriter, r *http.Request, sess *
 			return
 		}
 	}
-	res, err := sess.RunDataSet(r.PathValue("name"), toValues(req.Args)...)
+	res, err := sess.RunDataSet(r.Context(), r.PathValue("name"), toValues(req.Args)...)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -249,7 +249,7 @@ func toValues(args []any) []storage.Value {
 }
 
 func (s *Server) handleListTerms(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	terms, err := sess.Terms()
+	terms, err := sess.Terms(r.Context())
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -267,7 +267,7 @@ func (s *Server) handleDefineTerm(w http.ResponseWriter, r *http.Request, sess *
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	if err := sess.DefineTerm(req.Name, req.Definition, req.Element); err != nil {
+	if err := sess.DefineTerm(r.Context(), req.Name, req.Definition, req.Element); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -283,7 +283,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, sess *servi
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	res, err := sess.Query(req.SQL, toValues(req.Args)...)
+	res, err := sess.Query(r.Context(), req.SQL, toValues(req.Args)...)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -303,14 +303,14 @@ func (s *Server) handleSemanticAlign(w http.ResponseWriter, r *http.Request, ses
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	matches, err := sess.SemanticAlign(req.Source, req.Target, req.OntologyXML)
+	matches, err := sess.SemanticAlign(r.Context(), req.Source, req.Target, req.OntologyXML)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	resp := map[string]any{"matches": matches}
 	if len(matches) > 0 {
-		if job, err := sess.SemanticMergeJob(req.Source, req.Target, matches); err == nil {
+		if job, err := sess.SemanticMergeJob(r.Context(), req.Source, req.Target, matches); err == nil {
 			resp["mergeJob"] = job
 		}
 	}
@@ -325,7 +325,7 @@ func (s *Server) handleRunJob(w http.ResponseWriter, r *http.Request, sess *serv
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	report, err := sess.RunJob(&spec)
+	report, err := sess.RunJob(r.Context(), &spec)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -339,7 +339,7 @@ func (s *Server) handlePreviewJob(w http.ResponseWriter, r *http.Request, sess *
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	recs, err := sess.PreviewJob(&spec, 50)
+	recs, err := sess.PreviewJob(r.Context(), &spec, 50)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -353,7 +353,7 @@ func (s *Server) handleScheduleJob(w http.ResponseWriter, r *http.Request, sess 
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	if err := sess.ScheduleJob(&spec); err != nil {
+	if err := sess.ScheduleJob(r.Context(), &spec); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -361,7 +361,7 @@ func (s *Server) handleScheduleJob(w http.ResponseWriter, r *http.Request, sess 
 }
 
 func (s *Server) handleTriggerJob(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	report, err := sess.TriggerJob(r.PathValue("name"))
+	report, err := sess.TriggerJob(r.Context(), r.PathValue("name"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -370,7 +370,7 @@ func (s *Server) handleTriggerJob(w http.ResponseWriter, r *http.Request, sess *
 }
 
 func (s *Server) handleJobHistory(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	hist, err := sess.JobHistory(r.PathValue("name"))
+	hist, err := sess.JobHistory(r.Context(), r.PathValue("name"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -381,7 +381,7 @@ func (s *Server) handleJobHistory(w http.ResponseWriter, r *http.Request, sess *
 // --- analysis ---
 
 func (s *Server) handleListCubes(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	cubes, err := sess.Cubes()
+	cubes, err := sess.Cubes(r.Context())
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -395,7 +395,7 @@ func (s *Server) handleDefineCube(w http.ResponseWriter, r *http.Request, sess *
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	if err := sess.DefineCube(spec); err != nil {
+	if err := sess.DefineCube(r.Context(), spec); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -403,7 +403,7 @@ func (s *Server) handleDefineCube(w http.ResponseWriter, r *http.Request, sess *
 }
 
 func (s *Server) handleDeleteCube(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	if err := sess.DeleteCube(r.PathValue("name")); err != nil {
+	if err := sess.DeleteCube(r.Context(), r.PathValue("name")); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -411,7 +411,7 @@ func (s *Server) handleDeleteCube(w http.ResponseWriter, r *http.Request, sess *
 }
 
 func (s *Server) handleBuildCube(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	cube, err := sess.BuildCube(r.PathValue("name"))
+	cube, err := sess.BuildCube(r.Context(), r.PathValue("name"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -443,7 +443,7 @@ func (s *Server) handleQueryCube(w http.ResponseWriter, r *http.Request, sess *s
 			Dimension: f.Dimension, Level: f.Level, Members: toValues(f.Members),
 		})
 	}
-	res, err := sess.Analyze(r.PathValue("name"), q)
+	res, err := sess.Analyze(r.Context(), r.PathValue("name"), q)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -452,7 +452,7 @@ func (s *Server) handleQueryCube(w http.ResponseWriter, r *http.Request, sess *s
 }
 
 func (s *Server) handleCubeMembers(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	members, err := sess.Members(r.PathValue("name"), r.URL.Query().Get("dim"), r.URL.Query().Get("level"))
+	members, err := sess.Members(r.Context(), r.PathValue("name"), r.URL.Query().Get("dim"), r.URL.Query().Get("level"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -463,7 +463,7 @@ func (s *Server) handleCubeMembers(w http.ResponseWriter, r *http.Request, sess 
 // --- reporting + delivery ---
 
 func (s *Server) handleListReports(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	groups, err := sess.Reports()
+	groups, err := sess.Reports(r.Context())
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -477,7 +477,7 @@ func (s *Server) handleSaveReport(w http.ResponseWriter, r *http.Request, sess *
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	if err := sess.SaveReport(r.URL.Query().Get("group"), &spec); err != nil {
+	if err := sess.SaveReport(r.Context(), r.URL.Query().Get("group"), &spec); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -485,7 +485,7 @@ func (s *Server) handleSaveReport(w http.ResponseWriter, r *http.Request, sess *
 }
 
 func (s *Server) handleDeleteReport(w http.ResponseWriter, r *http.Request, sess *services.Session) {
-	if err := sess.DeleteReport(r.PathValue("name")); err != nil {
+	if err := sess.DeleteReport(r.Context(), r.PathValue("name")); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -500,7 +500,7 @@ func (s *Server) handleRunReport(w http.ResponseWriter, r *http.Request, sess *s
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	out, err := sess.RunReport(r.PathValue("name"))
+	out, err := sess.RunReport(r.Context(), r.PathValue("name"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -520,7 +520,7 @@ func (s *Server) handleAdHocReport(w http.ResponseWriter, r *http.Request, sess 
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	out, err := sess.RunAdHoc(&spec)
+	out, err := sess.RunAdHoc(r.Context(), &spec)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -9,11 +9,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"github.com/odbis/odbis/internal/security"
 	"github.com/odbis/odbis/internal/services"
@@ -25,11 +27,29 @@ import (
 type Server struct {
 	platform *services.Platform
 	mux      *http.ServeMux
+	// requestTimeout bounds each authenticated API call (0 = unbounded).
+	requestTimeout time.Duration
+}
+
+// Options configure the HTTP façade.
+type Options struct {
+	// RequestTimeout caps the wall-clock time of every authenticated API
+	// call: the request context is cancelled at the deadline, the in-
+	// flight work (SQL scan, cube build, ETL job) aborts at its next
+	// checkpoint and rolls back, and the client gets 504 Gateway Timeout.
+	// Zero means no server-imposed deadline (client disconnects still
+	// cancel).
+	RequestTimeout time.Duration
 }
 
 // New builds a server over a platform.
 func New(p *services.Platform) *Server {
-	s := &Server{platform: p, mux: http.NewServeMux()}
+	return NewWithOptions(p, Options{})
+}
+
+// NewWithOptions builds a server with explicit options.
+func NewWithOptions(p *services.Platform, opts Options) *Server {
+	s := &Server{platform: p, mux: http.NewServeMux(), requestTimeout: opts.RequestTimeout}
 	s.routes()
 	return s
 }
@@ -108,10 +128,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
+// StatusClientClosedRequest is the nginx-convention status for a request
+// whose client went away before the response was written (no stdlib
+// constant exists).
+const StatusClientClosedRequest = 499
+
 // writeErr maps service errors onto HTTP statuses.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
+	case errors.Is(err, context.Canceled):
+		// The client disconnected; the write below is best effort.
+		status = StatusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
 	case errors.Is(err, security.ErrDenied):
 		status = http.StatusForbidden
 	case errors.Is(err, security.ErrBadCredentials),
@@ -160,6 +190,10 @@ func decodeBody(r *http.Request, v any) error {
 }
 
 // withSession authenticates the bearer token and passes the session on.
+// The handler's request context derives from r.Context() — so a client
+// disconnect cancels all downstream work — stamped with the session's
+// tenant identity and, when the server has a request timeout, bounded by
+// a deadline.
 func (s *Server) withSession(h func(w http.ResponseWriter, r *http.Request, sess *services.Session)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		auth := r.Header.Get("Authorization")
@@ -173,7 +207,16 @@ func (s *Server) withSession(h func(w http.ResponseWriter, r *http.Request, sess
 			writeErr(w, err)
 			return
 		}
-		h(w, r, sess)
+		ctx := r.Context()
+		if sess.Principal.Tenant != "" {
+			ctx = tenant.NewContext(ctx, sess.Principal.Tenant)
+		}
+		if s.requestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.requestTimeout)
+			defer cancel()
+		}
+		h(w, r.WithContext(ctx), sess)
 	}
 }
 

@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"github.com/odbis/odbis/internal/security"
 	"github.com/odbis/odbis/internal/tenant"
 )
@@ -11,7 +12,7 @@ import (
 // requires the admin authority.
 
 // CreateTenant provisions a tenant on a plan.
-func (s *Session) CreateTenant(id, name, plan string) (*tenant.Info, error) {
+func (s *Session) CreateTenant(ctx context.Context, id, name, plan string) (*tenant.Info, error) {
 	if err := s.authorize(AuthAdmin); err != nil {
 		return nil, err
 	}
@@ -24,7 +25,7 @@ func (s *Session) CreateTenant(id, name, plan string) (*tenant.Info, error) {
 }
 
 // Tenants lists tenant ids.
-func (s *Session) Tenants() ([]string, error) {
+func (s *Session) Tenants(ctx context.Context) ([]string, error) {
 	if err := s.authorize(AuthAdmin); err != nil {
 		return nil, err
 	}
@@ -32,7 +33,7 @@ func (s *Session) Tenants() ([]string, error) {
 }
 
 // SuspendTenant blocks a tenant.
-func (s *Session) SuspendTenant(id string) error {
+func (s *Session) SuspendTenant(ctx context.Context, id string) error {
 	if err := s.authorize(AuthAdmin); err != nil {
 		return err
 	}
@@ -45,7 +46,7 @@ func (s *Session) SuspendTenant(id string) error {
 
 // DropTenant removes a tenant, its usage records, and every physical
 // table in its namespace.
-func (s *Session) DropTenant(id string) error {
+func (s *Session) DropTenant(ctx context.Context, id string) error {
 	if err := s.authorize(AuthAdmin); err != nil {
 		return err
 	}
@@ -53,7 +54,7 @@ func (s *Session) DropTenant(id string) error {
 }
 
 // ResumeTenant re-enables a tenant.
-func (s *Session) ResumeTenant(id string) error {
+func (s *Session) ResumeTenant(ctx context.Context, id string) error {
 	if err := s.authorize(AuthAdmin); err != nil {
 		return err
 	}
@@ -61,7 +62,7 @@ func (s *Session) ResumeTenant(id string) error {
 }
 
 // TenantUsage reports a tenant's metered usage for the current period.
-func (s *Session) TenantUsage(id string) (map[string]int64, error) {
+func (s *Session) TenantUsage(ctx context.Context, id string) (map[string]int64, error) {
 	if err := s.authorize(AuthAdmin); err != nil {
 		return nil, err
 	}
@@ -69,7 +70,7 @@ func (s *Session) TenantUsage(id string) (map[string]int64, error) {
 }
 
 // TenantInvoice computes a tenant's current bill.
-func (s *Session) TenantInvoice(id string) (*tenant.Invoice, error) {
+func (s *Session) TenantInvoice(ctx context.Context, id string) (*tenant.Invoice, error) {
 	if err := s.authorize(AuthAdmin); err != nil {
 		return nil, err
 	}
@@ -77,7 +78,7 @@ func (s *Session) TenantInvoice(id string) (*tenant.Invoice, error) {
 }
 
 // CreateUser registers a platform user.
-func (s *Session) CreateUser(spec security.UserSpec) error {
+func (s *Session) CreateUser(ctx context.Context, spec security.UserSpec) error {
 	if err := s.authorize(AuthAdmin); err != nil {
 		return err
 	}
@@ -85,7 +86,7 @@ func (s *Session) CreateUser(spec security.UserSpec) error {
 }
 
 // Users lists usernames.
-func (s *Session) Users() ([]string, error) {
+func (s *Session) Users(ctx context.Context) ([]string, error) {
 	if err := s.authorize(AuthAdmin); err != nil {
 		return nil, err
 	}
@@ -93,7 +94,7 @@ func (s *Session) Users() ([]string, error) {
 }
 
 // GrantRole grants a role to a user.
-func (s *Session) GrantRole(username, role string) error {
+func (s *Session) GrantRole(ctx context.Context, username, role string) error {
 	if err := s.authorize(AuthAdmin); err != nil {
 		return err
 	}
@@ -101,7 +102,7 @@ func (s *Session) GrantRole(username, role string) error {
 }
 
 // CreateRole defines a role with authorities.
-func (s *Session) CreateRole(name, description string, authorities ...string) error {
+func (s *Session) CreateRole(ctx context.Context, name, description string, authorities ...string) error {
 	if err := s.authorize(AuthAdmin); err != nil {
 		return err
 	}
@@ -109,7 +110,7 @@ func (s *Session) CreateRole(name, description string, authorities ...string) er
 }
 
 // CreateGroup defines a group with roles.
-func (s *Session) CreateGroup(name, description string, roles ...string) error {
+func (s *Session) CreateGroup(ctx context.Context, name, description string, roles ...string) error {
 	if err := s.authorize(AuthAdmin); err != nil {
 		return err
 	}
@@ -117,7 +118,7 @@ func (s *Session) CreateGroup(name, description string, roles ...string) error {
 }
 
 // AddToGroup puts a user in a group.
-func (s *Session) AddToGroup(username, group string) error {
+func (s *Session) AddToGroup(ctx context.Context, username, group string) error {
 	if err := s.authorize(AuthAdmin); err != nil {
 		return err
 	}
@@ -125,7 +126,7 @@ func (s *Session) AddToGroup(username, group string) error {
 }
 
 // SetUserActive enables or disables a user.
-func (s *Session) SetUserActive(username string, active bool) error {
+func (s *Session) SetUserActive(ctx context.Context, username string, active bool) error {
 	if err := s.authorize(AuthAdmin); err != nil {
 		return err
 	}
@@ -133,7 +134,7 @@ func (s *Session) SetUserActive(username string, active bool) error {
 }
 
 // DeleteUser removes a user.
-func (s *Session) DeleteUser(username string) error {
+func (s *Session) DeleteUser(ctx context.Context, username string) error {
 	if err := s.authorize(AuthAdmin); err != nil {
 		return err
 	}
@@ -141,7 +142,7 @@ func (s *Session) DeleteUser(username string) error {
 }
 
 // AuditLog returns security audit events ("" for all kinds).
-func (s *Session) AuditLog(event string) ([]string, error) {
+func (s *Session) AuditLog(ctx context.Context, event string) ([]string, error) {
 	if err := s.authorize(AuthAdmin); err != nil {
 		return nil, err
 	}

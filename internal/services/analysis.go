@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -32,7 +33,7 @@ func (p *Platform) cubeStore() (*orm.Mapper[cubeRow], error) {
 // DefineCube stores a cube definition over tenant tables. Table names in
 // the spec are logical; they bind to the tenant's physical tables at
 // build time.
-func (s *Session) DefineCube(spec olap.CubeSpec) error {
+func (s *Session) DefineCube(ctx context.Context, spec olap.CubeSpec) error {
 	if err := s.authorize(AuthAnalysis); err != nil {
 		return err
 	}
@@ -61,7 +62,7 @@ func (s *Session) DefineCube(spec olap.CubeSpec) error {
 }
 
 // Cubes lists the tenant's cube names sorted.
-func (s *Session) Cubes() ([]string, error) {
+func (s *Session) Cubes(ctx context.Context) ([]string, error) {
 	if err := s.authorize(AuthAnalysis); err != nil {
 		return nil, err
 	}
@@ -82,7 +83,7 @@ func (s *Session) Cubes() ([]string, error) {
 }
 
 // CubeSpecOf returns a stored cube definition.
-func (s *Session) CubeSpecOf(name string) (olap.CubeSpec, error) {
+func (s *Session) CubeSpecOf(ctx context.Context, name string) (olap.CubeSpec, error) {
 	var spec olap.CubeSpec
 	store, err := s.p.cubeStore()
 	if err != nil {
@@ -102,7 +103,7 @@ func (s *Session) CubeSpecOf(name string) (olap.CubeSpec, error) {
 }
 
 // DeleteCube removes a definition and its cached build.
-func (s *Session) DeleteCube(name string) error {
+func (s *Session) DeleteCube(ctx context.Context, name string) error {
 	if err := s.authorize(AuthAnalysis); err != nil {
 		return err
 	}
@@ -130,7 +131,7 @@ func (s *Session) invalidateCube(name string) {
 }
 
 // BuildCube (re)builds a cube from current tenant data and caches it.
-func (s *Session) BuildCube(name string) (*olap.Cube, error) {
+func (s *Session) BuildCube(ctx context.Context, name string) (*olap.Cube, error) {
 	if err := s.authorize(AuthAnalysis); err != nil {
 		return nil, err
 	}
@@ -138,7 +139,7 @@ func (s *Session) BuildCube(name string) (*olap.Cube, error) {
 	if err != nil {
 		return nil, err
 	}
-	spec, err := s.CubeSpecOf(name)
+	spec, err := s.CubeSpecOf(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +150,7 @@ func (s *Session) BuildCube(name string) (*olap.Cube, error) {
 			spec.Dimensions[i].Table = cat.Physical(spec.Dimensions[i].Table)
 		}
 	}
-	cube, err := olap.Build(s.p.Registry.Engine(), spec)
+	cube, err := olap.Build(s.scope(ctx), s.p.Registry.Engine(), spec)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +167,7 @@ func (s *Session) BuildCube(name string) (*olap.Cube, error) {
 }
 
 // Cube returns the cached cube, building it when absent.
-func (s *Session) Cube(name string) (*olap.Cube, error) {
+func (s *Session) Cube(ctx context.Context, name string) (*olap.Cube, error) {
 	s.p.mu.Lock()
 	cube := s.p.cubes[s.Principal.Tenant][name]
 	s.p.mu.Unlock()
@@ -176,22 +177,22 @@ func (s *Session) Cube(name string) (*olap.Cube, error) {
 		}
 		return cube, nil
 	}
-	return s.BuildCube(name)
+	return s.BuildCube(ctx, name)
 }
 
 // Analyze runs an OLAP query against a cube.
-func (s *Session) Analyze(cubeName string, q olap.Query) (*olap.Result, error) {
-	cube, err := s.Cube(cubeName)
+func (s *Session) Analyze(ctx context.Context, cubeName string, q olap.Query) (*olap.Result, error) {
+	cube, err := s.Cube(ctx, cubeName)
 	if err != nil {
 		return nil, err
 	}
-	return cube.Execute(q)
+	return cube.Execute(s.scope(ctx), q)
 }
 
 // Members lists the distinct members of a cube level (for navigation
 // UIs).
-func (s *Session) Members(cubeName, dim, level string) ([]storage.Value, error) {
-	cube, err := s.Cube(cubeName)
+func (s *Session) Members(ctx context.Context, cubeName, dim, level string) ([]storage.Value, error) {
+	cube, err := s.Cube(ctx, cubeName)
 	if err != nil {
 		return nil, err
 	}

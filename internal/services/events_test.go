@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -52,7 +53,7 @@ func TestEventsFlowThroughBus(t *testing.T) {
 	ada := designer(t, p)
 
 	// Integration job → job.completed.
-	if _, err := ada.RunJob(&JobSpec{
+	if _, err := ada.RunJob(context.Background(), &JobSpec{
 		Name: "j", CSVData: "a,b\n1,2\n", Target: "t",
 	}); err != nil {
 		t.Fatal(err)
@@ -66,7 +67,7 @@ func TestEventsFlowThroughBus(t *testing.T) {
 	}
 
 	// Failed job → job.failed.
-	if _, err := ada.RunJob(&JobSpec{
+	if _, err := ada.RunJob(context.Background(), &JobSpec{
 		Name: "bad", CSVData: "a\n1\n",
 		Steps:  []StepSpec{{Op: "filter", Condition: "nonexistent_col > 1"}},
 		Target: "t2",
@@ -78,14 +79,14 @@ func TestEventsFlowThroughBus(t *testing.T) {
 	}
 
 	// Cube build → cube.built.
-	ada.Query("CREATE TABLE f (g TEXT, v INT)")
-	ada.Query("INSERT INTO f VALUES ('x', 1)")
-	ada.DefineCube(olap.CubeSpec{
+	ada.Query(context.Background(), "CREATE TABLE f (g TEXT, v INT)")
+	ada.Query(context.Background(), "INSERT INTO f VALUES ('x', 1)")
+	ada.DefineCube(context.Background(), olap.CubeSpec{
 		Name: "C", FactTable: "f",
 		Measures:   []olap.MeasureSpec{{Name: "v", Column: "v", Agg: olap.AggSum}},
 		Dimensions: []olap.DimensionSpec{{Name: "G", Levels: []olap.LevelSpec{{Name: "G", Column: "g"}}}},
 	})
-	if _, err := ada.BuildCube("C"); err != nil {
+	if _, err := ada.BuildCube(context.Background(), "C"); err != nil {
 		t.Fatal(err)
 	}
 	if ev, ok := c.find(EventCubeBuilt); !ok || ev.Subject != "C" {
@@ -93,13 +94,13 @@ func TestEventsFlowThroughBus(t *testing.T) {
 	}
 
 	// Tenant administration events.
-	if _, err := admin.CreateTenant("globex", "Globex", "free"); err != nil {
+	if _, err := admin.CreateTenant(context.Background(), "globex", "Globex", "free"); err != nil {
 		t.Fatal(err)
 	}
 	if ev, ok := c.find(EventTenantCreated); !ok || ev.Subject != "globex" {
 		t.Errorf("tenant event = %+v ok=%v", ev, ok)
 	}
-	if err := admin.SuspendTenant("globex"); err != nil {
+	if err := admin.SuspendTenant(context.Background(), "globex"); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.find(EventTenantSuspended); !ok {
@@ -108,7 +109,7 @@ func TestEventsFlowThroughBus(t *testing.T) {
 
 	// Authorization denial.
 	vic := viewer(t, p)
-	vic.Query("CREATE TABLE nope (x INT)")
+	vic.Query(context.Background(), "CREATE TABLE nope (x INT)")
 	if ev, ok := c.find(EventAccessDenied); !ok || ev.User != "vic" {
 		t.Errorf("denied event = %+v ok=%v", ev, ok)
 	}
@@ -123,7 +124,7 @@ func TestEventSubscriberErrorDoesNotBreakService(t *testing.T) {
 	received := 0
 	p.OnEvent(func(ev Event) { received++ })
 	ada := designer(t, p)
-	if _, err := ada.RunJob(&JobSpec{Name: "j", CSVData: "a\n1\n", Target: "t"}); err != nil {
+	if _, err := ada.RunJob(context.Background(), &JobSpec{Name: "j", CSVData: "a\n1\n", Target: "t"}); err != nil {
 		t.Fatalf("service call failed because of observer: %v", err)
 	}
 	if received == 0 {
@@ -134,7 +135,7 @@ func TestEventSubscriberErrorDoesNotBreakService(t *testing.T) {
 func TestEventStats(t *testing.T) {
 	p, _ := newPlatform(t)
 	ada := designer(t, p)
-	ada.RunJob(&JobSpec{Name: "j", CSVData: "a\n1\n", Target: "t"})
+	ada.RunJob(context.Background(), &JobSpec{Name: "j", CSVData: "a\n1\n", Target: "t"})
 	st, err := p.EventStats()
 	if err != nil {
 		t.Fatal(err)
@@ -148,13 +149,13 @@ func TestReportExecutedEvent(t *testing.T) {
 	p, _ := newPlatform(t)
 	c := collect(p)
 	ada := designer(t, p)
-	ada.Query("CREATE TABLE s (x INT)")
-	ada.Query("INSERT INTO s VALUES (1)")
+	ada.Query(context.Background(), "CREATE TABLE s (x INT)")
+	ada.Query(context.Background(), "INSERT INTO s VALUES (1)")
 	spec := reportSpecFixture()
-	if err := ada.SaveReport("g", spec); err != nil {
+	if err := ada.SaveReport(context.Background(), "g", spec); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ada.RunReport(spec.Name); err != nil {
+	if _, err := ada.RunReport(context.Background(), spec.Name); err != nil {
 		t.Fatal(err)
 	}
 	if ev, ok := c.find(EventReportExecuted); !ok || ev.Subject != spec.Name {

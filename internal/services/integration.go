@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -168,8 +169,8 @@ type catalogQuerySource struct {
 }
 
 // Read implements etl.Source.
-func (c *catalogQuerySource) Read() ([]etl.Record, error) {
-	res, err := c.cat.Query(c.query)
+func (c *catalogQuerySource) Read(ctx context.Context) ([]etl.Record, error) {
+	res, err := c.cat.Query(ctx, c.query)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +186,7 @@ func (c *catalogQuerySource) Read() ([]etl.Record, error) {
 }
 
 // RunJob compiles and executes a job immediately, metering rows loaded.
-func (s *Session) RunJob(spec *JobSpec) (*etl.JobReport, error) {
+func (s *Session) RunJob(ctx context.Context, spec *JobSpec) (*etl.JobReport, error) {
 	if err := s.authorize(AuthIntegration); err != nil {
 		return nil, err
 	}
@@ -193,7 +194,7 @@ func (s *Session) RunJob(spec *JobSpec) (*etl.JobReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	report := job.Run()
+	report := job.Run(s.scope(ctx))
 	if err := report.Err(); err != nil {
 		s.p.publish(Event{Kind: EventJobFailed, Tenant: s.Principal.Tenant,
 			User: s.Principal.Username, Subject: spec.Name, Detail: err.Error()})
@@ -206,7 +207,7 @@ func (s *Session) RunJob(spec *JobSpec) (*etl.JobReport, error) {
 }
 
 // ScheduleJob registers a job on the platform scheduler.
-func (s *Session) ScheduleJob(spec *JobSpec) error {
+func (s *Session) ScheduleJob(ctx context.Context, spec *JobSpec) error {
 	if err := s.authorize(AuthIntegration); err != nil {
 		return err
 	}
@@ -221,15 +222,15 @@ func (s *Session) ScheduleJob(spec *JobSpec) error {
 }
 
 // TriggerJob runs a previously scheduled job now.
-func (s *Session) TriggerJob(name string) (*etl.JobReport, error) {
+func (s *Session) TriggerJob(ctx context.Context, name string) (*etl.JobReport, error) {
 	if err := s.authorize(AuthIntegration); err != nil {
 		return nil, err
 	}
-	return s.p.Scheduler.Trigger(s.Principal.Tenant + "/" + name)
+	return s.p.Scheduler.Trigger(s.scope(ctx), s.Principal.Tenant+"/"+name)
 }
 
 // JobHistory returns the retained reports of a scheduled job.
-func (s *Session) JobHistory(name string) ([]*etl.JobReport, error) {
+func (s *Session) JobHistory(ctx context.Context, name string) ([]*etl.JobReport, error) {
 	if err := s.authorize(AuthIntegration); err != nil {
 		return nil, err
 	}
@@ -238,7 +239,7 @@ func (s *Session) JobHistory(name string) ([]*etl.JobReport, error) {
 
 // PreviewJob runs source + steps and returns up to limit records without
 // loading the target (the ad-hoc design loop).
-func (s *Session) PreviewJob(spec *JobSpec, limit int) ([]etl.Record, error) {
+func (s *Session) PreviewJob(ctx context.Context, spec *JobSpec, limit int) ([]etl.Record, error) {
 	if err := s.authorize(AuthIntegration); err != nil {
 		return nil, err
 	}
@@ -246,5 +247,5 @@ func (s *Session) PreviewJob(spec *JobSpec, limit int) ([]etl.Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	return job.Tasks[0].Pipeline.Preview(limit)
+	return job.Tasks[0].Pipeline.Preview(s.scope(ctx), limit)
 }

@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -98,7 +99,7 @@ func (p *Platform) metadata() (*Metadata, error) {
 }
 
 // CreateDataSource registers a source for the session tenant.
-func (s *Session) CreateDataSource(name, kind, url, user string) error {
+func (s *Session) CreateDataSource(ctx context.Context, name, kind, url, user string) error {
 	if err := s.authorize(AuthMetadataWrite); err != nil {
 		return err
 	}
@@ -126,7 +127,7 @@ func (s *Session) CreateDataSource(name, kind, url, user string) error {
 }
 
 // DataSources lists the tenant's sources sorted by name.
-func (s *Session) DataSources() ([]DataSource, error) {
+func (s *Session) DataSources(ctx context.Context) ([]DataSource, error) {
 	if err := s.authorize(AuthMetadataRead); err != nil {
 		return nil, err
 	}
@@ -143,7 +144,7 @@ func (s *Session) DataSources() ([]DataSource, error) {
 }
 
 // DeleteDataSource removes a source.
-func (s *Session) DeleteDataSource(name string) error {
+func (s *Session) DeleteDataSource(ctx context.Context, name string) error {
 	if err := s.authorize(AuthMetadataWrite); err != nil {
 		return err
 	}
@@ -163,7 +164,7 @@ func (s *Session) DeleteDataSource(name string) error {
 
 // CreateDataSet registers a named query. The query must parse; execution
 // happens on demand.
-func (s *Session) CreateDataSet(name, source, query, description string) error {
+func (s *Session) CreateDataSet(ctx context.Context, name, source, query, description string) error {
 	if err := s.authorize(AuthMetadataWrite); err != nil {
 		return err
 	}
@@ -191,7 +192,7 @@ func (s *Session) CreateDataSet(name, source, query, description string) error {
 }
 
 // DataSets lists the tenant's data sets sorted by name.
-func (s *Session) DataSets() ([]DataSet, error) {
+func (s *Session) DataSets(ctx context.Context) ([]DataSet, error) {
 	if err := s.authorize(AuthMetadataRead); err != nil {
 		return nil, err
 	}
@@ -208,7 +209,7 @@ func (s *Session) DataSets() ([]DataSet, error) {
 }
 
 // DataSet fetches one data set.
-func (s *Session) DataSet(name string) (*DataSet, error) {
+func (s *Session) DataSet(ctx context.Context, name string) (*DataSet, error) {
 	if err := s.authorize(AuthMetadataRead); err != nil {
 		return nil, err
 	}
@@ -227,7 +228,7 @@ func (s *Session) DataSet(name string) (*DataSet, error) {
 }
 
 // DeleteDataSet removes a data set.
-func (s *Session) DeleteDataSet(name string) error {
+func (s *Session) DeleteDataSet(ctx context.Context, name string) error {
 	if err := s.authorize(AuthMetadataWrite); err != nil {
 		return err
 	}
@@ -246,8 +247,8 @@ func (s *Session) DeleteDataSet(name string) error {
 }
 
 // RunDataSet executes a stored data set against the tenant catalog.
-func (s *Session) RunDataSet(name string, args ...storage.Value) (*sql.Result, error) {
-	ds, err := s.DataSet(name)
+func (s *Session) RunDataSet(ctx context.Context, name string, args ...storage.Value) (*sql.Result, error) {
+	ds, err := s.DataSet(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -255,12 +256,12 @@ func (s *Session) RunDataSet(name string, args ...storage.Value) (*sql.Result, e
 	if err != nil {
 		return nil, err
 	}
-	return cat.Query(ds.Query, args...)
+	return cat.Query(s.scope(ctx), ds.Query, args...)
 }
 
 // Query runs ad-hoc SQL against the tenant catalog (requires read
 // authority; DDL/DML require write).
-func (s *Session) Query(query string, args ...storage.Value) (*sql.Result, error) {
+func (s *Session) Query(ctx context.Context, query string, args ...storage.Value) (*sql.Result, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -276,11 +277,11 @@ func (s *Session) Query(query string, args ...storage.Value) (*sql.Result, error
 	if err != nil {
 		return nil, err
 	}
-	return cat.Query(query, args...)
+	return cat.Query(s.scope(ctx), query, args...)
 }
 
 // DefineTerm stores a business-glossary term.
-func (s *Session) DefineTerm(name, definition, element string) error {
+func (s *Session) DefineTerm(ctx context.Context, name, definition, element string) error {
 	if err := s.authorize(AuthMetadataWrite); err != nil {
 		return err
 	}
@@ -298,7 +299,7 @@ func (s *Session) DefineTerm(name, definition, element string) error {
 }
 
 // Terms lists the tenant's glossary sorted by name.
-func (s *Session) Terms() ([]BusinessTerm, error) {
+func (s *Session) Terms(ctx context.Context) ([]BusinessTerm, error) {
 	if err := s.authorize(AuthMetadataRead); err != nil {
 		return nil, err
 	}

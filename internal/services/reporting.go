@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -34,7 +35,7 @@ func (p *Platform) reportStore() (*orm.Mapper[reportRow], error) {
 }
 
 // SaveReport uploads (or replaces) a report spec under a report group.
-func (s *Session) SaveReport(group string, spec *report.Spec) error {
+func (s *Session) SaveReport(ctx context.Context, group string, spec *report.Spec) error {
 	if err := s.authorize(AuthReportWrite); err != nil {
 		return err
 	}
@@ -66,7 +67,7 @@ func (s *Session) SaveReport(group string, spec *report.Spec) error {
 }
 
 // Reports lists the tenant's reports grouped by report group.
-func (s *Session) Reports() (map[string][]string, error) {
+func (s *Session) Reports(ctx context.Context) (map[string][]string, error) {
 	if err := s.authorize(AuthReportRead); err != nil {
 		return nil, err
 	}
@@ -89,7 +90,7 @@ func (s *Session) Reports() (map[string][]string, error) {
 }
 
 // ReportSpec fetches a stored spec.
-func (s *Session) ReportSpec(name string) (*report.Spec, error) {
+func (s *Session) ReportSpec(ctx context.Context, name string) (*report.Spec, error) {
 	if err := s.authorize(AuthReportRead); err != nil {
 		return nil, err
 	}
@@ -112,7 +113,7 @@ func (s *Session) ReportSpec(name string) (*report.Spec, error) {
 }
 
 // DeleteReport removes a stored report.
-func (s *Session) DeleteReport(name string) error {
+func (s *Session) DeleteReport(ctx context.Context, name string) error {
 	if err := s.authorize(AuthReportWrite); err != nil {
 		return err
 	}
@@ -131,8 +132,8 @@ func (s *Session) DeleteReport(name string) error {
 }
 
 // RunReport executes a stored report against the tenant catalog.
-func (s *Session) RunReport(name string) (*report.Output, error) {
-	spec, err := s.ReportSpec(name)
+func (s *Session) RunReport(ctx context.Context, name string) (*report.Output, error) {
+	spec, err := s.ReportSpec(ctx, name)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +141,7 @@ func (s *Session) RunReport(name string) (*report.Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := report.Run(cat, spec)
+	out, err := report.Run(s.scope(ctx), cat, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +151,7 @@ func (s *Session) RunReport(name string) (*report.Output, error) {
 }
 
 // RunAdHoc executes an unsaved spec (the ad-hoc reporting module).
-func (s *Session) RunAdHoc(spec *report.Spec) (*report.Output, error) {
+func (s *Session) RunAdHoc(ctx context.Context, spec *report.Spec) (*report.Output, error) {
 	if err := s.authorize(AuthReportRead); err != nil {
 		return nil, err
 	}
@@ -158,7 +159,7 @@ func (s *Session) RunAdHoc(spec *report.Spec) (*report.Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	return report.Run(cat, spec)
+	return report.Run(s.scope(ctx), cat, spec)
 }
 
 // --- Information Delivery Service (IDS) ---
@@ -221,8 +222,8 @@ func Deliver(w io.Writer, f Format, out *report.Output) error {
 }
 
 // DeliverReport runs a stored report and renders it in one call.
-func (s *Session) DeliverReport(w io.Writer, name string, f Format) error {
-	out, err := s.RunReport(name)
+func (s *Session) DeliverReport(ctx context.Context, w io.Writer, name string, f Format) error {
+	out, err := s.RunReport(ctx, name)
 	if err != nil {
 		return err
 	}

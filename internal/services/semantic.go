@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/odbis/odbis/internal/metamodel"
@@ -20,7 +21,7 @@ type SchemaMatch = odm.Match
 // SemanticAlign matches the columns of two tenant tables. ontologyXML is
 // an optional ODM model export (see odm.Spec); empty means pure lexical
 // matching. Requires metadata read authority.
-func (s *Session) SemanticAlign(sourceTable, targetTable, ontologyXML string) ([]SchemaMatch, error) {
+func (s *Session) SemanticAlign(ctx context.Context, sourceTable, targetTable, ontologyXML string) ([]SchemaMatch, error) {
 	if err := s.authorize(AuthMetadataRead); err != nil {
 		return nil, err
 	}
@@ -58,7 +59,7 @@ func (s *Session) SemanticAlign(sourceTable, targetTable, ontologyXML string) ([
 // sourceTable into targetTable with the aligned columns renamed and
 // unmatched source columns dropped — semantic data integration as a
 // one-call service.
-func (s *Session) SemanticMergeJob(sourceTable, targetTable string, matches []SchemaMatch) (*JobSpec, error) {
+func (s *Session) SemanticMergeJob(ctx context.Context, sourceTable, targetTable string, matches []SchemaMatch) (*JobSpec, error) {
 	if err := s.authorize(AuthIntegration); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestSemanticAlignAndMerge(t *testing.T) {
 	ada := designer(t, p)
 	// Legacy CRM extract vs the warehouse fact table.
 	mustQ := func(q string) {
-		if _, err := ada.Query(q); err != nil {
+		if _, err := ada.Query(context.Background(), q); err != nil {
 			t.Fatalf("%s: %v", q, err)
 		}
 	}
@@ -43,7 +44,7 @@ func TestSemanticAlignAndMerge(t *testing.T) {
 	mustQ("INSERT INTO crm_orders VALUES (1, 'acme', 10.5, 'x'), (2, 'globex', 20.0, 'y')")
 	mustQ("CREATE TABLE fact_sales (order_id INT, customer TEXT, revenue FLOAT)")
 
-	matches, err := ada.SemanticAlign("crm_orders", "fact_sales", commerceOntologyXML(t))
+	matches, err := ada.SemanticAlign(context.Background(), "crm_orders", "fact_sales", commerceOntologyXML(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,14 +66,14 @@ func TestSemanticAlignAndMerge(t *testing.T) {
 	}
 
 	// Merge job copies and renames.
-	spec, err := ada.SemanticMergeJob("crm_orders", "fact_sales", matches)
+	spec, err := ada.SemanticMergeJob(context.Background(), "crm_orders", "fact_sales", matches)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ada.RunJob(spec); err != nil {
+	if _, err := ada.RunJob(context.Background(), spec); err != nil {
 		t.Fatal(err)
 	}
-	res, err := ada.Query("SELECT customer, revenue FROM fact_sales ORDER BY customer")
+	res, err := ada.Query(context.Background(), "SELECT customer, revenue FROM fact_sales ORDER BY customer")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,9 +85,9 @@ func TestSemanticAlignAndMerge(t *testing.T) {
 func TestSemanticAlignWithoutOntology(t *testing.T) {
 	p, _ := newPlatform(t)
 	ada := designer(t, p)
-	ada.Query("CREATE TABLE a (order_id INT, ship_datee TEXT)")
-	ada.Query("CREATE TABLE b (order_id INT, ship_date TEXT)")
-	matches, err := ada.SemanticAlign("a", "b", "")
+	ada.Query(context.Background(), "CREATE TABLE a (order_id INT, ship_datee TEXT)")
+	ada.Query(context.Background(), "CREATE TABLE b (order_id INT, ship_date TEXT)")
+	matches, err := ada.SemanticAlign(context.Background(), "a", "b", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,17 +99,17 @@ func TestSemanticAlignWithoutOntology(t *testing.T) {
 func TestSemanticAlignErrors(t *testing.T) {
 	p, _ := newPlatform(t)
 	ada := designer(t, p)
-	ada.Query("CREATE TABLE a (x INT)")
-	if _, err := ada.SemanticAlign("ghost", "a", ""); err == nil {
+	ada.Query(context.Background(), "CREATE TABLE a (x INT)")
+	if _, err := ada.SemanticAlign(context.Background(), "ghost", "a", ""); err == nil {
 		t.Error("missing source accepted")
 	}
-	if _, err := ada.SemanticAlign("a", "ghost", ""); err == nil {
+	if _, err := ada.SemanticAlign(context.Background(), "a", "ghost", ""); err == nil {
 		t.Error("missing target accepted")
 	}
-	if _, err := ada.SemanticAlign("a", "a", "<xmi>broken"); err == nil {
+	if _, err := ada.SemanticAlign(context.Background(), "a", "a", "<xmi>broken"); err == nil {
 		t.Error("broken ontology accepted")
 	}
-	if _, err := ada.SemanticMergeJob("a", "a", nil); err == nil {
+	if _, err := ada.SemanticMergeJob(context.Background(), "a", "a", nil); err == nil {
 		t.Error("empty matches accepted")
 	}
 	// Viewers lack the integration authority for merge jobs.
@@ -118,7 +119,7 @@ func TestSemanticAlignErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	vic, _, _ := p.Login("view2", "pw")
-	if _, err := vic.SemanticMergeJob("a", "a", []SchemaMatch{{SourceColumn: "x", TargetColumn: "x"}}); err == nil {
+	if _, err := vic.SemanticMergeJob(context.Background(), "a", "a", []SchemaMatch{{SourceColumn: "x", TargetColumn: "x"}}); err == nil {
 		t.Error("viewer merge accepted")
 	}
 }

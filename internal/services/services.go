@@ -16,10 +16,12 @@
 package services
 
 import (
+	"context"
 	"errors"
 	"fmt"
-
+	"strings"
 	"sync"
+	"time"
 
 	"github.com/odbis/odbis/internal/bus"
 	"github.com/odbis/odbis/internal/etl"
@@ -70,6 +72,8 @@ type Platform struct {
 	md    *Metadata
 	mdErr error
 	once  sync.Once
+	// schedStop stops the scheduler loop started by StartScheduler.
+	schedStop func()
 }
 
 // NewPlatform wires the service layer over its substrates.
@@ -116,6 +120,47 @@ func (p *Platform) Bootstrap(adminUser, adminPassword string) error {
 	return nil
 }
 
+// StartScheduler runs the integration scheduler's ticker bound to ctx and
+// publishes a platform event after every scheduled run. The events go out
+// detached (bus goroutines bound to the bus lifetime) so a slow subscriber
+// cannot stall the scheduler loop. Close stops the loop; calling
+// StartScheduler twice without Close is a no-op.
+func (p *Platform) StartScheduler(ctx context.Context, resolution time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.schedStop != nil {
+		return
+	}
+	p.Scheduler.OnReport = func(job string, report *etl.JobReport) {
+		kind := EventJobCompleted
+		detail := fmt.Sprintf("%d rows", report.TotalWritten())
+		if err := report.Err(); err != nil {
+			kind, detail = EventJobFailed, err.Error()
+		}
+		tenantID, name := job, job
+		if i := strings.IndexByte(job, '/'); i >= 0 {
+			tenantID, name = job[:i], job[i+1:]
+		}
+		ev := Event{Kind: kind, Tenant: tenantID, Subject: name, Detail: detail, At: time.Now().UTC()}
+		p.Bus.PublishDetached(EventChannel, bus.NewMessage(ev, "kind", ev.Kind, "tenant", ev.Tenant))
+	}
+	p.schedStop = p.Scheduler.Start(ctx, resolution)
+}
+
+// Close shuts down the platform's background machinery: it stops the
+// scheduler loop (waiting for any in-flight job) and joins every detached
+// bus delivery, so no service goroutine outlives the platform. Idempotent.
+func (p *Platform) Close() {
+	p.mu.Lock()
+	stop := p.schedStop
+	p.schedStop = nil
+	p.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	p.Bus.Close()
+}
+
 // Session is an authenticated, tenant-scoped service context.
 type Session struct {
 	p         *Platform
@@ -157,6 +202,24 @@ func (p *Platform) sessionFor(principal *security.Principal) (*Session, error) {
 		s.Catalog = cat
 	}
 	return s, nil
+}
+
+// scope derives the context lower layers see for one service call: the
+// caller's request context (cancellation, deadline) stamped with the
+// session's tenant identity. A nil ctx (legacy in-process callers) maps to
+// context.Background().
+func (s *Session) scope(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.Principal != nil && s.Principal.Tenant != "" {
+		// The HTTP layer already stamps the tenant; avoid a second
+		// context allocation on the per-request hot path.
+		if id, ok := tenant.FromContext(ctx); !ok || id != s.Principal.Tenant {
+			ctx = tenant.NewContext(ctx, s.Principal.Tenant)
+		}
+	}
+	return ctx
 }
 
 // authorize checks one authority and meters the API call.

@@ -1,6 +1,7 @@
 package services
 
 import (
+	"context"
 	"bytes"
 	"errors"
 	"strings"
@@ -35,15 +36,15 @@ func newPlatform(t *testing.T) (*Platform, *Session) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := admin.CreateTenant("acme", "Acme Corp", "standard"); err != nil {
+	if _, err := admin.CreateTenant(context.Background(), "acme", "Acme Corp", "standard"); err != nil {
 		t.Fatal(err)
 	}
-	if err := admin.CreateUser(security.UserSpec{
+	if err := admin.CreateUser(context.Background(), security.UserSpec{
 		Username: "ada", Password: "pw", Tenant: "acme", Roles: []string{RoleDesigner},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := admin.CreateUser(security.UserSpec{
+	if err := admin.CreateUser(context.Background(), security.UserSpec{
 		Username: "vic", Password: "pw", Tenant: "acme", Roles: []string{RoleViewer},
 	}); err != nil {
 		t.Fatal(err)
@@ -100,57 +101,57 @@ func TestLoginAndResume(t *testing.T) {
 func TestMetadataService(t *testing.T) {
 	p, _ := newPlatform(t)
 	ada := designer(t, p)
-	if err := ada.CreateDataSource("warehouse", "internal", "", ""); err != nil {
+	if err := ada.CreateDataSource(context.Background(), "warehouse", "internal", "", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := ada.CreateDataSource("warehouse", "internal", "", ""); !errors.Is(err, ErrMetaExists) {
+	if err := ada.CreateDataSource(context.Background(), "warehouse", "internal", "", ""); !errors.Is(err, ErrMetaExists) {
 		t.Errorf("duplicate source: %v", err)
 	}
 	// A table to query.
-	if _, err := ada.Query("CREATE TABLE sales (region TEXT, amount FLOAT)"); err != nil {
+	if _, err := ada.Query(context.Background(), "CREATE TABLE sales (region TEXT, amount FLOAT)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ada.Query("INSERT INTO sales VALUES ('north', 10.0), ('south', 20.0)"); err != nil {
+	if _, err := ada.Query(context.Background(), "INSERT INTO sales VALUES ('north', 10.0), ('south', 20.0)"); err != nil {
 		t.Fatal(err)
 	}
-	if err := ada.CreateDataSet("sales-by-region", "warehouse",
+	if err := ada.CreateDataSet(context.Background(), "sales-by-region", "warehouse",
 		"SELECT region, SUM(amount) AS total FROM sales GROUP BY region ORDER BY region", "totals"); err != nil {
 		t.Fatal(err)
 	}
-	if err := ada.CreateDataSet("broken", "warehouse", "SELEC nothing", ""); err == nil {
+	if err := ada.CreateDataSet(context.Background(), "broken", "warehouse", "SELEC nothing", ""); err == nil {
 		t.Error("unparseable data set accepted")
 	}
-	res, err := ada.RunDataSet("sales-by-region")
+	res, err := ada.RunDataSet(context.Background(), "sales-by-region")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Rows) != 2 || res.Rows[0][1] != 10.0 {
 		t.Errorf("data set result = %v", res.Rows)
 	}
-	sets, _ := ada.DataSets()
+	sets, _ := ada.DataSets(context.Background())
 	if len(sets) != 1 || sets[0].Name != "sales-by-region" {
 		t.Errorf("data sets = %v", sets)
 	}
-	srcs, _ := ada.DataSources()
+	srcs, _ := ada.DataSources(context.Background())
 	if len(srcs) != 1 {
 		t.Errorf("sources = %v", srcs)
 	}
 	// Glossary.
-	if err := ada.DefineTerm("revenue", "money coming in", "sales.amount"); err != nil {
+	if err := ada.DefineTerm(context.Background(), "revenue", "money coming in", "sales.amount"); err != nil {
 		t.Fatal(err)
 	}
-	terms, _ := ada.Terms()
+	terms, _ := ada.Terms(context.Background())
 	if len(terms) != 1 || terms[0].Element != "sales.amount" {
 		t.Errorf("terms = %v", terms)
 	}
 	// Cleanup paths.
-	if err := ada.DeleteDataSet("sales-by-region"); err != nil {
+	if err := ada.DeleteDataSet(context.Background(), "sales-by-region"); err != nil {
 		t.Fatal(err)
 	}
-	if err := ada.DeleteDataSet("sales-by-region"); !errors.Is(err, ErrNoDataSet) {
+	if err := ada.DeleteDataSet(context.Background(), "sales-by-region"); !errors.Is(err, ErrNoDataSet) {
 		t.Errorf("double delete: %v", err)
 	}
-	if err := ada.DeleteDataSource("warehouse"); err != nil {
+	if err := ada.DeleteDataSource(context.Background(), "warehouse"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -159,25 +160,25 @@ func TestAuthorizationEnforced(t *testing.T) {
 	p, _ := newPlatform(t)
 	vic := viewer(t, p)
 	// Viewers can read metadata but not write.
-	if _, err := vic.DataSets(); err != nil {
+	if _, err := vic.DataSets(context.Background()); err != nil {
 		t.Errorf("viewer read: %v", err)
 	}
-	if err := vic.CreateDataSource("x", "", "", ""); !errors.Is(err, security.ErrDenied) {
+	if err := vic.CreateDataSource(context.Background(), "x", "", "", ""); !errors.Is(err, security.ErrDenied) {
 		t.Errorf("viewer write: %v", err)
 	}
 	// Viewers cannot run DDL via ad-hoc query.
-	if _, err := vic.Query("CREATE TABLE t (x INT)"); !errors.Is(err, security.ErrDenied) {
+	if _, err := vic.Query(context.Background(), "CREATE TABLE t (x INT)"); !errors.Is(err, security.ErrDenied) {
 		t.Errorf("viewer ddl: %v", err)
 	}
 	// Viewers cannot run ETL or analysis.
-	if _, err := vic.RunJob(&JobSpec{Name: "j", Target: "t", CSVData: "a\n1\n"}); !errors.Is(err, security.ErrDenied) {
+	if _, err := vic.RunJob(context.Background(), &JobSpec{Name: "j", Target: "t", CSVData: "a\n1\n"}); !errors.Is(err, security.ErrDenied) {
 		t.Errorf("viewer etl: %v", err)
 	}
-	if _, err := vic.Analyze("c", olap.Query{}); !errors.Is(err, security.ErrDenied) {
+	if _, err := vic.Analyze(context.Background(), "c", olap.Query{}); !errors.Is(err, security.ErrDenied) {
 		t.Errorf("viewer olap: %v", err)
 	}
 	// Viewers cannot administer.
-	if _, err := vic.Tenants(); !errors.Is(err, security.ErrDenied) {
+	if _, err := vic.Tenants(context.Background()); !errors.Is(err, security.ErrDenied) {
 		t.Errorf("viewer admin: %v", err)
 	}
 }
@@ -195,7 +196,7 @@ func TestIntegrationService(t *testing.T) {
 		Target: "sales",
 	}
 	// Preview does not create the target.
-	recs, err := ada.PreviewJob(spec, 10)
+	recs, err := ada.PreviewJob(context.Background(), spec, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,14 +206,14 @@ func TestIntegrationService(t *testing.T) {
 	if ada.Catalog.HasTable("sales") {
 		t.Error("preview created the target")
 	}
-	report, err := ada.RunJob(spec)
+	report, err := ada.RunJob(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if report.TotalWritten() != 2 {
 		t.Errorf("written = %d", report.TotalWritten())
 	}
-	res, _ := ada.Query("SELECT COUNT(*) FROM sales")
+	res, _ := ada.Query(context.Background(), "SELECT COUNT(*) FROM sales")
 	if res.Rows[0][0] != int64(2) {
 		t.Errorf("loaded rows = %v", res.Rows[0][0])
 	}
@@ -225,10 +226,10 @@ func TestIntegrationService(t *testing.T) {
 		},
 		Target: "sales_summary",
 	}
-	if _, err := ada.RunJob(agg); err != nil {
+	if _, err := ada.RunJob(context.Background(), agg); err != nil {
 		t.Fatal(err)
 	}
-	res, _ = ada.Query("SELECT COUNT(*) FROM sales_summary")
+	res, _ = ada.Query(context.Background(), "SELECT COUNT(*) FROM sales_summary")
 	if res.Rows[0][0] != int64(2) {
 		t.Errorf("summary rows = %v", res.Rows[0][0])
 	}
@@ -237,24 +238,24 @@ func TestIntegrationService(t *testing.T) {
 	sched.Name = "nightly"
 	sched.Truncate = true
 	sched.IntervalSeconds = 3600
-	if err := ada.ScheduleJob(&sched); err != nil {
+	if err := ada.ScheduleJob(context.Background(), &sched); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ada.TriggerJob("nightly"); err != nil {
+	if _, err := ada.TriggerJob(context.Background(), "nightly"); err != nil {
 		t.Fatal(err)
 	}
-	hist, _ := ada.JobHistory("nightly")
+	hist, _ := ada.JobHistory(context.Background(), "nightly")
 	if len(hist) != 1 {
 		t.Errorf("history = %d", len(hist))
 	}
 	// Bad specs.
-	if _, err := ada.RunJob(&JobSpec{Name: "x", Target: "t"}); err == nil {
+	if _, err := ada.RunJob(context.Background(), &JobSpec{Name: "x", Target: "t"}); err == nil {
 		t.Error("job without source accepted")
 	}
-	if _, err := ada.RunJob(&JobSpec{Name: "x", Target: "t", CSVData: "a\n1\n", JSONData: "[]"}); err == nil {
+	if _, err := ada.RunJob(context.Background(), &JobSpec{Name: "x", Target: "t", CSVData: "a\n1\n", JSONData: "[]"}); err == nil {
 		t.Error("job with two sources accepted")
 	}
-	if _, err := ada.RunJob(&JobSpec{Name: "x", Target: "t", CSVData: "a\n1\n",
+	if _, err := ada.RunJob(context.Background(), &JobSpec{Name: "x", Target: "t", CSVData: "a\n1\n",
 		Steps: []StepSpec{{Op: "teleport"}}}); err == nil {
 		t.Error("unknown step accepted")
 	}
@@ -269,7 +270,7 @@ func loadStarData(t *testing.T, ada *Session) {
 		`INSERT INTO fact_orders VALUES
 			(1, 10.0, 1), (1, 20.0, 2), (2, 5.0, 1), (3, 8.0, 4), (3, 2.0, 1)`,
 	} {
-		if _, err := ada.Query(q); err != nil {
+		if _, err := ada.Query(context.Background(), q); err != nil {
 			t.Fatalf("%s: %v", q, err)
 		}
 	}
@@ -291,14 +292,14 @@ func TestAnalysisService(t *testing.T) {
 				Levels: []olap.LevelSpec{{Name: "Country", Column: "country"}, {Name: "Name", Column: "name"}}},
 		},
 	}
-	if err := ada.DefineCube(spec); err != nil {
+	if err := ada.DefineCube(context.Background(), spec); err != nil {
 		t.Fatal(err)
 	}
-	cubes, _ := ada.Cubes()
+	cubes, _ := ada.Cubes(context.Background())
 	if len(cubes) != 1 || cubes[0] != "Orders" {
 		t.Errorf("cubes = %v", cubes)
 	}
-	res, err := ada.Analyze("Orders", olap.Query{
+	res, err := ada.Analyze(context.Background(), "Orders", olap.Query{
 		Rows:     []olap.LevelRef{{Dimension: "Region", Level: "Country"}},
 		Measures: []string{"amount"},
 	})
@@ -312,24 +313,24 @@ func TestAnalysisService(t *testing.T) {
 	if cell[0] != 10 {
 		t.Errorf("es amount = %v", cell[0])
 	}
-	members, err := ada.Members("Orders", "Region", "Name")
+	members, err := ada.Members(context.Background(), "Orders", "Region", "Name")
 	if err != nil || len(members) != 3 {
 		t.Errorf("members = %v (%v)", members, err)
 	}
 	// Rebuild after new data picks up changes.
-	ada.Query("INSERT INTO fact_orders VALUES (2, 100.0, 1)")
-	if _, err := ada.BuildCube("Orders"); err != nil {
+	ada.Query(context.Background(), "INSERT INTO fact_orders VALUES (2, 100.0, 1)")
+	if _, err := ada.BuildCube(context.Background(), "Orders"); err != nil {
 		t.Fatal(err)
 	}
-	res, _ = ada.Analyze("Orders", olap.Query{Measures: []string{"amount"}})
+	res, _ = ada.Analyze(context.Background(), "Orders", olap.Query{Measures: []string{"amount"}})
 	total, _ := res.Cell(0, 0)
 	if total[0] != 145 {
 		t.Errorf("total after rebuild = %v", total[0])
 	}
-	if err := ada.DeleteCube("Orders"); err != nil {
+	if err := ada.DeleteCube(context.Background(), "Orders"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ada.Analyze("Orders", olap.Query{}); err == nil {
+	if _, err := ada.Analyze(context.Background(), "Orders", olap.Query{}); err == nil {
 		t.Error("deleted cube still queryable")
 	}
 }
@@ -349,14 +350,14 @@ func TestReportingAndDelivery(t *testing.T) {
 			{Kind: "table", Title: "Raw", Query: "SELECT * FROM fact_orders", Limit: 3},
 		},
 	}
-	if err := ada.SaveReport("ops", spec); err != nil {
+	if err := ada.SaveReport(context.Background(), "ops", spec); err != nil {
 		t.Fatal(err)
 	}
-	groups, _ := ada.Reports()
+	groups, _ := ada.Reports(context.Background())
 	if len(groups["ops"]) != 1 {
 		t.Errorf("groups = %v", groups)
 	}
-	out, err := ada.RunReport("orders-dash")
+	out, err := ada.RunReport(context.Background(), "orders-dash")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,16 +366,16 @@ func TestReportingAndDelivery(t *testing.T) {
 	}
 	// Viewers may run but not modify reports.
 	vic := viewer(t, p)
-	if _, err := vic.RunReport("orders-dash"); err != nil {
+	if _, err := vic.RunReport(context.Background(), "orders-dash"); err != nil {
 		t.Errorf("viewer run: %v", err)
 	}
-	if err := vic.DeleteReport("orders-dash"); !errors.Is(err, security.ErrDenied) {
+	if err := vic.DeleteReport(context.Background(), "orders-dash"); !errors.Is(err, security.ErrDenied) {
 		t.Errorf("viewer delete: %v", err)
 	}
 	// Delivery formats.
 	for _, f := range []Format{FormatText, FormatHTML, FormatCSV, FormatJSON} {
 		var buf bytes.Buffer
-		if err := ada.DeliverReport(&buf, "orders-dash", f); err != nil {
+		if err := ada.DeliverReport(context.Background(), &buf, "orders-dash", f); err != nil {
 			t.Errorf("deliver %s: %v", f, err)
 		}
 		if buf.Len() == 0 {
@@ -382,7 +383,7 @@ func TestReportingAndDelivery(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := ada.DeliverReport(&buf, "orders-dash", FormatHTML); err != nil {
+	if err := ada.DeliverReport(context.Background(), &buf, "orders-dash", FormatHTML); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "<svg") {
@@ -398,72 +399,72 @@ func TestReportingAndDelivery(t *testing.T) {
 
 func TestAdminService(t *testing.T) {
 	p, admin := newPlatform(t)
-	tenants, err := admin.Tenants()
+	tenants, err := admin.Tenants(context.Background())
 	if err != nil || len(tenants) != 1 {
 		t.Fatalf("tenants = %v (%v)", tenants, err)
 	}
-	users, _ := admin.Users()
+	users, _ := admin.Users(context.Background())
 	if len(users) != 3 {
 		t.Errorf("users = %v", users)
 	}
 	// Usage accrues from service calls.
 	ada := designer(t, p)
-	ada.Query("CREATE TABLE t (x INT)")
-	ada.Query("INSERT INTO t VALUES (1)")
-	usage, err := admin.TenantUsage("acme")
+	ada.Query(context.Background(), "CREATE TABLE t (x INT)")
+	ada.Query(context.Background(), "INSERT INTO t VALUES (1)")
+	usage, err := admin.TenantUsage(context.Background(), "acme")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if usage[tenant.MetricAPICalls] == 0 || usage[tenant.MetricQueries] == 0 {
 		t.Errorf("usage = %v", usage)
 	}
-	inv, err := admin.TenantInvoice("acme")
+	inv, err := admin.TenantInvoice(context.Background(), "acme")
 	if err != nil || inv.Total <= 0 {
 		t.Errorf("invoice = %+v (%v)", inv, err)
 	}
 	// Suspension blocks tenant logins.
-	if err := admin.SuspendTenant("acme"); err != nil {
+	if err := admin.SuspendTenant(context.Background(), "acme"); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := p.Login("ada", "pw"); err == nil {
 		t.Error("login into suspended tenant accepted")
 	}
-	admin.ResumeTenant("acme")
+	admin.ResumeTenant(context.Background(), "acme")
 	if _, _, err := p.Login("ada", "pw"); err != nil {
 		t.Errorf("after resume: %v", err)
 	}
 	// Audit log captures security events.
-	events, err := admin.AuditLog("")
+	events, err := admin.AuditLog(context.Background(), "")
 	if err != nil || len(events) == 0 {
 		t.Errorf("audit = %d events (%v)", len(events), err)
 	}
 	// Role/group management round trip.
-	if err := admin.CreateRole("custom", "", AuthReportRead); err != nil {
+	if err := admin.CreateRole(context.Background(), "custom", "", AuthReportRead); err != nil {
 		t.Fatal(err)
 	}
-	if err := admin.CreateGroup("night-shift", "", "custom"); err != nil {
+	if err := admin.CreateGroup(context.Background(), "night-shift", "", "custom"); err != nil {
 		t.Fatal(err)
 	}
-	if err := admin.AddToGroup("vic", "night-shift"); err != nil {
+	if err := admin.AddToGroup(context.Background(), "vic", "night-shift"); err != nil {
 		t.Fatal(err)
 	}
-	if err := admin.SetUserActive("vic", false); err != nil {
+	if err := admin.SetUserActive(context.Background(), "vic", false); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := p.Login("vic", "pw"); err == nil {
 		t.Error("disabled user logged in")
 	}
-	if err := admin.DeleteUser("vic"); err != nil {
+	if err := admin.DeleteUser(context.Background(), "vic"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestTenantIsolationThroughServices(t *testing.T) {
 	p, admin := newPlatform(t)
-	if _, err := admin.CreateTenant("globex", "Globex", "standard"); err != nil {
+	if _, err := admin.CreateTenant(context.Background(), "globex", "Globex", "standard"); err != nil {
 		t.Fatal(err)
 	}
-	if err := admin.CreateUser(security.UserSpec{
+	if err := admin.CreateUser(context.Background(), security.UserSpec{
 		Username: "gus", Password: "pw", Tenant: "globex", Roles: []string{RoleDesigner},
 	}); err != nil {
 		t.Fatal(err)
@@ -473,14 +474,14 @@ func TestTenantIsolationThroughServices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ada.Query("CREATE TABLE secrets (v TEXT)")
-	ada.Query("INSERT INTO secrets VALUES ('acme-only')")
+	ada.Query(context.Background(), "CREATE TABLE secrets (v TEXT)")
+	ada.Query(context.Background(), "INSERT INTO secrets VALUES ('acme-only')")
 	// Same logical name in the other tenant is a different table.
-	if _, err := gus.Query("SELECT * FROM secrets"); err == nil {
+	if _, err := gus.Query(context.Background(), "SELECT * FROM secrets"); err == nil {
 		t.Error("cross-tenant table visible")
 	}
-	gus.Query("CREATE TABLE secrets (v TEXT)")
-	res, err := gus.Query("SELECT COUNT(*) FROM secrets")
+	gus.Query(context.Background(), "CREATE TABLE secrets (v TEXT)")
+	res, err := gus.Query(context.Background(), "SELECT COUNT(*) FROM secrets")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -488,8 +489,8 @@ func TestTenantIsolationThroughServices(t *testing.T) {
 		t.Error("cross-tenant rows leaked")
 	}
 	// Metadata is tenant-scoped too.
-	ada.CreateDataSet("ds", "", "SELECT * FROM secrets", "")
-	sets, _ := gus.DataSets()
+	ada.CreateDataSet(context.Background(), "ds", "", "SELECT * FROM secrets", "")
+	sets, _ := gus.DataSets(context.Background())
 	if len(sets) != 0 {
 		t.Errorf("cross-tenant data sets visible: %v", sets)
 	}

@@ -1,0 +1,49 @@
+package sql
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkCtxOverhead_* measure what the context-first request path
+// costs on the hot query loop: the checkpointed executor polls ctx.Err
+// only every 64 ticks, so a live (cancellable) context should stay
+// within ~2% of the background path. bench.sh records these next to the
+// E1/E5 figures in BENCH_PR3.json.
+
+const ctxBenchQuery = `SELECT d.name, COUNT(*) AS n, SUM(b.v) AS total
+	FROM big b JOIN dept d ON b.dept_id = d.id
+	GROUP BY d.name ORDER BY d.name`
+
+func benchCtxDB(b *testing.B) *DB {
+	b.Helper()
+	db := bigJoinDB(b, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	return db
+}
+
+func BenchmarkCtxOverhead_QueryScan_Background(b *testing.B) {
+	db := benchCtxDB(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := db.QueryContext(context.Background(), ctxBenchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCtxOverhead_QueryScan_LiveCtx(b *testing.B) {
+	db := benchCtxDB(b)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.QueryContext(ctx, ctxBenchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Mutations are measured indirectly: an UPDATE benchmark would grow
+// MVCC versions with b.N and measure vacuum timing, not the checkpoint.
+// The write path shares the same Tx.stepCtx checkpoints the scan pair
+// exercises.

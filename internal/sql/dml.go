@@ -27,6 +27,9 @@ func (ex *executor) runInsert(ins *InsertStmt, params []storage.Value) (*Result,
 	ec := &evalCtx{params: params, exec: ex, now: ex.now}
 	affected := 0
 	for _, exprRow := range ins.Rows {
+		if err := ex.step(); err != nil {
+			return nil, err
+		}
 		if len(exprRow) != len(cols) {
 			return nil, fmt.Errorf("sql: INSERT expects %d values, got %d", len(cols), len(exprRow))
 		}
@@ -80,6 +83,9 @@ func (ex *executor) runUpdate(upd *UpdateStmt, params []storage.Value) (*Result,
 	}
 	affected := 0
 	for _, tgt := range targets {
+		if err := ex.step(); err != nil {
+			return nil, err
+		}
 		ec := &evalCtx{params: params, exec: ex, now: ex.now,
 			row: makeEnv(bindings, joined{tgt.row}, nil)}
 		if upd.Where != nil {
@@ -131,6 +137,9 @@ func (ex *executor) runDelete(del *DeleteStmt, params []storage.Value) (*Result,
 		return nil, err
 	}
 	for _, rid := range rids {
+		if err := ex.step(); err != nil {
+			return nil, err
+		}
 		if err := ex.tx.DeleteRID(del.Table, rid); err != nil {
 			return nil, err
 		}

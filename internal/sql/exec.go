@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,20 +36,23 @@ type Result struct {
 // Query parses and executes a statement inside its own transaction.
 // Positional ? placeholders bind to args in order.
 func (db *DB) Query(query string, args ...storage.Value) (*Result, error) {
+	return db.QueryContext(context.Background(), query, args...)
+}
+
+// QueryContext is Query bound to ctx: the executor checks ctx at
+// row-granularity checkpoints (scans, joins, grouping, sorting), and a
+// cancelled or expired ctx aborts the statement with the ctx error after
+// rolling the transaction back.
+func (db *DB) QueryContext(ctx context.Context, query string, args ...storage.Value) (*Result, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	var res *Result
-	err = db.Engine.Update(func(tx *storage.Tx) error {
-		var err error
-		res, err = db.exec(tx, stmt, args)
-		return err
-	})
-	return res, err
+	return db.QueryStatementContext(ctx, stmt, args...)
 }
 
-// QueryTx executes a statement inside an existing transaction.
+// QueryTx executes a statement inside an existing transaction. The
+// executor observes the transaction's context (see Engine.BeginCtx).
 func (db *DB) QueryTx(tx *storage.Tx, query string, args ...storage.Value) (*Result, error) {
 	stmt, err := Parse(query)
 	if err != nil {
@@ -60,13 +64,21 @@ func (db *DB) QueryTx(tx *storage.Tx, query string, args ...storage.Value) (*Res
 // QueryStatement executes an already-parsed (possibly rewritten)
 // statement inside its own transaction.
 func (db *DB) QueryStatement(stmt Statement, args ...storage.Value) (*Result, error) {
+	return db.QueryStatementContext(context.Background(), stmt, args...)
+}
+
+// QueryStatementContext is QueryStatement bound to ctx.
+func (db *DB) QueryStatementContext(ctx context.Context, stmt Statement, args ...storage.Value) (*Result, error) {
 	var res *Result
-	err := db.Engine.Update(func(tx *storage.Tx) error {
+	err := db.Engine.UpdateCtx(ctx, func(tx *storage.Tx) error {
 		var err error
 		res, err = db.exec(tx, stmt, args)
 		return err
 	})
-	return res, err
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // QueryStatementTx executes an already-parsed statement inside an
@@ -77,7 +89,12 @@ func (db *DB) QueryStatementTx(tx *storage.Tx, stmt Statement, args ...storage.V
 
 // Exec runs a statement and returns the affected row count.
 func (db *DB) Exec(query string, args ...storage.Value) (int, error) {
-	res, err := db.Query(query, args...)
+	return db.ExecContext(context.Background(), query, args...)
+}
+
+// ExecContext is Exec bound to ctx.
+func (db *DB) ExecContext(ctx context.Context, query string, args ...storage.Value) (int, error) {
+	res, err := db.QueryContext(ctx, query, args...)
 	if err != nil {
 		return 0, err
 	}
@@ -85,7 +102,7 @@ func (db *DB) Exec(query string, args ...storage.Value) (int, error) {
 }
 
 func (db *DB) exec(tx *storage.Tx, stmt Statement, params []storage.Value) (*Result, error) {
-	ex := &executor{db: db, tx: tx, now: time.Now().UTC().Truncate(time.Microsecond)}
+	ex := &executor{db: db, tx: tx, ctx: tx.Context(), now: time.Now().UTC().Truncate(time.Microsecond)}
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		return ex.runSelect(s, params, nil)
@@ -115,9 +132,22 @@ func (db *DB) exec(tx *storage.Tx, stmt Statement, params []storage.Value) (*Res
 }
 
 type executor struct {
-	db  *DB
-	tx  *storage.Tx
-	now time.Time
+	db    *DB
+	tx    *storage.Tx
+	ctx   context.Context
+	now   time.Time
+	ticks int
+}
+
+// step is the executor's cooperative-cancellation checkpoint, called once
+// per row in the filter/join/group/projection loops. Only every 64th call
+// consults the context so the hot path stays branch-cheap.
+func (ex *executor) step() error {
+	ex.ticks++
+	if ex.ticks&63 != 0 || ex.ctx == nil {
+		return nil
+	}
+	return ex.ctx.Err()
 }
 
 // joined is one row of the join pipeline: one storage.Row per bound table
@@ -176,6 +206,9 @@ func (ex *executor) runSelect(sel *SelectStmt, params []storage.Value, outer *ro
 	if sel.Where != nil {
 		filtered := rows[:0]
 		for _, row := range rows {
+			if err := ex.step(); err != nil {
+				return nil, err
+			}
 			ok, err := baseCtx(row).evalBool(sel.Where)
 			if err != nil {
 				return nil, err
@@ -254,6 +287,9 @@ func (ex *executor) runSelect(sel *SelectStmt, params []storage.Value, outer *ro
 			return nil, err
 		}
 		for _, g := range groups {
+			if err := ex.step(); err != nil {
+				return nil, err
+			}
 			ec := baseCtx(g.rep)
 			ec.aggs = g.aggs
 			if sel.Having != nil {
@@ -274,6 +310,9 @@ func (ex *executor) runSelect(sel *SelectStmt, params []storage.Value, outer *ro
 			return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
 		}
 		for _, row := range rows {
+			if err := ex.step(); err != nil {
+				return nil, err
+			}
 			if err := project(baseCtx(row)); err != nil {
 				return nil, err
 			}
@@ -294,8 +333,14 @@ func (ex *executor) runSelect(sel *SelectStmt, params []storage.Value, outer *ro
 		outs = dedup
 	}
 
-	// ORDER BY.
+	// ORDER BY. Sorting is not interruptible mid-comparison, so the
+	// checkpoint runs once before the sort starts.
 	if len(orderExprs) > 0 {
+		if ex.ctx != nil {
+			if err := ex.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		desc := make([]bool, len(sel.OrderBy))
 		for i, oi := range sel.OrderBy {
 			desc[i] = oi.Desc
@@ -489,6 +534,9 @@ func (ex *executor) groupRows(rows []joined, groupBy []Expr, aggNodes []*FuncCal
 	buckets := map[string]*bucket{}
 
 	for _, row := range rows {
+		if err := ex.step(); err != nil {
+			return nil, err
+		}
 		ec := baseCtx(row)
 		keyVals := make(storage.Row, len(groupBy))
 		for i, ge := range groupBy {

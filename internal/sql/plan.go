@@ -284,7 +284,13 @@ func (ex *executor) join(oldBindings []binding, newB binding, left []joined, rig
 
 	if ref.Join == JoinCross {
 		for _, l := range left {
+			if err := ex.step(); err != nil {
+				return nil, err
+			}
 			for _, r := range right {
+				if err := ex.step(); err != nil {
+					return nil, err
+				}
 				out = append(out, append(append(joined(nil), l...), r))
 			}
 		}
@@ -309,6 +315,9 @@ func (ex *executor) join(oldBindings []binding, newB binding, left []joined, rig
 			table[k] = append(table[k], r)
 		}
 		for _, l := range left {
+			if err := ex.step(); err != nil {
+				return nil, err
+			}
 			lec := &evalCtx{params: params, now: ex.now, exec: ex,
 				row: makeEnv(oldBindings, l, outer)}
 			v, err := lec.eval(leftExpr)
@@ -336,6 +345,9 @@ func (ex *executor) join(oldBindings []binding, newB binding, left []joined, rig
 	for _, l := range left {
 		matched := false
 		for _, r := range right {
+			if err := ex.step(); err != nil {
+				return nil, err
+			}
 			row := append(append(joined(nil), l...), r)
 			ec := &evalCtx{params: params, now: ex.now, exec: ex,
 				row: makeEnv(allBindings, row, outer)}

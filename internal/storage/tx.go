@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -14,6 +15,7 @@ import (
 type Tx struct {
 	e    *Engine
 	id   uint64
+	ctx  context.Context
 	snap snapshot
 	done bool
 	ops  []txOp
@@ -33,20 +35,32 @@ type txOp struct {
 	row   Row // opInsert only
 }
 
-// Begin starts a new transaction.
+// Begin starts a new transaction bound to the background context.
 func (e *Engine) Begin() *Tx {
+	return e.BeginCtx(context.Background())
+}
+
+// BeginCtx starts a new transaction whose scans observe ctx: once ctx is
+// cancelled or past its deadline, row iteration stops at the next
+// checkpoint and the ctx error surfaces from the scan.
+func (e *Engine) BeginCtx(ctx context.Context) *Tx {
 	e.txMu.Lock()
 	id := e.nextTxID.Add(1) - 1
 	e.txActive[id] = true
 	snap := e.takeSnapshotTxLocked()
 	delete(snap.active, id) // we are not concurrent with ourselves
 	e.txMu.Unlock()
-	return &Tx{e: e, id: id, snap: snap}
+	return &Tx{e: e, id: id, ctx: ctx, snap: snap}
 }
 
 // View runs fn inside a read-only transaction that is always rolled back.
 func (e *Engine) View(fn func(tx *Tx) error) error {
-	tx := e.Begin()
+	return e.ViewCtx(context.Background(), fn)
+}
+
+// ViewCtx is View with a cancellable transaction context.
+func (e *Engine) ViewCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	tx := e.BeginCtx(ctx)
 	defer tx.Rollback()
 	return fn(tx)
 }
@@ -54,12 +68,45 @@ func (e *Engine) View(fn func(tx *Tx) error) error {
 // Update runs fn inside a transaction, committing on nil error and
 // rolling back otherwise.
 func (e *Engine) Update(fn func(tx *Tx) error) error {
-	tx := e.Begin()
+	return e.UpdateCtx(context.Background(), fn)
+}
+
+// UpdateCtx is Update with a cancellable transaction context. A context
+// cancelled before commit rolls the transaction back, so partial work
+// from an abandoned request never becomes visible.
+func (e *Engine) UpdateCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	tx := e.BeginCtx(ctx)
 	if err := fn(tx); err != nil {
 		tx.Rollback()
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		tx.Rollback()
+		return err
+	}
 	return tx.Commit()
+}
+
+// Context returns the context the transaction was started with.
+func (tx *Tx) Context() context.Context {
+	if tx.ctx == nil {
+		return context.Background()
+	}
+	return tx.ctx
+}
+
+// ctxCheckEvery is the row granularity of cooperative-cancellation
+// checkpoints in scans: coarse enough to stay off profiles, fine enough
+// that a cancelled request stops within a few dozen rows.
+const ctxCheckEvery = 64
+
+// stepCtx is the per-row checkpoint used by the scan loops. i is the row
+// ordinal; only every ctxCheckEvery-th row pays for the ctx.Err call.
+func (tx *Tx) stepCtx(i int) error {
+	if tx.ctx == nil || i%ctxCheckEvery != 0 {
+		return nil
+	}
+	return tx.ctx.Err()
 }
 
 // ID returns the transaction id (useful in tests and logs).
@@ -278,7 +325,10 @@ func (tx *Tx) Scan(tableName string, fn func(rid RID, row Row) bool) error {
 		}
 		return ids
 	})
-	for _, m := range matches {
+	for i, m := range matches {
+		if err := tx.stepCtx(i); err != nil {
+			return err
+		}
 		if !fn(m.rid, m.row) {
 			return nil
 		}
@@ -311,7 +361,10 @@ func (tx *Tx) LookupEqual(tableName, indexName string, key []Value, fn func(rid 
 	matches := tx.collectVisible(t, func() []rowID {
 		return ix.lookup(EncodeKey(key...))
 	})
-	for _, m := range matches {
+	for i, m := range matches {
+		if err := tx.stepCtx(i); err != nil {
+			return err
+		}
 		if !fn(m.rid, m.row) {
 			return nil
 		}
@@ -358,7 +411,10 @@ func (tx *Tx) ScanRange(tableName, indexName string, lo, hi []Value, fn func(rid
 		})
 		return all
 	})
-	for _, m := range matches {
+	for i, m := range matches {
+		if err := tx.stepCtx(i); err != nil {
+			return err
+		}
 		if !fn(m.rid, m.row) {
 			return nil
 		}

@@ -1,0 +1,23 @@
+package tenant
+
+import "context"
+
+// ctxKey is the private type for the tenant-identity context key. A typed
+// key cannot collide with keys from other packages, and keeping the type
+// unexported forces all access through NewContext/FromContext.
+type ctxKey struct{}
+
+// NewContext returns a child of ctx carrying the tenant id. The server
+// layer stamps the authenticated tenant here when a request enters the
+// platform, so identity and request lifetime travel on the same value.
+func NewContext(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// FromContext returns the tenant id carried by ctx, and whether one was
+// set. Lower layers may use it for attribution (logs, metering, traces);
+// authorization still flows through explicit Catalog/Session values.
+func FromContext(ctx context.Context) (string, bool) {
+	id, ok := ctx.Value(ctxKey{}).(string)
+	return id, ok && id != ""
+}

@@ -12,6 +12,7 @@
 package tenant
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"regexp"
@@ -351,17 +352,19 @@ func (c *Catalog) logical(physical string) string {
 	return strings.TrimPrefix(physical, c.prefix)
 }
 
-// Query executes SQL with logical table names, metering the call.
-func (c *Catalog) Query(query string, args ...storage.Value) (*sql.Result, error) {
+// Query executes SQL with logical table names, metering the call. ctx
+// bounds the statement: cancellation or deadline expiry aborts execution
+// at the next row checkpoint and the transaction rolls back.
+func (c *Catalog) Query(ctx context.Context, query string, args ...storage.Value) (*sql.Result, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.checkQuota(stmt); err != nil {
+	if err := c.checkQuota(ctx, stmt); err != nil {
 		return nil, err
 	}
 	rewritten := sql.RewriteTables(stmt, c.physical)
-	res, err := c.db.QueryStatement(rewritten, args...)
+	res, err := c.db.QueryStatementContext(ctx, rewritten, args...)
 	if err != nil {
 		return nil, err
 	}
@@ -373,8 +376,8 @@ func (c *Catalog) Query(query string, args ...storage.Value) (*sql.Result, error
 }
 
 // Exec is Query returning only the affected count.
-func (c *Catalog) Exec(query string, args ...storage.Value) (int, error) {
-	res, err := c.Query(query, args...)
+func (c *Catalog) Exec(ctx context.Context, query string, args ...storage.Value) (int, error) {
+	res, err := c.Query(ctx, query, args...)
 	if err != nil {
 		return 0, err
 	}
@@ -382,7 +385,7 @@ func (c *Catalog) Exec(query string, args ...storage.Value) (int, error) {
 }
 
 // checkQuota enforces plan limits for DDL/DML statements.
-func (c *Catalog) checkQuota(stmt sql.Statement) error {
+func (c *Catalog) checkQuota(ctx context.Context, stmt sql.Statement) error {
 	info, err := c.reg.Get(c.id)
 	if err != nil {
 		return err
@@ -401,7 +404,7 @@ func (c *Catalog) checkQuota(stmt sql.Statement) error {
 		}
 	case *sql.InsertStmt:
 		if plan.MaxRows > 0 {
-			total, err := c.totalRows()
+			total, err := c.totalRows(ctx)
 			if err != nil {
 				return err
 			}
@@ -426,9 +429,9 @@ func (c *Catalog) Tables() []string {
 }
 
 // totalRows counts committed rows across the tenant's tables.
-func (c *Catalog) totalRows() (int, error) {
+func (c *Catalog) totalRows(ctx context.Context) (int, error) {
 	total := 0
-	err := c.reg.engine.View(func(tx *storage.Tx) error {
+	err := c.reg.engine.ViewCtx(ctx, func(tx *storage.Tx) error {
 		for _, logical := range c.Tables() {
 			n, err := tx.Count(c.physical(logical))
 			if err != nil {
@@ -442,7 +445,7 @@ func (c *Catalog) totalRows() (int, error) {
 }
 
 // RowCount reports total committed rows in the tenant's namespace.
-func (c *Catalog) RowCount() (int, error) { return c.totalRows() }
+func (c *Catalog) RowCount(ctx context.Context) (int, error) { return c.totalRows(ctx) }
 
 // Schema returns the schema of a logical table, with the logical name
 // restored.

@@ -1,6 +1,7 @@
 package tenant
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -58,23 +59,23 @@ func TestCatalogIsolation(t *testing.T) {
 	cb, _ := r.Catalog("b")
 
 	// Same logical table name, different physical tables.
-	if _, err := ca.Exec("CREATE TABLE sales (id INT PRIMARY KEY, amount FLOAT)"); err != nil {
+	if _, err := ca.Exec(context.Background(), "CREATE TABLE sales (id INT PRIMARY KEY, amount FLOAT)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cb.Exec("CREATE TABLE sales (id INT PRIMARY KEY, amount FLOAT)"); err != nil {
+	if _, err := cb.Exec(context.Background(), "CREATE TABLE sales (id INT PRIMARY KEY, amount FLOAT)"); err != nil {
 		t.Fatal(err)
 	}
-	ca.Exec("INSERT INTO sales VALUES (1, 10.0), (2, 20.0)")
-	cb.Exec("INSERT INTO sales VALUES (1, 999.0)")
+	ca.Exec(context.Background(), "INSERT INTO sales VALUES (1, 10.0), (2, 20.0)")
+	cb.Exec(context.Background(), "INSERT INTO sales VALUES (1, 999.0)")
 
-	resA, err := ca.Query("SELECT COUNT(*), SUM(amount) FROM sales")
+	resA, err := ca.Query(context.Background(), "SELECT COUNT(*), SUM(amount) FROM sales")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resA.Rows[0][0] != int64(2) || resA.Rows[0][1] != 30.0 {
 		t.Errorf("tenant a sees %v", resA.Rows[0])
 	}
-	resB, _ := cb.Query("SELECT COUNT(*), SUM(amount) FROM sales")
+	resB, _ := cb.Query(context.Background(), "SELECT COUNT(*), SUM(amount) FROM sales")
 	if resB.Rows[0][0] != int64(1) {
 		t.Errorf("tenant b sees %v", resB.Rows[0])
 	}
@@ -101,11 +102,11 @@ func TestCatalogJoinsAndAliases(t *testing.T) {
 	r := newRegistry(t)
 	r.Create("a", "A", "standard")
 	c, _ := r.Catalog("a")
-	c.Exec("CREATE TABLE d (id INT PRIMARY KEY, name TEXT)")
-	c.Exec("CREATE TABLE f (d_id INT, v INT)")
-	c.Exec("INSERT INTO d VALUES (1, 'x'), (2, 'y')")
-	c.Exec("INSERT INTO f VALUES (1, 10), (1, 5), (2, 1)")
-	res, err := c.Query(`
+	c.Exec(context.Background(), "CREATE TABLE d (id INT PRIMARY KEY, name TEXT)")
+	c.Exec(context.Background(), "CREATE TABLE f (d_id INT, v INT)")
+	c.Exec(context.Background(), "INSERT INTO d VALUES (1, 'x'), (2, 'y')")
+	c.Exec(context.Background(), "INSERT INTO f VALUES (1, 10), (1, 5), (2, 1)")
+	res, err := c.Query(context.Background(), `
 		SELECT d.name, SUM(f.v) AS total
 		FROM f JOIN d ON f.d_id = d.id
 		GROUP BY d.name ORDER BY d.name`)
@@ -116,7 +117,7 @@ func TestCatalogJoinsAndAliases(t *testing.T) {
 		t.Errorf("rows = %v", res.Rows)
 	}
 	// Subqueries are rewritten too.
-	res, err = c.Query("SELECT name FROM d WHERE id IN (SELECT d_id FROM f WHERE v > 9)")
+	res, err = c.Query(context.Background(), "SELECT name FROM d WHERE id IN (SELECT d_id FROM f WHERE v > 9)")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestSuspendResume(t *testing.T) {
 	r := newRegistry(t)
 	r.Create("a", "A", "free")
 	c, _ := r.Catalog("a")
-	c.Exec("CREATE TABLE t (x INT)")
+	c.Exec(context.Background(), "CREATE TABLE t (x INT)")
 	if err := r.Suspend("a"); err != nil {
 		t.Fatal(err)
 	}
@@ -137,11 +138,11 @@ func TestSuspendResume(t *testing.T) {
 		t.Errorf("catalog for suspended tenant: %v", err)
 	}
 	// An already-open catalog is blocked at the next statement.
-	if _, err := c.Query("SELECT * FROM t"); !errors.Is(err, ErrSuspended) {
+	if _, err := c.Query(context.Background(), "SELECT * FROM t"); !errors.Is(err, ErrSuspended) {
 		t.Errorf("query on suspended tenant: %v", err)
 	}
 	r.Resume("a")
-	if _, err := c.Query("SELECT * FROM t"); err != nil {
+	if _, err := c.Query(context.Background(), "SELECT * FROM t"); err != nil {
 		t.Errorf("after resume: %v", err)
 	}
 }
@@ -151,23 +152,23 @@ func TestQuotas(t *testing.T) {
 	r.DefinePlan(Plan{Name: "tiny", MaxTables: 1, MaxRows: 3})
 	r.Create("a", "A", "tiny")
 	c, _ := r.Catalog("a")
-	if _, err := c.Exec("CREATE TABLE t1 (x INT)"); err != nil {
+	if _, err := c.Exec(context.Background(), "CREATE TABLE t1 (x INT)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Exec("CREATE TABLE t2 (x INT)"); !errors.Is(err, ErrQuota) {
+	if _, err := c.Exec(context.Background(), "CREATE TABLE t2 (x INT)"); !errors.Is(err, ErrQuota) {
 		t.Errorf("table quota: %v", err)
 	}
-	if _, err := c.Exec("INSERT INTO t1 VALUES (1), (2), (3)"); err != nil {
+	if _, err := c.Exec(context.Background(), "INSERT INTO t1 VALUES (1), (2), (3)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Exec("INSERT INTO t1 VALUES (4)"); !errors.Is(err, ErrQuota) {
+	if _, err := c.Exec(context.Background(), "INSERT INTO t1 VALUES (4)"); !errors.Is(err, ErrQuota) {
 		t.Errorf("row quota: %v", err)
 	}
 	// Upgrading the plan lifts the quota.
 	if err := r.SetPlan("a", "enterprise"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Exec("INSERT INTO t1 VALUES (4)"); err != nil {
+	if _, err := c.Exec(context.Background(), "INSERT INTO t1 VALUES (4)"); err != nil {
 		t.Errorf("after upgrade: %v", err)
 	}
 }
@@ -176,10 +177,10 @@ func TestMeteringAndInvoice(t *testing.T) {
 	r := newRegistry(t)
 	r.Create("a", "A", "standard")
 	c, _ := r.Catalog("a")
-	c.Exec("CREATE TABLE t (x INT)")
-	c.Exec("INSERT INTO t VALUES (1), (2)")
-	c.Query("SELECT * FROM t")
-	c.Query("SELECT COUNT(*) FROM t")
+	c.Exec(context.Background(), "CREATE TABLE t (x INT)")
+	c.Exec(context.Background(), "INSERT INTO t VALUES (1), (2)")
+	c.Query(context.Background(), "SELECT * FROM t")
+	c.Query(context.Background(), "SELECT COUNT(*) FROM t")
 	usage, err := r.Usage("a")
 	if err != nil {
 		t.Fatal(err)
@@ -215,8 +216,8 @@ func TestDropTenantRemovesPhysicalTables(t *testing.T) {
 	r.Create("b", "B", "standard")
 	ca, _ := r.Catalog("a")
 	cb, _ := r.Catalog("b")
-	ca.Exec("CREATE TABLE t (x INT)")
-	cb.Exec("CREATE TABLE t (x INT)")
+	ca.Exec(context.Background(), "CREATE TABLE t (x INT)")
+	cb.Exec(context.Background(), "CREATE TABLE t (x INT)")
 	if err := r.Drop("a"); err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestSchemaLogicalName(t *testing.T) {
 	r := newRegistry(t)
 	r.Create("a", "A", "standard")
 	c, _ := r.Catalog("a")
-	c.Exec("CREATE TABLE orders (id INT PRIMARY KEY)")
+	c.Exec(context.Background(), "CREATE TABLE orders (id INT PRIMARY KEY)")
 	s, err := c.Schema("orders")
 	if err != nil {
 		t.Fatal(err)

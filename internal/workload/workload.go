@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -71,7 +72,7 @@ func (h Healthcare) LoadAdmissions(e *storage.Engine, table string) (int, error)
 		},
 		Sink: sink,
 	}
-	_, written, err := pipe.Run()
+	_, written, err := pipe.Run(context.Background())
 	return written, err
 }
 

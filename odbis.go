@@ -30,8 +30,10 @@
 package odbis
 
 import (
+	"context"
 	"fmt"
 	"net/http"
+	"time"
 
 	"github.com/odbis/odbis/internal/mddws"
 	"github.com/odbis/odbis/internal/metamodel"
@@ -176,6 +178,16 @@ type Options struct {
 	// TokenSecret signs session tokens; random (non-restart-safe) when
 	// empty.
 	TokenSecret []byte
+	// RequestTimeout caps every authenticated HTTP API call: at the
+	// deadline the request context is cancelled, in-flight work (SQL
+	// scans, cube builds, ETL jobs) aborts at its next checkpoint and
+	// rolls back, and the client receives 504 Gateway Timeout. Zero means
+	// no server-imposed deadline.
+	RequestTimeout time.Duration
+	// SchedulerResolution is the integration scheduler's tick interval
+	// (default 1s). The scheduler loop is bound to the platform lifetime:
+	// Close cancels it and waits for any in-flight job.
+	SchedulerResolution time.Duration
 }
 
 // Platform is a running ODBIS instance.
@@ -222,18 +234,22 @@ func Open(opts Options) (*Platform, error) {
 		engine.Close()
 		return nil, err
 	}
+	svc.StartScheduler(context.Background(), opts.SchedulerResolution)
 	return &Platform{
 		engine:   engine,
 		registry: registry,
 		security: sec,
 		services: svc,
 		mddws:    designer,
-		handler:  server.New(svc),
+		handler:  server.NewWithOptions(svc, server.Options{RequestTimeout: opts.RequestTimeout}),
 	}, nil
 }
 
-// Close checkpoints (for durable platforms) and releases the engine.
+// Close stops the platform's background machinery (scheduler loop,
+// detached bus deliveries), checkpoints (for durable platforms) and
+// releases the engine. No platform goroutine survives Close.
 func (p *Platform) Close() error {
+	p.services.Close()
 	if err := p.engine.Checkpoint(); err != nil {
 		p.engine.Close()
 		return err

@@ -1,6 +1,7 @@
 package odbis
 
 import (
+	"context"
 	"bytes"
 	"net/http/httptest"
 	"strings"
@@ -28,10 +29,10 @@ func TestEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := admin.CreateTenant("acme", "Acme Corp", "standard"); err != nil {
+	if _, err := admin.CreateTenant(context.Background(), "acme", "Acme Corp", "standard"); err != nil {
 		t.Fatal(err)
 	}
-	if err := admin.CreateUser(UserSpec{
+	if err := admin.CreateUser(context.Background(), UserSpec{
 		Username: "ada", Password: "pw", Tenant: "acme", Roles: []string{RoleDesigner},
 	}); err != nil {
 		t.Fatal(err)
@@ -45,7 +46,7 @@ func TestEndToEnd(t *testing.T) {
 	}
 
 	// Integration: load CSV into the warehouse.
-	_, err = ada.RunJob(&JobSpec{
+	_, err = ada.RunJob(context.Background(), &JobSpec{
 		Name: "load",
 		CSVData: `region,amount,qty
 north,10.5,1
@@ -60,11 +61,11 @@ south,20.0,3
 	}
 
 	// Metadata: a reusable data set.
-	if err := ada.CreateDataSet("by-region", "",
+	if err := ada.CreateDataSet(context.Background(), "by-region", "",
 		"SELECT region, SUM(total) AS total FROM sales GROUP BY region ORDER BY region", ""); err != nil {
 		t.Fatal(err)
 	}
-	res, err := ada.RunDataSet("by-region")
+	res, err := ada.RunDataSet(context.Background(), "by-region")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ south,20.0,3
 	}
 
 	// Analysis: a degenerate-dimension cube.
-	if err := ada.DefineCube(CubeSpec{
+	if err := ada.DefineCube(context.Background(), CubeSpec{
 		Name:      "Sales",
 		FactTable: "sales",
 		Measures:  []MeasureSpec{{Name: "total", Column: "total", Agg: AggSum}},
@@ -83,7 +84,7 @@ south,20.0,3
 	}); err != nil {
 		t.Fatal(err)
 	}
-	cres, err := ada.Analyze("Sales", CubeQuery{
+	cres, err := ada.Analyze(context.Background(), "Sales", CubeQuery{
 		Rows: []LevelRef{{Dimension: "Region", Level: "Region"}},
 	})
 	if err != nil {
@@ -94,7 +95,7 @@ south,20.0,3
 	}
 
 	// Reporting: dashboard in every delivery format.
-	if err := ada.SaveReport("ops", &ReportSpec{
+	if err := ada.SaveReport(context.Background(), "ops", &ReportSpec{
 		Name: "dash", Title: "Sales Dashboard",
 		Elements: []ReportElement{
 			{Kind: "kpi", Title: "Total", Query: "SELECT SUM(total) FROM sales"},
@@ -105,7 +106,7 @@ south,20.0,3
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := ada.DeliverReport(&buf, "dash", FormatHTML); err != nil {
+	if err := ada.DeliverReport(context.Background(), &buf, "dash", FormatHTML); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Sales Dashboard") {
@@ -113,7 +114,7 @@ south,20.0,3
 	}
 
 	// Billing accrued.
-	inv, err := admin.TenantInvoice("acme")
+	inv, err := admin.TenantInvoice(context.Background(), "acme")
 	if err != nil || inv.Total <= 0 {
 		t.Errorf("invoice = %+v (%v)", inv, err)
 	}
@@ -143,11 +144,11 @@ func TestDurablePlatformSurvivesRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	admin.CreateTenant("acme", "Acme", "standard")
-	admin.CreateUser(UserSpec{Username: "ada", Password: "pw", Tenant: "acme", Roles: []string{RoleDesigner}})
+	admin.CreateTenant(context.Background(), "acme", "Acme", "standard")
+	admin.CreateUser(context.Background(), UserSpec{Username: "ada", Password: "pw", Tenant: "acme", Roles: []string{RoleDesigner}})
 	ada, _, _ := p.Login("ada", "pw")
-	ada.Query("CREATE TABLE t (x INT)")
-	ada.Query("INSERT INTO t VALUES (1), (2), (3)")
+	ada.Query(context.Background(), "CREATE TABLE t (x INT)")
+	ada.Query(context.Background(), "INSERT INTO t VALUES (1), (2), (3)")
 	if err := p.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestDurablePlatformSurvivesRestart(t *testing.T) {
 	if err != nil {
 		t.Fatalf("login after restart: %v", err)
 	}
-	res, err := ada2.Query("SELECT COUNT(*) FROM t")
+	res, err := ada2.Query(context.Background(), "SELECT COUNT(*) FROM t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,15 +192,15 @@ func TestBuildStarPublicAPI(t *testing.T) {
 	// The generated DDL deploys through a tenant session.
 	p := openPlatform(t)
 	admin, _, _ := p.Login("admin", "admin")
-	admin.CreateTenant("clinic", "Clinic", "standard")
-	admin.CreateUser(UserSpec{Username: "d", Password: "pw", Tenant: "clinic", Roles: []string{RoleDesigner}})
+	admin.CreateTenant(context.Background(), "clinic", "Clinic", "standard")
+	admin.CreateUser(context.Background(), UserSpec{Username: "d", Password: "pw", Tenant: "clinic", Roles: []string{RoleDesigner}})
 	d, _, _ := p.Login("d", "pw")
 	for _, ddl := range result.Artifacts.DDL {
-		if _, err := d.Query(ddl); err != nil {
+		if _, err := d.Query(context.Background(), ddl); err != nil {
 			t.Fatalf("deploy: %v", err)
 		}
 	}
-	if err := d.DefineCube(result.Artifacts.Cubes[0]); err != nil {
+	if err := d.DefineCube(context.Background(), result.Artifacts.Cubes[0]); err != nil {
 		t.Fatalf("define generated cube: %v", err)
 	}
 }
@@ -210,15 +211,15 @@ func TestDefinePlanAndQuota(t *testing.T) {
 		t.Fatal(err)
 	}
 	admin, _, _ := p.Login("admin", "admin")
-	if _, err := admin.CreateTenant("m", "Micro", "micro"); err != nil {
+	if _, err := admin.CreateTenant(context.Background(), "m", "Micro", "micro"); err != nil {
 		t.Fatal(err)
 	}
-	admin.CreateUser(UserSpec{Username: "u", Password: "pw", Tenant: "m", Roles: []string{RoleDesigner}})
+	admin.CreateUser(context.Background(), UserSpec{Username: "u", Password: "pw", Tenant: "m", Roles: []string{RoleDesigner}})
 	u, _, _ := p.Login("u", "pw")
-	if _, err := u.Query("CREATE TABLE a (x INT)"); err != nil {
+	if _, err := u.Query(context.Background(), "CREATE TABLE a (x INT)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := u.Query("CREATE TABLE b (x INT)"); err == nil {
+	if _, err := u.Query(context.Background(), "CREATE TABLE b (x INT)"); err == nil {
 		t.Error("quota not enforced")
 	}
 }
@@ -234,21 +235,21 @@ func TestEngineStats(t *testing.T) {
 func TestAnalyzeMatchesSQL(t *testing.T) {
 	p := openPlatform(t)
 	admin, _, _ := p.Login("admin", "admin")
-	admin.CreateTenant("acme", "A", "standard")
-	admin.CreateUser(UserSpec{Username: "a", Password: "pw", Tenant: "acme", Roles: []string{RoleDesigner}})
+	admin.CreateTenant(context.Background(), "acme", "A", "standard")
+	admin.CreateUser(context.Background(), UserSpec{Username: "a", Password: "pw", Tenant: "acme", Roles: []string{RoleDesigner}})
 	a, _, _ := p.Login("a", "pw")
-	a.Query("CREATE TABLE f (g TEXT, v INT)")
-	a.Query("INSERT INTO f VALUES ('x', 1), ('x', 2), ('y', 10)")
-	a.DefineCube(CubeSpec{
+	a.Query(context.Background(), "CREATE TABLE f (g TEXT, v INT)")
+	a.Query(context.Background(), "INSERT INTO f VALUES ('x', 1), ('x', 2), ('y', 10)")
+	a.DefineCube(context.Background(), CubeSpec{
 		Name: "C", FactTable: "f",
 		Measures:   []MeasureSpec{{Name: "v", Column: "v", Agg: olap.AggSum}},
 		Dimensions: []DimensionSpec{{Name: "G", Levels: []CubeLevelSpec{{Name: "G", Column: "g"}}}},
 	})
-	cres, err := a.Analyze("C", CubeQuery{Rows: []LevelRef{{Dimension: "G", Level: "G"}}})
+	cres, err := a.Analyze(context.Background(), "C", CubeQuery{Rows: []LevelRef{{Dimension: "G", Level: "G"}}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sqlRes, _ := a.Query("SELECT g, SUM(v) FROM f GROUP BY g ORDER BY g")
+	sqlRes, _ := a.Query(context.Background(), "SELECT g, SUM(v) FROM f GROUP BY g ORDER BY g")
 	for i, row := range sqlRes.Rows {
 		cell, _ := cres.Cell(i, 0)
 		if float64(row[1].(int64)) != cell[0] {

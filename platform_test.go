@@ -1,6 +1,7 @@
 package odbis
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -15,8 +16,8 @@ import (
 func TestDesignerProjectFlow(t *testing.T) {
 	p := openPlatform(t)
 	admin, _, _ := p.Login("admin", "admin")
-	admin.CreateTenant("dw", "DW Inc", "enterprise")
-	admin.CreateUser(UserSpec{Username: "arch", Password: "pw", Tenant: "dw", Roles: []string{RoleDesigner}})
+	admin.CreateTenant(context.Background(), "dw", "DW Inc", "enterprise")
+	admin.CreateUser(context.Background(), UserSpec{Username: "arch", Password: "pw", Tenant: "dw", Roles: []string{RoleDesigner}})
 	arch, _, err := p.Login("arch", "pw")
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +58,7 @@ func TestDesignerProjectFlow(t *testing.T) {
 	if !run.Done() {
 		t.Error("Build did not drive the 2TUP run")
 	}
-	n, err := svc.Deploy("warehouse", result, arch.Catalog)
+	n, err := svc.Deploy(context.Background(), "warehouse", result, arch.Catalog)
 	if err != nil || n != 2 {
 		t.Fatalf("deploy: %v n=%d", err, n)
 	}
@@ -79,10 +80,10 @@ func TestDesignerProjectFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := job.Run().Err(); err != nil {
+	if err := job.Run(context.Background()).Err(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := arch.Query("SELECT SUM(count_open) FROM fact_tickets")
+	res, err := arch.Query(context.Background(), "SELECT SUM(count_open) FROM fact_tickets")
 	if err != nil || res.Rows[0][0] != 3.0 {
 		t.Errorf("loaded fact = %v (%v)", res.Rows, err)
 	}
@@ -91,12 +92,12 @@ func TestDesignerProjectFlow(t *testing.T) {
 func TestDeliverFormatsPublicAPI(t *testing.T) {
 	p := openPlatform(t)
 	admin, _, _ := p.Login("admin", "admin")
-	admin.CreateTenant("acme", "A", "standard")
-	admin.CreateUser(UserSpec{Username: "u", Password: "pw", Tenant: "acme", Roles: []string{RoleDesigner}})
+	admin.CreateTenant(context.Background(), "acme", "A", "standard")
+	admin.CreateUser(context.Background(), UserSpec{Username: "u", Password: "pw", Tenant: "acme", Roles: []string{RoleDesigner}})
 	u, _, _ := p.Login("u", "pw")
-	u.Query("CREATE TABLE s (g TEXT, v INT)")
-	u.Query("INSERT INTO s VALUES ('a', 1), ('b', 2)")
-	out, err := u.RunAdHoc(&ReportSpec{
+	u.Query(context.Background(), "CREATE TABLE s (g TEXT, v INT)")
+	u.Query(context.Background(), "INSERT INTO s VALUES ('a', 1), ('b', 2)")
+	out, err := u.RunAdHoc(context.Background(), &ReportSpec{
 		Name: "r",
 		Elements: []ReportElement{
 			{Kind: "table", Title: "T", Query: "SELECT g, v FROM s ORDER BY g"},
@@ -193,7 +194,7 @@ func TestEventsThroughPublicFacade(t *testing.T) {
 		kinds = append(kinds, kind)
 	})
 	admin, _, _ := p.Login("admin", "admin")
-	admin.CreateTenant("evt", "E", "free")
+	admin.CreateTenant(context.Background(), "evt", "E", "free")
 	if len(kinds) == 0 || kinds[0] != "tenant.created" {
 		t.Errorf("events = %v", kinds)
 	}

@@ -21,7 +21,8 @@ timeout "${ODBIS_VET_BUDGET:-120}" go run ./cmd/odbis-vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race (bus, etl, storage, tenant)"
-go test -race ./internal/bus/ ./internal/etl/ ./internal/storage/ ./internal/tenant/
+echo "==> go test -race (bus, etl, storage, tenant, sql, olap, services, server)"
+go test -race ./internal/bus/ ./internal/etl/ ./internal/storage/ ./internal/tenant/ \
+	./internal/sql/ ./internal/olap/ ./internal/services/ ./internal/server/
 
 echo "CI OK"
