@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"github.com/odbis/odbis"
+	"github.com/odbis/odbis/internal/fault"
 )
 
 func main() {
@@ -25,8 +26,16 @@ func main() {
 		tokenSecret = flag.String("token-secret", "", "HMAC secret for session tokens (random when empty)")
 		syncFull    = flag.Bool("sync-full", false, "fsync the WAL on every commit")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline for API calls (e.g. 30s); in-flight queries, cube builds and jobs abort and roll back at the deadline (0 = unbounded)")
+		maxInFlight = flag.Int("max-in-flight", 0, "maximum concurrently running API requests; beyond it requests are shed with 503 + Retry-After (0 = unlimited, /healthz always exempt)")
+		queueWait   = flag.Duration("queue-wait", 0, "how long an over-limit request may queue for an admission slot before shedding (0 = shed immediately)")
 	)
 	flag.Parse()
+
+	// Fault points can be armed from the environment for resilience
+	// drills, e.g. ODBIS_FAULTS="storage.wal.sync=error:after=100".
+	if err := fault.FromEnv(); err != nil {
+		log.Fatalf("odbis-server: %v", err)
+	}
 
 	opts := odbis.Options{
 		DataDir:        *dataDir,
@@ -34,6 +43,8 @@ func main() {
 		AdminUser:      *adminUser,
 		AdminPassword:  *adminPass,
 		RequestTimeout: *reqTimeout,
+		MaxInFlight:    *maxInFlight,
+		QueueWait:      *queueWait,
 	}
 	if *tokenSecret != "" {
 		opts.TokenSecret = []byte(*tokenSecret)

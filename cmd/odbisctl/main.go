@@ -77,6 +77,8 @@ func main() {
 		err = c.getJSON("/api/reports")
 	case "audit":
 		err = c.getJSON("/api/admin/audit")
+	case "fault":
+		err = cmdFault(c, args[1:])
 	case "vet":
 		// Operator entry point to the platform-invariant analyzers; runs
 		// locally against the source tree, no server needed.
@@ -102,6 +104,9 @@ commands:
   tenants | usage T | invoice T administration
   datasets | datasources        metadata listings
   cubes | reports | audit       more listings
+  fault list                    show every fault point and its armed state
+  fault arm SPEC                arm points, e.g. "storage.wal.sync=error:count=2"
+  fault disarm NAME | reset     disarm one point / disarm everything
   vet [flags] [packages]        run the platform-invariant static analyzers
                                 (-json, -fix [-dry-run], -baseline/-write-baseline)
 
@@ -252,6 +257,47 @@ func cmdQuery(c *client, args []string) error {
 	}
 	fmt.Printf("(%d rows)\n", len(res.Rows))
 	return nil
+}
+
+// cmdFault drives the admin fault-injection control surface: resilience
+// drills arm named fault points on a running platform and watch it
+// self-heal. Requires an admin token.
+func cmdFault(c *client, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: odbisctl fault list | arm SPEC | disarm NAME | reset")
+	}
+	switch args[0] {
+	case "list":
+		return c.getJSON("/api/admin/faults")
+	case "arm":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: odbisctl fault arm \"point=mode[:after=N][:count=N][:delay=D][:err=MSG]\"")
+		}
+		resp, err := c.do("POST", "/api/admin/faults", map[string]string{"spec": args[1]})
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		return printResponse(resp)
+	case "disarm":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: odbisctl fault disarm NAME")
+		}
+		resp, err := c.do("DELETE", "/api/admin/faults/"+args[1], nil)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		return printResponse(resp)
+	case "reset":
+		resp, err := c.do("DELETE", "/api/admin/faults", nil)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		return printResponse(resp)
+	}
+	return fmt.Errorf("odbisctl fault: unknown subcommand %q", args[0])
 }
 
 func cmdReport(c *client, args []string) error {

@@ -47,6 +47,29 @@ func fakeServer(t *testing.T) *httptest.Server {
 	mux.HandleFunc("GET /api/reports/dash", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("== Dash ==\n"))
 	})
+	mux.HandleFunc("GET /api/admin/faults", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"faults": []map[string]any{
+			{"name": "storage.wal.sync", "mode": "off"},
+		}})
+	})
+	mux.HandleFunc("POST /api/admin/faults", func(w http.ResponseWriter, r *http.Request) {
+		var req map[string]string
+		json.NewDecoder(r.Body).Decode(&req)
+		if strings.Contains(req["spec"], "=badmode") {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(map[string]string{"error": "unknown mode"})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"faults": []map[string]any{
+			{"name": "storage.wal.sync", "mode": "error"},
+		}})
+	})
+	mux.HandleFunc("DELETE /api/admin/faults", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"status": "reset"})
+	})
+	mux.HandleFunc("DELETE /api/admin/faults/{name}", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"status": "disarmed"})
+	})
 	ts := httptest.NewServer(mux)
 	t.Cleanup(ts.Close)
 	return ts
@@ -137,6 +160,43 @@ func TestCmdReportAndGetJSON(t *testing.T) {
 	bad := &client{base: ts.URL, token: "nope"}
 	if err := bad.getJSON("/api/whoami"); err == nil || !strings.Contains(err.Error(), "401") {
 		t.Errorf("unauthorized = %v", err)
+	}
+}
+
+func TestCmdFault(t *testing.T) {
+	ts := fakeServer(t)
+	c := &client{base: ts.URL, token: "tok-123"}
+	out, err := captureStdout(t, func() error {
+		return cmdFault(c, []string{"list"})
+	})
+	if err != nil || !strings.Contains(out, "storage.wal.sync") {
+		t.Errorf("fault list = %q (%v)", out, err)
+	}
+	out, err = captureStdout(t, func() error {
+		return cmdFault(c, []string{"arm", "storage.wal.sync=error:count=2"})
+	})
+	if err != nil || !strings.Contains(out, `"error"`) {
+		t.Errorf("fault arm = %q (%v)", out, err)
+	}
+	if err := cmdFault(c, []string{"arm", "storage.wal.sync=badmode"}); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Errorf("bad spec = %v, want HTTP 400 error", err)
+	}
+	out, err = captureStdout(t, func() error {
+		return cmdFault(c, []string{"disarm", "storage.wal.sync"})
+	})
+	if err != nil || !strings.Contains(out, "disarmed") {
+		t.Errorf("fault disarm = %q (%v)", out, err)
+	}
+	out, err = captureStdout(t, func() error {
+		return cmdFault(c, []string{"reset"})
+	})
+	if err != nil || !strings.Contains(out, "reset") {
+		t.Errorf("fault reset = %q (%v)", out, err)
+	}
+	for _, bad := range [][]string{nil, {"explode"}, {"arm"}, {"disarm"}} {
+		if err := cmdFault(c, bad); err == nil {
+			t.Errorf("cmdFault(%v) accepted", bad)
+		}
 	}
 }
 

@@ -19,13 +19,29 @@ import (
 // Launching a named function hides the body from the check, so it is
 // flagged unconditionally — wrap it in a literal with a shutdown path,
 // or suppress with //odbis:ignore goroutinehygiene -- <why it may dangle>.
+//
+// Below the server layer a second rule applies: an unrecovered panic on
+// a goroutine bypasses the HTTP recovery middleware and kills the whole
+// process, so a goroutine launched by storage, bus, etl, sql or services
+// code must additionally contain a deferred recover() or a
+// sync.WaitGroup Done (its launcher provably joins it and owns the
+// blast radius). Only the server layer — where the recovery middleware
+// lives on the calling stack — and main are exempt.
 var GoroutineHygiene = &Analyzer{
 	Name: "goroutinehygiene",
 	Doc:  "flag go statements with no join or shutdown path",
 	Run:  runGoroutineHygiene,
 }
 
+// panicExemptGroups are the layers whose goroutines may rely on the HTTP
+// recovery middleware (server) or on process-exit semantics (main).
+var panicExemptGroups = map[string]bool{
+	"server": true,
+	"main":   true,
+}
+
 func runGoroutineHygiene(pass *Pass) {
+	belowServer := !panicExemptGroups[groupOf(pass.Path())]
 	for _, f := range pass.Files() {
 		ast.Inspect(f, func(n ast.Node) bool {
 			g, ok := n.(*ast.GoStmt)
@@ -41,6 +57,11 @@ func runGoroutineHygiene(pass *Pass) {
 			if !hasShutdownPath(pass, lit.Body) {
 				pass.Reportf(g.Pos(),
 					"goroutine has no join or shutdown path (no channel receive, select, channel range, or WaitGroup.Done)")
+				return true
+			}
+			if belowServer && !hasWaitGroupDone(pass, lit.Body) && !hasDeferredRecover(pass, lit.Body) {
+				pass.Reportf(g.Pos(),
+					"below-server goroutine must recover panics or be WaitGroup-joined: an unrecovered panic here bypasses the HTTP recovery middleware and kills the process")
 			}
 			return true
 		})
@@ -67,12 +88,73 @@ func hasShutdownPath(pass *Pass, body *ast.BlockStmt) bool {
 				}
 			}
 		case *ast.CallExpr:
-			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
-				if isNamed(pass.TypesInfo().Types[sel.X].Type, "sync", "WaitGroup") {
+			if isWaitGroupDone(pass, x) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupDone reports whether call is sync.WaitGroup.Done.
+func isWaitGroupDone(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return isNamed(pass.TypesInfo().Types[sel.X].Type, "sync", "WaitGroup")
+}
+
+// hasWaitGroupDone reports whether the body contains a WaitGroup.Done
+// call — the goroutine is joinable, so its launcher provably waits for
+// it before tearing the subsystem down.
+func hasWaitGroupDone(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isWaitGroupDone(pass, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasDeferredRecover reports whether the body contains
+// `defer func() { ... recover() ... }()` — panic containment local to
+// the goroutine.
+func hasDeferredRecover(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+				if _, isBuiltin := pass.TypesInfo().Uses[id].(*types.Builtin); isBuiltin {
 					found = true
 				}
 			}
-		}
+			return !found
+		})
 		return !found
 	})
 	return found

@@ -34,12 +34,16 @@ var LayerCheck = &Analyzer{
 // missing from the map (main, bench, analysis fixtures' hosts) may
 // import anything.
 var layerDAG = map[string][]string{
-	"storage":   {},
-	"bus":       {},
-	"sql":       {"storage"},
+	// fault is cross-cutting infrastructure (named injection points with
+	// no dependencies of its own); any layer that hosts a point may
+	// import it, and it may import nothing.
+	"fault":     {},
+	"storage":   {"fault"},
+	"bus":       {"fault"},
+	"sql":       {"fault", "storage"},
 	"security":  {"storage"},
 	"tenant":    {"sql", "storage"},
-	"etl":       {"sql", "storage"},
+	"etl":       {"fault", "sql", "storage"},
 	"olap":      {"sql", "storage"},
 	"report":    {"sql", "storage"},
 	"rules":     {"sql", "storage"},
@@ -48,9 +52,9 @@ var layerDAG = map[string][]string{
 	"metamodel": {"etl", "storage"},
 	"mda":       {"metamodel"},
 	"mddws":     {"etl", "mda", "metamodel", "olap", "sql", "storage"},
-	"services": {"bpm", "bus", "etl", "mda", "metamodel", "mddws", "olap",
+	"services": {"bpm", "bus", "etl", "fault", "mda", "metamodel", "mddws", "olap",
 		"report", "rules", "security", "sql", "storage", "tenant", "workload"},
-	"server": {"olap", "report", "security", "services", "sql", "storage", "tenant"},
+	"server":   {"fault", "olap", "report", "security", "services", "sql", "storage", "tenant"},
 	"analysis": {},
 }
 

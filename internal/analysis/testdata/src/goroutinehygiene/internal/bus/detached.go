@@ -1,0 +1,62 @@
+// Package bus is a goroutinehygiene fixture impersonating a below-server
+// layer (the path segment after internal/ resolves to group "bus"), where
+// the panic-containment rule applies on top of the join/shutdown rule.
+package bus
+
+import "sync"
+
+func work() {}
+
+// OKJoined is WaitGroup-joined: the launcher owns the blast radius.
+func OKJoined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// OKRecovered drains a channel and contains its own panics.
+func OKRecovered(jobs chan int) {
+	go func() {
+		defer func() {
+			_ = recover()
+		}()
+		for range jobs {
+			work()
+		}
+	}()
+}
+
+// BadUncontainedPanic has a shutdown path (select on done) but neither a
+// deferred recover nor a WaitGroup join — a panicking iteration would
+// kill the whole process.
+func BadUncontainedPanic(done chan struct{}) {
+	go func() { // want `below-server goroutine must recover panics or be WaitGroup-joined`
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// BadRecoverNotDeferred calls recover outside a defer, which contains
+// nothing.
+func BadRecoverNotDeferred(done chan struct{}) {
+	go func() { // want `below-server goroutine must recover panics or be WaitGroup-joined`
+		_ = recover()
+		<-done
+	}()
+}
+
+// OKSuppressed documents a deliberate exception.
+func OKSuppressed(done chan struct{}) {
+	go func() { //odbis:ignore goroutinehygiene -- fixture: supervised externally
+		<-done
+		work()
+	}()
+}

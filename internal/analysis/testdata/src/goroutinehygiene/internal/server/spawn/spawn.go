@@ -1,4 +1,7 @@
-// Package spawn is a goroutinehygiene fixture.
+// Package spawn is a goroutinehygiene fixture. It sits under an
+// internal/server path so only the join/shutdown rule applies; the
+// below-server panic-containment rule is exercised by the internal/bus
+// fixture.
 package spawn
 
 import "sync"

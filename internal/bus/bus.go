@@ -8,10 +8,14 @@ package bus
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/odbis/odbis/internal/fault"
 )
 
 // Message is the unit of communication on the bus.
@@ -59,14 +63,51 @@ type ChannelStats struct {
 	Sent      uint64
 	Delivered uint64
 	Errors    uint64
+	// Redelivered counts detached deliveries that succeeded only on a
+	// retry; DeadLettered counts those that exhausted every attempt.
+	Redelivered  uint64
+	DeadLettered uint64
 }
 
+// DeadLetter is a detached delivery that failed every redelivery
+// attempt, parked on its channel's dead-letter queue for inspection or
+// manual replay.
+type DeadLetter struct {
+	Channel  string
+	Msg      *Message
+	Err      string
+	Attempts int
+}
+
+// dlqCap bounds each channel's dead-letter queue; beyond it the oldest
+// letter is dropped (the queue is a diagnostic buffer, not durable
+// storage — unbounded growth under a persistent failure would turn one
+// broken subscriber into a platform OOM).
+const dlqCap = 128
+
 type channel struct {
-	mu        sync.RWMutex
-	handlers  []Handler
-	sent      atomic.Uint64
-	delivered atomic.Uint64
-	errors    atomic.Uint64
+	mu           sync.RWMutex
+	handlers     []Handler
+	sent         atomic.Uint64
+	delivered    atomic.Uint64
+	errors       atomic.Uint64
+	redelivered  atomic.Uint64
+	deadLettered atomic.Uint64
+
+	dlqMu sync.Mutex
+	dlq   []DeadLetter
+}
+
+// park appends a dead letter, dropping the oldest beyond dlqCap.
+func (c *channel) park(dl DeadLetter) {
+	c.dlqMu.Lock()
+	if len(c.dlq) >= dlqCap {
+		copy(c.dlq, c.dlq[1:])
+		c.dlq = c.dlq[:dlqCap-1]
+	}
+	c.dlq = append(c.dlq, dl)
+	c.dlqMu.Unlock()
+	c.deadLettered.Add(1)
 }
 
 // Bus is a set of named channels. All operations are safe for concurrent
@@ -80,26 +121,101 @@ type Bus struct {
 	nextID   atomic.Uint64
 
 	// lifeMu guards closed and the wg.Add race against Close; wg counts
-	// in-flight detached deliveries.
-	lifeMu sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+	// in-flight detached deliveries. closeCh interrupts redelivery
+	// backoff sleeps so Close never waits out a retry schedule.
+	lifeMu  sync.Mutex
+	closed  bool
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+
+	// Redelivery policy for detached deliveries (see SetRedelivery).
+	redeliverAttempts int
+	redeliverBase     time.Duration
 }
+
+// Redelivery defaults: a detached delivery gets defaultAttempts tries in
+// total, with capped exponential backoff starting at defaultBase between
+// them.
+const (
+	defaultAttempts   = 3
+	defaultBase       = 5 * time.Millisecond
+	maxRedeliverSleep = 2 * time.Second
+)
 
 // New returns an empty bus.
 func New() *Bus {
-	return &Bus{channels: make(map[string]*channel)}
+	return &Bus{
+		channels:          make(map[string]*channel),
+		closeCh:           make(chan struct{}),
+		redeliverAttempts: defaultAttempts,
+		redeliverBase:     defaultBase,
+	}
+}
+
+// SetRedelivery tunes the detached-delivery retry policy: attempts is
+// the total number of tries (minimum 1), base the first backoff sleep.
+// Call before traffic flows; it is not synchronized with in-flight
+// deliveries.
+func (b *Bus) SetRedelivery(attempts int, base time.Duration) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if base <= 0 {
+		base = defaultBase
+	}
+	b.redeliverAttempts = attempts
+	b.redeliverBase = base
 }
 
 // Close marks the bus closed and waits for every in-flight detached
 // delivery to finish. Further PublishDetached calls schedule nothing;
+// backoff sleeps are interrupted (the pending message dead-letters);
 // synchronous operations keep working (draining a queue during shutdown
 // is legitimate). Close is idempotent.
 func (b *Bus) Close() {
 	b.lifeMu.Lock()
-	b.closed = true
+	if !b.closed {
+		b.closed = true
+		close(b.closeCh)
+	}
 	b.lifeMu.Unlock()
 	b.wg.Wait()
+}
+
+// safeCall runs one handler with panic isolation and the bus.deliver
+// fault point in front: a panicking subscriber becomes a delivery error
+// on its channel instead of a platform crash.
+func safeCall(channelName string, h Handler, m *Message) (reply *Message, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("handler panic on %q: %v", channelName, r)
+		}
+	}()
+	if err := fault.Point(fault.BusDeliver); err != nil {
+		return nil, err
+	}
+	return h(m)
+}
+
+// backoffSleep sleeps the capped-exponential backoff for the given
+// attempt (1-based) with ±50% jitter, returning false when the bus
+// closed during the sleep.
+func (b *Bus) backoffSleep(attempt int) bool {
+	d := b.redeliverBase << (attempt - 1)
+	if d > maxRedeliverSleep || d <= 0 {
+		d = maxRedeliverSleep
+	}
+	// Full jitter on the top half de-synchronizes subscribers that all
+	// failed on the same downstream outage.
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-b.closeCh:
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 func (b *Bus) channelFor(name string, create bool) (*channel, error) {
@@ -167,7 +283,7 @@ func (b *Bus) Send(channelName string, m *Message) (*Message, error) {
 		ch.errors.Add(1)
 		return nil, fmt.Errorf("bus: channel %q has no subscriber", channelName)
 	}
-	reply, err := h(m)
+	reply, err := safeCall(channelName, h, m)
 	if err != nil {
 		ch.errors.Add(1)
 		return nil, fmt.Errorf("bus: %q: %w", channelName, err)
@@ -194,7 +310,7 @@ func (b *Bus) Publish(channelName string, m *Message) error {
 		return fmt.Errorf("bus: channel %q has no subscriber", channelName)
 	}
 	for _, h := range handlers {
-		if _, err := h(m.clone()); err != nil {
+		if _, err := safeCall(channelName, h, m.clone()); err != nil {
 			ch.errors.Add(1)
 			return fmt.Errorf("bus: %q: %w", channelName, err)
 		}
@@ -219,7 +335,7 @@ func (b *Bus) PublishBestEffort(channelName string, m *Message) int {
 	ch.mu.RUnlock()
 	delivered := 0
 	for _, h := range handlers {
-		if _, err := h(m.clone()); err != nil {
+		if _, err := safeCall(channelName, h, m.clone()); err != nil {
 			ch.errors.Add(1)
 			continue
 		}
@@ -231,7 +347,10 @@ func (b *Bus) PublishBestEffort(channelName string, m *Message) int {
 
 // PublishDetached fans the message out to every subscriber on separate
 // goroutines, continuing past handler errors, and returns the number of
-// deliveries scheduled without waiting for them. Every goroutine is
+// deliveries scheduled without waiting for them. A failed delivery is
+// retried with capped exponential backoff (SetRedelivery); one that
+// exhausts every attempt — or whose backoff is cut short by Close —
+// parks on the channel's dead-letter queue. Every goroutine is
 // registered with the bus lifetime, so Close blocks until all detached
 // deliveries have finished — the platform cannot leak dispatch goroutines
 // on shutdown. After Close, PublishDetached schedules nothing.
@@ -257,14 +376,61 @@ func (b *Bus) PublishDetached(channelName string, m *Message) int {
 		scheduled++
 		go func(h Handler, m *Message) {
 			defer b.wg.Done()
-			if _, err := h(m); err != nil {
-				ch.errors.Add(1)
-				return
-			}
-			ch.delivered.Add(1)
+			b.deliverDetached(channelName, ch, h, m)
 		}(h, m.clone())
 	}
 	return scheduled
+}
+
+// deliverDetached runs one detached delivery to completion: success,
+// or dead-letter after the retry budget (or a shutdown mid-backoff).
+func (b *Bus) deliverDetached(channelName string, ch *channel, h Handler, m *Message) {
+	var lastErr error
+	attempts := 0
+	for attempt := 1; attempt <= b.redeliverAttempts; attempt++ {
+		attempts = attempt
+		_, err := safeCall(channelName, h, m)
+		if err == nil {
+			if attempt > 1 {
+				ch.redelivered.Add(1)
+			}
+			ch.delivered.Add(1)
+			return
+		}
+		lastErr = err
+		ch.errors.Add(1)
+		if attempt == b.redeliverAttempts || !b.backoffSleep(attempt) {
+			break
+		}
+	}
+	ch.park(DeadLetter{Channel: channelName, Msg: m, Err: lastErr.Error(), Attempts: attempts})
+}
+
+// DeadLetters returns a copy of the channel's dead-letter queue, oldest
+// first. A missing channel has none.
+func (b *Bus) DeadLetters(channelName string) []DeadLetter {
+	ch, err := b.channelFor(channelName, false)
+	if err != nil {
+		return nil
+	}
+	ch.dlqMu.Lock()
+	defer ch.dlqMu.Unlock()
+	return append([]DeadLetter(nil), ch.dlq...)
+}
+
+// DrainDeadLetters removes and returns the channel's dead letters,
+// oldest first — the hook for manual replay after the downstream fault
+// is fixed.
+func (b *Bus) DrainDeadLetters(channelName string) []DeadLetter {
+	ch, err := b.channelFor(channelName, false)
+	if err != nil {
+		return nil
+	}
+	ch.dlqMu.Lock()
+	defer ch.dlqMu.Unlock()
+	out := ch.dlq
+	ch.dlq = nil
+	return out
 }
 
 // Channels lists channel names sorted.
@@ -286,9 +452,11 @@ func (b *Bus) Stats(channelName string) (ChannelStats, error) {
 		return ChannelStats{}, err
 	}
 	return ChannelStats{
-		Sent:      ch.sent.Load(),
-		Delivered: ch.delivered.Load(),
-		Errors:    ch.errors.Load(),
+		Sent:         ch.sent.Load(),
+		Delivered:    ch.delivered.Load(),
+		Errors:       ch.errors.Load(),
+		Redelivered:  ch.redelivered.Load(),
+		DeadLettered: ch.deadLettered.Load(),
 	}, nil
 }
 

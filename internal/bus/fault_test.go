@@ -1,0 +1,222 @@
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/odbis/odbis/internal/fault"
+)
+
+// TestPanicSafeDispatch: a panicking subscriber must surface as a
+// delivery error on every synchronous path, never as a process crash.
+func TestPanicSafeDispatch(t *testing.T) {
+	b := New()
+	defer b.Close()
+	if err := b.Subscribe("orders", func(*Message) (*Message, error) {
+		panic("subscriber bug")
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := b.Send("orders", NewMessage("x")); err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("Send after panic: err = %v, want handler-panic error", err)
+	}
+	if err := b.Publish("orders", NewMessage("x")); err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("Publish after panic: err = %v, want handler-panic error", err)
+	}
+	if n := b.PublishBestEffort("orders", NewMessage("x")); n != 0 {
+		t.Fatalf("PublishBestEffort delivered %d past a panic, want 0", n)
+	}
+	st, err := b.Stats("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != 3 {
+		t.Fatalf("Errors = %d, want 3 (one per dispatch)", st.Errors)
+	}
+}
+
+// TestPanicIsolationAcrossSubscribers: with best-effort fan-out, one
+// panicking subscriber must not veto delivery to the others.
+func TestPanicIsolationAcrossSubscribers(t *testing.T) {
+	b := New()
+	defer b.Close()
+	var got atomic.Int64
+	b.Subscribe("events", func(*Message) (*Message, error) { panic("bad observer") })
+	b.Subscribe("events", func(*Message) (*Message, error) { got.Add(1); return nil, nil })
+	if n := b.PublishBestEffort("events", NewMessage("e")); n != 1 {
+		t.Fatalf("delivered %d, want 1", n)
+	}
+	if got.Load() != 1 {
+		t.Fatalf("healthy subscriber saw %d messages, want 1", got.Load())
+	}
+}
+
+// TestBusDeliverFaultPoint: the bus.deliver point injects a delivery
+// failure without any cooperating subscriber.
+func TestBusDeliverFaultPoint(t *testing.T) {
+	defer fault.Reset()
+	b := New()
+	defer b.Close()
+	b.Subscribe("q", func(m *Message) (*Message, error) { return m, nil })
+	if err := fault.Arm(fault.BusDeliver, fault.Behavior{Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := b.Send("q", NewMessage("x"))
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Send under armed bus.deliver: err = %v, want ErrInjected", err)
+	}
+	fault.Reset()
+	if _, err := b.Send("q", NewMessage("x")); err != nil {
+		t.Fatalf("Send after disarm: %v", err)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes. Close
+// interrupts redelivery backoff by design, so tests that assert on a
+// completed retry schedule must wait for the outcome before closing.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDetachedRedelivery: a transiently failing subscriber is retried
+// with backoff and eventually succeeds; the redelivery is counted and
+// nothing dead-letters.
+func TestDetachedRedelivery(t *testing.T) {
+	b := New()
+	b.SetRedelivery(3, time.Millisecond)
+	var calls atomic.Int64
+	b.Subscribe("jobs", func(*Message) (*Message, error) {
+		if calls.Add(1) < 3 {
+			return nil, fmt.Errorf("transient")
+		}
+		return nil, nil
+	})
+	if n := b.PublishDetached("jobs", NewMessage("j")); n != 1 {
+		t.Fatalf("scheduled %d, want 1", n)
+	}
+	waitFor(t, func() bool { st, _ := b.Stats("jobs"); return st.Delivered == 1 })
+	b.Close()
+	st, _ := b.Stats("jobs")
+	if st.Delivered != 1 || st.Redelivered != 1 || st.DeadLettered != 0 {
+		t.Fatalf("stats = %+v, want delivered 1, redelivered 1, dead-lettered 0", st)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("handler called %d times, want 3", calls.Load())
+	}
+	if dls := b.DeadLetters("jobs"); len(dls) != 0 {
+		t.Fatalf("unexpected dead letters: %+v", dls)
+	}
+}
+
+// TestDeadLetterAfterExhaustedRetries: a persistently failing
+// subscriber exhausts the retry budget and the message parks on the
+// channel's dead-letter queue with the final error and attempt count.
+func TestDeadLetterAfterExhaustedRetries(t *testing.T) {
+	b := New()
+	b.SetRedelivery(3, time.Millisecond)
+	var calls atomic.Int64
+	b.Subscribe("jobs", func(*Message) (*Message, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("downstream hard down")
+	})
+	m := NewMessage("payload", "tenant", "t1")
+	b.PublishDetached("jobs", m)
+	waitFor(t, func() bool { st, _ := b.Stats("jobs"); return st.DeadLettered == 1 })
+	b.Close()
+
+	if calls.Load() != 3 {
+		t.Fatalf("handler called %d times, want 3", calls.Load())
+	}
+	dls := b.DrainDeadLetters("jobs")
+	if len(dls) != 1 {
+		t.Fatalf("dead letters = %d, want 1", len(dls))
+	}
+	dl := dls[0]
+	if dl.Channel != "jobs" || dl.Attempts != 3 || !strings.Contains(dl.Err, "hard down") {
+		t.Fatalf("dead letter = %+v", dl)
+	}
+	if dl.Msg.Header("tenant") != "t1" {
+		t.Fatalf("dead letter lost headers: %+v", dl.Msg)
+	}
+	if len(b.DeadLetters("jobs")) != 0 {
+		t.Fatal("drain did not clear the queue")
+	}
+	st, _ := b.Stats("jobs")
+	if st.DeadLettered != 1 || st.Errors != 3 {
+		t.Fatalf("stats = %+v, want dead-lettered 1, errors 3", st)
+	}
+}
+
+// TestPanickingDetachedSubscriberDeadLetters: panics on the detached
+// path are recovered per attempt and the message still dead-letters —
+// the platform never loses the goroutine or the evidence.
+func TestPanickingDetachedSubscriberDeadLetters(t *testing.T) {
+	b := New()
+	b.SetRedelivery(2, time.Millisecond)
+	b.Subscribe("jobs", func(*Message) (*Message, error) { panic("boom") })
+	b.PublishDetached("jobs", NewMessage("j"))
+	waitFor(t, func() bool { st, _ := b.Stats("jobs"); return st.DeadLettered == 1 })
+	b.Close()
+	dls := b.DeadLetters("jobs")
+	if len(dls) != 1 || !strings.Contains(dls[0].Err, "panic") {
+		t.Fatalf("dead letters = %+v, want one panic letter", dls)
+	}
+}
+
+// TestCloseInterruptsBackoff: Close during a redelivery backoff must
+// return promptly (the sleep is interrupted) and the pending message
+// dead-letters rather than vanishing.
+func TestCloseInterruptsBackoff(t *testing.T) {
+	b := New()
+	b.SetRedelivery(5, time.Hour) // would block Close for hours if not interruptible
+	b.Subscribe("jobs", func(*Message) (*Message, error) { return nil, fmt.Errorf("down") })
+	b.PublishDetached("jobs", NewMessage("j"))
+
+	done := make(chan struct{})
+	go func() { b.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked on redelivery backoff")
+	}
+	dls := b.DeadLetters("jobs")
+	if len(dls) != 1 {
+		t.Fatalf("dead letters after interrupted backoff = %d, want 1", len(dls))
+	}
+	if dls[0].Attempts >= 5 {
+		t.Fatalf("attempts = %d, want < 5 (shutdown cut the schedule short)", dls[0].Attempts)
+	}
+}
+
+// TestDeadLetterQueueBounded: the queue drops oldest beyond dlqCap so a
+// persistently broken subscriber cannot grow memory without bound.
+func TestDeadLetterQueueBounded(t *testing.T) {
+	b := New()
+	b.SetRedelivery(1, time.Millisecond)
+	b.Subscribe("jobs", func(*Message) (*Message, error) { return nil, fmt.Errorf("down") })
+	for i := 0; i < dlqCap+10; i++ {
+		b.PublishDetached("jobs", NewMessage(i))
+	}
+	waitFor(t, func() bool { st, _ := b.Stats("jobs"); return st.DeadLettered == uint64(dlqCap+10) })
+	b.Close()
+	dls := b.DeadLetters("jobs")
+	if len(dls) != dlqCap {
+		t.Fatalf("dead letters = %d, want capped at %d", len(dls), dlqCap)
+	}
+	st, _ := b.Stats("jobs")
+	if st.DeadLettered != uint64(dlqCap+10) {
+		t.Fatalf("DeadLettered counter = %d, want %d (counts drops too)", st.DeadLettered, dlqCap+10)
+	}
+}

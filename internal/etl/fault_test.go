@@ -1,0 +1,180 @@
+package etl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/odbis/odbis/internal/fault"
+)
+
+func onePipeline() *Pipeline {
+	return &Pipeline{
+		Source: &SliceSource{Records: []Record{{"x": int64(1)}, {"x": int64(2)}}},
+		Sink:   &SliceSink{},
+	}
+}
+
+// Each stage point fails the pipeline at its stage with the injected
+// error wrapped so reports say which stage died.
+func TestETLStageFaultPoints(t *testing.T) {
+	defer fault.Reset()
+	for _, tc := range []struct {
+		point string
+		stage string
+	}{
+		{fault.ETLExtract, "extract"},
+		{fault.ETLLoad, "load"},
+	} {
+		fault.Reset()
+		if err := fault.Arm(tc.point, fault.Behavior{Mode: fault.ModeError}); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := onePipeline().Run(context.Background())
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("%s: err = %v, want ErrInjected", tc.point, err)
+		}
+		if !strings.Contains(err.Error(), tc.stage) {
+			t.Errorf("%s: err %q does not name stage %q", tc.point, err, tc.stage)
+		}
+	}
+	// The transform point only fires when the pipeline has transforms.
+	fault.Reset()
+	if err := fault.Arm(fault.ETLTransform, fault.Behavior{Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	p := onePipeline()
+	p.Transforms = []Transform{Rename{Mapping: map[string]string{"x": "y"}}}
+	if _, _, err := p.Run(context.Background()); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("etl.transform: err = %v, want ErrInjected", err)
+	}
+}
+
+// A panicking stage implementation becomes a task error, not a process
+// crash, and the job retry machinery treats it like any failure.
+func TestPipelinePanicRecovered(t *testing.T) {
+	p := onePipeline()
+	p.Transforms = []Transform{panicTransform{}}
+	_, _, err := p.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("err = %v, want recovered panic error", err)
+	}
+	if _, err := p.Preview(context.Background(), 10); err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("Preview err = %v, want recovered panic error", err)
+	}
+}
+
+type panicTransform struct{}
+
+func (panicTransform) Name() string                     { return "panic" }
+func (panicTransform) Apply([]Record) ([]Record, error) { panic("connector bug") }
+
+// A transiently failing task is retried with backoff and succeeds; the
+// report shows the attempts.
+func TestJobRetryWithBackoffRecovers(t *testing.T) {
+	defer fault.Reset()
+	// First two loads fail, the third succeeds.
+	if err := fault.Arm(fault.ETLLoad, fault.Behavior{Mode: fault.ModeError, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	job := &Job{Name: "j", Tasks: []Task{{
+		Name:         "t",
+		Pipeline:     onePipeline(),
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+	}}}
+	start := time.Now()
+	report := job.Run(context.Background())
+	if err := report.Err(); err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+	res := report.Results[0]
+	if res.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", res.Attempts)
+	}
+	if res.Written != 2 {
+		t.Fatalf("written = %d, want 2", res.Written)
+	}
+	// Two backoff sleeps happened (≥ base/2 each with jitter).
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("job finished in %v; backoff sleeps missing", elapsed)
+	}
+}
+
+// A cancelled context interrupts the backoff sleep: the job must not
+// wait out a long retry schedule for a dead request.
+func TestJobBackoffHonorsContext(t *testing.T) {
+	defer fault.Reset()
+	if err := fault.Arm(fault.ETLLoad, fault.Behavior{Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	job := &Job{Name: "j", Tasks: []Task{{
+		Name:         "t",
+		Pipeline:     onePipeline(),
+		Retries:      10,
+		RetryBackoff: time.Hour, // would take ~10h without ctx interruption
+	}}}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	report := job.Run(ctx)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("job took %v; backoff ignored cancellation", elapsed)
+	}
+	res := report.Results[0]
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("task err = %v, want DeadlineExceeded", res.Err)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (cancelled during first backoff)", res.Attempts)
+	}
+}
+
+// Retries are not burned on cancellation: a pipeline failing with the
+// ctx error stops the retry loop immediately (pre-existing behavior that
+// must survive the backoff change).
+func TestJobNoRetryAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	job := &Job{Name: "j", Tasks: []Task{{
+		Name:         "t",
+		Pipeline:     &Pipeline{Source: cancelAwareSource{}, Sink: &SliceSink{}},
+		Retries:      5,
+		RetryBackoff: time.Millisecond,
+	}}}
+	report := job.Run(ctx)
+	if res := report.Results[0]; res.Err == nil {
+		t.Fatal("want error from cancelled run")
+	}
+}
+
+type cancelAwareSource struct{}
+
+func (cancelAwareSource) Read(ctx context.Context) ([]Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("should not be reached with cancelled ctx")
+}
+
+// An injected delay at a stage point is interruptible via the pipeline
+// context (PointCtx, not Point, guards the stages).
+func TestETLDelayPointHonorsContext(t *testing.T) {
+	defer fault.Reset()
+	if err := fault.Arm(fault.ETLExtract, fault.Behavior{Mode: fault.ModeDelay, Delay: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := onePipeline().Run(ctx)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("delayed point held the pipeline %v despite cancellation", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}

@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
+
+	"github.com/odbis/odbis/internal/fault"
 )
 
 // Pipeline is one source → transforms → sink flow.
@@ -17,10 +20,22 @@ type Pipeline struct {
 
 // Run executes the pipeline, returning rows read and written. ctx bounds
 // every stage: the source read, each transform, and the sink write all
-// stop at their next checkpoint once ctx is cancelled.
+// stop at their next checkpoint once ctx is cancelled. A panic in any
+// stage implementation (sources, transforms and sinks are extension
+// points) is recovered into an error, so one bad connector fails its
+// task instead of the process — the job runner's retry/backoff then
+// applies to it like any other failure.
 func (p *Pipeline) Run(ctx context.Context) (read, written int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("etl: pipeline panic: %v", r)
+		}
+	}()
 	if p.Source == nil || p.Sink == nil {
 		return 0, 0, fmt.Errorf("etl: pipeline needs a source and a sink")
+	}
+	if err := fault.PointCtx(ctx, fault.ETLExtract); err != nil {
+		return 0, 0, fmt.Errorf("etl: extract: %w", err)
 	}
 	recs, err := p.Source.Read(ctx)
 	if err != nil {
@@ -31,22 +46,37 @@ func (p *Pipeline) Run(ctx context.Context) (read, written int, err error) {
 		if err := ctx.Err(); err != nil {
 			return read, 0, err
 		}
+		if err := fault.PointCtx(ctx, fault.ETLTransform); err != nil {
+			return read, 0, fmt.Errorf("etl: transform %s: %w", tr.Name(), err)
+		}
 		recs, err = applyTransform(ctx, tr, recs)
 		if err != nil {
 			return read, 0, fmt.Errorf("etl: transform %s: %w", tr.Name(), err)
 		}
+	}
+	if err := fault.PointCtx(ctx, fault.ETLLoad); err != nil {
+		return read, 0, fmt.Errorf("etl: load: %w", err)
 	}
 	written, err = p.Sink.Write(ctx, recs)
 	return read, written, err
 }
 
 // Preview runs source + transforms and returns up to limit records
-// without writing the sink (ad-hoc job design support).
-func (p *Pipeline) Preview(ctx context.Context, limit int) ([]Record, error) {
+// without writing the sink (ad-hoc job design support). Stage panics are
+// recovered like in Run.
+func (p *Pipeline) Preview(ctx context.Context, limit int) (recs []Record, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			recs, err = nil, fmt.Errorf("etl: pipeline panic: %v", r)
+		}
+	}()
 	if p.Source == nil {
 		return nil, fmt.Errorf("etl: pipeline needs a source")
 	}
-	recs, err := p.Source.Read(ctx)
+	if err := fault.PointCtx(ctx, fault.ETLExtract); err != nil {
+		return nil, fmt.Errorf("etl: extract: %w", err)
+	}
+	recs, err = p.Source.Read(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -72,6 +102,41 @@ type Task struct {
 	Pipeline  *Pipeline
 	// Retries re-runs a failing task up to N extra times.
 	Retries int
+	// RetryBackoff is the sleep before the first retry; each further
+	// retry doubles it up to maxRetryBackoff, with jitter. Zero means
+	// defaultRetryBackoff. The sleep observes ctx: a cancelled request
+	// does not sit out a backoff schedule.
+	RetryBackoff time.Duration
+}
+
+// Retry backoff bounds: an immediate retry hammers whatever just failed
+// (a loaded warehouse, a flaky extract endpoint), while an uncapped
+// doubling can outlive the request. Jitter spreads retries from tasks
+// that failed together.
+const (
+	defaultRetryBackoff = 50 * time.Millisecond
+	maxRetryBackoff     = 5 * time.Second
+)
+
+// retrySleep waits out the capped exponential backoff before retry
+// attempt n (1-based), honoring ctx cancellation.
+func retrySleep(ctx context.Context, base time.Duration, n int) error {
+	if base <= 0 {
+		base = defaultRetryBackoff
+	}
+	d := base << (n - 1)
+	if d > maxRetryBackoff || d <= 0 {
+		d = maxRetryBackoff
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Job is a DAG of tasks.
@@ -211,6 +276,12 @@ func (j *Job) Run(ctx context.Context) *JobReport {
 		}
 		start := time.Now()
 		for attempt := 0; attempt <= task.Retries; attempt++ {
+			if attempt > 0 {
+				if serr := retrySleep(ctx, task.RetryBackoff, attempt); serr != nil {
+					res.Err = serr
+					break
+				}
+			}
 			res.Attempts++
 			read, written, err := task.Pipeline.Run(ctx)
 			res.Read, res.Written, res.Err = read, written, err

@@ -1,0 +1,35 @@
+package fault
+
+import (
+	"testing"
+)
+
+// BenchmarkPointDisabled bounds the cost every wired layer pays for a
+// fault point that is not armed — the acceptance bar is "free enough to
+// ship enabled" (<1% on the E1 end-to-end bench; see BENCH_PR4.json).
+func BenchmarkPointDisabled(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Point(StorageWALAppend); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPointArmedOther measures the slow-path lookup cost paid by a
+// disarmed point while a *different* point is armed (the registry is
+// non-empty, so the atomic-gate fast path is off).
+func BenchmarkPointArmedOther(b *testing.B) {
+	Reset()
+	if err := Arm("bench.other", Behavior{Mode: ModeError}); err != nil {
+		b.Fatal(err)
+	}
+	defer Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Point(StorageWALAppend); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,436 @@
+// Package fault is the platform's fault-injection substrate. A shared
+// multi-tenant system earns its availability claims by surviving the
+// failures it will actually see — a torn WAL write, a flaky ETL source,
+// a panicking report widget — and the only way to test survival is to
+// make those failures happen on demand.
+//
+// Code under test declares named injection points:
+//
+//	if err := fault.Point(fault.StorageWALSync); err != nil { ... }
+//
+// A disarmed point is a single atomic load and a predictable branch
+// (sub-nanosecond; see BenchmarkPointDisabled), so points stay compiled
+// into production builds. Arming a point — in-process via Arm, from the
+// environment via ODBIS_FAULTS, or over the wire via `odbisctl fault` —
+// makes it return an error, panic, delay, or terminate the process
+// (ModeCrash, for child-process crash-recovery harnesses). Placing a
+// point between the physical writes of a multi-part operation (for
+// example between a WAL frame header and its payload) turns ModeCrash
+// into a torn-write simulator.
+//
+// The package is stdlib-only and imports nothing from the platform, so
+// every layer down to storage may depend on it.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical injection points wired into the platform. Keeping the names
+// here (rather than as string literals at the call sites) gives tests
+// and the failure-model documentation one authoritative list.
+const (
+	// StorageWALAppend fires before any byte of a WAL frame is written.
+	// An error here aborts the commit cleanly (nothing reached disk).
+	StorageWALAppend = "storage.wal.append"
+	// StorageWALAppendMid fires after the frame header is written but
+	// before the payload/CRC — the torn-write window. Errors here are
+	// sticky (the on-disk tail is garbage until recovery truncates it).
+	StorageWALAppendMid = "storage.wal.append.mid"
+	// StorageWALSync fires before the WAL fsync. Errors are sticky: a
+	// WAL whose sync failed may silently diverge from disk.
+	StorageWALSync = "storage.wal.sync"
+	// StorageWALTruncate fires in Checkpoint after the snapshot is
+	// published but before the WAL is reset — the window where a stale
+	// WAL overlaps the new snapshot.
+	StorageWALTruncate = "storage.wal.truncate"
+	// StorageSnapshotWrite fires while the snapshot temp file is being
+	// written (before it is durable).
+	StorageSnapshotWrite = "storage.snapshot.write"
+	// StorageSnapshotRename fires before the atomic rename that
+	// publishes the snapshot.
+	StorageSnapshotRename = "storage.snapshot.rename"
+	// BusDeliver fires before each handler invocation on the bus.
+	BusDeliver = "bus.deliver"
+	// ETLExtract, ETLTransform and ETLLoad fire before the corresponding
+	// pipeline stage.
+	ETLExtract   = "etl.extract"
+	ETLTransform = "etl.transform"
+	ETLLoad      = "etl.load"
+	// SQLExec fires at the head of every self-contained SQL statement.
+	SQLExec = "sql.exec"
+	// ServicesQuery fires inside the metadata service's Query call,
+	// after authorization.
+	ServicesQuery = "services.query"
+	// ServerHandler fires inside the HTTP session wrapper, after
+	// authentication and before the handler — the place to prove the
+	// panic-recovery middleware and error mapping.
+	ServerHandler = "server.handler"
+)
+
+// Known lists every canonical injection point, sorted.
+func Known() []string {
+	out := []string{
+		StorageWALAppend, StorageWALAppendMid, StorageWALSync,
+		StorageWALTruncate, StorageSnapshotWrite, StorageSnapshotRename,
+		BusDeliver, ETLExtract, ETLTransform, ETLLoad,
+		SQLExec, ServicesQuery, ServerHandler,
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrInjected is the sentinel wrapped by every injected error, so tests
+// and callers can tell injected failures from organic ones.
+var ErrInjected = errors.New("fault: injected error")
+
+// Mode selects what an armed point does.
+type Mode uint8
+
+const (
+	// ModeError makes the point return an error.
+	ModeError Mode = iota + 1
+	// ModePanic makes the point panic.
+	ModePanic
+	// ModeDelay makes the point sleep (context-aware via PointCtx).
+	ModeDelay
+	// ModeCrash terminates the process immediately (exit code CrashExitCode,
+	// no deferred functions run — the moral equivalent of kill -9). Only
+	// meaningful inside a child-process test harness.
+	ModeCrash
+)
+
+// CrashExitCode is the exit status of a ModeCrash termination, chosen to
+// be distinguishable from test-failure exits in crash harnesses.
+const CrashExitCode = 86
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeDelay:
+		return "delay"
+	case ModeCrash:
+		return "crash"
+	default:
+		return "off"
+	}
+}
+
+// ParseMode parses a mode name.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "error":
+		return ModeError, nil
+	case "panic":
+		return ModePanic, nil
+	case "delay":
+		return ModeDelay, nil
+	case "crash":
+		return ModeCrash, nil
+	}
+	return 0, fmt.Errorf("fault: unknown mode %q (want error|panic|delay|crash)", s)
+}
+
+// Behavior is an armed point's configuration.
+type Behavior struct {
+	Mode Mode
+	// Err is returned by ModeError points ("" uses a default message
+	// wrapping ErrInjected; custom messages are wrapped too).
+	Err string
+	// Delay is the ModeDelay sleep.
+	Delay time.Duration
+	// After skips the first After evaluations before firing — "crash on
+	// the third WAL append", not the first.
+	After int
+	// Count fires at most Count times (0 = unlimited), after which the
+	// point behaves as disarmed (but stays listed).
+	Count int
+}
+
+// Status reports one point's registry state.
+type Status struct {
+	Name      string        `json:"name"`
+	Mode      string        `json:"mode"`
+	Err       string        `json:"error,omitempty"`
+	Delay     time.Duration `json:"delay,omitempty"`
+	After     int           `json:"after,omitempty"`
+	Count     int           `json:"count,omitempty"`
+	Hits      int           `json:"hits"`
+	Fired     int           `json:"fired"`
+	Canonical bool          `json:"canonical"`
+}
+
+type point struct {
+	behavior Behavior
+	hits     int
+	fired    int
+}
+
+var (
+	mu    sync.Mutex
+	armed = map[string]*point{}
+	// armedCount gates the fast path: zero means every Point call is a
+	// single atomic load.
+	armedCount atomic.Int32
+	// exit is swappable so ModeCrash is testable in-process.
+	exit = os.Exit
+)
+
+// Point evaluates the named injection point. Disarmed points return nil
+// at the cost of one atomic load. A nil context is passed to fire: Point
+// deliberately does not mint a root context (the ctxtenant analyzer
+// forbids that below the server layer); a ModeDelay sleep here is simply
+// uninterruptible — use PointCtx where cancellation matters.
+func Point(name string) error {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	return fire(nil, name)
+}
+
+// PointCtx is Point with a context-aware ModeDelay sleep: cancellation
+// interrupts the delay and the ctx error is returned.
+func PointCtx(ctx context.Context, name string) error {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	return fire(ctx, name)
+}
+
+func fire(ctx context.Context, name string) error {
+	mu.Lock()
+	p := armed[name]
+	if p == nil {
+		mu.Unlock()
+		return nil
+	}
+	p.hits++
+	if p.hits <= p.behavior.After {
+		mu.Unlock()
+		return nil
+	}
+	if p.behavior.Count > 0 && p.fired >= p.behavior.Count {
+		mu.Unlock()
+		return nil
+	}
+	p.fired++
+	b := p.behavior
+	exitFn := exit
+	mu.Unlock()
+	switch b.Mode {
+	case ModeError:
+		if b.Err != "" {
+			return fmt.Errorf("%w at %s: %s", ErrInjected, name, b.Err)
+		}
+		return fmt.Errorf("%w at %s", ErrInjected, name)
+	case ModePanic:
+		panic(fmt.Sprintf("fault: injected panic at %s", name))
+	case ModeDelay:
+		t := time.NewTimer(b.Delay)
+		defer t.Stop()
+		var done <-chan struct{}
+		if ctx != nil {
+			done = ctx.Done() // nil chan (from Point) blocks forever
+		}
+		select {
+		case <-done:
+			return ctx.Err()
+		case <-t.C:
+			return nil
+		}
+	case ModeCrash:
+		exitFn(CrashExitCode)
+	}
+	return nil
+}
+
+// Arm arms (or re-arms) a point. Unknown names are allowed — tests may
+// declare ad-hoc points — but a Behavior without a valid mode is not.
+func Arm(name string, b Behavior) error {
+	if name == "" {
+		return fmt.Errorf("fault: empty point name")
+	}
+	switch b.Mode {
+	case ModeError, ModePanic, ModeCrash:
+	case ModeDelay:
+		if b.Delay <= 0 {
+			return fmt.Errorf("fault: point %s: delay mode needs a positive delay", name)
+		}
+	default:
+		return fmt.Errorf("fault: point %s: invalid mode", name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := armed[name]; !ok {
+		armedCount.Add(1)
+	}
+	armed[name] = &point{behavior: b}
+	return nil
+}
+
+// Disarm removes an armed point; disarming an unarmed point is a no-op.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := armed[name]; ok {
+		delete(armed, name)
+		armedCount.Add(-1)
+	}
+}
+
+// Reset disarms every point. Tests that arm faults must defer Reset.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for name := range armed {
+		delete(armed, name)
+	}
+	armedCount.Store(0)
+}
+
+// List reports every canonical point plus any armed ad-hoc points,
+// sorted by name.
+func List() []Status {
+	mu.Lock()
+	defer mu.Unlock()
+	seen := map[string]bool{}
+	var out []Status
+	for _, name := range Known() {
+		seen[name] = true
+		out = append(out, statusLocked(name, true))
+	}
+	for name := range armed {
+		if !seen[name] {
+			out = append(out, statusLocked(name, false))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func statusLocked(name string, canonical bool) Status {
+	st := Status{Name: name, Mode: "off", Canonical: canonical}
+	if p, ok := armed[name]; ok {
+		st.Mode = p.behavior.Mode.String()
+		st.Err = p.behavior.Err
+		st.Delay = p.behavior.Delay
+		st.After = p.behavior.After
+		st.Count = p.behavior.Count
+		st.Hits = p.hits
+		st.Fired = p.fired
+	}
+	return st
+}
+
+// Fired reports how many times the named point has fired since arming.
+func Fired(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := armed[name]; ok {
+		return p.fired
+	}
+	return 0
+}
+
+// ArmSpec parses and arms a comma-separated fault specification, the
+// ODBIS_FAULTS wire format:
+//
+//	point=mode[:opt ...]
+//
+// where mode is error|panic|delay=DUR|crash and the colon-separated
+// options are after=N, count=N, delay=DUR and err=MESSAGE. Examples:
+//
+//	storage.wal.sync=error
+//	etl.load=delay=50ms
+//	storage.wal.append=crash:after=3
+//	bus.deliver=error:count=2:err=downstream unavailable
+func ArmSpec(spec string) error {
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("fault: bad spec entry %q (want point=mode[:opts])", entry)
+		}
+		var b Behavior
+		for i, tok := range strings.Split(rest, ":") {
+			key, val, hasVal := strings.Cut(tok, "=")
+			switch {
+			case i == 0 && !hasVal:
+				m, err := ParseMode(key)
+				if err != nil {
+					return err
+				}
+				b.Mode = m
+			case key == "delay":
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return fmt.Errorf("fault: point %s: bad delay %q", name, val)
+				}
+				b.Mode, b.Delay = ModeDelay, d
+			case key == "after" && hasVal:
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return fmt.Errorf("fault: point %s: bad after %q", name, val)
+				}
+				b.After = n
+			case key == "count" && hasVal:
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 1 {
+					return fmt.Errorf("fault: point %s: bad count %q", name, val)
+				}
+				b.Count = n
+			case key == "err" && hasVal:
+				b.Err = val
+			default:
+				return fmt.Errorf("fault: point %s: bad option %q", name, tok)
+			}
+		}
+		if err := Arm(name, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FromEnv arms every spec listed in the ODBIS_FAULTS environment
+// variable (ArmSpec format). An unset or empty variable is a no-op, so
+// production binaries can call this unconditionally at startup.
+func FromEnv() error {
+	spec := os.Getenv("ODBIS_FAULTS")
+	if spec == "" {
+		return nil
+	}
+	if err := ArmSpec(spec); err != nil {
+		return fmt.Errorf("fault: ODBIS_FAULTS: %w", err)
+	}
+	return nil
+}
+
+// SetExitForTest swaps the process-exit function used by ModeCrash and
+// returns a restore function. Test-only.
+func SetExitForTest(fn func(int)) (restore func()) {
+	mu.Lock()
+	prev := exit
+	exit = fn
+	mu.Unlock()
+	return func() {
+		mu.Lock()
+		exit = prev
+		mu.Unlock()
+	}
+}

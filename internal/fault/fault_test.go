@@ -1,0 +1,198 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisarmedPointIsNil(t *testing.T) {
+	defer Reset()
+	if err := Point(StorageWALSync); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+	if err := PointCtx(context.Background(), BusDeliver); err != nil {
+		t.Fatalf("disarmed PointCtx returned %v", err)
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	defer Reset()
+	if err := Arm("test.err", Behavior{Mode: ModeError, Err: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	err := Point("test.err")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "test.err") {
+		t.Fatalf("error should carry point name and message: %v", err)
+	}
+	// Other points stay disarmed.
+	if err := Point("test.other"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	Disarm("test.err")
+	if err := Point("test.err"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	defer Reset()
+	if err := Arm("test.panic", Behavior{Mode: ModePanic}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("armed panic point did not panic")
+		}
+	}()
+	Point("test.panic")
+}
+
+func TestAfterAndCount(t *testing.T) {
+	defer Reset()
+	if err := Arm("test.window", Behavior{Mode: ModeError, After: 2, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, Point("test.window") != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: fired=%v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if n := Fired("test.window"); n != 2 {
+		t.Fatalf("Fired = %d, want 2", n)
+	}
+}
+
+func TestDelayModeCtxAware(t *testing.T) {
+	defer Reset()
+	if err := Arm("test.delay", Behavior{Mode: ModeDelay, Delay: 10 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := PointCtx(ctx, "test.delay")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("cancelled delay slept %v", d)
+	}
+	Reset()
+	if err := Arm("test.delay", Behavior{Mode: ModeDelay, Delay: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := PointCtx(context.Background(), "test.delay"); err != nil {
+		t.Fatalf("completed delay returned %v", err)
+	}
+}
+
+func TestCrashModeCallsExit(t *testing.T) {
+	defer Reset()
+	var code int
+	restore := SetExitForTest(func(c int) { code = c })
+	defer restore()
+	if err := Arm("test.crash", Behavior{Mode: ModeCrash}); err != nil {
+		t.Fatal(err)
+	}
+	Point("test.crash")
+	if code != CrashExitCode {
+		t.Fatalf("exit code = %d, want %d", code, CrashExitCode)
+	}
+}
+
+func TestArmValidation(t *testing.T) {
+	defer Reset()
+	if err := Arm("", Behavior{Mode: ModeError}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := Arm("x", Behavior{}); err == nil {
+		t.Fatal("zero mode accepted")
+	}
+	if err := Arm("x", Behavior{Mode: ModeDelay}); err == nil {
+		t.Fatal("delay mode without duration accepted")
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	defer Reset()
+	spec := "storage.wal.sync=error, etl.load=delay=50ms, storage.wal.append=crash:after=3, bus.deliver=error:count=2:err=downstream unavailable"
+	if err := ArmSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Status{}
+	for _, st := range List() {
+		byName[st.Name] = st
+	}
+	if st := byName[StorageWALSync]; st.Mode != "error" {
+		t.Fatalf("wal.sync mode = %s", st.Mode)
+	}
+	if st := byName[ETLLoad]; st.Mode != "delay" || st.Delay != 50*time.Millisecond {
+		t.Fatalf("etl.load = %+v", st)
+	}
+	if st := byName[StorageWALAppend]; st.Mode != "crash" || st.After != 3 {
+		t.Fatalf("wal.append = %+v", st)
+	}
+	if st := byName[BusDeliver]; st.Count != 2 || st.Err != "downstream unavailable" {
+		t.Fatalf("bus.deliver = %+v", st)
+	}
+
+	for _, bad := range []string{
+		"noequals", "x=warble", "x=delay=abc", "x=error:after=-1",
+		"x=error:count=0", "x=error:bogus",
+	} {
+		if err := ArmSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestListCoversKnownPoints(t *testing.T) {
+	defer Reset()
+	statuses := List()
+	seen := map[string]bool{}
+	for _, st := range statuses {
+		seen[st.Name] = true
+		if st.Mode != "off" {
+			t.Fatalf("point %s armed at rest", st.Name)
+		}
+	}
+	for _, name := range Known() {
+		if !seen[name] {
+			t.Fatalf("List missing canonical point %s", name)
+		}
+	}
+}
+
+func TestConcurrentPointEvaluation(t *testing.T) {
+	defer Reset()
+	if err := Arm("test.conc", Behavior{Mode: ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 1000; j++ {
+				Point("test.conc")
+				Point("test.unarmed")
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if n := Fired("test.conc"); n != 8000 {
+		t.Fatalf("fired %d times, want 8000", n)
+	}
+}

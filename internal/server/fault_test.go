@@ -1,0 +1,297 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/odbis/odbis/internal/fault"
+	"github.com/odbis/odbis/internal/security"
+	"github.com/odbis/odbis/internal/services"
+	"github.com/odbis/odbis/internal/storage"
+	"github.com/odbis/odbis/internal/tenant"
+)
+
+// testServerOpts boots the same platform as testServer but with explicit
+// server options (admission control, timeouts).
+func testServerOpts(t *testing.T, opts Options) (*httptest.Server, *Server) {
+	t.Helper()
+	e := storage.MustOpenMemory()
+	t.Cleanup(func() { e.Close() })
+	reg, err := tenant.NewRegistry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := security.NewManager(e, security.Options{HashIterations: 8, TokenSecret: []byte("test")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := services.NewPlatform(reg, sec)
+	if err := p.Bootstrap("root", "toor"); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithOptions(p, opts)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// TestPanicAtSQLExecRollsBackAndRecovers drills the deepest unwind path:
+// a panic injected inside the storage transaction must trigger UpdateCtx's
+// deferred rollback, propagate through the handler into the recovery
+// middleware, produce a structured 500, and leave the platform fully
+// usable — with no trace of the aborted write.
+func TestPanicAtSQLExecRollsBackAndRecovers(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+
+	query := func(sql string) (int, map[string]any, string) {
+		return call(t, ts, token, "POST", "/api/query", map[string]any{"sql": sql})
+	}
+	if status, _, raw := query("CREATE TABLE t (n INT)"); status != http.StatusOK {
+		t.Fatalf("create table: %d %s", status, raw)
+	}
+	if status, _, raw := query("INSERT INTO t (n) VALUES (1)"); status != http.StatusOK {
+		t.Fatalf("seed insert: %d %s", status, raw)
+	}
+
+	if err := fault.Arm(fault.SQLExec, fault.Behavior{Mode: fault.ModePanic, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	status, _, raw := query("INSERT INTO t (n) VALUES (2)")
+	if status != http.StatusInternalServerError {
+		t.Fatalf("panicking insert = %d %s, want 500", status, raw)
+	}
+	if !strings.Contains(raw, "internal error") {
+		t.Fatalf("panicking insert body = %s, want structured internal error", raw)
+	}
+
+	// The process survived, the aborted insert left nothing behind, and
+	// new writes still commit.
+	status, body, raw := query("SELECT COUNT(*) AS c FROM t")
+	if status != http.StatusOK {
+		t.Fatalf("post-panic select: %d %s", status, raw)
+	}
+	rows := body["rows"].([]any)
+	if c := rows[0].([]any)[0].(float64); c != 1 {
+		t.Fatalf("row count after rolled-back insert = %v, want 1", c)
+	}
+	if status, _, raw := query("INSERT INTO t (n) VALUES (3)"); status != http.StatusOK {
+		t.Fatalf("post-panic insert: %d %s", status, raw)
+	}
+}
+
+// TestPanicAtHandlerRecovers drills the recovery middleware from the
+// server.handler point itself.
+func TestPanicAtHandlerRecovers(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+
+	if err := fault.Arm(fault.ServerHandler, fault.Behavior{Mode: fault.ModePanic, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	status, _, raw := call(t, ts, token, "GET", "/api/whoami", nil)
+	if status != http.StatusInternalServerError || !strings.Contains(raw, "internal error") {
+		t.Fatalf("panicking handler = %d %s, want structured 500", status, raw)
+	}
+	status, body, _ := call(t, ts, token, "GET", "/api/whoami", nil)
+	if status != http.StatusOK || body["username"] != "ada" {
+		t.Fatalf("post-panic whoami = %d %v, want recovery", status, body)
+	}
+}
+
+// TestErrorAtHandlerSurfacesInjectedError checks ModeError points surface
+// as request failures, not process failures.
+func TestErrorAtHandlerSurfacesInjectedError(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	ts := testServer(t)
+	token := setupTenantWithUser(t, ts)
+
+	if err := fault.Arm(fault.ServerHandler, fault.Behavior{Mode: fault.ModeError, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	status, _, raw := call(t, ts, token, "GET", "/api/whoami", nil)
+	if status != http.StatusInternalServerError || !strings.Contains(raw, "fault") {
+		t.Fatalf("injected error = %d %s, want 500 naming the fault", status, raw)
+	}
+	if status, _, _ := call(t, ts, token, "GET", "/api/whoami", nil); status != http.StatusOK {
+		t.Fatalf("post-error whoami = %d, want 200", status)
+	}
+}
+
+// TestAdmissionControlShedsWithRetryAfter saturates a MaxInFlight=1 server
+// (occupying the admission slot directly, as a stuck in-flight request
+// would) and checks over-limit requests are shed with 503 + Retry-After
+// while /healthz keeps answering; once the slot frees, service resumes.
+func TestAdmissionControlShedsWithRetryAfter(t *testing.T) {
+	ts, srv := testServerOpts(t, Options{MaxInFlight: 1, RetryAfterSeconds: 7})
+	token := setupTenantWithUser(t, ts)
+
+	srv.sem <- struct{}{} // the one slot is now held by a "stuck" request
+
+	req, _ := http.NewRequest("GET", ts.URL+"/api/whoami", nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request at capacity = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want %q", got, "7")
+	}
+
+	// Health probes bypass admission even at capacity.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Errorf("healthz under saturation = %d, want 200", hr.StatusCode)
+	}
+
+	<-srv.sem // free the slot
+	if status, _, raw := call(t, ts, token, "GET", "/api/whoami", nil); status != http.StatusOK {
+		t.Fatalf("whoami after slot freed = %d %s, want 200", status, raw)
+	}
+}
+
+// TestAdmissionQueueWaitAdmitsWhenSlotFrees checks a bounded queue wait
+// rides out a short saturation instead of shedding.
+func TestAdmissionQueueWaitAdmitsWhenSlotFrees(t *testing.T) {
+	ts, srv := testServerOpts(t, Options{MaxInFlight: 1, QueueWait: 5 * time.Second})
+	token := setupTenantWithUser(t, ts)
+
+	srv.sem <- struct{}{} // saturate, then free the slot shortly after
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(100 * time.Millisecond)
+		<-srv.sem
+	}()
+	status, _, raw := call(t, ts, token, "GET", "/api/whoami", nil)
+	if status != http.StatusOK {
+		t.Fatalf("queued request = %d %s, want 200 after the slot frees", status, raw)
+	}
+	wg.Wait()
+}
+
+// TestFaultAdminAPI exercises the operational control surface: list, arm,
+// observe the armed point firing, disarm one point, reset all — and
+// confirms non-admins are denied.
+func TestFaultAdminAPI(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	ts := testServer(t)
+	ada := setupTenantWithUser(t, ts) // designer: no admin authority
+	admin := login(t, ts, "root", "toor")
+
+	// Non-admin: every endpoint denied.
+	if status, _, _ := call(t, ts, ada, "GET", "/api/admin/faults", nil); status != http.StatusForbidden {
+		t.Fatalf("non-admin list faults = %d, want 403", status)
+	}
+	if status, _, _ := call(t, ts, ada, "POST", "/api/admin/faults",
+		map[string]string{"spec": "server.handler=error"}); status != http.StatusForbidden {
+		t.Fatalf("non-admin arm fault = %d, want 403", status)
+	}
+
+	// Admin: list starts with every canonical point disarmed.
+	status, body, raw := call(t, ts, admin, "GET", "/api/admin/faults", nil)
+	if status != http.StatusOK {
+		t.Fatalf("list faults: %d %s", status, raw)
+	}
+	if n := len(body["faults"].([]any)); n < len(fault.Known()) {
+		t.Fatalf("list shows %d points, want at least %d canonical", n, len(fault.Known()))
+	}
+
+	// Arm via the wire format, watch it fire, then confirm hit accounting.
+	status, _, raw = call(t, ts, admin, "POST", "/api/admin/faults",
+		map[string]string{"spec": "server.handler=error:count=1"})
+	if status != http.StatusOK {
+		t.Fatalf("arm fault: %d %s", status, raw)
+	}
+	if status, _, _ := call(t, ts, ada, "GET", "/api/whoami", nil); status != http.StatusInternalServerError {
+		t.Fatalf("armed point did not fire: whoami = %d, want 500", status)
+	}
+	if got := fault.Fired(fault.ServerHandler); got != 1 {
+		t.Fatalf("fired count = %d, want 1", got)
+	}
+
+	// Bad specs are rejected.
+	if status, _, _ := call(t, ts, admin, "POST", "/api/admin/faults",
+		map[string]string{"spec": "server.handler=explode"}); status != http.StatusBadRequest {
+		t.Fatalf("bad mode = %d, want 400", status)
+	}
+	if status, _, _ := call(t, ts, admin, "POST", "/api/admin/faults",
+		map[string]string{"spec": ""}); status != http.StatusBadRequest {
+		t.Fatalf("empty spec = %d, want 400", status)
+	}
+
+	// Disarm one point, then arm again and reset everything.
+	if status, _, _ := call(t, ts, admin, "DELETE", "/api/admin/faults/server.handler", nil); status != http.StatusOK {
+		t.Fatalf("disarm = %d, want 200", status)
+	}
+	call(t, ts, admin, "POST", "/api/admin/faults", map[string]string{"spec": "bus.deliver=error"})
+	if status, _, _ := call(t, ts, admin, "DELETE", "/api/admin/faults", nil); status != http.StatusOK {
+		t.Fatalf("reset = %d, want 200", status)
+	}
+	status, body, _ = call(t, ts, admin, "GET", "/api/admin/faults", nil)
+	if status != http.StatusOK {
+		t.Fatalf("list after reset = %d", status)
+	}
+	for _, f := range body["faults"].([]any) {
+		st := f.(map[string]any)
+		if st["mode"] != "off" {
+			t.Errorf("point %v still armed after reset: mode=%v", st["name"], st["mode"])
+		}
+	}
+}
+
+// BenchmarkAdmissionOverhead measures the per-request cost of the
+// admission semaphore + recovery middleware on the cheapest endpoint, the
+// figure bench.sh records as admission throughput.
+func BenchmarkAdmissionOverhead(b *testing.B) {
+	e := storage.MustOpenMemory()
+	defer e.Close()
+	reg, err := tenant.NewRegistry(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sec, err := security.NewManager(e, security.Options{HashIterations: 8, TokenSecret: []byte("test")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := services.NewPlatform(reg, sec)
+	if err := p.Bootstrap("root", "toor"); err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		opts Options
+	}{
+		{"unlimited", Options{}},
+		{"maxInFlight64", Options{MaxInFlight: 64}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			srv := NewWithOptions(p, bc.opts)
+			// /healthz bypasses admission; an unauthenticated /api request
+			// is the cheapest path that pays the full middleware cost.
+			req := httptest.NewRequest("GET", "/api/whoami", nil)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					w := httptest.NewRecorder()
+					srv.ServeHTTP(w, req)
+				}
+			})
+		})
+	}
+}

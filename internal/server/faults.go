@@ -1,0 +1,64 @@
+package server
+
+import (
+	"net/http"
+
+	"github.com/odbis/odbis/internal/fault"
+	"github.com/odbis/odbis/internal/services"
+)
+
+// Fault-injection control endpoints. Arming a fault point changes how
+// the whole process behaves, so every endpoint requires the admin
+// authority — a tenant analyst must not be able to crash the platform
+// "experimentally".
+
+func (s *Server) handleListFaults(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	if err := sess.RequireAdmin(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"faults": fault.List()})
+}
+
+func (s *Server) handleArmFault(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	if err := sess.RequireAdmin(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req struct {
+		// Spec uses the ODBIS_FAULTS wire format, e.g.
+		// "storage.wal.sync=error:count=2" (see fault.ArmSpec).
+		Spec string `json:"spec"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if req.Spec == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "spec is required"})
+		return
+	}
+	if err := fault.ArmSpec(req.Spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"faults": fault.List()})
+}
+
+func (s *Server) handleResetFaults(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	if err := sess.RequireAdmin(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	fault.Reset()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "reset"})
+}
+
+func (s *Server) handleDisarmFault(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	if err := sess.RequireAdmin(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	fault.Disarm(r.PathValue("name"))
+	writeJSON(w, http.StatusOK, map[string]string{"status": "disarmed"})
+}

@@ -14,9 +14,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"github.com/odbis/odbis/internal/fault"
 	"github.com/odbis/odbis/internal/security"
 	"github.com/odbis/odbis/internal/services"
 	"github.com/odbis/odbis/internal/storage"
@@ -29,6 +31,11 @@ type Server struct {
 	mux      *http.ServeMux
 	// requestTimeout bounds each authenticated API call (0 = unbounded).
 	requestTimeout time.Duration
+	// sem is the admission-control semaphore (nil = unlimited): a slot
+	// must be acquired before any non-exempt request runs.
+	sem        chan struct{}
+	queueWait  time.Duration
+	retryAfter int
 }
 
 // Options configure the HTTP façade.
@@ -40,6 +47,17 @@ type Options struct {
 	// Zero means no server-imposed deadline (client disconnects still
 	// cancel).
 	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently running requests (load shedding):
+	// beyond it, requests wait up to QueueWait for a slot and are then
+	// rejected with 503 + Retry-After. Zero means unlimited. /healthz is
+	// exempt — an overloaded platform must still answer probes.
+	MaxInFlight int
+	// QueueWait is how long an over-limit request may wait for a slot
+	// before shedding (0 = shed immediately). Keep it below client
+	// timeouts: queueing longer than callers wait serves no one.
+	QueueWait time.Duration
+	// RetryAfterSeconds is advertised on 503 responses (default 1).
+	RetryAfterSeconds int
 }
 
 // New builds a server over a platform.
@@ -50,13 +68,109 @@ func New(p *services.Platform) *Server {
 // NewWithOptions builds a server with explicit options.
 func NewWithOptions(p *services.Platform, opts Options) *Server {
 	s := &Server{platform: p, mux: http.NewServeMux(), requestTimeout: opts.RequestTimeout}
+	if opts.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, opts.MaxInFlight)
+	}
+	s.queueWait = opts.QueueWait
+	s.retryAfter = opts.RetryAfterSeconds
+	if s.retryAfter <= 0 {
+		s.retryAfter = 1
+	}
 	s.routes()
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: admission control, then panic
+// recovery, then routing. Health probes bypass admission — an overloaded
+// platform that fails its liveness checks gets restarted into a worse
+// outage.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	if r.URL.Path == "/healthz" {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	if !s.admit(r) {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server at capacity, retry later"})
+		return
+	}
+	defer s.release()
+	s.serveRecovered(w, r)
+}
+
+// admit acquires an admission slot, waiting up to queueWait. It returns
+// false when the request should be shed (including a client that gave up
+// while queued).
+func (s *Server) admit(r *http.Request) bool {
+	if s.sem == nil {
+		return true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if s.queueWait <= 0 {
+		return false
+	}
+	t := time.NewTimer(s.queueWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		return false
+	case <-t.C:
+		return false
+	}
+}
+
+func (s *Server) release() {
+	if s.sem != nil {
+		<-s.sem
+	}
+}
+
+// statusRecorder remembers whether a handler already wrote a header, so
+// the recovery middleware knows if a structured 500 can still be sent.
+type statusRecorder struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.wrote = true
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	sr.wrote = true
+	return sr.ResponseWriter.Write(p)
+}
+
+// serveRecovered routes the request with panic containment: a panicking
+// handler produces a structured 500 (when the response is still
+// unwritten) and the process stays up. In-flight transactions are safe —
+// every write path runs under UpdateCtx, whose deferred rollback fires
+// during the unwind before the recovery here runs. http.ErrAbortHandler
+// is re-raised per net/http convention (it is the sanctioned way to
+// abort a response, not a bug).
+func (s *Server) serveRecovered(w http.ResponseWriter, r *http.Request) {
+	sr := &statusRecorder{ResponseWriter: w}
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			panic(rec)
+		}
+		if !sr.wrote {
+			writeJSON(sr, http.StatusInternalServerError,
+				apiError{Error: fmt.Sprintf("internal error: %v", rec)})
+		}
+	}()
+	s.mux.ServeHTTP(sr, r)
 }
 
 func (s *Server) routes() {
@@ -77,6 +191,13 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/admin/users", s.withSession(s.handleCreateUser))
 	s.mux.HandleFunc("GET /api/admin/users", s.withSession(s.handleListUsers))
 	s.mux.HandleFunc("GET /api/admin/audit", s.withSession(s.handleAudit))
+
+	// Operational fault-injection control (admin-only): inspect, arm and
+	// disarm the platform's named fault points at runtime.
+	s.mux.HandleFunc("GET /api/admin/faults", s.withSession(s.handleListFaults))
+	s.mux.HandleFunc("POST /api/admin/faults", s.withSession(s.handleArmFault))
+	s.mux.HandleFunc("DELETE /api/admin/faults", s.withSession(s.handleResetFaults))
+	s.mux.HandleFunc("DELETE /api/admin/faults/{name}", s.withSession(s.handleDisarmFault))
 
 	// Meta-data service.
 	s.mux.HandleFunc("GET /api/metadata/datasources", s.withSession(s.handleListDataSources))
@@ -215,6 +336,14 @@ func (s *Server) withSession(h func(w http.ResponseWriter, r *http.Request, sess
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.requestTimeout)
 			defer cancel()
+		}
+		// The server.handler point fires after auth with the full request
+		// context assembled: error mode injects a handler failure, panic
+		// mode drills the recovery middleware, delay mode holds requests
+		// to exercise timeouts and admission control.
+		if err := fault.PointCtx(ctx, fault.ServerHandler); err != nil {
+			writeErr(w, err)
+			return
 		}
 		h(w, r.WithContext(ctx), sess)
 	}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/odbis/odbis/internal/fault"
 	"github.com/odbis/odbis/internal/sql"
 	"github.com/odbis/odbis/internal/storage"
 	"github.com/odbis/odbis/internal/storage/orm"
@@ -275,6 +276,9 @@ func (s *Session) Query(ctx context.Context, query string, args ...storage.Value
 	}
 	cat, err := s.requireCatalog()
 	if err != nil {
+		return nil, err
+	}
+	if err := fault.PointCtx(ctx, fault.ServicesQuery); err != nil {
 		return nil, err
 	}
 	return cat.Query(s.scope(ctx), query, args...)

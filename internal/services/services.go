@@ -237,6 +237,13 @@ func (s *Session) authorize(authority string) error {
 	return nil
 }
 
+// RequireAdmin authorizes the session for platform administration. It is
+// the gate for operational endpoints that live in the HTTP layer itself
+// (fault-injection control) rather than behind a service method.
+func (s *Session) RequireAdmin() error {
+	return s.authorize(AuthAdmin)
+}
+
 // requireCatalog returns the tenant catalog or an error for tenant-less
 // sessions.
 func (s *Session) requireCatalog() (*tenant.Catalog, error) {

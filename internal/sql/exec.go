@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/odbis/odbis/internal/fault"
 	"github.com/odbis/odbis/internal/storage"
 )
 
@@ -71,6 +72,13 @@ func (db *DB) QueryStatement(stmt Statement, args ...storage.Value) (*Result, er
 func (db *DB) QueryStatementContext(ctx context.Context, stmt Statement, args ...storage.Value) (*Result, error) {
 	var res *Result
 	err := db.Engine.UpdateCtx(ctx, func(tx *storage.Tx) error {
+		// The sql.exec point fires inside the transaction on purpose: a
+		// panic injected here unwinds through UpdateCtx's deferred
+		// rollback and on into the server's recovery middleware — the
+		// full "handler dies mid-transaction" drill.
+		if err := fault.PointCtx(ctx, fault.SQLExec); err != nil {
+			return err
+		}
 		var err error
 		res, err = db.exec(tx, stmt, args)
 		return err

@@ -46,6 +46,12 @@ var (
 	ErrNoRow         = errors.New("storage: no such row")
 	ErrClosed        = errors.New("storage: engine closed")
 	ErrRowNotVisible = errors.New("storage: row not visible to transaction")
+	// ErrWALFailed reports that a previous WAL write or sync failed and
+	// the engine refuses further commits: the on-disk log tail is
+	// suspect, and acknowledging writes that may not survive a restart
+	// would silently diverge memory from disk. A successful Checkpoint
+	// rebuilds the log from memory and clears the condition.
+	ErrWALFailed = errors.New("storage: wal failed, engine is read-only until checkpoint or restart")
 )
 
 // rowID indexes a version slot within a table.
@@ -179,6 +185,11 @@ type Engine struct {
 	seqs  map[string]int64
 
 	wal *wal // nil for in-memory engines
+	// epoch counts checkpoints: the snapshot on disk carries it and the
+	// WAL is stamped with it on every reset, letting recovery detect a
+	// WAL that predates the snapshot (crash between snapshot publish and
+	// WAL reset). Guarded by e.mu.
+	epoch uint64
 
 	statsReads  atomic.Uint64
 	statsWrites atomic.Uint64

@@ -11,11 +11,15 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"github.com/odbis/odbis/internal/fault"
 )
 
 const (
-	snapshotFile  = "odbis.snap"
-	snapshotMagic = "ODBISNAP1"
+	snapshotFile = "odbis.snap"
+	// snapshotMagic v2 adds the checkpoint epoch after the magic (see
+	// recEpoch in wal.go for why recovery needs it).
+	snapshotMagic = "ODBISNAP2"
 )
 
 // Checkpoint writes a consistent snapshot of the committed state to disk,
@@ -46,25 +50,40 @@ func (e *Engine) Checkpoint() error {
 		e.txMu.Unlock()
 	}
 
+	// The checkpoint protocol, in crash-survivable order:
+	//
+	//  1. write the full state to a temp file stamped with epoch+1
+	//  2. atomically rename it over the live snapshot
+	//  3. reset the WAL (truncate + stamp epoch+1 + fsync)
+	//
+	// A crash before 2 leaves the old snapshot + a matching WAL. A crash
+	// between 2 and 3 leaves the new snapshot + a stale-epoch WAL, which
+	// recovery discards (its records are already in the snapshot). A
+	// failure at 3 latches the WAL failed so no commit can be
+	// acknowledged into a log the next recovery would discard.
+	newEpoch := e.epoch + 1
 	path := filepath.Join(e.opts.Dir, snapshotFile)
 	tmp := path + ".tmp"
-	if err := e.writeSnapshot(tmp, snap); err != nil {
+	if err := e.writeSnapshot(tmp, snap, newEpoch); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := fault.Point(fault.StorageSnapshotRename); err != nil {
 		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("storage: publish snapshot: %w", err)
 	}
-	// Truncate the WAL: everything it held is now in the snapshot.
-	e.wal.mu.Lock()
-	defer e.wal.mu.Unlock()
-	if err := e.wal.f.Truncate(0); err != nil {
-		return fmt.Errorf("storage: truncate wal: %w", err)
-	}
-	if _, err := e.wal.f.Seek(0, io.SeekStart); err != nil {
+	e.epoch = newEpoch
+	if err := fault.Point(fault.StorageWALTruncate); err != nil {
+		e.wal.mu.Lock()
+		e.wal.fail(err)
+		e.wal.mu.Unlock()
 		return err
 	}
-	return e.wal.f.Sync()
+	// Everything the WAL held is now in the snapshot: reset it.
+	return e.wal.reset(newEpoch)
 }
 
 // Vacuum reclaims dead row versions and compacts indexes across every
@@ -163,7 +182,7 @@ func (c *crcWriter) Write(p []byte) (int, error) {
 	return c.w.Write(p)
 }
 
-func (e *Engine) writeSnapshot(path string, snap snapshot) error {
+func (e *Engine) writeSnapshot(path string, snap snapshot, epoch uint64) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("storage: create snapshot: %w", err)
@@ -174,8 +193,14 @@ func (e *Engine) writeSnapshot(path string, snap snapshot) error {
 	enc := newEncoder(cw)
 
 	enc.str(snapshotMagic)
+	enc.uvarint(epoch)
 	enc.uvarint(e.nextRID.Load())
 	enc.uvarint(e.nextTxID.Load())
+	// The torn-snapshot window: a crash while the temp file is partially
+	// written must leave the previous snapshot untouched.
+	if err := fault.Point(fault.StorageSnapshotWrite); err != nil {
+		return fmt.Errorf("storage: write snapshot: %w", err)
+	}
 
 	e.seqMu.Lock()
 	seqNames := make([]string, 0, len(e.seqs))
@@ -262,6 +287,7 @@ func (e *Engine) loadSnapshot(path string) error {
 	if magic := dec.str(); magic != snapshotMagic {
 		return fmt.Errorf("storage: snapshot %s: bad magic %q", path, magic)
 	}
+	e.epoch = dec.uvarint()
 	nextRID := dec.uvarint()
 	nextTx := dec.uvarint()
 	nseq := dec.uvarint()

@@ -73,15 +73,17 @@ func (e *Engine) Update(fn func(tx *Tx) error) error {
 
 // UpdateCtx is Update with a cancellable transaction context. A context
 // cancelled before commit rolls the transaction back, so partial work
-// from an abandoned request never becomes visible.
+// from an abandoned request never becomes visible. The rollback is
+// guaranteed even when fn panics (Rollback after Commit is a no-op):
+// the server's panic-recovery middleware relies on this to keep a
+// panicking handler from stranding an active transaction.
 func (e *Engine) UpdateCtx(ctx context.Context, fn func(tx *Tx) error) error {
 	tx := e.BeginCtx(ctx)
+	defer tx.Rollback()
 	if err := fn(tx); err != nil {
-		tx.Rollback()
 		return err
 	}
 	if err := ctx.Err(); err != nil {
-		tx.Rollback()
 		return err
 	}
 	return tx.Commit()

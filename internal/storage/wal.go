@@ -9,6 +9,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"github.com/odbis/odbis/internal/fault"
 )
 
 const walFile = "odbis.wal"
@@ -21,6 +23,12 @@ const (
 	recDropIndex   byte = 'X'
 	recSequence    byte = 'S'
 	recCommit      byte = 'C'
+	// recEpoch stamps the WAL with the checkpoint epoch of the snapshot
+	// it extends. It is always the first record of a reset WAL; replay
+	// discards a WAL whose epoch does not match the loaded snapshot
+	// (a crash between snapshot publish and WAL reset would otherwise
+	// re-apply records the snapshot already contains).
+	recEpoch byte = 'E'
 )
 
 // wal is an append-only redo log. Records are framed as
@@ -35,6 +43,13 @@ type wal struct {
 	f    *os.File
 	sync SyncMode
 	buf  bytes.Buffer
+	// failed latches the first physical write/sync error. Once set,
+	// every further append fails fast with ErrWALFailed: the on-disk
+	// tail is suspect, and acknowledging commits that may not survive a
+	// restart would silently diverge memory from disk. A successful
+	// checkpoint resets the WAL from known-good memory state and clears
+	// the latch.
+	failed error
 }
 
 func openWAL(path string, mode SyncMode) (*wal, error) {
@@ -66,10 +81,19 @@ func (w *wal) append(fn func(enc *encoder)) error {
 	if w.f == nil {
 		return ErrClosed
 	}
+	if w.failed != nil {
+		return fmt.Errorf("%w (first failure: %v)", ErrWALFailed, w.failed)
+	}
 	w.buf.Reset()
 	enc := newEncoder(&w.buf)
 	fn(enc)
 	if err := enc.flush(); err != nil {
+		return err
+	}
+	// Nothing has reached the file yet: a failure up to here (including
+	// the armed fault below) aborts the record cleanly and the WAL stays
+	// usable.
+	if err := fault.Point(fault.StorageWALAppend); err != nil {
 		return err
 	}
 	payload := w.buf.Bytes()
@@ -82,17 +106,80 @@ func (w *wal) append(fn func(enc *encoder)) error {
 		return err
 	}
 	if _, err := w.f.Write(frame[:4]); err != nil {
-		return err
+		return w.fail(err)
+	}
+	// The torn-write window: the frame header is on disk, the payload is
+	// not. A crash armed here leaves exactly the partial frame recovery
+	// must truncate.
+	if err := fault.Point(fault.StorageWALAppendMid); err != nil {
+		return w.fail(err)
 	}
 	if _, err := w.f.Write(payload); err != nil {
-		return err
+		return w.fail(err)
 	}
 	if _, err := w.f.Write(frame[4:]); err != nil {
-		return err
+		return w.fail(err)
 	}
 	if w.sync == SyncFull {
-		return w.f.Sync()
+		if err := fault.Point(fault.StorageWALSync); err != nil {
+			return w.fail(err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return w.fail(err)
+		}
 	}
+	return nil
+}
+
+// fail latches a physical write/sync error (caller holds w.mu).
+func (w *wal) fail(err error) error {
+	if w.failed == nil {
+		w.failed = err
+	}
+	return err
+}
+
+// reset truncates the WAL, stamps it with the checkpoint epoch and
+// fsyncs, clearing any latched failure: after a reset the on-disk log is
+// empty and provably in sync with memory again. On error the WAL is
+// latched failed — an un-reset WAL next to a newer snapshot must not
+// accept appends the next recovery would discard as stale.
+func (w *wal) reset(epoch uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return ErrClosed
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return w.fail(fmt.Errorf("storage: truncate wal: %w", err))
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return w.fail(err)
+	}
+	w.buf.Reset()
+	enc := newEncoder(&w.buf)
+	enc.byte(recEpoch)
+	enc.uvarint(epoch)
+	if err := enc.flush(); err != nil {
+		return err
+	}
+	payload := w.buf.Bytes()
+	var frame [8]byte
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(frame[:4]); err != nil {
+		return w.fail(err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return w.fail(err)
+	}
+	if _, err := w.f.Write(frame[4:]); err != nil {
+		return w.fail(err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return w.fail(err)
+	}
+	w.failed = nil
 	return nil
 }
 
@@ -186,7 +273,12 @@ func (w *wal) logTx(txid uint64, ops []txOp) error {
 var errTornRecord = errors.New("storage: torn wal record")
 
 // replayWAL applies every intact record from the WAL. A torn tail is
-// truncated so future appends produce a clean log.
+// truncated so future appends produce a clean log. A WAL whose epoch
+// stamp disagrees with the loaded snapshot is discarded whole: it was
+// written against a different snapshot baseline (a crash landed between
+// snapshot publish and WAL reset), so its records are either already in
+// the snapshot or inconsistent with it — replaying them would duplicate
+// rows or resurrect dropped tables.
 func (e *Engine) replayWAL() error {
 	w := e.wal
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
@@ -194,6 +286,10 @@ func (e *Engine) replayWAL() error {
 	}
 	var goodEnd int64
 	var maxTx, maxRID uint64
+	// A WAL with no epoch record is a fresh, never-checkpointed log
+	// (epoch 0): reset always stamps one.
+	walEpoch := uint64(0)
+	first := true
 	r := io.Reader(w.f)
 	for {
 		payload, n, err := readFrame(r)
@@ -205,6 +301,20 @@ func (e *Engine) replayWAL() error {
 		}
 		if err != nil {
 			return err
+		}
+		if first {
+			first = false
+			if ep, ok := decodeEpoch(payload); ok {
+				walEpoch = ep
+				goodEnd += int64(n)
+				if walEpoch != e.epoch {
+					break
+				}
+				continue
+			}
+		}
+		if walEpoch != e.epoch {
+			break
 		}
 		tx, rid, aerr := e.applyWALRecord(payload)
 		if aerr != nil {
@@ -218,6 +328,12 @@ func (e *Engine) replayWAL() error {
 		}
 		goodEnd += int64(n)
 	}
+	// Mismatched (or missing) epoch after a checkpoint: discard the
+	// stale log and restamp. This also covers a crash inside reset
+	// itself (truncated but not yet stamped).
+	if walEpoch != e.epoch {
+		return w.reset(e.epoch)
+	}
 	if err := w.f.Truncate(goodEnd); err != nil {
 		return fmt.Errorf("storage: truncate torn wal: %w", err)
 	}
@@ -228,6 +344,19 @@ func (e *Engine) replayWAL() error {
 		e.nextRID.Store(maxRID + 1)
 	}
 	return nil
+}
+
+// decodeEpoch reports whether payload is an epoch record and its value.
+func decodeEpoch(payload []byte) (uint64, bool) {
+	if len(payload) == 0 || payload[0] != recEpoch {
+		return 0, false
+	}
+	dec := newDecoder(bytes.NewReader(payload[1:]))
+	ep := dec.uvarint()
+	if dec.err != nil {
+		return 0, false
+	}
+	return ep, true
 }
 
 // readFrame reads one framed record, returning the payload and the total

@@ -188,6 +188,14 @@ type Options struct {
 	// (default 1s). The scheduler loop is bound to the platform lifetime:
 	// Close cancels it and waits for any in-flight job.
 	SchedulerResolution time.Duration
+	// MaxInFlight bounds concurrently running HTTP API requests (load
+	// shedding): beyond it, requests wait up to QueueWait for a slot and
+	// are then rejected with 503 + Retry-After. Zero means unlimited.
+	// /healthz is exempt.
+	MaxInFlight int
+	// QueueWait is how long an over-limit request may queue for an
+	// admission slot before being shed (0 = shed immediately).
+	QueueWait time.Duration
 }
 
 // Platform is a running ODBIS instance.
@@ -241,7 +249,11 @@ func Open(opts Options) (*Platform, error) {
 		security: sec,
 		services: svc,
 		mddws:    designer,
-		handler:  server.NewWithOptions(svc, server.Options{RequestTimeout: opts.RequestTimeout}),
+		handler: server.NewWithOptions(svc, server.Options{
+			RequestTimeout: opts.RequestTimeout,
+			MaxInFlight:    opts.MaxInFlight,
+			QueueWait:      opts.QueueWait,
+		}),
 	}, nil
 }
 

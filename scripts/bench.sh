@@ -1,20 +1,24 @@
 #!/bin/sh
 # Benchmark harness: runs the Go benchmarks and records the results as a
 # JSON baseline so future PRs can diff performance instead of guessing.
-# Covers the analyzer suite plus the BenchmarkCtxOverhead_* pairs that
+# Covers the analyzer suite, the BenchmarkCtxOverhead_* pairs that
 # bound the context-first request path's checkpoint cost (the LiveCtx
-# variant of each pair must stay within ~2% of Background). Each
+# variant of each pair must stay within ~2% of Background), the
+# fault-point fast path (BenchmarkPointDisabled must stay in the
+# single-nanosecond range so disabled points cost <1% on the E1
+# end-to-end figures), and the admission-control middleware
+# (BenchmarkAdmissionOverhead unlimited vs maxInFlight64). Each
 # benchmark runs BENCH_COUNT times and the minimum ns/op is recorded —
 # the min is the noise-robust estimator on shared CI hardware, where a
 # single pass showed ±10% swings that dwarf the effect being measured.
-# Output file defaults to BENCH_PR3.json at the repo root; override with
+# Output file defaults to BENCH_PR4.json at the repo root; override with
 # BENCH_OUT.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR3.json}"
-PKGS="${BENCH_PKGS:-./internal/analysis/ ./internal/sql/ ./internal/olap/}"
+OUT="${BENCH_OUT:-BENCH_PR4.json}"
+PKGS="${BENCH_PKGS:-./internal/analysis/ ./internal/sql/ ./internal/olap/ ./internal/fault/ ./internal/server/}"
 # The experiment hot paths the context-first refactor must not regress:
 # E1 (Fig. 1 end-to-end request) and E5 (Fig. 4 per-layer overhead).
 ROOT_BENCH="${BENCH_ROOT:-Figure1_|Figure4_}"

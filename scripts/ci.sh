@@ -21,8 +21,16 @@ timeout "${ODBIS_VET_BUDGET:-120}" go run ./cmd/odbis-vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race (bus, etl, storage, tenant, sql, olap, services, server)"
+echo "==> go test -race (bus, etl, storage, tenant, sql, olap, services, server, fault)"
 go test -race ./internal/bus/ ./internal/etl/ ./internal/storage/ ./internal/tenant/ \
-	./internal/sql/ ./internal/olap/ ./internal/services/ ./internal/server/
+	./internal/sql/ ./internal/olap/ ./internal/services/ ./internal/server/ \
+	./internal/fault/
+
+# The fault suite re-runs under -race explicitly: panic recovery, bus
+# redelivery, admission control and the child-process crash matrix are
+# exactly the code the race detector exists for.
+echo "==> fault-injection suite under -race"
+go test -race -run 'Fault|Crash|TornTail|Panic|Admission|Redeliver|DeadLetter' \
+	./internal/fault/ ./internal/storage/ ./internal/bus/ ./internal/etl/ ./internal/server/
 
 echo "CI OK"
