@@ -8,8 +8,8 @@
 package odbis
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -23,6 +23,7 @@ import (
 	"github.com/odbis/odbis/internal/metamodel"
 	"github.com/odbis/odbis/internal/metamodel/cwm"
 	"github.com/odbis/odbis/internal/metamodel/odm"
+	"github.com/odbis/odbis/internal/obs"
 	"github.com/odbis/odbis/internal/olap"
 	"github.com/odbis/odbis/internal/report"
 	"github.com/odbis/odbis/internal/rules"
@@ -161,6 +162,22 @@ func benchmarkFigure1(b *testing.B, tenants int) {
 func BenchmarkFigure1_EndToEnd_1Tenant(b *testing.B)   { benchmarkFigure1(b, 1) }
 func BenchmarkFigure1_EndToEnd_8Tenants(b *testing.B)  { benchmarkFigure1(b, 8) }
 func BenchmarkFigure1_EndToEnd_32Tenants(b *testing.B) { benchmarkFigure1(b, 32) }
+
+// The _ObsOff variants rerun E1 with the observability subsystem
+// disarmed. The armed-vs-disarmed delta within one bench run is the
+// measurement of obs overhead; comparing armed figures across
+// BENCH_PR*.json files from different runs measures host noise instead.
+func BenchmarkFigure1_EndToEnd_1Tenant_ObsOff(b *testing.B) {
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
+	benchmarkFigure1(b, 1)
+}
+
+func BenchmarkFigure1_EndToEnd_8Tenants_ObsOff(b *testing.B) {
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
+	benchmarkFigure1(b, 8)
+}
 
 // --- E2 / §2: multi-tenant shared store vs isolated engines ---
 

@@ -28,6 +28,7 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline for API calls (e.g. 30s); in-flight queries, cube builds and jobs abort and roll back at the deadline (0 = unbounded)")
 		maxInFlight = flag.Int("max-in-flight", 0, "maximum concurrently running API requests; beyond it requests are shed with 503 + Retry-After (0 = unlimited, /healthz always exempt)")
 		queueWait   = flag.Duration("queue-wait", 0, "how long an over-limit request may queue for an admission slot before shedding (0 = shed immediately)")
+		slowReq     = flag.Duration("slow-request", 0, "log and count any request slower than this (e.g. 500ms); 0 disables the slow-request log")
 	)
 	flag.Parse()
 
@@ -45,6 +46,7 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		MaxInFlight:    *maxInFlight,
 		QueueWait:      *queueWait,
+		SlowRequest:    *slowReq,
 	}
 	if *tokenSecret != "" {
 		opts.TokenSecret = []byte(*tokenSecret)

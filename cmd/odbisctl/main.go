@@ -77,6 +77,12 @@ func main() {
 		err = c.getJSON("/api/reports")
 	case "audit":
 		err = c.getJSON("/api/admin/audit")
+	case "metrics":
+		err = cmdMetrics(c, args[1:])
+	case "traces":
+		err = cmdTraces(c, args[1:])
+	case "deadletters":
+		err = c.getJSON("/api/admin/deadletters")
 	case "fault":
 		err = cmdFault(c, args[1:])
 	case "vet":
@@ -104,6 +110,9 @@ commands:
   tenants | usage T | invoice T administration
   datasets | datasources        metadata listings
   cubes | reports | audit       more listings
+  metrics [-prom]               platform metrics (JSON; -prom = raw Prometheus text)
+  traces [-n N]                 recent request traces with per-layer timings
+  deadletters                   parked bus messages awaiting inspection
   fault list                    show every fault point and its armed state
   fault arm SPEC                arm points, e.g. "storage.wal.sync=error:count=2"
   fault disarm NAME | reset     disarm one point / disarm everything
@@ -257,6 +266,44 @@ func cmdQuery(c *client, args []string) error {
 	}
 	fmt.Printf("(%d rows)\n", len(res.Rows))
 	return nil
+}
+
+// cmdMetrics fetches platform metrics: the admin JSON snapshot by
+// default, or the raw Prometheus exposition (no token needed) with
+// -prom.
+func cmdMetrics(c *client, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	prom := fs.Bool("prom", false, "print the raw Prometheus text exposition instead of JSON")
+	fs.Parse(args)
+	if *prom {
+		resp, err := c.do("GET", "/metrics", nil)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode >= 400 {
+			return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+		}
+		os.Stdout.Write(raw)
+		return nil
+	}
+	return c.getJSON("/api/admin/metrics")
+}
+
+// cmdTraces prints recent request traces, newest first.
+func cmdTraces(c *client, args []string) error {
+	fs := flag.NewFlagSet("traces", flag.ExitOnError)
+	n := fs.Int("n", 0, "how many recent traces to fetch (0 = server default)")
+	fs.Parse(args)
+	path := "/api/admin/traces"
+	if *n > 0 {
+		path += fmt.Sprintf("?n=%d", *n)
+	}
+	return c.getJSON(path)
 }
 
 // cmdFault drives the admin fault-injection control surface: resilience

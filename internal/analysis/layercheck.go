@@ -37,24 +37,29 @@ var layerDAG = map[string][]string{
 	// fault is cross-cutting infrastructure (named injection points with
 	// no dependencies of its own); any layer that hosts a point may
 	// import it, and it may import nothing.
-	"fault":     {},
-	"storage":   {"fault"},
-	"bus":       {"fault"},
-	"sql":       {"fault", "storage"},
-	"security":  {"storage"},
-	"tenant":    {"sql", "storage"},
-	"etl":       {"fault", "sql", "storage"},
-	"olap":      {"sql", "storage"},
-	"report":    {"sql", "storage"},
-	"rules":     {"sql", "storage"},
-	"bpm":       {"bus", "sql", "storage"},
-	"workload":  {"etl", "sql", "storage"},
-	"metamodel": {"etl", "storage"},
-	"mda":       {"metamodel"},
-	"mddws":     {"etl", "mda", "metamodel", "olap", "sql", "storage"},
-	"services": {"bpm", "bus", "etl", "fault", "mda", "metamodel", "mddws", "olap",
+	"fault": {},
+	// obs is cross-cutting observability: every layer may record into it,
+	// so like fault it sits at the bottom of the DAG. It imports fault
+	// only (to observe trips via the observer hook), never any layer it
+	// instruments — the reverse edge would be a cycle.
+	"obs":       {"fault"},
+	"storage":   {"fault", "obs"},
+	"bus":       {"fault", "obs"},
+	"sql":       {"fault", "obs", "storage"},
+	"security":  {"obs", "storage"},
+	"tenant":    {"obs", "sql", "storage"},
+	"etl":       {"fault", "obs", "sql", "storage"},
+	"olap":      {"obs", "sql", "storage"},
+	"report":    {"obs", "sql", "storage"},
+	"rules":     {"obs", "sql", "storage"},
+	"bpm":       {"bus", "obs", "sql", "storage"},
+	"workload":  {"etl", "obs", "sql", "storage"},
+	"metamodel": {"etl", "obs", "storage"},
+	"mda":       {"metamodel", "obs"},
+	"mddws":     {"etl", "mda", "metamodel", "obs", "olap", "sql", "storage"},
+	"services": {"bpm", "bus", "etl", "fault", "mda", "metamodel", "mddws", "obs", "olap",
 		"report", "rules", "security", "sql", "storage", "tenant", "workload"},
-	"server":   {"fault", "olap", "report", "security", "services", "sql", "storage", "tenant"},
+	"server":   {"fault", "obs", "olap", "report", "security", "services", "sql", "storage", "tenant"},
 	"analysis": {},
 }
 

@@ -1,0 +1,10 @@
+// Package obsfix is a layercheck fixture that impersonates the
+// observability layer (its import path ends in internal/obs) and tries
+// to import the access layer it instruments — the reverse edge that
+// would turn the cross-cutting subsystem into an import cycle.
+package obsfix
+
+import (
+	_ "github.com/odbis/odbis/internal/fault"
+	_ "github.com/odbis/odbis/internal/server" // want `layer "obs" may not import layer "server"`
+)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/odbis/odbis/internal/fault"
+	"github.com/odbis/odbis/internal/obs"
 )
 
 // Message is the unit of communication on the bus.
@@ -96,6 +97,14 @@ type channel struct {
 
 	dlqMu sync.Mutex
 	dlq   []DeadLetter
+
+	// Per-channel obs handles, resolved once when the channel is created
+	// so delivery paths never touch the obs registry lock.
+	mDelivered    *obs.Counter
+	mErrors       *obs.Counter
+	mRedelivered  *obs.Counter
+	mDeadLettered *obs.Counter
+	gDLQDepth     *obs.Gauge
 }
 
 // park appends a dead letter, dropping the oldest beyond dlqCap.
@@ -106,8 +115,16 @@ func (c *channel) park(dl DeadLetter) {
 		c.dlq = c.dlq[:dlqCap-1]
 	}
 	c.dlq = append(c.dlq, dl)
+	depth := len(c.dlq)
 	c.dlqMu.Unlock()
 	c.deadLettered.Add(1)
+	c.mDeadLettered.Inc()
+	c.gDLQDepth.Set(int64(depth))
+	// Detached events carry the originating tenant in a header (see
+	// services' event publisher); attribute the loss when present.
+	if id := dl.Msg.Header("tenant"); id != "" {
+		obs.AddTenantID(id, obs.TenantDeadLetters, 1)
+	}
 }
 
 // Bus is a set of named channels. All operations are safe for concurrent
@@ -233,7 +250,13 @@ func (b *Bus) channelFor(name string, create bool) (*channel, error) {
 	if ch, ok := b.channels[name]; ok {
 		return ch, nil
 	}
-	ch = &channel{}
+	ch = &channel{
+		mDelivered:    obs.GetCounterL("odbis_bus_deliveries_total", "channel", name),
+		mErrors:       obs.GetCounterL("odbis_bus_errors_total", "channel", name),
+		mRedelivered:  obs.GetCounterL("odbis_bus_redeliveries_total", "channel", name),
+		mDeadLettered: obs.GetCounterL("odbis_bus_deadlettered_total", "channel", name),
+		gDLQDepth:     obs.GetGaugeL("odbis_bus_deadletter_depth", "channel", name),
+	}
 	b.channels[name] = ch
 	return ch, nil
 }
@@ -281,14 +304,17 @@ func (b *Bus) Send(channelName string, m *Message) (*Message, error) {
 	ch.mu.RUnlock()
 	if h == nil {
 		ch.errors.Add(1)
+		ch.mErrors.Inc()
 		return nil, fmt.Errorf("bus: channel %q has no subscriber", channelName)
 	}
 	reply, err := safeCall(channelName, h, m)
 	if err != nil {
 		ch.errors.Add(1)
+		ch.mErrors.Inc()
 		return nil, fmt.Errorf("bus: %q: %w", channelName, err)
 	}
 	ch.delivered.Add(1)
+	ch.mDelivered.Inc()
 	return reply, nil
 }
 
@@ -307,14 +333,17 @@ func (b *Bus) Publish(channelName string, m *Message) error {
 	ch.mu.RUnlock()
 	if len(handlers) == 0 {
 		ch.errors.Add(1)
+		ch.mErrors.Inc()
 		return fmt.Errorf("bus: channel %q has no subscriber", channelName)
 	}
 	for _, h := range handlers {
 		if _, err := safeCall(channelName, h, m.clone()); err != nil {
 			ch.errors.Add(1)
+			ch.mErrors.Inc()
 			return fmt.Errorf("bus: %q: %w", channelName, err)
 		}
 		ch.delivered.Add(1)
+		ch.mDelivered.Inc()
 	}
 	return nil
 }
@@ -337,9 +366,11 @@ func (b *Bus) PublishBestEffort(channelName string, m *Message) int {
 	for _, h := range handlers {
 		if _, err := safeCall(channelName, h, m.clone()); err != nil {
 			ch.errors.Add(1)
+			ch.mErrors.Inc()
 			continue
 		}
 		ch.delivered.Add(1)
+		ch.mDelivered.Inc()
 		delivered++
 	}
 	return delivered
@@ -393,12 +424,15 @@ func (b *Bus) deliverDetached(channelName string, ch *channel, h Handler, m *Mes
 		if err == nil {
 			if attempt > 1 {
 				ch.redelivered.Add(1)
+				ch.mRedelivered.Inc()
 			}
 			ch.delivered.Add(1)
+			ch.mDelivered.Inc()
 			return
 		}
 		lastErr = err
 		ch.errors.Add(1)
+		ch.mErrors.Inc()
 		if attempt == b.redeliverAttempts || !b.backoffSleep(attempt) {
 			break
 		}

@@ -9,6 +9,17 @@ import (
 	"time"
 
 	"github.com/odbis/odbis/internal/fault"
+	"github.com/odbis/odbis/internal/obs"
+)
+
+// Stage metrics, resolved once at init. Stage histograms share one name
+// with a stage label so /metrics shows extract/transform/load cost side
+// by side.
+var (
+	mETLExtractSecs   = obs.GetHistogramL("odbis_etl_stage_seconds", "stage", "extract", nil)
+	mETLTransformSecs = obs.GetHistogramL("odbis_etl_stage_seconds", "stage", "transform", nil)
+	mETLLoadSecs      = obs.GetHistogramL("odbis_etl_stage_seconds", "stage", "load", nil)
+	mETLRetries       = obs.GetCounter("odbis_etl_retries_total")
 )
 
 // Pipeline is one source → transforms → sink flow.
@@ -37,27 +48,42 @@ func (p *Pipeline) Run(ctx context.Context) (read, written int, err error) {
 	if err := fault.PointCtx(ctx, fault.ETLExtract); err != nil {
 		return 0, 0, fmt.Errorf("etl: extract: %w", err)
 	}
-	recs, err := p.Source.Read(ctx)
+	extractCtx, extractSpan := obs.StartSpan(ctx, "etl.extract")
+	stageStart := time.Now()
+	recs, err := p.Source.Read(extractCtx)
+	extractSpan.End()
+	mETLExtractSecs.ObserveDuration(time.Since(stageStart))
 	if err != nil {
 		return 0, 0, err
 	}
 	read = len(recs)
+	transformCtx, transformSpan := obs.StartSpan(ctx, "etl.transform")
+	stageStart = time.Now()
 	for _, tr := range p.Transforms {
 		if err := ctx.Err(); err != nil {
+			transformSpan.End()
 			return read, 0, err
 		}
 		if err := fault.PointCtx(ctx, fault.ETLTransform); err != nil {
+			transformSpan.End()
 			return read, 0, fmt.Errorf("etl: transform %s: %w", tr.Name(), err)
 		}
-		recs, err = applyTransform(ctx, tr, recs)
+		recs, err = applyTransform(transformCtx, tr, recs)
 		if err != nil {
+			transformSpan.End()
 			return read, 0, fmt.Errorf("etl: transform %s: %w", tr.Name(), err)
 		}
 	}
+	transformSpan.End()
+	mETLTransformSecs.ObserveDuration(time.Since(stageStart))
 	if err := fault.PointCtx(ctx, fault.ETLLoad); err != nil {
 		return read, 0, fmt.Errorf("etl: load: %w", err)
 	}
-	written, err = p.Sink.Write(ctx, recs)
+	loadCtx, loadSpan := obs.StartSpan(ctx, "etl.load")
+	stageStart = time.Now()
+	written, err = p.Sink.Write(loadCtx, recs)
+	loadSpan.End()
+	mETLLoadSecs.ObserveDuration(time.Since(stageStart))
 	return read, written, err
 }
 
@@ -281,6 +307,8 @@ func (j *Job) Run(ctx context.Context) *JobReport {
 					res.Err = serr
 					break
 				}
+				mETLRetries.Inc()
+				obs.AddTenant(ctx, obs.TenantRetries, 1)
 			}
 			res.Attempts++
 			read, written, err := task.Pipeline.Run(ctx)

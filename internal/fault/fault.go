@@ -186,7 +186,20 @@ var (
 	armedCount atomic.Int32
 	// exit is swappable so ModeCrash is testable in-process.
 	exit = os.Exit
+	// observer, when set, is called once per fired trip (before the
+	// mode acts, so panic and crash trips are observed too). fault sits
+	// at the bottom of the layer DAG, so the observability layer hooks
+	// in via this callback instead of an import.
+	observer func(ctx context.Context, name string)
 )
+
+// SetObserver installs the trip callback. The observer must tolerate a
+// nil ctx (Point passes one) and must not call back into fault.
+func SetObserver(fn func(ctx context.Context, name string)) {
+	mu.Lock()
+	observer = fn
+	mu.Unlock()
+}
 
 // Point evaluates the named injection point. Disarmed points return nil
 // at the cost of one atomic load. A nil context is passed to fire: Point
@@ -228,7 +241,13 @@ func fire(ctx context.Context, name string) error {
 	p.fired++
 	b := p.behavior
 	exitFn := exit
+	obsFn := observer
 	mu.Unlock()
+	// Notify before acting on the mode so panic and crash trips are
+	// still counted.
+	if obsFn != nil {
+		obsFn(ctx, name)
+	}
 	switch b.Mode {
 	case ModeError:
 		if b.Err != "" {

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// key renders the exposition identity of a metric: `name` or
+// `name{label="value"}`.
+func (k metricKey) String() string {
+	if k.labelK == "" {
+		return k.name
+	}
+	return k.name + `{` + k.labelK + `="` + escapeLabel(k.labelV) + `"}`
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// BucketCount is one cumulative histogram bucket in a snapshot. The
+// bound is rendered as a string ("0.001", "+Inf") because the last
+// bucket's +Inf has no JSON number representation.
+type BucketCount struct {
+	UpperBound string `json:"le"`
+	Count      int64  `json:"count"`
+}
+
+// HistogramSnapshot is one histogram's state in a snapshot.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// MetricsSnapshot is a point-in-time copy of every registered metric,
+// keyed by exposition identity — the JSON body of /api/admin/metrics.
+type MetricsSnapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the default registry's state.
+func Snapshot() MetricsSnapshot { return std.Snapshot() }
+
+// Snapshot copies the registry's state. The maps are freshly built, so
+// callers may keep or mutate them freely.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	r.mu.RLock()
+	counters := make(map[metricKey]*Counter, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c
+	}
+	gauges := make(map[metricKey]*Gauge, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g
+	}
+	hists := make(map[metricKey]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	r.mu.RUnlock()
+	for k, c := range counters {
+		snap.Counters[k.String()] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k.String()] = g.Value()
+	}
+	for k, h := range hists {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		cum := int64(0)
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+			}
+			hs.Buckets = append(hs.Buckets, BucketCount{UpperBound: le, Count: cum})
+		}
+		snap.Histograms[k.String()] = hs
+	}
+	return snap
+}
+
+// WritePrometheus renders the default registry in the Prometheus text
+// exposition format (version 0.0.4), metrics sorted by name then label.
+func WritePrometheus(w io.Writer) error { return std.WritePrometheus(w) }
+
+// WritePrometheus renders the registry in the Prometheus text format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	counterKeys := make([]metricKey, 0, len(r.counters))
+	for k := range r.counters {
+		counterKeys = append(counterKeys, k)
+	}
+	gaugeKeys := make([]metricKey, 0, len(r.gauges))
+	for k := range r.gauges {
+		gaugeKeys = append(gaugeKeys, k)
+	}
+	histKeys := make([]metricKey, 0, len(r.hists))
+	for k := range r.hists {
+		histKeys = append(histKeys, k)
+	}
+	counters := make(map[metricKey]*Counter, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c
+	}
+	gauges := make(map[metricKey]*Gauge, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g
+	}
+	hists := make(map[metricKey]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	r.mu.RUnlock()
+
+	sortKeys := func(keys []metricKey) {
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].name != keys[j].name {
+				return keys[i].name < keys[j].name
+			}
+			return keys[i].labelV < keys[j].labelV
+		})
+	}
+	sortKeys(counterKeys)
+	sortKeys(gaugeKeys)
+	sortKeys(histKeys)
+
+	var sb strings.Builder
+	lastType := ""
+	writeType := func(name, typ string) {
+		if name != lastType {
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", name, typ)
+			lastType = name
+		}
+	}
+	for _, k := range counterKeys {
+		writeType(k.name, "counter")
+		fmt.Fprintf(&sb, "%s %d\n", k.String(), counters[k].Value())
+	}
+	for _, k := range gaugeKeys {
+		writeType(k.name, "gauge")
+		fmt.Fprintf(&sb, "%s %d\n", k.String(), gauges[k].Value())
+	}
+	for _, k := range histKeys {
+		writeType(k.name, "histogram")
+		h := hists[k]
+		cum := int64(0)
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+			}
+			fmt.Fprintf(&sb, "%s %d\n", bucketKey(k, le), cum)
+		}
+		fmt.Fprintf(&sb, "%s %s\n", suffixKey(k, "_sum"),
+			strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+		fmt.Fprintf(&sb, "%s %d\n", suffixKey(k, "_count"), h.Count())
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// bucketKey renders `name_bucket{...,le="bound"}` with any metric label
+// preserved.
+func bucketKey(k metricKey, le string) string {
+	if k.labelK == "" {
+		return k.name + `_bucket{le="` + le + `"}`
+	}
+	return k.name + `_bucket{` + k.labelK + `="` + escapeLabel(k.labelV) + `",le="` + le + `"}`
+}
+
+// suffixKey renders `name_sum`/`name_count` with any metric label
+// preserved.
+func suffixKey(k metricKey, suffix string) string {
+	if k.labelK == "" {
+		return k.name + suffix
+	}
+	return k.name + suffix + `{` + k.labelK + `="` + escapeLabel(k.labelV) + `"}`
+}

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"context"
+
+	"github.com/odbis/odbis/internal/fault"
+)
+
+// obs is the one layer allowed to import fault (both sit at the bottom
+// of the DAG). Registering the trip observer at init means every fired
+// injection point shows up as odbis_fault_trips_total{point="..."} and,
+// when the trip happened on a tenant-stamped request, in that tenant's
+// fault_trips telemetry.
+func init() {
+	fault.SetObserver(func(ctx context.Context, name string) {
+		if disabled.Load() {
+			return
+		}
+		GetCounterL("odbis_fault_trips_total", "point", name).Inc()
+		if ctx != nil {
+			AddTenant(ctx, TenantFaultTrips, 1)
+		}
+	})
+}

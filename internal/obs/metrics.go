@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// numShards stripes counter updates across cache lines. Power of two so
+// the shard pick is a mask, sized for the handful of cores CI and small
+// deployments actually have — beyond ~16 stripes the summation cost on
+// the read path buys nothing.
+const numShards = 16
+
+// shard is one counter stripe, padded to a 64-byte cache line so
+// neighbouring stripes never false-share.
+type shard struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// shardIndex picks a stripe for the calling goroutine. Goroutine stacks
+// live in distinct allocations, so the address of a stack byte —
+// coarsened to 1 KiB so every frame of one goroutine tends to map to
+// the same stripe — spreads concurrent writers across shards without
+// runtime support. The unsafe use is pure address arithmetic; the
+// pointer never escapes or outlives the call.
+func shardIndex() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b))>>10) & (numShards - 1)
+}
+
+// Counter is a monotonically increasing metric backed by striped
+// atomics. The zero value is NOT usable; obtain counters from
+// GetCounter/GetCounterL so exposition can find them.
+type Counter struct {
+	name   string
+	labelK string
+	labelV string
+	shards [numShards]shard
+}
+
+// Add increments the counter by n. While the subsystem is disabled this
+// is a single atomic load.
+func (c *Counter) Add(n int64) {
+	if disabled.Load() {
+		return
+	}
+	c.shards[shardIndex()].v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the stripes.
+func (c *Counter) Value() int64 {
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Name returns the metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a set-or-adjust metric (in-flight requests, queue depths,
+// the snapshot epoch). A single atomic: gauges are set, not hammered.
+type Gauge struct {
+	name   string
+	labelK string
+	labelV string
+	v      atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) {
+	if disabled.Load() {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (negative to decrement).
+func (g *Gauge) Add(n int64) {
+	if disabled.Load() {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// DefDurationBuckets are the default histogram bounds for durations in
+// seconds: 1µs to 10s, a decade per bucket — wide enough for a WAL
+// append and an ETL job on the same scale.
+var DefDurationBuckets = []float64{
+	0.000001, 0.00001, 0.0001, 0.001, 0.01, 0.1, 1, 10,
+}
+
+// Histogram is a fixed-bucket histogram following Prometheus
+// conventions: cumulative buckets on exposition, observations in
+// seconds for durations. Updates are atomic per bucket; the sum is a
+// CAS loop over float64 bits.
+type Histogram struct {
+	name   string
+	labelK string
+	labelV string
+	bounds []float64 // ascending upper bounds; an implicit +Inf follows
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if disabled.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// metricKey identifies one metric instance: a name plus at most one
+// label pair (per-tenant, per-channel, per-point, per-stage — the
+// platform never needs more than one dimension).
+type metricKey struct {
+	name   string
+	labelK string
+	labelV string
+}
+
+// Registry holds named metrics. The package-level GetCounter family
+// operates on the default registry; separate registries exist only for
+// tests.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[metricKey]*Counter
+	gauges   map[metricKey]*Gauge
+	hists    map[metricKey]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[metricKey]*Counter),
+		gauges:   make(map[metricKey]*Gauge),
+		hists:    make(map[metricKey]*Histogram),
+	}
+}
+
+// std is the process-wide default registry backing the package-level
+// accessors and the /metrics exposition.
+var std = NewRegistry()
+
+// Counter returns the named counter, creating it on first use. Hot
+// paths should call this once at package init and cache the pointer;
+// the lookup takes the registry read lock.
+func (r *Registry) Counter(name string) *Counter { return r.CounterL(name, "", "") }
+
+// CounterL is Counter with one label pair.
+func (r *Registry) CounterL(name, labelKey, labelVal string) *Counter {
+	k := metricKey{name, labelKey, labelVal}
+	r.mu.RLock()
+	c := r.counters[k]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counters[k]; c != nil {
+		return c
+	}
+	c = &Counter{name: name, labelK: labelKey, labelV: labelVal}
+	r.counters[k] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge { return r.GaugeL(name, "", "") }
+
+// GaugeL is Gauge with one label pair.
+func (r *Registry) GaugeL(name, labelKey, labelVal string) *Gauge {
+	k := metricKey{name, labelKey, labelVal}
+	r.mu.RLock()
+	g := r.gauges[k]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.gauges[k]; g != nil {
+		return g
+	}
+	g = &Gauge{name: name, labelK: labelKey, labelV: labelVal}
+	r.gauges[k] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (nil bounds mean DefDurationBuckets).
+// Bounds are fixed at creation; later callers get the existing metric.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	return r.HistogramL(name, "", "", bounds)
+}
+
+// HistogramL is Histogram with one label pair.
+func (r *Registry) HistogramL(name, labelKey, labelVal string, bounds []float64) *Histogram {
+	k := metricKey{name, labelKey, labelVal}
+	r.mu.RLock()
+	h := r.hists[k]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.hists[k]; h != nil {
+		return h
+	}
+	if bounds == nil {
+		bounds = DefDurationBuckets
+	}
+	h = &Histogram{
+		name:   name,
+		labelK: labelKey,
+		labelV: labelVal,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.hists[k] = h
+	return h
+}
+
+// GetCounter returns the named counter from the default registry.
+func GetCounter(name string) *Counter { return std.Counter(name) }
+
+// GetCounterL returns a labelled counter from the default registry.
+func GetCounterL(name, labelKey, labelVal string) *Counter {
+	return std.CounterL(name, labelKey, labelVal)
+}
+
+// GetGauge returns the named gauge from the default registry.
+func GetGauge(name string) *Gauge { return std.Gauge(name) }
+
+// GetGaugeL returns a labelled gauge from the default registry.
+func GetGaugeL(name, labelKey, labelVal string) *Gauge {
+	return std.GaugeL(name, labelKey, labelVal)
+}
+
+// GetHistogram returns the named histogram from the default registry
+// (nil bounds mean DefDurationBuckets).
+func GetHistogram(name string, bounds []float64) *Histogram {
+	return std.Histogram(name, bounds)
+}
+
+// GetHistogramL returns a labelled histogram from the default registry.
+func GetHistogramL(name, labelKey, labelVal string, bounds []float64) *Histogram {
+	return std.HistogramL(name, labelKey, labelVal, bounds)
+}
+
+// Reset zeroes every metric in the default registry, empties the trace
+// ring, and re-enables collection. Tests that assert on counter values
+// should Reset first: the default registry is process-global, so values
+// accumulate across tests and platform instances. Metrics are zeroed in
+// place (not dropped), so the *Counter pointers instrumented packages
+// cached at init keep feeding the same exposition rows afterwards.
+func Reset() {
+	std.mu.Lock()
+	for _, c := range std.counters {
+		for i := range c.shards {
+			c.shards[i].v.Store(0)
+		}
+	}
+	for _, g := range std.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range std.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+	}
+	std.mu.Unlock()
+	resetTraces()
+	disabled.Store(false)
+}

@@ -1,0 +1,33 @@
+// Package obs is the platform's observability substrate: a metrics
+// registry (counters, gauges, fixed-bucket histograms), request tracing
+// (spans carried on the request context), and per-tenant telemetry —
+// the runtime visibility layer the paper's on-demand/pay-as-you-go
+// model requires (§2: metering and billing per tenant) and the
+// ROADMAP's perf work needs to measure its own progress.
+//
+// The package follows the same cost discipline as internal/fault: the
+// disabled path of every metric update is a single atomic load and a
+// predictable branch, so instrumentation stays compiled into production
+// builds. The enabled path is a striped atomic add (shards spread
+// concurrent writers across cache lines), still in the ~10 ns range.
+//
+// Like fault, obs imports nothing from the platform above it (only
+// fault itself, to observe point trips), so every layer down to storage
+// may depend on it. The layercheck analyzer enforces that obs never
+// imports back up the stack.
+package obs
+
+import "sync/atomic"
+
+// disabled gates every metric update and trace start. The zero value
+// means enabled: observability is on by default and SetEnabled(false)
+// turns the whole subsystem into near-free no-ops.
+var disabled atomic.Bool
+
+// SetEnabled turns metric updates and trace collection on or off.
+// While disabled, every update is one atomic load (see
+// BenchmarkCounterAddDisabled) and StartTrace returns a nil span.
+func SetEnabled(on bool) { disabled.Store(!on) }
+
+// Enabled reports whether the subsystem is collecting.
+func Enabled() bool { return !disabled.Load() }

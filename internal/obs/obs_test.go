@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/odbis/odbis/internal/fault"
+)
+
+func TestCounterAddAndValue(t *testing.T) {
+	Reset()
+	c := GetCounter("test_counter_total")
+	for i := 0; i < 100; i++ {
+		c.Inc()
+	}
+	c.Add(5)
+	if got := c.Value(); got != 105 {
+		t.Fatalf("Value = %d, want 105", got)
+	}
+	if GetCounter("test_counter_total") != c {
+		t.Fatal("GetCounter did not return the same instance")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	Reset()
+	c := GetCounter("test_concurrent_total")
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 10000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*per {
+		t.Fatalf("Value = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestLabelledCountersAreDistinct(t *testing.T) {
+	Reset()
+	a := GetCounterL("test_labelled_total", "tenant", "acme")
+	b := GetCounterL("test_labelled_total", "tenant", "globex")
+	a.Add(3)
+	b.Add(7)
+	if a.Value() != 3 || b.Value() != 7 {
+		t.Fatalf("labelled counters shared state: a=%d b=%d", a.Value(), b.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	Reset()
+	g := GetGauge("test_gauge")
+	g.Set(42)
+	g.Add(-2)
+	if got := g.Value(); got != 40 {
+		t.Fatalf("Value = %d, want 40", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	Reset()
+	h := GetHistogram("test_hist_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); got < 5.5 || got > 5.6 {
+		t.Fatalf("Sum = %v, want ~5.555", got)
+	}
+	snap := Snapshot().Histograms["test_hist_seconds"]
+	if len(snap.Buckets) != 4 {
+		t.Fatalf("buckets = %d, want 4 (3 bounds + +Inf)", len(snap.Buckets))
+	}
+	// Cumulative: 1, 2, 3, 4.
+	for i, want := range []int64{1, 2, 3, 4} {
+		if snap.Buckets[i].Count != want {
+			t.Fatalf("bucket[%d] = %d, want %d", i, snap.Buckets[i].Count, want)
+		}
+	}
+}
+
+func TestDisabledCollectsNothing(t *testing.T) {
+	Reset()
+	SetEnabled(false)
+	defer Reset()
+	c := GetCounter("test_disabled_total")
+	c.Add(10)
+	GetGauge("test_disabled_gauge").Set(5)
+	GetHistogram("test_disabled_seconds", nil).Observe(1)
+	ctx, sp := StartTrace(context.Background(), "req")
+	if sp != nil {
+		t.Fatal("StartTrace should return nil span while disabled")
+	}
+	if _, sp := StartSpan(ctx, "child"); sp != nil {
+		t.Fatal("StartSpan should return nil span while disabled")
+	}
+	if c.Value() != 0 {
+		t.Fatalf("counter collected while disabled: %d", c.Value())
+	}
+	if Snapshot().Gauges["test_disabled_gauge"] != 0 {
+		t.Fatal("gauge collected while disabled")
+	}
+}
+
+func TestResetPreservesMetricIdentity(t *testing.T) {
+	Reset()
+	c := GetCounter("test_reset_total")
+	c.Add(9)
+	Reset()
+	if c.Value() != 0 {
+		t.Fatalf("Reset did not zero counter: %d", c.Value())
+	}
+	c.Inc()
+	// The cached pointer must still feed exposition after Reset.
+	if got := Snapshot().Counters["test_reset_total"]; got != 1 {
+		t.Fatalf("cached pointer detached from registry after Reset: snapshot=%d", got)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	Reset()
+	GetCounter("odbis_expo_a_total").Add(3)
+	GetCounterL("odbis_expo_b_total", "channel", "ev\"x").Inc()
+	GetGauge("odbis_expo_depth").Set(7)
+	GetHistogram("odbis_expo_seconds", []float64{0.1}).Observe(0.05)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE odbis_expo_a_total counter",
+		"odbis_expo_a_total 3",
+		`odbis_expo_b_total{channel="ev\"x"} 1`,
+		"# TYPE odbis_expo_depth gauge",
+		"odbis_expo_depth 7",
+		"# TYPE odbis_expo_seconds histogram",
+		`odbis_expo_seconds_bucket{le="0.1"} 1`,
+		`odbis_expo_seconds_bucket{le="+Inf"} 1`,
+		"odbis_expo_seconds_sum 0.05",
+		"odbis_expo_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	Reset()
+	ctx, root := StartTrace(context.Background(), "GET /api/query")
+	if root == nil {
+		t.Fatal("StartTrace returned nil span while enabled")
+	}
+	SetTraceTenant(ctx, "acme")
+	ctx2, svc := StartSpan(ctx, "services.query")
+	ctx3, sqlSpan := StartSpan(ctx2, "sql.exec")
+	sqlSpan.End()
+	_, stor := StartSpan(ctx3, "storage.update")
+	stor.End()
+	svc.End()
+	root.End()
+
+	traces := Traces(1)
+	if len(traces) != 1 {
+		t.Fatalf("Traces = %d records, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Tenant != "acme" {
+		t.Fatalf("Tenant = %q, want acme", tr.Tenant)
+	}
+	if len(tr.Spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(tr.Spans))
+	}
+	wantParents := map[string]int{
+		"GET /api/query": -1,
+		"services.query": 0,
+		"sql.exec":       1,
+		"storage.update": 2, // child of sql.exec via its derived ctx
+	}
+	for i, sp := range tr.Spans {
+		if want, ok := wantParents[sp.Name]; !ok || sp.Parent != want {
+			t.Fatalf("span[%d] %s parent = %d, want %d", i, sp.Name, sp.Parent, want)
+		}
+		if sp.DurationNs < 0 {
+			t.Fatalf("span %s has negative duration", sp.Name)
+		}
+	}
+	if tr.DurationNs <= 0 {
+		t.Fatal("root duration not recorded")
+	}
+}
+
+func TestStartSpanWithoutTrace(t *testing.T) {
+	Reset()
+	ctx, sp := StartSpan(context.Background(), "orphan")
+	if sp != nil {
+		t.Fatal("StartSpan without a trace should return a nil span")
+	}
+	sp.End() // must not panic
+	if ctx == nil {
+		t.Fatal("ctx must pass through")
+	}
+}
+
+func TestTraceRingBoundedNewestFirst(t *testing.T) {
+	Reset()
+	for i := 0; i < traceRingSize+10; i++ {
+		name := "req-even"
+		if i%2 == 1 {
+			name = "req-odd"
+		}
+		_, sp := StartTrace(context.Background(), name)
+		sp.End()
+	}
+	traces := Traces(0)
+	if len(traces) != traceRingSize {
+		t.Fatalf("ring holds %d, want %d", len(traces), traceRingSize)
+	}
+	// Newest first: the last trace started (index 137, odd) comes first.
+	if traces[0].Spans[0].Name != "req-odd" {
+		t.Fatalf("newest trace = %q, want req-odd", traces[0].Spans[0].Name)
+	}
+}
+
+func TestSlowRequestThreshold(t *testing.T) {
+	Reset()
+	SetSlowThreshold(time.Nanosecond)
+	defer SetSlowThreshold(0)
+	before := GetCounter("odbis_slow_requests_total").Value()
+	_, sp := StartTrace(context.Background(), "slow-req")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if got := GetCounter("odbis_slow_requests_total").Value(); got != before+1 {
+		t.Fatalf("slow counter = %d, want %d", got, before+1)
+	}
+}
+
+func TestTenantTelemetry(t *testing.T) {
+	Reset()
+	ctx := WithTenant(context.Background(), "acme")
+	if id, ok := TenantFromContext(ctx); !ok || id != "acme" {
+		t.Fatalf("TenantFromContext = %q/%v", id, ok)
+	}
+	AddTenant(ctx, TenantQueries, 2)
+	AddTenant(ctx, TenantRowsScanned, 150)
+	AddTenant(context.Background(), TenantQueries, 99) // no tenant: dropped
+	AddTenant(nil, TenantQueries, 99)                  // nil ctx: dropped
+	AddTenantID("globex", TenantQueries, 1)
+
+	if got := TenantTotal("acme", TenantQueries); got != 2 {
+		t.Fatalf("acme queries = %d, want 2", got)
+	}
+	totals := TenantTotals("acme")
+	if totals[TenantQueries] != 2 || totals[TenantRowsScanned] != 150 {
+		t.Fatalf("TenantTotals = %v", totals)
+	}
+	if _, ok := totals[TenantRetries]; ok {
+		t.Fatal("zero metrics should be omitted from TenantTotals")
+	}
+	ids := TenantIDs()
+	if len(ids) != 2 || ids[0] != "acme" || ids[1] != "globex" {
+		t.Fatalf("TenantIDs = %v", ids)
+	}
+}
+
+func TestFaultTripCounter(t *testing.T) {
+	Reset()
+	defer fault.Reset()
+	if err := fault.Arm(fault.ServicesQuery, fault.Behavior{Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithTenant(context.Background(), "acme")
+	err := fault.PointCtx(ctx, fault.ServicesQuery)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("expected injected error, got %v", err)
+	}
+	if got := GetCounterL("odbis_fault_trips_total", "point", fault.ServicesQuery).Value(); got != 1 {
+		t.Fatalf("trip counter = %d, want 1", got)
+	}
+	if got := TenantTotal("acme", TenantFaultTrips); got != 1 {
+		t.Fatalf("tenant fault_trips = %d, want 1", got)
+	}
+}
+
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	Reset()
+	c := GetCounter("bench_disabled_total")
+	SetEnabled(false)
+	b.Cleanup(Reset)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	Reset()
+	c := GetCounter("bench_enabled_total")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	Reset()
+	c := GetCounter("bench_parallel_total")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	Reset()
+	h := GetHistogram("bench_hist_seconds", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.000123)
+	}
+}
+
+func BenchmarkSpanActive(b *testing.B) {
+	Reset()
+	ctx, root := StartTrace(context.Background(), "bench-root")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Roll the trace over periodically so the span slice stays small;
+		// the rollover cost amortizes below one record copy per op.
+		if i&255 == 255 {
+			root.End()
+			ctx, root = StartTrace(context.Background(), "bench-root")
+		}
+		_, sp := StartSpan(ctx, "bench-span")
+		sp.End()
+	}
+	b.StopTimer()
+	root.End()
+	Reset()
+}
+
+func BenchmarkSpanNoTrace(b *testing.B) {
+	Reset()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "bench-span")
+		sp.End()
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"strings"
+)
+
+// obs owns the tenant-identity context key so every layer (including
+// ones below internal/tenant in the DAG, like storage and bus) can
+// attribute work to the requesting tenant. internal/tenant re-exports
+// NewContext/FromContext as thin delegates, so existing call sites keep
+// compiling.
+
+type tenantCtxKey struct{}
+
+// WithTenant stamps a tenant identity onto the context.
+func WithTenant(ctx context.Context, tenantID string) context.Context {
+	return context.WithValue(ctx, tenantCtxKey{}, tenantID)
+}
+
+// TenantFromContext extracts the tenant identity, if any.
+func TenantFromContext(ctx context.Context) (string, bool) {
+	if ctx == nil {
+		return "", false
+	}
+	id, ok := ctx.Value(tenantCtxKey{}).(string)
+	return id, ok && id != ""
+}
+
+// Per-tenant telemetry metric names. Each becomes a counter
+// `odbis_tenant_<name>_total{tenant="id"}`; the short names double as
+// the usage-row metric keys the billing service persists, so the
+// tenant package's Metric* constants alias these.
+const (
+	TenantRequests     = "requests"
+	TenantAPICalls     = "api_calls"
+	TenantQueries      = "queries"
+	TenantRowsScanned  = "rows_scanned"
+	TenantRowsLoaded   = "rows_loaded"
+	TenantBytesWritten = "bytes_written"
+	TenantQueueWaitNs  = "queue_wait_ns"
+	TenantRetries      = "retries"
+	TenantDeadLetters  = "dead_letters"
+	TenantFaultTrips   = "fault_trips"
+)
+
+const tenantMetricPrefix = "odbis_tenant_"
+
+// AddTenant bumps a per-tenant counter for the context's tenant. A nil
+// context or one without a tenant identity is a no-op, so layers can
+// attribute unconditionally.
+func AddTenant(ctx context.Context, metric string, n int64) {
+	if disabled.Load() {
+		return
+	}
+	id, ok := TenantFromContext(ctx)
+	if !ok {
+		return
+	}
+	AddTenantID(id, metric, n)
+}
+
+// AddTenantID bumps a per-tenant counter for an explicit tenant id —
+// for paths where the identity is known out of band (bus dead-letter
+// headers, scheduler jobs).
+func AddTenantID(id, metric string, n int64) {
+	if disabled.Load() || id == "" {
+		return
+	}
+	GetCounterL(tenantMetricPrefix+metric+"_total", "tenant", id).Add(n)
+}
+
+// TenantTotal reads one tenant's counter for a metric.
+func TenantTotal(id, metric string) int64 {
+	return GetCounterL(tenantMetricPrefix+metric+"_total", "tenant", id).Value()
+}
+
+// TenantTotals returns every non-zero per-tenant metric for a tenant,
+// keyed by short metric name ("queries", "rows_scanned", ...), sorted
+// iteration-stable via the returned key slice being a fresh map.
+func TenantTotals(id string) map[string]int64 {
+	std.mu.RLock()
+	type cv struct {
+		metric string
+		c      *Counter
+	}
+	var found []cv
+	for k, c := range std.counters {
+		if k.labelK != "tenant" || k.labelV != id {
+			continue
+		}
+		name := strings.TrimPrefix(k.name, tenantMetricPrefix)
+		if name == k.name {
+			continue
+		}
+		name = strings.TrimSuffix(name, "_total")
+		found = append(found, cv{metric: name, c: c})
+	}
+	std.mu.RUnlock()
+	out := make(map[string]int64, len(found))
+	for _, f := range found {
+		if v := f.c.Value(); v != 0 {
+			out[f.metric] = v
+		}
+	}
+	return out
+}
+
+// TenantIDs lists every tenant that has at least one per-tenant
+// counter registered, sorted.
+func TenantIDs() []string {
+	seen := map[string]bool{}
+	std.mu.RLock()
+	for k := range std.counters {
+		if k.labelK == "tenant" && strings.HasPrefix(k.name, tenantMetricPrefix) {
+			seen[k.labelV] = true
+		}
+	}
+	std.mu.RUnlock()
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"context"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one completed span inside a trace. Times are offsets in
+// nanoseconds from the trace start so records stay compact and
+// timezone-free.
+type SpanRecord struct {
+	Name       string `json:"name"`
+	Parent     int    `json:"parent"` // index of the parent span; -1 for the root
+	StartNs    int64  `json:"start_ns"`
+	DurationNs int64  `json:"duration_ns"`
+}
+
+// TraceRecord is one request's completed trace as stored in the ring
+// and served by /api/admin/traces.
+type TraceRecord struct {
+	Start      time.Time    `json:"start"`
+	Tenant     string       `json:"tenant,omitempty"`
+	DurationNs int64        `json:"duration_ns"`
+	Spans      []SpanRecord `json:"spans"`
+}
+
+// trace is the live, mutable record a request carries through the
+// layers. Span starts and ends append under mu; the root span's End
+// finalizes the record into the ring.
+type trace struct {
+	mu    sync.Mutex
+	rec   TraceRecord
+	start time.Time
+}
+
+// Span is a handle to one live span. A nil *Span is valid and every
+// method no-ops on it, so instrumentation never branches on whether
+// tracing is active.
+type Span struct {
+	tr    *trace
+	idx   int
+	start time.Time
+}
+
+// spanKey carries the active trace and the current span index through
+// the context.
+type spanKey struct{}
+
+type spanCtx struct {
+	tr  *trace
+	idx int // index of the span currently open at this ctx depth
+}
+
+// StartTrace opens a root span and attaches the trace to the returned
+// context. The server calls this once per request; deeper layers use
+// StartSpan. When the subsystem is disabled it returns the context
+// unchanged and a nil span.
+func StartTrace(ctx context.Context, name string) (context.Context, *Span) {
+	if disabled.Load() {
+		return ctx, nil
+	}
+	now := time.Now()
+	tr := &trace{start: now}
+	tr.rec.Start = now
+	tr.rec.Spans = append(tr.rec.Spans, SpanRecord{Name: name, Parent: -1})
+	sp := &Span{tr: tr, idx: 0, start: now}
+	return context.WithValue(ctx, spanKey{}, spanCtx{tr: tr, idx: 0}), sp
+}
+
+// StartSpan opens a child span under whatever span the context carries.
+// Without an active trace (no StartTrace upstream, or obs disabled) it
+// returns the context unchanged and a nil span, so library code can
+// instrument unconditionally.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if ctx == nil || disabled.Load() {
+		return ctx, nil
+	}
+	sc, ok := ctx.Value(spanKey{}).(spanCtx)
+	if !ok {
+		return ctx, nil
+	}
+	now := time.Now()
+	tr := sc.tr
+	tr.mu.Lock()
+	idx := len(tr.rec.Spans)
+	tr.rec.Spans = append(tr.rec.Spans, SpanRecord{
+		Name:    name,
+		Parent:  sc.idx,
+		StartNs: now.Sub(tr.start).Nanoseconds(),
+	})
+	tr.mu.Unlock()
+	sp := &Span{tr: tr, idx: idx, start: now}
+	return context.WithValue(ctx, spanKey{}, spanCtx{tr: tr, idx: idx}), sp
+}
+
+// SetTraceTenant stamps the tenant onto the context's trace once the
+// server has authenticated the request (admission and auth run before
+// the tenant is known).
+func SetTraceTenant(ctx context.Context, tenantID string) {
+	if ctx == nil {
+		return
+	}
+	sc, ok := ctx.Value(spanKey{}).(spanCtx)
+	if !ok {
+		return
+	}
+	sc.tr.mu.Lock()
+	sc.tr.rec.Tenant = tenantID
+	sc.tr.mu.Unlock()
+}
+
+// End closes the span. Ending the root span finalizes the trace: the
+// record is pushed into the ring and checked against the slow-request
+// threshold. Safe on a nil receiver and idempotent enough for deferred
+// use.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start).Nanoseconds()
+	tr := s.tr
+	tr.mu.Lock()
+	tr.rec.Spans[s.idx].DurationNs = d
+	if s.idx != 0 {
+		tr.mu.Unlock()
+		return
+	}
+	tr.rec.DurationNs = d
+	// Deep-copy the record out before releasing the trace lock; the ring
+	// must never hold slices a still-live trace could append to, and we
+	// never hold tr.mu and ring.mu together.
+	rec := tr.rec
+	rec.Spans = append([]SpanRecord(nil), tr.rec.Spans...)
+	tr.mu.Unlock()
+	pushTrace(rec)
+	if thr := slowNs.Load(); thr > 0 && d >= thr {
+		slowCount().Inc()
+		log.Printf("obs: slow request: %s took %s (threshold %s, tenant %q, %d spans)",
+			rec.Spans[0].Name, time.Duration(d), time.Duration(thr), rec.Tenant, len(rec.Spans))
+	}
+}
+
+// traceRingSize bounds the in-memory trace history. 128 recent requests
+// is enough to inspect a slow burst without holding a whole load test.
+const traceRingSize = 128
+
+var (
+	traceMu   sync.Mutex
+	traceRing [traceRingSize]TraceRecord
+	traceNext int // next write slot
+	traceLen  int
+
+	// slowNs is the slow-request threshold in nanoseconds; zero disables
+	// the slow log.
+	slowNs atomic.Int64
+
+	// slowCounter is lazily fetched so package init order between
+	// metrics.go and trace.go never matters.
+	slowOnce    sync.Once
+	slowCounter *Counter
+)
+
+func slowCount() *Counter {
+	slowOnce.Do(func() { slowCounter = GetCounter("odbis_slow_requests_total") })
+	return slowCounter
+}
+
+// SetSlowThreshold sets the duration above which completed root spans
+// are logged and counted. Zero or negative disables the slow log.
+func SetSlowThreshold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	slowNs.Store(d.Nanoseconds())
+}
+
+func pushTrace(rec TraceRecord) {
+	traceMu.Lock()
+	traceRing[traceNext] = rec
+	traceNext = (traceNext + 1) % traceRingSize
+	if traceLen < traceRingSize {
+		traceLen++
+	}
+	traceMu.Unlock()
+}
+
+// Traces returns up to n recent traces, newest first. Records are deep
+// copies; callers may keep them.
+func Traces(n int) []TraceRecord {
+	if n <= 0 || n > traceRingSize {
+		n = traceRingSize
+	}
+	traceMu.Lock()
+	if n > traceLen {
+		n = traceLen
+	}
+	out := make([]TraceRecord, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (traceNext - 1 - i + traceRingSize) % traceRingSize
+		rec := traceRing[idx]
+		rec.Spans = append([]SpanRecord(nil), rec.Spans...)
+		out = append(out, rec)
+	}
+	traceMu.Unlock()
+	return out
+}
+
+// resetTraces empties the ring (Reset calls it alongside metric
+// zeroing).
+func resetTraces() {
+	traceMu.Lock()
+	for i := range traceRing {
+		traceRing[i] = TraceRecord{}
+	}
+	traceNext = 0
+	traceLen = 0
+	traceMu.Unlock()
+}

@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
+	"github.com/odbis/odbis/internal/obs"
 	"github.com/odbis/odbis/internal/storage"
 )
 
@@ -186,6 +188,10 @@ func (c *Cube) SetCache(size int) {
 // stop at the next row checkpoint once ctx is cancelled, and the partial
 // cube is discarded.
 func Build(ctx context.Context, e *storage.Engine, spec CubeSpec) (*Cube, error) {
+	ctx, span := obs.StartSpan(ctx, "olap.build")
+	defer span.End()
+	start := time.Now()
+	defer func() { mOLAPBuildSecs.ObserveDuration(time.Since(start)) }()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}

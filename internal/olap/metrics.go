@@ -1,0 +1,12 @@
+package olap
+
+import "github.com/odbis/odbis/internal/obs"
+
+// Metric handles resolved once at init; cellCache bumps them with
+// atomics only, so no registry lock is ever taken under cc.mu.
+var (
+	mOLAPQueries   = obs.GetCounter("odbis_olap_queries_total")
+	mOLAPCacheHits = obs.GetCounter("odbis_olap_cache_hits_total")
+	mOLAPCacheMiss = obs.GetCounter("odbis_olap_cache_misses_total")
+	mOLAPBuildSecs = obs.GetHistogram("odbis_olap_build_seconds", nil)
+)

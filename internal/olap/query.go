@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/odbis/odbis/internal/obs"
 	"github.com/odbis/odbis/internal/storage"
 )
 
@@ -149,6 +150,10 @@ type Result struct {
 // cancelled or expired context aborts the aggregation mid-row, and the
 // partial result is never cached (the put only happens on success).
 func (c *Cube) Execute(ctx context.Context, q Query) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "olap.query")
+	defer span.End()
+	mOLAPQueries.Inc()
+	obs.AddTenant(ctx, obs.TenantQueries, 1)
 	measures := q.Measures
 	if len(measures) == 0 {
 		measures = c.MeasureNames()
@@ -498,8 +503,10 @@ func (cc *cellCache) get(version int, key string) (*Result, bool) {
 	res, ok := cc.items[cc.fullKey(version, key)]
 	if ok {
 		cc.hits++
+		mOLAPCacheHits.Inc()
 	} else {
 		cc.miss++
+		mOLAPCacheMiss.Inc()
 	}
 	return res, ok
 }

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestRenderGolden pins every renderer's full output byte-for-byte
+// against testdata goldens, so layout regressions (column alignment, SVG
+// geometry, CSV quoting, JSON shape) surface as diffs instead of passing
+// the substring checks. Regenerate with: go test ./internal/report -run
+// Golden -update
+func TestRenderGolden(t *testing.T) {
+	db := fixture(t)
+	out, err := Run(context.Background(), DBQueryer(db), dashboardSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		render func(w io.Writer, o *Output) error
+	}{
+		{"dashboard.text", RenderText},
+		{"dashboard.html", RenderHTML},
+		{"dashboard.csv", RenderCSV},
+		{"dashboard.json", RenderJSON},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := c.render(&buf, out); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", c.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Errorf("%s output differs from golden:\n--- got ---\n%s\n--- want ---\n%s",
+					c.name, buf.String(), want)
+			}
+		})
+	}
+}

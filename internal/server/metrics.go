@@ -1,0 +1,39 @@
+package server
+
+import "github.com/odbis/odbis/internal/obs"
+
+// Metric handles resolved once at package init so the per-request path
+// touches only atomics — never the registry lock.
+var (
+	mHTTP1xx = obs.GetCounterL("odbis_http_requests_total", "class", "1xx")
+	mHTTP2xx = obs.GetCounterL("odbis_http_requests_total", "class", "2xx")
+	mHTTP3xx = obs.GetCounterL("odbis_http_requests_total", "class", "3xx")
+	mHTTP4xx = obs.GetCounterL("odbis_http_requests_total", "class", "4xx")
+	mHTTP5xx = obs.GetCounterL("odbis_http_requests_total", "class", "5xx")
+
+	// mHTTPShed counts admission-control rejections (503 + Retry-After).
+	mHTTPShed = obs.GetCounter("odbis_http_shed_total")
+	// gHTTPInFlight tracks requests between admission and response.
+	gHTTPInFlight = obs.GetGauge("odbis_http_in_flight")
+	// mHTTPSeconds is end-to-end request latency including queue wait.
+	mHTTPSeconds = obs.GetHistogram("odbis_http_request_seconds", nil)
+	// mHTTPQueueWait is time spent waiting for an admission slot (only
+	// observed when a request actually queued).
+	mHTTPQueueWait = obs.GetHistogram("odbis_http_queue_wait_seconds", nil)
+)
+
+// statusClassCounter maps a response status onto its class counter.
+func statusClassCounter(status int) *obs.Counter {
+	switch {
+	case status >= 500:
+		return mHTTP5xx
+	case status >= 400:
+		return mHTTP4xx
+	case status >= 300:
+		return mHTTP3xx
+	case status >= 200:
+		return mHTTP2xx
+	default:
+		return mHTTP1xx
+	}
+}

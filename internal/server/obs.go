@@ -1,0 +1,53 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"github.com/odbis/odbis/internal/obs"
+	"github.com/odbis/odbis/internal/services"
+)
+
+// Observability endpoints. /metrics serves the Prometheus text format
+// unauthenticated (like /healthz: scraping must survive an auth outage);
+// the JSON views of the same data, recent traces, and the dead-letter
+// queue are operator tools and require the admin authority.
+
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	if err := sess.RequireAdmin(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, obs.Snapshot())
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	if err := sess.RequireAdmin(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "n must be a positive integer"})
+			return
+		}
+		n = v
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": obs.Traces(n)})
+}
+
+func (s *Server) handleDeadLetters(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	letters, err := sess.DeadLetters(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deadLetters": letters})
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/odbis/odbis/internal/fault"
+	"github.com/odbis/odbis/internal/obs"
 	"github.com/odbis/odbis/internal/security"
 	"github.com/odbis/odbis/internal/services"
 	"github.com/odbis/odbis/internal/storage"
@@ -80,48 +81,71 @@ func NewWithOptions(p *services.Platform, opts Options) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler: admission control, then panic
-// recovery, then routing. Health probes bypass admission — an overloaded
-// platform that fails its liveness checks gets restarted into a worse
-// outage.
+// queueWaitKey stashes the admission-queue wait on the request context
+// so withSession can attribute it to the tenant once auth resolves one
+// (admission runs before the tenant is known).
+type queueWaitKey struct{}
+
+// ServeHTTP implements http.Handler: admission control, then tracing,
+// then panic recovery, then routing. Health probes and the Prometheus
+// scrape bypass admission — an overloaded platform that fails its
+// liveness checks gets restarted into a worse outage, and monitoring is
+// most valuable exactly when the platform is saturated.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/healthz" {
+	if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
 		s.mux.ServeHTTP(w, r)
 		return
 	}
-	if !s.admit(r) {
+	start := time.Now()
+	admitted, wait := s.admit(r)
+	if !admitted {
+		mHTTPShed.Inc()
+		mHTTP5xx.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server at capacity, retry later"})
 		return
 	}
 	defer s.release()
-	s.serveRecovered(w, r)
+	ctx := r.Context()
+	if wait > 0 {
+		mHTTPQueueWait.ObserveDuration(wait)
+		ctx = context.WithValue(ctx, queueWaitKey{}, wait)
+	}
+	ctx, root := obs.StartTrace(ctx, r.Method+" "+r.URL.Path)
+	gHTTPInFlight.Add(1)
+	sr := &statusRecorder{ResponseWriter: w}
+	s.serveRecovered(sr, r.WithContext(ctx))
+	gHTTPInFlight.Add(-1)
+	root.End()
+	statusClassCounter(sr.Status()).Inc()
+	mHTTPSeconds.ObserveDuration(time.Since(start))
 }
 
 // admit acquires an admission slot, waiting up to queueWait. It returns
 // false when the request should be shed (including a client that gave up
-// while queued).
-func (s *Server) admit(r *http.Request) bool {
+// while queued), plus how long the request sat in the queue.
+func (s *Server) admit(r *http.Request) (bool, time.Duration) {
 	if s.sem == nil {
-		return true
+		return true, 0
 	}
 	select {
 	case s.sem <- struct{}{}:
-		return true
+		return true, 0
 	default:
 	}
 	if s.queueWait <= 0 {
-		return false
+		return false, 0
 	}
+	queued := time.Now()
 	t := time.NewTimer(s.queueWait)
 	defer t.Stop()
 	select {
 	case s.sem <- struct{}{}:
-		return true
+		return true, time.Since(queued)
 	case <-r.Context().Done():
-		return false
+		return false, time.Since(queued)
 	case <-t.C:
-		return false
+		return false, time.Since(queued)
 	}
 }
 
@@ -131,14 +155,19 @@ func (s *Server) release() {
 	}
 }
 
-// statusRecorder remembers whether a handler already wrote a header, so
-// the recovery middleware knows if a structured 500 can still be sent.
+// statusRecorder remembers whether a handler already wrote a header (so
+// the recovery middleware knows if a structured 500 can still be sent)
+// and which status it chose (for the per-class request counters).
 type statusRecorder struct {
 	http.ResponseWriter
-	wrote bool
+	wrote  bool
+	status int
 }
 
 func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.wrote {
+		sr.status = code
+	}
 	sr.wrote = true
 	sr.ResponseWriter.WriteHeader(code)
 }
@@ -148,6 +177,15 @@ func (sr *statusRecorder) Write(p []byte) (int, error) {
 	return sr.ResponseWriter.Write(p)
 }
 
+// Status returns the recorded status, defaulting to 200 for handlers
+// that wrote a body (or nothing) without an explicit WriteHeader.
+func (sr *statusRecorder) Status() int {
+	if sr.status == 0 {
+		return http.StatusOK
+	}
+	return sr.status
+}
+
 // serveRecovered routes the request with panic containment: a panicking
 // handler produces a structured 500 (when the response is still
 // unwritten) and the process stays up. In-flight transactions are safe —
@@ -155,8 +193,7 @@ func (sr *statusRecorder) Write(p []byte) (int, error) {
 // during the unwind before the recovery here runs. http.ErrAbortHandler
 // is re-raised per net/http convention (it is the sanctioned way to
 // abort a response, not a bug).
-func (s *Server) serveRecovered(w http.ResponseWriter, r *http.Request) {
-	sr := &statusRecorder{ResponseWriter: w}
+func (s *Server) serveRecovered(sr *statusRecorder, r *http.Request) {
 	defer func() {
 		rec := recover()
 		if rec == nil {
@@ -191,6 +228,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/admin/users", s.withSession(s.handleCreateUser))
 	s.mux.HandleFunc("GET /api/admin/users", s.withSession(s.handleListUsers))
 	s.mux.HandleFunc("GET /api/admin/audit", s.withSession(s.handleAudit))
+
+	// Observability: Prometheus scrape (unauthenticated, like /healthz —
+	// monitoring must work when auth is down), plus admin-only JSON
+	// metrics, recent traces, and dead-letter inspection.
+	s.mux.HandleFunc("GET /metrics", s.handleMetricsProm)
+	s.mux.HandleFunc("GET /api/admin/metrics", s.withSession(s.handleMetricsJSON))
+	s.mux.HandleFunc("GET /api/admin/traces", s.withSession(s.handleTraces))
+	s.mux.HandleFunc("GET /api/admin/deadletters", s.withSession(s.handleDeadLetters))
 
 	// Operational fault-injection control (admin-only): inspect, arm and
 	// disarm the platform's named fault points at runtime.
@@ -331,6 +376,11 @@ func (s *Server) withSession(h func(w http.ResponseWriter, r *http.Request, sess
 		ctx := r.Context()
 		if sess.Principal.Tenant != "" {
 			ctx = tenant.NewContext(ctx, sess.Principal.Tenant)
+			obs.SetTraceTenant(ctx, sess.Principal.Tenant)
+			obs.AddTenant(ctx, obs.TenantRequests, 1)
+			if wait, ok := ctx.Value(queueWaitKey{}).(time.Duration); ok {
+				obs.AddTenant(ctx, obs.TenantQueueWaitNs, wait.Nanoseconds())
+			}
 		}
 		if s.requestTimeout > 0 {
 			var cancel context.CancelFunc

@@ -2,6 +2,8 @@ package services
 
 import (
 	"context"
+	"fmt"
+
 	"github.com/odbis/odbis/internal/security"
 	"github.com/odbis/odbis/internal/tenant"
 )
@@ -147,4 +149,43 @@ func (s *Session) AuditLog(ctx context.Context, event string) ([]string, error) 
 		return nil, err
 	}
 	return s.p.Security.AuditEvents(event)
+}
+
+// DeadLetterInfo is the operator-facing view of one parked bus message.
+// It is a DTO so the server layer can expose the dead-letter queue
+// without importing the bus package (which sits outside the server's
+// import allowance).
+type DeadLetterInfo struct {
+	Channel  string            `json:"channel"`
+	MsgID    string            `json:"msgId"`
+	Headers  map[string]string `json:"headers,omitempty"`
+	Body     string            `json:"body,omitempty"`
+	Err      string            `json:"error"`
+	Attempts int               `json:"attempts"`
+}
+
+// DeadLetters returns every parked message across all bus channels,
+// oldest first per channel, for the admin inspection endpoint.
+func (s *Session) DeadLetters(ctx context.Context) ([]DeadLetterInfo, error) {
+	if err := s.authorize(AuthAdmin); err != nil {
+		return nil, err
+	}
+	out := []DeadLetterInfo{}
+	for _, ch := range s.p.Bus.Channels() {
+		for _, dl := range s.p.Bus.DeadLetters(ch) {
+			info := DeadLetterInfo{Channel: dl.Channel, Err: dl.Err, Attempts: dl.Attempts}
+			if dl.Msg != nil {
+				info.MsgID = dl.Msg.ID
+				if len(dl.Msg.Headers) > 0 {
+					info.Headers = make(map[string]string, len(dl.Msg.Headers))
+					for k, v := range dl.Msg.Headers {
+						info.Headers[k] = v
+					}
+				}
+				info.Body = fmt.Sprint(dl.Msg.Body)
+			}
+			out = append(out, info)
+		}
+	}
+	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/odbis/odbis/internal/obs"
 	"github.com/odbis/odbis/internal/olap"
 	"github.com/odbis/odbis/internal/storage"
 	"github.com/odbis/odbis/internal/storage/orm"
@@ -132,6 +133,8 @@ func (s *Session) invalidateCube(name string) {
 
 // BuildCube (re)builds a cube from current tenant data and caches it.
 func (s *Session) BuildCube(ctx context.Context, name string) (*olap.Cube, error) {
+	ctx, span := obs.StartSpan(ctx, "services.cube")
+	defer span.End()
 	if err := s.authorize(AuthAnalysis); err != nil {
 		return nil, err
 	}
@@ -182,6 +185,8 @@ func (s *Session) Cube(ctx context.Context, name string) (*olap.Cube, error) {
 
 // Analyze runs an OLAP query against a cube.
 func (s *Session) Analyze(ctx context.Context, cubeName string, q olap.Query) (*olap.Result, error) {
+	ctx, span := obs.StartSpan(ctx, "services.analyze")
+	defer span.End()
 	cube, err := s.Cube(ctx, cubeName)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/odbis/odbis/internal/etl"
+	"github.com/odbis/odbis/internal/obs"
 	"github.com/odbis/odbis/internal/tenant"
 )
 
@@ -187,6 +188,8 @@ func (c *catalogQuerySource) Read(ctx context.Context) ([]etl.Record, error) {
 
 // RunJob compiles and executes a job immediately, metering rows loaded.
 func (s *Session) RunJob(ctx context.Context, spec *JobSpec) (*etl.JobReport, error) {
+	ctx, span := obs.StartSpan(ctx, "services.job")
+	defer span.End()
 	if err := s.authorize(AuthIntegration); err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/odbis/odbis/internal/fault"
+	"github.com/odbis/odbis/internal/obs"
 	"github.com/odbis/odbis/internal/sql"
 	"github.com/odbis/odbis/internal/storage"
 	"github.com/odbis/odbis/internal/storage/orm"
@@ -263,6 +264,8 @@ func (s *Session) RunDataSet(ctx context.Context, name string, args ...storage.V
 // Query runs ad-hoc SQL against the tenant catalog (requires read
 // authority; DDL/DML require write).
 func (s *Session) Query(ctx context.Context, query string, args ...storage.Value) (*sql.Result, error) {
+	ctx, span := obs.StartSpan(ctx, "services.query")
+	defer span.End()
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err

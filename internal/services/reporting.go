@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/odbis/odbis/internal/obs"
 	"github.com/odbis/odbis/internal/report"
 	"github.com/odbis/odbis/internal/storage/orm"
 )
@@ -133,6 +134,8 @@ func (s *Session) DeleteReport(ctx context.Context, name string) error {
 
 // RunReport executes a stored report against the tenant catalog.
 func (s *Session) RunReport(ctx context.Context, name string) (*report.Output, error) {
+	ctx, span := obs.StartSpan(ctx, "services.report")
+	defer span.End()
 	spec, err := s.ReportSpec(ctx, name)
 	if err != nil {
 		return nil, err
@@ -152,6 +155,8 @@ func (s *Session) RunReport(ctx context.Context, name string) (*report.Output, e
 
 // RunAdHoc executes an unsaved spec (the ad-hoc reporting module).
 func (s *Session) RunAdHoc(ctx context.Context, spec *report.Spec) (*report.Output, error) {
+	ctx, span := obs.StartSpan(ctx, "services.report")
+	defer span.End()
 	if err := s.authorize(AuthReportRead); err != nil {
 		return nil, err
 	}

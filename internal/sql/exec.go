@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/odbis/odbis/internal/fault"
+	"github.com/odbis/odbis/internal/obs"
 	"github.com/odbis/odbis/internal/storage"
 )
 
@@ -70,6 +71,8 @@ func (db *DB) QueryStatement(stmt Statement, args ...storage.Value) (*Result, er
 
 // QueryStatementContext is QueryStatement bound to ctx.
 func (db *DB) QueryStatementContext(ctx context.Context, stmt Statement, args ...storage.Value) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "sql.exec")
+	defer span.End()
 	var res *Result
 	err := db.Engine.UpdateCtx(ctx, func(tx *storage.Tx) error {
 		// The sql.exec point fires inside the transaction on purpose: a
@@ -111,6 +114,22 @@ func (db *DB) ExecContext(ctx context.Context, query string, args ...storage.Val
 
 func (db *DB) exec(tx *storage.Tx, stmt Statement, params []storage.Value) (*Result, error) {
 	ex := &executor{db: db, tx: tx, ctx: tx.Context(), now: time.Now().UTC().Truncate(time.Microsecond)}
+	res, err := ex.run(stmt, params)
+	// Flush the executor's locally accumulated figures in one shot per
+	// statement — the per-row loops stay metric-free.
+	mSQLStatements.Inc()
+	if ex.ticks > 0 {
+		mSQLRows.Add(int64(ex.ticks))
+		obs.AddTenant(ex.ctx, obs.TenantRowsScanned, int64(ex.ticks))
+	}
+	if ex.yields > 0 {
+		mSQLYields.Add(int64(ex.yields))
+	}
+	return res, err
+}
+
+func (ex *executor) run(stmt Statement, params []storage.Value) (*Result, error) {
+	db := ex.db
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		return ex.runSelect(s, params, nil)
@@ -140,11 +159,12 @@ func (db *DB) exec(tx *storage.Tx, stmt Statement, params []storage.Value) (*Res
 }
 
 type executor struct {
-	db    *DB
-	tx    *storage.Tx
-	ctx   context.Context
-	now   time.Time
-	ticks int
+	db     *DB
+	tx     *storage.Tx
+	ctx    context.Context
+	now    time.Time
+	ticks  int
+	yields int
 }
 
 // step is the executor's cooperative-cancellation checkpoint, called once
@@ -155,6 +175,7 @@ func (ex *executor) step() error {
 	if ex.ticks&63 != 0 || ex.ctx == nil {
 		return nil
 	}
+	ex.yields++
 	return ex.ctx.Err()
 }
 

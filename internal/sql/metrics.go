@@ -1,0 +1,12 @@
+package sql
+
+import "github.com/odbis/odbis/internal/obs"
+
+// Metric handles are resolved once at init; the executor accumulates
+// locally (ticks, yields) and flushes per statement, so the per-row hot
+// loop carries no metric cost at all.
+var (
+	mSQLStatements = obs.GetCounter("odbis_sql_statements_total")
+	mSQLRows       = obs.GetCounter("odbis_sql_rows_scanned_total")
+	mSQLYields     = obs.GetCounter("odbis_sql_checkpoint_yields_total")
+)

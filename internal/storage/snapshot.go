@@ -76,6 +76,7 @@ func (e *Engine) Checkpoint() error {
 		return fmt.Errorf("storage: publish snapshot: %w", err)
 	}
 	e.epoch = newEpoch
+	gSnapshotEpoch.Set(int64(newEpoch))
 	if err := fault.Point(fault.StorageWALTruncate); err != nil {
 		e.wal.mu.Lock()
 		e.wal.fail(err)
@@ -288,6 +289,7 @@ func (e *Engine) loadSnapshot(path string) error {
 		return fmt.Errorf("storage: snapshot %s: bad magic %q", path, magic)
 	}
 	e.epoch = dec.uvarint()
+	gSnapshotEpoch.Set(int64(e.epoch))
 	nextRID := dec.uvarint()
 	nextTx := dec.uvarint()
 	nseq := dec.uvarint()

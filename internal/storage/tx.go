@@ -3,6 +3,8 @@ package storage
 import (
 	"context"
 	"fmt"
+
+	"github.com/odbis/odbis/internal/obs"
 )
 
 // Tx is a snapshot-isolation transaction. A Tx sees the committed state as
@@ -60,6 +62,8 @@ func (e *Engine) View(fn func(tx *Tx) error) error {
 
 // ViewCtx is View with a cancellable transaction context.
 func (e *Engine) ViewCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	ctx, span := obs.StartSpan(ctx, "storage.view")
+	defer span.End()
 	tx := e.BeginCtx(ctx)
 	defer tx.Rollback()
 	return fn(tx)
@@ -78,6 +82,8 @@ func (e *Engine) Update(fn func(tx *Tx) error) error {
 // the server's panic-recovery middleware relies on this to keep a
 // panicking handler from stranding an active transaction.
 func (e *Engine) UpdateCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	ctx, span := obs.StartSpan(ctx, "storage.update")
+	defer span.End()
 	tx := e.BeginCtx(ctx)
 	defer tx.Rollback()
 	if err := fn(tx); err != nil {
@@ -443,12 +449,16 @@ func (tx *Tx) Commit() error {
 		return nil
 	}
 	if e.wal != nil {
-		if err := e.wal.logTx(tx.id, tx.ops); err != nil {
+		n, err := e.wal.logTx(tx.id, tx.ops)
+		if err != nil {
 			// Could not make the transaction durable: abort it so memory
 			// state matches the log.
 			e.finishTx(tx.id, txAborted)
 			e.noteDead(tx.ops, txAborted)
 			return fmt.Errorf("storage: commit: %w", err)
+		}
+		if n > 0 && tx.ctx != nil {
+			obs.AddTenant(tx.ctx, obs.TenantBytesWritten, int64(n))
 		}
 	}
 	e.finishTx(tx.id, txCommitted)

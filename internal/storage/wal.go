@@ -74,27 +74,29 @@ func (w *wal) Close() error {
 	return err
 }
 
-// append frames and writes one record built by fn, honoring the sync mode.
-func (w *wal) append(fn func(enc *encoder)) error {
+// append frames and writes one record built by fn, honoring the sync
+// mode. On success it returns the frame size in bytes so callers can
+// attribute durable write volume.
+func (w *wal) append(fn func(enc *encoder)) (int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	if w.failed != nil {
-		return fmt.Errorf("%w (first failure: %v)", ErrWALFailed, w.failed)
+		return 0, fmt.Errorf("%w (first failure: %v)", ErrWALFailed, w.failed)
 	}
 	w.buf.Reset()
 	enc := newEncoder(&w.buf)
 	fn(enc)
 	if err := enc.flush(); err != nil {
-		return err
+		return 0, err
 	}
 	// Nothing has reached the file yet: a failure up to here (including
 	// the armed fault below) aborts the record cleanly and the WAL stays
 	// usable.
 	if err := fault.Point(fault.StorageWALAppend); err != nil {
-		return err
+		return 0, err
 	}
 	payload := w.buf.Bytes()
 	var frame [8]byte
@@ -103,38 +105,43 @@ func (w *wal) append(fn func(enc *encoder)) error {
 	// Seek to end: recovery may have left the offset mid-file after a torn
 	// record.
 	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
-		return err
+		return 0, err
 	}
 	if _, err := w.f.Write(frame[:4]); err != nil {
-		return w.fail(err)
+		return 0, w.fail(err)
 	}
 	// The torn-write window: the frame header is on disk, the payload is
 	// not. A crash armed here leaves exactly the partial frame recovery
 	// must truncate.
 	if err := fault.Point(fault.StorageWALAppendMid); err != nil {
-		return w.fail(err)
+		return 0, w.fail(err)
 	}
 	if _, err := w.f.Write(payload); err != nil {
-		return w.fail(err)
+		return 0, w.fail(err)
 	}
 	if _, err := w.f.Write(frame[4:]); err != nil {
-		return w.fail(err)
+		return 0, w.fail(err)
 	}
 	if w.sync == SyncFull {
 		if err := fault.Point(fault.StorageWALSync); err != nil {
-			return w.fail(err)
+			return 0, w.fail(err)
 		}
 		if err := w.f.Sync(); err != nil {
-			return w.fail(err)
+			return 0, w.fail(err)
 		}
+		mWALSyncs.Inc()
 	}
-	return nil
+	n := len(payload) + 8
+	mWALAppends.Inc()
+	mWALBytes.Add(int64(n))
+	return n, nil
 }
 
 // fail latches a physical write/sync error (caller holds w.mu).
 func (w *wal) fail(err error) error {
 	if w.failed == nil {
 		w.failed = err
+		mWALLatchTrips.Inc()
 	}
 	return err
 }
@@ -184,24 +191,27 @@ func (w *wal) reset(epoch uint64) error {
 }
 
 func (w *wal) logCreateTable(s *Schema) error {
-	return w.append(func(enc *encoder) {
+	_, err := w.append(func(enc *encoder) {
 		enc.byte(recCreateTable)
 		enc.schema(s)
 	})
+	return err
 }
 
 func (w *wal) logDropTable(name string) error {
-	return w.append(func(enc *encoder) {
+	_, err := w.append(func(enc *encoder) {
 		enc.byte(recDropTable)
 		enc.str(name)
 	})
+	return err
 }
 
 func (w *wal) logCreateIndex(info IndexInfo) error {
-	return w.append(func(enc *encoder) {
+	_, err := w.append(func(enc *encoder) {
 		enc.byte(recCreateIndex)
 		encodeIndexInfo(enc, info)
 	})
+	return err
 }
 
 func encodeIndexInfo(enc *encoder, info IndexInfo) {
@@ -238,22 +248,26 @@ func decodeIndexInfo(dec *decoder) IndexInfo {
 }
 
 func (w *wal) logDropIndex(table, name string) error {
-	return w.append(func(enc *encoder) {
+	_, err := w.append(func(enc *encoder) {
 		enc.byte(recDropIndex)
 		enc.str(table)
 		enc.str(name)
 	})
+	return err
 }
 
 func (w *wal) logSequence(name string, v int64) error {
-	return w.append(func(enc *encoder) {
+	_, err := w.append(func(enc *encoder) {
 		enc.byte(recSequence)
 		enc.str(name)
 		enc.varint(v)
 	})
+	return err
 }
 
-func (w *wal) logTx(txid uint64, ops []txOp) error {
+// logTx appends one commit record, returning its framed size for
+// per-tenant bytes-written attribution.
+func (w *wal) logTx(txid uint64, ops []txOp) (int, error) {
 	return w.append(func(enc *encoder) {
 		enc.byte(recCommit)
 		enc.uvarint(txid)

@@ -1,23 +1,26 @@
 package tenant
 
-import "context"
+import (
+	"context"
 
-// ctxKey is the private type for the tenant-identity context key. A typed
-// key cannot collide with keys from other packages, and keeping the type
-// unexported forces all access through NewContext/FromContext.
-type ctxKey struct{}
+	"github.com/odbis/odbis/internal/obs"
+)
+
+// The tenant-identity context key lives in internal/obs so layers below
+// tenant in the import DAG (storage, bus) can attribute work to the
+// requesting tenant. These wrappers keep the established tenant-package
+// API; both packages read the same key.
 
 // NewContext returns a child of ctx carrying the tenant id. The server
 // layer stamps the authenticated tenant here when a request enters the
 // platform, so identity and request lifetime travel on the same value.
 func NewContext(ctx context.Context, id string) context.Context {
-	return context.WithValue(ctx, ctxKey{}, id)
+	return obs.WithTenant(ctx, id)
 }
 
 // FromContext returns the tenant id carried by ctx, and whether one was
 // set. Lower layers may use it for attribution (logs, metering, traces);
 // authorization still flows through explicit Catalog/Session values.
 func FromContext(ctx context.Context) (string, bool) {
-	id, ok := ctx.Value(ctxKey{}).(string)
-	return id, ok && id != ""
+	return obs.TenantFromContext(ctx)
 }

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/odbis/odbis/internal/obs"
 	"github.com/odbis/odbis/internal/sql"
 	"github.com/odbis/odbis/internal/storage"
 	"github.com/odbis/odbis/internal/storage/orm"
@@ -72,11 +73,13 @@ type usageRow struct {
 	Value  int64
 }
 
-// Metric names recorded by the registry.
+// Metric names recorded by the registry. They alias the obs per-tenant
+// telemetry names so the live counters at /metrics and the persisted
+// billing rows always speak the same vocabulary.
 const (
-	MetricQueries    = "queries"
-	MetricRowsLoaded = "rows_loaded"
-	MetricAPICalls   = "api_calls"
+	MetricQueries    = obs.TenantQueries
+	MetricRowsLoaded = obs.TenantRowsLoaded
+	MetricAPICalls   = obs.TenantAPICalls
 )
 
 var tenantIDRe = regexp.MustCompile(`^[a-z0-9][a-z0-9-]{0,31}$`)
@@ -88,7 +91,8 @@ type Registry struct {
 	usage   *orm.Mapper[usageRow]
 	plans   map[string]Plan
 	now     func() time.Time
-	recMu   sync.Mutex // serializes usage-counter bumps
+	recMu   sync.Mutex       // guards pending
+	pending map[string]int64 // "tenant|metric" → delta not yet persisted
 }
 
 // NewRegistry opens a registry, creating its tables when missing and
@@ -218,6 +222,13 @@ func (r *Registry) Drop(id string) error {
 	if _, err := r.usage.DeleteWhere("tenant", id); err != nil {
 		return err
 	}
+	r.recMu.Lock()
+	for k := range r.pending {
+		if strings.HasPrefix(k, id+"|") {
+			delete(r.pending, k)
+		}
+	}
+	r.recMu.Unlock()
 	_, err := r.tenants.Delete(id)
 	return err
 }
@@ -226,28 +237,72 @@ func (r *Registry) Drop(id string) error {
 
 func (r *Registry) period() string { return r.now().UTC().Format("2006-01") }
 
-// Record adds delta to a tenant metric for the current period. Counter
-// bumps from concurrent service calls would conflict under
-// first-updater-wins MVCC, so the registry serializes them.
-func (r *Registry) Record(id, metric string, delta int64) error {
+// Record adds delta to a tenant metric: the live obs counter is bumped
+// immediately (visible at /metrics without a storage round-trip) and
+// the delta accumulates in memory until FlushUsage persists it. Earlier
+// revisions wrote a usage row per bump; moving persistence off the
+// query hot path is what lets metering ride inside the per-request
+// budget.
+func (r *Registry) Record(id, metric string, delta int64) {
+	obs.AddTenantID(id, metric, delta)
 	r.recMu.Lock()
-	defer r.recMu.Unlock()
+	if r.pending == nil {
+		r.pending = map[string]int64{}
+	}
+	r.pending[id+"|"+metric] += delta
+	r.recMu.Unlock()
+}
+
+// FlushUsage folds pending metering deltas into the current period's
+// usage rows. Usage and Invoice flush before reading, and the platform
+// flushes on Close; deltas that fail to persist are merged back into
+// pending rather than dropped.
+func (r *Registry) FlushUsage() error {
+	r.recMu.Lock()
+	pending := r.pending
+	r.pending = nil
+	r.recMu.Unlock()
+	if len(pending) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(pending))
+	for k := range pending {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	period := r.period()
-	key := id + "|" + metric + "|" + period
-	row, ok, err := r.usage.Get(key)
-	if err != nil {
-		return err
+	for i, k := range keys {
+		id, metric, _ := strings.Cut(k, "|")
+		rowKey := k + "|" + period
+		row, ok, err := r.usage.Get(rowKey)
+		if err == nil {
+			if !ok {
+				row = usageRow{Key: rowKey, Tenant: id, Metric: metric, Period: period}
+			}
+			row.Value += pending[k]
+			err = r.usage.Save(&row)
+		}
+		if err != nil {
+			r.recMu.Lock()
+			if r.pending == nil {
+				r.pending = map[string]int64{}
+			}
+			for _, rest := range keys[i:] {
+				r.pending[rest] += pending[rest]
+			}
+			r.recMu.Unlock()
+			return err
+		}
 	}
-	if !ok {
-		row = usageRow{Key: key, Tenant: id, Metric: metric, Period: period}
-	}
-	row.Value += delta
-	return r.usage.Save(&row)
+	return nil
 }
 
 // Usage returns the tenant's counters for the current period.
 func (r *Registry) Usage(id string) (map[string]int64, error) {
 	if _, err := r.Get(id); err != nil {
+		return nil, err
+	}
+	if err := r.FlushUsage(); err != nil {
 		return nil, err
 	}
 	rows, err := r.usage.Where("tenant", id)

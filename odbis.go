@@ -39,6 +39,7 @@ import (
 	"github.com/odbis/odbis/internal/metamodel"
 	"github.com/odbis/odbis/internal/metamodel/cwm"
 	"github.com/odbis/odbis/internal/metamodel/odm"
+	"github.com/odbis/odbis/internal/obs"
 	"github.com/odbis/odbis/internal/olap"
 	"github.com/odbis/odbis/internal/report"
 	"github.com/odbis/odbis/internal/security"
@@ -196,6 +197,10 @@ type Options struct {
 	// QueueWait is how long an over-limit request may queue for an
 	// admission slot before being shed (0 = shed immediately).
 	QueueWait time.Duration
+	// SlowRequest logs and counts any request whose trace exceeds this
+	// duration (the slow-request log). Zero disables the slow log without
+	// disabling tracing.
+	SlowRequest time.Duration
 }
 
 // Platform is a running ODBIS instance.
@@ -242,6 +247,9 @@ func Open(opts Options) (*Platform, error) {
 		engine.Close()
 		return nil, err
 	}
+	if opts.SlowRequest > 0 {
+		obs.SetSlowThreshold(opts.SlowRequest)
+	}
 	svc.StartScheduler(context.Background(), opts.SchedulerResolution)
 	return &Platform{
 		engine:   engine,
@@ -262,6 +270,9 @@ func Open(opts Options) (*Platform, error) {
 // releases the engine. No platform goroutine survives Close.
 func (p *Platform) Close() error {
 	p.services.Close()
+	// Persist any metered usage still pending in memory; losing the final
+	// flush would under-bill the current period after a clean shutdown.
+	p.registry.FlushUsage()
 	if err := p.engine.Checkpoint(); err != nil {
 		p.engine.Close()
 		return err

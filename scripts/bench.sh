@@ -7,18 +7,21 @@
 # fault-point fast path (BenchmarkPointDisabled must stay in the
 # single-nanosecond range so disabled points cost <1% on the E1
 # end-to-end figures), and the admission-control middleware
-# (BenchmarkAdmissionOverhead unlimited vs maxInFlight64). Each
-# benchmark runs BENCH_COUNT times and the minimum ns/op is recorded —
-# the min is the noise-robust estimator on shared CI hardware, where a
-# single pass showed ±10% swings that dwarf the effect being measured.
-# Output file defaults to BENCH_PR4.json at the repo root; override with
-# BENCH_OUT.
+# (BenchmarkAdmissionOverhead unlimited vs maxInFlight64), and the obs
+# subsystem (BenchmarkCounterAddDisabled must stay ≤ ~10 ns so disarmed
+# metric sites are free; BenchmarkSpanActive/SpanNoTrace bound the span
+# cost on and off the traced path — together they keep the E1 end-to-end
+# delta under 1%). Each benchmark runs BENCH_COUNT times and the minimum
+# ns/op is recorded — the min is the noise-robust estimator on shared CI
+# hardware, where a single pass showed ±10% swings that dwarf the effect
+# being measured. Output file defaults to BENCH_PR5.json at the repo
+# root; override with BENCH_OUT.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR4.json}"
-PKGS="${BENCH_PKGS:-./internal/analysis/ ./internal/sql/ ./internal/olap/ ./internal/fault/ ./internal/server/}"
+OUT="${BENCH_OUT:-BENCH_PR5.json}"
+PKGS="${BENCH_PKGS:-./internal/analysis/ ./internal/sql/ ./internal/olap/ ./internal/fault/ ./internal/obs/ ./internal/server/}"
 # The experiment hot paths the context-first refactor must not regress:
 # E1 (Fig. 1 end-to-end request) and E5 (Fig. 4 per-layer overhead).
 ROOT_BENCH="${BENCH_ROOT:-Figure1_|Figure4_}"

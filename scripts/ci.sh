@@ -21,10 +21,10 @@ timeout "${ODBIS_VET_BUDGET:-120}" go run ./cmd/odbis-vet ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race (bus, etl, storage, tenant, sql, olap, services, server, fault)"
+echo "==> go test -race (bus, etl, storage, tenant, sql, olap, services, server, fault, obs)"
 go test -race ./internal/bus/ ./internal/etl/ ./internal/storage/ ./internal/tenant/ \
 	./internal/sql/ ./internal/olap/ ./internal/services/ ./internal/server/ \
-	./internal/fault/
+	./internal/fault/ ./internal/obs/
 
 # The fault suite re-runs under -race explicitly: panic recovery, bus
 # redelivery, admission control and the child-process crash matrix are
