@@ -1,4 +1,4 @@
-.PHONY: build test vet ci bench
+.PHONY: build test vet vet-fix perf-gate ci bench
 
 build:
 	go build ./...
@@ -7,10 +7,22 @@ test:
 	go test ./...
 
 # vet runs both the stock Go checks and the ODBIS platform-invariant
-# analyzers (tenant isolation, layer DAG, lock discipline, ...).
+# analyzers (tenant isolation, layer DAG, lock discipline, release
+# paths, hot-path allocations, ...).
 vet:
 	go vet ./...
 	go run ./cmd/odbis-vet ./...
+
+# vet-fix applies every safe SuggestedFix (error renames, copy-on-return
+# aliases, slice preallocation in hot loops) in place, then re-runs the
+# suite to show what remains for hand-fixing.
+vet-fix:
+	go run ./cmd/odbis-vet -fix ./...
+
+# perf-gate re-benches and diffs against scripts/perf_budget.json.
+perf-gate:
+	BENCH_OUT=/tmp/odbis_bench_fresh.json sh scripts/bench.sh
+	sh scripts/perf_gate.sh /tmp/odbis_bench_fresh.json
 
 ci:
 	sh scripts/ci.sh

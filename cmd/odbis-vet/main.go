@@ -3,6 +3,11 @@
 // counterpart of go vet: where the compiler checks types, odbis-vet
 // checks the paper's §2 tenant-isolation contract and the Fig. 1 layer
 // DAG, plus the concurrency and API hygiene rules in internal/analysis.
+// Three analyzers run path-sensitively over a per-function CFG:
+// releasepath (every Lock/Begin/StartSpan reaches its release on all
+// paths), hotalloc (no per-iteration allocations in request-reachable
+// loops), and obshandle (metric handles resolved at init, not per
+// request).
 //
 // Usage:
 //

@@ -101,18 +101,22 @@ func editAt(fset *token.FileSet, pos, end token.Pos, newText string) TextEdit {
 	return TextEdit{File: p.Filename, Off: p.Offset, End: e.Offset, NewText: newText}
 }
 
-// All returns the full analyzer suite in stable order: the six
-// per-package checks from PR 1 plus the three interprocedural ones
-// (ctxtenant, lockorder, sqltaint) that need the whole call graph.
+// All returns the full analyzer suite in stable order: the per-package
+// checks from PR 1, the interprocedural ones from PR 2 (ctxtenant,
+// lockorder, sqltaint) that need the whole call graph, and the CFG/
+// dataflow tier (hotalloc, obshandle, releasepath) from the perf arc.
 func All() []*Analyzer {
 	return []*Analyzer{
 		AliasLeak,
 		CtxTenant,
 		ErrConvention,
 		GoroutineHygiene,
+		HotAlloc,
 		LayerCheck,
 		LockDiscipline,
 		LockOrder,
+		ObsHandle,
+		ReleasePath,
 		SQLTaint,
 		TenantIsolation,
 	}

@@ -9,7 +9,7 @@ import (
 	"testing"
 )
 
-// wantRe matches `// want `regex`` expectation comments in fixtures.
+// wantRe matches `// want `regex“ expectation comments in fixtures.
 var wantRe = regexp.MustCompile("// want `([^`]+)`")
 
 // runFixture loads testdata/src/<name> and checks the analyzer's
@@ -98,7 +98,7 @@ func TestAliasLeakFixture(t *testing.T)        { runFixture(t, AliasLeak) }
 // code 1.
 func TestCLIGolden(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := Main([]string{"-checks", "aliasleak,errconvention", "testdata/src/cli"}, &stdout, &stderr)
+	code := Main([]string{"-checks", "aliasleak,errconvention,releasepath", "testdata/src/cli"}, &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
 	}
@@ -110,7 +110,7 @@ func TestCLIGolden(t *testing.T) {
 	if got, want := stdout.String(), string(golden); got != want {
 		t.Errorf("CLI output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
-	if !strings.Contains(stderr.String(), "2 finding(s)") {
+	if !strings.Contains(stderr.String(), "3 finding(s)") {
 		t.Errorf("stderr = %q, want findings summary", stderr.String())
 	}
 }
@@ -208,14 +208,17 @@ func writeModule(t *testing.T, dir, src string) {
 	}
 }
 
-func TestSQLTaintFixture(t *testing.T)  { runFixture(t, SQLTaint) }
-func TestLockOrderFixture(t *testing.T) { runFixture(t, LockOrder) }
-func TestCtxTenantFixture(t *testing.T) { runFixture(t, CtxTenant) }
+func TestSQLTaintFixture(t *testing.T)    { runFixture(t, SQLTaint) }
+func TestLockOrderFixture(t *testing.T)   { runFixture(t, LockOrder) }
+func TestCtxTenantFixture(t *testing.T)   { runFixture(t, CtxTenant) }
+func TestReleasePathFixture(t *testing.T) { runFixture(t, ReleasePath) }
+func TestHotAllocFixture(t *testing.T)    { runFixture(t, HotAlloc) }
+func TestObsHandleFixture(t *testing.T)   { runFixture(t, ObsHandle) }
 
 // TestJSONGolden pins the -json wire format.
 func TestJSONGolden(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := Main([]string{"-json", "-checks", "aliasleak,errconvention", "testdata/src/cli"}, &stdout, &stderr)
+	code := Main([]string{"-json", "-checks", "aliasleak,errconvention,releasepath", "testdata/src/cli"}, &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
 	}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/ast"
 	"path/filepath"
 	"testing"
 )
@@ -48,12 +49,58 @@ func BenchmarkLockOrder(b *testing.B) {
 	}
 }
 
-// BenchmarkFullSuite runs all nine analyzers over the sqltaint fixture:
-// the per-run cost ci.sh pays beyond loading.
+// BenchmarkFullSuite runs the whole default suite over the sqltaint
+// fixture: the per-run cost ci.sh pays beyond loading.
 func BenchmarkFullSuite(b *testing.B) {
 	pkgs := loadFixturePkgs(b, "sqltaint")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		RunAnalyzers(pkgs, All())
+	}
+}
+
+// BenchmarkBuildCFG measures per-function CFG construction over every
+// function in the releasepath fixture — the tier-3 cost each
+// path-sensitive check pays before its dataflow pass runs.
+func BenchmarkBuildCFG(b *testing.B) {
+	pkgs := loadFixturePkgs(b, "releasepath")
+	var bodies []*ast.BlockStmt
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					bodies = append(bodies, fd.Body)
+				}
+			}
+		}
+	}
+	if len(bodies) == 0 {
+		b.Fatal("no function bodies in fixture")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, body := range bodies {
+			BuildCFG(body, true)
+		}
+	}
+}
+
+// BenchmarkReleasePath measures the CFG + 4-state dataflow pass over the
+// mutex/tx/span fixture.
+func BenchmarkReleasePath(b *testing.B) {
+	pkgs := loadFixturePkgs(b, "releasepath")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunAnalyzers(pkgs, []*Analyzer{ReleasePath})
+	}
+}
+
+// BenchmarkHotAlloc measures reachability BFS + loop scanning over the
+// cross-package hotalloc fixture.
+func BenchmarkHotAlloc(b *testing.B) {
+	pkgs := loadFixturePkgs(b, "hotalloc")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunAnalyzers(pkgs, []*Analyzer{HotAlloc})
 	}
 }

@@ -1,0 +1,549 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the third analysis tier's foundation: a per-function
+// control-flow graph over go/ast. Tiers 1–2 judge syntax trees and the
+// call graph; the CFG adds the notion of a *path* — which statements can
+// execute between two others, and which exits a function can take — so
+// analyzers can prove properties like "this transaction reaches Commit
+// or Rollback on every path, including panics" instead of pattern-
+// matching block shapes.
+//
+// The model is deliberately small:
+//
+//   - A Block is a maximal run of statements with no internal control
+//     transfer. Statements are appended in execution order; expressions
+//     are not decomposed (analyzers walk Nodes with ast.Inspect).
+//   - Edges are successor pointers. Branches (if/for/range/switch/
+//     select), labeled break/continue, goto, and switch fallthrough all
+//     become ordinary edges.
+//   - One virtual Exit block terminates every path. `return` and
+//     falling off the end edge to Exit; `panic(...)` edges to Exit too,
+//     because deferred calls run during a panic unwind exactly as they
+//     do on return — which is what makes defer-aware release checking
+//     work on panic paths. os.Exit/log.Fatal/runtime.Goexit terminate
+//     the block with NO exit edge: no deferred release runs (or the
+//     process is gone), so nothing should be proven along those paths.
+//   - When callPanics is set, every statement containing a function
+//     call starts a fresh block whose predecessor gains an extra edge
+//     to Exit, modelling "the callee panicked, so this statement's
+//     effects never happened" with the pre-statement state. Builders
+//     set it for functions that contain a deferred recover(): such
+//     functions demonstrably survive panics, so a resource held across
+//     a panicking call really does leak into the recovered world.
+//
+// `defer` statements are recorded as ordinary nodes in their block:
+// path-sensitive analyzers interpret them as "armed from this point on
+// every exit", which is precisely defer's semantics once the statement
+// has executed.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// Block is one straight-line run of statements plus its successors.
+type Block struct {
+	Index int
+	// Kind is a debugging aid ("entry", "exit", "body", "loop.head",
+	// "case", "comm", "label.X").
+	Kind  string
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// addEdge links from → to exactly once.
+func addEdge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// loopFrame tracks where break and continue land for one enclosing
+// loop, switch, or select (breakable constructs push a frame with a nil
+// continueTo).
+type loopFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	cfg        *CFG
+	cur        *Block // nil after a terminating statement (dead code starts a fresh block)
+	frames     []loopFrame
+	labels     map[string]*Block // goto targets, pre-created on first reference or definition
+	callPanics bool
+	// fallTo is the next case body during switch construction; a
+	// fallthrough statement edges to it.
+	fallTo *Block
+}
+
+// BuildCFG constructs the control-flow graph of one function body. Set
+// callPanics for functions that contain a deferred recover (see
+// recoversFromPanics): every call then contributes a panic edge to Exit.
+func BuildCFG(body *ast.BlockStmt, callPanics bool) *CFG {
+	b := &cfgBuilder{
+		cfg:        &CFG{},
+		labels:     map[string]*Block{},
+		callPanics: callPanics,
+	}
+	entry := b.newBlock("entry")
+	exit := &Block{Kind: "exit"}
+	b.cfg.Entry = entry
+	b.cfg.Exit = exit
+	b.cur = entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		addEdge(b.cur, exit) // fall off the end: implicit return
+	}
+	exit.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, exit)
+	return b.cfg
+}
+
+// recoversFromPanics reports whether body registers a deferred call
+// whose function (directly, or a literal whose body) calls recover().
+// Purely syntactic (cfg construction has no type info); shadowing the
+// recover builtin would fool it, which nothing sane does.
+func recoversFromPanics(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		ast.Inspect(d.Call, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+					found = true
+				}
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// startBlock makes blk current, linking from the previous current block
+// when one is live.
+func (b *cfgBuilder) startBlock(blk *Block) {
+	if b.cur != nil {
+		addEdge(b.cur, blk)
+	}
+	b.cur = blk
+}
+
+// emit appends a statement node to the live block, creating an
+// unreachable block for dead code after a terminator so goto labels and
+// later statements still have a home.
+func (b *cfgBuilder) emit(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock("dead")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// terminate ends the current path (return, break, panic, ...).
+func (b *cfgBuilder) terminate() { b.cur = nil }
+
+// frameFor finds the innermost frame matching label ("" = innermost
+// loop for continue, innermost breakable for break).
+func (b *cfgBuilder) frameFor(label string, needContinue bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needContinue && f.continueTo == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+// labelBlock returns (creating on demand) the block a goto label names.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmtList(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		b.stmt(s, "")
+	}
+}
+
+// stmt translates one statement. label is the pending label name when
+// the statement is the body of a LabeledStmt (so break/continue can
+// target it).
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		blk := b.labelBlock(s.Label.Name)
+		b.startBlock(blk)
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Cond)
+		cond := b.cur
+		after := b.newBlock("if.after")
+		then := b.newBlock("if.then")
+		addEdge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			addEdge(b.cur, after)
+		}
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			addEdge(cond, els)
+			b.cur = els
+			b.stmt(s.Else, "")
+			if b.cur != nil {
+				addEdge(b.cur, after)
+			}
+		} else {
+			addEdge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		head := b.newBlock("loop.head")
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.emit(s.Cond)
+		}
+		after := b.newBlock("loop.after")
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("loop.post")
+		}
+		if s.Cond != nil {
+			addEdge(head, after)
+		}
+		body := b.newBlock("loop.body")
+		addEdge(head, body)
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: after, continueTo: post})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			addEdge(b.cur, post)
+		}
+		if s.Post != nil {
+			b.cur = post
+			b.emit(s.Post)
+			addEdge(b.cur, head)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock("loop.head")
+		b.startBlock(head)
+		// Only the range clause lives in the head (the body has its own
+		// blocks): X is evaluated once, key/value assigned per iteration.
+		b.emit(s.X)
+		if s.Key != nil {
+			b.emit(s.Key)
+		}
+		if s.Value != nil {
+			b.emit(s.Value)
+		}
+		after := b.newBlock("loop.after")
+		addEdge(head, after) // range may be empty or exhausted
+		body := b.newBlock("loop.body")
+		addEdge(head, body)
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: after, continueTo: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			addEdge(b.cur, head)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.switchBody(s.Body, label, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Assign)
+		b.switchBody(s.Body, label, true)
+
+	case *ast.SelectStmt:
+		b.switchBody(s.Body, label, false)
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		if b.cur != nil {
+			addEdge(b.cur, b.cfg.Exit)
+		}
+		b.terminate()
+
+	case *ast.BranchStmt:
+		b.emit(s)
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.frameFor(labelName(s.Label), false); f != nil && b.cur != nil {
+				addEdge(b.cur, f.breakTo)
+			}
+		case token.CONTINUE:
+			if f := b.frameFor(labelName(s.Label), true); f != nil && b.cur != nil {
+				addEdge(b.cur, f.continueTo)
+			}
+		case token.GOTO:
+			if s.Label != nil && b.cur != nil {
+				addEdge(b.cur, b.labelBlock(s.Label.Name))
+			}
+		case token.FALLTHROUGH:
+			if b.fallTo != nil && b.cur != nil {
+				addEdge(b.cur, b.fallTo)
+			}
+		}
+		b.terminate()
+
+	case *ast.DeferStmt:
+		// Recorded in place; analyzers interpret "armed from here on".
+		// No panic edge: evaluating a deferred call's operands (a handle
+		// selector, a closure literal) does not realistically panic, and
+		// an edge here would claim resources leak in the gap between an
+		// acquire and the very defer that protects it.
+		b.emit(s)
+
+	case *ast.ExprStmt:
+		if kind := terminatingCall(s.X); kind != "" {
+			b.emit(s)
+			if kind == "panic" && b.cur != nil {
+				addEdge(b.cur, b.cfg.Exit) // defers run during unwind
+			}
+			// os.Exit / log.Fatal / runtime.Goexit: no exit edge — no
+			// deferred release will run, nothing to prove on this path.
+			b.terminate()
+			return
+		}
+		b.emitMaybePanics(s)
+
+	default:
+		// Assignments, declarations, sends, inc/dec, go statements, empty
+		// statements: straight-line nodes.
+		b.emitMaybePanics(s)
+	}
+}
+
+// emitMaybePanics models "a call inside this statement panicked": the
+// statement starts a fresh block and the PREDECESSOR gets an edge to
+// Exit, so the panic path carries the state from before the statement —
+// if the call never returned, its effects (an acquire, a release) never
+// happened. Only active when the builder was told the function survives
+// panics (deferred recover).
+func (b *cfgBuilder) emitMaybePanics(s ast.Stmt) {
+	if b.callPanics && containsCall(s) {
+		if b.cur == nil {
+			b.cur = b.newBlock("dead")
+		}
+		pre := b.cur
+		addEdge(pre, b.cfg.Exit)
+		next := b.newBlock("body")
+		addEdge(pre, next)
+		b.cur = next
+	}
+	b.emit(s)
+}
+
+// switchBody builds the clause structure shared by switch, type switch,
+// and select. fallthrough edges only exist for value/type switches.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string, allowFall bool) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("dead")
+		b.cur = head
+	}
+	after := b.newBlock("switch.after")
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after})
+
+	// Pre-create one block per clause so fallthrough can edge forward.
+	var clauseBlocks []*Block
+	var clauses []ast.Stmt
+	hasDefault := false
+	for _, c := range body.List {
+		kind := "case"
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+				kind = "default"
+			}
+		case *ast.CommClause:
+			kind = "comm"
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		blk := b.newBlock(kind)
+		addEdge(head, blk)
+		clauseBlocks = append(clauseBlocks, blk)
+		clauses = append(clauses, c)
+	}
+	if !hasDefault && allowFall {
+		// A value/type switch with no default may match nothing.
+		addEdge(head, after)
+	}
+	if len(clauses) == 0 {
+		// switch{} / select{}: the latter blocks forever, the former
+		// falls through; either way the after block is where control
+		// resumes when it resumes at all.
+		addEdge(head, after)
+	}
+	savedFall := b.fallTo
+	for i, c := range clauses {
+		b.cur = clauseBlocks[i]
+		b.fallTo = nil
+		if allowFall && i+1 < len(clauseBlocks) {
+			b.fallTo = clauseBlocks[i+1]
+		}
+		var list []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				b.emit(e)
+			}
+			list = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				b.stmt(cc.Comm, "")
+			}
+			list = cc.Body
+		}
+		b.stmtList(list)
+		if b.cur != nil {
+			addEdge(b.cur, after)
+		}
+	}
+	b.fallTo = savedFall
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func labelName(l *ast.Ident) string {
+	if l == nil {
+		return ""
+	}
+	return l.Name
+}
+
+// terminatingCall classifies an expression statement that never returns:
+// "panic" for the builtin, "exit" for os.Exit/log.Fatal*/runtime.Goexit,
+// "" otherwise. Resolution is syntactic (no type info is available at
+// CFG build time); the names are unambiguous in practice and a wrong
+// guess only costs edge precision, never correctness of the AST.
+func terminatingCall(e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			return "panic"
+		}
+	case *ast.SelectorExpr:
+		if pkg, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			switch {
+			case pkg.Name == "os" && fun.Sel.Name == "Exit",
+				pkg.Name == "runtime" && fun.Sel.Name == "Goexit",
+				pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+				return "exit"
+			}
+		}
+	}
+	return ""
+}
+
+// containsCall reports whether the statement contains any function call
+// outside nested function literals (a literal's body does not run here).
+func containsCall(s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			// Conversions and builtins that cannot panic are still calls
+			// syntactically; treating them as calls only adds edges, which
+			// costs precision, not soundness. Exclude the handful of
+			// obviously non-panicking builtins to keep graphs small.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				switch id.Name {
+				case "len", "cap", "append", "make", "new", "recover":
+					return true
+				}
+			}
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// inspectNoFuncLit visits nodes under root without descending into
+// function literal bodies: a literal's statements execute on their own
+// schedule (or not at all) and belong to their own CFG.
+func inspectNoFuncLit(root ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		return visit(n)
+	})
+}
+
+// objOf resolves an identifier to its variable object via Uses or Defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,516 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses `func f() { <src> }` and returns the body.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, file)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// findNode locates the first node under root satisfying pred.
+func findNode(t *testing.T, root ast.Node, pred func(ast.Node) bool) ast.Node {
+	t.Helper()
+	var found ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found == nil && n != nil && pred(n) {
+			found = n
+		}
+		return found == nil
+	})
+	if found == nil {
+		t.Fatalf("test node not found")
+	}
+	return found
+}
+
+// callNamed matches a call of the bare identifier name (statement or
+// condition position).
+func callNamed(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+// blockWith returns the block holding node (by position containment —
+// conditions and range clauses are emitted as bare expressions).
+func blockWith(t *testing.T, cfg *CFG, node ast.Node) *Block {
+	t.Helper()
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if n.Pos() <= node.Pos() && node.End() <= n.End() {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block contains node at %v", node.Pos())
+	return nil
+}
+
+// hasSucc reports whether from has to among its successors.
+func hasSucc(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGLinearBody(t *testing.T) {
+	body := parseBody(t, "a(); b(); c()")
+	cfg := BuildCFG(body, false)
+	entry := cfg.Entry
+	if len(entry.Nodes) != 3 {
+		t.Fatalf("want 3 nodes in entry, got %d", len(entry.Nodes))
+	}
+	if len(entry.Succs) != 1 || entry.Succs[0] != cfg.Exit {
+		t.Fatalf("entry should fall through to exit, succs=%v", entry.Succs)
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	body := parseBody(t, `
+if cond() {
+	a()
+} else {
+	b()
+}
+c()`)
+	cfg := BuildCFG(body, false)
+	aBlk := blockWith(t, cfg, findNode(t, body, callNamed("a")))
+	bBlk := blockWith(t, cfg, findNode(t, body, callNamed("b")))
+	cBlk := blockWith(t, cfg, findNode(t, body, callNamed("c")))
+	if !hasSucc(aBlk, cBlk) || !hasSucc(bBlk, cBlk) {
+		t.Fatalf("both branches must join at the after block")
+	}
+	condBlk := blockWith(t, cfg, findNode(t, body, callNamed("cond")))
+	if hasSucc(condBlk, cBlk) {
+		t.Fatalf("if with else must not edge cond directly to after")
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	body := parseBody(t, `
+if cond() {
+	a()
+}
+c()`)
+	cfg := BuildCFG(body, false)
+	condBlk := blockWith(t, cfg, findNode(t, body, callNamed("cond")))
+	cBlk := blockWith(t, cfg, findNode(t, body, callNamed("c")))
+	if !hasSucc(condBlk, cBlk) {
+		t.Fatalf("if without else needs the false edge to after")
+	}
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	body := parseBody(t, `
+outer:
+for i := 0; i < n; i++ {
+	for j := 0; j < n; j++ {
+		if a() {
+			break outer
+		}
+		if b() {
+			continue outer
+		}
+		c()
+	}
+}
+d()`)
+	cfg := BuildCFG(body, false)
+	brk := findNode(t, body, func(n ast.Node) bool {
+		bs, ok := n.(*ast.BranchStmt)
+		return ok && bs.Tok == token.BREAK
+	})
+	cont := findNode(t, body, func(n ast.Node) bool {
+		bs, ok := n.(*ast.BranchStmt)
+		return ok && bs.Tok == token.CONTINUE
+	})
+	dBlk := blockWith(t, cfg, findNode(t, body, callNamed("d")))
+	// break outer must land where d() lives (after the outer loop), not
+	// after the inner loop.
+	if !hasSucc(blockWith(t, cfg, brk), dBlk) {
+		t.Fatalf("break outer must edge to the outer loop's after block")
+	}
+	// continue outer must land on the outer post block (i++), not the
+	// inner one.
+	post := findNode(t, body, func(n ast.Node) bool {
+		inc, ok := n.(*ast.IncDecStmt)
+		if !ok {
+			return false
+		}
+		id, ok := inc.X.(*ast.Ident)
+		return ok && id.Name == "i"
+	})
+	if !hasSucc(blockWith(t, cfg, cont), blockWith(t, cfg, post)) {
+		t.Fatalf("continue outer must edge to the outer loop's post block")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	body := parseBody(t, `
+switch x {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	c()
+}
+d()`)
+	cfg := BuildCFG(body, false)
+	fall := findNode(t, body, func(n ast.Node) bool {
+		bs, ok := n.(*ast.BranchStmt)
+		return ok && bs.Tok == token.FALLTHROUGH
+	})
+	bBlk := blockWith(t, cfg, findNode(t, body, callNamed("b")))
+	dBlk := blockWith(t, cfg, findNode(t, body, callNamed("d")))
+	fallBlk := blockWith(t, cfg, fall)
+	if !hasSucc(fallBlk, bBlk) {
+		t.Fatalf("fallthrough must edge into the next case body")
+	}
+	if hasSucc(fallBlk, dBlk) {
+		t.Fatalf("a fallthrough block must not edge to after")
+	}
+	// With a default clause every path goes through a clause: the head
+	// must not edge straight to after.
+	head := blockWith(t, cfg, findNode(t, body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		return ok && id.Name == "x"
+	}))
+	if hasSucc(head, dBlk) {
+		t.Fatalf("switch with default must not edge head to after")
+	}
+}
+
+func TestCFGSwitchNoDefaultMayskip(t *testing.T) {
+	body := parseBody(t, `
+switch x {
+case 1:
+	a()
+}
+d()`)
+	cfg := BuildCFG(body, false)
+	head := blockWith(t, cfg, findNode(t, body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		return ok && id.Name == "x"
+	}))
+	dBlk := blockWith(t, cfg, findNode(t, body, callNamed("d")))
+	if !hasSucc(head, dBlk) {
+		t.Fatalf("switch without default may match nothing: head needs an after edge")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	body := parseBody(t, `
+select {
+case v := <-ch:
+	a(v)
+case ch2 <- x:
+	b()
+}
+c()`)
+	cfg := BuildCFG(body, false)
+	aBlk := blockWith(t, cfg, findNode(t, body, callNamed("a")))
+	bBlk := blockWith(t, cfg, findNode(t, body, callNamed("b")))
+	cBlk := blockWith(t, cfg, findNode(t, body, callNamed("c")))
+	if !hasSucc(aBlk, cBlk) || !hasSucc(bBlk, cBlk) {
+		t.Fatalf("both comm clauses must join after the select")
+	}
+	// A select with no default commits to one of its cases; control
+	// cannot skip from the head straight to after.
+	head := cfg.Entry
+	if hasSucc(head, cBlk) {
+		t.Fatalf("select without default must not edge head to after")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	body := parseBody(t, `
+for _, v := range xs {
+	a(v)
+}
+b()`)
+	cfg := BuildCFG(body, false)
+	aBlk := blockWith(t, cfg, findNode(t, body, callNamed("a")))
+	bBlk := blockWith(t, cfg, findNode(t, body, callNamed("b")))
+	headBlk := blockWith(t, cfg, findNode(t, body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		return ok && id.Name == "xs"
+	}))
+	if !hasSucc(aBlk, headBlk) {
+		t.Fatalf("range body must loop back to the head")
+	}
+	if !hasSucc(headBlk, bBlk) {
+		t.Fatalf("range head must edge to after (empty range)")
+	}
+	// The body statements must NOT appear in the head block (the head
+	// holds only the range clause) — a regression here double-counts
+	// body effects for dataflow clients.
+	for _, n := range headBlk.Nodes {
+		if _, ok := n.(*ast.BlockStmt); ok {
+			t.Fatalf("range head must not contain the loop body")
+		}
+	}
+}
+
+func TestCFGDeferInLoop(t *testing.T) {
+	body := parseBody(t, `
+for _, f := range fs {
+	defer f()
+}
+b()`)
+	cfg := BuildCFG(body, false)
+	def := findNode(t, body, func(n ast.Node) bool {
+		_, ok := n.(*ast.DeferStmt)
+		return ok
+	})
+	defBlk := blockWith(t, cfg, def)
+	// The defer is an ordinary node in the loop body, and the body loops
+	// back to the head.
+	if defBlk == cfg.Entry || defBlk == cfg.Exit {
+		t.Fatalf("defer must live in a loop body block")
+	}
+	isDefer := false
+	for _, n := range defBlk.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			isDefer = true
+		}
+	}
+	if !isDefer {
+		t.Fatalf("defer statement must be recorded as a block node")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	body := parseBody(t, `
+i := 0
+loop:
+if i < n {
+	a()
+	goto loop
+}
+b()`)
+	cfg := BuildCFG(body, false)
+	gotoStmt := findNode(t, body, func(n ast.Node) bool {
+		bs, ok := n.(*ast.BranchStmt)
+		return ok && bs.Tok == token.GOTO
+	})
+	gBlk := blockWith(t, cfg, gotoStmt)
+	var labelBlk *Block
+	for _, b := range cfg.Blocks {
+		if strings.HasPrefix(b.Kind, "label.loop") {
+			labelBlk = b
+		}
+	}
+	if labelBlk == nil {
+		t.Fatalf("no label block built")
+	}
+	if !hasSucc(gBlk, labelBlk) {
+		t.Fatalf("goto must edge to its label block")
+	}
+}
+
+func TestCFGReturnAndPanicEdges(t *testing.T) {
+	body := parseBody(t, `
+if x {
+	return
+}
+if y {
+	panic("boom")
+}
+a()`)
+	cfg := BuildCFG(body, false)
+	ret := findNode(t, body, func(n ast.Node) bool { _, ok := n.(*ast.ReturnStmt); return ok })
+	retBlk := blockWith(t, cfg, ret)
+	if !hasSucc(retBlk, cfg.Exit) || len(retBlk.Succs) != 1 {
+		t.Fatalf("return must edge only to exit")
+	}
+	pn := findNode(t, body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		return terminatingCall(es.X) == "panic"
+	})
+	pBlk := blockWith(t, cfg, pn)
+	if !hasSucc(pBlk, cfg.Exit) || len(pBlk.Succs) != 1 {
+		t.Fatalf("panic must edge only to exit (defers run during unwind)")
+	}
+}
+
+func TestCFGOsExitHasNoEdge(t *testing.T) {
+	body := parseBody(t, `
+a()
+os.Exit(1)`)
+	cfg := BuildCFG(body, false)
+	ex := findNode(t, body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		return terminatingCall(es.X) == "exit"
+	})
+	exBlk := blockWith(t, cfg, ex)
+	if len(exBlk.Succs) != 0 {
+		t.Fatalf("os.Exit terminates with no successor (no deferred release runs), got %v", exBlk.Succs)
+	}
+}
+
+func TestCFGCallPanicsSplitsBlocks(t *testing.T) {
+	body := parseBody(t, "a(); b()")
+	cfg := BuildCFG(body, true)
+	aBlk := blockWith(t, cfg, findNode(t, body, callNamed("a")))
+	bBlk := blockWith(t, cfg, findNode(t, body, callNamed("b")))
+	if aBlk == bBlk {
+		t.Fatalf("callPanics must split the block after each call")
+	}
+	if !hasSucc(aBlk, cfg.Exit) || !hasSucc(bBlk, cfg.Exit) {
+		t.Fatalf("every call needs a panic edge to exit under callPanics")
+	}
+	if !hasSucc(aBlk, bBlk) {
+		t.Fatalf("the non-panic edge must continue to the next statement")
+	}
+}
+
+func TestCFGDeadCodeAfterReturn(t *testing.T) {
+	body := parseBody(t, `
+return
+a()`)
+	cfg := BuildCFG(body, false)
+	aBlk := blockWith(t, cfg, findNode(t, body, callNamed("a")))
+	if len(aBlk.Preds) != 0 {
+		t.Fatalf("code after return is unreachable: no preds expected")
+	}
+}
+
+func TestRecoversFromPanics(t *testing.T) {
+	with := parseBody(t, `
+defer func() {
+	if r := recover(); r != nil {
+		log(r)
+	}
+}()
+a()`)
+	if !recoversFromPanics(with) {
+		t.Fatalf("deferred recover not detected")
+	}
+	without := parseBody(t, `
+defer cleanup()
+a()`)
+	if recoversFromPanics(without) {
+		t.Fatalf("false positive: no recover here")
+	}
+}
+
+// TestDataflowForwardMay exercises the forward solver: a fact gen'd in
+// one branch of an if must be visible (may-analysis) after the join, and
+// a fact killed on all paths must not survive.
+func TestDataflowForwardMay(t *testing.T) {
+	body := parseBody(t, `
+if cond() {
+	gen()
+} else {
+	other()
+}
+use()`)
+	cfg := BuildCFG(body, false)
+	genBlk := blockWith(t, cfg, findNode(t, body, callNamed("gen")))
+	gen := make([]BitSet, len(cfg.Blocks))
+	kill := make([]BitSet, len(cfg.Blocks))
+	for i := range gen {
+		gen[i], kill[i] = NewBitSet(1), NewBitSet(1)
+	}
+	gen[genBlk.Index].Set(0)
+	d := &Dataflow{CFG: cfg, Bits: 1, Transfer: GenKillTransfer(gen, kill)}
+	in, out := d.Solve()
+	useBlk := blockWith(t, cfg, findNode(t, body, callNamed("use")))
+	if !in[useBlk.Index].Has(0) {
+		t.Fatalf("fact gen'd on one branch must reach the join (may-analysis)")
+	}
+	otherBlk := blockWith(t, cfg, findNode(t, body, callNamed("other")))
+	if out[otherBlk.Index].Has(0) {
+		t.Fatalf("fact must not appear on the branch that never gen'd it")
+	}
+}
+
+// TestDataflowBackward runs the solver in reverse: a fact gen'd at a
+// use site flows backward to the definition block.
+func TestDataflowBackward(t *testing.T) {
+	body := parseBody(t, `
+def()
+if cond() {
+	use()
+}
+done()`)
+	cfg := BuildCFG(body, false)
+	useBlk := blockWith(t, cfg, findNode(t, body, callNamed("use")))
+	gen := make([]BitSet, len(cfg.Blocks))
+	kill := make([]BitSet, len(cfg.Blocks))
+	for i := range gen {
+		gen[i], kill[i] = NewBitSet(1), NewBitSet(1)
+	}
+	gen[useBlk.Index].Set(0)
+	d := &Dataflow{CFG: cfg, Bits: 1, Backward: true, Transfer: GenKillTransfer(gen, kill)}
+	_, out := d.Solve()
+	defBlk := blockWith(t, cfg, findNode(t, body, callNamed("def")))
+	if !out[defBlk.Index].Has(0) {
+		t.Fatalf("backward analysis must carry the use fact to the def block")
+	}
+	doneBlk := blockWith(t, cfg, findNode(t, body, callNamed("done")))
+	if out[doneBlk.Index].Has(0) {
+		t.Fatalf("blocks after the last use must not see the fact in a backward pass")
+	}
+}
+
+func TestBitSetOps(t *testing.T) {
+	s := NewBitSet(130)
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	for _, i := range []int{0, 64, 129} {
+		if !s.Has(i) {
+			t.Fatalf("bit %d lost", i)
+		}
+	}
+	s.Clear(64)
+	if s.Has(64) {
+		t.Fatalf("bit 64 not cleared")
+	}
+	o := NewBitSet(130)
+	o.Set(7)
+	if !s.UnionWith(o) {
+		t.Fatalf("union should report change")
+	}
+	if s.UnionWith(o) {
+		t.Fatalf("second union is a no-op")
+	}
+	c := s.Clone()
+	c.Clear(0)
+	if !s.Has(0) {
+		t.Fatalf("clone must not alias")
+	}
+	if NewBitSet(10).Empty() != true || s.Empty() {
+		t.Fatalf("Empty misreports")
+	}
+}

@@ -1,0 +1,130 @@
+package analysis
+
+// The worklist dataflow framework over CFGs. Facts are bit sets, the
+// join is set union (a "may" analysis: a bit is set at a point when
+// SOME path establishes it), and transfer functions are arbitrary
+// monotone functions over the bits — the common gen/kill form gets a
+// helper. Forward analyses propagate entry→exit along successor edges;
+// backward analyses run the same worklist over predecessor edges.
+//
+// Termination: bit sets over a fixed universe form a finite lattice and
+// union only grows, so as long as Transfer is monotone (never clears a
+// bit it would have kept for a smaller input) the worklist reaches a
+// fixpoint in at most bits×blocks iterations.
+
+// BitSet is a fixed-universe bit vector.
+type BitSet []uint64
+
+// NewBitSet allocates a set over a universe of n bits.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Has reports whether bit i is set.
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<uint(i%64)) != 0 }
+
+// Set sets bit i.
+func (s BitSet) Set(i int) { s[i/64] |= 1 << uint(i%64) }
+
+// Clear clears bit i.
+func (s BitSet) Clear(i int) { s[i/64] &^= 1 << uint(i%64) }
+
+// UnionWith folds o into s, reporting whether s changed.
+func (s BitSet) UnionWith(o BitSet) bool {
+	changed := false
+	for i, w := range o {
+		if s[i]|w != s[i] {
+			s[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Clone copies the set.
+func (s BitSet) Clone() BitSet { return append(BitSet(nil), s...) }
+
+// Empty reports whether no bit is set.
+func (s BitSet) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Dataflow is one analysis instance: direction, boundary fact, and the
+// per-block transfer function.
+type Dataflow struct {
+	CFG *CFG
+	// Backward runs exit→entry over predecessor edges.
+	Backward bool
+	// Bits is the universe size.
+	Bits int
+	// Boundary is the fact at Entry (forward) or Exit (backward); nil
+	// means the empty set.
+	Boundary BitSet
+	// Transfer maps a block's in-fact to its out-fact. It must treat the
+	// input as read-only and be monotone.
+	Transfer func(b *Block, in BitSet) BitSet
+}
+
+// Solve iterates to fixpoint and returns the in- and out-facts per
+// block, indexed by Block.Index. For backward analyses "in" is the fact
+// at block end and "out" the fact at block start.
+func (d *Dataflow) Solve() (in, out []BitSet) {
+	n := len(d.CFG.Blocks)
+	in = make([]BitSet, n)
+	out = make([]BitSet, n)
+	for i := 0; i < n; i++ {
+		in[i] = NewBitSet(d.Bits)
+		out[i] = NewBitSet(d.Bits)
+	}
+	boundary := d.CFG.Entry
+	if d.Backward {
+		boundary = d.CFG.Exit
+	}
+	if d.Boundary != nil {
+		in[boundary.Index].UnionWith(d.Boundary)
+	}
+	// Seed the worklist with every block so unreachable code still gets
+	// (empty) facts; iteration order barely matters for these sizes.
+	work := make([]*Block, n)
+	copy(work, d.CFG.Blocks)
+	queued := make([]bool, n)
+	for i := range queued {
+		queued[i] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		o := d.Transfer(b, in[b.Index])
+		if !out[b.Index].UnionWith(o) {
+			continue
+		}
+		next := b.Succs
+		if d.Backward {
+			next = b.Preds
+		}
+		for _, s := range next {
+			if in[s.Index].UnionWith(out[b.Index]) && !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in, out
+}
+
+// GenKillTransfer builds the classic transfer out = (in \ kill) ∪ gen
+// from per-block gen and kill sets (indexed by Block.Index).
+func GenKillTransfer(gen, kill []BitSet) func(*Block, BitSet) BitSet {
+	return func(b *Block, in BitSet) BitSet {
+		o := in.Clone()
+		for i, w := range kill[b.Index] {
+			o[i] &^= w
+		}
+		o.UnionWith(gen[b.Index])
+		return o
+	}
+}

@@ -6,21 +6,22 @@ import (
 	"go/types"
 )
 
-// LockDiscipline catches the three mutex mistakes that matter most in a
-// heavily concurrent platform:
+// LockDiscipline catches the two mutex mistakes a syntactic check can
+// judge reliably:
 //
 //  1. a mutex copied by value — value receivers or value parameters on
 //     types that contain a sync.Mutex/RWMutex, which silently fork the
 //     lock;
-//  2. Lock() not followed by defer Unlock() when an early return sits
-//     between the Lock and the eventual explicit Unlock, leaking the
-//     lock on the error path;
-//  3. a method that acquires a mutex calling another method of the same
+//  2. a method that acquires a mutex calling another method of the same
 //     receiver that acquires the same mutex — a guaranteed self-deadlock
 //     since sync.Mutex is not reentrant.
+//
+// The third rule this analyzer used to carry — an early return leaking
+// a held lock — moved to releasepath, which proves release on every
+// CFG path (including panics) instead of pattern-matching block shapes.
 var LockDiscipline = &Analyzer{
 	Name: "lockdiscipline",
-	Doc:  "flag copied mutexes, early returns that leak a held lock, and self-deadlocking method calls",
+	Doc:  "flag copied mutexes and self-deadlocking method calls",
 	Run:  runLockDiscipline,
 }
 
@@ -233,8 +234,8 @@ func stripRoot(path string) string {
 }
 
 // checkLockPaths walks one function body looking for Lock() calls and
-// then (a) early returns before the matching explicit Unlock and (b)
-// same-receiver locked-method calls while the lock is held.
+// same-receiver locked-method calls while the lock is held. (Leaked
+// locks on early returns are releasepath's job now — it has real paths.)
 func checkLockPaths(pass *Pass, fn *ast.FuncDecl, locking map[methodKey]lockingMethod) {
 	var recvName, typeName string
 	if fn.Recv != nil && len(fn.Recv.List) > 0 {
@@ -294,16 +295,10 @@ func checkLockPaths(pass *Pass, fn *ast.FuncDecl, locking map[methodKey]lockingM
 					}
 				}
 			}
-			// Find the matching explicit unlock at this block level, and
-			// any return statement (at any nesting depth) that executes
-			// with the lock still held — i.e. no unlock of the same
-			// mutex anywhere in source order before it. Branches that
-			// unlock-then-return ("if bad { mu.Unlock(); return err }")
-			// are the sanctioned manual pattern and pass.
+			// Find the matching explicit unlock at this block level to
+			// bound the held span for the self-deadlock rule.
 			unlockPos := token.NoPos
-			var returnBefore token.Pos
 			heldEnd := token.NoPos
-			firstUnlockAnyDepth := token.NoPos
 			for _, later := range stmts[i+1:] {
 				if e, ok := later.(*ast.ExprStmt); ok {
 					if uc, ok := asLockCall(pass.TypesInfo(), e.X); ok &&
@@ -312,35 +307,12 @@ func checkLockPaths(pass *Pass, fn *ast.FuncDecl, locking map[methodKey]lockingM
 						break
 					}
 				}
-				if !deferred {
-					ast.Inspect(later, func(n ast.Node) bool {
-						if _, isFn := n.(*ast.FuncLit); isFn {
-							return false
-						}
-						if uc, ok := asLockCall(pass.TypesInfo(), n); ok &&
-							uc.method == want && uc.path == lc.path &&
-							firstUnlockAnyDepth == token.NoPos {
-							firstUnlockAnyDepth = uc.call.Pos()
-						}
-						if r, isRet := n.(*ast.ReturnStmt); isRet && returnBefore == token.NoPos {
-							if firstUnlockAnyDepth == token.NoPos || r.Pos() < firstUnlockAnyDepth {
-								returnBefore = r.Pos()
-							}
-						}
-						return true
-					})
-				}
 				heldEnd = later.End()
 			}
 			if deferred {
 				heldEnd = fn.Body.End()
 			} else if unlockPos != token.NoPos {
 				heldEnd = unlockPos
-			}
-			if !deferred && returnBefore != token.NoPos && unlockPos != token.NoPos {
-				pass.Reportf(returnBefore,
-					"early return while %s is held: %s on line %d has no defer %s",
-					lc.path, lc.method, pass.Fset().Position(lc.call.Pos()).Line, want)
 			}
 			// Self-deadlock: calls to same-receiver methods that lock the
 			// same mutex field, within the held span.

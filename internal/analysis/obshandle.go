@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsHandle enforces the PR-5 hand-audited rule by machine: metric and
+// trace handles are resolved once at package init, never looked up in
+// request-reachable code. A handle lookup (obs.GetCounter and friends,
+// or the Registry methods behind them) takes the registry's RWMutex —
+// doing that inside a request, usually while already holding a
+// subsystem lock, both serializes the hot path on a global lock and
+// creates exactly the cross-subsystem lock-order hazard lockorder
+// exists to prevent. The obs package's own DESIGN contract (§ telemetry)
+// is "resolve at init, Inc/Observe on the path"; this analyzer turns
+// that contract into a diagnostic.
+//
+// Amortized lookups (a once-per-key cache miss on a cold branch) are
+// legitimate; suppress those with
+//
+//	//odbis:ignore obshandle -- <why the lookup is amortized>
+var ObsHandle = &Analyzer{
+	Name:       "obshandle",
+	Doc:        "metric/trace handles must be resolved at package init, not in request-reachable functions",
+	RunProgram: runObsHandle,
+}
+
+const obsPkgPath = "github.com/odbis/odbis/internal/obs"
+
+// obsLookupFuncs are the package-level resolvers.
+var obsLookupFuncs = map[string]bool{
+	"GetCounter": true, "GetCounterL": true,
+	"GetGauge": true, "GetGaugeL": true,
+	"GetHistogram": true, "GetHistogramL": true,
+}
+
+// obsLookupMethods are the Registry methods the package funcs wrap.
+var obsLookupMethods = map[string]bool{
+	"Counter": true, "CounterL": true,
+	"Gauge": true, "GaugeL": true,
+	"Histogram": true, "HistogramL": true,
+}
+
+func runObsHandle(pass *ProgramPass) {
+	reach := requestReachable(pass.Prog)
+	for _, fi := range pass.Prog.Funcs() {
+		r, ok := reach[fi.Obj]
+		if !ok {
+			continue
+		}
+		switch groupOf(fi.Pkg.Path) {
+		case "obs", "bench":
+			continue // the registry's own implementation, and measurement code
+		}
+		fname := shortFuncName(fi.Obj)
+		// Closures inside a reachable function run on the request path too
+		// (the call graph folds literal calls into the enclosing decl), so
+		// the walk descends into function literals.
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			lookup := obsLookupName(fi.Pkg.Info, call)
+			if lookup == "" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s resolves a metric handle via %s%s on the request path (%s); the lookup takes the registry lock per call — resolve once in a package var or init and use the handle",
+				fname, lookup, metricNameArg(call), r.witnessSuffix())
+			return true
+		})
+	}
+}
+
+// obsLookupName classifies a call as a handle lookup and names it, or
+// returns "".
+func obsLookupName(info *types.Info, call *ast.CallExpr) string {
+	fn, _ := calleeObj(info, call).(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPkgPath {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if isNamed(sig.Recv().Type(), obsPkgPath, "Registry") && obsLookupMethods[fn.Name()] {
+			return "Registry." + fn.Name()
+		}
+		return ""
+	}
+	if obsLookupFuncs[fn.Name()] {
+		return "obs." + fn.Name()
+	}
+	return ""
+}
+
+// metricNameArg extracts a literal first argument for the diagnostic
+// ("odbis_bus_published_total"), or returns "".
+func metricNameArg(call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok {
+		return "(" + lit.Value + ")"
+	}
+	return ""
+}

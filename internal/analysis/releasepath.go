@@ -1,0 +1,552 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ReleasePath is the first CFG-based analyzer: path-sensitive
+// resource-release checking. Where lockdiscipline pattern-matched block
+// shapes ("is there a return between Lock and Unlock?"), this analyzer
+// proves the release property over every path of the function's
+// control-flow graph, including panic unwinds and early returns:
+//
+//   - sync.Mutex / sync.RWMutex: every Lock/RLock must reach the
+//     matching Unlock/RUnlock on all paths (the WAL failure latch is a
+//     field under such a mutex, so latch discipline rides along);
+//   - storage.Engine.Begin / BeginCtx: the returned *Tx must reach
+//     Commit or Rollback on all paths;
+//   - obs.StartTrace / StartSpan: the returned *Span must reach End on
+//     all paths.
+//
+// The lattice is, per tracked resource, the powerset of four states
+// {held?}×{defer-armed?}. Acquire sets held, an explicit release clears
+// it, and a `defer <release>` statement arms the defer bit from that
+// point on — which is exactly defer's semantics: once the statement has
+// executed, the release runs on every exit, normal or panicking. A
+// resource leaks iff the state (held, no defer armed) reaches the
+// virtual Exit block. The encoding keeps the two bits correlated per
+// path (4 states, not 2 independent bits), so the canonical
+//
+//	tx := e.Begin()
+//	defer tx.Rollback()   // held+armed from here
+//	...
+//	tx.Commit()           // released, defer is a no-op
+//
+// pattern verifies without special cases.
+//
+// Panic edges: an explicit panic(...) always edges to Exit (defers run
+// during unwind). Calls are assumed panic-free unless the function has a
+// deferred recover — such a function demonstrably survives callee
+// panics, so a resource held across a panicking call really does leak
+// into the recovered world, and every call gets a panic edge
+// (BuildCFG's callPanics mode).
+//
+// Handles that escape — returned, passed to another function, stored in
+// a struct or slice, or captured by a non-defer closure — transfer
+// ownership somewhere this per-function analysis cannot see, and are
+// skipped rather than guessed at.
+var ReleasePath = &Analyzer{
+	Name: "releasepath",
+	Doc:  "prove every mutex/transaction/span acquire reaches its release on all CFG paths, defer- and panic-aware",
+	Run:  runReleasePath,
+}
+
+// Per-resource state encoding: 4 bits per resource, bit base+s set when
+// state s is reachable. s = heldBit | deferBit<<1.
+const (
+	rpIdle     = 0 // not held, no defer armed
+	rpHeld     = 1 // held, no defer armed — the leak state at Exit
+	rpArmed    = 2 // released, defer still armed (no-op on exit)
+	rpHeldSafe = 3 // held, defer armed (defer releases on exit)
+)
+
+// rpResource is one tracked acquire site.
+type rpResource struct {
+	idx  int
+	pos  token.Pos // acquire position (diagnostic anchor)
+	kind string    // "mutex", "tx", "span"
+
+	// mutex identity: selector path + which unlock releases it.
+	path   string
+	unlock string
+
+	// tx/span identity: the handle variable.
+	obj     types.Object
+	name    string // handle identifier
+	origin  string // e.g. "storage Engine.BeginCtx", "obs.StartSpan"
+	release string // "Commit or Rollback", "End"
+}
+
+// rpEvent is one state transition at a node.
+type rpEvent struct {
+	res *rpResource
+	op  int // rpAcquire, rpRelease, rpArm
+}
+
+const (
+	rpAcquire = iota
+	rpRelease
+	rpArm
+)
+
+func runReleasePath(pass *Pass) {
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkReleasePaths(pass, fn.Name.Name, fn.Body)
+			// Function literals get their own CFG: their statements run on
+			// their own schedule, not the enclosing function's.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkReleasePaths(pass, "func literal in "+fn.Name.Name, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// rpChecker holds the per-function collection results.
+type rpChecker struct {
+	pass      *Pass
+	resources []*rpResource
+	// events maps a call expression to its transitions (acquires and
+	// explicit releases). Defer arming is handled per DeferStmt.
+	events map[*ast.CallExpr][]rpEvent
+	// armEvents maps a defer statement to the resources it arms.
+	armEvents map[*ast.DeferStmt][]rpEvent
+	// sanctioned marks handle-identifier uses that do not count as
+	// escapes: the defining assignment and release-call receivers.
+	sanctioned map[*ast.Ident]bool
+}
+
+func checkReleasePaths(pass *Pass, funcName string, body *ast.BlockStmt) {
+	c := &rpChecker{
+		pass:       pass,
+		events:     map[*ast.CallExpr][]rpEvent{},
+		armEvents:  map[*ast.DeferStmt][]rpEvent{},
+		sanctioned: map[*ast.Ident]bool{},
+	}
+	c.collect(body)
+	if len(c.resources) == 0 {
+		return
+	}
+	c.dropEscaped(body)
+	live := 0
+	for _, r := range c.resources {
+		if r != nil {
+			live++
+		}
+	}
+	if live == 0 {
+		return
+	}
+
+	cfg := BuildCFG(body, recoversFromPanics(body))
+	bits := 4 * len(c.resources)
+	boundary := NewBitSet(bits)
+	for _, r := range c.resources {
+		if r != nil {
+			boundary.Set(4*r.idx + rpIdle)
+		}
+	}
+	d := &Dataflow{
+		CFG:      cfg,
+		Bits:     bits,
+		Boundary: boundary,
+		Transfer: c.transfer,
+	}
+	_, out := d.Solve()
+	exitIn := NewBitSet(bits)
+	for _, p := range cfg.Exit.Preds {
+		exitIn.UnionWith(out[p.Index])
+	}
+	for _, r := range c.resources {
+		if r == nil || !exitIn.Has(4*r.idx+rpHeld) {
+			continue
+		}
+		witness := c.leakWitness(cfg, out, 4*r.idx+rpHeld)
+		switch r.kind {
+		case "mutex":
+			pass.Reportf(r.pos,
+				"%s.%s() in %s does not reach %s.%s() on every path (%s); release on all exits or use defer",
+				r.path, lockFlavor(r.unlock), funcName, r.path, r.unlock, witness)
+		case "tx":
+			pass.Reportf(r.pos,
+				"transaction %s from %s is not finished on every path of %s (%s); add `defer %s.Rollback()` right after the acquire — Rollback after Commit is a no-op",
+				r.name, r.origin, funcName, witness, r.name)
+		case "span":
+			pass.Reportf(r.pos,
+				"span %s from %s is not ended on every path of %s (%s); add `defer %s.End()` — an unclosed span pins its trace buffer for the tenant",
+				r.name, r.origin, funcName, witness, r.name)
+		}
+	}
+}
+
+// lockFlavor maps the unlock method back to the acquire name for the
+// diagnostic ("RUnlock" → "RLock").
+func lockFlavor(unlock string) string {
+	if unlock == "RUnlock" {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// collect walks the body (excluding nested function literals) recording
+// every acquire, explicit release, and defer-armed release.
+func (c *rpChecker) collect(body *ast.BlockStmt) {
+	info := c.pass.TypesInfo()
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			c.collectDefer(n)
+			// The deferred call's receiver/arguments are evaluated at the
+			// defer statement, but the call itself runs at exit; do not
+			// descend, or the release would look immediate.
+			return false
+
+		case *ast.AssignStmt:
+			c.collectAssign(n)
+			return true
+
+		case *ast.CallExpr:
+			// Mutex acquires and explicit releases of any tracked kind.
+			if lc, ok := asLockCall(info, n); ok {
+				switch lc.method {
+				case "Lock", "RLock":
+					r := &rpResource{
+						idx:    len(c.resources),
+						pos:    n.Pos(),
+						kind:   "mutex",
+						path:   lc.path,
+						unlock: unlockFor(lc.method),
+					}
+					c.resources = append(c.resources, r)
+					c.events[n] = append(c.events[n], rpEvent{r, rpAcquire})
+				case "Unlock", "RUnlock":
+					for _, r := range c.resources {
+						if r != nil && r.kind == "mutex" && r.path == lc.path && r.unlock == lc.method {
+							c.events[n] = append(c.events[n], rpEvent{r, rpRelease})
+						}
+					}
+				}
+				return true
+			}
+			for _, r := range c.releaseTargets(n) {
+				c.events[n] = append(c.events[n], rpEvent{r, rpRelease})
+			}
+			return true
+		}
+		return true
+	})
+	// Release sites seen before their acquire in source order (loop
+	// back-edges) need a second pass so every release kills every
+	// matching resource.
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lc, ok := asLockCall(info, call); ok && (lc.method == "Unlock" || lc.method == "RUnlock") {
+			for _, r := range c.resources {
+				if r == nil || r.kind != "mutex" || r.path != lc.path || r.unlock != lc.method {
+					continue
+				}
+				if !c.hasEvent(call, r, rpRelease) {
+					c.events[call] = append(c.events[call], rpEvent{r, rpRelease})
+				}
+			}
+			return true
+		}
+		for _, r := range c.releaseTargets(call) {
+			if !c.hasEvent(call, r, rpRelease) {
+				c.events[call] = append(c.events[call], rpEvent{r, rpRelease})
+			}
+		}
+		return true
+	})
+}
+
+func (c *rpChecker) hasEvent(call *ast.CallExpr, r *rpResource, op int) bool {
+	for _, e := range c.events[call] {
+		if e.res == r && e.op == op {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAssign recognizes handle-producing assignments:
+//
+//	tx := e.Begin() / e.BeginCtx(ctx)
+//	ctx, span := obs.StartSpan(ctx, name) / obs.StartTrace(...)
+func (c *rpChecker) collectAssign(as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, _ := calleeObj(c.pass.TypesInfo(), call).(*types.Func)
+	if fn == nil {
+		return
+	}
+	const (
+		storagePath = "github.com/odbis/odbis/internal/storage"
+		obsPath     = "github.com/odbis/odbis/internal/obs"
+	)
+	sig, _ := fn.Type().(*types.Signature)
+	switch {
+	case (fn.Name() == "Begin" || fn.Name() == "BeginCtx") &&
+		sig != nil && sig.Recv() != nil && isNamed(sig.Recv().Type(), storagePath, "Engine"):
+		if len(as.Lhs) != 1 {
+			return
+		}
+		c.trackHandle(call, as.Lhs[0], "tx", "storage Engine."+fn.Name(), "Commit or Rollback")
+
+	case (fn.Name() == "StartSpan" || fn.Name() == "StartTrace") &&
+		fn.Pkg() != nil && fn.Pkg().Path() == obsPath && (sig == nil || sig.Recv() == nil):
+		if len(as.Lhs) != 2 {
+			return
+		}
+		c.trackHandle(call, as.Lhs[1], "span", "obs."+fn.Name(), "End")
+	}
+}
+
+// trackHandle registers the left-hand identifier as a tracked resource,
+// attaching the acquire event to the producing call. A blank identifier
+// is an immediate finding: the handle can never be released.
+func (c *rpChecker) trackHandle(call *ast.CallExpr, lhs ast.Expr, kind, origin, release string) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return // stored into a field/index: escapes by construction
+	}
+	if id.Name == "_" {
+		noun := "transaction"
+		if kind == "span" {
+			noun = "span"
+		}
+		c.pass.Reportf(id.Pos(),
+			"%s from %s is assigned to _ and can never reach %s; bind it and release it",
+			noun, origin, release)
+		return
+	}
+	obj := objOf(c.pass.TypesInfo(), id)
+	if obj == nil {
+		return
+	}
+	r := &rpResource{
+		idx:     len(c.resources),
+		pos:     id.Pos(),
+		kind:    kind,
+		obj:     obj,
+		name:    id.Name,
+		origin:  origin,
+		release: release,
+	}
+	c.resources = append(c.resources, r)
+	c.sanctioned[id] = true
+	c.events[call] = append(c.events[call], rpEvent{r, rpAcquire})
+}
+
+// releaseTargets matches a call to the release method of tracked handle
+// resources: tx.Commit / tx.Rollback / span.End. Several resources can
+// share one variable (reassignment in a loop); a release kills them all.
+func (c *rpChecker) releaseTargets(call *ast.CallExpr) []*rpResource {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := objOf(c.pass.TypesInfo(), id)
+	if obj == nil {
+		return nil
+	}
+	var out []*rpResource
+	for _, r := range c.resources {
+		if r == nil || r.obj != obj {
+			continue
+		}
+		if (r.kind == "tx" && (sel.Sel.Name == "Commit" || sel.Sel.Name == "Rollback")) ||
+			(r.kind == "span" && sel.Sel.Name == "End") {
+			c.sanctioned[id] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// collectDefer records which resources a defer statement arms: a direct
+// deferred release (defer tx.Rollback(), defer mu.Unlock(), defer
+// span.End()) or releases inside a deferred function literal.
+func (c *rpChecker) collectDefer(d *ast.DeferStmt) {
+	info := c.pass.TypesInfo()
+	record := func(call *ast.CallExpr) {
+		if lc, ok := asLockCall(info, call); ok && (lc.method == "Unlock" || lc.method == "RUnlock") {
+			for _, r := range c.resources {
+				if r != nil && r.kind == "mutex" && r.path == lc.path && r.unlock == lc.method {
+					c.armEvents[d] = append(c.armEvents[d], rpEvent{r, rpArm})
+				}
+			}
+			return
+		}
+		for _, r := range c.releaseTargets(call) {
+			c.armEvents[d] = append(c.armEvents[d], rpEvent{r, rpArm})
+		}
+	}
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		inspectNoFuncLit(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				record(call)
+			}
+			return true
+		})
+		return
+	}
+	record(d.Call)
+}
+
+// dropEscaped nils out handle resources whose identifier is used in any
+// position other than its definition or a release call: returns,
+// arguments, stores, closure captures. Ownership moved; per-function
+// reasoning stops being sound.
+func (c *rpChecker) dropEscaped(body *ast.BlockStmt) {
+	info := c.pass.TypesInfo()
+	// Calling a method ON the handle (tx.Insert, span.SetAttr) is use,
+	// not escape: the receiver stays owned by this function. Captures
+	// inside function literals still escape — a closure outlives us.
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				c.sanctioned[id] = true
+			}
+		}
+		return true
+	})
+	escaped := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || c.sanctioned[id] {
+			return true
+		}
+		obj := objOf(info, id)
+		if obj == nil {
+			return true
+		}
+		for _, r := range c.resources {
+			if r != nil && r.obj != nil && r.obj == obj {
+				escaped[obj] = true
+			}
+		}
+		return true
+	})
+	for i, r := range c.resources {
+		if r != nil && r.obj != nil && escaped[r.obj] {
+			c.resources[i] = nil
+			r.idx = -1
+		}
+	}
+}
+
+// transfer applies the node events of one block in order. For each
+// resource the input state SET is mapped state-by-state (monotone by
+// construction: more input states can only produce more output states).
+func (c *rpChecker) transfer(b *Block, in BitSet) BitSet {
+	out := in.Clone()
+	apply := func(ev rpEvent) {
+		r := ev.res
+		if r == nil || r.idx < 0 {
+			return
+		}
+		base := 4 * r.idx
+		var next [4]bool
+		for s := 0; s < 4; s++ {
+			if !out.Has(base + s) {
+				continue
+			}
+			held, armed := s&1 != 0, s&2 != 0
+			switch ev.op {
+			case rpAcquire:
+				held = true
+			case rpRelease:
+				held = false
+			case rpArm:
+				armed = true
+			}
+			ns := 0
+			if held {
+				ns |= 1
+			}
+			if armed {
+				ns |= 2
+			}
+			next[ns] = true
+		}
+		for s := 0; s < 4; s++ {
+			if next[s] {
+				out.Set(base + s)
+			} else {
+				out.Clear(base + s)
+			}
+		}
+	}
+	for _, n := range b.Nodes {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			for _, ev := range c.armEvents[d] {
+				apply(ev)
+			}
+			continue
+		}
+		inspectNoFuncLit(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				for _, ev := range c.events[call] {
+					apply(ev)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// leakWitness names one concrete leaking path into Exit for the
+// diagnostic: an early return, an explicit panic, a potential callee
+// panic (recover-surviving functions), or the implicit fall-off return.
+func (c *rpChecker) leakWitness(cfg *CFG, out []BitSet, bit int) string {
+	fset := c.pass.Fset()
+	for _, p := range cfg.Exit.Preds {
+		if !out[p.Index].Has(bit) {
+			continue
+		}
+		if len(p.Nodes) == 0 {
+			return "leaks on an implicit return"
+		}
+		last := p.Nodes[len(p.Nodes)-1]
+		line := fset.Position(last.End()).Line
+		if _, ok := last.(*ast.ReturnStmt); ok {
+			return fmt.Sprintf("leaks on the return at line %d", line)
+		}
+		if es, ok := last.(*ast.ExprStmt); ok && terminatingCall(es.X) == "panic" {
+			return fmt.Sprintf("leaks on the panic at line %d", line)
+		}
+		if len(p.Succs) > 1 {
+			return fmt.Sprintf("leaks if the call at line %d panics — this function recovers, so the handle survives into the recovered world", line)
+		}
+		return fmt.Sprintf("leaks on the exit path after line %d", line)
+	}
+	return "leaks on some path"
+}

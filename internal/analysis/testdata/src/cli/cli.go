@@ -1,8 +1,11 @@
 // Package cli is the golden-output fixture for the odbis-vet driver:
-// two deterministic findings from two different analyzers.
+// three deterministic findings from three different analyzers.
 package cli
 
-import "errors"
+import (
+	"errors"
+	"sync"
+)
 
 // WrongName violates the sentinel naming convention.
 var WrongName = errors.New("cli: wrong name")
@@ -14,3 +17,21 @@ type Box struct {
 
 // Vals leaks the backing slice.
 func (b *Box) Vals() []int { return b.vals }
+
+// Registry exists so the releasepath analyzer has a deterministic
+// finding in the golden output.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// Bump leaks the mutex on the missing-key return.
+func (r *Registry) Bump(key string) bool {
+	r.mu.Lock()
+	if _, ok := r.m[key]; !ok {
+		return false
+	}
+	r.m[key]++
+	r.mu.Unlock()
+	return true
+}

@@ -1,0 +1,51 @@
+// Package olap is the obshandle fixture: its import path ends in
+// internal/olap, so Build and exported Cube methods are request-path
+// entry points. Metric handles must be resolved at package init, never
+// inside anything these reach.
+package olap
+
+import "github.com/odbis/odbis/internal/obs"
+
+// Resolved at init: the sanctioned pattern.
+var (
+	mBuilds  = obs.GetCounter("fixture_cube_builds_total")
+	mLatency = obs.GetHistogram("fixture_cube_build_seconds", nil)
+)
+
+type Cube struct {
+	cells map[string]float64
+}
+
+// Build is an entry point and resolves a handle per call.
+func Build(rows int) *Cube {
+	c := obs.GetCounter("fixture_cube_builds_total") // want `olap\.Build resolves a metric handle via obs\.GetCounter\("fixture_cube_builds_total"\) on the request path \(reachable from olap\.Build\)`
+	c.Inc()
+	return &Cube{cells: map[string]float64{}}
+}
+
+// Execute reaches the helper below: the finding lands there with a
+// witness chain.
+func (c *Cube) Execute(name string) float64 {
+	return lookupCell(c, name)
+}
+
+func lookupCell(c *Cube, name string) float64 {
+	obs.GetGaugeL("fixture_cube_cells", "cube", name).Set(int64(len(c.cells))) // want `olap\.lookupCell resolves a metric handle via obs\.GetGaugeL\("fixture_cube_cells"\) on the request path \(reachable from olap\.Cube\.Execute via olap\.lookupCell\)`
+	return c.cells[name]
+}
+
+// OKInitResolved uses the package-var handles on the hot path.
+func (c *Cube) OKInitResolved() {
+	mBuilds.Inc()
+	mLatency.Observe(0.001)
+}
+
+// OKSuppressed is the amortized-lookup escape hatch.
+func (c *Cube) OKSuppressed(name string) {
+	obs.GetCounterL("fixture_cube_named_total", "cube", name).Inc() //odbis:ignore obshandle -- fixture: per-cube handle cached by obs registry, lookup amortized across requests
+}
+
+// notReachable resolves handles freely: nothing reaches it.
+func notReachable() {
+	obs.GetGauge("fixture_unreached").Set(1)
+}

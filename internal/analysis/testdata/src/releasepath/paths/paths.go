@@ -1,0 +1,194 @@
+// Package paths is the releasepath fixture: mutex, transaction, and
+// span acquires whose release must hold on every CFG path. The real
+// storage and obs packages are imported so the analyzer's type-based
+// detection runs against the platform's own signatures.
+package paths
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/odbis/odbis/internal/obs"
+	"github.com/odbis/odbis/internal/storage"
+)
+
+type Cache struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+// LeakOnError loses the lock on the early return: the path-sensitive
+// upgrade of the rule lockdiscipline used to pattern-match.
+func (c *Cache) LeakOnError(key string) error {
+	c.mu.Lock() // want `c\.mu\.Lock\(\) in LeakOnError does not reach c\.mu\.Unlock\(\) on every path \(leaks on the return at line \d+\)`
+	if key == "" {
+		return errors.New("empty key")
+	}
+	c.items[key]++
+	c.mu.Unlock()
+	return nil
+}
+
+// OKDeferred is the canonical pattern: armed on every path.
+func (c *Cache) OKDeferred(key string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if key == "" {
+		return errors.New("empty key")
+	}
+	c.items[key]++
+	return nil
+}
+
+// OKManualBothPaths releases explicitly on each exit — legal, proven by
+// the dataflow pass rather than by block-shape matching.
+func (c *Cache) OKManualBothPaths(key string) error {
+	c.mu.Lock()
+	if key == "" {
+		c.mu.Unlock()
+		return errors.New("empty key")
+	}
+	c.items[key]++
+	c.mu.Unlock()
+	return nil
+}
+
+// OKReadLock pairs RLock with RUnlock through a defer.
+func (c *Cache) OKReadLock(key string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.items[key]
+}
+
+// RLockLeak pairs RLock with the WRONG unlock flavor: the write unlock
+// does not release a read lock.
+func (c *Cache) RLockLeak(key string) int {
+	c.mu.RLock() // want `c\.mu\.RLock\(\) in RLockLeak does not reach c\.mu\.RUnlock\(\) on every path`
+	v := c.items[key]
+	c.mu.Unlock()
+	return v
+}
+
+// DeferOnSomePaths arms the rollback only inside one branch: the other
+// branch carries the bare held state to Exit. This is the case the
+// 4-state lattice exists for — (held, armed) and (held, unarmed) must
+// stay distinct per path through the join.
+func DeferOnSomePaths(e *storage.Engine, fast bool) error {
+	tx := e.Begin() // want `transaction tx from storage Engine\.Begin is not finished on every path of DeferOnSomePaths`
+	if fast {
+		defer tx.Rollback()
+		if _, err := tx.Insert("t", nil); err != nil {
+			return err
+		}
+		return tx.Commit()
+	}
+	// Slow path forgot both the defer and the explicit finish.
+	_, err := tx.Insert("t", nil)
+	return err
+}
+
+// OKTxCanonical: defer Rollback right after Begin; Rollback after
+// Commit is a no-op, so Commit on the happy path is fine.
+func OKTxCanonical(ctx context.Context, e *storage.Engine) error {
+	tx := e.BeginCtx(ctx)
+	defer tx.Rollback()
+	if _, err := tx.Insert("t", nil); err != nil {
+		return err
+	}
+	return tx.Commit()
+}
+
+// OKTxEscapes hands the transaction to a helper: ownership leaves this
+// function, so the per-function proof does not apply and no finding is
+// raised.
+func OKTxEscapes(e *storage.Engine) error {
+	tx := e.Begin()
+	return finishElsewhere(tx)
+}
+
+func finishElsewhere(tx *storage.Tx) error {
+	defer tx.Rollback()
+	return tx.Commit()
+}
+
+// SpanLeakEarlyReturn ends the span only on the happy path.
+func SpanLeakEarlyReturn(ctx context.Context, ok bool) error {
+	_, span := obs.StartSpan(ctx, "fixture.work") // want `span span from obs\.StartSpan is not ended on every path of SpanLeakEarlyReturn`
+	if !ok {
+		return errors.New("bad input")
+	}
+	span.End()
+	return nil
+}
+
+// OKSpanDeferred is the canonical span pattern.
+func OKSpanDeferred(ctx context.Context) error {
+	ctx, span := obs.StartTrace(ctx, "fixture.trace")
+	defer span.End()
+	_ = ctx
+	return nil
+}
+
+// RecoveredPanicLeak survives callee panics via recover, so a span held
+// across a panicking call leaks into the recovered world: every call
+// gets a panic edge and the manual End on the happy path is not enough.
+func RecoveredPanicLeak(ctx context.Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovered: %v", r)
+		}
+	}()
+	_, span := obs.StartSpan(ctx, "fixture.risky") // want `span span from obs\.StartSpan is not ended on every path of RecoveredPanicLeak \(leaks if the call at line \d+ panics`
+	mayPanic()
+	span.End()
+	return nil
+}
+
+// OKRecoveredDeferred: with the End deferred, the panic edges are
+// covered too.
+func OKRecoveredDeferred(ctx context.Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovered: %v", r)
+		}
+	}()
+	_, span := obs.StartSpan(ctx, "fixture.safe")
+	defer span.End()
+	mayPanic()
+	return nil
+}
+
+// OKNoRecoverManualEnd has no deferred recover: callee panics kill the
+// goroutine anyway, so only explicit paths are checked and the manual
+// End suffices.
+func OKNoRecoverManualEnd(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "fixture.plain")
+	mayPanic()
+	span.End()
+}
+
+// DiscardedSpan can never be ended.
+func DiscardedSpan(ctx context.Context) context.Context {
+	ctx, _ = obs.StartSpan(ctx, "fixture.discard") // want `span from obs\.StartSpan is assigned to _ and can never reach End`
+	return ctx
+}
+
+// OKSuppressed shows the escape hatch with a reason.
+func OKSuppressed(c *Cache) {
+	c.mu.Lock() //odbis:ignore releasepath -- fixture: unlocked by the caller's cleanup hook
+	c.items["x"]++
+}
+
+// OKLoopLockUnlock exercises the loop back-edge: the release appears
+// before the acquire in block order on the back edge.
+func (c *Cache) OKLoopLockUnlock(keys []string) {
+	for _, k := range keys {
+		c.mu.Lock()
+		c.items[k]++
+		c.mu.Unlock()
+	}
+}
+
+func mayPanic() {}

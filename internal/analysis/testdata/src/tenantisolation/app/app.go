@@ -13,7 +13,7 @@ type row struct {
 }
 
 func BadEngineAccess(e *storage.Engine) {
-	e.DropTable("t_acme__orders") // want `direct engine access to physical table "t_acme__orders"`
+	e.DropTable("t_acme__orders")    // want `direct engine access to physical table "t_acme__orders"`
 	_ = e.HasTable("t_acme__orders") // want `direct engine access to physical table "t_acme__orders"`
 }
 

@@ -245,20 +245,26 @@ func (b *Bus) channelFor(name string, create bool) (*channel, error) {
 	if !create {
 		return nil, fmt.Errorf("bus: no channel %q", name)
 	}
+	// Resolve the labeled handles BEFORE taking the bus write lock:
+	// each lookup acquires the obs registry lock, and nesting it under
+	// b.mu would serialize channel creation behind unrelated metric
+	// traffic. The lookups run once per channel lifetime (the handles
+	// are cached in the channel struct), so the per-call cost the
+	// analyzer guards against is already amortized.
+	fresh := &channel{
+		mDelivered:    obs.GetCounterL("odbis_bus_deliveries_total", "channel", name),   //odbis:ignore obshandle -- label value is dynamic; handle cached per channel, resolved outside b.mu
+		mErrors:       obs.GetCounterL("odbis_bus_errors_total", "channel", name),       //odbis:ignore obshandle -- label value is dynamic; handle cached per channel, resolved outside b.mu
+		mRedelivered:  obs.GetCounterL("odbis_bus_redeliveries_total", "channel", name), //odbis:ignore obshandle -- label value is dynamic; handle cached per channel, resolved outside b.mu
+		mDeadLettered: obs.GetCounterL("odbis_bus_deadlettered_total", "channel", name), //odbis:ignore obshandle -- label value is dynamic; handle cached per channel, resolved outside b.mu
+		gDLQDepth:     obs.GetGaugeL("odbis_bus_deadletter_depth", "channel", name),     //odbis:ignore obshandle -- label value is dynamic; handle cached per channel, resolved outside b.mu
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if ch, ok := b.channels[name]; ok {
 		return ch, nil
 	}
-	ch = &channel{
-		mDelivered:    obs.GetCounterL("odbis_bus_deliveries_total", "channel", name),
-		mErrors:       obs.GetCounterL("odbis_bus_errors_total", "channel", name),
-		mRedelivered:  obs.GetCounterL("odbis_bus_redeliveries_total", "channel", name),
-		mDeadLettered: obs.GetCounterL("odbis_bus_deadlettered_total", "channel", name),
-		gDLQDepth:     obs.GetGaugeL("odbis_bus_deadletter_depth", "channel", name),
-	}
-	b.channels[name] = ch
-	return ch, nil
+	b.channels[name] = fresh
+	return fresh, nil
 }
 
 // Subscribe registers a handler on a channel, creating the channel if

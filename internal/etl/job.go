@@ -48,42 +48,52 @@ func (p *Pipeline) Run(ctx context.Context) (read, written int, err error) {
 	if err := fault.PointCtx(ctx, fault.ETLExtract); err != nil {
 		return 0, 0, fmt.Errorf("etl: extract: %w", err)
 	}
-	extractCtx, extractSpan := obs.StartSpan(ctx, "etl.extract")
-	stageStart := time.Now()
-	recs, err := p.Source.Read(extractCtx)
-	extractSpan.End()
-	mETLExtractSecs.ObserveDuration(time.Since(stageStart))
+	// Each stage runs inside its own scope with the span ended by defer:
+	// stage implementations are extension points, and when one panics the
+	// recover above keeps this goroutine alive — a manually-ended span
+	// would leak into the recovered world and pin its trace buffer.
+	recs, err := func() ([]Record, error) {
+		extractCtx, extractSpan := obs.StartSpan(ctx, "etl.extract")
+		defer extractSpan.End()
+		defer func(start time.Time) { mETLExtractSecs.ObserveDuration(time.Since(start)) }(time.Now())
+		return p.Source.Read(extractCtx)
+	}()
 	if err != nil {
 		return 0, 0, err
 	}
 	read = len(recs)
-	transformCtx, transformSpan := obs.StartSpan(ctx, "etl.transform")
-	stageStart = time.Now()
-	for _, tr := range p.Transforms {
-		if err := ctx.Err(); err != nil {
-			transformSpan.End()
-			return read, 0, err
+	recs, err = func() ([]Record, error) {
+		transformCtx, transformSpan := obs.StartSpan(ctx, "etl.transform")
+		defer transformSpan.End()
+		defer func(start time.Time) { mETLTransformSecs.ObserveDuration(time.Since(start)) }(time.Now())
+		out := recs
+		for _, tr := range p.Transforms {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := fault.PointCtx(ctx, fault.ETLTransform); err != nil {
+				return nil, fmt.Errorf("etl: transform %s: %w", tr.Name(), err)
+			}
+			var err error
+			out, err = applyTransform(transformCtx, tr, out)
+			if err != nil {
+				return nil, fmt.Errorf("etl: transform %s: %w", tr.Name(), err)
+			}
 		}
-		if err := fault.PointCtx(ctx, fault.ETLTransform); err != nil {
-			transformSpan.End()
-			return read, 0, fmt.Errorf("etl: transform %s: %w", tr.Name(), err)
-		}
-		recs, err = applyTransform(transformCtx, tr, recs)
-		if err != nil {
-			transformSpan.End()
-			return read, 0, fmt.Errorf("etl: transform %s: %w", tr.Name(), err)
-		}
+		return out, nil
+	}()
+	if err != nil {
+		return read, 0, err
 	}
-	transformSpan.End()
-	mETLTransformSecs.ObserveDuration(time.Since(stageStart))
 	if err := fault.PointCtx(ctx, fault.ETLLoad); err != nil {
 		return read, 0, fmt.Errorf("etl: load: %w", err)
 	}
-	loadCtx, loadSpan := obs.StartSpan(ctx, "etl.load")
-	stageStart = time.Now()
-	written, err = p.Sink.Write(loadCtx, recs)
-	loadSpan.End()
-	mETLLoadSecs.ObserveDuration(time.Since(stageStart))
+	written, err = func() (int, error) {
+		loadCtx, loadSpan := obs.StartSpan(ctx, "etl.load")
+		defer loadSpan.End()
+		defer func(start time.Time) { mETLLoadSecs.ObserveDuration(time.Since(start)) }(time.Now())
+		return p.Sink.Write(loadCtx, recs)
+	}()
 	return read, written, err
 }
 

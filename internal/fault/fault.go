@@ -325,7 +325,7 @@ func List() []Status {
 	mu.Lock()
 	defer mu.Unlock()
 	seen := map[string]bool{}
-	var out []Status
+	out := make([]Status, 0, len(armed))
 	for _, name := range Known() {
 		seen[name] = true
 		out = append(out, statusLocked(name, true))

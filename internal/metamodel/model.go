@@ -243,7 +243,7 @@ func (m *Model) Elements() []*Element { return append([]*Element(nil), m.element
 
 // ElementsOf returns elements whose class is name or a subclass of it.
 func (m *Model) ElementsOf(className string) []*Element {
-	var out []*Element
+	out := make([]*Element, 0, len(m.elements))
 	for _, e := range m.elements {
 		if e.class.IsA(className) {
 			out = append(out, e)
@@ -296,9 +296,11 @@ func (m *Model) Validate() error {
 			}
 		}
 	}
-	// Containment acyclicity.
+	// Containment acyclicity. One map reused across starts: allocating a
+	// fresh set per element is pure garbage on the validation hot path.
+	seen := map[*Element]bool{}
 	for e := range owner {
-		seen := map[*Element]bool{}
+		clear(seen)
 		for cur := e; cur != nil; cur = owner[cur] {
 			if seen[cur] {
 				return fmt.Errorf("metamodel: containment cycle through %s", cur.id)

@@ -216,7 +216,7 @@ func Build(ctx context.Context, e *storage.Engine, spec CubeSpec) (*Cube, error)
 		degenPos  []int // for degenerate dims: level positions on the fact table
 		degenerte bool
 	}
-	var dimDatas []*dimData
+	dimDatas := make([]*dimData, 0, len(spec.Dimensions))
 	for _, ds := range spec.Dimensions {
 		dd := &dimData{spec: ds}
 		if ds.Table == "" {

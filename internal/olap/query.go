@@ -158,7 +158,7 @@ func (c *Cube) Execute(ctx context.Context, q Query) (*Result, error) {
 	if len(measures) == 0 {
 		measures = c.MeasureNames()
 	}
-	var meass []*measure
+	meass := make([]*measure, 0, len(measures))
 	for _, name := range measures {
 		m, ok := c.meas[strings.ToLower(name)]
 		if !ok {
@@ -193,7 +193,7 @@ func (c *Cube) Execute(ctx context.Context, q Query) (*Result, error) {
 		lv      *level
 		allowed map[int32]bool
 	}
-	var fsets []filterSet
+	fsets := make([]filterSet, 0, len(q.Filters))
 	for _, f := range q.Filters {
 		d, err := c.dimension(f.Dimension)
 		if err != nil {
@@ -228,7 +228,10 @@ func (c *Cube) Execute(ctx context.Context, q Query) (*Result, error) {
 		return st
 	}
 
-	cells := map[string]*cellState{}
+	// A struct key instead of rk+"|"+ck: the aggregation loop runs once
+	// per fact, and composite string keys would allocate on each pass.
+	type cellPos struct{ row, col string }
+	cells := map[cellPos]*cellState{}
 	rowKeys := map[string][]int32{}
 	colKeys := map[string][]int32{}
 
@@ -260,11 +263,11 @@ facts:
 		if _, ok := colKeys[ck]; !ok {
 			colKeys[ck] = append([]int32(nil), colCodes...)
 		}
-		cellKey := rk + "|" + ck
-		st, ok := cells[cellKey]
+		pos := cellPos{rk, ck}
+		st, ok := cells[pos]
 		if !ok {
 			st = newState()
-			cells[cellKey] = st
+			cells[pos] = st
 		}
 		for mi, m := range meass {
 			if m.isNull[i] {
@@ -304,10 +307,9 @@ facts:
 			res.Cells[r][cc] = make([]float64, len(meass))
 		}
 	}
-	for cellKey, st := range cells {
-		parts := strings.SplitN(cellKey, "|", 2)
-		r := rowPos[parts[0]]
-		cc := colPos[parts[1]]
+	for pos, st := range cells {
+		r := rowPos[pos.row]
+		cc := colPos[pos.col]
 		res.Present[r][cc] = true
 		for mi, m := range meass {
 			var v float64

@@ -7,6 +7,7 @@ import (
 	"html"
 	"io"
 	"math"
+	"strconv"
 	"strings"
 
 	"github.com/odbis/odbis/internal/storage"
@@ -267,16 +268,22 @@ func renderSVGChart(w io.Writer, cd *ChartData) {
 		}
 	} else { // line
 		step := plotW / float64(maxInt(n-1, 1))
+		var pts strings.Builder
 		for si, s := range cd.Series {
 			color := chartPalette[si%len(chartPalette)]
-			var pts []string
+			pts.Reset()
 			for i, v := range s.Values {
 				x := float64(pad) + float64(i)*step
 				y := float64(height-pad) - v/maxVal*plotH
-				pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+				if i > 0 {
+					pts.WriteByte(' ')
+				}
+				pts.WriteString(strconv.FormatFloat(x, 'f', 1, 64))
+				pts.WriteByte(',')
+				pts.WriteString(strconv.FormatFloat(y, 'f', 1, 64))
 			}
 			fmt.Fprintf(w, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
-				strings.Join(pts, " "), color)
+				pts.String(), color)
 		}
 	}
 	// X labels (sparse when crowded).

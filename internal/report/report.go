@@ -234,7 +234,7 @@ func runElement(ctx context.Context, q Queryer, el Element) (Item, error) {
 
 func gridFrom(res *sql.Result, columns []string, limit int) (*Grid, error) {
 	idx := make([]int, 0, len(res.Columns))
-	var names []string
+	names := make([]string, 0, len(res.Columns))
 	if len(columns) == 0 {
 		for i, c := range res.Columns {
 			idx = append(idx, i)
@@ -285,8 +285,8 @@ func chartFrom(res *sql.Result, el Element) (*ChartData, error) {
 		}
 		labelIdx = found
 	}
-	var seriesIdx []int
-	var seriesNames []string
+	seriesIdx := make([]int, 0, len(res.Columns))
+	seriesNames := make([]string, 0, len(res.Columns))
 	if len(el.Series) == 0 {
 		for i, c := range res.Columns {
 			if i == labelIdx {

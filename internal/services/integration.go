@@ -96,7 +96,7 @@ func (s *Session) compile(spec *JobSpec) (*etl.Job, error) {
 	if declared != 1 {
 		return nil, fmt.Errorf("services: job %s must declare exactly one source, has %d", spec.Name, declared)
 	}
-	var transforms []etl.Transform
+	transforms := make([]etl.Transform, 0, len(spec.Steps))
 	for i, st := range spec.Steps {
 		tr, err := s.compileStep(st)
 		if err != nil {
@@ -152,7 +152,7 @@ func (s *Session) compileStep(st StepSpec) (etl.Transform, error) {
 			Required: st.Required,
 		}, nil
 	case "aggregate":
-		var aggs []etl.AggSpec
+		aggs := make([]etl.AggSpec, 0, len(st.Aggs))
 		for _, a := range st.Aggs {
 			aggs = append(aggs, etl.AggSpec{Op: a.Op, Field: a.Field, As: a.As})
 		}

@@ -67,7 +67,7 @@ func (s *Session) SemanticMergeJob(ctx context.Context, sourceTable, targetTable
 		return nil, fmt.Errorf("services: no matches to merge on")
 	}
 	mapping := odm.RenameMapping(matches)
-	var keep []string
+	keep := make([]string, 0, len(matches))
 	for _, m := range matches {
 		keep = append(keep, m.TargetColumn)
 	}

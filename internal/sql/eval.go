@@ -285,7 +285,7 @@ func (ec *evalCtx) evalIn(in *InExpr) (storage.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	var candidates []storage.Value
+	candidates := make([]storage.Value, 0, len(in.List))
 	if in.Sub != nil {
 		rows, err := ec.runSubquery(in.Sub, 0)
 		if err != nil {

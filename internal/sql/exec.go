@@ -559,7 +559,7 @@ func (ex *executor) groupRows(rows []joined, groupBy []Expr, aggNodes []*FuncCal
 		g      *group
 		states []*aggState
 	}
-	order := []string{}
+	order := make([]string, 0, len(rows))
 	buckets := map[string]*bucket{}
 
 	for _, row := range rows {
@@ -775,7 +775,7 @@ func resolveRefs(exprs []Expr, items []SelectItem) ([]Expr, error) {
 
 // expandStars replaces * and t.* items with explicit column refs.
 func expandStars(items []SelectItem, bindings []binding) ([]SelectItem, error) {
-	var out []SelectItem
+	out := make([]SelectItem, 0, len(items))
 	for _, item := range items {
 		if !item.Star {
 			out = append(out, item)

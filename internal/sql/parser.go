@@ -358,7 +358,9 @@ func (p *parser) parseInsert() (*InsertStmt, error) {
 		if err := p.expectOp("("); err != nil {
 			return nil, err
 		}
-		var row []Expr
+		// The column list bounds the row width when present; otherwise a
+		// small starting capacity still skips the first growth steps.
+		row := make([]Expr, 0, max(len(ins.Columns), 4))
 		for {
 			e, err := p.parseExpr()
 			if err != nil {

@@ -279,7 +279,7 @@ func hasColumnRef(e Expr) bool {
 // join combines the accumulated rows with a new table. Inner equi-joins
 // use a hash join; everything else is a nested loop.
 func (ex *executor) join(oldBindings []binding, newB binding, left []joined, right []storage.Row, ref TableRef, params []storage.Value, outer *rowEnv) ([]joined, error) {
-	var out []joined
+	out := make([]joined, 0, len(right))
 	allBindings := append(append([]binding(nil), oldBindings...), newB)
 
 	if ref.Join == JoinCross {
@@ -302,8 +302,9 @@ func (ex *executor) join(oldBindings []binding, newB binding, left []joined, rig
 	if leftExpr, rightExpr, ok := equiJoinSides(ref.On, oldBindings, newB); ok {
 		table := make(map[string][]storage.Row, len(right))
 		rec := &evalCtx{params: params, now: ex.now, exec: ex}
+		newBinding := []binding{newB}
 		for _, r := range right {
-			rec.row = makeEnv([]binding{newB}, joined{r}, nil)
+			rec.row = makeEnv(newBinding, joined{r}, nil)
 			v, err := rec.eval(rightExpr)
 			if err != nil {
 				return nil, err

@@ -55,8 +55,8 @@ func NewMapper[T any](e *storage.Engine, tableName string) (*Mapper[T], error) {
 		tableName = SnakeCase(rt.Name())
 	}
 	m := &Mapper[T]{e: e, pkCol: -1}
-	var cols []storage.Column
-	var pk []string
+	cols := make([]storage.Column, 0, rt.NumField())
+	pk := make([]string, 0, 1)
 	for i := 0; i < rt.NumField(); i++ {
 		f := rt.Field(i)
 		if !f.IsExported() {
@@ -119,7 +119,7 @@ func NewMapper[T any](e *storage.Engine, tableName string) (*Mapper[T], error) {
 				continue
 			}
 			err := e.CreateIndex(storage.IndexInfo{
-				Name:    tableName + "_" + f.column + "_ix",
+				Name:    tableName + "_" + f.column + "_ix", //odbis:ignore hotalloc -- the concat IS the index name being created, once per index at table creation
 				Table:   tableName,
 				Columns: []string{f.column},
 				Unique:  f.unique,

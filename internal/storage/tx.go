@@ -302,8 +302,9 @@ type match struct {
 func (tx *Tx) collectVisible(t *table, pick func() []rowID) []match {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	var out []match
-	for _, id := range pick() {
+	ids := pick()
+	out := make([]match, 0, len(ids))
+	for _, id := range ids {
 		v := &t.versions[id]
 		if tx.e.visible(v, tx.snap, tx.id) {
 			out = append(out, match{rid: v.rid, row: v.row})
@@ -503,7 +504,7 @@ func (e *Engine) noteDead(ops []txOp, outcome txStatus) {
 			counts[lowerName(op.table)]++
 		}
 	}
-	var vacuumNames []string
+	vacuumNames := make([]string, 0, len(counts))
 	e.mu.RLock()
 	for name, n := range counts {
 		if t, ok := e.tables[name]; ok {

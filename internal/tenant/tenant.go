@@ -223,8 +223,9 @@ func (r *Registry) Drop(id string) error {
 		return err
 	}
 	r.recMu.Lock()
+	pendingPrefix := id + "|"
 	for k := range r.pending {
-		if strings.HasPrefix(k, id+"|") {
+		if strings.HasPrefix(k, pendingPrefix) {
 			delete(r.pending, k)
 		}
 	}
@@ -273,7 +274,7 @@ func (r *Registry) FlushUsage() error {
 	period := r.period()
 	for i, k := range keys {
 		id, metric, _ := strings.Cut(k, "|")
-		rowKey := k + "|" + period
+		rowKey := k + "|" + period //odbis:ignore hotalloc -- the concat IS the storage key being built; one per flushed usage row
 		row, ok, err := r.usage.Get(rowKey)
 		if err == nil {
 			if !ok {
@@ -473,8 +474,9 @@ func (c *Catalog) checkQuota(ctx context.Context, stmt sql.Statement) error {
 
 // Tables lists the tenant's logical table names sorted.
 func (c *Catalog) Tables() []string {
-	var out []string
-	for _, tbl := range c.reg.engine.Tables() {
+	all := c.reg.engine.Tables()
+	out := make([]string, 0, len(all))
+	for _, tbl := range all {
 		if strings.HasPrefix(tbl, c.prefix) {
 			out = append(out, c.logical(tbl))
 		}

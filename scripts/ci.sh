@@ -33,4 +33,19 @@ echo "==> fault-injection suite under -race"
 go test -race -run 'Fault|Crash|TornTail|Panic|Admission|Redeliver|DeadLetter' \
 	./internal/fault/ ./internal/storage/ ./internal/bus/ ./internal/etl/ ./internal/server/
 
+
+# Perf regression gate: re-run the benchmark harness and compare against
+# the ceilings in scripts/perf_budget.json. ODBIS_PERF_TOLERANCE widens
+# the ceilings (default 0.25); ODBIS_PERF_GATE=0 skips the stage (e.g.
+# for doc-only changes on battery-powered laptops).
+if [ "${ODBIS_PERF_GATE:-1}" = "1" ]; then
+	echo "==> perf gate (tolerance ${ODBIS_PERF_TOLERANCE:-0.25})"
+	FRESH="$(mktemp /tmp/odbis_bench.XXXXXX.json)"
+	trap 'rm -f "$FRESH"' EXIT
+	BENCH_OUT="$FRESH" BENCH_COUNT="${BENCH_COUNT:-3}" sh scripts/bench.sh >/dev/null
+	sh scripts/perf_gate.sh "$FRESH"
+else
+	echo "==> perf gate skipped (ODBIS_PERF_GATE=0)"
+fi
+
 echo "CI OK"

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Performance regression gate: compares a fresh bench.sh JSON against the
+# ceilings in scripts/perf_budget.json and fails when any gated benchmark
+# exceeds its budget. The budget is a hard ceiling derived from the
+# recorded baselines (BENCH_PR5.json / BENCH_PR6.json) and the cost
+# contracts in DESIGN.md §10 — not last night's number, so routine noise
+# does not move it. ODBIS_PERF_TOLERANCE (default 0.25) widens every
+# ceiling multiplicatively for slow shared hardware: pass iff
+#   fresh_ns <= max_ns_per_op * (1 + tolerance).
+#
+# Usage: perf_gate.sh <fresh-bench.json> [budget.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FRESH="${1:?usage: perf_gate.sh <fresh-bench.json> [budget.json]}"
+BUDGET="${2:-scripts/perf_budget.json}"
+TOL="${ODBIS_PERF_TOLERANCE:-0.25}"
+
+[ -r "$FRESH" ] || { echo "perf_gate: cannot read $FRESH" >&2; exit 2; }
+[ -r "$BUDGET" ] || { echo "perf_gate: cannot read $BUDGET" >&2; exit 2; }
+
+# Both files hold one {"name": ..., "..._ns_per_op": ...} object per
+# line (bench.sh's awk emitter and the hand-maintained budget), so a
+# line-oriented awk join is enough — no JSON parser needed.
+awk -v tol="$TOL" '
+	function field(line, key,   re, s) {
+		re = "\"" key "\":[ \t]*"
+		if (!match(line, re)) return ""
+		s = substr(line, RSTART + RLENGTH)
+		sub(/[,}].*$/, "", s)
+		gsub(/^[ \t"]+|[ \t"]+$/, "", s)
+		return s
+	}
+	FNR == 1 { file++ }
+	file == 1 && /"name"/ {
+		fresh[field($0, "name")] = field($0, "ns_per_op") + 0
+	}
+	file == 2 && /"name"/ {
+		name = field($0, "name")
+		budget[name] = field($0, "max_ns_per_op") + 0
+		why[name] = field($0, "why")
+		order[n++] = name
+	}
+	END {
+		bad = 0
+		for (i = 0; i < n; i++) {
+			name = order[i]
+			limit = budget[name] * (1 + tol)
+			if (!(name in fresh)) {
+				printf "perf_gate: MISSING  %-45s (gated benchmark not in fresh output)\n", name
+				bad++
+				continue
+			}
+			if (fresh[name] > limit) {
+				printf "perf_gate: OVER     %-45s %12.1f ns/op > %.1f (budget %s ns +%d%%) — %s\n", \
+					name, fresh[name], limit, budget[name], tol * 100, why[name]
+				bad++
+			} else {
+				printf "perf_gate: ok       %-45s %12.1f ns/op <= %.1f\n", name, fresh[name], limit
+			}
+		}
+		if (bad) {
+			printf "perf_gate: %d benchmark(s) over budget or missing\n", bad
+			exit 1
+		}
+		printf "perf_gate: all %d gated benchmarks within budget (tolerance %.0f%%)\n", n, tol * 100
+	}
+' "$FRESH" "$BUDGET"
