@@ -1,4 +1,4 @@
-.PHONY: build test vet vet-fix perf-gate ci bench
+.PHONY: build test vet vet-fix fmt-check perf-gate ci bench
 
 build:
 	go build ./...
@@ -18,6 +18,17 @@ vet:
 # suite to show what remains for hand-fixing.
 vet-fix:
 	go run ./cmd/odbis-vet -fix ./...
+
+# fmt-check is the same first-stage gate ci.sh runs: gofmt drift
+# (fixtures under testdata exempt) plus the stock go vet checks.
+fmt-check:
+	@unformatted="$$(gofmt -l . | grep -v '/testdata/' || true)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
+	go vet ./...
 
 # perf-gate re-benches and diffs against scripts/perf_budget.json.
 perf-gate:

@@ -7,7 +7,13 @@
 // releasepath (every Lock/Begin/StartSpan reaches its release on all
 // paths), hotalloc (no per-iteration allocations in request-reachable
 // loops), and obshandle (metric handles resolved at init, not per
-// request).
+// request). On top of the same CFG/dataflow stack, the tier-4 pair
+// guardinfer and staticrace infer which mutex guards each struct field
+// (must-hold lockset analysis, ≥80%-of-writes threshold) and flag
+// concurrency-reachable accesses made without the guard — unguarded
+// writes as errors, racy reads as warnings, with a witness chain back
+// to the go statement, handler, or bus/etl callback that makes the
+// code concurrent.
 //
 // Usage:
 //
@@ -17,12 +23,19 @@
 //	odbis-vet -json ./...           # [{file,line,check,message,fixable}]
 //	odbis-vet -fix -dry-run ./...   # preview mechanical fixes as a diff
 //	odbis-vet -fix ./...            # apply fixes atomically per file
+//	odbis-vet -timings ./...        # per-phase wall-time breakdown on stderr
 //	odbis-vet -write-baseline vet-baseline.txt ./...
 //	odbis-vet -baseline vet-baseline.txt ./...   # report only new findings
+//	odbis-vet -prune-baseline vet-baseline.txt ./...  # drop stale entries
 //
 // Suppress an intentional finding with a trailing comment:
 //
 //	//odbis:ignore <check> -- justification
+//
+// Pin or exempt a field's guard where inference needs help:
+//
+//	//odbis:guardedby mu -- why this deviates from what the writes say
+//	//odbis:guardedby none -- intentionally lock-free, and why that is safe
 package main
 
 import (

@@ -26,6 +26,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Diagnostic is one finding by one analyzer.
@@ -111,6 +112,7 @@ func All() []*Analyzer {
 		CtxTenant,
 		ErrConvention,
 		GoroutineHygiene,
+		GuardInfer,
 		HotAlloc,
 		LayerCheck,
 		LockDiscipline,
@@ -118,6 +120,7 @@ func All() []*Analyzer {
 		ObsHandle,
 		ReleasePath,
 		SQLTaint,
+		StaticRace,
 		TenantIsolation,
 	}
 }
@@ -146,6 +149,19 @@ func ByName(names []string) ([]*Analyzer, error) {
 // whole-program ones once over the call graph), drops suppressed
 // findings, and returns the rest sorted by file, line, then check name.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunAnalyzersTimed(pkgs, analyzers, nil)
+}
+
+// RunAnalyzersTimed is RunAnalyzers with a wall-clock hook: onPhase (if
+// non-nil) is called once per finished phase — "callgraph" for the lazy
+// Program build, then each analyzer under its own name. The driver's
+// -timings flag uses it to show where a budget overrun went.
+func RunAnalyzersTimed(pkgs []*Package, analyzers []*Analyzer, onPhase func(name string, elapsed time.Duration)) []Diagnostic {
+	tick := func(name string, start time.Time) {
+		if onPhase != nil {
+			onPhase(name, time.Since(start))
+		}
+	}
 	ignores := ignoreIndex{}
 	for _, pkg := range pkgs {
 		ignores.merge(buildIgnoreIndex(pkg))
@@ -153,16 +169,21 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var all []Diagnostic
 	var prog *Program // built lazily: only when an interprocedural check runs
 	for _, a := range analyzers {
+		start := time.Now()
 		if a.RunProgram != nil {
 			if prog == nil {
 				prog = NewProgram(pkgs)
+				tick("callgraph", start)
+				start = time.Now()
 			}
 			a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, diags: &all})
+			tick(a.Name, start)
 			continue
 		}
 		for _, pkg := range pkgs {
 			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &all})
 		}
+		tick(a.Name, start)
 	}
 	var diags []Diagnostic
 	for _, d := range all {

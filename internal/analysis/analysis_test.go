@@ -98,7 +98,7 @@ func TestAliasLeakFixture(t *testing.T)        { runFixture(t, AliasLeak) }
 // code 1.
 func TestCLIGolden(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := Main([]string{"-checks", "aliasleak,errconvention,releasepath", "testdata/src/cli"}, &stdout, &stderr)
+	code := Main([]string{"-checks", "aliasleak,errconvention,releasepath,staticrace", "testdata/src/cli"}, &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
 	}
@@ -110,7 +110,7 @@ func TestCLIGolden(t *testing.T) {
 	if got, want := stdout.String(), string(golden); got != want {
 		t.Errorf("CLI output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
-	if !strings.Contains(stderr.String(), "3 finding(s)") {
+	if !strings.Contains(stderr.String(), "4 finding(s)") {
 		t.Errorf("stderr = %q, want findings summary", stderr.String())
 	}
 }
@@ -214,11 +214,13 @@ func TestCtxTenantFixture(t *testing.T)   { runFixture(t, CtxTenant) }
 func TestReleasePathFixture(t *testing.T) { runFixture(t, ReleasePath) }
 func TestHotAllocFixture(t *testing.T)    { runFixture(t, HotAlloc) }
 func TestObsHandleFixture(t *testing.T)   { runFixture(t, ObsHandle) }
+func TestGuardInferFixture(t *testing.T)  { runFixture(t, GuardInfer) }
+func TestStaticRaceFixture(t *testing.T)  { runFixture(t, StaticRace) }
 
 // TestJSONGolden pins the -json wire format.
 func TestJSONGolden(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := Main([]string{"-json", "-checks", "aliasleak,errconvention,releasepath", "testdata/src/cli"}, &stdout, &stderr)
+	code := Main([]string{"-json", "-checks", "aliasleak,errconvention,releasepath,staticrace", "testdata/src/cli"}, &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
 	}
@@ -342,5 +344,67 @@ func TestBaselineRoundTrip(t *testing.T) {
 	code = Main([]string{"-checks", "aliasleak,errconvention", "-baseline", base, "testdata/src/cli"}, &stdout, &stderr)
 	if code != 0 {
 		t.Errorf("-baseline exit = %d, want 0 (all findings baselined)\nstdout: %s", code, stdout.String())
+	}
+}
+
+// TestPruneBaseline: a stale entry (its finding no longer fires) is
+// dropped by -prune-baseline and printed; the live entries survive and
+// still suppress their findings afterwards.
+func TestPruneBaseline(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.txt")
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"-checks", "aliasleak,errconvention", "-write-baseline", base, "testdata/src/cli"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-write-baseline exit = %d\nstderr: %s", code, stderr.String())
+	}
+	stale := "testdata/src/cli/cli.go: [aliasleak] Gone returns internal slice state (q) without copying; callers can mutate it — return a copy"
+	f, err := os.OpenFile(base, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(stale + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	stdout.Reset()
+	stderr.Reset()
+	code = Main([]string{"-checks", "aliasleak,errconvention", "-prune-baseline", base, "testdata/src/cli"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-prune-baseline exit = %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), stale) {
+		t.Errorf("pruned entry not printed:\nstdout: %s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "pruned 1 stale entrie(s)") {
+		t.Errorf("stderr = %q, want prune summary", stderr.String())
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), stale) {
+		t.Errorf("stale entry survived the prune:\n%s", data)
+	}
+	if !strings.Contains(string(data), "[errconvention]") {
+		t.Errorf("live entries pruned too:\n%s", data)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = Main([]string{"-checks", "aliasleak,errconvention", "-baseline", base, "testdata/src/cli"}, &stdout, &stderr)
+	if code != 0 {
+		t.Errorf("post-prune -baseline exit = %d, want 0\nstdout: %s", code, stdout.String())
+	}
+}
+
+// TestTimingsFlag: -timings reports every phase the run went through.
+func TestTimingsFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	Main([]string{"-timings", "-checks", "errconvention,staticrace", "testdata/src/cli"}, &stdout, &stderr)
+	for _, phase := range []string{"load", "errconvention", "callgraph", "staticrace"} {
+		if !strings.Contains(stderr.String(), "timing: "+phase) {
+			t.Errorf("missing %q phase in -timings output:\n%s", phase, stderr.String())
+		}
 	}
 }

@@ -104,3 +104,26 @@ func BenchmarkHotAlloc(b *testing.B) {
 		RunAnalyzers(pkgs, []*Analyzer{HotAlloc})
 	}
 }
+
+// BenchmarkGuardInfer measures the whole tier-4 lockset engine — entry
+// fixpoint, per-body dataflow, guard inference — over the guardinfer
+// fixture. The engine cost lands here because GuardInfer is the first
+// analyzer to demand the shared guardDB in a fresh Program.
+func BenchmarkGuardInfer(b *testing.B) {
+	pkgs := loadFixturePkgs(b, "guardinfer")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunAnalyzers(pkgs, []*Analyzer{GuardInfer})
+	}
+}
+
+// BenchmarkStaticRace measures lockset analysis plus concurrency
+// reachability and race reporting over the staticrace fixture (spawned
+// goroutines, handlers, bus callbacks).
+func BenchmarkStaticRace(b *testing.B) {
+	pkgs := loadFixturePkgs(b, "staticrace")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunAnalyzers(pkgs, []*Analyzer{StaticRace})
+	}
+}

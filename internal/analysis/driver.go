@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Main is the shared CLI driver behind `odbis-vet` and `odbisctl vet`.
@@ -24,6 +25,8 @@ import (
 //	-fix -dry-run        print the fix diff without writing files
 //	-baseline FILE       drop findings recorded in FILE (adopt-gradually mode)
 //	-write-baseline FILE record current findings to FILE and exit 0
+//	-prune-baseline FILE drop FILE's entries that no longer fire, print them
+//	-timings             per-phase wall-time breakdown on stderr
 //
 // Baseline entries are "file: [check] message" — no line numbers, so a
 // baseline survives unrelated edits to the file above the finding.
@@ -37,8 +40,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	dryRun := fs.Bool("dry-run", false, "with -fix: print the diff instead of writing files")
 	baseline := fs.String("baseline", "", "suppress findings listed in this baseline file")
 	writeBaseline := fs.String("write-baseline", "", "write current findings to a baseline file and exit")
+	pruneBase := fs.String("prune-baseline", "", "remove baseline entries that no longer fire, print the pruned ones, and exit")
+	timings := fs.Bool("timings", false, "print a per-phase wall-time breakdown to stderr")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: odbis-vet [-checks c1,c2] [-list] [-json] [-fix [-dry-run]] [-baseline file] [-write-baseline file] [packages]")
+		fmt.Fprintln(stderr, "usage: odbis-vet [-checks c1,c2] [-list] [-json] [-fix [-dry-run]] [-timings] [-baseline file] [-write-baseline file] [-prune-baseline file] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -71,10 +76,21 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	var onPhase func(name string, elapsed time.Duration)
+	if *timings {
+		onPhase = func(name string, elapsed time.Duration) {
+			fmt.Fprintf(stderr, "odbis-vet: timing: %-18s %8.1fms\n",
+				name, float64(elapsed.Microseconds())/1000)
+		}
+	}
+	loadStart := time.Now()
 	pkgs, err := Load(".", patterns)
 	if err != nil {
 		fmt.Fprintln(stderr, "odbis-vet:", err)
 		return 2
+	}
+	if onPhase != nil {
+		onPhase("load", time.Since(loadStart))
 	}
 	loadFailed := false
 	for _, pkg := range pkgs {
@@ -86,7 +102,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	if loadFailed {
 		return 2
 	}
-	diags := RunAnalyzers(pkgs, analyzers)
+	diags := RunAnalyzersTimed(pkgs, analyzers, onPhase)
 	// Relativize before baseline handling so baseline keys are portable
 	// across checkouts.
 	cwd, _ := filepath.Abs(".")
@@ -101,6 +117,19 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "odbis-vet: wrote %d baseline entrie(s) to %s\n", len(diags), *writeBaseline)
 		return 0
 	}
+	if *pruneBase != "" {
+		pruned, kept, err := pruneBaseline(*pruneBase, diags)
+		if err != nil {
+			fmt.Fprintln(stderr, "odbis-vet:", err)
+			return 2
+		}
+		for _, k := range pruned {
+			fmt.Fprintln(stdout, k)
+		}
+		fmt.Fprintf(stderr, "odbis-vet: pruned %d stale entrie(s) from %s (%d remain)\n",
+			len(pruned), *pruneBase, kept)
+		return 0
+	}
 	if *baseline != "" {
 		keep, err := filterBaseline(*baseline, diags)
 		if err != nil {
@@ -110,7 +139,12 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		diags = keep
 	}
 	if *fix {
-		return runFixMode(diags, *dryRun, cwd, stdout, stderr)
+		fixStart := time.Now()
+		code := runFixMode(diags, *dryRun, cwd, stdout, stderr)
+		if onPhase != nil {
+			onPhase("fix", time.Since(fixStart))
+		}
+		return code
 	}
 	if *jsonOut {
 		if err := writeJSON(stdout, diags); err != nil {
@@ -237,6 +271,47 @@ func filterBaseline(path string, diags []Diagnostic) ([]Diagnostic, error) {
 		}
 	}
 	return keep, nil
+}
+
+// pruneBaseline rewrites path keeping only the entries that still match
+// a current finding, and returns the dropped entries (sorted) plus the
+// count that remain. Comments and blank lines survive the rewrite only
+// as the canonical header, matching saveBaseline's output.
+func pruneBaseline(path string, diags []Diagnostic) (pruned []string, kept int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("baseline: %w", err)
+	}
+	live := map[string]bool{}
+	for _, d := range diags {
+		live[baselineKey(d)] = true
+	}
+	var keep []string
+	seen := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || seen[line] {
+			continue
+		}
+		seen[line] = true
+		if live[line] {
+			keep = append(keep, line)
+		} else {
+			pruned = append(pruned, line)
+		}
+	}
+	sort.Strings(keep)
+	sort.Strings(pruned)
+	var sb strings.Builder
+	sb.WriteString("# odbis-vet baseline: one \"file: [check] message\" per line.\n")
+	for _, k := range keep {
+		sb.WriteString(k)
+		sb.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		return nil, 0, fmt.Errorf("baseline: %w", err)
+	}
+	return pruned, len(keep), nil
 }
 
 func relativize(base, path string) string {

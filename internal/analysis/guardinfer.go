@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GuardInfer is phase 1 of the tier-4 race stack: it builds the
+// guarded-by relation for every struct carrying a mutex and reports
+// where the relation is inconsistent — a //odbis:guardedby annotation
+// that names a nonexistent or non-mutex field, is malformed, or is
+// contradicted by the code (no observed write ever holds the pinned
+// guard), and fields whose write accesses split across two mutexes with
+// neither reaching the inference threshold (a discipline too muddled to
+// infer is itself a defect: nobody can say which lock protects the
+// field). Clean inferences produce no diagnostics; they feed staticrace.
+var GuardInfer = &Analyzer{
+	Name:       "guardinfer",
+	Doc:        "infer the guarded-by relation for mutex-bearing structs; report broken or contradicted //odbis:guardedby annotations and unclassifiable guard discipline",
+	RunProgram: runGuardInfer,
+}
+
+func runGuardInfer(pass *ProgramPass) {
+	db := pass.Prog.GuardDB()
+
+	// Deterministic struct order: by type position.
+	structs := make([]*lockableStruct, 0, len(db.structs))
+	for _, ls := range db.structs {
+		structs = append(structs, ls)
+	}
+	sort.Slice(structs, func(i, j int) bool {
+		return structs[i].named.Obj().Pos() < structs[j].named.Obj().Pos()
+	})
+
+	// Tally write evidence per field for the contradiction check.
+	type tally struct {
+		writes int
+		held   map[string]int
+	}
+	counts := map[fieldKey]*tally{}
+	for _, a := range db.accesses {
+		if !a.write || a.fresh {
+			continue
+		}
+		k := fieldKey{a.owner.named, a.field}
+		t := counts[k]
+		if t == nil {
+			t = &tally{held: map[string]int{}}
+			counts[k] = t
+		}
+		t.writes++
+		for m := range a.heldW {
+			t.held[m]++
+		}
+	}
+
+	for _, ls := range structs {
+		// Annotation validation, in field-name order for stable output.
+		names := make([]string, 0, len(ls.annotations))
+		for n := range ls.annotations {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ann := ls.annotations[name]
+			if ann.bad != "" {
+				pass.Reportf(ann.pos, "%s", ann.bad)
+				continue
+			}
+			if ann.none {
+				continue
+			}
+			if _, isMutex := ls.mutexFields[name]; isMutex {
+				pass.Reportf(ann.pos, "guardedby annotation on mutex field %q itself: annotate the data fields it guards instead", name)
+				continue
+			}
+			_, ok := ls.mutexFields[ann.guard]
+			if !ok {
+				if fieldExists(ls, ann.guard) {
+					pass.Reportf(ann.pos, "guardedby names %q, which is not a sync.Mutex/RWMutex field of %s", ann.guard, ls.named.Obj().Name())
+				} else {
+					pass.Reportf(ann.pos, "guardedby names unknown field %q on %s (mutex fields: %s)", ann.guard, ls.named.Obj().Name(), strings.Join(ls.sortedMutexFields(), ", "))
+				}
+				continue
+			}
+			// Contradiction: the annotation pins a guard the code never
+			// honors. Requires real evidence (>= threshold writes, none
+			// holding the guard) so a pin on a write-once field stands.
+			if t := counts[fieldKey{ls.named, name}]; t != nil &&
+				t.writes >= guardInferMinWrites && t.held[ann.guard] == 0 {
+				pass.Reportf(ann.pos, "guardedby pins %s.%s to %s, but none of its %d observed writes hold %s — annotation contradicts the code", ls.named.Obj().Name(), name, ann.guard, t.writes, ann.guard)
+			}
+		}
+
+		// Muddled-discipline check: enough write evidence to demand a
+		// verdict, majority-locked (so genuinely lock-free fields stay
+		// quiet), but no single mutex reaches the threshold.
+		for _, name := range ls.fieldOrder {
+			k := fieldKey{ls.named, name}
+			if _, resolved := db.guards[k]; resolved {
+				continue
+			}
+			if _, annotated := ls.annotations[name]; annotated {
+				continue
+			}
+			t := counts[k]
+			if t == nil || t.writes < guardInferMinWrites {
+				continue
+			}
+			locked := 0
+			best, bestN := "", 0
+			for m, n := range t.held {
+				if n > bestN || (n == bestN && m < best) {
+					best, bestN = m, n
+				}
+				if n > locked {
+					locked = n
+				}
+			}
+			if locked*2 <= t.writes {
+				continue // mostly lock-free: a deliberate pattern, not confusion
+			}
+			pass.Reportf(fieldPos(ls, name), "cannot infer a guard for %s.%s: %d/%d writes hold %s, below the %d%% threshold — pick one mutex or annotate with //odbis:guardedby", ls.named.Obj().Name(), name, bestN, t.writes, best, 100*guardInferNum/guardInferDen)
+		}
+	}
+}
+
+func fieldExists(ls *lockableStruct, name string) bool {
+	if _, ok := ls.mutexFields[name]; ok {
+		return true
+	}
+	for _, f := range ls.fieldOrder {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldPos locates a field's declaration for diagnostics, falling back
+// to the struct type itself.
+func fieldPos(ls *lockableStruct, name string) token.Pos {
+	if st, ok := ls.named.Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Name() == name {
+				return st.Field(i).Pos()
+			}
+		}
+	}
+	return ls.named.Obj().Pos()
+}

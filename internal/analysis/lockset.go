@@ -1,0 +1,1259 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the fourth analysis tier's foundation: a module-wide
+// lockset analysis over the CFG/dataflow stack. Tier 3 proved *release*
+// properties ("every Lock reaches Unlock"); this tier proves *guard*
+// properties ("every access to this field happens with that mutex
+// held"), which is the invariant the paper's shared-everything
+// multi-tenant process actually depends on — one tenant's racy write to
+// a shared cache corrupts another tenant's data.
+//
+// The machinery, bottom to top:
+//
+//   - lockKey names one mutex as seen from inside a function: the root
+//     variable it hangs off plus the dotted field path to it ("mu" on
+//     receiver s, "wal.mu" on receiver e).
+//   - Per function body, a forward MUST-hold dataflow computes the
+//     lockset at every node. Because the shared worklist solver joins
+//     with set union (a MAY framework), held-ness is encoded inverted:
+//     bit notW(k) = "some path reaches here with k not write-locked",
+//     bit notAny(k) = "some path with k neither read- nor write-
+//     locked". A lock is write-held iff notW is clear. Lock/Unlock
+//     kill/gen both bits, RLock/RUnlock only notAny; `defer mu.Unlock()`
+//     runs at exit and therefore (correctly) does not release anything
+//     mid-body.
+//   - An interprocedural entry-lockset fixpoint handles the
+//     `fooLocked()` helper idiom: the locks a function may assume held
+//     on a receiver/parameter at entry are the INTERSECTION of the
+//     locksets observed at all of its static call sites, mapped through
+//     the argument vector. Spawned (`go f()`), deferred, and
+//     address-taken functions get the empty entry lockset — their real
+//     call moment is not the call site's. Entries start at TOP (all
+//     mutex fields of each parameter's struct) and shrink monotonically
+//     to the greatest fixpoint.
+//   - Every access to a field of a struct that carries a sync.Mutex /
+//     sync.RWMutex field is recorded with the guard flavors held at
+//     that point, its read/write classification, and its concurrency
+//     context (which goroutine spawn, handler, or callback reaches it).
+//   - guardinfer and staticrace consume the resulting database; the
+//     Program memoizes it so the two analyzers share one computation
+//     per run.
+//
+// Deliberate approximations (each trades missed findings for zero false
+// noise, the right direction for a CI gate):
+//
+//   - accesses whose base is not a plain variable/selector chain
+//     (function results, map elements) are skipped;
+//   - promoted fields through embedding and embedded anonymous mutexes
+//     are skipped;
+//   - fields of self-synchronizing types (sync.*, sync/atomic.*,
+//     channels) are exempt — their methods are their own guard;
+//   - accesses to a freshly constructed local object (`t := &T{...}`)
+//     are exempt: the object is unpublished, lockless access is the
+//     constructor pattern, not a race.
+
+// lockKey identifies one mutex value from inside a function: the base
+// variable object plus the dotted selector path from it to the mutex
+// ("mu" for s.mu, "wal.mu" for e.wal.mu, "" for a bare mutex variable).
+type lockKey struct {
+	root types.Object
+	path string
+}
+
+// Lock flavor bits: a guard can be write-held (Lock) or read-held
+// (RLock). Write-held implies the data is protected for both reads and
+// writes; read-held protects reads only.
+const (
+	lkWrite uint8 = 1 << iota
+	lkRead
+)
+
+// pathOf resolves an expression to (root variable, dotted field path).
+// Only parens, stars, and field selections are traversed: anything else
+// (calls, index expressions) has no stable identity across statements.
+func pathOf(info *types.Info, e ast.Expr) (types.Object, string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := objOf(info, x)
+		if obj == nil {
+			return nil, "", false
+		}
+		if _, ok := obj.(*types.Var); !ok {
+			return nil, "", false // package names, types, funcs
+		}
+		return obj, "", true
+	case *ast.StarExpr:
+		return pathOf(info, x.X)
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[x]
+		if !ok || sel.Kind() != types.FieldVal {
+			return nil, "", false
+		}
+		root, path, ok := pathOf(info, x.X)
+		if !ok {
+			return nil, "", false
+		}
+		return root, joinPath(path, x.Sel.Name), true
+	}
+	return nil, "", false
+}
+
+func joinPath(prefix, field string) string {
+	if prefix == "" {
+		return field
+	}
+	return prefix + "." + field
+}
+
+// lockableStruct describes one named struct type that carries at least
+// one direct mutex field, plus its //odbis:guardedby annotations.
+type lockableStruct struct {
+	named *types.Named
+	// mutexFields maps a direct field name to true when it is an
+	// RWMutex (false for plain Mutex).
+	mutexFields map[string]bool
+	// fieldOrder is the declaration order of data fields, for stable
+	// iteration.
+	fieldOrder []string
+	// annotations maps a data-field name to its parsed guardedby
+	// directive.
+	annotations map[string]*guardAnnotation
+}
+
+// guardAnnotation is one parsed `//odbis:guardedby <field|none>`.
+type guardAnnotation struct {
+	guard string // "" when none
+	none  bool
+	pos   token.Pos
+	field string // annotated field name
+	// bad carries a parse/validation error message ("" when valid);
+	// guardinfer reports it.
+	bad string
+}
+
+// concReach records why a function runs concurrently: the spawn site,
+// handler, or callback registration that reaches it plus one witness
+// call chain.
+type concReach struct {
+	origin string
+	chain  []string
+}
+
+func (r concReach) witness() string {
+	s := r.origin
+	if len(r.chain) > 0 {
+		s += " via " + strings.Join(capChain(r.chain, 4), " → ")
+	}
+	return s
+}
+
+// fieldAccess is one recorded access to a field of a lockable struct.
+type fieldAccess struct {
+	owner *lockableStruct
+	field string
+	write bool
+	pos   token.Pos
+	// heldW / heldAny name the owner's mutex fields write-held /
+	// held-in-any-flavor at the access (same-root locks only).
+	heldW   map[string]bool
+	heldAny map[string]bool
+	// fn is the enclosing declared function (the literal's encloser for
+	// accesses inside function literals).
+	fn *types.Func
+	// spawn is non-empty when the access sits inside a goroutine or
+	// registered-callback literal: the access is concurrent regardless
+	// of the enclosing function's reachability.
+	spawn string
+	// fresh marks accesses to an object constructed in this body and
+	// not yet published; they are exempt from inference and checking.
+	fresh bool
+}
+
+// fieldKey identifies a field across the module.
+type fieldKey struct {
+	owner *types.Named
+	field string
+}
+
+// guardFact is the resolved guard of one field: from an annotation pin
+// or from empirical inference.
+type guardFact struct {
+	guard   string // mutex field name
+	rw      bool   // guard is an RWMutex
+	pinned  bool   // from //odbis:guardedby
+	guarded int    // writes observed with guard write-held
+	writes  int    // counted (non-fresh) writes
+	exempt  bool   // //odbis:guardedby none
+}
+
+func (g *guardFact) source() string {
+	if g.pinned {
+		return "pinned by //odbis:guardedby"
+	}
+	return itoa(g.guarded) + "/" + itoa(g.writes) + " writes hold it"
+}
+
+// guardDB is the shared result both tier-4 analyzers consume.
+type guardDB struct {
+	structs  map[*types.Named]*lockableStruct
+	accesses []*fieldAccess
+	guards   map[fieldKey]*guardFact
+	reach    map[*types.Func]concReach
+}
+
+// GuardDB builds (once) the module-wide lockset/guard database.
+func (p *Program) GuardDB() *guardDB {
+	if p.guardDB == nil {
+		p.guardDB = buildGuardDB(p)
+	}
+	return p.guardDB
+}
+
+// guardInferMinWrites and guardInferRatio define the empirical
+// threshold: a field is declared guarded by M when at least 80% of its
+// counted writes hold M and there are at least two of them (one locked
+// write proves a coincidence, not a discipline).
+const (
+	guardInferMinWrites = 2
+	guardInferNum       = 4 // ratio numerator:   guarded*5 >= writes*4
+	guardInferDen       = 5
+)
+
+func buildGuardDB(prog *Program) *guardDB {
+	db := &guardDB{
+		structs: map[*types.Named]*lockableStruct{},
+		guards:  map[fieldKey]*guardFact{},
+	}
+	db.collectStructs(prog)
+	ls := &locksetAnalysis{prog: prog, db: db, entry: map[*types.Func]entryLocks{}}
+	ls.solve()
+	db.accesses = ls.accesses
+	db.reach = concReachable(prog, ls.spawnRoots)
+	db.infer()
+	return db
+}
+
+// selfSyncType reports whether a field of this type synchronizes itself:
+// anything from sync or sync/atomic, and channels. Such fields are never
+// guard-checked.
+func selfSyncType(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() {
+	case "sync", "sync/atomic":
+		return true
+	}
+	return false
+}
+
+// collectStructs indexes every named struct with a direct mutex field
+// and parses its field annotations.
+func (db *guardDB) collectStructs(prog *Program) {
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				obj := pkg.Info.Defs[ts.Name]
+				if obj == nil {
+					return true
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					return true
+				}
+				lsInfo := &lockableStruct{
+					named:       named,
+					mutexFields: map[string]bool{},
+					annotations: map[string]*guardAnnotation{},
+				}
+				for _, field := range st.Fields.List {
+					t := pkg.Info.Types[field.Type].Type
+					isMu := t != nil && isMutexType(t)
+					for _, name := range field.Names {
+						if isMu {
+							lsInfo.mutexFields[name.Name] = isNamed(t, "sync", "RWMutex")
+						} else {
+							lsInfo.fieldOrder = append(lsInfo.fieldOrder, name.Name)
+						}
+						if ann := parseGuardAnnotation(field, name.Name); ann != nil {
+							lsInfo.annotations[name.Name] = ann
+						}
+					}
+				}
+				if len(lsInfo.mutexFields) > 0 || len(lsInfo.annotations) > 0 {
+					db.structs[named] = lsInfo
+				}
+				return true
+			})
+		}
+	}
+}
+
+// guardedByPrefix introduces a guard annotation on a struct field:
+//
+//	//odbis:guardedby <mutex-field> [-- justification]   pin the guard
+//	//odbis:guardedby none -- justification              lock-free by design
+//
+// placed in the field's doc comment or trailing line comment.
+const guardedByPrefix = "//odbis:guardedby"
+
+func parseGuardAnnotation(field *ast.Field, name string) *guardAnnotation {
+	var groups []*ast.CommentGroup
+	if field.Doc != nil {
+		groups = append(groups, field.Doc)
+	}
+	if field.Comment != nil {
+		groups = append(groups, field.Comment)
+	}
+	for _, cg := range groups {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, guardedByPrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, guardedByPrefix))
+			if i := strings.Index(rest, "--"); i >= 0 {
+				rest = strings.TrimSpace(rest[:i])
+			}
+			ann := &guardAnnotation{pos: c.Pos(), field: name}
+			switch {
+			case rest == "":
+				ann.bad = "guardedby directive names no mutex field (use `//odbis:guardedby <field>` or `//odbis:guardedby none`)"
+			case rest == "none":
+				ann.none = true
+			case strings.ContainsAny(rest, " \t,"):
+				ann.bad = "guardedby directive takes exactly one mutex field name, got " + quote(rest)
+			default:
+				ann.guard = rest
+			}
+			return ann
+		}
+	}
+	return nil
+}
+
+func quote(s string) string { return "\"" + s + "\"" }
+
+// infer resolves the guard of every field: annotation pins first, then
+// the empirical ≥80% rule over counted writes.
+func (db *guardDB) infer() {
+	type tally struct {
+		writes int
+		held   map[string]int
+	}
+	counts := map[fieldKey]*tally{}
+	for _, a := range db.accesses {
+		if !a.write || a.fresh {
+			continue
+		}
+		k := fieldKey{a.owner.named, a.field}
+		t := counts[k]
+		if t == nil {
+			t = &tally{held: map[string]int{}}
+			counts[k] = t
+		}
+		t.writes++
+		for m := range a.heldW {
+			t.held[m]++
+		}
+	}
+	for _, ls := range db.structs {
+		for name, ann := range ls.annotations {
+			if ann.bad != "" {
+				continue
+			}
+			k := fieldKey{ls.named, name}
+			if ann.none {
+				db.guards[k] = &guardFact{exempt: true}
+				continue
+			}
+			if rw, ok := ls.mutexFields[ann.guard]; ok {
+				fact := &guardFact{guard: ann.guard, rw: rw, pinned: true}
+				if t := counts[k]; t != nil {
+					fact.writes, fact.guarded = t.writes, t.held[ann.guard]
+				}
+				db.guards[k] = fact
+			}
+		}
+		for _, name := range ls.fieldOrder {
+			k := fieldKey{ls.named, name}
+			if _, pinned := db.guards[k]; pinned {
+				continue
+			}
+			t := counts[k]
+			if t == nil || t.writes < guardInferMinWrites {
+				continue
+			}
+			best, bestN := "", 0
+			for m, n := range t.held {
+				if n > bestN || (n == bestN && m < best) {
+					best, bestN = m, n
+				}
+			}
+			if best != "" && bestN*guardInferDen >= t.writes*guardInferNum {
+				db.guards[k] = &guardFact{
+					guard:   best,
+					rw:      ls.mutexFields[best],
+					guarded: bestN,
+					writes:  t.writes,
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-body lockset dataflow and access collection.
+
+// entryLocks is the interprocedural fact for one function: per flat
+// parameter index (receiver first, see receiverAndParams), the mutex
+// fields of that parameter's struct type held at entry on every static
+// call site.
+type entryLocks map[int]map[string]uint8
+
+func (e entryLocks) clone() entryLocks {
+	out := entryLocks{}
+	for i, m := range e {
+		cm := map[string]uint8{}
+		for k, v := range m {
+			cm[k] = v
+		}
+		out[i] = cm
+	}
+	return out
+}
+
+// meet intersects o into e (bitwise AND per field, dropping emptied
+// entries) and reports whether e changed.
+func (e entryLocks) meet(o entryLocks) bool {
+	changed := false
+	for i, m := range e {
+		om := o[i]
+		for field, bits := range m {
+			nb := bits & om[field]
+			if nb != bits {
+				changed = true
+				if nb == 0 {
+					delete(m, field)
+				} else {
+					m[field] = nb
+				}
+			}
+		}
+		if len(m) == 0 {
+			delete(e, i)
+		}
+	}
+	return changed
+}
+
+func (e entryLocks) equal(o entryLocks) bool {
+	if len(e) != len(o) {
+		return false
+	}
+	for i, m := range e {
+		om, ok := o[i]
+		if !ok || len(m) != len(om) {
+			return false
+		}
+		for k, v := range m {
+			if om[k] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// spawnRoot is one reason a function (or literal) runs concurrently.
+type spawnRoot struct {
+	fn     *types.Func
+	origin string
+}
+
+// locksetAnalysis runs the module-wide fixpoint.
+type locksetAnalysis struct {
+	prog *Program
+	db   *guardDB
+	// entry is the current entry-lockset assumption per function.
+	entry map[*types.Func]entryLocks
+	// contrib accumulates, per callee, the meet of call-site locksets of
+	// the current iteration; recording=false skips access recording.
+	contrib    map[*types.Func]entryLocks
+	contribSet map[*types.Func]bool
+	recording  bool
+	accesses   []*fieldAccess
+	spawnRoots []spawnRoot
+}
+
+// solve iterates the entry-lockset fixpoint, then records accesses in a
+// final pass under the converged assumptions.
+func (ls *locksetAnalysis) solve() {
+	noLocks := ls.initEntries()
+	if !noLocks {
+		for iter := 0; iter < 32; iter++ {
+			ls.contrib = map[*types.Func]entryLocks{}
+			ls.contribSet = map[*types.Func]bool{}
+			ls.analyzeAll()
+			if !ls.applyContribs() {
+				break
+			}
+		}
+	}
+	ls.recording = true
+	ls.analyzeAll()
+}
+
+// initEntries seeds every function's entry lockset at TOP (all mutex
+// fields of each pointer-to-lockable-struct parameter, both flavors),
+// except functions whose call moment is unknowable: address-taken ones.
+// Returns true when the module has no lockable structs at all, letting
+// the fixpoint be skipped.
+func (ls *locksetAnalysis) initEntries() bool {
+	if len(ls.db.structs) == 0 {
+		ls.entry = map[*types.Func]entryLocks{}
+		return true
+	}
+	addrTaken := addressTakenFuncs(ls.prog)
+	for _, fi := range ls.prog.Funcs() {
+		if addrTaken[fi.Obj] || isHandlerBoundary(fi) {
+			ls.entry[fi.Obj] = entryLocks{}
+			continue
+		}
+		sig, ok := fi.Obj.Type().(*types.Signature)
+		if !ok {
+			ls.entry[fi.Obj] = entryLocks{}
+			continue
+		}
+		top := entryLocks{}
+		for i, v := range receiverAndParams(sig) {
+			n := namedType(v.Type())
+			if n == nil {
+				continue
+			}
+			st, ok := ls.db.structs[n]
+			if !ok || len(st.mutexFields) == 0 {
+				continue
+			}
+			m := map[string]uint8{}
+			for name := range st.mutexFields {
+				m[name] = lkWrite | lkRead
+			}
+			top[i] = m
+		}
+		ls.entry[fi.Obj] = top
+	}
+	return false
+}
+
+// applyContribs meets the iteration's observed call-site locksets into
+// each entry assumption. A function with no observed (non-deferred,
+// non-spawned) call site keeps nothing: its callers are unknown.
+func (ls *locksetAnalysis) applyContribs() bool {
+	changed := false
+	for fn, e := range ls.entry {
+		if len(e) == 0 {
+			continue
+		}
+		c, ok := ls.contrib[fn]
+		if !ok {
+			ls.entry[fn] = entryLocks{}
+			changed = true
+			continue
+		}
+		if e.meet(c) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (ls *locksetAnalysis) analyzeAll() {
+	for _, fi := range ls.prog.Funcs() {
+		ls.analyzeBody(fi, fi.Decl.Body, ls.entry[fi.Obj], "")
+	}
+}
+
+// addressTakenFuncs finds declared functions referenced outside call
+// position: stored, passed, or converted function values. Their real
+// call sites are invisible, so they must not inherit any caller lockset
+// — and callback-style registration is how concurrent work starts.
+func addressTakenFuncs(prog *Program) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			callIdents := map[*ast.Ident]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					callIdents[fun] = true
+				case *ast.SelectorExpr:
+					callIdents[fun.Sel] = true
+				case *ast.IndexExpr:
+					switch x := ast.Unparen(fun.X).(type) {
+					case *ast.Ident:
+						callIdents[x] = true
+					case *ast.SelectorExpr:
+						callIdents[x.Sel] = true
+					}
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || callIdents[id] {
+					return true
+				}
+				// Uses only: a Defs hit is the declaration itself, not a
+				// reference that lets the function escape.
+				if fn, ok := pkg.Info.Uses[id].(*types.Func); ok && prog.DeclOf(fn) != nil {
+					out[fn] = true
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// bodyLocks is the per-body dataflow instance.
+type bodyLocks struct {
+	ls    *locksetAnalysis
+	fi    *FuncInfo
+	info  *types.Info
+	keys  []lockKey
+	index map[lockKey]int
+	cfg   *CFG
+	// spawn is inherited concurrency context: non-empty when this body is
+	// a goroutine or registered-callback literal (or nested inside one).
+	spawn string
+	// skipLits marks literals already queued with a specific context
+	// (callback registration) so the generic walk does not queue them a
+	// second time.
+	skipLits map[*ast.FuncLit]bool
+}
+
+// litWork queues a nested function literal for its own analysis pass.
+type litWork struct {
+	lit      *ast.FuncLit
+	boundary map[lockKey]uint8 // flavor bits HELD at literal entry
+	spawn    string            // non-empty: runs on another goroutine
+}
+
+// analyzeBody runs the lockset dataflow over one body. entry gives the
+// caller-guaranteed locks (mapped onto receiver/param objects); spawn
+// marks bodies that execute concurrently by construction (go literals,
+// registered callbacks). Nested literals are analyzed recursively with
+// the lockset at their occurrence point (goroutine literals with none).
+func (ls *locksetAnalysis) analyzeBody(fi *FuncInfo, body *ast.BlockStmt, entry entryLocks, spawn string) {
+	held := map[lockKey]uint8{}
+	if len(entry) > 0 {
+		if sig, ok := fi.Obj.Type().(*types.Signature); ok {
+			params := receiverAndParams(sig)
+			for i, fields := range entry {
+				if i >= len(params) {
+					continue
+				}
+				// Resolve the parameter object: receiver and params carry
+				// their *types.Var directly.
+				obj := params[i]
+				for field, bits := range fields {
+					held[lockKey{obj, field}] = bits
+				}
+			}
+		}
+	}
+	ls.analyzeBlockBody(fi, body, held, spawn)
+}
+
+// analyzeBlockBody is the common core for declared bodies and literals:
+// held maps lock keys (in the ENCLOSING scope's objects for literals —
+// captured variables keep their identity) to flavor bits at entry.
+func (ls *locksetAnalysis) analyzeBlockBody(fi *FuncInfo, body *ast.BlockStmt, held map[lockKey]uint8, spawn string) {
+	bl := &bodyLocks{
+		ls:       ls,
+		fi:       fi,
+		info:     fi.Pkg.Info,
+		index:    map[lockKey]int{},
+		spawn:    spawn,
+		skipLits: map[*ast.FuncLit]bool{},
+	}
+	bl.collectKeys(body, held)
+	fresh := freshObjects(bl.info, body)
+	bl.cfg = BuildCFG(body, false)
+
+	bits := 2 * len(bl.keys)
+	boundary := NewBitSet(bits)
+	for i, k := range bl.keys {
+		hb := held[k]
+		if hb&lkWrite == 0 {
+			boundary.Set(2 * i) // notW: possibly not write-held
+		}
+		if hb == 0 {
+			boundary.Set(2*i + 1) // notAny: possibly not held at all
+		}
+	}
+	var lits []litWork
+	d := &Dataflow{
+		CFG:      bl.cfg,
+		Bits:     bits,
+		Boundary: boundary,
+		Transfer: func(b *Block, in BitSet) BitSet {
+			return bl.replay(b, in, nil, nil)
+		},
+	}
+	in, _ := d.Solve()
+	// Final replay per block with the solved in-facts, recording call
+	// contributions, accesses, and nested literals.
+	for _, b := range bl.cfg.Blocks {
+		bl.replay(b, in[b.Index], fresh, func(l litWork) { lits = append(lits, l) })
+	}
+	for _, lw := range lits {
+		ls.analyzeBlockBody(fi, lw.lit.Body, lw.boundary, lw.spawn)
+	}
+}
+
+// collectKeys indexes every mutex this body mentions plus the entry set.
+func (bl *bodyLocks) collectKeys(body *ast.BlockStmt, held map[lockKey]uint8) {
+	add := func(k lockKey) {
+		if _, ok := bl.index[k]; !ok {
+			bl.index[k] = len(bl.keys)
+			bl.keys = append(bl.keys, k)
+		}
+	}
+	for k := range held {
+		add(k)
+	}
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		if lc, ok := asLockCall(bl.info, n); ok {
+			if root, path, ok := lockPath(bl.info, lc); ok {
+				add(lockKey{root, path})
+			}
+		}
+		return true
+	})
+}
+
+// lockPath resolves a lock call's mutex expression to a lockKey.
+func lockPath(info *types.Info, lc lockCall) (types.Object, string, bool) {
+	sel, ok := ast.Unparen(lc.call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	return pathOf(info, sel.X)
+}
+
+// accessKind classifies one selector occurrence.
+type accessKind int
+
+const (
+	akRead accessKind = iota
+	akWrite
+	akSkip // address-taken: ownership escapes, unknowable
+)
+
+// classifyAccesses pre-computes the write/skip selector positions of one
+// CFG node; every unlisted selector is a read.
+func classifyAccesses(n ast.Node) map[ast.Expr]accessKind {
+	kinds := map[ast.Expr]accessKind{}
+	markBase := func(e ast.Expr, k accessKind) {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.IndexExpr:
+				e = x.X
+				continue
+			case *ast.SliceExpr:
+				e = x.X
+				continue
+			case *ast.StarExpr:
+				e = x.X
+				continue
+			case *ast.SelectorExpr:
+				kinds[x] = k
+			}
+			return
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				markBase(lhs, akWrite)
+			}
+		case *ast.IncDecStmt:
+			markBase(m.X, akWrite)
+		case *ast.UnaryExpr:
+			if m.Op == token.AND {
+				markBase(m.X, akSkip)
+			}
+		}
+		return true
+	})
+	return kinds
+}
+
+// replay walks one block's nodes in order from the given in-fact,
+// applying lock transitions. With hooks active (onLit non-nil or
+// recording mode), it also records call-site contributions, accesses,
+// spawn roots, and nested literals. Used both as the Dataflow transfer
+// function (hooks nil) and as the final collection pass.
+func (bl *bodyLocks) replay(b *Block, in BitSet, fresh map[types.Object]bool, onLit func(litWork)) BitSet {
+	cur := in.Clone()
+	collect := onLit != nil
+	for _, n := range b.Nodes {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			// The deferred call runs at exit, under an unknowable lockset:
+			// contribute the empty set to a named callee, and analyze a
+			// deferred literal with the lockset at THIS point (the
+			// dominant `mu.Lock(); defer func(){ ...; mu.Unlock() }()`
+			// pattern runs before anything else releases mu).
+			if collect {
+				if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+					onLit(litWork{lit: lit, boundary: bl.heldMap(cur), spawn: bl.spawn})
+				} else if callee := staticCallee(bl.info, s.Call); callee != nil && bl.ls.prog.DeclOf(callee) != nil {
+					bl.ls.recordContrib(callee, entryLocks{})
+				}
+			}
+			continue
+		case *ast.GoStmt:
+			if collect {
+				pos := bl.fi.Pkg.Fset.Position(s.Pos())
+				origin := "goroutine spawned at " + baseName(pos.Filename) + ":" + itoa(pos.Line)
+				if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+					onLit(litWork{lit: lit, boundary: map[lockKey]uint8{}, spawn: origin})
+				} else if callee := staticCallee(bl.info, s.Call); callee != nil {
+					bl.ls.recordContrib(callee, entryLocks{})
+					bl.ls.spawnRoots = append(bl.ls.spawnRoots, spawnRoot{callee, origin})
+				}
+				// Spawn arguments are evaluated here, on this goroutine.
+				for _, arg := range s.Call.Args {
+					bl.walk(arg, cur, fresh, nil, onLit)
+				}
+			}
+			continue
+		}
+		bl.walk(n, cur, fresh, classifyAccesses(n), onLit)
+	}
+	return cur
+}
+
+// heldMap snapshots the currently held locks from the bit state.
+func (bl *bodyLocks) heldMap(cur BitSet) map[lockKey]uint8 {
+	out := map[lockKey]uint8{}
+	for i, k := range bl.keys {
+		var bits uint8
+		if !cur.Has(2 * i) {
+			bits |= lkWrite | lkRead
+		} else if !cur.Has(2*i + 1) {
+			bits |= lkRead
+		}
+		if bits != 0 {
+			out[k] = bits
+		}
+	}
+	return out
+}
+
+// walk visits one CFG node in pre-order, mutating cur at lock calls and
+// recording accesses, call contributions, and nested literals when
+// collecting (onLit non-nil).
+func (bl *bodyLocks) walk(root ast.Node, cur BitSet, fresh map[types.Object]bool, kinds map[ast.Expr]accessKind, onLit func(litWork)) {
+	collect := onLit != nil
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if collect && !bl.skipLits[n] {
+				// A literal not claimed by defer/go/callback handling is a
+				// closure or an immediately-invoked function: it sees the
+				// lockset at its creation point and inherits this body's
+				// concurrency context.
+				onLit(litWork{lit: n, boundary: bl.heldMap(cur), spawn: bl.spawn})
+			}
+			return false
+		case *ast.CallExpr:
+			if lc, ok := asLockCall(bl.info, n); ok {
+				if obj, path, okp := lockPath(bl.info, lc); okp {
+					bl.applyLock(cur, lockKey{obj, path}, lc.method)
+				}
+				return true
+			}
+			if collect {
+				if callee := staticCallee(bl.info, n); callee != nil && bl.ls.prog.DeclOf(callee) != nil {
+					bl.ls.recordContrib(callee, bl.callContribution(n, callee, cur, fresh))
+				}
+				// Callback literals passed into the bus/etl layers run on
+				// dispatch goroutines with no lock context.
+				if cbOrigin := callbackOrigin(bl.info, bl.fi, n); cbOrigin != "" {
+					for _, arg := range n.Args {
+						if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+							bl.skipLits[lit] = true
+							onLit(litWork{lit: lit, boundary: map[lockKey]uint8{}, spawn: cbOrigin})
+						}
+					}
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			if collect {
+				bl.recordAccess(n, cur, fresh, kinds)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// applyLock updates the inverted held-bits for one lock transition.
+func (bl *bodyLocks) applyLock(cur BitSet, k lockKey, method string) {
+	i, ok := bl.index[k]
+	if !ok {
+		return
+	}
+	notW, notAny := 2*i, 2*i+1
+	switch method {
+	case "Lock":
+		cur.Clear(notW)
+		cur.Clear(notAny)
+	case "Unlock":
+		cur.Set(notW)
+		cur.Set(notAny)
+	case "RLock":
+		cur.Clear(notAny)
+	case "RUnlock":
+		cur.Set(notAny)
+	}
+}
+
+// callContribution maps the lockset at a call site through the argument
+// vector into the callee's parameter space. Arguments rooted at a fresh
+// (unpublished) local contribute every guard as held: the object cannot
+// be raced during this call, so a constructor calling a helper must not
+// drag the helper's entry assumption to empty.
+func (bl *bodyLocks) callContribution(call *ast.CallExpr, callee *types.Func, cur BitSet, fresh map[types.Object]bool) entryLocks {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return entryLocks{}
+	}
+	args := callArgVector(bl.info, call, callee)
+	params := receiverAndParams(sig)
+	out := entryLocks{}
+	for i, arg := range args {
+		if arg == nil || i >= len(params) {
+			continue
+		}
+		n := namedType(params[i].Type())
+		if n == nil {
+			continue
+		}
+		st, ok := bl.ls.db.structs[n]
+		if !ok || len(st.mutexFields) == 0 {
+			continue
+		}
+		root, path, okp := pathOf(bl.info, arg)
+		if !okp {
+			continue
+		}
+		if fresh[root] {
+			m := map[string]uint8{}
+			for field := range st.mutexFields {
+				m[field] = lkWrite | lkRead
+			}
+			out[i] = m
+			continue
+		}
+		var m map[string]uint8
+		for field := range st.mutexFields {
+			k := lockKey{root, joinPath(path, field)}
+			idx, tracked := bl.index[k]
+			if !tracked {
+				continue
+			}
+			var bits uint8
+			if !cur.Has(2 * idx) {
+				bits |= lkWrite | lkRead
+			} else if !cur.Has(2*idx + 1) {
+				bits |= lkRead
+			}
+			if bits != 0 {
+				if m == nil {
+					m = map[string]uint8{}
+				}
+				m[field] = bits
+			}
+		}
+		if m != nil {
+			out[i] = m
+		}
+	}
+	return out
+}
+
+// recordContrib meets one call site's mapped lockset into the callee's
+// accumulator for this iteration.
+func (ls *locksetAnalysis) recordContrib(callee *types.Func, c entryLocks) {
+	if ls.contrib == nil {
+		return // final recording pass: entries are frozen
+	}
+	if !ls.contribSet[callee] {
+		ls.contribSet[callee] = true
+		ls.contrib[callee] = c.clone()
+		return
+	}
+	ls.contrib[callee].meet(c)
+}
+
+// recordAccess records one selector as a field access when it reads or
+// writes a direct field of a lockable struct.
+func (bl *bodyLocks) recordAccess(sel *ast.SelectorExpr, cur BitSet, fresh map[types.Object]bool, kinds map[ast.Expr]accessKind) {
+	if !bl.ls.recording {
+		return
+	}
+	s, ok := bl.info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal || len(s.Index()) != 1 {
+		return // methods, package selectors, promoted fields
+	}
+	owner := namedType(bl.info.Types[sel.X].Type)
+	if owner == nil {
+		return
+	}
+	st, ok := bl.ls.db.structs[owner]
+	if !ok || len(st.mutexFields) == 0 {
+		return
+	}
+	field := sel.Sel.Name
+	if _, isMutex := st.mutexFields[field]; isMutex {
+		return
+	}
+	if selfSyncType(s.Obj().Type()) {
+		return
+	}
+	kind := kinds[sel]
+	if kind == akSkip {
+		return
+	}
+	root, path, okp := pathOf(bl.info, sel.X)
+	if !okp {
+		return
+	}
+	a := &fieldAccess{
+		owner:   st,
+		field:   field,
+		write:   kind == akWrite,
+		pos:     sel.Sel.Pos(),
+		heldW:   map[string]bool{},
+		heldAny: map[string]bool{},
+		fn:      bl.fi.Obj,
+		spawn:   bl.spawn,
+		fresh:   fresh[root],
+	}
+	for m := range st.mutexFields {
+		k := lockKey{root, joinPath(path, m)}
+		idx, tracked := bl.index[k]
+		if !tracked {
+			continue
+		}
+		if !cur.Has(2 * idx) {
+			a.heldW[m] = true
+			a.heldAny[m] = true
+		} else if !cur.Has(2*idx + 1) {
+			a.heldAny[m] = true
+		}
+	}
+	bl.ls.accesses = append(bl.ls.accesses, a)
+}
+
+// freshObjects finds local variables initialized to a newly constructed
+// value (&T{...}, T{...}, new(T), or zero-value var) in this body: the
+// object is unpublished here, so lockless access is construction, not a
+// race. Publication (storing/passing the pointer) is not tracked; the
+// constructor idiom keeps construction and publication adjacent.
+func freshObjects(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	isConstruction := func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+				return ok
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+				_, isBuiltin := info.Uses[id].(*types.Builtin)
+				return isBuiltin
+			}
+		}
+		return false
+	}
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || !isConstruction(n.Rhs[i]) {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue // initialized from an expression: not fresh
+				}
+				for _, name := range vs.Names {
+					if obj := info.Defs[name]; obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// callbackOrigin reports a non-empty origin string when a call registers
+// callbacks that later run on another goroutine: any call into the bus
+// or etl groups (Subscribe handlers, pipeline stages, scheduler tasks
+// all dispatch asynchronously).
+func callbackOrigin(info *types.Info, fi *FuncInfo, call *ast.CallExpr) string {
+	callee := staticCallee(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return ""
+	}
+	switch groupOf(callee.Pkg().Path()) {
+	case "bus", "etl":
+		pos := fi.Pkg.Fset.Position(call.Pos())
+		return "callback registered with " + callee.Pkg().Name() + "." + callee.Name() +
+			" at " + baseName(pos.Filename) + ":" + itoa(pos.Line)
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency reachability.
+
+// concReachable computes the functions that run concurrently: handler
+// boundaries (one goroutine per request), statically spawned functions,
+// address-taken functions registered into the bus/etl layers, and
+// everything reachable from those over the static call graph — each
+// with a witness chain back to its origin.
+func concReachable(prog *Program, spawns []spawnRoot) map[*types.Func]concReach {
+	reached := map[*types.Func]concReach{}
+	var queue []*types.Func
+	add := func(fn *types.Func, origin string) {
+		if fn == nil || prog.DeclOf(fn) == nil {
+			return
+		}
+		if _, ok := reached[fn]; ok {
+			return
+		}
+		reached[fn] = concReach{origin: origin}
+		queue = append(queue, fn)
+	}
+	for _, fi := range prog.Funcs() {
+		if isHandlerBoundary(fi) {
+			add(fi.Obj, "handler "+shortFuncName(fi.Obj))
+		}
+	}
+	for _, s := range spawns {
+		add(s.fn, s.origin)
+	}
+	// Address-taken functions passed into the bus/etl groups run from
+	// dispatch goroutines; other address-taken functions (middleware
+	// wrappers, table-driven dispatch) are left to the handler BFS.
+	for _, fi := range prog.Funcs() {
+		pkg := fi.Pkg
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			origin := callbackOrigin(pkg.Info, fi, call)
+			if origin == "" {
+				return true
+			}
+			for _, arg := range call.Args {
+				switch a := ast.Unparen(arg).(type) {
+				case *ast.Ident:
+					if fn, ok := objOf(pkg.Info, a).(*types.Func); ok {
+						add(fn, origin)
+					}
+				case *ast.SelectorExpr:
+					if fn, ok := objOf(pkg.Info, a.Sel).(*types.Func); ok {
+						add(fn, origin)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		from := reached[fn]
+		for _, cs := range prog.CallsFrom(fn) {
+			if _, seen := reached[cs.Callee]; seen {
+				continue
+			}
+			if prog.DeclOf(cs.Callee) == nil {
+				continue
+			}
+			chain := append(append([]string(nil), from.chain...), shortFuncName(cs.Callee))
+			reached[cs.Callee] = concReach{origin: from.origin, chain: chain}
+			queue = append(queue, cs.Callee)
+		}
+	}
+	return reached
+}
+
+// sortedMutexFields returns a struct's mutex field names in stable order.
+func (ls *lockableStruct) sortedMutexFields() []string {
+	out := make([]string, 0, len(ls.mutexFields))
+	for m := range ls.mutexFields {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}

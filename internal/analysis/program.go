@@ -33,6 +33,9 @@ type Program struct {
 	// funcs is the deterministic iteration order (package path, file
 	// name, declaration order).
 	funcs []*FuncInfo
+	// guardDB memoizes the tier-4 lockset/guard database so guardinfer
+	// and staticrace share one module-wide fixpoint per run.
+	guardDB *guardDB
 }
 
 // FuncInfo pairs a function object with its declaration and package.

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"sort"
+)
+
+// StaticRace is phase 2 of the tier-4 race stack. Consuming guardinfer's
+// guarded-by relation, it flags every access to a guarded field whose
+// lockset lacks the guard — but only in code that actually runs
+// concurrently: functions reachable from `go` statements, registered
+// HTTP handlers (one goroutine per request), and bus/etl callbacks,
+// plus the bodies of spawned function literals themselves. Each finding
+// carries a witness back to the spawn site or handler so the reader can
+// reproduce the interleaving. Severity is encoded in the message:
+// an unguarded write is an error (lost update, torn struct), a racy
+// read of a guarded field is a warn (stale or torn view). RWMutex
+// guards demand the write lock for writes; RLock satisfies reads only.
+var StaticRace = &Analyzer{
+	Name:       "staticrace",
+	Doc:        "flag unguarded accesses to guarded fields in concurrency-reachable code, with spawn-site witness chains",
+	RunProgram: runStaticRace,
+}
+
+func runStaticRace(pass *ProgramPass) {
+	db := pass.Prog.GuardDB()
+	if len(db.guards) == 0 {
+		return
+	}
+
+	accesses := make([]*fieldAccess, len(db.accesses))
+	copy(accesses, db.accesses)
+	sort.Slice(accesses, func(i, j int) bool { return accesses[i].pos < accesses[j].pos })
+
+	for _, a := range accesses {
+		if a.fresh {
+			continue // unpublished object under construction
+		}
+		fact := db.guards[fieldKey{a.owner.named, a.field}]
+		if fact == nil || fact.exempt {
+			continue
+		}
+		// Concurrency gate: the access must run off the main goroutine.
+		witness := ""
+		switch {
+		case a.spawn != "":
+			witness = "in " + a.spawn
+		default:
+			r, ok := db.reach[a.fn]
+			if !ok {
+				continue
+			}
+			witness = "reachable from " + r.witness()
+		}
+		guard := fact.guard
+		owner := a.owner.named.Obj().Name()
+		if a.write {
+			if !a.heldW[guard] {
+				if fact.rw && a.heldAny[guard] {
+					pass.Reportf(a.pos, "error: unguarded write to %s.%s holding only %s.RLock — writes need the write lock (guard: %s) [%s]", owner, a.field, guard, fact.source(), witness)
+				} else {
+					pass.Reportf(a.pos, "error: unguarded write to %s.%s without %s held (guard: %s) [%s]", owner, a.field, guard, fact.source(), witness)
+				}
+			}
+			continue
+		}
+		if !a.heldAny[guard] {
+			pass.Reportf(a.pos, "warn: racy read of %s.%s without %s held (guard: %s) [%s]", owner, a.field, guard, fact.source(), witness)
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Package cli is the golden-output fixture for the odbis-vet driver:
-// three deterministic findings from three different analyzers.
+// four deterministic findings from four different analyzers.
 package cli
 
 import (
@@ -34,4 +34,26 @@ func (r *Registry) Bump(key string) bool {
 	r.m[key]++
 	r.mu.Unlock()
 	return true
+}
+
+// Gauge gives the staticrace analyzer a deterministic finding: the
+// guard is pinned and the sampling goroutine skips it.
+type Gauge struct {
+	mu sync.Mutex
+	//odbis:guardedby mu -- shared with the sampling goroutine
+	reading int
+}
+
+// Set updates the reading under the lock.
+func (g *Gauge) Set(v int) {
+	g.mu.Lock()
+	g.reading = v
+	g.mu.Unlock()
+}
+
+// Sample races the reading from a fresh goroutine.
+func Sample(g *Gauge) {
+	go func() {
+		g.reading++
+	}()
 }

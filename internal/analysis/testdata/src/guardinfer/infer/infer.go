@@ -1,0 +1,126 @@
+// Package infer is the guardinfer fixture: clean empirical inference
+// and annotation pins stay silent; malformed, mistargeted, and
+// code-contradicted //odbis:guardedby directives and unclassifiable
+// guard discipline are reported.
+//
+// Inference arithmetic note: the guard threshold is >=80% of >=2
+// counted writes, tallied module-wide, so every write in this file —
+// including the deliberately broken ones — feeds the same tallies.
+package infer
+
+import "sync"
+
+// Counter's discipline is clean: every write to n holds mu, so the
+// guard is inferred empirically and nothing is reported.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+// Reg's pin is honored by the code: one write, under mu. A write-once
+// field never reaches the empirical threshold, which is exactly what
+// the pin is for.
+type Reg struct {
+	mu sync.Mutex
+	//odbis:guardedby mu -- write-once at startup, read hot afterwards
+	limit int
+}
+
+func (r *Reg) SetLimit(n int) {
+	r.mu.Lock()
+	r.limit = n
+	r.mu.Unlock()
+}
+
+// Stats opts out: the field is a best-effort statistic, racy on
+// purpose, and the exemption silences both analyzers.
+type Stats struct {
+	mu sync.Mutex
+	//odbis:guardedby none -- best-effort sample counter, torn reads acceptable
+	hits int
+}
+
+func (s *Stats) Sample() {
+	s.hits++
+	s.hits++
+}
+
+// Bad collects every way a directive can be malformed.
+type Bad struct {
+	mu sync.Mutex
+	//odbis:guardedby -- missing argument // want `names no mutex field`
+	a int
+	//odbis:guardedby mu extra -- two arguments // want `takes exactly one mutex field name`
+	b int
+	//odbis:guardedby nosuch -- typo for mu // want `unknown field "nosuch" on Bad`
+	c int
+	//odbis:guardedby d -- names a data field // want `"d", which is not a sync.Mutex/RWMutex field of Bad`
+	e int
+	d int
+	//odbis:guardedby mu -- a mutex cannot guard itself // want `annotation on mutex field "mu2" itself`
+	mu2 sync.Mutex
+}
+
+// Pinned's annotation contradicts the code: both observed writes skip
+// mu entirely, so the pin is documenting a discipline that does not
+// exist.
+type Pinned struct {
+	mu sync.Mutex
+	//odbis:guardedby mu -- stale claim // want `none of its 2 observed writes hold mu`
+	x int
+}
+
+func Touch(p *Pinned) {
+	p.x = 1
+	p.x = 2
+}
+
+// Muddled splits its writes across two mutexes with neither reaching
+// the threshold: the discipline is too inconsistent to infer, which is
+// itself worth a finding — nobody can say which lock protects v.
+type Muddled struct {
+	mua sync.Mutex
+	mub sync.Mutex
+	v   int // want `cannot infer a guard for Muddled.v: 2/3 writes hold mua`
+}
+
+func Stir(m *Muddled) {
+	m.mua.Lock()
+	m.v = 1
+	m.mua.Unlock()
+	m.mua.Lock()
+	m.v = 2
+	m.mua.Unlock()
+	m.mub.Lock()
+	m.v = 3
+	m.mub.Unlock()
+}
+
+// Loose is mostly lock-free: fewer than half of its writes hold any
+// mutex, so the muddled-discipline check treats the pattern as
+// deliberate and stays quiet (staticrace would still flag concurrent
+// accesses if the field were guarded).
+type Loose struct {
+	mu   sync.Mutex
+	seen int
+}
+
+func Mark(l *Loose) {
+	l.seen = 1
+	l.seen = 2
+	l.mu.Lock()
+	l.seen = 3
+	l.mu.Unlock()
+}

@@ -1,0 +1,39 @@
+// Package server is the staticrace handler-reachability fixture: a
+// handler boundary makes everything it calls concurrency-reachable (one
+// goroutine per request), so an unguarded read two hops in is flagged
+// with the handler as witness.
+package server
+
+import (
+	"net/http"
+	"sync"
+)
+
+type Admission struct {
+	mu       sync.Mutex
+	inflight int
+}
+
+func (a *Admission) Admit() {
+	a.mu.Lock()
+	a.inflight++
+	a.mu.Unlock()
+}
+
+func (a *Admission) Release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inflight--
+}
+
+var shared = &Admission{}
+
+// Handle runs once per request on its own goroutine.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	shared.Admit()
+	peek(shared)
+}
+
+func peek(a *Admission) {
+	_ = a.inflight // want `warn: racy read of Admission\.inflight without mu held \(guard: 2/2 writes hold it\) \[reachable from handler server\.Handle via server\.peek\]`
+}

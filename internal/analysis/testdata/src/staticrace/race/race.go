@@ -1,0 +1,194 @@
+// Package race is the staticrace fixture core: empirically inferred and
+// annotation-pinned guards, goroutine/callback reachability, witness
+// chains, the RWMutex read/write split, the *Locked helper idiom, and
+// the fresh-object exemption.
+//
+// Inference arithmetic note: Box.n's guard is inferred empirically, so
+// its writes are arranged 4-held-to-1-unheld to sit exactly on the 80%
+// threshold; every other struct pins its guard with //odbis:guardedby
+// so adding a deliberately racy access cannot dilute inference.
+package race
+
+import (
+	"sync"
+
+	"github.com/odbis/odbis/internal/analysis/testdata/src/staticrace/internal/bus"
+)
+
+// Box's guard on n is inferred: 4 of 5 counted writes hold mu.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *Box) Inc() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b *Box) SetTwo() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n = 2
+}
+
+func (b *Box) SetFive() {
+	b.mu.Lock()
+	b.n = 5
+	b.mu.Unlock()
+}
+
+// Spawn races against the lock discipline: the first goroutine touches
+// n with no lock at all.
+func Spawn(b *Box) {
+	go func() {
+		b.n = 3 // want `error: unguarded write to Box\.n without mu held \(guard: 4/5 writes hold it\) \[in goroutine spawned at race\.go:\d+\]`
+		_ = b.n // want `warn: racy read of Box\.n without mu held \(guard: 4/5 writes hold it\) \[in goroutine spawned at race\.go:\d+\]`
+	}()
+}
+
+// SpawnDefer is the guarded twin: lock on entry, deferred unlock, so
+// the write inside the goroutine is quiet.
+func SpawnDefer(b *Box) {
+	go func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.n = 4
+	}()
+}
+
+// SpawnFresh constructs a private Box inside the goroutine: unpublished
+// objects are exempt, lockless writes here are construction.
+func SpawnFresh() {
+	go func() {
+		b := &Box{}
+		b.n = 7
+		_ = b
+	}()
+}
+
+// RWBox pins its guard: reads are satisfied by RLock, writes demand the
+// write lock.
+type RWBox struct {
+	mu sync.RWMutex
+	//odbis:guardedby mu -- cube cache shared across request goroutines
+	items map[string]int
+}
+
+func (r *RWBox) Set(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.items[k] = v
+}
+
+func RWSpawn(r *RWBox) {
+	go func() {
+		r.mu.RLock()
+		_ = r.items["a"]
+		r.items["a"] = 1 // want `error: unguarded write to RWBox\.items holding only mu\.RLock — writes need the write lock \(guard: pinned by //odbis:guardedby\) \[in goroutine spawned at race\.go:\d+\]`
+		r.mu.RUnlock()
+	}()
+	go func() {
+		_ = r.items["b"] // want `warn: racy read of RWBox\.items without mu held \(guard: pinned by //odbis:guardedby\) \[in goroutine spawned at race\.go:\d+\]`
+	}()
+}
+
+// WireLambda registers a callback with the bus: its body runs on the
+// dispatch goroutine with no lock context.
+func WireLambda(r *RWBox) {
+	bus.Subscribe("flush", func() {
+		r.items["x"] = 2 // want `error: unguarded write to RWBox\.items without mu held \(guard: pinned by //odbis:guardedby\) \[in callback registered with bus\.Subscribe at race\.go:\d+\]`
+	})
+}
+
+// Helper exercises the *Locked idiom: bumpLocked's only call site holds
+// mu, so the entry-lockset fixpoint proves its access guarded even
+// though the method itself never locks.
+type Helper struct {
+	mu sync.Mutex
+	//odbis:guardedby mu -- helpers suffixed Locked assume the caller holds mu
+	v int
+}
+
+func (h *Helper) bump() {
+	h.mu.Lock()
+	h.bumpLocked()
+	h.mu.Unlock()
+}
+
+func (h *Helper) bumpLocked() {
+	h.v++
+}
+
+func HelperSpawn(h *Helper) {
+	go h.bump()
+}
+
+// HelperSpawn2 reaches an unguarded write through a call chain, so the
+// witness names both the spawn site and the path.
+func HelperSpawn2(h *Helper) {
+	go stir(h)
+}
+
+func stir(h *Helper) {
+	touch(h)
+}
+
+func touch(h *Helper) {
+	h.v = 9 // want `error: unguarded write to Helper\.v without mu held \(guard: pinned by //odbis:guardedby\) \[reachable from goroutine spawned at race\.go:\d+ via race\.touch\]`
+}
+
+// Seq's unguarded write is mainline-only: nothing concurrent reaches
+// Reset, so staticrace stays quiet about it.
+type Seq struct {
+	mu sync.Mutex
+	//odbis:guardedby mu -- guarded on the serving path; Reset runs before serving starts
+	q int
+}
+
+func (s *Seq) Bump() {
+	s.mu.Lock()
+	s.q++
+	s.mu.Unlock()
+}
+
+func Reset(s *Seq) {
+	s.q = 0
+}
+
+// Free opts out entirely: a deliberately racy statistic.
+type Free struct {
+	mu sync.Mutex
+	//odbis:guardedby none -- approximate counter, torn updates acceptable
+	approx int
+}
+
+func Spray(f *Free) {
+	go func() {
+		f.approx++
+	}()
+}
+
+// Ring's cursor is raced by a named callback registered with the bus.
+type Ring struct {
+	mu sync.Mutex
+	//odbis:guardedby mu -- cursor shared with the dispatch goroutine
+	pos int
+}
+
+func (g *Ring) Advance() {
+	g.mu.Lock()
+	g.pos++
+	g.mu.Unlock()
+}
+
+var ring = &Ring{}
+
+func Wire() {
+	bus.Subscribe("tick", pump)
+}
+
+func pump() {
+	ring.pos++ // want `error: unguarded write to Ring\.pos without mu held \(guard: pinned by //odbis:guardedby\) \[reachable from callback registered with bus\.Subscribe at race\.go:\d+\]`
+}

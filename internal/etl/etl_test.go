@@ -1,8 +1,8 @@
 package etl
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -486,7 +486,7 @@ func TestSchedulerUnregisterAndStart(t *testing.T) {
 	if err := s.Register(job, 5*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	stop := s.Start(context.Background(), 2 * time.Millisecond)
+	stop := s.Start(context.Background(), 2*time.Millisecond)
 	deadline := time.Now().Add(2 * time.Second)
 	for len(s.History("j")) == 0 && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)

@@ -1,8 +1,8 @@
 package report
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"

@@ -1,8 +1,8 @@
 package services
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"

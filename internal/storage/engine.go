@@ -155,13 +155,15 @@ func (ix *index) keyFor(row Row) string {
 
 // table holds the versions and indexes of one relation.
 type table struct {
-	mu       sync.RWMutex
-	schema   *Schema
+	mu     sync.RWMutex
+	schema *Schema
+	//odbis:guardedby mu -- WAL replay also writes it, single-threaded in Open before the engine is published
 	versions []version
-	byRID    map[RID]rowID
-	indexes  map[string]*index // lower-cased index name
-	pkIndex  *index            // nil when the table has no primary key
-	dead     int               // committed-dead version count, drives vacuum
+	//odbis:guardedby mu -- WAL replay also writes it, single-threaded in Open before the engine is published
+	byRID   map[RID]rowID
+	indexes map[string]*index // lower-cased index name
+	pkIndex *index            // nil when the table has no primary key
+	dead    int               // committed-dead version count, drives vacuum
 }
 
 // Engine is the storage engine. It is safe for concurrent use.
@@ -182,7 +184,8 @@ type Engine struct {
 	nextRID   atomic.Uint64
 
 	seqMu sync.Mutex
-	seqs  map[string]int64
+	//odbis:guardedby seqMu -- snapshot load also writes it, single-threaded in Open before the engine is published
+	seqs map[string]int64
 
 	wal *wal // nil for in-memory engines
 	// epoch counts checkpoints: the snapshot on disk carries it and the

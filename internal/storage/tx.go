@@ -328,6 +328,7 @@ func (tx *Tx) Scan(tableName string, fn func(rid RID, row Row) bool) error {
 	}
 	tx.e.statsReads.Add(1)
 	matches := tx.collectVisible(t, func() []rowID {
+		//odbis:ignore staticrace -- pick runs inside collectVisible under t.mu.RLock
 		ids := make([]rowID, len(t.versions))
 		for i := range ids {
 			ids[i] = rowID(i)

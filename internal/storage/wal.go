@@ -436,8 +436,13 @@ func (e *Engine) applyWALRecord(payload []byte) (maxTx, maxRID uint64, err error
 			return 0, 0, dec.err
 		}
 		if t, ok := e.tables[lowerName(info.Table)]; ok {
+			// Replay is single-threaded, but take the lock anyway so every
+			// buildIndex call site shares CreateIndex's discipline (and the
+			// static race tier can prove it).
+			t.mu.Lock()
 			ix := e.buildIndex(t, info)
 			t.indexes[lowerName(info.Name)] = ix
+			t.mu.Unlock()
 		}
 	case recDropIndex:
 		tbl, name := dec.str(), dec.str()

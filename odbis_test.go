@@ -1,8 +1,8 @@
 package odbis
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"

@@ -14,13 +14,13 @@
 # delta under 1%). Each benchmark runs BENCH_COUNT times and the minimum
 # ns/op is recorded — the min is the noise-robust estimator on shared CI
 # hardware, where a single pass showed ±10% swings that dwarf the effect
-# being measured. Output file defaults to BENCH_PR6.json at the repo
+# being measured. Output file defaults to BENCH_PR7.json at the repo
 # root; override with BENCH_OUT.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR6.json}"
+OUT="${BENCH_OUT:-BENCH_PR7.json}"
 PKGS="${BENCH_PKGS:-./internal/analysis/ ./internal/sql/ ./internal/olap/ ./internal/fault/ ./internal/obs/ ./internal/server/}"
 # The experiment hot paths the context-first refactor must not regress:
 # E1 (Fig. 1 end-to-end request) and E5 (Fig. 4 per-layer overhead).

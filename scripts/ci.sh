@@ -6,20 +6,53 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> go build ./..."
-go build ./...
+# Formatting and stock vet run first: they are the cheapest checks and
+# everything after them re-parses the same files, so a formatting drift
+# should fail in seconds, not after the analyzer suite. Fixture trees
+# under testdata are exempt (want-comments fight gofmt's alignment).
+echo "==> gofmt -l (excluding testdata)"
+UNFORMATTED="$(gofmt -l . | grep -v '/testdata/' || true)"
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
 
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> go build ./..."
+go build ./...
+
 # The analyzer suite (including the interprocedural call-graph passes)
 # must finish inside a wall-clock budget: an analysis that cannot keep up
-# with CI is an analysis that gets turned off.
+# with CI is an analysis that gets turned off. The run always collects
+# -timings; the per-phase breakdown is shown only when the stage fails,
+# so a budget trip names the analyzer that ate the budget.
 echo "==> odbis-vet ./... (budget: ${ODBIS_VET_BUDGET:-120}s)"
-timeout "${ODBIS_VET_BUDGET:-120}" go run ./cmd/odbis-vet ./...
+VET_LOG="$(mktemp /tmp/odbis_vet.XXXXXX.log)"
+VET_STATUS=0
+timeout "${ODBIS_VET_BUDGET:-120}" go run ./cmd/odbis-vet -timings ./... 2>"$VET_LOG" || VET_STATUS=$?
+if [ "$VET_STATUS" -ne 0 ]; then
+	if [ "$VET_STATUS" -eq 124 ]; then
+		echo "odbis-vet: exceeded ${ODBIS_VET_BUDGET:-120}s budget; per-phase timings up to the kill:" >&2
+	else
+		echo "odbis-vet: failed (exit $VET_STATUS); per-phase timings:" >&2
+	fi
+	cat "$VET_LOG" >&2
+	rm -f "$VET_LOG"
+	exit "$VET_STATUS"
+fi
+rm -f "$VET_LOG"
 
 echo "==> go test ./..."
 go test ./...
+
+# Fuzz smoke: ten seconds of FuzzBuildCFG keeps the CFG builder's
+# panic-freedom and structural invariants exercised on every CI run
+# without turning CI into a fuzz farm.
+echo "==> fuzz smoke (FuzzBuildCFG, ${ODBIS_FUZZ_TIME:-10s})"
+go test ./internal/analysis/ -run '^$' -fuzz '^FuzzBuildCFG$' -fuzztime "${ODBIS_FUZZ_TIME:-10s}"
 
 echo "==> go test -race (bus, etl, storage, tenant, sql, olap, services, server, fault, obs)"
 go test -race ./internal/bus/ ./internal/etl/ ./internal/storage/ ./internal/tenant/ \

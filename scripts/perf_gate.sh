@@ -23,7 +23,11 @@ TOL="${ODBIS_PERF_TOLERANCE:-0.25}"
 # Both files hold one {"name": ..., "..._ns_per_op": ...} object per
 # line (bench.sh's awk emitter and the hand-maintained budget), so a
 # line-oriented awk join is enough — no JSON parser needed.
-awk -v tol="$TOL" '
+# Files are classified by FILENAME, not by "first line seen": an empty
+# fresh file must read as "zero benchmarks measured" (a hard failure
+# below), not silently shift the budget file into the fresh slot and
+# vacuously pass an empty gate.
+awk -v tol="$TOL" -v freshfile="$FRESH" '
 	function field(line, key,   re, s) {
 		re = "\"" key "\":[ \t]*"
 		if (!match(line, re)) return ""
@@ -32,17 +36,25 @@ awk -v tol="$TOL" '
 		gsub(/^[ \t"]+|[ \t"]+$/, "", s)
 		return s
 	}
-	FNR == 1 { file++ }
-	file == 1 && /"name"/ {
+	FILENAME == freshfile && /"name"/ {
 		fresh[field($0, "name")] = field($0, "ns_per_op") + 0
+		nfresh++
 	}
-	file == 2 && /"name"/ {
+	FILENAME != freshfile && /"name"/ {
 		name = field($0, "name")
 		budget[name] = field($0, "max_ns_per_op") + 0
 		why[name] = field($0, "why")
 		order[n++] = name
 	}
 	END {
+		if (nfresh == 0) {
+			print "perf_gate: no benchmarks parsed from " freshfile " — bench run produced nothing to gate"
+			exit 2
+		}
+		if (n == 0) {
+			print "perf_gate: no budget rows parsed — refusing to pass an empty gate"
+			exit 2
+		}
 		bad = 0
 		for (i = 0; i < n; i++) {
 			name = order[i]

@@ -1,0 +1,101 @@
+package odbis
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runPerfGate shells the real gate script against a synthetic fresh
+// file and budget so regressions in the awk join are caught by go test,
+// not by a silently green CI stage.
+func runPerfGate(t *testing.T, fresh, budget string) (output string, exitCode int) {
+	t.Helper()
+	dir := t.TempDir()
+	freshPath := filepath.Join(dir, "fresh.json")
+	budgetPath := filepath.Join(dir, "budget.json")
+	if err := os.WriteFile(freshPath, []byte(fresh), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(budgetPath, []byte(budget), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("sh", "scripts/perf_gate.sh", freshPath, budgetPath)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("perf_gate.sh did not run: %v\n%s", err, out)
+		}
+		return string(out), ee.ExitCode()
+	}
+	return string(out), 0
+}
+
+const gateBudget = `[
+  {"name": "BenchmarkPresent", "max_ns_per_op": 100, "why": "test row"},
+  {"name": "BenchmarkGone", "max_ns_per_op": 100, "why": "test row"}
+]`
+
+// TestPerfGateMissingBenchmark: a gated benchmark absent from the fresh
+// output must fail the gate — a deleted benchmark is a silently dropped
+// performance contract, not a pass.
+func TestPerfGateMissingBenchmark(t *testing.T) {
+	fresh := `[
+  {"name": "BenchmarkPresent", "iterations": 100, "ns_per_op": 50}
+]`
+	out, code := runPerfGate(t, fresh, gateBudget)
+	if code == 0 {
+		t.Fatalf("gate passed with a gated benchmark missing:\n%s", out)
+	}
+	if !strings.Contains(out, "MISSING") || !strings.Contains(out, "BenchmarkGone") {
+		t.Errorf("missing-benchmark diagnostic absent:\n%s", out)
+	}
+}
+
+// TestPerfGateEmptyFresh: an empty fresh file means the bench run
+// produced nothing — the gate must hard-fail rather than vacuously pass
+// (the historical bug: file classification by "first line seen" let an
+// empty fresh file shift the budget into the fresh slot).
+func TestPerfGateEmptyFresh(t *testing.T) {
+	out, code := runPerfGate(t, "", gateBudget)
+	if code == 0 {
+		t.Fatalf("gate passed on an empty fresh file:\n%s", out)
+	}
+	if !strings.Contains(out, "no benchmarks parsed") {
+		t.Errorf("empty-fresh diagnostic absent:\n%s", out)
+	}
+}
+
+// TestPerfGateWithinBudget: the happy path still passes and reports
+// every gated row.
+func TestPerfGateWithinBudget(t *testing.T) {
+	fresh := `[
+  {"name": "BenchmarkPresent", "iterations": 100, "ns_per_op": 50},
+  {"name": "BenchmarkGone", "iterations": 100, "ns_per_op": 99}
+]`
+	out, code := runPerfGate(t, fresh, gateBudget)
+	if code != 0 {
+		t.Fatalf("gate failed within budget (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "all 2 gated benchmarks within budget") {
+		t.Errorf("pass summary absent:\n%s", out)
+	}
+}
+
+// TestPerfGateOverBudget: exceeding a ceiling (after tolerance) fails.
+func TestPerfGateOverBudget(t *testing.T) {
+	fresh := `[
+  {"name": "BenchmarkPresent", "iterations": 100, "ns_per_op": 50000},
+  {"name": "BenchmarkGone", "iterations": 100, "ns_per_op": 99}
+]`
+	out, code := runPerfGate(t, fresh, gateBudget)
+	if code == 0 {
+		t.Fatalf("gate passed over budget:\n%s", out)
+	}
+	if !strings.Contains(out, "OVER") || !strings.Contains(out, "BenchmarkPresent") {
+		t.Errorf("over-budget diagnostic absent:\n%s", out)
+	}
+}
