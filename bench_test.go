@@ -141,6 +141,8 @@ func benchmarkFigure1(b *testing.B, tenants int) {
 		}
 		tokens = append(tokens, token)
 	}
+	statsDB := sql.NewDB(p.Registry.Engine())
+	before := statsDB.PlanCacheStats()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		token := tokens[i%len(tokens)]
@@ -156,6 +158,15 @@ func benchmarkFigure1(b *testing.B, tenants int) {
 		if resp.StatusCode != http.StatusOK {
 			b.Fatalf("HTTP %d", resp.StatusCode)
 		}
+	}
+	b.StopTimer()
+	// Dashboard refreshes re-run a fixed query set, so after the cold
+	// first render every lookup should hit the plan cache; perf_gate.sh
+	// holds this ratio at >= 0.90 for the 1-tenant figure.
+	after := statsDB.PlanCacheStats()
+	lookups := (after.Hits - before.Hits) + (after.Misses - before.Misses)
+	if sql.PlanCacheEnabled() && lookups > 0 {
+		b.ReportMetric(float64(after.Hits-before.Hits)/float64(lookups), "hit_ratio")
 	}
 }
 
@@ -177,6 +188,16 @@ func BenchmarkFigure1_EndToEnd_8Tenants_ObsOff(b *testing.B) {
 	obs.SetEnabled(false)
 	defer obs.SetEnabled(true)
 	benchmarkFigure1(b, 8)
+}
+
+// The _NoPlanCache variant reruns E1 with plan caching disabled: every
+// dashboard element pays parse + plan on every refresh. The delta
+// against the cached 1-tenant figure (within one bench run) is the
+// compile cost the plan cache removes from the request path.
+func BenchmarkFigure1_EndToEnd_1Tenant_NoPlanCache(b *testing.B) {
+	sql.SetPlanCacheEnabled(false)
+	defer sql.SetPlanCacheEnabled(true)
+	benchmarkFigure1(b, 1)
 }
 
 // --- E2 / §2: multi-tenant shared store vs isolated engines ---

@@ -1,0 +1,52 @@
+package sql
+
+// rowPool is a free-list recycler in the shape hotalloc recognizes: a
+// Get method whose receiver type also carries Put. A slice drawn from
+// it keeps its backing array across requests, so append growth inside
+// a hot loop amortizes to zero and is exempt from the finding.
+type rowPool struct{ free [][]int }
+
+func (p *rowPool) Get() []int {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+func (p *rowPool) Put(b []int) { p.free = append(p.free, b) }
+
+// getOnly hands out slices but never takes them back: Get without Put
+// is not a recycler, so the exemption does not apply.
+type getOnly struct{}
+
+func (getOnly) Get() []int { return nil }
+
+var pool rowPool
+var leaky getOnly
+
+// QueryPooled is a request-path entry point whose output buffer comes
+// from the recycler: the bare `var buf []int` would normally fire on
+// the append, but the pool.Get assignment marks buf recycled.
+func (db *DB) QueryPooled(ids []int) int {
+	var buf []int
+	buf = pool.Get()
+	for _, id := range ids {
+		buf = append(buf, id) // recycled via pool.Get/Put: no finding
+	}
+	n := len(buf)
+	pool.Put(buf)
+	return n
+}
+
+// QueryLeaky draws from a Get-only type: no Put means no recycling,
+// and the capacity-less append still fires.
+func (db *DB) QueryLeaky(ids []int) int {
+	var buf []int
+	buf = leaky.Get()
+	for _, id := range ids {
+		buf = append(buf, id) // want `append to buf in this hot loop grows the backing array geometrically`
+	}
+	return len(buf)
+}

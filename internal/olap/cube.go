@@ -34,6 +34,9 @@ const (
 	AggCount Agg = "count"
 )
 
+// cubeBatchRows is the batch size for the build-time table scans.
+const cubeBatchRows = 256
+
 // ParseAgg validates an aggregation name.
 func ParseAgg(s string) (Agg, error) {
 	switch Agg(strings.ToLower(s)) {
@@ -251,13 +254,15 @@ func Build(ctx context.Context, e *storage.Engine, spec CubeSpec) (*Cube, error)
 			}
 			dd.byKey = make(map[string][]storage.Value)
 			err = e.ViewCtx(ctx, func(tx *storage.Tx) error {
-				return tx.Scan(ds.Table, func(_ storage.RID, row storage.Row) bool {
-					vals := make([]storage.Value, len(dd.levelPos))
-					for i, p := range dd.levelPos {
-						vals[i] = row[p]
+				return tx.ScanBatches(ds.Table, cubeBatchRows, func(b *storage.Batch) error {
+					for r := 0; r < b.Len(); r++ {
+						vals := make([]storage.Value, len(dd.levelPos))
+						for i, p := range dd.levelPos {
+							vals[i] = b.Cols[p][r]
+						}
+						dd.byKey[storage.EncodeKey(b.Cols[keyPos][r])] = vals
 					}
-					dd.byKey[storage.EncodeKey(row[keyPos])] = vals
-					return true
+					return nil
 				})
 			})
 			if err != nil {
@@ -298,62 +303,61 @@ func Build(ctx context.Context, e *storage.Engine, spec CubeSpec) (*Cube, error)
 		cube.meas[strings.ToLower(ms.Name)] = &measure{spec: spec.Measures[i]}
 	}
 
-	// Single pass over the fact table.
-	var buildErr error
+	// Single pass over the fact table, batch-at-a-time: the column-major
+	// batch keeps the dimension/measure extraction loops on column
+	// slices instead of re-materializing one row value at a time.
 	err = e.ViewCtx(ctx, func(tx *storage.Tx) error {
-		return tx.Scan(spec.FactTable, func(_ storage.RID, row storage.Row) bool {
-			for di, dd := range dimDatas {
-				d := cube.dimList[di]
-				var levelVals []storage.Value
-				if dd.degenerte {
-					levelVals = make([]storage.Value, len(dd.degenPos))
-					for i, p := range dd.degenPos {
-						levelVals[i] = row[p]
+		return tx.ScanBatches(spec.FactTable, cubeBatchRows, func(b *storage.Batch) error {
+			for r := 0; r < b.Len(); r++ {
+				for di, dd := range dimDatas {
+					d := cube.dimList[di]
+					var levelVals []storage.Value
+					if dd.degenerte {
+						levelVals = make([]storage.Value, len(dd.degenPos))
+						for i, p := range dd.degenPos {
+							levelVals[i] = b.Cols[p][r]
+						}
+					} else {
+						fk := b.Cols[dd.fkPos][r]
+						if fk != nil {
+							levelVals = dd.byKey[storage.EncodeKey(fk)]
+						}
+						if levelVals == nil {
+							// Unmatched or NULL FK: every level reads as NULL.
+							levelVals = make([]storage.Value, len(d.levels))
+						}
 					}
-				} else {
-					fk := row[dd.fkPos]
-					if fk != nil {
-						levelVals = dd.byKey[storage.EncodeKey(fk)]
-					}
-					if levelVals == nil {
-						// Unmatched or NULL FK: every level reads as NULL.
-						levelVals = make([]storage.Value, len(d.levels))
+					for li, lv := range d.levels {
+						lv.codes = append(lv.codes, lv.encode(levelVals[li]))
 					}
 				}
-				for li, lv := range d.levels {
-					lv.codes = append(lv.codes, lv.encode(levelVals[li]))
-				}
-			}
-			for i, ms := range spec.Measures {
-				m := cube.meas[strings.ToLower(ms.Name)]
-				if measPos[i] < 0 {
-					m.vals = append(m.vals, 1)
+				for i, ms := range spec.Measures {
+					m := cube.meas[strings.ToLower(ms.Name)]
+					if measPos[i] < 0 {
+						m.vals = append(m.vals, 1)
+						m.isNull = append(m.isNull, false)
+						continue
+					}
+					v := b.Cols[measPos[i]][r]
+					if v == nil {
+						m.vals = append(m.vals, 0)
+						m.isNull = append(m.isNull, true)
+						continue
+					}
+					f, ok := toFloat(v)
+					if !ok {
+						return fmt.Errorf("olap: cube %s: measure %s has non-numeric value %v", spec.Name, ms.Name, v)
+					}
+					m.vals = append(m.vals, f)
 					m.isNull = append(m.isNull, false)
-					continue
 				}
-				v := row[measPos[i]]
-				if v == nil {
-					m.vals = append(m.vals, 0)
-					m.isNull = append(m.isNull, true)
-					continue
-				}
-				f, ok := toFloat(v)
-				if !ok {
-					buildErr = fmt.Errorf("olap: cube %s: measure %s has non-numeric value %v", spec.Name, ms.Name, v)
-					return false
-				}
-				m.vals = append(m.vals, f)
-				m.isNull = append(m.isNull, false)
+				cube.rows++
 			}
-			cube.rows++
-			return true
+			return nil
 		})
 	})
 	if err != nil {
 		return nil, err
-	}
-	if buildErr != nil {
-		return nil, buildErr
 	}
 	cube.cache = newCellCache(256)
 	cube.version = 1

@@ -41,6 +41,7 @@ func TestMetricsCoverAllLayers(t *testing.T) {
 		"CREATE TABLE obs_t (a INT, b TEXT)",
 		"INSERT INTO obs_t VALUES (1, 'x')",
 		"SELECT * FROM obs_t",
+		"SELECT * FROM obs_t", // repeat: the second run is a plan-cache hit
 	} {
 		status, _, raw := call(t, ts, token, "POST", "/api/query", map[string]any{"sql": q})
 		if status != http.StatusOK {
@@ -60,6 +61,8 @@ func TestMetricsCoverAllLayers(t *testing.T) {
 		// sql layer
 		"odbis_sql_statements_total",
 		"odbis_sql_rows_scanned_total",
+		"odbis_sql_plan_cache_hits_total",
+		"odbis_sql_plan_cache_misses_total",
 		// storage layer
 		"odbis_wal_appends_total",
 		"odbis_wal_bytes_written_total",

@@ -266,13 +266,22 @@ func (s *Session) RunDataSet(ctx context.Context, name string, args ...storage.V
 func (s *Session) Query(ctx context.Context, query string, args ...storage.Value) (*sql.Result, error) {
 	ctx, span := obs.StartSpan(ctx, "services.query")
 	defer span.End()
-	stmt, err := sql.Parse(query)
-	if err != nil {
-		return nil, err
-	}
+	// A plan-cache hit is by construction a SELECT, so its authority
+	// class is known without re-parsing; only cold or non-SELECT text
+	// pays the parse here (the catalog parses cold SELECTs once more
+	// when it caches them).
 	authority := AuthMetadataRead
-	if _, isSelect := stmt.(*sql.SelectStmt); !isSelect {
-		authority = AuthMetadataWrite
+	if s.Catalog == nil || !s.Catalog.HasCachedSelect(query) {
+		stmt, err := sql.Parse(query)
+		if err != nil {
+			return nil, err
+		}
+		switch stmt.(type) {
+		case *sql.SelectStmt, *sql.ExplainStmt:
+			// read-only: SELECT and its EXPLAIN rendering
+		default:
+			authority = AuthMetadataWrite
+		}
 	}
 	if err := s.authorize(authority); err != nil {
 		return nil, err

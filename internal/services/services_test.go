@@ -181,6 +181,21 @@ func TestAuthorizationEnforced(t *testing.T) {
 	if _, err := vic.Tenants(context.Background()); !errors.Is(err, security.ErrDenied) {
 		t.Errorf("viewer admin: %v", err)
 	}
+	// SELECT and its EXPLAIN rendering are read-only: both allowed, on
+	// the cold parse path and on the plan-cache fast path alike.
+	ada := designer(t, p)
+	if _, err := ada.Query(context.Background(), "CREATE TABLE vt (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vic.Query(context.Background(), "SELECT x FROM vt"); err != nil {
+		t.Errorf("viewer select: %v", err)
+	}
+	if _, err := vic.Query(context.Background(), "EXPLAIN SELECT x FROM vt"); err != nil {
+		t.Errorf("viewer explain: %v", err)
+	}
+	if _, err := vic.Query(context.Background(), "SELECT x FROM vt"); err != nil {
+		t.Errorf("viewer select via cached plan: %v", err)
+	}
 }
 
 func TestIntegrationService(t *testing.T) {

@@ -126,7 +126,14 @@ type DropIndexStmt struct {
 	Index string
 }
 
+// ExplainStmt is EXPLAIN <select>: it plans the inner SELECT without
+// executing it and returns the rendered plan tree, one line per row.
+type ExplainStmt struct {
+	Sel *SelectStmt
+}
+
 func (*SelectStmt) stmt()      {}
+func (*ExplainStmt) stmt()     {}
 func (*InsertStmt) stmt()      {}
 func (*UpdateStmt) stmt()      {}
 func (*DeleteStmt) stmt()      {}

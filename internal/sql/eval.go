@@ -33,6 +33,12 @@ type boundTable struct {
 	name string // alias or table name, lower-cased
 	cols []string
 	vals storage.Row // nil for the null-extended side of a LEFT JOIN
+	// bcols, when non-nil, binds the table to batch columns instead of
+	// vals: column j of the current row is bcols[j][*cur]. The batch
+	// executor repositions *cur instead of rebuilding the environment
+	// per row (vexec.go).
+	bcols [][]storage.Value
+	cur   *int
 }
 
 func (r *rowEnv) lookup(table, column string) (storage.Value, error) {
@@ -47,9 +53,12 @@ func (r *rowEnv) lookup(table, column string) (storage.Value, error) {
 		for j, c := range bt.cols {
 			if c == cl {
 				hits++
-				if bt.vals == nil {
+				switch {
+				case bt.bcols != nil:
+					found = bt.bcols[j][*bt.cur]
+				case bt.vals == nil:
 					found = nil
-				} else {
+				default:
 					found = bt.vals[j]
 				}
 			}

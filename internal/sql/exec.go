@@ -3,7 +3,6 @@ package sql
 import (
 	"context"
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
@@ -46,9 +45,15 @@ func (db *DB) Query(query string, args ...storage.Value) (*Result, error) {
 // cancelled or expired ctx aborts the statement with the ctx error after
 // rolling the transaction back.
 func (db *DB) QueryContext(ctx context.Context, query string, args ...storage.Value) (*Result, error) {
+	if st, ok := db.CachedSelect("", query); ok {
+		return st.QueryContext(ctx, args...)
+	}
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
+	}
+	if sel, ok := stmt.(*SelectStmt); ok && PlanCacheEnabled() && !db.DisableIndexes {
+		return db.PrepareSelect("", query, sel).QueryContext(ctx, args...)
 	}
 	return db.QueryStatementContext(ctx, stmt, args...)
 }
@@ -56,9 +61,15 @@ func (db *DB) QueryContext(ctx context.Context, query string, args ...storage.Va
 // QueryTx executes a statement inside an existing transaction. The
 // executor observes the transaction's context (see Engine.BeginCtx).
 func (db *DB) QueryTx(tx *storage.Tx, query string, args ...storage.Value) (*Result, error) {
+	if st, ok := db.CachedSelect("", query); ok {
+		return st.QueryTx(tx, args...)
+	}
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
+	}
+	if sel, ok := stmt.(*SelectStmt); ok && PlanCacheEnabled() && !db.DisableIndexes {
+		return db.PrepareSelect("", query, sel).QueryTx(tx, args...)
 	}
 	return db.exec(tx, stmt, args)
 }
@@ -113,10 +124,19 @@ func (db *DB) ExecContext(ctx context.Context, query string, args ...storage.Val
 }
 
 func (db *DB) exec(tx *storage.Tx, stmt Statement, params []storage.Value) (*Result, error) {
-	ex := &executor{db: db, tx: tx, ctx: tx.Context(), now: time.Now().UTC().Truncate(time.Microsecond)}
+	ex := db.newExecutor(tx)
 	res, err := ex.run(stmt, params)
-	// Flush the executor's locally accumulated figures in one shot per
-	// statement — the per-row loops stay metric-free.
+	ex.flush()
+	return res, err
+}
+
+func (db *DB) newExecutor(tx *storage.Tx) *executor {
+	return &executor{db: db, tx: tx, ctx: tx.Context(), now: time.Now().UTC().Truncate(time.Microsecond)}
+}
+
+// flush publishes the executor's locally accumulated figures in one
+// shot per statement — the per-row loops stay metric-free.
+func (ex *executor) flush() {
 	mSQLStatements.Inc()
 	if ex.ticks > 0 {
 		mSQLRows.Add(int64(ex.ticks))
@@ -125,7 +145,6 @@ func (db *DB) exec(tx *storage.Tx, stmt Statement, params []storage.Value) (*Res
 	if ex.yields > 0 {
 		mSQLYields.Add(int64(ex.yields))
 	}
-	return res, err
 }
 
 func (ex *executor) run(stmt Statement, params []storage.Value) (*Result, error) {
@@ -133,6 +152,8 @@ func (ex *executor) run(stmt Statement, params []storage.Value) (*Result, error)
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		return ex.runSelect(s, params, nil)
+	case *ExplainStmt:
+		return ex.runExplain(s)
 	case *InsertStmt:
 		return ex.runInsert(s, params)
 	case *UpdateStmt:
@@ -165,6 +186,13 @@ type executor struct {
 	now    time.Time
 	ticks  int
 	yields int
+	// pool recycles batches across this statement's operators.
+	pool storage.BatchPool
+	// plans memoizes compiled plans per statement node for the duration
+	// of one top-level statement, so a correlated subquery planned once
+	// is reused for every outer row. The top-level entry may be seeded
+	// from the engine-wide plan cache (plancache.go).
+	plans map[*SelectStmt]*Plan
 }
 
 // step is the executor's cooperative-cancellation checkpoint, called once
@@ -216,270 +244,48 @@ func makeEnv(bindings []binding, row joined, outer *rowEnv) *rowEnv {
 	return env
 }
 
-// runSelect executes a SELECT. outer supplies bindings for correlated
-// subqueries.
+// runSelect executes a SELECT through the compiled read path: resolve
+// (or build) the plan, then run it batch-at-a-time. outer supplies
+// bindings for correlated subqueries.
 func (ex *executor) runSelect(sel *SelectStmt, params []storage.Value, outer *rowEnv) (*Result, error) {
-	if sel.Union != nil {
-		return ex.runUnion(sel, params, outer)
-	}
-	bindings, rows, plan, err := ex.buildFrom(sel, params, outer)
+	p, err := ex.planFor(sel)
 	if err != nil {
 		return nil, err
 	}
-
-	baseCtx := func(row joined) *evalCtx {
-		return &evalCtx{row: makeEnv(bindings, row, outer), params: params, exec: ex, now: ex.now}
-	}
-
-	// WHERE.
-	if sel.Where != nil {
-		filtered := rows[:0]
-		for _, row := range rows {
-			if err := ex.step(); err != nil {
-				return nil, err
-			}
-			ok, err := baseCtx(row).evalBool(sel.Where)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				filtered = append(filtered, row)
-			}
-		}
-		rows = filtered
-	}
-
-	// Resolve alias / positional references in GROUP BY and ORDER BY.
-	groupBy, err := resolveRefs(sel.GroupBy, sel.Items)
-	if err != nil {
-		return nil, err
-	}
-	orderExprs := make([]Expr, len(sel.OrderBy))
-	for i, oi := range sel.OrderBy {
-		orderExprs[i] = oi.Expr
-	}
-	orderExprs, err = resolveRefs(orderExprs, sel.Items)
-	if err != nil {
-		return nil, err
-	}
-
-	// Collect aggregate calls from every clause evaluated post-grouping.
-	var aggNodes []*FuncCall
-	for _, item := range sel.Items {
-		if !item.Star {
-			aggNodes = collectAggregates(item.Expr, aggNodes)
-		}
-	}
-	aggNodes = collectAggregates(sel.Having, aggNodes)
-	for _, e := range orderExprs {
-		aggNodes = collectAggregates(e, aggNodes)
-	}
-	grouped := len(groupBy) > 0 || len(aggNodes) > 0
-
-	// Expand stars into concrete column refs.
-	items, err := expandStars(sel.Items, bindings)
-	if err != nil {
-		return nil, err
-	}
-	columns := outputColumns(items)
-
-	type outRow struct {
-		vals storage.Row
-		keys storage.Row // ORDER BY sort keys
-	}
-	var outs []outRow
-
-	project := func(ec *evalCtx) error {
-		vals := make(storage.Row, len(items))
-		for i, item := range items {
-			v, err := ec.eval(item.Expr)
-			if err != nil {
-				return err
-			}
-			vals[i] = v
-		}
-		keys := make(storage.Row, len(orderExprs))
-		for i, oe := range orderExprs {
-			v, err := ec.eval(oe)
-			if err != nil {
-				return err
-			}
-			keys[i] = v
-		}
-		outs = append(outs, outRow{vals: vals, keys: keys})
-		return nil
-	}
-
-	if grouped {
-		groups, err := ex.groupRows(rows, groupBy, aggNodes, baseCtx)
-		if err != nil {
-			return nil, err
-		}
-		for _, g := range groups {
-			if err := ex.step(); err != nil {
-				return nil, err
-			}
-			ec := baseCtx(g.rep)
-			ec.aggs = g.aggs
-			if sel.Having != nil {
-				ok, err := ec.evalBool(sel.Having)
-				if err != nil {
-					return nil, err
-				}
-				if !ok {
-					continue
-				}
-			}
-			if err := project(ec); err != nil {
-				return nil, err
-			}
-		}
-	} else {
-		if sel.Having != nil {
-			return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
-		}
-		for _, row := range rows {
-			if err := ex.step(); err != nil {
-				return nil, err
-			}
-			if err := project(baseCtx(row)); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	// DISTINCT.
-	if sel.Distinct {
-		seen := make(map[string]bool, len(outs))
-		dedup := outs[:0]
-		for _, o := range outs {
-			k := storage.EncodeKey(o.vals...)
-			if !seen[k] {
-				seen[k] = true
-				dedup = append(dedup, o)
-			}
-		}
-		outs = dedup
-	}
-
-	// ORDER BY. Sorting is not interruptible mid-comparison, so the
-	// checkpoint runs once before the sort starts.
-	if len(orderExprs) > 0 {
-		if ex.ctx != nil {
-			if err := ex.ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		desc := make([]bool, len(sel.OrderBy))
-		for i, oi := range sel.OrderBy {
-			desc[i] = oi.Desc
-		}
-		sort.SliceStable(outs, func(i, j int) bool {
-			for k := range orderExprs {
-				c := storage.Compare(outs[i].keys[k], outs[j].keys[k])
-				if c == 0 {
-					continue
-				}
-				if desc[k] {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
-	}
-
-	// LIMIT / OFFSET.
-	if sel.Limit != nil || sel.Offset != nil {
-		lim, off, err := ex.evalLimit(sel, params)
-		if err != nil {
-			return nil, err
-		}
-		if off > len(outs) {
-			off = len(outs)
-		}
-		outs = outs[off:]
-		if lim >= 0 && lim < len(outs) {
-			outs = outs[:lim]
-		}
-	}
-
-	res := &Result{Columns: columns, Plan: plan}
-	res.Rows = make([]storage.Row, len(outs))
-	for i, o := range outs {
-		res.Rows[i] = o.vals
-	}
-	return res, nil
+	return ex.execPlan(p, params, outer)
 }
 
-// runUnion evaluates a UNION [ALL] chain left to right. The leftmost
-// statement's ORDER BY and LIMIT apply to the combined result; ORDER BY
-// keys must reference output columns (by alias, name or position).
-func (ex *executor) runUnion(sel *SelectStmt, params []storage.Value, outer *rowEnv) (*Result, error) {
-	core := *sel
-	core.Union, core.UnionAll = nil, false
-	core.OrderBy, core.Limit, core.Offset = nil, nil, nil
-	left, err := ex.runSelect(&core, params, outer)
+// planFor returns the memoized plan for sel, compiling it on first
+// use. The memo lives for one top-level statement, so a correlated
+// subquery re-executed per outer row plans exactly once.
+func (ex *executor) planFor(sel *SelectStmt) (*Plan, error) {
+	if p, ok := ex.plans[sel]; ok {
+		return p, nil
+	}
+	p, err := planSelect(ex.db, sel)
 	if err != nil {
 		return nil, err
 	}
-	acc := left.Rows
-	for node := sel; node.Union != nil; node = node.Union {
-		rightCore := *node.Union
-		rightCore.Union, rightCore.UnionAll = nil, false
-		right, err := ex.runSelect(&rightCore, params, outer)
-		if err != nil {
-			return nil, err
-		}
-		if len(right.Columns) != len(left.Columns) {
-			return nil, fmt.Errorf("sql: UNION arms have %d and %d columns",
-				len(left.Columns), len(right.Columns))
-		}
-		acc = append(acc, right.Rows...)
-		if !node.UnionAll {
-			seen := make(map[string]bool, len(acc))
-			dedup := acc[:0]
-			for _, row := range acc {
-				k := storage.EncodeKey(row...)
-				if !seen[k] {
-					seen[k] = true
-					dedup = append(dedup, row)
-				}
-			}
-			acc = dedup
-		}
+	if ex.plans == nil {
+		ex.plans = make(map[*SelectStmt]*Plan, 1)
 	}
+	ex.plans[sel] = p
+	return p, nil
+}
 
-	// ORDER BY over the combined rows: keys must be output columns.
-	if len(sel.OrderBy) > 0 {
-		keys := make([]int, len(sel.OrderBy))
-		for i, oi := range sel.OrderBy {
-			pos, err := unionOrderPos(oi.Expr, sel.Items, left.Columns)
-			if err != nil {
-				return nil, err
-			}
-			if oi.Desc {
-				keys[i] = -pos - 1
-			} else {
-				keys[i] = pos
-			}
-		}
-		storage.SortRows(acc, keys)
+// runExplain plans the inner SELECT without executing it and returns
+// the rendered plan tree, one line per row.
+func (ex *executor) runExplain(s *ExplainStmt) (*Result, error) {
+	p, err := ex.planFor(s.Sel)
+	if err != nil {
+		return nil, err
 	}
-	if sel.Limit != nil || sel.Offset != nil {
-		lim, off, err := ex.evalLimit(sel, params)
-		if err != nil {
-			return nil, err
-		}
-		if off > len(acc) {
-			off = len(acc)
-		}
-		acc = acc[off:]
-		if lim >= 0 && lim < len(acc) {
-			acc = acc[:lim]
-		}
+	lines := p.Explain()
+	rows := make([]storage.Row, len(lines))
+	for i, line := range lines {
+		rows[i] = storage.Row{line}
 	}
-	return &Result{Columns: left.Columns, Rows: acc, Plan: "union"}, nil
+	return &Result{Columns: []string{"plan"}, Rows: rows, Plan: p.AccessPath()}, nil
 }
 
 // unionOrderPos resolves an ORDER BY key of a union to an output column
@@ -510,40 +316,6 @@ func unionOrderPos(e Expr, items []SelectItem, columns []string) (int, error) {
 	return 0, fmt.Errorf("sql: ORDER BY over UNION must name an output column or position, got %s", e.String())
 }
 
-func (ex *executor) evalLimit(sel *SelectStmt, params []storage.Value) (lim, off int, err error) {
-	lim = -1
-	ec := &evalCtx{params: params, now: ex.now}
-	if sel.Limit != nil {
-		v, err := ec.eval(sel.Limit)
-		if err != nil {
-			return 0, 0, err
-		}
-		n, ok := v.(int64)
-		if !ok || n < 0 {
-			return 0, 0, fmt.Errorf("sql: LIMIT must be a non-negative integer")
-		}
-		lim = int(n)
-	}
-	if sel.Offset != nil {
-		v, err := ec.eval(sel.Offset)
-		if err != nil {
-			return 0, 0, err
-		}
-		n, ok := v.(int64)
-		if !ok || n < 0 {
-			return 0, 0, fmt.Errorf("sql: OFFSET must be a non-negative integer")
-		}
-		off = int(n)
-	}
-	return lim, off, nil
-}
-
-// group accumulates one GROUP BY bucket.
-type group struct {
-	rep  joined // representative row (first of the bucket)
-	aggs map[*FuncCall]storage.Value
-}
-
 // aggState accumulates one aggregate over one group.
 type aggState struct {
 	count    int64
@@ -552,69 +324,6 @@ type aggState struct {
 	isFloat  bool
 	min, max storage.Value
 	distinct map[string]bool
-}
-
-func (ex *executor) groupRows(rows []joined, groupBy []Expr, aggNodes []*FuncCall, baseCtx func(joined) *evalCtx) ([]*group, error) {
-	type bucket struct {
-		g      *group
-		states []*aggState
-	}
-	order := make([]string, 0, len(rows))
-	buckets := map[string]*bucket{}
-
-	for _, row := range rows {
-		if err := ex.step(); err != nil {
-			return nil, err
-		}
-		ec := baseCtx(row)
-		keyVals := make(storage.Row, len(groupBy))
-		for i, ge := range groupBy {
-			v, err := ec.eval(ge)
-			if err != nil {
-				return nil, err
-			}
-			keyVals[i] = v
-		}
-		key := storage.EncodeKey(keyVals...)
-		b, ok := buckets[key]
-		if !ok {
-			b = &bucket{g: &group{rep: row}, states: make([]*aggState, len(aggNodes))}
-			for i := range b.states {
-				b.states[i] = &aggState{}
-			}
-			buckets[key] = b
-			order = append(order, key)
-		}
-		for i, node := range aggNodes {
-			if err := ex.accumulate(b.states[i], node, ec); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	// With no GROUP BY, aggregates over zero rows still yield one group.
-	if len(groupBy) == 0 && len(order) == 0 {
-		b := &bucket{g: &group{rep: nil}, states: make([]*aggState, len(aggNodes))}
-		for i := range b.states {
-			b.states[i] = &aggState{}
-		}
-		buckets[""] = b
-		order = append(order, "")
-	}
-
-	groups := make([]*group, 0, len(order))
-	for _, key := range order {
-		b := buckets[key]
-		b.g.aggs = make(map[*FuncCall]storage.Value, len(aggNodes))
-		for i, node := range aggNodes {
-			b.g.aggs[node] = finishAggregate(node, b.states[i])
-		}
-		if b.g.rep == nil {
-			b.g.rep = make(joined, 0)
-		}
-		groups = append(groups, b.g)
-	}
-	return groups, nil
 }
 
 func (ex *executor) accumulate(st *aggState, node *FuncCall, ec *evalCtx) error {

@@ -59,7 +59,7 @@ var keywords = map[string]bool{
 	"TABLE": true, "INDEX": true, "UNIQUE": true, "DROP": true,
 	"PRIMARY": true, "KEY": true, "DEFAULT": true, "USING": true,
 	"HASH": true, "BTREE": true, "CAST": true, "EXISTS": true,
-	"UNION": true, "IF": true,
+	"UNION": true, "IF": true, "EXPLAIN": true,
 }
 
 // Error is a SQL-layer error carrying the offending position.

@@ -9,4 +9,10 @@ var (
 	mSQLStatements = obs.GetCounter("odbis_sql_statements_total")
 	mSQLRows       = obs.GetCounter("odbis_sql_rows_scanned_total")
 	mSQLYields     = obs.GetCounter("odbis_sql_checkpoint_yields_total")
+
+	// Plan-cache traffic (plancache.go): hits reuse a compiled plan,
+	// misses pay parse+plan, evictions are capacity-driven LRU drops.
+	mPlanCacheHits      = obs.GetCounter("odbis_sql_plan_cache_hits_total")
+	mPlanCacheMisses    = obs.GetCounter("odbis_sql_plan_cache_misses_total")
+	mPlanCacheEvictions = obs.GetCounter("odbis_sql_plan_cache_evictions_total")
 )

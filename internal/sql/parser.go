@@ -90,6 +90,16 @@ func (p *parser) parseStatement() (Statement, error) {
 	switch t.text {
 	case "SELECT":
 		return p.parseSelect()
+	case "EXPLAIN":
+		p.next()
+		if p.peek().kind != tokKeyword || p.peek().text != "SELECT" {
+			return nil, errf(p.peek().pos, "EXPLAIN supports SELECT statements only")
+		}
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Sel: sel}, nil
 	case "INSERT":
 		return p.parseInsert()
 	case "UPDATE":

@@ -12,6 +12,8 @@ func RewriteTables(stmt Statement, fn func(string) string) Statement {
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		return rewriteSelect(s, fn)
+	case *ExplainStmt:
+		return &ExplainStmt{Sel: rewriteSelect(s.Sel, fn)}
 	case *InsertStmt:
 		ns := *s
 		ns.Table = fn(s.Table)

@@ -1,0 +1,776 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// This file is the execution phase of the read path. It runs a compiled
+// *Plan (planner.go) batch-at-a-time: operators pull column-major
+// storage.Batch blocks from each other instead of materializing one
+// []Row slice per operator, and expression evaluation binds directly to
+// the batch's column slices through a reused rowView — no per-row
+// environment allocation. The cooperative-cancellation cadence is
+// unchanged: executor.step() still runs once per row.
+
+// execBatchRows is the target row count per batch. Joins may overshoot
+// when one probe row matches many build rows; batches grow as needed.
+const execBatchRows = 256
+
+// rowView adapts the batch world to the expression evaluator: it owns
+// one rowEnv whose bindings point either at batch columns (with a
+// shared row cursor) or at a row-major storage.Row, plus one evalCtx.
+// Operators reposition the view instead of allocating envs per row.
+type rowView struct {
+	env    rowEnv
+	ec     evalCtx
+	cur    int
+	colOff []int
+}
+
+func (ex *executor) newRowView(bindings []binding, colOff []int, outer *rowEnv, params []storage.Value) *rowView {
+	v := &rowView{colOff: colOff}
+	v.env.outer = outer
+	v.env.tables = make([]boundTable, len(bindings))
+	for i, b := range bindings {
+		v.env.tables[i] = boundTable{name: b.name, cols: b.cols, cur: &v.cur}
+	}
+	v.ec = evalCtx{row: &v.env, params: params, exec: ex, now: ex.now}
+	return v
+}
+
+// bindBatch points the first n bindings at b's columns (laid out at
+// colOff). The view then reads row v.cur of the batch.
+func (v *rowView) bindBatch(b *storage.Batch, n int) {
+	for i := 0; i < n; i++ {
+		bt := &v.env.tables[i]
+		bt.bcols = b.Cols[v.colOff[i] : v.colOff[i]+len(bt.cols)]
+		bt.vals = nil
+	}
+}
+
+// setRow puts binding i into row-major mode over vals. A nil vals reads
+// every column as NULL (null-extended LEFT side, empty group).
+func (v *rowView) setRow(i int, vals storage.Row) {
+	bt := &v.env.tables[i]
+	bt.bcols = nil
+	bt.vals = vals
+}
+
+// bindFlat points every binding at its slice of one flattened joined
+// row (a group representative). A nil row reads as all-NULL.
+func (v *rowView) bindFlat(row storage.Row) {
+	for i := range v.env.tables {
+		if row == nil {
+			v.setRow(i, nil)
+			continue
+		}
+		off := v.colOff[i]
+		v.setRow(i, row[off:off+len(v.env.tables[i].cols)])
+	}
+}
+
+// cursor is a pull-based batch operator. next returns nil at end of
+// input; the returned batch is owned by the cursor and valid until the
+// following next or close call.
+type cursor interface {
+	next() (*storage.Batch, error)
+	close()
+}
+
+// constCursor emits the single empty row of a FROM-less SELECT.
+type constCursor struct {
+	ex   *executor
+	out  *storage.Batch
+	done bool
+}
+
+func (c *constCursor) next() (*storage.Batch, error) {
+	if c.done {
+		return nil, nil
+	}
+	c.done = true
+	c.out = c.ex.pool.Get(0)
+	c.out.SetLen(1)
+	return c.out, nil
+}
+
+func (c *constCursor) close() {
+	c.ex.pool.Put(c.out)
+	c.out = nil
+}
+
+// scanCursor reads the base table. Full scans stream through a
+// storage.BatchScanner; index paths evaluate the planned key
+// expressions once per execution and materialize the matching rows up
+// front (index lookups are snapshot reads, same as the row executor
+// did). A key expression that fails to evaluate degrades to a full
+// scan — mirroring the pre-planner behavior where a non-evaluable
+// bound never became an index path in the first place.
+type scanCursor struct {
+	ex     *executor
+	step   *scanStep
+	params []storage.Value
+
+	opened bool
+	out    *storage.Batch
+	sc     *storage.BatchScanner // full-scan mode
+	rows   []storage.Row         // index mode
+	pos    int
+}
+
+func (c *scanCursor) open() error {
+	c.out = c.ex.pool.Get(c.step.width)
+	access := c.step.access
+	var key []storage.Value
+	var lo, hi []storage.Value
+	if access == accessIndexEq || access == accessIndexRange {
+		ec := &evalCtx{params: c.params, now: c.ex.now}
+		ok := true
+		eval1 := func(e Expr) storage.Value {
+			if !ok || e == nil {
+				return nil
+			}
+			v, err := ec.eval(e)
+			if err != nil {
+				ok = false
+				return nil
+			}
+			return v
+		}
+		switch access {
+		case accessIndexEq:
+			key = make([]storage.Value, len(c.step.eqKey))
+			for i, e := range c.step.eqKey {
+				key[i] = eval1(e)
+			}
+		case accessIndexRange:
+			if c.step.lo != nil {
+				if v := eval1(c.step.lo); ok {
+					lo = []storage.Value{v}
+				}
+			}
+			if c.step.hi != nil {
+				if v := eval1(c.step.hi); ok {
+					hi = []storage.Value{v}
+				}
+			}
+		}
+		if !ok {
+			access = accessFull
+		}
+	}
+	collect := func(rid storage.RID, row storage.Row) bool {
+		c.rows = append(c.rows, row)
+		return true
+	}
+	switch access {
+	case accessIndexEq:
+		return c.ex.tx.LookupEqual(c.step.table, c.step.index, key, collect)
+	case accessIndexRange:
+		return c.ex.tx.ScanRange(c.step.table, c.step.index, lo, hi, collect)
+	default:
+		sc, err := c.ex.tx.NewBatchScanner(c.step.table)
+		if err != nil {
+			return err
+		}
+		c.sc = sc
+		return nil
+	}
+}
+
+func (c *scanCursor) next() (*storage.Batch, error) {
+	if !c.opened {
+		c.opened = true
+		if err := c.open(); err != nil {
+			return nil, err
+		}
+	}
+	if c.sc != nil {
+		n, err := c.sc.Next(c.out, execBatchRows)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		return c.out, nil
+	}
+	if c.pos >= len(c.rows) {
+		return nil, nil
+	}
+	c.out.Reset(c.step.width)
+	for c.pos < len(c.rows) && c.out.Len() < execBatchRows {
+		c.out.PushRow(c.rows[c.pos])
+		c.pos++
+	}
+	return c.out, nil
+}
+
+func (c *scanCursor) close() {
+	c.ex.pool.Put(c.out)
+	c.out = nil
+}
+
+// joinCursor joins the left input with one more table. Hash joins
+// build a map over the new table keyed by the planned equi-key; other
+// joins nest-loop over the materialized right rows. Output batches
+// carry the widened row: left columns then the new table's.
+type joinCursor struct {
+	ex     *executor
+	left   cursor
+	js     *joinStep
+	sp     *selectPlan
+	lidx   int // index of the new binding; left is bindings[:lidx]
+	lw     int // left row width
+	params []storage.Value
+	outer  *rowEnv
+
+	opened bool
+	out    *storage.Batch
+	rights []storage.Row
+	table  map[string][]int // hash mode: EncodeKey(newKey) -> rights indexes
+
+	lview  *rowView // left-prefix view (hash probe key)
+	onview *rowView // full view incl. the new table (nested ON)
+
+	lb   *storage.Batch
+	lpos int
+}
+
+func (c *joinCursor) open() error {
+	c.out = c.ex.pool.Get(c.lw + c.js.scan.width)
+	err := c.ex.tx.Scan(c.js.scan.table, func(rid storage.RID, row storage.Row) bool {
+		c.rights = append(c.rights, row)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if c.js.hash {
+		c.lview = c.ex.newRowView(c.sp.bindings[:c.lidx], c.sp.colOff[:c.lidx], c.outer, c.params)
+		c.table = make(map[string][]int, len(c.rights))
+		rview := c.ex.newRowView(c.sp.bindings[c.lidx:c.lidx+1], []int{0}, nil, c.params)
+		for i, rr := range c.rights {
+			if err := c.ex.step(); err != nil {
+				return err
+			}
+			rview.setRow(0, rr)
+			kv, err := rview.ec.eval(c.js.newKey)
+			if err != nil {
+				return err
+			}
+			if kv == nil {
+				continue // NULL keys never join
+			}
+			k := storage.EncodeKey(kv)
+			c.table[k] = append(c.table[k], i)
+		}
+	} else {
+		c.onview = c.ex.newRowView(c.sp.bindings[:c.lidx+1], c.sp.colOff[:c.lidx+1], c.outer, c.params)
+	}
+	return nil
+}
+
+func (c *joinCursor) next() (*storage.Batch, error) {
+	if !c.opened {
+		c.opened = true
+		if err := c.open(); err != nil {
+			return nil, err
+		}
+	}
+	c.out.Reset(c.lw + c.js.scan.width)
+	for c.out.Len() < execBatchRows {
+		if c.lb == nil || c.lpos >= c.lb.Len() {
+			lb, err := c.left.next()
+			if err != nil {
+				return nil, err
+			}
+			if lb == nil {
+				if c.out.Len() == 0 {
+					return nil, nil
+				}
+				return c.out, nil
+			}
+			c.lb = lb
+			c.lpos = 0
+			if c.lview != nil {
+				c.lview.bindBatch(lb, c.lidx)
+			}
+			if c.onview != nil {
+				c.onview.bindBatch(lb, c.lidx)
+			}
+			continue
+		}
+		r := c.lpos
+		c.lpos++
+		if c.js.hash {
+			if err := c.ex.step(); err != nil {
+				return nil, err
+			}
+			c.lview.cur = r
+			kv, err := c.lview.ec.eval(c.js.oldKey)
+			if err != nil {
+				return nil, err
+			}
+			matched := false
+			if kv != nil {
+				for _, ri := range c.table[storage.EncodeKey(kv)] {
+					c.emit(r, c.rights[ri])
+					matched = true
+				}
+			}
+			if !matched && c.js.kind == JoinLeft {
+				c.emit(r, nil)
+			}
+			continue
+		}
+		// Nested loop (and CROSS, whose nil ON matches every pair).
+		c.onview.cur = r
+		matched := false
+		for _, rr := range c.rights {
+			if err := c.ex.step(); err != nil {
+				return nil, err
+			}
+			if c.js.on != nil {
+				c.onview.setRow(c.lidx, rr)
+				ok, err := c.onview.ec.evalBool(c.js.on)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			c.emit(r, rr)
+			matched = true
+		}
+		if !matched && c.js.kind == JoinLeft {
+			c.emit(r, nil)
+		}
+	}
+	return c.out, nil
+}
+
+// emit appends left row r of the current left batch, widened with
+// right (nil = null-extended), to the output batch.
+func (c *joinCursor) emit(r int, right storage.Row) {
+	out := c.out
+	for col := 0; col < c.lw; col++ {
+		out.Cols[col] = append(out.Cols[col], c.lb.Cols[col][r])
+	}
+	rw := c.js.scan.width
+	for col := 0; col < rw; col++ {
+		if right == nil {
+			out.Cols[c.lw+col] = append(out.Cols[c.lw+col], nil)
+		} else {
+			out.Cols[c.lw+col] = append(out.Cols[c.lw+col], right[col])
+		}
+	}
+	out.SetLen(out.Len() + 1)
+}
+
+func (c *joinCursor) close() {
+	c.left.close()
+	c.ex.pool.Put(c.out)
+	c.out = nil
+}
+
+// filterCursor applies the WHERE predicate, compacting each batch in
+// place — surviving rows shift down and the batch length shrinks.
+type filterCursor struct {
+	ex    *executor
+	src   cursor
+	where Expr
+	view  *rowView
+	n     int // binding count
+}
+
+func (c *filterCursor) next() (*storage.Batch, error) {
+	for {
+		b, err := c.src.next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		c.view.bindBatch(b, c.n)
+		w := 0
+		for r := 0; r < b.Len(); r++ {
+			if err := c.ex.step(); err != nil {
+				return nil, err
+			}
+			c.view.cur = r
+			ok, err := c.view.ec.evalBool(c.where)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			if w != r {
+				for col := range b.Cols {
+					b.Cols[col][w] = b.Cols[col][r]
+				}
+			}
+			w++
+		}
+		if w > 0 {
+			b.SetLen(w)
+			return b, nil
+		}
+	}
+}
+
+func (c *filterCursor) close() { c.src.close() }
+
+// buildPipeline assembles the operator tree for one plan arm:
+// scan → joins → filter.
+func (ex *executor) buildPipeline(sp *selectPlan, params []storage.Value, outer *rowEnv) cursor {
+	var cur cursor
+	if sp.base.access == accessConst {
+		cur = &constCursor{ex: ex}
+	} else {
+		cur = &scanCursor{ex: ex, step: &sp.base, params: params}
+	}
+	for i := range sp.joins {
+		cur = &joinCursor{
+			ex:     ex,
+			left:   cur,
+			js:     &sp.joins[i],
+			sp:     sp,
+			lidx:   i + 1,
+			lw:     sp.colOff[i+1],
+			params: params,
+			outer:  outer,
+		}
+	}
+	if sp.where != nil {
+		cur = &filterCursor{
+			ex:    ex,
+			src:   cur,
+			where: sp.where,
+			view:  ex.newRowView(sp.bindings, sp.colOff, outer, params),
+			n:     len(sp.bindings),
+		}
+	}
+	return cur
+}
+
+// execPlan runs a compiled plan: one core, or a UNION chain combined
+// left to right with the union-level ORDER BY/LIMIT applied last.
+func (ex *executor) execPlan(p *Plan, params []storage.Value, outer *rowEnv) (*Result, error) {
+	if len(p.arms) == 1 {
+		return ex.execCore(p.arms[0], params, outer)
+	}
+	first, err := ex.execCore(p.arms[0], params, outer)
+	if err != nil {
+		return nil, err
+	}
+	acc := first.Rows
+	for i := 1; i < len(p.arms); i++ {
+		right, err := ex.execCore(p.arms[i], params, outer)
+		if err != nil {
+			return nil, err
+		}
+		acc = append(acc, right.Rows...)
+		if !p.unionAll[i-1] {
+			seen := make(map[string]bool, len(acc))
+			dedup := acc[:0]
+			for _, row := range acc {
+				k := storage.EncodeKey(row...)
+				if !seen[k] {
+					seen[k] = true
+					dedup = append(dedup, row)
+				}
+			}
+			acc = dedup
+		}
+	}
+	if len(p.orderKeys) > 0 {
+		storage.SortRows(acc, p.orderKeys)
+	}
+	if p.limit != nil || p.offset != nil {
+		lim, off, err := ex.evalLimitOffset(p.limit, p.offset, params)
+		if err != nil {
+			return nil, err
+		}
+		if off > len(acc) {
+			off = len(acc)
+		}
+		acc = acc[off:]
+		if lim >= 0 && lim < len(acc) {
+			acc = acc[:lim]
+		}
+	}
+	return &Result{Columns: p.columns, Rows: acc, Plan: p.access}, nil
+}
+
+// execCore runs one plan arm end to end: pipeline, optional grouping,
+// projection, DISTINCT, ORDER BY, LIMIT.
+func (ex *executor) execCore(sp *selectPlan, params []storage.Value, outer *rowEnv) (*Result, error) {
+	cur := ex.buildPipeline(sp, params, outer)
+	defer cur.close()
+
+	view := ex.newRowView(sp.bindings, sp.colOff, outer, params)
+
+	type outRow struct {
+		vals storage.Row
+		keys storage.Row // ORDER BY sort keys
+	}
+	var outs []outRow
+
+	project := func(ec *evalCtx) error {
+		vals := make(storage.Row, len(sp.items))
+		for i, item := range sp.items {
+			v, err := ec.eval(item.Expr)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		var keys storage.Row
+		if len(sp.orderBy) > 0 {
+			keys = make(storage.Row, len(sp.orderBy))
+			for i, oe := range sp.orderBy {
+				v, err := ec.eval(oe)
+				if err != nil {
+					return err
+				}
+				keys[i] = v
+			}
+		}
+		outs = append(outs, outRow{vals: vals, keys: keys})
+		return nil
+	}
+
+	if sp.grouped {
+		groups, err := ex.groupBatches(cur, sp, view)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range groups {
+			if err := ex.step(); err != nil {
+				return nil, err
+			}
+			view.bindFlat(g.rep)
+			view.ec.aggs = g.aggs
+			if sp.having != nil {
+				ok, err := view.ec.evalBool(sp.having)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			if err := project(&view.ec); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for {
+			b, err := cur.next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			view.bindBatch(b, len(sp.bindings))
+			for r := 0; r < b.Len(); r++ {
+				if err := ex.step(); err != nil {
+					return nil, err
+				}
+				view.cur = r
+				if err := project(&view.ec); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// DISTINCT.
+	if sp.distinct {
+		seen := make(map[string]bool, len(outs))
+		dedup := outs[:0]
+		for _, o := range outs {
+			k := storage.EncodeKey(o.vals...)
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, o)
+			}
+		}
+		outs = dedup
+	}
+
+	// ORDER BY. Sorting is not interruptible mid-comparison, so the
+	// checkpoint runs once before the sort starts.
+	if len(sp.orderBy) > 0 {
+		if ex.ctx != nil {
+			if err := ex.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		sort.SliceStable(outs, func(i, j int) bool {
+			for k := range sp.orderBy {
+				c := storage.Compare(outs[i].keys[k], outs[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if sp.orderDsc[k] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	// LIMIT / OFFSET.
+	if sp.limit != nil || sp.offset != nil {
+		lim, off, err := ex.evalLimitOffset(sp.limit, sp.offset, params)
+		if err != nil {
+			return nil, err
+		}
+		if off > len(outs) {
+			off = len(outs)
+		}
+		outs = outs[off:]
+		if lim >= 0 && lim < len(outs) {
+			outs = outs[:lim]
+		}
+	}
+
+	res := &Result{Columns: sp.columns, Plan: sp.access}
+	res.Rows = make([]storage.Row, len(outs))
+	for i, o := range outs {
+		res.Rows[i] = o.vals
+	}
+	return res, nil
+}
+
+// vgroup accumulates one GROUP BY bucket: the flattened representative
+// row (nil for the synthetic empty group of an aggregate over zero
+// rows) and the finished aggregate values.
+type vgroup struct {
+	rep  storage.Row
+	aggs map[*FuncCall]storage.Value
+}
+
+func (ex *executor) groupBatches(cur cursor, sp *selectPlan, view *rowView) ([]*vgroup, error) {
+	type bucket struct {
+		g      *vgroup
+		states []*aggState
+	}
+	order := make([]string, 0, 16)
+	buckets := map[string]*bucket{}
+	keyVals := make(storage.Row, len(sp.groupBy))
+
+	for {
+		b, err := cur.next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		view.bindBatch(b, len(sp.bindings))
+		for r := 0; r < b.Len(); r++ {
+			if err := ex.step(); err != nil {
+				return nil, err
+			}
+			view.cur = r
+			for i, ge := range sp.groupBy {
+				v, err := view.ec.eval(ge)
+				if err != nil {
+					return nil, err
+				}
+				keyVals[i] = v
+			}
+			key := ""
+			if len(sp.groupBy) > 0 {
+				key = storage.EncodeKey(keyVals...)
+			}
+			bk, ok := buckets[key]
+			if !ok {
+				bk = &bucket{
+					g:      &vgroup{rep: flattenRow(b, r, sp.width)},
+					states: make([]*aggState, len(sp.aggs)),
+				}
+				for i := range bk.states {
+					bk.states[i] = &aggState{}
+				}
+				buckets[key] = bk
+				order = append(order, key)
+			}
+			for i, node := range sp.aggs {
+				if err := ex.accumulate(bk.states[i], node, &view.ec); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// With no GROUP BY, aggregates over zero rows still yield one group.
+	if len(sp.groupBy) == 0 && len(order) == 0 {
+		bk := &bucket{g: &vgroup{}, states: make([]*aggState, len(sp.aggs))}
+		for i := range bk.states {
+			bk.states[i] = &aggState{}
+		}
+		buckets[""] = bk
+		order = append(order, "")
+	}
+
+	groups := make([]*vgroup, 0, len(order))
+	for _, key := range order {
+		bk := buckets[key]
+		bk.g.aggs = make(map[*FuncCall]storage.Value, len(sp.aggs))
+		for i, node := range sp.aggs {
+			bk.g.aggs[node] = finishAggregate(node, bk.states[i])
+		}
+		groups = append(groups, bk.g)
+	}
+	return groups, nil
+}
+
+// flattenRow copies row r of b into a fresh row-major Row.
+func flattenRow(b *storage.Batch, r, width int) storage.Row {
+	row := make(storage.Row, width)
+	for c := 0; c < width; c++ {
+		row[c] = b.Cols[c][r]
+	}
+	return row
+}
+
+// evalLimitOffset evaluates LIMIT/OFFSET expressions (lim -1 = none).
+func (ex *executor) evalLimitOffset(limitE, offsetE Expr, params []storage.Value) (lim, off int, err error) {
+	lim = -1
+	ec := &evalCtx{params: params, now: ex.now}
+	if limitE != nil {
+		v, err := ec.eval(limitE)
+		if err != nil {
+			return 0, 0, err
+		}
+		n, ok := v.(int64)
+		if !ok || n < 0 {
+			return 0, 0, fmt.Errorf("sql: LIMIT must be a non-negative integer")
+		}
+		lim = int(n)
+	}
+	if offsetE != nil {
+		v, err := ec.eval(offsetE)
+		if err != nil {
+			return 0, 0, err
+		}
+		n, ok := v.(int64)
+		if !ok || n < 0 {
+			return 0, 0, fmt.Errorf("sql: OFFSET must be a non-negative integer")
+		}
+		off = int(n)
+	}
+	return lim, off, nil
+}

@@ -196,6 +196,39 @@ type Engine struct {
 
 	statsReads  atomic.Uint64
 	statsWrites atomic.Uint64
+
+	// schemaEpoch counts DDL changes (table or index create/drop).
+	// The SQL layer stamps cached plans with the epoch they were
+	// planned under and treats any mismatch as a cache miss, so one
+	// atomic compare is the whole invalidation protocol.
+	schemaEpoch atomic.Uint64
+
+	attachMu sync.Mutex
+	//odbis:guardedby attachMu
+	attach map[any]any
+}
+
+// SchemaEpoch returns the current schema epoch. Every DDL operation
+// (CREATE/DROP TABLE, CREATE/DROP INDEX) bumps it; consumers that
+// cache schema-derived artifacts revalidate by comparing epochs.
+func (e *Engine) SchemaEpoch() uint64 { return e.schemaEpoch.Load() }
+
+// Attachment returns the per-engine singleton stored under key,
+// creating it with mk on first use. Layers above storage use this to
+// share engine-lifetime state (e.g. the SQL plan cache) across
+// independently constructed handles onto the same engine.
+func (e *Engine) Attachment(key any, mk func() any) any {
+	e.attachMu.Lock()
+	defer e.attachMu.Unlock()
+	if e.attach == nil {
+		e.attach = make(map[any]any)
+	}
+	v, ok := e.attach[key]
+	if !ok {
+		v = mk()
+		e.attach[key] = v
+	}
+	return v
 }
 
 // Open creates or recovers an engine. With a non-empty Options.Dir the
@@ -343,6 +376,7 @@ func (e *Engine) CreateTable(s *Schema) error {
 			return err
 		}
 	}
+	e.schemaEpoch.Add(1)
 	return nil
 }
 
@@ -358,6 +392,7 @@ func (e *Engine) DropTable(name string) error {
 		return fmt.Errorf("%w: %s", ErrNoTable, name)
 	}
 	delete(e.tables, key)
+	e.schemaEpoch.Add(1)
 	if e.wal != nil {
 		return e.wal.logDropTable(name)
 	}
@@ -465,6 +500,7 @@ func (e *Engine) CreateIndex(info IndexInfo) error {
 		}
 	}
 	t.indexes[key] = ix
+	e.schemaEpoch.Add(1)
 	if e.wal != nil {
 		return e.wal.logCreateIndex(info)
 	}
@@ -489,6 +525,7 @@ func (e *Engine) DropIndex(tableName, indexName string) error {
 		return fmt.Errorf("storage: cannot drop primary key index %s", indexName)
 	}
 	delete(t.indexes, key)
+	e.schemaEpoch.Add(1)
 	if e.wal != nil {
 		return e.wal.logDropIndex(tableName, indexName)
 	}

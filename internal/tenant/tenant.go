@@ -412,15 +412,7 @@ func (c *Catalog) logical(physical string) string {
 // bounds the statement: cancellation or deadline expiry aborts execution
 // at the next row checkpoint and the transaction rolls back.
 func (c *Catalog) Query(ctx context.Context, query string, args ...storage.Value) (*sql.Result, error) {
-	stmt, err := sql.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	if err := c.checkQuota(ctx, stmt); err != nil {
-		return nil, err
-	}
-	rewritten := sql.RewriteTables(stmt, c.physical)
-	res, err := c.db.QueryStatementContext(ctx, rewritten, args...)
+	res, err := c.query(ctx, query, args)
 	if err != nil {
 		return nil, err
 	}
@@ -429,6 +421,38 @@ func (c *Catalog) Query(ctx context.Context, query string, args ...storage.Value
 		c.reg.Record(c.id, MetricRowsLoaded, int64(res.Affected))
 	}
 	return res, nil
+}
+
+func (c *Catalog) query(ctx context.Context, query string, args []storage.Value) (*sql.Result, error) {
+	// Prepared fast path: a SELECT this tenant has run before skips
+	// parse and rewrite entirely — the cache is keyed by (tenant, text)
+	// and stores the already-namespaced statement. Suspension and plan
+	// validity are still re-checked on every call.
+	if st, ok := c.db.CachedSelect(c.id, query); ok {
+		if err := c.checkQuota(ctx, st.Statement()); err != nil {
+			return nil, err
+		}
+		return st.QueryContext(ctx, args...)
+	}
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.checkQuota(ctx, stmt); err != nil {
+		return nil, err
+	}
+	rewritten := sql.RewriteTables(stmt, c.physical)
+	if sel, ok := rewritten.(*sql.SelectStmt); ok {
+		return c.db.PrepareSelect(c.id, query, sel).QueryContext(ctx, args...)
+	}
+	return c.db.QueryStatementContext(ctx, rewritten, args...)
+}
+
+// HasCachedSelect reports whether query is a SELECT already compiled
+// into this tenant's plan cache. The metadata service uses this to
+// classify repeated dashboard queries without re-parsing them.
+func (c *Catalog) HasCachedSelect(query string) bool {
+	return c.db.HasCachedSelect(c.id, query)
 }
 
 // Exec is Query returning only the affected count.

@@ -7,20 +7,25 @@
 # fault-point fast path (BenchmarkPointDisabled must stay in the
 # single-nanosecond range so disabled points cost <1% on the E1
 # end-to-end figures), and the admission-control middleware
-# (BenchmarkAdmissionOverhead unlimited vs maxInFlight64), and the obs
+# (BenchmarkAdmissionOverhead unlimited vs maxInFlight64), the obs
 # subsystem (BenchmarkCounterAddDisabled must stay ≤ ~10 ns so disarmed
 # metric sites are free; BenchmarkSpanActive/SpanNoTrace bound the span
 # cost on and off the traced path — together they keep the E1 end-to-end
-# delta under 1%). Each benchmark runs BENCH_COUNT times and the minimum
-# ns/op is recorded — the min is the noise-robust estimator on shared CI
+# delta under 1%), and the compiled read path (BenchmarkPlanCacheHit vs
+# Miss is the parse+plan cost the plan cache removes per request;
+# BenchmarkVectorScan vs RowScan is the batch-at-a-time storage edge;
+# the E1 figure reports a hit_ratio column that perf_gate.sh holds at
+# ≥ 0.90, and the _NoPlanCache variant is the cached-vs-uncached A/B).
+# Each benchmark runs BENCH_COUNT times and the minimum ns/op is
+# recorded — the min is the noise-robust estimator on shared CI
 # hardware, where a single pass showed ±10% swings that dwarf the effect
-# being measured. Output file defaults to BENCH_PR7.json at the repo
+# being measured. Output file defaults to BENCH_PR8.json at the repo
 # root; override with BENCH_OUT.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR7.json}"
+OUT="${BENCH_OUT:-BENCH_PR8.json}"
 PKGS="${BENCH_PKGS:-./internal/analysis/ ./internal/sql/ ./internal/olap/ ./internal/fault/ ./internal/obs/ ./internal/server/}"
 # The experiment hot paths the context-first refactor must not regress:
 # E1 (Fig. 1 end-to-end request) and E5 (Fig. 4 per-layer overhead).
@@ -34,15 +39,16 @@ echo "==> go test -bench (${PKGS} + root ${ROOT_BENCH}) -> ${OUT}"
 	awk -v out="$OUT" '
 	/^Benchmark/ {
 		name = $1; iters = $2; ns = $3 + 0
-		bop = "null"; aop = "null"
+		bop = "null"; aop = "null"; hr = "null"
 		for (i = 4; i <= NF; i++) {
 			if ($i == "B/op") bop = $(i - 1)
 			if ($i == "allocs/op") aop = $(i - 1)
+			if ($i == "hit_ratio") hr = $(i - 1)
 		}
 		if (!(name in min_ns)) { order[n++] = name }
 		if (!(name in min_ns) || ns < min_ns[name]) {
 			min_ns[name] = ns; best_it[name] = iters
-			best_b[name] = bop; best_a[name] = aop
+			best_b[name] = bop; best_a[name] = aop; best_h[name] = hr
 		}
 	}
 	{ print }
@@ -51,8 +57,8 @@ echo "==> go test -bench (${PKGS} + root ${ROOT_BENCH}) -> ${OUT}"
 		printf "[\n" > out
 		for (i = 0; i < n; i++) {
 			name = order[i]
-			printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-				name, best_it[name], min_ns[name], best_b[name], best_a[name], (i < n - 1 ? "," : "") >> out
+			printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"hit_ratio\": %s}%s\n", \
+				name, best_it[name], min_ns[name], best_b[name], best_a[name], best_h[name], (i < n - 1 ? "," : "") >> out
 		}
 		printf "]\n" >> out
 	}

@@ -61,10 +61,14 @@ go test -race ./internal/bus/ ./internal/etl/ ./internal/storage/ ./internal/ten
 
 # The fault suite re-runs under -race explicitly: panic recovery, bus
 # redelivery, admission control and the child-process crash matrix are
-# exactly the code the race detector exists for.
-echo "==> fault-injection suite under -race"
-go test -race -run 'Fault|Crash|TornTail|Panic|Admission|Redeliver|DeadLetter' \
-	./internal/fault/ ./internal/storage/ ./internal/bus/ ./internal/etl/ ./internal/server/
+# exactly the code the race detector exists for. PlanCacheCoherent is
+# the plan-cache coherence test (DDL churning an index under concurrent
+# cached reads) — the epoch check, the per-entry replan lock, and the
+# LRU mutex are all load-bearing exactly there.
+echo "==> fault-injection + cache-coherence suite under -race"
+go test -race -run 'Fault|Crash|TornTail|Panic|Admission|Redeliver|DeadLetter|PlanCacheCoherent' \
+	./internal/fault/ ./internal/storage/ ./internal/bus/ ./internal/etl/ ./internal/server/ \
+	./internal/sql/
 
 
 # Perf regression gate: re-run the benchmark harness and compare against

@@ -2,11 +2,18 @@
 # Performance regression gate: compares a fresh bench.sh JSON against the
 # ceilings in scripts/perf_budget.json and fails when any gated benchmark
 # exceeds its budget. The budget is a hard ceiling derived from the
-# recorded baselines (BENCH_PR5.json / BENCH_PR6.json) and the cost
-# contracts in DESIGN.md §10 — not last night's number, so routine noise
-# does not move it. ODBIS_PERF_TOLERANCE (default 0.25) widens every
-# ceiling multiplicatively for slow shared hardware: pass iff
-#   fresh_ns <= max_ns_per_op * (1 + tolerance).
+# recorded baselines (BENCH_PR5.json .. BENCH_PR8.json) and the cost
+# contracts in DESIGN.md §10–11 — not last night's number, so routine
+# noise does not move it. A budget row can gate three quantities:
+#
+#   max_ns_per_op     — wall time; ODBIS_PERF_TOLERANCE (default 0.25)
+#                       widens this ceiling multiplicatively for slow
+#                       shared hardware: pass iff
+#                       fresh_ns <= max_ns_per_op * (1 + tolerance).
+#   max_allocs_per_op — allocation count; deterministic for a fixed
+#                       workload, so NO tolerance is applied.
+#   min_hit_ratio     — plan-cache hit ratio (a ReportMetric column);
+#                       a floor, not a ceiling, and also untolerated.
 #
 # Usage: perf_gate.sh <fresh-bench.json> [budget.json]
 set -eu
@@ -20,8 +27,8 @@ TOL="${ODBIS_PERF_TOLERANCE:-0.25}"
 [ -r "$FRESH" ] || { echo "perf_gate: cannot read $FRESH" >&2; exit 2; }
 [ -r "$BUDGET" ] || { echo "perf_gate: cannot read $BUDGET" >&2; exit 2; }
 
-# Both files hold one {"name": ..., "..._ns_per_op": ...} object per
-# line (bench.sh's awk emitter and the hand-maintained budget), so a
+# Both files hold one {"name": ..., "..._per_op": ...} object per line
+# (bench.sh's awk emitter and the hand-maintained budget), so a
 # line-oriented awk join is enough — no JSON parser needed.
 # Files are classified by FILENAME, not by "first line seen": an empty
 # fresh file must read as "zero benchmarks measured" (a hard failure
@@ -37,12 +44,18 @@ awk -v tol="$TOL" -v freshfile="$FRESH" '
 		return s
 	}
 	FILENAME == freshfile && /"name"/ {
-		fresh[field($0, "name")] = field($0, "ns_per_op") + 0
+		name = field($0, "name")
+		fresh_ns[name] = field($0, "ns_per_op") + 0
+		fresh_allocs[name] = field($0, "allocs_per_op")
+		fresh_ratio[name] = field($0, "hit_ratio")
+		infresh[name] = 1
 		nfresh++
 	}
 	FILENAME != freshfile && /"name"/ {
 		name = field($0, "name")
-		budget[name] = field($0, "max_ns_per_op") + 0
+		max_ns[name] = field($0, "max_ns_per_op")
+		max_allocs[name] = field($0, "max_allocs_per_op")
+		min_ratio[name] = field($0, "min_hit_ratio")
 		why[name] = field($0, "why")
 		order[n++] = name
 	}
@@ -58,24 +71,50 @@ awk -v tol="$TOL" -v freshfile="$FRESH" '
 		bad = 0
 		for (i = 0; i < n; i++) {
 			name = order[i]
-			limit = budget[name] * (1 + tol)
-			if (!(name in fresh)) {
+			if (!(name in infresh)) {
 				printf "perf_gate: MISSING  %-45s (gated benchmark not in fresh output)\n", name
 				bad++
 				continue
 			}
-			if (fresh[name] > limit) {
-				printf "perf_gate: OVER     %-45s %12.1f ns/op > %.1f (budget %s ns +%d%%) — %s\n", \
-					name, fresh[name], limit, budget[name], tol * 100, why[name]
-				bad++
-			} else {
-				printf "perf_gate: ok       %-45s %12.1f ns/op <= %.1f\n", name, fresh[name], limit
+			if (max_ns[name] != "") {
+				limit = (max_ns[name] + 0) * (1 + tol)
+				if (fresh_ns[name] > limit) {
+					printf "perf_gate: OVER     %-45s %12.1f ns/op > %.1f (budget %s ns +%d%%) — %s\n", \
+						name, fresh_ns[name], limit, max_ns[name], tol * 100, why[name]
+					bad++
+				} else {
+					printf "perf_gate: ok       %-45s %12.1f ns/op <= %.1f\n", name, fresh_ns[name], limit
+				}
+			}
+			if (max_allocs[name] != "") {
+				if (fresh_allocs[name] == "" || fresh_allocs[name] == "null") {
+					printf "perf_gate: MISSING  %-45s (allocs gated but fresh run lacks allocs_per_op)\n", name
+					bad++
+				} else if (fresh_allocs[name] + 0 > max_allocs[name] + 0) {
+					printf "perf_gate: ALLOCS   %-45s %12s allocs/op > %s (no tolerance) — %s\n", \
+						name, fresh_allocs[name], max_allocs[name], why[name]
+					bad++
+				} else {
+					printf "perf_gate: ok       %-45s %12s allocs/op <= %s\n", name, fresh_allocs[name], max_allocs[name]
+				}
+			}
+			if (min_ratio[name] != "") {
+				if (fresh_ratio[name] == "" || fresh_ratio[name] == "null") {
+					printf "perf_gate: MISSING  %-45s (hit ratio gated but fresh run lacks hit_ratio)\n", name
+					bad++
+				} else if (fresh_ratio[name] + 0 < min_ratio[name] + 0) {
+					printf "perf_gate: RATIO    %-45s %12s hit_ratio < %s (floor, no tolerance) — %s\n", \
+						name, fresh_ratio[name], min_ratio[name], why[name]
+					bad++
+				} else {
+					printf "perf_gate: ok       %-45s %12s hit_ratio >= %s\n", name, fresh_ratio[name], min_ratio[name]
+				}
 			}
 		}
 		if (bad) {
-			printf "perf_gate: %d benchmark(s) over budget or missing\n", bad
+			printf "perf_gate: %d check(s) over budget or missing\n", bad
 			exit 1
 		}
-		printf "perf_gate: all %d gated benchmarks within budget (tolerance %.0f%%)\n", n, tol * 100
+		printf "perf_gate: all %d gated benchmarks within budget (ns tolerance %.0f%%)\n", n, tol * 100
 	}
 ' "$FRESH" "$BUDGET"
