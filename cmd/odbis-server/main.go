@@ -29,6 +29,10 @@ func main() {
 		maxInFlight = flag.Int("max-in-flight", 0, "maximum concurrently running API requests; beyond it requests are shed with 503 + Retry-After (0 = unlimited, /healthz always exempt)")
 		queueWait   = flag.Duration("queue-wait", 0, "how long an over-limit request may queue for an admission slot before shedding (0 = shed immediately)")
 		slowReq     = flag.Duration("slow-request", 0, "log and count any request slower than this (e.g. 500ms); 0 disables the slow-request log")
+		replicas    = flag.Int("replicas", 0, "number of in-process WAL-shipped read replicas; SELECTs route to a healthy, lag-bounded replica with automatic primary fallback (0 = disabled)")
+		replicaLag  = flag.Uint64("replica-max-lag", 0, "routing lag bound in WAL frames: a replica further behind serves no reads until it catches up (0 = default 1024)")
+		dlqCap      = flag.Int("bus-deadletter-cap", 0, "per-channel bus dead-letter queue bound; oldest letters drop beyond it (0 = default 128)")
+		traceRing   = flag.Int("trace-ring", 0, "in-memory request-trace history size (0 = default 128)")
 	)
 	flag.Parse()
 
@@ -39,14 +43,18 @@ func main() {
 	}
 
 	opts := odbis.Options{
-		DataDir:        *dataDir,
-		SyncFull:       *syncFull,
-		AdminUser:      *adminUser,
-		AdminPassword:  *adminPass,
-		RequestTimeout: *reqTimeout,
-		MaxInFlight:    *maxInFlight,
-		QueueWait:      *queueWait,
-		SlowRequest:    *slowReq,
+		DataDir:          *dataDir,
+		SyncFull:         *syncFull,
+		AdminUser:        *adminUser,
+		AdminPassword:    *adminPass,
+		RequestTimeout:   *reqTimeout,
+		MaxInFlight:      *maxInFlight,
+		QueueWait:        *queueWait,
+		SlowRequest:      *slowReq,
+		Replicas:         *replicas,
+		ReplicaMaxLag:    *replicaLag,
+		BusDeadLetterCap: *dlqCap,
+		TraceRingSize:    *traceRing,
 	}
 	if *tokenSecret != "" {
 		opts.TokenSecret = []byte(*tokenSecret)

@@ -83,6 +83,8 @@ func main() {
 		err = cmdTraces(c, args[1:])
 	case "deadletters":
 		err = c.getJSON("/api/admin/deadletters")
+	case "replica":
+		err = cmdReplica(c, args[1:])
 	case "fault":
 		err = cmdFault(c, args[1:])
 	case "vet":
@@ -113,6 +115,7 @@ commands:
   metrics [-prom]               platform metrics (JSON; -prom = raw Prometheus text)
   traces [-n N]                 recent request traces with per-layer timings
   deadletters                   parked bus messages awaiting inspection
+  replica status                read-replica fleet: state, apply position, lag, trips
   fault list                    show every fault point and its armed state
   fault arm SPEC                arm points, e.g. "storage.wal.sync=error:count=2"
   fault disarm NAME | reset     disarm one point / disarm everything
@@ -304,6 +307,15 @@ func cmdTraces(c *client, args []string) error {
 		path += fmt.Sprintf("?n=%d", *n)
 	}
 	return c.getJSON(path)
+}
+
+// cmdReplica inspects the WAL-shipped read-replica fleet. Requires an
+// admin token.
+func cmdReplica(c *client, args []string) error {
+	if len(args) < 1 || args[0] != "status" {
+		return fmt.Errorf("usage: odbisctl replica status")
+	}
+	return c.getJSON("/api/admin/replicas")
 }
 
 // cmdFault drives the admin fault-injection control surface: resilience

@@ -70,6 +70,19 @@ func fakeServer(t *testing.T) *httptest.Server {
 	mux.HandleFunc("DELETE /api/admin/faults/{name}", func(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(map[string]string{"status": "disarmed"})
 	})
+	mux.HandleFunc("GET /api/admin/replicas", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Authorization") != "Bearer tok-123" {
+			w.WriteHeader(http.StatusUnauthorized)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"enabled": true, "max_lag_frames": 1024, "primary_lsn": 42,
+			"replicas": []map[string]any{{
+				"name": "replica-0", "state": "healthy", "applied_lsn": 42,
+				"primary_lsn": 42, "lag_frames": 0, "trips": 1,
+			}},
+		})
+	})
 	ts := httptest.NewServer(mux)
 	t.Cleanup(ts.Close)
 	return ts
@@ -197,6 +210,32 @@ func TestCmdFault(t *testing.T) {
 		if err := cmdFault(c, bad); err == nil {
 			t.Errorf("cmdFault(%v) accepted", bad)
 		}
+	}
+}
+
+func TestCmdReplica(t *testing.T) {
+	ts := fakeServer(t)
+	c := &client{base: ts.URL, token: "tok-123"}
+	out, err := captureStdout(t, func() error {
+		return cmdReplica(c, []string{"status"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"replica-0", "healthy", "applied_lsn", "max_lag_frames"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replica status output missing %q:\n%s", want, out)
+		}
+	}
+	for _, bad := range [][]string{nil, {"restart"}} {
+		if err := cmdReplica(c, bad); err == nil {
+			t.Errorf("cmdReplica(%v) accepted", bad)
+		}
+	}
+	// Unauthorized surfaces as an error, not silent empty output.
+	unauth := &client{base: ts.URL, token: "nope"}
+	if err := cmdReplica(unauth, []string{"status"}); err == nil {
+		t.Error("unauthorized replica status accepted")
 	}
 }
 

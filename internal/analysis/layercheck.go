@@ -57,9 +57,13 @@ var layerDAG = map[string][]string{
 	"metamodel": {"etl", "obs", "storage"},
 	"mda":       {"metamodel", "obs"},
 	"mddws":     {"etl", "mda", "metamodel", "obs", "olap", "sql", "storage"},
+	// replica is the WAL-shipping follower layer: it consumes the storage
+	// engine's frame stream and reports into obs/fault, but knows nothing
+	// of SQL, tenants or services (the router above wires it in).
+	"replica": {"fault", "obs", "storage"},
 	"services": {"bpm", "bus", "etl", "fault", "mda", "metamodel", "mddws", "obs", "olap",
-		"report", "rules", "security", "sql", "storage", "tenant", "workload"},
-	"server":   {"fault", "obs", "olap", "report", "security", "services", "sql", "storage", "tenant"},
+		"replica", "report", "rules", "security", "sql", "storage", "tenant", "workload"},
+	"server":   {"fault", "obs", "olap", "replica", "report", "security", "services", "sql", "storage", "tenant"},
 	"analysis": {},
 }
 

@@ -80,11 +80,15 @@ type DeadLetter struct {
 	Attempts int
 }
 
-// dlqCap bounds each channel's dead-letter queue; beyond it the oldest
+// Each channel's dead-letter queue is bounded; beyond the cap the oldest
 // letter is dropped (the queue is a diagnostic buffer, not durable
 // storage — unbounded growth under a persistent failure would turn one
-// broken subscriber into a platform OOM).
-const dlqCap = 128
+// broken subscriber into a platform OOM). The default suits small
+// deployments; SetDeadLetterCap tunes it within [1, maxDeadLetterCap].
+const (
+	defaultDeadLetterCap = 128
+	maxDeadLetterCap     = 65536
+)
 
 type channel struct {
 	mu           sync.RWMutex
@@ -97,6 +101,9 @@ type channel struct {
 
 	dlqMu sync.Mutex
 	dlq   []DeadLetter
+	//odbis:guardedby dlqMu -- snapshot of the bus-wide cap, kept in sync
+	// by SetDeadLetterCap
+	dlqCap int
 
 	// Per-channel obs handles, resolved once when the channel is created
 	// so delivery paths never touch the obs registry lock.
@@ -107,12 +114,12 @@ type channel struct {
 	gDLQDepth     *obs.Gauge
 }
 
-// park appends a dead letter, dropping the oldest beyond dlqCap.
+// park appends a dead letter, dropping the oldest beyond the cap.
 func (c *channel) park(dl DeadLetter) {
 	c.dlqMu.Lock()
-	if len(c.dlq) >= dlqCap {
+	if len(c.dlq) >= c.dlqCap {
 		copy(c.dlq, c.dlq[1:])
-		c.dlq = c.dlq[:dlqCap-1]
+		c.dlq = c.dlq[:c.dlqCap-1]
 	}
 	c.dlq = append(c.dlq, dl)
 	depth := len(c.dlq)
@@ -148,6 +155,9 @@ type Bus struct {
 	// Redelivery policy for detached deliveries (see SetRedelivery).
 	redeliverAttempts int
 	redeliverBase     time.Duration
+
+	//odbis:guardedby mu -- dead-letter cap inherited by new channels
+	dlqCap int
 }
 
 // Redelivery defaults: a detached delivery gets defaultAttempts tries in
@@ -166,7 +176,32 @@ func New() *Bus {
 		closeCh:           make(chan struct{}),
 		redeliverAttempts: defaultAttempts,
 		redeliverBase:     defaultBase,
+		dlqCap:            defaultDeadLetterCap,
 	}
+}
+
+// SetDeadLetterCap bounds every channel's dead-letter queue (default
+// 128). The cap applies to channels created later and retroactively to
+// existing ones, trimming their oldest letters past the new bound.
+// Out-of-range values ([1, 65536]) are rejected rather than clamped:
+// a misconfigured operational limit should fail loudly at boot, not
+// silently hold a different value than the one deployed.
+func (b *Bus) SetDeadLetterCap(n int) error {
+	if n < 1 || n > maxDeadLetterCap {
+		return fmt.Errorf("bus: dead-letter cap %d out of range [1, %d]", n, maxDeadLetterCap)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.dlqCap = n
+	for _, c := range b.channels {
+		c.dlqMu.Lock()
+		c.dlqCap = n
+		if len(c.dlq) > n {
+			c.dlq = append([]DeadLetter(nil), c.dlq[len(c.dlq)-n:]...)
+		}
+		c.dlqMu.Unlock()
+	}
+	return nil
 }
 
 // SetRedelivery tunes the detached-delivery retry policy: attempts is
@@ -263,6 +298,9 @@ func (b *Bus) channelFor(name string, create bool) (*channel, error) {
 	if ch, ok := b.channels[name]; ok {
 		return ch, nil
 	}
+	// Safe without dlqMu: the channel is unpublished until the map insert
+	// below, and b.mu orders this write before any reader's lookup.
+	fresh.dlqCap = b.dlqCap
 	b.channels[name] = fresh
 	return fresh, nil
 }

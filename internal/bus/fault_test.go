@@ -200,23 +200,61 @@ func TestCloseInterruptsBackoff(t *testing.T) {
 	}
 }
 
-// TestDeadLetterQueueBounded: the queue drops oldest beyond dlqCap so a
+// TestDeadLetterQueueBounded: the queue drops oldest beyond defaultDeadLetterCap so a
 // persistently broken subscriber cannot grow memory without bound.
 func TestDeadLetterQueueBounded(t *testing.T) {
 	b := New()
 	b.SetRedelivery(1, time.Millisecond)
 	b.Subscribe("jobs", func(*Message) (*Message, error) { return nil, fmt.Errorf("down") })
-	for i := 0; i < dlqCap+10; i++ {
+	for i := 0; i < defaultDeadLetterCap+10; i++ {
 		b.PublishDetached("jobs", NewMessage(i))
 	}
-	waitFor(t, func() bool { st, _ := b.Stats("jobs"); return st.DeadLettered == uint64(dlqCap+10) })
+	waitFor(t, func() bool { st, _ := b.Stats("jobs"); return st.DeadLettered == uint64(defaultDeadLetterCap+10) })
 	b.Close()
 	dls := b.DeadLetters("jobs")
-	if len(dls) != dlqCap {
-		t.Fatalf("dead letters = %d, want capped at %d", len(dls), dlqCap)
+	if len(dls) != defaultDeadLetterCap {
+		t.Fatalf("dead letters = %d, want capped at %d", len(dls), defaultDeadLetterCap)
 	}
 	st, _ := b.Stats("jobs")
-	if st.DeadLettered != uint64(dlqCap+10) {
-		t.Fatalf("DeadLettered counter = %d, want %d (counts drops too)", st.DeadLettered, dlqCap+10)
+	if st.DeadLettered != uint64(defaultDeadLetterCap+10) {
+		t.Fatalf("DeadLettered counter = %d, want %d (counts drops too)", st.DeadLettered, defaultDeadLetterCap+10)
+	}
+}
+
+// TestDeadLetterCapConfigurable: SetDeadLetterCap rejects out-of-range
+// values, applies retroactively to existing channels (trimming oldest),
+// and governs subsequently created channels.
+func TestDeadLetterCapConfigurable(t *testing.T) {
+	b := New()
+	defer b.Close()
+	if err := b.SetDeadLetterCap(0); err == nil {
+		t.Fatal("SetDeadLetterCap(0) accepted, want error")
+	}
+	if err := b.SetDeadLetterCap(maxDeadLetterCap + 1); err == nil {
+		t.Fatalf("SetDeadLetterCap(%d) accepted, want error", maxDeadLetterCap+1)
+	}
+	b.SetRedelivery(1, time.Millisecond)
+	b.Subscribe("jobs", func(*Message) (*Message, error) { return nil, fmt.Errorf("down") })
+	for i := 0; i < 8; i++ {
+		b.PublishDetached("jobs", NewMessage(i))
+	}
+	waitFor(t, func() bool { st, _ := b.Stats("jobs"); return st.DeadLettered == 8 })
+	if err := b.SetDeadLetterCap(3); err != nil {
+		t.Fatalf("SetDeadLetterCap(3): %v", err)
+	}
+	dls := b.DeadLetters("jobs")
+	if len(dls) != 3 {
+		t.Fatalf("dead letters after retroactive trim = %d, want 3", len(dls))
+	}
+	// Detached deliveries land in goroutine-scheduling order, so which
+	// letters survive is nondeterministic — only the bound is asserted.
+	// A channel created after the change inherits the new cap.
+	b.Subscribe("etl", func(*Message) (*Message, error) { return nil, fmt.Errorf("down") })
+	for i := 0; i < 10; i++ {
+		b.PublishDetached("etl", NewMessage(i))
+	}
+	waitFor(t, func() bool { st, _ := b.Stats("etl"); return st.DeadLettered == 10 })
+	if got := len(b.DeadLetters("etl")); got != 3 {
+		t.Fatalf("new channel dead letters = %d, want capped at 3", got)
 	}
 }

@@ -75,6 +75,26 @@ const (
 	// authentication and before the handler — the place to prove the
 	// panic-recovery middleware and error mapping.
 	ServerHandler = "server.handler"
+	// ReplicaApply fires before a replica applies a shipped WAL frame.
+	// An error or crash here must trip the replica's breaker, never the
+	// primary.
+	ReplicaApply = "replica.apply"
+	// ReplicaApplyMid fires between the operations of a multi-op commit
+	// frame — the partial-apply window. The replica must roll the frame
+	// back (or re-bootstrap) rather than serve half a commit.
+	ReplicaApplyMid = "replica.apply.mid"
+	// ReplicaStream fires in the replica's stream loop as each frame is
+	// received, before apply — a failing stream simulates a broken
+	// shipping channel.
+	ReplicaStream = "replica.stream"
+	// ReplicaStall fires in the stream loop too, but is intended for
+	// ModeDelay: a stalled replica falls behind until the lag bound
+	// routes reads back to the primary.
+	ReplicaStall = "replica.stall"
+	// ReplicaRead fires on the read-router's replica path just before a
+	// routed query executes — the place to prove mid-request fallback to
+	// the primary with no user-visible error.
+	ReplicaRead = "replica.read"
 )
 
 // Known lists every canonical injection point, sorted.
@@ -84,6 +104,8 @@ func Known() []string {
 		StorageWALTruncate, StorageSnapshotWrite, StorageSnapshotRename,
 		BusDeliver, ETLExtract, ETLTransform, ETLLoad,
 		SQLExec, ServicesQuery, ServerHandler,
+		ReplicaApply, ReplicaApplyMid, ReplicaStream, ReplicaStall,
+		ReplicaRead,
 	}
 	sort.Strings(out)
 	return out

@@ -362,3 +362,25 @@ func BenchmarkSpanNoTrace(b *testing.B) {
 		sp.End()
 	}
 }
+
+// TestSetTraceRingSize: the ring is resizable within bounds; resizing
+// discards history and the new bound governs retention.
+func TestSetTraceRingSize(t *testing.T) {
+	defer SetTraceRingSize(traceRingSize) // restore the default for other tests
+	if err := SetTraceRingSize(minTraceRingSize - 1); err == nil {
+		t.Fatal("undersized ring accepted, want error")
+	}
+	if err := SetTraceRingSize(maxTraceRingSize + 1); err == nil {
+		t.Fatal("oversized ring accepted, want error")
+	}
+	if err := SetTraceRingSize(16); err != nil {
+		t.Fatalf("SetTraceRingSize(16): %v", err)
+	}
+	for i := 0; i < 30; i++ {
+		_, root := StartTrace(context.Background(), "req")
+		root.End()
+	}
+	if got := len(Traces(0)); got != 16 {
+		t.Fatalf("ring holds %d after resize to 16, want 16", got)
+	}
+}

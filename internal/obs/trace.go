@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"fmt"
 	"log"
 	"sync"
 	"sync/atomic"
@@ -143,13 +144,19 @@ func (s *Span) End() {
 	}
 }
 
-// traceRingSize bounds the in-memory trace history. 128 recent requests
-// is enough to inspect a slow burst without holding a whole load test.
-const traceRingSize = 128
+// traceRingSize is the default bound on the in-memory trace history. 128
+// recent requests is enough to inspect a slow burst without holding a
+// whole load test; SetTraceRingSize tunes it within [minTraceRingSize,
+// maxTraceRingSize].
+const (
+	traceRingSize    = 128
+	minTraceRingSize = 16
+	maxTraceRingSize = 65536
+)
 
 var (
 	traceMu   sync.Mutex
-	traceRing [traceRingSize]TraceRecord
+	traceRing = make([]TraceRecord, traceRingSize)
 	traceNext int // next write slot
 	traceLen  int
 
@@ -177,11 +184,27 @@ func SetSlowThreshold(d time.Duration) {
 	slowNs.Store(d.Nanoseconds())
 }
 
+// SetTraceRingSize resizes the in-memory trace history (default 128).
+// Resizing discards buffered traces — the ring is a diagnostic buffer,
+// not durable storage. Out-of-range sizes are rejected rather than
+// clamped so a misconfigured limit fails loudly at boot.
+func SetTraceRingSize(n int) error {
+	if n < minTraceRingSize || n > maxTraceRingSize {
+		return fmt.Errorf("obs: trace ring size %d out of range [%d, %d]",
+			n, minTraceRingSize, maxTraceRingSize)
+	}
+	traceMu.Lock()
+	traceRing = make([]TraceRecord, n)
+	traceNext, traceLen = 0, 0
+	traceMu.Unlock()
+	return nil
+}
+
 func pushTrace(rec TraceRecord) {
 	traceMu.Lock()
 	traceRing[traceNext] = rec
-	traceNext = (traceNext + 1) % traceRingSize
-	if traceLen < traceRingSize {
+	traceNext = (traceNext + 1) % len(traceRing)
+	if traceLen < len(traceRing) {
 		traceLen++
 	}
 	traceMu.Unlock()
@@ -190,16 +213,17 @@ func pushTrace(rec TraceRecord) {
 // Traces returns up to n recent traces, newest first. Records are deep
 // copies; callers may keep them.
 func Traces(n int) []TraceRecord {
-	if n <= 0 || n > traceRingSize {
-		n = traceRingSize
-	}
 	traceMu.Lock()
+	size := len(traceRing)
+	if n <= 0 || n > size {
+		n = size
+	}
 	if n > traceLen {
 		n = traceLen
 	}
 	out := make([]TraceRecord, 0, n)
 	for i := 0; i < n; i++ {
-		idx := (traceNext - 1 - i + traceRingSize) % traceRingSize
+		idx := (traceNext - 1 - i + size) % size
 		rec := traceRing[idx]
 		rec.Spans = append([]SpanRecord(nil), rec.Spans...)
 		out = append(out, rec)

@@ -1,0 +1,63 @@
+package replica
+
+import (
+	"testing"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+var benchSink *storage.Engine
+
+// BenchmarkFrameApply is the replication floor: one single-insert commit
+// frame decoded and applied to a follower engine. Catch-up speed — and
+// therefore how quickly a re-bootstrapped replica returns to routing
+// eligibility — is bounded by this figure.
+func BenchmarkFrameApply(b *testing.B) {
+	primary := storage.MustOpenMemory()
+	defer primary.Close()
+	if err := primary.CreateTable(testSchema("t")); err != nil {
+		b.Fatal(err)
+	}
+	sub := primary.SubscribeWAL(b.N + 16)
+	defer sub.Close()
+	frames := make([][]byte, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		err := primary.Update(func(tx *storage.Tx) error {
+			_, err := tx.Insert("t", storage.Row{int64(i), "v"})
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames = append(frames, (<-sub.Frames()).Payload)
+	}
+	follower := storage.MustOpenMemory()
+	defer follower.Close()
+	if err := follower.CreateTable(testSchema("t")); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := follower.ApplyReplicated(frames[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouterReplicaOff is the disabled-replication ceiling: the
+// routing decision a read pays when no replicas are configured. It must
+// stay in the low-nanosecond range — running without -replicas must not
+// tax the read path at all.
+func BenchmarkRouterReplicaOff(b *testing.B) {
+	primary := storage.MustOpenMemory()
+	defer primary.Close()
+	set := New(primary, 0, Options{})
+	defer set.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = set.PickFor(0)
+	}
+	if benchSink != nil {
+		b.Fatal("empty set yielded an engine")
+	}
+}

@@ -1,0 +1,199 @@
+package replica
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/odbis/odbis/internal/fault"
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// Crash matrix for the replica apply points: a child process runs a
+// durable primary with one attached replica and ODBIS_FAULTS arming
+// replica.apply (or replica.apply.mid) in crash mode, acking every
+// primary-committed row to a fsynced ledger. The crash lands on the
+// replica's apply goroutine mid-frame (for .mid: between the ops of one
+// multi-op frame), killing the whole process. The parent then recovers
+// the primary from disk, attaches a fresh replica fleet, waits for
+// catch-up, and proves the acceptance property: every acknowledged
+// commit is visible on the primary AND on every caught-up replica —
+// acked-on-primary ⊆ visible-on-replica — and no replica serves rows
+// the primary does not have.
+
+const (
+	replicaCrashDirEnv = "ODBIS_REPLICA_CRASH_DIR"
+	replicaAcksFile    = "acks.txt"
+	replicaCrashRows   = 12
+)
+
+// TestReplicaCrashChild is the re-exec target, not a test: it runs only
+// under the harness env and is expected to die at the armed point.
+func TestReplicaCrashChild(t *testing.T) {
+	dir := os.Getenv(replicaCrashDirEnv)
+	if dir == "" {
+		t.Skip("replica-crash child (set " + replicaCrashDirEnv + " to run)")
+	}
+	if err := fault.FromEnv(); err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	e, err := storage.Open(storage.Options{Dir: dir, Sync: storage.SyncFull})
+	if err != nil {
+		t.Fatalf("child: open: %v", err)
+	}
+	if err := e.CreateTable(testSchema("ledger")); err != nil {
+		t.Fatalf("child: create table: %v", err)
+	}
+	acks, err := os.OpenFile(filepath.Join(dir, replicaAcksFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("child: open acks: %v", err)
+	}
+	// A couple of commits land before the replica attaches (covered by
+	// the bootstrap dump); the rest ship as live frames, each a two-op
+	// commit so replica.apply.mid has a between-ops window to crash in.
+	commit := func(i int) {
+		err := e.Update(func(tx *storage.Tx) error {
+			if _, err := tx.Insert("ledger", storage.Row{int64(2 * i), "a"}); err != nil {
+				return err
+			}
+			_, err := tx.Insert("ledger", storage.Row{int64(2*i + 1), "b"})
+			return err
+		})
+		if err != nil {
+			t.Fatalf("child: commit %d: %v", i, err)
+		}
+		if _, err := fmt.Fprintf(acks, "%d\n", i); err != nil {
+			t.Fatalf("child: ack %d: %v", i, err)
+		}
+		if err := acks.Sync(); err != nil {
+			t.Fatalf("child: sync acks: %v", err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		commit(i)
+	}
+	set := New(e, 1, Options{MaxLagFrames: 1 << 20})
+	for i := 2; i < replicaCrashRows; i++ {
+		commit(i)
+	}
+	// Wait for the apply goroutine to chew through the stream; the armed
+	// point kills the process somewhere in here.
+	set.CatchUp(10 * time.Second)
+	t.Fatal("child: survived the workload with a crash point armed")
+}
+
+func readReplicaAcks(t *testing.T, dir string) map[int64]bool {
+	t.Helper()
+	f, err := os.Open(filepath.Join(dir, replicaAcksFile))
+	if err != nil {
+		t.Fatalf("read acks: %v", err)
+	}
+	defer f.Close()
+	acked := map[int64]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		id, err := strconv.ParseInt(sc.Text(), 10, 64)
+		if err != nil {
+			t.Fatalf("acks file corrupt: %q", sc.Text())
+		}
+		acked[id] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return acked
+}
+
+func scanIDs(t *testing.T, e *storage.Engine) map[int64]bool {
+	t.Helper()
+	ids := map[int64]bool{}
+	if err := e.View(func(tx *storage.Tx) error {
+		return tx.Scan("ledger", func(_ storage.RID, row storage.Row) bool {
+			ids[row[0].(int64)] = true
+			return true
+		})
+	}); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return ids
+}
+
+func TestCrashRecoveryAtReplicaApplyPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process harness")
+	}
+	for _, tc := range []struct {
+		point string
+		after int
+	}{
+		// after skips early hits so the crash lands mid-stream with
+		// applied frames on both sides of it.
+		{fault.ReplicaApply, 3},
+		{fault.ReplicaApplyMid, 3},
+	} {
+		t.Run(tc.point, func(t *testing.T) {
+			dir := t.TempDir()
+			cmd := exec.Command(os.Args[0], "-test.run=^TestReplicaCrashChild$")
+			cmd.Env = append(os.Environ(),
+				replicaCrashDirEnv+"="+dir,
+				fmt.Sprintf("ODBIS_FAULTS=%s=crash:after=%d", tc.point, tc.after),
+			)
+			out, err := cmd.CombinedOutput()
+			var ee *exec.ExitError
+			if !errors.As(err, &ee) || ee.ExitCode() != fault.CrashExitCode {
+				t.Fatalf("child exited %v, want exit code %d\noutput:\n%s", err, fault.CrashExitCode, out)
+			}
+			acked := readReplicaAcks(t, dir)
+			if len(acked) == 0 {
+				t.Fatalf("child crashed before acknowledging any commit\noutput:\n%s", out)
+			}
+
+			// Recover the primary: the crash on the replica goroutine
+			// must not have cost a single acked commit.
+			e, err := storage.Open(storage.Options{Dir: dir, Sync: storage.SyncFull})
+			if err != nil {
+				t.Fatalf("primary recovery: %v", err)
+			}
+			defer e.Close()
+			primaryIDs := scanIDs(t, e)
+			for id := range acked {
+				if !primaryIDs[2*id] || !primaryIDs[2*id+1] {
+					t.Errorf("acked commit %d missing rows on recovered primary", id)
+				}
+			}
+
+			// A fresh fleet bootstraps from the recovered primary; after
+			// catch-up every replica serves exactly the primary's rows:
+			// acked-on-primary ⊆ visible-on-replica, nothing extra.
+			set := New(e, 2, Options{MaxLagFrames: 1 << 20})
+			defer set.Close()
+			waitHealthy(t, set, 10*time.Second)
+			if !set.CatchUp(10 * time.Second) {
+				t.Fatal("replicas never caught up after recovery")
+			}
+			for i := 0; i < set.Len(); i++ {
+				eng := set.PickFor(0)
+				if eng == nil {
+					t.Fatal("no eligible replica after catch-up")
+				}
+				repIDs := scanIDs(t, eng)
+				for id := range acked {
+					if !repIDs[2*id] || !repIDs[2*id+1] {
+						t.Errorf("acked commit %d not visible on a caught-up replica", id)
+					}
+				}
+				for id := range repIDs {
+					if !primaryIDs[id] {
+						t.Errorf("replica serves row %d the primary does not have", id)
+					}
+				}
+			}
+		})
+	}
+}

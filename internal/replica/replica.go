@@ -1,0 +1,435 @@
+// Package replica implements WAL-shipped read replicas: in-process
+// follower engines that bootstrap from the primary's state dump, apply
+// shipped redo frames in commit order, and expose apply position, lag,
+// and a per-replica circuit breaker so the read router (services) can
+// serve read-authority statements from a healthy follower and fall back
+// to the primary the instant one misbehaves.
+//
+// Failure model: any apply error, torn/corrupt frame, panic, or stream
+// overflow (the replica fell so far behind that the primary dropped its
+// subscription) trips the replica's breaker. A tripped replica serves
+// nothing; after a probe interval it re-bootstraps from a fresh primary
+// dump (half-open) and returns to healthy only when the new follower
+// engine is live. The primary is never affected — shipping is
+// non-blocking by construction (see storage/ship.go).
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/odbis/odbis/internal/fault"
+	"github.com/odbis/odbis/internal/obs"
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// State is a replica's breaker state.
+type State uint8
+
+const (
+	// StateBootstrapping: building a follower engine from a primary dump
+	// (also the half-open probe state after a trip).
+	StateBootstrapping State = iota
+	// StateHealthy: following the stream; eligible for routed reads
+	// subject to the lag bound.
+	StateHealthy
+	// StateTripped: the breaker is open after an apply failure; waiting
+	// out the probe interval before re-bootstrapping.
+	StateTripped
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateTripped:
+		return "tripped"
+	default:
+		return "bootstrapping"
+	}
+}
+
+// errStopped signals a deliberate shutdown out of the follow loop.
+var errStopped = errors.New("replica: stopped")
+
+// errOverflow reports that the primary dropped this replica's
+// subscription because its stream buffer filled — the hard lag breach.
+var errOverflow = errors.New("replica: stream overflow, replica too far behind")
+
+// Replica is one follower engine plus its breaker and lag accounting.
+type Replica struct {
+	name    string
+	primary *storage.Engine
+	set     *Set
+
+	mu sync.Mutex
+	//odbis:guardedby mu
+	eng *storage.Engine
+	//odbis:guardedby mu
+	state State
+	//odbis:guardedby mu
+	lastErr string
+	//odbis:guardedby mu
+	trips uint64
+
+	applied        atomic.Uint64 // ship LSN of the last applied frame
+	appliedBytes   atomic.Uint64 // payload bytes applied since subscribe
+	appliedCommits atomic.Uint64 // commit LSN of the last applied commit frame
+	frames         atomic.Uint64 // frames applied across all bootstraps
+
+	mApplies   *obs.Counter
+	mTrips     *obs.Counter
+	gLagFrames *obs.Gauge
+	gLagBytes  *obs.Gauge
+}
+
+// Status is the wire/admin view of one replica.
+type Status struct {
+	Name            string `json:"name"`
+	State           string `json:"state"`
+	AppliedLSN      uint64 `json:"applied_lsn"`
+	PrimaryLSN      uint64 `json:"primary_lsn"`
+	LagFrames       uint64 `json:"lag_frames"`
+	LagBytes        uint64 `json:"lag_bytes"`
+	CommitLSNBehind uint64 `json:"commit_lsn_behind"`
+	FramesApplied   uint64 `json:"frames_applied"`
+	Trips           uint64 `json:"trips"`
+	LastError       string `json:"last_error,omitempty"`
+}
+
+// Options configure a replica set.
+type Options struct {
+	// MaxLagFrames is the routing staleness bound: a replica more than
+	// this many frames behind the primary serves no routed reads (0
+	// means reads route only when fully caught up).
+	MaxLagFrames uint64
+	// ProbeInterval is how long a tripped replica waits before its
+	// half-open re-bootstrap probe (default 250ms).
+	ProbeInterval time.Duration
+	// StreamBuffer is the per-replica frame channel capacity; a replica
+	// that falls this many frames behind is dropped by the primary and
+	// must re-bootstrap (default 1024).
+	StreamBuffer int
+}
+
+// Set is a group of replicas following one primary.
+type Set struct {
+	primary *storage.Engine
+	opts    Options
+	reps    []*Replica
+	next    atomic.Uint32 // round-robin cursor for PickFor
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// New starts n replicas following primary. Each replica bootstraps
+// asynchronously; use Status (or poll CatchUp in tests) to observe
+// progress. n ≤ 0 returns an empty set whose PickFor always routes to
+// the primary.
+func New(primary *storage.Engine, n int, opts Options) *Set {
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 250 * time.Millisecond
+	}
+	if opts.StreamBuffer <= 0 {
+		opts.StreamBuffer = 1024
+	}
+	s := &Set{primary: primary, opts: opts, stopCh: make(chan struct{})}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("replica-%d", i)
+		r := &Replica{
+			name:       name,
+			primary:    primary,
+			set:        s,
+			mApplies:   obs.GetCounterL("odbis_replica_applies_total", "replica", name), //odbis:ignore obshandle -- label value is dynamic; handle cached per replica, resolved once at construction
+			mTrips:     obs.GetCounterL("odbis_replica_trips_total", "replica", name),   //odbis:ignore obshandle -- label value is dynamic; handle cached per replica, resolved once at construction
+			gLagFrames: obs.GetGaugeL("odbis_replica_lag_frames", "replica", name),      //odbis:ignore obshandle -- label value is dynamic; handle cached per replica, resolved once at construction
+			gLagBytes:  obs.GetGaugeL("odbis_replica_lag_bytes", "replica", name),       //odbis:ignore obshandle -- label value is dynamic; handle cached per replica, resolved once at construction
+		}
+		s.reps = append(s.reps, r)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			r.run()
+		}()
+	}
+	return s
+}
+
+// Close stops every replica loop and waits for them to exit. Idempotent.
+func (s *Set) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.stopCh)
+	s.wg.Wait()
+}
+
+// Len reports the number of configured replicas.
+func (s *Set) Len() int { return len(s.reps) }
+
+// MaxLag reports the routing staleness bound in frames.
+func (s *Set) MaxLag() uint64 { return s.opts.MaxLagFrames }
+
+// PrimaryLSN is the primary's current ship position — the pin a session
+// takes after a write to preserve read-your-writes.
+func (s *Set) PrimaryLSN() uint64 { return s.primary.ShippedLSN() } //odbis:ignore ctxtenant -- lock-free ship-position read; no tenant data, nothing to cancel
+
+// PickFor returns a follower engine eligible to serve a read for a
+// session pinned at pin (0 = no pin): the replica must be healthy, its
+// applied LSN at or past the pin, and its lag within the staleness
+// bound. Returns nil when no replica qualifies — the caller reads from
+// the primary. Selection round-robins across eligible replicas.
+func (s *Set) PickFor(pin uint64) *storage.Engine {
+	n := len(s.reps)
+	if n == 0 {
+		return nil
+	}
+	primaryLSN := s.primary.ShippedLSN() //odbis:ignore ctxtenant -- lock-free ship-position read; no tenant data, nothing to cancel
+	start := int(s.next.Add(1))
+	for i := 0; i < n; i++ {
+		r := s.reps[(start+i)%n]
+		if eng := r.eligible(pin, primaryLSN, s.opts.MaxLagFrames); eng != nil {
+			return eng
+		}
+	}
+	return nil
+}
+
+// AllTripped reports whether every configured replica is tripped — the
+// /readyz degraded condition. An empty set is never "all tripped".
+func (s *Set) AllTripped() bool {
+	if len(s.reps) == 0 {
+		return false
+	}
+	for _, r := range s.reps {
+		r.mu.Lock()
+		tripped := r.state == StateTripped
+		r.mu.Unlock()
+		if !tripped {
+			return false
+		}
+	}
+	return true
+}
+
+// Status snapshots every replica, in configuration order, refreshing
+// the lag gauges as a side effect (the admin snapshot and /metrics stay
+// fresh even while a replica is stalled and not applying).
+func (s *Set) Status() []Status {
+	out := make([]Status, 0, len(s.reps))
+	for _, r := range s.reps {
+		out = append(out, r.status())
+	}
+	return out
+}
+
+// CatchUp blocks until every healthy-or-bootstrapping replica has
+// applied up to the primary's current ship position, or the timeout
+// expires. It reports whether full catch-up happened — a test and
+// shutdown-drain helper, not a routing primitive.
+func (s *Set) CatchUp(timeout time.Duration) bool {
+	target := s.primary.ShippedLSN()
+	deadline := time.Now().Add(timeout)
+	for {
+		done := true
+		for _, r := range s.reps {
+			r.mu.Lock()
+			tripped := r.state == StateTripped
+			r.mu.Unlock()
+			if tripped {
+				continue // a tripped replica will re-bootstrap past target anyway
+			}
+			if r.applied.Load() < target {
+				done = false
+			}
+		}
+		if done {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// eligible returns the follower engine when this replica may serve a
+// read for the given pin under the lag bound, else nil.
+func (r *Replica) eligible(pin, primaryLSN, maxLag uint64) *storage.Engine {
+	r.mu.Lock()
+	eng := r.eng
+	healthy := r.state == StateHealthy
+	r.mu.Unlock()
+	if !healthy || eng == nil {
+		return nil
+	}
+	applied := r.applied.Load()
+	if applied < pin {
+		return nil // session wrote past this replica: read-your-writes pins to primary
+	}
+	if primaryLSN-applied > maxLag {
+		return nil // stale beyond the routing bound
+	}
+	return eng
+}
+
+func (r *Replica) status() Status {
+	r.mu.Lock()
+	st := Status{
+		Name:      r.name,
+		State:     r.state.String(),
+		LastError: r.lastErr,
+		Trips:     r.trips,
+	}
+	r.mu.Unlock()
+	st.AppliedLSN = r.applied.Load()
+	st.PrimaryLSN = r.primary.ShippedLSN() //odbis:ignore ctxtenant -- lock-free ship-position read; no tenant data, nothing to cancel
+	st.FramesApplied = r.frames.Load()
+	if st.PrimaryLSN > st.AppliedLSN {
+		st.LagFrames = st.PrimaryLSN - st.AppliedLSN
+	}
+	if pb := r.primary.ShippedBytes(); pb > r.appliedBytes.Load() { //odbis:ignore ctxtenant -- lock-free ship-position read; no tenant data, nothing to cancel
+		st.LagBytes = pb - r.appliedBytes.Load()
+	}
+	if pc := r.primary.ShippedCommitLSN(); pc > r.appliedCommits.Load() { //odbis:ignore ctxtenant -- lock-free ship-position read; no tenant data, nothing to cancel
+		st.CommitLSNBehind = pc - r.appliedCommits.Load()
+	}
+	r.gLagFrames.Set(int64(st.LagFrames))
+	r.gLagBytes.Set(int64(st.LagBytes))
+	return st
+}
+
+// run is the replica's lifecycle loop: bootstrap → follow → trip →
+// probe-wait → re-bootstrap, until the set closes.
+func (r *Replica) run() {
+	for {
+		select {
+		case <-r.set.stopCh:
+			return
+		default:
+		}
+		sub, eng, err := r.bootstrap()
+		if err != nil {
+			r.trip(err)
+			if !r.probeWait() {
+				return
+			}
+			continue
+		}
+		r.mu.Lock()
+		r.eng = eng
+		r.state = StateHealthy
+		r.lastErr = ""
+		r.mu.Unlock()
+		err = r.follow(sub, eng)
+		sub.Close()
+		if errors.Is(err, errStopped) {
+			return
+		}
+		r.trip(err)
+		if !r.probeWait() {
+			return
+		}
+	}
+}
+
+// bootstrap subscribes to the primary's frame stream and builds a fresh
+// follower engine from a state dump. Subscribe happens first, so every
+// commit is either in the dump or on the channel (idempotent apply
+// resolves the overlap).
+func (r *Replica) bootstrap() (*storage.WALSub, *storage.Engine, error) {
+	r.mu.Lock()
+	r.state = StateBootstrapping
+	r.eng = nil
+	r.mu.Unlock()
+	sub := r.primary.SubscribeWAL(r.set.opts.StreamBuffer)
+	var buf bytes.Buffer
+	if err := r.primary.DumpState(&buf); err != nil {
+		sub.Close()
+		return nil, nil, err
+	}
+	eng, err := storage.OpenFromDump(buf.Bytes())
+	if err != nil {
+		sub.Close()
+		return nil, nil, err
+	}
+	r.applied.Store(sub.StartLSN)
+	r.appliedBytes.Store(sub.StartBytes)
+	r.appliedCommits.Store(sub.StartCommitLSN)
+	return sub, eng, nil
+}
+
+// follow applies shipped frames until the stream breaks, a fault fires,
+// or the set closes. A panic anywhere in apply is contained here and
+// trips the breaker instead of killing the process.
+func (r *Replica) follow(sub *storage.WALSub, eng *storage.Engine) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("replica %s: apply panic: %v", r.name, p)
+		}
+	}()
+	for {
+		select {
+		case <-r.set.stopCh:
+			return errStopped
+		case frame, ok := <-sub.Frames():
+			if !ok {
+				return errOverflow
+			}
+			if err := fault.Point(fault.ReplicaStream); err != nil {
+				return err
+			}
+			// Stall is typically armed as ModeDelay: the sleep happens
+			// here, lag accrues, and routing falls back to the primary
+			// via the staleness bound rather than an error.
+			if err := fault.Point(fault.ReplicaStall); err != nil {
+				return err
+			}
+			if err := fault.Point(fault.ReplicaApply); err != nil {
+				return err
+			}
+			if err := eng.ApplyReplicated(frame.Payload); err != nil {
+				return err
+			}
+			r.applied.Store(frame.LSN)
+			r.appliedBytes.Add(uint64(len(frame.Payload)))
+			if storage.FrameIsCommit(frame.Payload) {
+				r.appliedCommits.Store(frame.LSN)
+			}
+			r.frames.Add(1)
+			r.mApplies.Inc()
+		}
+	}
+}
+
+// trip opens the breaker: the replica serves nothing until a probe
+// re-bootstrap succeeds.
+func (r *Replica) trip(err error) {
+	r.mu.Lock()
+	r.state = StateTripped
+	r.eng = nil
+	if err != nil {
+		r.lastErr = err.Error()
+	}
+	r.trips++
+	r.mu.Unlock()
+	r.mTrips.Inc()
+}
+
+// probeWait sleeps out the half-open probe interval; false means the
+// set closed while waiting.
+func (r *Replica) probeWait() bool {
+	t := time.NewTimer(r.set.opts.ProbeInterval)
+	defer t.Stop()
+	select {
+	case <-r.set.stopCh:
+		return false
+	case <-t.C:
+		return true
+	}
+}

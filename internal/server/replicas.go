@@ -1,0 +1,64 @@
+package server
+
+import (
+	"net/http"
+
+	"github.com/odbis/odbis/internal/replica"
+	"github.com/odbis/odbis/internal/services"
+)
+
+// handleReadyz reports routing readiness (vs. /healthz liveness).
+// Degraded conditions:
+//   - the primary's WAL latch is stuck: every commit fails with
+//     ErrWALFailed until a checkpoint or restart clears it, so the node
+//     can serve reads but must not take writes;
+//   - every read replica is tripped: routed reads all fall back to the
+//     primary, so the capacity the replica fleet was provisioned for is
+//     gone even though each individual request still succeeds.
+//
+// Unauthenticated and admission-exempt, like /healthz: a load balancer
+// must be able to drain an overloaded node.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if eng := s.platform.Registry.Engine(); eng != nil && !eng.WALHealthy() { //odbis:ignore ctxtenant -- probe reads the WAL latch flag; no tenant data, nothing to cancel
+		reasons = append(reasons, "wal latch stuck: commits failing until checkpoint or restart")
+	}
+	if set := s.platform.Replicas; set != nil && set.AllTripped() {
+		reasons = append(reasons, "all read replicas tripped: reads falling back to primary")
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "degraded", "reasons": reasons,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// replicasResponse is the admin view of the replica fleet.
+type replicasResponse struct {
+	Enabled    bool             `json:"enabled"`
+	MaxLag     uint64           `json:"max_lag_frames,omitempty"`
+	PrimaryLSN uint64           `json:"primary_lsn,omitempty"`
+	Replicas   []replica.Status `json:"replicas"`
+}
+
+// handleReplicas serves GET /api/admin/replicas: per-replica state, apply
+// position, lag and trip history. Admin-only.
+func (s *Server) handleReplicas(w http.ResponseWriter, r *http.Request, sess *services.Session) {
+	if err := sess.RequireAdmin(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	set := s.platform.Replicas
+	if set == nil {
+		writeJSON(w, http.StatusOK, replicasResponse{Replicas: []replica.Status{}})
+		return
+	}
+	writeJSON(w, http.StatusOK, replicasResponse{
+		Enabled:    true,
+		MaxLag:     set.MaxLag(),
+		PrimaryLSN: set.PrimaryLSN(),
+		Replicas:   set.Status(),
+	})
+}

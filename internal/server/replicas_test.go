@@ -1,0 +1,179 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/odbis/odbis/internal/fault"
+	"github.com/odbis/odbis/internal/replica"
+	"github.com/odbis/odbis/internal/security"
+	"github.com/odbis/odbis/internal/services"
+	"github.com/odbis/odbis/internal/storage"
+	"github.com/odbis/odbis/internal/tenant"
+)
+
+// testServerWithReplicas boots a platform with n attached read replicas.
+// A long probe interval keeps tripped replicas tripped for the duration
+// of a test instead of flickering healthy between assertions.
+func testServerWithReplicas(t *testing.T, n int) (*httptest.Server, *services.Platform, *storage.Engine) {
+	t.Helper()
+	e := storage.MustOpenMemory()
+	t.Cleanup(func() { e.Close() })
+	reg, err := tenant.NewRegistry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := security.NewManager(e, security.Options{HashIterations: 8, TokenSecret: []byte("test")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := services.NewPlatform(reg, sec)
+	if err := p.Bootstrap("root", "toor"); err != nil {
+		t.Fatal(err)
+	}
+	if n > 0 {
+		set := replica.New(e, n, replica.Options{MaxLagFrames: 1024, ProbeInterval: time.Hour})
+		t.Cleanup(set.Close)
+		p.AttachReplicas(set)
+	}
+	ts := httptest.NewServer(New(p))
+	t.Cleanup(ts.Close)
+	return ts, p, e
+}
+
+func waitCond(t *testing.T, within time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// TestReadyz: ready while the fleet is healthy, degraded (503) once
+// every replica has tripped, while /healthz keeps reporting liveness.
+func TestReadyz(t *testing.T) {
+	defer fault.Reset()
+	ts, p, e := testServerWithReplicas(t, 2)
+
+	waitCond(t, 5*time.Second, func() bool { return !p.Replicas.AllTripped() && p.Replicas.Len() == 2 },
+		"replicas never came up")
+	status, body, raw := call(t, ts, "", "GET", "/readyz", nil)
+	if status != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz healthy = %d %s", status, raw)
+	}
+
+	// Trip every replica: each apply fails while the probe interval keeps
+	// them from re-bootstrapping mid-test.
+	if err := fault.Arm(fault.ReplicaApply, fault.Behavior{Mode: fault.ModeError, Count: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateTable(&storage.Schema{
+		Name:    "readyz_t",
+		Columns: []storage.Column{{Name: "id", Type: storage.TypeInt}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 5*time.Second, func() bool { return p.Replicas.AllTripped() },
+		"replicas never tripped")
+
+	status, body, raw = call(t, ts, "", "GET", "/readyz", nil)
+	if status != http.StatusServiceUnavailable || body["status"] != "degraded" {
+		t.Fatalf("readyz degraded = %d %s", status, raw)
+	}
+	if !strings.Contains(raw, "replicas tripped") {
+		t.Fatalf("degraded reasons missing replica cause: %s", raw)
+	}
+	// Liveness is unaffected: the process is up, only routing should drain.
+	status, _, _ = call(t, ts, "", "GET", "/healthz", nil)
+	if status != http.StatusOK {
+		t.Fatalf("healthz during degradation = %d, want 200", status)
+	}
+}
+
+// TestReadyzNoReplicas: a platform without replicas is simply ready.
+func TestReadyzNoReplicas(t *testing.T) {
+	ts := testServer(t)
+	status, body, raw := call(t, ts, "", "GET", "/readyz", nil)
+	if status != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz = %d %s", status, raw)
+	}
+}
+
+// TestAdminReplicas: the admin endpoint reports fleet state and is
+// admin-gated.
+func TestAdminReplicas(t *testing.T) {
+	ts, p, _ := testServerWithReplicas(t, 1)
+	waitCond(t, 5*time.Second, func() bool {
+		st := p.Replicas.Status()
+		return len(st) == 1 && st[0].State == "healthy"
+	}, "replica never became healthy")
+
+	admin := login(t, ts, "root", "toor")
+	status, _, raw := call(t, ts, admin, "GET", "/api/admin/replicas", nil)
+	if status != http.StatusOK {
+		t.Fatalf("admin replicas = %d %s", status, raw)
+	}
+	for _, want := range []string{`"enabled": true`, `"replica-0"`, `"healthy"`, `"applied_lsn"`, `"max_lag_frames"`} {
+		if !strings.Contains(raw, want) {
+			t.Errorf("admin replicas missing %s:\n%s", want, raw)
+		}
+	}
+
+	// Non-admins are rejected.
+	ada := setupTenantWithUser(t, ts)
+	if status, _, _ := call(t, ts, ada, "GET", "/api/admin/replicas", nil); status != http.StatusForbidden {
+		t.Fatalf("non-admin replicas = %d, want 403", status)
+	}
+}
+
+// TestQueryNo5xxUnderReplicaFaults: a replica failing mid-read — error
+// or panic — must never surface as a 5xx on /api/query; the router falls
+// back to the primary within the same request.
+func TestQueryNo5xxUnderReplicaFaults(t *testing.T) {
+	defer fault.Reset()
+	ts, p, _ := testServerWithReplicas(t, 1)
+	ada := setupTenantWithUser(t, ts)
+
+	for _, q := range []string{
+		"CREATE TABLE f (x INT)",
+		"INSERT INTO f VALUES (1)",
+		"INSERT INTO f VALUES (2)",
+	} {
+		if status, _, raw := call(t, ts, ada, "POST", "/api/query", map[string]string{"sql": q}); status != http.StatusOK {
+			t.Fatalf("%s = %d %s", q, status, raw)
+		}
+	}
+	waitCond(t, 5*time.Second, func() bool { return p.Replicas.PickFor(0) != nil },
+		"no replica ever became eligible")
+
+	for _, mode := range []fault.Mode{fault.ModeError, fault.ModePanic} {
+		if err := fault.Arm(fault.ReplicaRead, fault.Behavior{Mode: mode, Count: 1}); err != nil {
+			t.Fatal(err)
+		}
+		status, _, raw := call(t, ts, ada, "POST", "/api/query", map[string]string{"sql": "SELECT x FROM f"})
+		if status != http.StatusOK {
+			t.Fatalf("SELECT under %v replica fault = %d (5xx leaked to client): %s", mode, status, raw)
+		}
+		if !strings.Contains(raw, `"rows"`) || !strings.Contains(raw, "1") || !strings.Contains(raw, "2") {
+			t.Fatalf("fallback result incomplete under %v: %s", mode, raw)
+		}
+	}
+}
+
+// TestAdminReplicasDisabled: without a fleet the endpoint reports
+// enabled=false with an empty list rather than erroring.
+func TestAdminReplicasDisabled(t *testing.T) {
+	ts := testServer(t)
+	admin := login(t, ts, "root", "toor")
+	status, body, raw := call(t, ts, admin, "GET", "/api/admin/replicas", nil)
+	if status != http.StatusOK || body["enabled"] != false {
+		t.Fatalf("disabled replicas = %d %s", status, raw)
+	}
+}

@@ -92,7 +92,7 @@ type queueWaitKey struct{}
 // liveness checks gets restarted into a worse outage, and monitoring is
 // most valuable exactly when the platform is saturated.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+	if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" || r.URL.Path == "/metrics" {
 		s.mux.ServeHTTP(w, r)
 		return
 	}
@@ -214,6 +214,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	// Readiness is distinct from liveness: /healthz answers "is the
+	// process up" (restart me if not), /readyz answers "should traffic be
+	// routed here" (drain me if not). A stuck WAL latch or a fully
+	// tripped replica set degrades readiness while the process stays
+	// healthy — restarting it would not help and may lose buffered state.
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("POST /api/login", s.handleLogin)
 	s.mux.HandleFunc("GET /api/whoami", s.withSession(s.handleWhoami))
 
@@ -236,6 +242,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/admin/metrics", s.withSession(s.handleMetricsJSON))
 	s.mux.HandleFunc("GET /api/admin/traces", s.withSession(s.handleTraces))
 	s.mux.HandleFunc("GET /api/admin/deadletters", s.withSession(s.handleDeadLetters))
+	s.mux.HandleFunc("GET /api/admin/replicas", s.withSession(s.handleReplicas))
 
 	// Operational fault-injection control (admin-only): inspect, arm and
 	// disarm the platform's named fault points at runtime.

@@ -258,6 +258,13 @@ func (s *Session) RunDataSet(ctx context.Context, name string, args ...storage.V
 	if err != nil {
 		return nil, err
 	}
+	// Stored data sets are SELECTs in practice; route them like ad-hoc
+	// reads when a cached plan proves the statement is a SELECT.
+	if cat.HasCachedSelect(ds.Query) {
+		if res, ok := s.tryReplica(ctx, cat, ds.Query, args); ok {
+			return res, nil
+		}
+	}
 	return cat.Query(s.scope(ctx), ds.Query, args...)
 }
 
@@ -271,16 +278,22 @@ func (s *Session) Query(ctx context.Context, query string, args ...storage.Value
 	// pays the parse here (the catalog parses cold SELECTs once more
 	// when it caches them).
 	authority := AuthMetadataRead
+	routable := true // a cache hit is a SELECT, routable by construction
 	if s.Catalog == nil || !s.Catalog.HasCachedSelect(query) {
 		stmt, err := sql.Parse(query)
 		if err != nil {
 			return nil, err
 		}
 		switch stmt.(type) {
-		case *sql.SelectStmt, *sql.ExplainStmt:
-			// read-only: SELECT and its EXPLAIN rendering
+		case *sql.SelectStmt:
+			// read-only and replica-routable
+		case *sql.ExplainStmt:
+			// read-only, but always planned on the primary so the
+			// rendered plan reflects the authoritative engine
+			routable = false
 		default:
 			authority = AuthMetadataWrite
+			routable = false
 		}
 	}
 	if err := s.authorize(authority); err != nil {
@@ -293,7 +306,23 @@ func (s *Session) Query(ctx context.Context, query string, args ...storage.Value
 	if err := fault.PointCtx(ctx, fault.ServicesQuery); err != nil {
 		return nil, err
 	}
-	return cat.Query(s.scope(ctx), query, args...)
+	if routable {
+		if res, ok := s.tryReplica(ctx, cat, query, args); ok {
+			return res, nil
+		}
+	}
+	res, err := cat.Query(s.scope(ctx), query, args...)
+	if err != nil {
+		return nil, err
+	}
+	if authority == AuthMetadataWrite {
+		// The write is committed: pin this user's routed reads to the
+		// primary's ship position so read-your-writes holds on replicas.
+		s.p.notePin(s.Principal.Username)
+	} else {
+		mReadsPrimary.Inc()
+	}
+	return res, nil
 }
 
 // DefineTerm stores a business-glossary term.

@@ -26,6 +26,7 @@ import (
 	"github.com/odbis/odbis/internal/bus"
 	"github.com/odbis/odbis/internal/etl"
 	"github.com/odbis/odbis/internal/olap"
+	"github.com/odbis/odbis/internal/replica"
 	"github.com/odbis/odbis/internal/security"
 	"github.com/odbis/odbis/internal/tenant"
 )
@@ -65,6 +66,14 @@ type Platform struct {
 	// Bus is the platform's service bus; services publish Events on
 	// EventChannel (events.go).
 	Bus *bus.Bus
+	// Replicas, when attached, is the read-replica set the session query
+	// router serves read-authority statements from (replicaroute.go).
+	Replicas *replica.Set
+
+	pinMu sync.Mutex
+	//odbis:guardedby pinMu -- read-your-writes pins: per-user primary ship
+	// LSN a routed read's replica must have applied (replicaroute.go)
+	pins map[string]uint64
 
 	mu sync.Mutex
 	// cubes caches built cubes per tenant and cube name.

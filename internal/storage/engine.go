@@ -206,6 +206,11 @@ type Engine struct {
 	attachMu sync.Mutex
 	//odbis:guardedby attachMu
 	attach map[any]any
+
+	// tap fans committed redo frames out to WAL subscribers (replicas).
+	// Lock order: e.mu and t.mu come before tap.mu; tap.mu comes before
+	// txMu (Commit flips visibility and ships under it). See ship.go.
+	tap frameTap
 }
 
 // SchemaEpoch returns the current schema epoch. Every DDL operation
@@ -283,6 +288,7 @@ func (e *Engine) Close() error {
 		return ErrClosed
 	}
 	e.closed = true
+	e.closeTap()
 	if e.wal != nil {
 		return e.wal.Close()
 	}
@@ -377,6 +383,10 @@ func (e *Engine) CreateTable(s *Schema) error {
 		}
 	}
 	e.schemaEpoch.Add(1)
+	e.ship(false, func(enc *encoder) {
+		enc.byte(recCreateTable)
+		enc.schema(s)
+	})
 	return nil
 }
 
@@ -393,6 +403,12 @@ func (e *Engine) DropTable(name string) error {
 	}
 	delete(e.tables, key)
 	e.schemaEpoch.Add(1)
+	// Ship before the WAL write: the in-memory drop already happened and
+	// survives a WAL error, so replicas must mirror it either way.
+	e.ship(false, func(enc *encoder) {
+		enc.byte(recDropTable)
+		enc.str(name)
+	})
 	if e.wal != nil {
 		return e.wal.logDropTable(name)
 	}
@@ -501,6 +517,10 @@ func (e *Engine) CreateIndex(info IndexInfo) error {
 	}
 	t.indexes[key] = ix
 	e.schemaEpoch.Add(1)
+	e.ship(false, func(enc *encoder) {
+		enc.byte(recCreateIndex)
+		encodeIndexInfo(enc, info)
+	})
 	if e.wal != nil {
 		return e.wal.logCreateIndex(info)
 	}
@@ -526,6 +546,11 @@ func (e *Engine) DropIndex(tableName, indexName string) error {
 	}
 	delete(t.indexes, key)
 	e.schemaEpoch.Add(1)
+	e.ship(false, func(enc *encoder) {
+		enc.byte(recDropIndex)
+		enc.str(tableName)
+		enc.str(indexName)
+	})
 	if e.wal != nil {
 		return e.wal.logDropIndex(tableName, indexName)
 	}
@@ -558,6 +583,13 @@ func (e *Engine) NextSequence(name string) (int64, error) {
 	e.seqs[name]++
 	v := e.seqs[name]
 	e.seqMu.Unlock()
+	// Ship regardless of WAL outcome: the in-memory bump above is what
+	// replicas mirror (like sequences everywhere, it never rolls back).
+	e.ship(false, func(enc *encoder) {
+		enc.byte(recSequence)
+		enc.str(name)
+		enc.varint(v)
+	})
 	if e.wal != nil {
 		if err := e.wal.logSequence(name, v); err != nil {
 			return 0, err

@@ -190,17 +190,55 @@ func (e *Engine) writeSnapshot(path string, snap snapshot, epoch uint64) error {
 	}
 	defer f.Close()
 	bw := bufio.NewWriterSize(f, 1<<20)
-	cw := &crcWriter{w: bw, h: crc32.NewIEEE()}
+	// The torn-snapshot window: a crash while the temp file is partially
+	// written must leave the previous snapshot untouched. The point fires
+	// here (not inside encodeState) so replica bootstrap dumps never trip
+	// snapshot-write faults armed against the checkpoint path.
+	mid := func() error {
+		if err := fault.Point(fault.StorageSnapshotWrite); err != nil {
+			return fmt.Errorf("storage: write snapshot: %w", err)
+		}
+		return nil
+	}
+	if err := e.encodeState(bw, snap, epoch, mid); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// DumpState streams a consistent committed-state snapshot (the on-disk
+// snapshot format) to w, without touching the snapshot file, the WAL, or
+// the checkpoint epoch. It is the replica-bootstrap source: Subscribe to
+// the WAL first, then dump — every transaction committed before the dump
+// snapshot is in the dump, everything after is on the subscription.
+func (e *Engine) DumpState(w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	return e.encodeState(w, e.takeSnapshotLocked(), e.epoch, nil)
+}
+
+// encodeState writes the full committed state in the snapshot format,
+// CRC trailer included. mid, when non-nil, runs after the header — the
+// checkpoint path injects its torn-write fault there. Caller holds e.mu
+// (read or write).
+func (e *Engine) encodeState(w io.Writer, snap snapshot, epoch uint64, mid func() error) error {
+	cw := &crcWriter{w: w, h: crc32.NewIEEE()}
 	enc := newEncoder(cw)
 
 	enc.str(snapshotMagic)
 	enc.uvarint(epoch)
 	enc.uvarint(e.nextRID.Load())
 	enc.uvarint(e.nextTxID.Load())
-	// The torn-snapshot window: a crash while the temp file is partially
-	// written must leave the previous snapshot untouched.
-	if err := fault.Point(fault.StorageSnapshotWrite); err != nil {
-		return fmt.Errorf("storage: write snapshot: %w", err)
+	if mid != nil {
+		if err := mid(); err != nil {
+			return err
+		}
 	}
 
 	e.seqMu.Lock()
@@ -257,13 +295,8 @@ func (e *Engine) writeSnapshot(path string, snap snapshot, epoch uint64) error {
 	}
 	var crcBuf [4]byte
 	binary.BigEndian.PutUint32(crcBuf[:], cw.h.Sum32())
-	if _, err := bw.Write(crcBuf[:]); err != nil {
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	return f.Sync()
+	_, err := w.Write(crcBuf[:])
+	return err
 }
 
 // loadSnapshot restores engine state from a snapshot file. A missing file
@@ -276,6 +309,38 @@ func (e *Engine) loadSnapshot(path string) error {
 	if err != nil {
 		return fmt.Errorf("storage: open snapshot: %w", err)
 	}
+	if err := e.restoreState(raw, path); err != nil {
+		return err
+	}
+	// Only the durable open path owns the process-wide epoch gauge; a
+	// replica restoring a bootstrap dump must not stomp the primary's.
+	gSnapshotEpoch.Set(int64(e.epoch))
+	return nil
+}
+
+// OpenFromDump builds a fresh in-memory engine from a DumpState image —
+// the replica-bootstrap entry point. The dump's CRC and structure are
+// verified like an on-disk snapshot's.
+func OpenFromDump(raw []byte) (*Engine, error) {
+	e := &Engine{
+		tables:    make(map[string]*table),
+		txActive:  make(map[uint64]bool),
+		txAborted: make(map[uint64]bool),
+		seqs:      make(map[string]int64),
+	}
+	e.nextTxID.Store(1)
+	e.nextRID.Store(1)
+	if err := e.restoreState(raw, "dump"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// restoreState decodes a snapshot image into the engine. src names the
+// image origin for error messages. Single-threaded: callers run before
+// the engine is published.
+func (e *Engine) restoreState(raw []byte, src string) error {
+	path := src
 	if len(raw) < 4 {
 		return fmt.Errorf("storage: snapshot %s truncated", path)
 	}
@@ -289,7 +354,6 @@ func (e *Engine) loadSnapshot(path string) error {
 		return fmt.Errorf("storage: snapshot %s: bad magic %q", path, magic)
 	}
 	e.epoch = dec.uvarint()
-	gSnapshotEpoch.Set(int64(e.epoch))
 	nextRID := dec.uvarint()
 	nextTx := dec.uvarint()
 	nseq := dec.uvarint()

@@ -463,7 +463,15 @@ func (tx *Tx) Commit() error {
 			obs.AddTenant(tx.ctx, obs.TenantBytesWritten, int64(n))
 		}
 	}
+	// The visibility flip and the replication ship are atomic under
+	// tap.mu so a WAL subscriber registering concurrently sees this
+	// commit exactly once: either the flip lands first (the commit is in
+	// any state dump taken after registration) or the ship does (the
+	// frame arrives on the already-registered channel). See ship.go.
+	e.tap.mu.Lock()
 	e.finishTx(tx.id, txCommitted)
+	e.tap.shipLocked(true, func(enc *encoder) { encodeTxFrame(enc, tx.id, tx.ops) })
+	e.tap.mu.Unlock()
 	e.noteDead(tx.ops, txCommitted)
 	return nil
 }

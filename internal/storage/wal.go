@@ -268,19 +268,7 @@ func (w *wal) logSequence(name string, v int64) error {
 // logTx appends one commit record, returning its framed size for
 // per-tenant bytes-written attribution.
 func (w *wal) logTx(txid uint64, ops []txOp) (int, error) {
-	return w.append(func(enc *encoder) {
-		enc.byte(recCommit)
-		enc.uvarint(txid)
-		enc.uvarint(uint64(len(ops)))
-		for _, op := range ops {
-			enc.byte(byte(op.kind))
-			enc.str(op.table)
-			enc.uvarint(uint64(op.rid))
-			if op.kind == opInsert {
-				enc.row(op.row)
-			}
-		}
-	})
+	return w.append(func(enc *encoder) { encodeTxFrame(enc, txid, ops) })
 }
 
 // errTornRecord marks the recoverable end of the log during replay.

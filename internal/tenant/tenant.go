@@ -412,7 +412,7 @@ func (c *Catalog) logical(physical string) string {
 // bounds the statement: cancellation or deadline expiry aborts execution
 // at the next row checkpoint and the transaction rolls back.
 func (c *Catalog) Query(ctx context.Context, query string, args ...storage.Value) (*sql.Result, error) {
-	res, err := c.query(ctx, query, args)
+	res, err := c.queryDB(ctx, c.db, query, args)
 	if err != nil {
 		return nil, err
 	}
@@ -423,7 +423,24 @@ func (c *Catalog) Query(ctx context.Context, query string, args ...storage.Value
 	return res, nil
 }
 
-func (c *Catalog) query(ctx context.Context, query string, args []storage.Value) (*sql.Result, error) {
+// QueryOn is Query against an alternate engine — a read replica — with
+// the same namespace rewriting, quota checks, and metering. The replica
+// engine carries its own plan cache (a per-engine attachment) whose
+// entries invalidate under the replica's own schema epoch as DDL frames
+// apply, so cached plans never cross engines.
+func (c *Catalog) QueryOn(ctx context.Context, eng *storage.Engine, query string, args ...storage.Value) (*sql.Result, error) {
+	res, err := c.queryDB(ctx, sql.NewDB(eng), query, args)
+	if err != nil {
+		return nil, err
+	}
+	c.reg.Record(c.id, MetricQueries, 1)
+	if res.Affected > 0 {
+		c.reg.Record(c.id, MetricRowsLoaded, int64(res.Affected))
+	}
+	return res, nil
+}
+
+func (c *Catalog) queryDB(ctx context.Context, db *sql.DB, query string, args []storage.Value) (*sql.Result, error) {
 	// Prepared fast path: a SELECT this tenant has run before skips
 	// parse and rewrite entirely — the cache is keyed by (tenant, text)
 	// and stores the already-namespaced statement. Suspension and plan

@@ -41,6 +41,7 @@ import (
 	"github.com/odbis/odbis/internal/metamodel/odm"
 	"github.com/odbis/odbis/internal/obs"
 	"github.com/odbis/odbis/internal/olap"
+	"github.com/odbis/odbis/internal/replica"
 	"github.com/odbis/odbis/internal/report"
 	"github.com/odbis/odbis/internal/security"
 	"github.com/odbis/odbis/internal/server"
@@ -201,6 +202,21 @@ type Options struct {
 	// duration (the slow-request log). Zero disables the slow log without
 	// disabling tracing.
 	SlowRequest time.Duration
+	// Replicas runs N in-process WAL-shipped read replicas; SELECTs are
+	// served from a healthy, lag-bounded replica with automatic fallback
+	// to the primary. Zero (the default) disables replication entirely —
+	// reads pay nothing beyond a nil check. Bounds: [0, 16].
+	Replicas int
+	// ReplicaMaxLag is the routing lag bound in WAL frames: a replica
+	// more than this many frames behind the primary serves no reads until
+	// it catches up. Zero selects the default (1024).
+	ReplicaMaxLag uint64
+	// BusDeadLetterCap bounds each bus channel's dead-letter queue
+	// (default 128, bounds [1, 65536]); oldest letters drop beyond it.
+	BusDeadLetterCap int
+	// TraceRingSize bounds the in-memory request-trace history (default
+	// 128, bounds [16, 65536]).
+	TraceRingSize int
 }
 
 // Platform is a running ODBIS instance.
@@ -210,11 +226,24 @@ type Platform struct {
 	security *security.Manager
 	services *services.Platform
 	mddws    *mddws.Service
+	replicas *replica.Set
 	handler  http.Handler
 }
 
+// maxReplicas bounds Options.Replicas: in-process replicas multiply
+// memory by full-copy count, so more than a handful is a configuration
+// mistake, not a scale-out strategy.
+const maxReplicas = 16
+
+// defaultReplicaMaxLag is the routing lag bound when Options.ReplicaMaxLag
+// is zero.
+const defaultReplicaMaxLag = 1024
+
 // Open boots (or recovers) a platform.
 func Open(opts Options) (*Platform, error) {
+	if opts.Replicas < 0 || opts.Replicas > maxReplicas {
+		return nil, fmt.Errorf("odbis: Replicas %d out of range [0, %d]", opts.Replicas, maxReplicas)
+	}
 	mode := storage.SyncBuffered
 	if opts.SyncFull {
 		mode = storage.SyncFull
@@ -250,6 +279,27 @@ func Open(opts Options) (*Platform, error) {
 	if opts.SlowRequest > 0 {
 		obs.SetSlowThreshold(opts.SlowRequest)
 	}
+	if opts.TraceRingSize > 0 {
+		if err := obs.SetTraceRingSize(opts.TraceRingSize); err != nil {
+			engine.Close()
+			return nil, err
+		}
+	}
+	if opts.BusDeadLetterCap > 0 {
+		if err := svc.Bus.SetDeadLetterCap(opts.BusDeadLetterCap); err != nil {
+			engine.Close()
+			return nil, err
+		}
+	}
+	var replicas *replica.Set
+	if opts.Replicas > 0 {
+		maxLag := opts.ReplicaMaxLag
+		if maxLag == 0 {
+			maxLag = defaultReplicaMaxLag
+		}
+		replicas = replica.New(engine, opts.Replicas, replica.Options{MaxLagFrames: maxLag})
+		svc.AttachReplicas(replicas)
+	}
 	svc.StartScheduler(context.Background(), opts.SchedulerResolution)
 	return &Platform{
 		engine:   engine,
@@ -257,6 +307,7 @@ func Open(opts Options) (*Platform, error) {
 		security: sec,
 		services: svc,
 		mddws:    designer,
+		replicas: replicas,
 		handler: server.NewWithOptions(svc, server.Options{
 			RequestTimeout: opts.RequestTimeout,
 			MaxInFlight:    opts.MaxInFlight,
@@ -269,6 +320,11 @@ func Open(opts Options) (*Platform, error) {
 // detached bus deliveries), checkpoints (for durable platforms) and
 // releases the engine. No platform goroutine survives Close.
 func (p *Platform) Close() error {
+	// Stop replica followers before anything else: they subscribe to the
+	// engine's frame stream and must not observe teardown as a fault.
+	if p.replicas != nil {
+		p.replicas.Close()
+	}
 	p.services.Close()
 	// Persist any metered usage still pending in memory; losing the final
 	// flush would under-bill the current period after a clean shutdown.

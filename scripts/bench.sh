@@ -26,7 +26,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${BENCH_OUT:-BENCH_PR8.json}"
-PKGS="${BENCH_PKGS:-./internal/analysis/ ./internal/sql/ ./internal/olap/ ./internal/fault/ ./internal/obs/ ./internal/server/}"
+PKGS="${BENCH_PKGS:-./internal/analysis/ ./internal/sql/ ./internal/olap/ ./internal/fault/ ./internal/obs/ ./internal/server/ ./internal/replica/}"
 # The experiment hot paths the context-first refactor must not regress:
 # E1 (Fig. 1 end-to-end request) and E5 (Fig. 4 per-layer overhead).
 ROOT_BENCH="${BENCH_ROOT:-Figure1_|Figure4_}"

@@ -54,10 +54,10 @@ go test ./...
 echo "==> fuzz smoke (FuzzBuildCFG, ${ODBIS_FUZZ_TIME:-10s})"
 go test ./internal/analysis/ -run '^$' -fuzz '^FuzzBuildCFG$' -fuzztime "${ODBIS_FUZZ_TIME:-10s}"
 
-echo "==> go test -race (bus, etl, storage, tenant, sql, olap, services, server, fault, obs)"
+echo "==> go test -race (bus, etl, storage, tenant, sql, olap, services, server, fault, obs, replica)"
 go test -race ./internal/bus/ ./internal/etl/ ./internal/storage/ ./internal/tenant/ \
 	./internal/sql/ ./internal/olap/ ./internal/services/ ./internal/server/ \
-	./internal/fault/ ./internal/obs/
+	./internal/fault/ ./internal/obs/ ./internal/replica/
 
 # The fault suite re-runs under -race explicitly: panic recovery, bus
 # redelivery, admission control and the child-process crash matrix are
@@ -66,9 +66,9 @@ go test -race ./internal/bus/ ./internal/etl/ ./internal/storage/ ./internal/ten
 # cached reads) — the epoch check, the per-entry replan lock, and the
 # LRU mutex are all load-bearing exactly there.
 echo "==> fault-injection + cache-coherence suite under -race"
-go test -race -run 'Fault|Crash|TornTail|Panic|Admission|Redeliver|DeadLetter|PlanCacheCoherent' \
+go test -race -run 'Fault|Crash|TornTail|TornFrame|Panic|Admission|Redeliver|DeadLetter|PlanCacheCoherent|Replica' \
 	./internal/fault/ ./internal/storage/ ./internal/bus/ ./internal/etl/ ./internal/server/ \
-	./internal/sql/
+	./internal/sql/ ./internal/services/ ./internal/replica/
 
 
 # Perf regression gate: re-run the benchmark harness and compare against
