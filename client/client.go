@@ -1,0 +1,507 @@
+// Package client is the first-class programmatic consumer of an ODBIS
+// platform: a connection-pooled client for the binary wire protocol
+// (internal/proto) served by -listen-proto.
+//
+// Where the HTTP API pays connection setup, JSON codec and token
+// verification per request, a pooled client pays the handshake once
+// per connection and rides persistent sessions afterwards:
+//
+//	c, err := client.Dial(client.Config{Addr: "host:9091", Token: token})
+//	defer c.Close()
+//	res, err := c.Query(ctx, "SELECT ward, SUM(patients) FROM admissions GROUP BY ward")
+//
+// Pool semantics:
+//
+//   - The pool is bounded (MaxConns): at most that many connections
+//     exist, and callers beyond it wait for a checkout or their
+//     context, whichever ends first.
+//   - Checkout is health-checked: a connection idle longer than
+//     MaxIdleTime is ping-verified before reuse, so a silently dead
+//     socket (server restart, NAT timeout) is discovered at checkout
+//     rather than surfacing as a failed query.
+//   - Every call takes a deadline from its context (plus the optional
+//     CallTimeout floor), enforced on the socket itself.
+//   - Idempotent reads (SELECT/EXPLAIN) that fail on a transport error
+//     are retried once on a fresh connection; writes are never
+//     auto-retried (the frames may have reached the server).
+//   - A RETRY frame (admission control shed the request) surfaces as
+//     *BusyError with the server's backoff hint — like a 503, honoring
+//     it is the caller's decision, so the client does not sleep-retry
+//     on its own.
+//
+// The client launches no goroutines and is safe for concurrent use.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/odbis/odbis/internal/proto"
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// Config configures a pooled client.
+type Config struct {
+	// Addr is the platform's -listen-proto address (host:port).
+	Addr string
+	// Token is the bearer token presented in the handshake — the same
+	// token POST /api/login returns.
+	Token string
+	// MaxConns bounds the pool (default 4).
+	MaxConns int
+	// DialTimeout bounds connection establishment including the
+	// handshake (default 5s).
+	DialTimeout time.Duration
+	// CallTimeout, when set, caps each call even if the caller's
+	// context carries no deadline.
+	CallTimeout time.Duration
+	// MaxIdleTime is how long a pooled connection may sit unused before
+	// checkout ping-verifies it (default 30s; 0 uses the default,
+	// negative disables the check).
+	MaxIdleTime time.Duration
+	// MaxFrame bounds inbound frame payloads (default proto's).
+	MaxFrame int
+}
+
+// Result is one query's complete result set.
+type Result struct {
+	Columns  []string
+	Rows     []storage.Row
+	Affected int
+	// Plan is the server's access-path description for the outermost
+	// table, as in the HTTP result shape.
+	Plan string
+}
+
+// ServerError is a failure reported by the platform (an ERROR frame).
+// Code carries the same HTTP-equivalent status the JSON API would
+// return for the identical request.
+type ServerError struct {
+	Code    int
+	Message string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("odbis: server error %d: %s", e.Code, e.Message)
+}
+
+// BusyError is an admission-control rejection (a RETRY frame): the
+// platform shed the request before executing it. Backoff is the
+// server's hint; the request may be retried after it.
+type BusyError struct {
+	Backoff time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("odbis: server at capacity, retry after %v", e.Backoff)
+}
+
+// ErrClosed is returned by calls on a closed client.
+var ErrClosed = errors.New("odbis: client closed")
+
+// errGoAway marks a server-initiated drain observed mid-call.
+var errGoAway = errors.New("odbis: server sent GOAWAY")
+
+// Client is a bounded pool of authenticated protocol connections.
+type Client struct {
+	cfg Config
+	// slots bounds total live connections: a token is held for every
+	// checked-out OR idle connection's caller; acquiring one is the
+	// right to dial if the idle stack is empty.
+	slots chan struct{}
+
+	mu     sync.Mutex
+	idle   []*poolConn // LIFO: most recently used first, stays warm
+	closed bool
+
+	// tenant is the identity the server confirmed in the first WELCOME.
+	tenantOnce sync.Once
+	tenant     string
+}
+
+// poolConn is one authenticated connection. It is owned by exactly one
+// caller between checkout and checkin, so its state needs no lock.
+type poolConn struct {
+	conn     net.Conn
+	w        *proto.Writer
+	r        *proto.Reader
+	buf      []byte // reused encode buffer
+	nextID   uint32
+	lastUsed time.Time
+}
+
+// Dial validates the configuration and establishes (and pools) one
+// connection eagerly, so a bad address or token fails here rather than
+// on the first query.
+func Dial(cfg Config) (*Client, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("odbis: Config.Addr is required")
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 4
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.MaxIdleTime == 0 {
+		cfg.MaxIdleTime = 30 * time.Second
+	}
+	c := &Client{cfg: cfg, slots: make(chan struct{}, cfg.MaxConns)}
+	pc, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.idle = append(c.idle, pc)
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Tenant returns the tenant identity the server confirmed during the
+// first handshake ("" before any connection succeeded).
+func (c *Client) Tenant() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tenant
+}
+
+// Close tears down idle connections and marks the client closed.
+// Checked-out connections are closed as they come back.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, pc := range idle {
+		pc.goodbye()
+	}
+	return nil
+}
+
+// Query runs one statement and returns its complete result. Idempotent
+// reads (SELECT/EXPLAIN) are retried once on a fresh connection after
+// a transport failure; server-reported errors are never retried.
+func (c *Client) Query(ctx context.Context, sqlText string, args ...storage.Value) (*Result, error) {
+	res, err := c.do(ctx, sqlText, args)
+	if err != nil && retriableRead(sqlText, err) && ctx.Err() == nil {
+		res, err = c.do(ctx, sqlText, args)
+	}
+	return res, err
+}
+
+// Ping round-trips a keepalive frame on a pooled connection.
+func (c *Client) Ping(ctx context.Context) error {
+	pc, err := c.checkout(ctx)
+	if err != nil {
+		return err
+	}
+	if err := pc.applyDeadline(ctx, c.cfg.CallTimeout); err != nil {
+		c.checkin(pc, false)
+		return err
+	}
+	err = pc.ping()
+	c.checkin(pc, err == nil)
+	return err
+}
+
+// retriableRead reports whether the statement is an idempotent read
+// whose failure mode was transport-level (the request may never have
+// executed, and re-executing is harmless even if it did). Server
+// ERROR and RETRY responses are deterministic answers, not transport
+// failures, and are never retried here.
+func retriableRead(sqlText string, err error) bool {
+	var se *ServerError
+	var be *BusyError
+	if errors.As(err, &se) || errors.As(err, &be) || errors.Is(err, ErrClosed) {
+		return false
+	}
+	head := strings.ToUpper(strings.TrimSpace(sqlText))
+	return strings.HasPrefix(head, "SELECT") || strings.HasPrefix(head, "EXPLAIN")
+}
+
+// do runs one query attempt over one checked-out connection.
+func (c *Client) do(ctx context.Context, sqlText string, args []storage.Value) (*Result, error) {
+	pc, err := c.checkout(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := pc.applyDeadline(ctx, c.cfg.CallTimeout); err != nil {
+		c.checkin(pc, false)
+		return nil, err
+	}
+	res, err := pc.query(sqlText, args)
+	if err != nil {
+		// The connection survives only server-level answers; any
+		// transport or framing error poisons it.
+		var se *ServerError
+		var be *BusyError
+		healthy := errors.As(err, &se) || errors.As(err, &be)
+		c.checkin(pc, healthy)
+		return nil, err
+	}
+	c.checkin(pc, true)
+	return res, nil
+}
+
+// checkout acquires a pool slot and returns a healthy connection:
+// the most recently used idle one (ping-verified when it sat idle too
+// long) or a freshly dialed one.
+func (c *Client) checkout(ctx context.Context) (*poolConn, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	select {
+	case c.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	// Slot held from here: every return path either hands the caller a
+	// connection (checkin releases) or releases the slot itself.
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			<-c.slots
+			return nil, ErrClosed
+		}
+		var pc *poolConn
+		if n := len(c.idle); n > 0 {
+			pc = c.idle[n-1]
+			c.idle = c.idle[:n-1]
+		}
+		c.mu.Unlock()
+		if pc == nil {
+			break
+		}
+		if c.cfg.MaxIdleTime > 0 && time.Since(pc.lastUsed) > c.cfg.MaxIdleTime {
+			// Health check: a stale connection must prove liveness
+			// before it may carry a request.
+			pc.conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+			if pc.ping() != nil {
+				pc.conn.Close()
+				continue // next idle candidate, or dial fresh
+			}
+		}
+		return pc, nil
+	}
+	pc, err := c.dial()
+	if err != nil {
+		<-c.slots
+		return nil, err
+	}
+	return pc, nil
+}
+
+// checkin returns a connection to the pool (healthy) or discards it
+// (broken), releasing the caller's slot either way.
+func (c *Client) checkin(pc *poolConn, healthy bool) {
+	pc.lastUsed = time.Now()
+	pc.conn.SetDeadline(time.Time{})
+	c.mu.Lock()
+	if healthy && !c.closed {
+		c.idle = append(c.idle, pc)
+		c.mu.Unlock()
+		<-c.slots
+		return
+	}
+	c.mu.Unlock()
+	if healthy {
+		pc.goodbye()
+	} else {
+		pc.conn.Close()
+	}
+	<-c.slots
+}
+
+// dial establishes and authenticates one connection.
+func (c *Client) dial() (*poolConn, error) {
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+	pc := &poolConn{conn: conn, w: proto.NewWriter(conn), r: proto.NewReader(conn)}
+	if c.cfg.MaxFrame > 0 {
+		pc.r.SetMaxFrame(c.cfg.MaxFrame)
+	}
+	pc.buf = proto.AppendHello(pc.buf[:0], c.cfg.Token)
+	if err := pc.writeFrame(proto.FrameHello, pc.buf); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ft, payload, err := pc.r.ReadFrame()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	switch ft {
+	case proto.FrameWelcome:
+		tenantID, err := proto.ParseWelcome(payload)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		c.rememberTenant(tenantID)
+	case proto.FrameError:
+		_, code, msg, perr := proto.ParseError(payload)
+		conn.Close()
+		if perr != nil {
+			return nil, perr
+		}
+		return nil, &ServerError{Code: int(code), Message: msg}
+	case proto.FrameGoAway:
+		reason, _ := proto.ParseGoAway(payload)
+		conn.Close()
+		return nil, fmt.Errorf("odbis: server refused session: %s", reason)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("odbis: unexpected %v during handshake", ft)
+	}
+	conn.SetDeadline(time.Time{})
+	pc.lastUsed = time.Now()
+	return pc, nil
+}
+
+func (c *Client) rememberTenant(id string) {
+	c.tenantOnce.Do(func() {
+		c.mu.Lock()
+		c.tenant = id
+		c.mu.Unlock()
+	})
+}
+
+// applyDeadline pushes the tighter of the context deadline and the
+// call-timeout floor down onto the socket, so a stalled server cannot
+// hold a call past its budget.
+func (pc *poolConn) applyDeadline(ctx context.Context, callTimeout time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	deadline := time.Time{}
+	if callTimeout > 0 {
+		deadline = time.Now().Add(callTimeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	return pc.conn.SetDeadline(deadline)
+}
+
+func (pc *poolConn) writeFrame(ft proto.FrameType, payload []byte) error {
+	if err := pc.w.WriteFrame(ft, payload); err != nil {
+		return err
+	}
+	return pc.w.Flush()
+}
+
+// query sends one QUERY frame and consumes its full response stream.
+func (pc *poolConn) query(sqlText string, args []storage.Value) (*Result, error) {
+	pc.nextID++
+	id := pc.nextID
+	var err error
+	if pc.buf, err = proto.AppendQuery(pc.buf[:0], id, sqlText, args); err != nil {
+		return nil, err
+	}
+	if err := pc.writeFrame(proto.FrameQuery, pc.buf); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for {
+		ft, payload, err := pc.r.ReadFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch ft {
+		case proto.FrameResultHeader:
+			gotID, cols, err := proto.ParseResultHeader(payload)
+			if err != nil {
+				return nil, err
+			}
+			if gotID != id {
+				return nil, fmt.Errorf("odbis: response for request %d, expected %d", gotID, id)
+			}
+			res.Columns = cols
+		case proto.FrameResultChunk:
+			gotID, rows, err := proto.ParseRows(payload)
+			if err != nil {
+				return nil, err
+			}
+			if gotID != id {
+				return nil, fmt.Errorf("odbis: chunk for request %d, expected %d", gotID, id)
+			}
+			res.Rows = append(res.Rows, rows...)
+		case proto.FrameResultDone:
+			gotID, affected, _, plan, err := proto.ParseDone(payload)
+			if err != nil {
+				return nil, err
+			}
+			if gotID != id {
+				return nil, fmt.Errorf("odbis: done for request %d, expected %d", gotID, id)
+			}
+			res.Affected = int(affected)
+			res.Plan = plan
+			return res, nil
+		case proto.FrameError:
+			_, code, msg, perr := proto.ParseError(payload)
+			if perr != nil {
+				return nil, perr
+			}
+			return nil, &ServerError{Code: int(code), Message: msg}
+		case proto.FrameRetry:
+			_, backoff, perr := proto.ParseRetry(payload)
+			if perr != nil {
+				return nil, perr
+			}
+			return nil, &BusyError{Backoff: backoff}
+		case proto.FrameGoAway:
+			return nil, errGoAway
+		default:
+			return nil, fmt.Errorf("odbis: unexpected %v frame", ft)
+		}
+	}
+}
+
+// ping round-trips a PING frame.
+func (pc *poolConn) ping() error {
+	const probe = "hc"
+	if err := pc.writeFrame(proto.FramePing, []byte(probe)); err != nil {
+		return err
+	}
+	for {
+		ft, payload, err := pc.r.ReadFrame()
+		if err != nil {
+			return err
+		}
+		switch ft {
+		case proto.FramePong:
+			if string(payload) != probe {
+				return errors.New("odbis: pong payload mismatch")
+			}
+			return nil
+		case proto.FrameGoAway:
+			return errGoAway
+		default:
+			return fmt.Errorf("odbis: unexpected %v frame awaiting PONG", ft)
+		}
+	}
+}
+
+// goodbye announces a graceful close before closing the socket.
+func (pc *poolConn) goodbye() {
+	pc.conn.SetDeadline(time.Now().Add(time.Second))
+	pc.writeFrame(proto.FrameGoAway, proto.AppendGoAway(nil, "client closing"))
+	pc.conn.Close()
+}

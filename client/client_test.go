@@ -1,0 +1,308 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/odbis/odbis/internal/fault"
+	"github.com/odbis/odbis/internal/netsrv"
+	"github.com/odbis/odbis/internal/security"
+	"github.com/odbis/odbis/internal/server"
+	"github.com/odbis/odbis/internal/services"
+	"github.com/odbis/odbis/internal/storage"
+	"github.com/odbis/odbis/internal/tenant"
+)
+
+// newTestStack boots an in-memory platform with a protocol listener
+// and returns the listener address plus a designer user's token.
+func newTestStack(t *testing.T, opts netsrv.Options) (net.Addr, string) {
+	t.Helper()
+	e := storage.MustOpenMemory()
+	t.Cleanup(func() { e.Close() })
+	reg, err := tenant.NewRegistry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := security.NewManager(e, security.Options{HashIterations: 8, TokenSecret: []byte("test")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := services.NewPlatform(reg, sec)
+	if err := p.Bootstrap("root", "toor"); err != nil {
+		t.Fatal(err)
+	}
+	root, _, err := p.Login("root", "toor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := root.CreateTenant(ctx, "acme", "Acme", "standard"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.CreateUser(ctx, security.UserSpec{
+		Username: "ada", Password: "pw", Tenant: "acme",
+		Roles: []string{services.RoleDesigner},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, token, err := p.Login("ada", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := netsrv.New(p, opts)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr, token
+}
+
+func TestDialQueryClose(t *testing.T) {
+	addr, token := newTestStack(t, netsrv.Options{})
+	c, err := Dial(Config{Addr: addr.String(), Token: token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Tenant() != "acme" {
+		t.Fatalf("tenant = %q, want acme", c.Tenant())
+	}
+	ctx := context.Background()
+	if _, err := c.Query(ctx, "CREATE TABLE t (a INT, b TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(ctx, "INSERT INTO t (a, b) VALUES (?, ?)", int64(1), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 1 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	res, err = c.Query(ctx, "SELECT a, b FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 || len(res.Rows) != 1 || res.Rows[0][0] != int64(1) || res.Rows[0][1] != "x" {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestDialBadToken(t *testing.T) {
+	addr, _ := newTestStack(t, netsrv.Options{})
+	_, err := Dial(Config{Addr: addr.String(), Token: "bogus"})
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != 401 {
+		t.Fatalf("err = %v, want ServerError 401", err)
+	}
+}
+
+func TestServerErrorDoesNotPoisonConnection(t *testing.T) {
+	addr, token := newTestStack(t, netsrv.Options{})
+	c, err := Dial(Config{Addr: addr.String(), Token: token, MaxConns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	_, err = c.Query(ctx, "SELECT nope FROM missing")
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want ServerError", err)
+	}
+	// Same (sole) connection serves the next request fine.
+	if _, err := c.Query(ctx, "CREATE TABLE ok (i INT)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusyErrorSurfacesBackoff(t *testing.T) {
+	adm := server.NewAdmission(1, 0)
+	addr, token := newTestStack(t, netsrv.Options{Admission: adm, RetryBackoff: 300 * time.Millisecond})
+	c, err := Dial(Config{Addr: addr.String(), Token: token, MaxConns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ok, _ := adm.Acquire(context.Background())
+	if !ok {
+		t.Fatal("could not saturate admission")
+	}
+	_, err = c.Query(context.Background(), "SELECT 1")
+	var be *BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want BusyError", err)
+	}
+	if be.Backoff != 300*time.Millisecond {
+		t.Fatalf("backoff = %v", be.Backoff)
+	}
+	adm.Release()
+	// A shed request is not a broken connection: the pool reuses it.
+	if _, err := c.Query(context.Background(), "CREATE TABLE ok (i INT)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIdempotentReadRetriesOnFreshConnection kills the pooled
+// connection under the client's feet; the next SELECT must transparently
+// land on a fresh connection, while a write must surface the failure.
+func TestIdempotentReadRetriesOnFreshConnection(t *testing.T) {
+	addr, token := newTestStack(t, netsrv.Options{})
+	c, err := Dial(Config{Addr: addr.String(), Token: token, MaxConns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if _, err := c.Query(ctx, "CREATE TABLE r (i INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(ctx, "INSERT INTO r (i) VALUES (?)", int64(7)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison the pooled socket from the client side: the server never
+	// executed anything, the next use just fails at the transport.
+	c.mu.Lock()
+	c.idle[0].conn.Close()
+	c.mu.Unlock()
+
+	res, err := c.Query(ctx, "SELECT i FROM r")
+	if err != nil {
+		t.Fatalf("read did not retry: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != int64(7) {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+
+	// Same poisoning, but a write: no auto-retry.
+	c.mu.Lock()
+	c.idle[0].conn.Close()
+	c.mu.Unlock()
+	if _, err := c.Query(ctx, "INSERT INTO r (i) VALUES (?)", int64(8)); err == nil {
+		t.Fatal("write after transport failure must error, not silently retry")
+	}
+}
+
+// TestHealthCheckedCheckout proves a connection idle beyond MaxIdleTime
+// is ping-verified (and replaced when dead) before carrying a request.
+func TestHealthCheckedCheckout(t *testing.T) {
+	addr, token := newTestStack(t, netsrv.Options{})
+	c, err := Dial(Config{Addr: addr.String(), Token: token, MaxConns: 1, MaxIdleTime: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if _, err := c.Query(ctx, "CREATE TABLE h (i INT)"); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the idle connection; with MaxIdleTime=1ns every checkout
+	// health-checks, discovers the corpse, and dials fresh — so the
+	// query below succeeds without ever seeing the dead socket.
+	c.mu.Lock()
+	c.idle[0].conn.Close()
+	c.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	if _, err := c.Query(ctx, "INSERT INTO h (i) VALUES (?)", int64(1)); err != nil {
+		t.Fatalf("health-checked checkout failed: %v", err)
+	}
+}
+
+func TestPing(t *testing.T) {
+	addr, token := newTestStack(t, netsrv.Options{})
+	c, err := Dial(Config{Addr: addr.String(), Token: token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallDeadline(t *testing.T) {
+	addr, token := newTestStack(t, netsrv.Options{})
+	c, err := Dial(Config{Addr: addr.String(), Token: token, MaxConns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Hold the server's request path with a delay fault, then issue a
+	// query under a short context deadline: the socket deadline trips
+	// and the call comes back instead of hanging.
+	if err := fault.Arm(fault.NetsrvSession, fault.Behavior{Mode: fault.ModeDelay, Delay: 3 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Query(ctx, "CREATE TABLE d (i INT)")
+	if err == nil {
+		t.Fatal("want deadline error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("call took %v, deadline did not bite", elapsed)
+	}
+}
+
+func TestClosedClient(t *testing.T) {
+	addr, token := newTestStack(t, netsrv.Options{})
+	c, err := Dial(Config{Addr: addr.String(), Token: token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Query(context.Background(), "SELECT 1"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestBoundedPoolUnderConcurrency hammers a small pool from many
+// goroutines; every request must complete and the pool must never
+// exceed its bound (enforced structurally by the slot channel — this
+// test proves liveness under contention, and runs under -race in CI).
+func TestBoundedPoolUnderConcurrency(t *testing.T) {
+	addr, token := newTestStack(t, netsrv.Options{})
+	c, err := Dial(Config{Addr: addr.String(), Token: token, MaxConns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if _, err := c.Query(ctx, "CREATE TABLE load (w INT, i INT)"); err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 10, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := c.Query(ctx, "INSERT INTO load (w, i) VALUES (?, ?)", int64(w), int64(i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res, err := c.Query(ctx, "SELECT COUNT(*) FROM load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != int64(workers*perWorker) {
+		t.Fatalf("count = %v, want %d", res.Rows[0][0], workers*perWorker)
+	}
+}

@@ -1,0 +1,345 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/odbis/odbis"
+	"github.com/odbis/odbis/client"
+	"github.com/odbis/odbis/internal/workload"
+)
+
+// runner executes one mix statement against a server. Both
+// implementations are safe for concurrent use by many workers.
+type runner interface {
+	do(ctx context.Context, s workload.Stmt) (rows int, err error)
+	close()
+}
+
+// --- binary runner: the pooled wire-protocol client ---
+
+type binaryRunner struct{ c *client.Client }
+
+func newBinaryRunner(addr, token string, conns int) (*binaryRunner, error) {
+	c, err := client.Dial(client.Config{Addr: addr, Token: token, MaxConns: conns})
+	if err != nil {
+		return nil, err
+	}
+	return &binaryRunner{c: c}, nil
+}
+
+func (r *binaryRunner) do(ctx context.Context, s workload.Stmt) (int, error) {
+	res, err := r.c.Query(ctx, s.SQL, s.Args...)
+	if err != nil {
+		return 0, err
+	}
+	return len(res.Rows), nil
+}
+
+func (r *binaryRunner) close() { r.c.Close() }
+
+// --- HTTP runner: POST /api/query with a keep-alive connection pool ---
+
+type httpRunner struct {
+	base  string
+	token string
+	hc    *http.Client
+}
+
+func newHTTPRunner(base, token string, conns int) *httpRunner {
+	// Mirror the binary pool bound so the A/B compares protocols, not
+	// pool sizes: at most conns warm sockets, keep-alive enabled.
+	tr := &http.Transport{
+		MaxIdleConns:        conns,
+		MaxIdleConnsPerHost: conns,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &httpRunner{
+		base:  strings.TrimSuffix(base, "/"),
+		token: token,
+		hc:    &http.Client{Transport: tr},
+	}
+}
+
+func (r *httpRunner) do(ctx context.Context, s workload.Stmt) (int, error) {
+	body := struct {
+		SQL  string `json:"sql"`
+		Args []any  `json:"args,omitempty"`
+	}{SQL: s.SQL}
+	for _, a := range s.Args {
+		body.Args = append(body.Args, a)
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/api/query", bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Authorization", "Bearer "+r.token)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, fmt.Errorf("http %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var out struct {
+		Rows [][]any `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return len(out.Rows), nil
+}
+
+func (r *httpRunner) close() { r.hc.CloseIdleConnections() }
+
+// --- closed-loop load ---
+
+// loadConfig shapes one measured run.
+type loadConfig struct {
+	Workers  int
+	Duration time.Duration
+	// MaxRequests stops the run after this many statements regardless of
+	// Duration (0 = duration-bounded only; benchmarks use it for b.N).
+	MaxRequests int
+	WritePct    int
+	Seed        int64
+	SeedRows    int
+	// SkipSetup assumes the mix table already exists (the benchmark
+	// prepares it outside the timed region).
+	SkipSetup bool
+}
+
+// loadStats is the outcome of one run.
+type loadStats struct {
+	Requests int
+	Errors   int
+	Rows     int64
+	Elapsed  time.Duration
+	Mean     time.Duration
+	P50      time.Duration
+	P95      time.Duration
+	P99      time.Duration
+}
+
+// RowsPerSec is streamed result-row throughput.
+func (s loadStats) RowsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Rows) / s.Elapsed.Seconds()
+}
+
+// RequestsPerSec is statement throughput.
+func (s loadStats) RequestsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Requests) / s.Elapsed.Seconds()
+}
+
+// ErrorRate is the fraction of statements that failed.
+func (s loadStats) ErrorRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Errors) / float64(s.Requests)
+}
+
+// setupMix prepares the tenant's table through the runner. A pre-existing
+// table is tolerated so an external target can host repeated runs.
+func setupMix(ctx context.Context, r runner, m workload.Mix, seed int64, seedRows int) error {
+	rng := rand.New(rand.NewSource(seed))
+	for i, s := range m.SetupStmts(rng, seedRows) {
+		if _, err := r.do(ctx, s); err != nil {
+			if i == 0 && strings.Contains(err.Error(), "exists") {
+				continue
+			}
+			return fmt.Errorf("setup: %w", err)
+		}
+	}
+	return nil
+}
+
+// runLoad drives the closed loop: Workers goroutines each draw from
+// their own deterministic mix stream and issue the next statement as
+// soon as the previous one completes, until the deadline (or request
+// budget) is reached. Per-statement wall latency is recorded and merged
+// into percentiles at the end.
+func runLoad(ctx context.Context, r runner, cfg loadConfig) (loadStats, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	m := workload.Mix{WritePct: cfg.WritePct}
+	if !cfg.SkipSetup {
+		if err := setupMix(ctx, r, m, cfg.Seed, cfg.SeedRows); err != nil {
+			return loadStats{}, err
+		}
+	}
+
+	var (
+		wg        sync.WaitGroup
+		latencies = make([][]time.Duration, cfg.Workers)
+		errCounts = make([]int, cfg.Workers)
+		rowCounts = make([]int64, cfg.Workers)
+		issued    atomic.Int64
+	)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			lats := make([]time.Duration, 0, 1024)
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				if cfg.MaxRequests > 0 && issued.Add(1) > int64(cfg.MaxRequests) {
+					break
+				}
+				s := m.Next(rng)
+				t0 := time.Now()
+				rows, err := r.do(ctx, s)
+				lats = append(lats, time.Since(t0))
+				if err != nil {
+					errCounts[w]++
+					continue
+				}
+				rowCounts[w] += int64(rows)
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	st := loadStats{Elapsed: elapsed}
+	for w := 0; w < cfg.Workers; w++ {
+		all = append(all, latencies[w]...)
+		st.Errors += errCounts[w]
+		st.Rows += rowCounts[w]
+	}
+	st.Requests = len(all)
+	if len(all) == 0 {
+		return st, fmt.Errorf("no requests completed in %v", cfg.Duration)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	st.Mean = sum / time.Duration(len(all))
+	st.P50 = percentile(all, 50)
+	st.P95 = percentile(all, 95)
+	st.P99 = percentile(all, 99)
+	return st, nil
+}
+
+// percentile reads the pth percentile from a sorted latency slice
+// (nearest-rank on the closed index range).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted) - 1) * p / 100
+	return sorted[idx]
+}
+
+// --- self-hosted target ---
+
+// selfHost boots an in-memory platform with both front doors listening
+// on ephemeral loopback ports and returns per-mode tenants: the A/B
+// runs need isolated tables so each protocol sets up and measures the
+// same logical workload without colliding.
+type selfHosted struct {
+	platform  *odbis.Platform
+	httpLn    net.Listener
+	httpSrv   *http.Server
+	httpWG    sync.WaitGroup
+	ProtoAddr string
+	HTTPBase  string
+	// Tokens maps tenant name -> designer bearer token.
+	Tokens map[string]string
+}
+
+func startSelfHost(tenants ...string) (*selfHosted, error) {
+	p, err := odbis.Open(odbis.Options{
+		AdminUser:     "root",
+		AdminPassword: "loadpass",
+		TokenSecret:   []byte("odbis-load-selfhost"),
+		ListenProto:   "127.0.0.1:0",
+	})
+	if err != nil {
+		return nil, err
+	}
+	sh := &selfHosted{
+		platform:  p,
+		ProtoAddr: p.ProtoAddr().String(),
+		Tokens:    make(map[string]string, len(tenants)),
+	}
+	fail := func(err error) (*selfHosted, error) {
+		p.Close()
+		return nil, err
+	}
+	root, _, err := p.Login("root", "loadpass")
+	if err != nil {
+		return fail(err)
+	}
+	ctx := context.Background()
+	for _, tn := range tenants {
+		if _, err := root.CreateTenant(ctx, tn, strings.ToUpper(tn[:1])+tn[1:], "standard"); err != nil {
+			return fail(err)
+		}
+		user := tn + "-loader"
+		if err := root.CreateUser(ctx, odbis.UserSpec{
+			Username: user, Password: "pw", Tenant: tn,
+			Roles: []string{odbis.RoleDesigner},
+		}); err != nil {
+			return fail(err)
+		}
+		_, token, err := p.Login(user, "pw")
+		if err != nil {
+			return fail(err)
+		}
+		sh.Tokens[tn] = token
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	sh.httpLn = ln
+	sh.HTTPBase = "http://" + ln.Addr().String()
+	sh.httpSrv = &http.Server{Handler: p.Handler()}
+	sh.httpWG.Add(1)
+	go func() {
+		defer sh.httpWG.Done()
+		sh.httpSrv.Serve(ln)
+	}()
+	return sh, nil
+}
+
+func (sh *selfHosted) Close() {
+	sh.httpSrv.Close()
+	sh.httpWG.Wait()
+	sh.platform.Close()
+}

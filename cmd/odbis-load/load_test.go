@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/odbis/odbis/internal/workload"
+)
+
+// TestHarnessABSelfHost runs the real A/B pair end to end on a
+// self-hosted platform: both runners must complete a short mixed run
+// with zero errors and produce sane latency ladders.
+func TestHarnessABSelfHost(t *testing.T) {
+	sh, err := startSelfHost("loadbin", "loadhttp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	cfg := loadConfig{
+		Workers:  4,
+		Duration: 500 * time.Millisecond,
+		WritePct: 20,
+		Seed:     1,
+		SeedRows: 50,
+	}
+	ctx := context.Background()
+
+	br, err := newBinaryRunner(sh.ProtoAddr, sh.Tokens["loadbin"], cfg.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bst, err := runLoad(ctx, br, cfg)
+	br.close()
+	if err != nil {
+		t.Fatalf("binary run: %v", err)
+	}
+
+	hr := newHTTPRunner(sh.HTTPBase, sh.Tokens["loadhttp"], cfg.Workers)
+	hst, err := runLoad(ctx, hr, cfg)
+	hr.close()
+	if err != nil {
+		t.Fatalf("http run: %v", err)
+	}
+
+	for name, st := range map[string]loadStats{"binary": bst, "http": hst} {
+		if st.Errors != 0 {
+			t.Errorf("%s: %d/%d requests errored", name, st.Errors, st.Requests)
+		}
+		if st.Requests < cfg.Workers {
+			t.Errorf("%s: only %d requests completed", name, st.Requests)
+		}
+		if st.Rows == 0 {
+			t.Errorf("%s: no result rows streamed", name)
+		}
+		if st.P50 > st.P95 || st.P95 > st.P99 {
+			t.Errorf("%s: percentile ladder out of order: p50 %v p95 %v p99 %v",
+				name, st.P50, st.P95, st.P99)
+		}
+	}
+}
+
+// TestHarnessRequestBudget pins the MaxRequests stop condition the
+// benchmark relies on: the run ends at the budget, not the deadline.
+func TestHarnessRequestBudget(t *testing.T) {
+	sh, err := startSelfHost("loadbin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	r, err := newBinaryRunner(sh.ProtoAddr, sh.Tokens["loadbin"], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	st, err := runLoad(context.Background(), r, loadConfig{
+		Workers:     2,
+		Duration:    time.Minute,
+		MaxRequests: 25,
+		Seed:        1,
+		SeedRows:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests > 25 {
+		t.Fatalf("requests = %d, budget was 25", st.Requests)
+	}
+	if st.Elapsed > 30*time.Second {
+		t.Fatalf("run took %v, deadline leaked past the budget", st.Elapsed)
+	}
+}
+
+// BenchmarkLoadHarness measures end-to-end per-request latency of the
+// binary path under concurrent mixed load on a self-hosted platform,
+// reporting the tail as a p99_ns custom metric (gated by perf_budget).
+func BenchmarkLoadHarness(b *testing.B) {
+	sh, err := startSelfHost("loadbin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sh.Close()
+	r, err := newBinaryRunner(sh.ProtoAddr, sh.Tokens["loadbin"], 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.close()
+	// Table + seed rows are built once, outside the timed region.
+	if err := setupMix(context.Background(), r, workload.Mix{WritePct: 20}, 1, 100); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	st, err := runLoad(context.Background(), r, loadConfig{
+		Workers:     4,
+		Duration:    time.Hour, // budget-bounded, not deadline-bounded
+		MaxRequests: b.N,
+		WritePct:    20,
+		Seed:        1,
+		SkipSetup:   true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if st.Errors > 0 {
+		b.Fatalf("%d/%d requests errored", st.Errors, st.Requests)
+	}
+	b.ReportMetric(float64(st.P99.Nanoseconds()), "p99_ns")
+	b.ReportMetric(st.RowsPerSec(), "rows/s")
+}

@@ -1,0 +1,186 @@
+// Command odbis-load is the closed-loop load harness: it drives the
+// platform with the canonical workload mix (dashboard-style aggregate
+// reads plus ingest writes) at a configurable concurrency and reports
+// p50/p95/p99 latency, request and row throughput, and error rate.
+//
+// With no target flags it self-hosts: an in-memory platform is booted
+// with both front doors on ephemeral loopback ports and the harness
+// runs the HTTP-vs-binary A/B pair against it, one isolated tenant per
+// protocol, same seed — the per-request latency comparison between the
+// JSON HTTP API and the binary wire protocol:
+//
+//	odbis-load -concurrency 8 -duration 10s -out BENCH_PR10.json
+//
+// Against a running server, point it at one front door:
+//
+//	odbis-load -mode binary -addr host:9091 -token $TOKEN
+//	odbis-load -mode http -http-addr http://host:8080 -token $TOKEN
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+)
+
+// statsJSON is the serialized form of one measured run.
+type statsJSON struct {
+	Requests       int     `json:"requests"`
+	Errors         int     `json:"errors"`
+	ErrorRate      float64 `json:"error_rate"`
+	ElapsedSec     float64 `json:"elapsed_sec"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	RowsPerSec     float64 `json:"rows_per_sec"`
+	MeanNs         int64   `json:"mean_ns"`
+	P50Ns          int64   `json:"p50_ns"`
+	P95Ns          int64   `json:"p95_ns"`
+	P99Ns          int64   `json:"p99_ns"`
+}
+
+func toStatsJSON(s loadStats) *statsJSON {
+	return &statsJSON{
+		Requests:       s.Requests,
+		Errors:         s.Errors,
+		ErrorRate:      s.ErrorRate(),
+		ElapsedSec:     s.Elapsed.Seconds(),
+		RequestsPerSec: s.RequestsPerSec(),
+		RowsPerSec:     s.RowsPerSec(),
+		MeanNs:         s.Mean.Nanoseconds(),
+		P50Ns:          s.P50.Nanoseconds(),
+		P95Ns:          s.P95.Nanoseconds(),
+		P99Ns:          s.P99.Nanoseconds(),
+	}
+}
+
+// report is the BENCH_PR10.json document.
+type report struct {
+	Harness     string     `json:"harness"`
+	Mode        string     `json:"mode"`
+	SelfHost    bool       `json:"self_host"`
+	Concurrency int        `json:"concurrency"`
+	DurationSec float64    `json:"duration_sec"`
+	WritePct    int        `json:"write_pct"`
+	Seed        int64      `json:"seed"`
+	Binary      *statsJSON `json:"binary,omitempty"`
+	HTTP        *statsJSON `json:"http,omitempty"`
+	// BinaryP50SpeedupPct is how much lower the binary path's median
+	// per-request latency is than HTTP's, in percent (A/B mode only).
+	BinaryP50SpeedupPct float64 `json:"binary_p50_speedup_pct,omitempty"`
+}
+
+func main() {
+	var (
+		mode        = flag.String("mode", "ab", "what to measure: ab (HTTP-vs-binary pair), binary, or http")
+		addr        = flag.String("addr", "", "binary-protocol address of a running server (empty = self-host)")
+		httpAddr    = flag.String("http-addr", "", "HTTP base URL of a running server (empty = self-host)")
+		token       = flag.String("token", "", "bearer token for an external target")
+		concurrency = flag.Int("concurrency", 8, "closed-loop workers (and connection-pool bound)")
+		duration    = flag.Duration("duration", 5*time.Second, "measured run length per mode")
+		writePct    = flag.Int("write-pct", 20, "percent of statements that are ingest writes")
+		seed        = flag.Int64("seed", 1, "mix seed; both A/B sides replay the same statement streams")
+		seedRows    = flag.Int("seed-rows", 200, "rows preloaded before measuring")
+		out         = flag.String("out", "", "write the JSON report here (empty = stdout)")
+	)
+	flag.Parse()
+
+	rep := report{
+		Harness:     "odbis-load",
+		Mode:        *mode,
+		Concurrency: *concurrency,
+		DurationSec: duration.Seconds(),
+		WritePct:    *writePct,
+		Seed:        *seed,
+	}
+	cfg := loadConfig{
+		Workers:  *concurrency,
+		Duration: *duration,
+		WritePct: *writePct,
+		Seed:     *seed,
+		SeedRows: *seedRows,
+	}
+	ctx := context.Background()
+
+	wantBinary := *mode == "ab" || *mode == "binary"
+	wantHTTP := *mode == "ab" || *mode == "http"
+	if !wantBinary && !wantHTTP {
+		log.Fatalf("odbis-load: unknown -mode %q (want ab, binary or http)", *mode)
+	}
+
+	selfHost := *addr == "" && *httpAddr == ""
+	rep.SelfHost = selfHost
+	binAddr, httpBase := *addr, *httpAddr
+	binToken, httpToken := *token, *token
+	if selfHost {
+		tenants := []string{}
+		if wantBinary {
+			tenants = append(tenants, "loadbin")
+		}
+		if wantHTTP {
+			tenants = append(tenants, "loadhttp")
+		}
+		sh, err := startSelfHost(tenants...)
+		if err != nil {
+			log.Fatalf("odbis-load: self-host: %v", err)
+		}
+		defer sh.Close()
+		binAddr, httpBase = sh.ProtoAddr, sh.HTTPBase
+		binToken, httpToken = sh.Tokens["loadbin"], sh.Tokens["loadhttp"]
+		log.Printf("self-hosted target: binary %s, http %s", binAddr, httpBase)
+	} else if *token == "" {
+		log.Fatal("odbis-load: -token is required for an external target")
+	}
+
+	if wantBinary {
+		if binAddr == "" {
+			log.Fatal("odbis-load: -mode binary needs -addr (or self-host)")
+		}
+		r, err := newBinaryRunner(binAddr, binToken, *concurrency)
+		if err != nil {
+			log.Fatalf("odbis-load: dial %s: %v", binAddr, err)
+		}
+		st, err := runLoad(ctx, r, cfg)
+		r.close()
+		if err != nil {
+			log.Fatalf("odbis-load: binary run: %v", err)
+		}
+		rep.Binary = toStatsJSON(st)
+		log.Printf("binary: %d req (%.0f req/s, %.0f rows/s), p50 %v p99 %v, errors %.2f%%",
+			st.Requests, st.RequestsPerSec(), st.RowsPerSec(), st.P50, st.P99, 100*st.ErrorRate())
+	}
+	if wantHTTP {
+		if httpBase == "" {
+			log.Fatal("odbis-load: -mode http needs -http-addr (or self-host)")
+		}
+		r := newHTTPRunner(httpBase, httpToken, *concurrency)
+		st, err := runLoad(ctx, r, cfg)
+		r.close()
+		if err != nil {
+			log.Fatalf("odbis-load: http run: %v", err)
+		}
+		rep.HTTP = toStatsJSON(st)
+		log.Printf("http: %d req (%.0f req/s, %.0f rows/s), p50 %v p99 %v, errors %.2f%%",
+			st.Requests, st.RequestsPerSec(), st.RowsPerSec(), st.P50, st.P99, 100*st.ErrorRate())
+	}
+	if rep.Binary != nil && rep.HTTP != nil && rep.HTTP.P50Ns > 0 {
+		rep.BinaryP50SpeedupPct = 100 * float64(rep.HTTP.P50Ns-rep.Binary.P50Ns) / float64(rep.HTTP.P50Ns)
+		log.Printf("binary p50 is %.1f%% lower than http", rep.BinaryP50SpeedupPct)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("odbis-load: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		fmt.Print(string(enc))
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("odbis-load: %v", err)
+	}
+	log.Printf("report written to %s", *out)
+}

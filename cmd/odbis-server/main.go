@@ -33,6 +33,7 @@ func main() {
 		replicaLag  = flag.Uint64("replica-max-lag", 0, "routing lag bound in WAL frames: a replica further behind serves no reads until it catches up (0 = default 1024)")
 		dlqCap      = flag.Int("bus-deadletter-cap", 0, "per-channel bus dead-letter queue bound; oldest letters drop beyond it (0 = default 128)")
 		traceRing   = flag.Int("trace-ring", 0, "in-memory request-trace history size (0 = default 128)")
+		listenProto = flag.String("listen-proto", "", "listen address for the binary wire protocol (e.g. :9091); shares the admission budget and request timeout with HTTP (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 		ReplicaMaxLag:    *replicaLag,
 		BusDeadLetterCap: *dlqCap,
 		TraceRingSize:    *traceRing,
+		ListenProto:      *listenProto,
 	}
 	if *tokenSecret != "" {
 		opts.TokenSecret = []byte(*tokenSecret)
@@ -70,6 +72,9 @@ func main() {
 		mode = "durable (" + *dataDir + ")"
 	}
 	log.Printf("odbis-server listening on %s, storage %s", *addr, mode)
+	if pa := p.ProtoAddr(); pa != nil {
+		log.Printf("binary protocol listening on %s", pa)
+	}
 	log.Printf("login: POST %s/api/login {\"username\":%q,\"password\":\"…\"}", *addr, *adminUser)
 	if err := p.ListenAndServe(*addr); err != nil {
 		log.Print(err)

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/odbis/odbis"
+)
+
+// bootPlatform starts a real in-memory platform with the binary
+// protocol listening on an ephemeral port and a designer tenant seeded
+// with deterministic rows.
+func bootPlatform(t *testing.T) (addr, token string) {
+	t.Helper()
+	p, err := odbis.Open(odbis.Options{
+		AdminUser:     "root",
+		AdminPassword: "toor",
+		TokenSecret:   []byte("odbisctl-test"),
+		ListenProto:   "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	root, _, err := p.Login("root", "toor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := root.CreateTenant(ctx, "acme", "Acme", "standard"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.CreateUser(ctx, odbis.UserSpec{
+		Username: "ada", Password: "pw", Tenant: "acme",
+		Roles: []string{odbis.RoleDesigner},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sess, token, err := p.Login("ada", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stmt := range []string{
+		"CREATE TABLE sales (region TEXT, amount FLOAT, qty INT)",
+		"INSERT INTO sales (region, amount, qty) VALUES ('north', 10.5, 3)",
+		"INSERT INTO sales (region, amount, qty) VALUES ('south', 20.25, 1)",
+		"INSERT INTO sales (region, amount, qty) VALUES ('north', 4.75, 2)",
+	} {
+		if _, err := sess.Query(ctx, stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+	return p.ProtoAddr().String(), token
+}
+
+// TestCmdQueryBinaryGolden runs the wire-protocol query path end to end
+// against a live platform and compares the rendered table byte for byte
+// with the checked-in golden file (regenerate with -update).
+var update = os.Getenv("ODBISCTL_UPDATE_GOLDEN") != ""
+
+func TestCmdQueryBinaryGolden(t *testing.T) {
+	addr, token := bootPlatform(t)
+	out, err := captureStdout(t, func() error {
+		return cmdQueryBinary(addr, token, []string{
+			"SELECT region, SUM(amount), SUM(qty) FROM sales GROUP BY region ORDER BY region",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "query_binary.golden")
+	if update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("binary query output mismatch:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+}
+
+// TestCmdQueryBinaryAffected covers the no-result-columns rendering and
+// the error paths (missing SQL, missing addr, bad token).
+func TestCmdQueryBinaryAffected(t *testing.T) {
+	addr, token := bootPlatform(t)
+	out, err := captureStdout(t, func() error {
+		return cmdQueryBinary(addr, token, []string{
+			"INSERT INTO sales (region, amount, qty) VALUES ('east', 1.0, 1)",
+		})
+	})
+	if err != nil || !strings.Contains(out, "ok (1 rows affected)") {
+		t.Errorf("insert output = %q (%v)", out, err)
+	}
+	if err := cmdQueryBinary(addr, token, nil); err == nil {
+		t.Error("query without SQL accepted")
+	}
+	if err := cmdQueryBinary("", token, []string{"SELECT 1"}); err == nil {
+		t.Error("missing -addr accepted")
+	}
+	if err := cmdQueryBinary(addr, "bogus", []string{"SELECT 1"}); err == nil {
+		t.Error("bad token accepted")
+	}
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"strconv"
+	"strings"
 )
 
 // LayerCheck enforces the Fig. 1 layer DAG. Each package group may only
@@ -9,7 +10,8 @@ import (
 // layer-skipping edge. The intended stack, top to bottom:
 //
 //	main (cmd/*, examples/*, root façade)
-//	server                      — end-user access layer
+//	server netsrv               — end-user access layer (HTTP + wire protocol)
+//	client → proto              — public wire client (outside internal/)
 //	services                    — service façades
 //	tenant report olap etl      — domain subsystems
 //	rules bpm workload security
@@ -61,14 +63,38 @@ var layerDAG = map[string][]string{
 	// engine's frame stream and reports into obs/fault, but knows nothing
 	// of SQL, tenants or services (the router above wires it in).
 	"replica": {"fault", "obs", "storage"},
+	// proto is the wire-format layer: pure encode/decode over byte
+	// slices (storage for the value vocabulary, fault for the decode
+	// injection point). It must not know who carries the frames.
+	"proto": {"fault", "storage"},
+	// netsrv is the binary-protocol front door, a sibling of server: it
+	// frames requests with proto, shares server's admission envelope,
+	// and submits work through the service layer like any access path.
+	"netsrv": {"fault", "obs", "proto", "server", "services", "storage", "tenant"},
+	// client is the public pooled wire client (the one layered package
+	// outside internal/, see layerGroupOf). It speaks proto and the
+	// value vocabulary, nothing else — a client binary must not link
+	// the server stack.
+	"client": {"proto", "storage"},
 	"services": {"bpm", "bus", "etl", "fault", "mda", "metamodel", "mddws", "obs", "olap",
 		"replica", "report", "rules", "security", "sql", "storage", "tenant", "workload"},
 	"server":   {"fault", "obs", "olap", "replica", "report", "security", "services", "sql", "storage", "tenant"},
 	"analysis": {},
 }
 
+// layerGroupOf extends groupOf with the public wire client: client/ is
+// the one layered package living outside internal/ (embedders import
+// it), so its path carries no internal/ segment and groupOf would file
+// it under the unconstrained "main" group.
+func layerGroupOf(importPath string) string {
+	if importPath == "client" || strings.HasSuffix(importPath, "/client") {
+		return "client"
+	}
+	return groupOf(importPath)
+}
+
 func runLayerCheck(pass *Pass) {
-	self := groupOf(pass.Path())
+	self := layerGroupOf(pass.Path())
 	allowed, constrained := layerDAG[self]
 	if !constrained {
 		return
@@ -87,7 +113,7 @@ func runLayerCheck(pass *Pass) {
 			// façade) carry no layer and are always allowed. The tool is
 			// project-specific and the module has no external deps, so
 			// every internal/ import is one of ours.
-			g := groupOf(path)
+			g := layerGroupOf(path)
 			if g == "main" || allowSet[g] {
 				continue
 			}

@@ -1,0 +1,10 @@
+// Package clientfix is a layercheck fixture that impersonates the
+// public wire client (its import path ends in /client with no internal/
+// segment — the layerGroupOf special case) and links the server stack —
+// exactly what the client layer exists to avoid.
+package clientfix
+
+import (
+	_ "github.com/odbis/odbis/internal/proto"
+	_ "github.com/odbis/odbis/internal/server" // want `layer "client" may not import layer "server"`
+)

@@ -1,0 +1,10 @@
+// Package netsrvfix is a layercheck fixture that impersonates the
+// binary-protocol front door (its import path ends in internal/netsrv)
+// and imports the query layer directly — the access layer must submit
+// work through the service façades, never execute SQL itself.
+package netsrvfix
+
+import (
+	_ "github.com/odbis/odbis/internal/services"
+	_ "github.com/odbis/odbis/internal/sql" // want `layer "netsrv" may not import layer "sql"`
+)

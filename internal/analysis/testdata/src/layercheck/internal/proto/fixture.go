@@ -1,0 +1,10 @@
+// Package protofix is a layercheck fixture that impersonates the wire
+// format layer (its import path ends in internal/proto) and reaches
+// into the query layer — frames carry SQL as opaque text; parsing it
+// belongs above.
+package protofix
+
+import (
+	_ "github.com/odbis/odbis/internal/sql" // want `layer "proto" may not import layer "sql"`
+	_ "github.com/odbis/odbis/internal/storage"
+)

@@ -95,6 +95,16 @@ const (
 	// routed query executes — the place to prove mid-request fallback to
 	// the primary with no user-visible error.
 	ReplicaRead = "replica.read"
+	// ProtoDecode fires before a wire frame is decoded — arming it
+	// simulates a peer whose byte stream turned to garbage mid-connection.
+	ProtoDecode = "proto.decode"
+	// NetsrvSession fires at the top of each protocol request, the wire
+	// twin of ServerHandler: the place to prove a failing request ends as
+	// an ERROR frame, not a dropped connection.
+	NetsrvSession = "netsrv.session"
+	// NetsrvWrite fires before a response frame is written — arming it
+	// simulates a write-side connection failure mid-result-stream.
+	NetsrvWrite = "netsrv.write"
 )
 
 // Known lists every canonical injection point, sorted.
@@ -106,6 +116,7 @@ func Known() []string {
 		SQLExec, ServicesQuery, ServerHandler,
 		ReplicaApply, ReplicaApplyMid, ReplicaStream, ReplicaStall,
 		ReplicaRead,
+		ProtoDecode, NetsrvSession, NetsrvWrite,
 	}
 	sort.Strings(out)
 	return out

@@ -1,0 +1,582 @@
+package netsrv
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/odbis/odbis/internal/fault"
+	"github.com/odbis/odbis/internal/proto"
+	"github.com/odbis/odbis/internal/security"
+	"github.com/odbis/odbis/internal/server"
+	"github.com/odbis/odbis/internal/services"
+	"github.com/odbis/odbis/internal/storage"
+	"github.com/odbis/odbis/internal/tenant"
+)
+
+// newTestPlatform boots an in-memory platform with one tenant ("acme")
+// and one designer user, returning the platform and the user's token.
+func newTestPlatform(t *testing.T) (*services.Platform, string) {
+	t.Helper()
+	e := storage.MustOpenMemory()
+	t.Cleanup(func() { e.Close() })
+	reg, err := tenant.NewRegistry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := security.NewManager(e, security.Options{HashIterations: 8, TokenSecret: []byte("test")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := services.NewPlatform(reg, sec)
+	if err := p.Bootstrap("root", "toor"); err != nil {
+		t.Fatal(err)
+	}
+	root, _, err := p.Login("root", "toor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := root.CreateTenant(ctx, "acme", "Acme", "standard"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.CreateUser(ctx, security.UserSpec{
+		Username: "ada", Password: "pw", Tenant: "acme",
+		Roles: []string{services.RoleDesigner},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, token, err := p.Login("ada", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, token
+}
+
+// startServer boots a protocol listener on a loopback port.
+func startServer(t *testing.T, p *services.Platform, opts Options) net.Addr {
+	t.Helper()
+	srv := New(p, opts)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+// wireConn is a bare test client over the raw frame protocol.
+type wireConn struct {
+	t    *testing.T
+	conn net.Conn
+	w    *proto.Writer
+	r    *proto.Reader
+}
+
+func dialWire(t *testing.T, addr net.Addr) *wireConn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr.String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	return &wireConn{t: t, conn: conn, w: proto.NewWriter(conn), r: proto.NewReader(conn)}
+}
+
+func (c *wireConn) send(ft proto.FrameType, payload []byte) {
+	c.t.Helper()
+	if err := c.w.WriteFrame(ft, payload); err != nil {
+		c.t.Fatalf("write %v: %v", ft, err)
+	}
+	if err := c.w.Flush(); err != nil {
+		c.t.Fatalf("flush: %v", err)
+	}
+}
+
+func (c *wireConn) recv() (proto.FrameType, []byte) {
+	c.t.Helper()
+	ft, payload, err := c.r.ReadFrame()
+	if err != nil {
+		c.t.Fatalf("read frame: %v", err)
+	}
+	return ft, payload
+}
+
+// handshake performs HELLO/WELCOME and fails the test on rejection.
+func (c *wireConn) handshake(token string) string {
+	c.t.Helper()
+	c.send(proto.FrameHello, proto.AppendHello(nil, token))
+	ft, payload := c.recv()
+	if ft != proto.FrameWelcome {
+		if ft == proto.FrameError {
+			_, code, msg, _ := proto.ParseError(payload)
+			c.t.Fatalf("handshake rejected: %d %s", code, msg)
+		}
+		c.t.Fatalf("handshake: got %v, want WELCOME", ft)
+	}
+	tenantID, err := proto.ParseWelcome(payload)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return tenantID
+}
+
+// query runs one request and collects the full result.
+func (c *wireConn) query(id uint32, sqlText string, args ...storage.Value) (cols []string, rows []storage.Row, affected uint32) {
+	c.t.Helper()
+	payload, err := proto.AppendQuery(nil, id, sqlText, args)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.send(proto.FrameQuery, payload)
+	for {
+		ft, p := c.recv()
+		switch ft {
+		case proto.FrameResultHeader:
+			gotID, gotCols, err := proto.ParseResultHeader(p)
+			if err != nil || gotID != id {
+				c.t.Fatalf("header id=%d err=%v", gotID, err)
+			}
+			cols = gotCols
+		case proto.FrameResultChunk:
+			gotID, chunk, err := proto.ParseRows(p)
+			if err != nil || gotID != id {
+				c.t.Fatalf("chunk id=%d err=%v", gotID, err)
+			}
+			rows = append(rows, chunk...)
+		case proto.FrameResultDone:
+			gotID, aff, _, _, err := proto.ParseDone(p)
+			if err != nil || gotID != id {
+				c.t.Fatalf("done id=%d err=%v", gotID, err)
+			}
+			return cols, rows, aff
+		case proto.FrameError:
+			_, code, msg, _ := proto.ParseError(p)
+			c.t.Fatalf("query error: %d %s", code, msg)
+		default:
+			c.t.Fatalf("unexpected frame %v", ft)
+		}
+	}
+}
+
+// queryErr runs one request and returns the ERROR frame's code+message.
+func (c *wireConn) queryErr(id uint32, sqlText string) (uint16, string) {
+	c.t.Helper()
+	payload, err := proto.AppendQuery(nil, id, sqlText, nil)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.send(proto.FrameQuery, payload)
+	ft, p := c.recv()
+	if ft != proto.FrameError {
+		c.t.Fatalf("got %v, want ERROR", ft)
+	}
+	gotID, code, msg, err := proto.ParseError(p)
+	if err != nil || gotID != id {
+		c.t.Fatalf("error frame id=%d err=%v", gotID, err)
+	}
+	return code, msg
+}
+
+func TestHandshakeAndQueryRoundTrip(t *testing.T) {
+	p, token := newTestPlatform(t)
+	addr := startServer(t, p, Options{})
+	c := dialWire(t, addr)
+	if tenantID := c.handshake(token); tenantID != "acme" {
+		t.Fatalf("welcome tenant = %q, want acme", tenantID)
+	}
+
+	c.query(1, "CREATE TABLE wards (name TEXT, patients INT)")
+	_, _, aff := c.query(2, "INSERT INTO wards (name, patients) VALUES (?, ?)", "icu", int64(12))
+	if aff != 1 {
+		t.Fatalf("insert affected = %d, want 1", aff)
+	}
+	c.query(3, "INSERT INTO wards (name, patients) VALUES (?, ?)", "er", int64(30))
+
+	cols, rows, _ := c.query(4, "SELECT name, patients FROM wards ORDER BY name")
+	if len(cols) != 2 || cols[0] != "name" || cols[1] != "patients" {
+		t.Fatalf("cols = %v", cols)
+	}
+	if len(rows) != 2 || rows[0][0] != "er" || rows[1][0] != "icu" || rows[1][1] != int64(12) {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+// TestResultChunking proves a result larger than ChunkRows streams as
+// multiple RESULT_CHUNK frames that reassemble in order.
+func TestResultChunking(t *testing.T) {
+	p, token := newTestPlatform(t)
+	addr := startServer(t, p, Options{ChunkRows: 7})
+	c := dialWire(t, addr)
+	c.handshake(token)
+	c.query(1, "CREATE TABLE n (i INT)")
+	const total = 40
+	for i := 0; i < total; i++ {
+		c.query(uint32(10+i), "INSERT INTO n (i) VALUES (?)", int64(i))
+	}
+	// Count chunk frames by hand.
+	payload, err := proto.AppendQuery(nil, 99, "SELECT i FROM n ORDER BY i", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.send(proto.FrameQuery, payload)
+	chunks, rows := 0, 0
+	for {
+		ft, p := c.recv()
+		if ft == proto.FrameResultChunk {
+			_, chunk, err := proto.ParseRows(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(chunk) > 7 {
+				t.Fatalf("chunk carries %d rows, cap is 7", len(chunk))
+			}
+			chunks++
+			rows += len(chunk)
+			continue
+		}
+		if ft == proto.FrameResultDone {
+			break
+		}
+		if ft != proto.FrameResultHeader {
+			t.Fatalf("unexpected %v", ft)
+		}
+	}
+	if rows != total {
+		t.Fatalf("reassembled %d rows, want %d", rows, total)
+	}
+	if want := (total + 6) / 7; chunks != want {
+		t.Fatalf("chunks = %d, want %d", chunks, want)
+	}
+}
+
+func TestHandshakeBadToken(t *testing.T) {
+	p, _ := newTestPlatform(t)
+	addr := startServer(t, p, Options{})
+	c := dialWire(t, addr)
+	c.send(proto.FrameHello, proto.AppendHello(nil, "not-a-token"))
+	ft, payload := c.recv()
+	if ft != proto.FrameError {
+		t.Fatalf("got %v, want ERROR", ft)
+	}
+	_, code, _, err := proto.ParseError(payload)
+	if err != nil || code != 401 {
+		t.Fatalf("code = %d err=%v, want 401", code, err)
+	}
+}
+
+func TestHandshakeRequiresHello(t *testing.T) {
+	p, _ := newTestPlatform(t)
+	addr := startServer(t, p, Options{})
+	c := dialWire(t, addr)
+	c.send(proto.FramePing, []byte("nope"))
+	ft, payload := c.recv()
+	if ft != proto.FrameError {
+		t.Fatalf("got %v, want ERROR", ft)
+	}
+	_, code, _, _ := proto.ParseError(payload)
+	if code != 400 {
+		t.Fatalf("code = %d, want 400", code)
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	p, token := newTestPlatform(t)
+	addr := startServer(t, p, Options{})
+	c := dialWire(t, addr)
+	c.handshake(token)
+	c.send(proto.FramePing, []byte("echo-me"))
+	ft, payload := c.recv()
+	if ft != proto.FramePong || string(payload) != "echo-me" {
+		t.Fatalf("got %v %q, want PONG echo-me", ft, payload)
+	}
+}
+
+// TestReadyGateRefusesSessions: satellite 2 — a platform failing its
+// readiness probe refuses the session with GOAWAY before handshake.
+func TestReadyGateRefusesSessions(t *testing.T) {
+	p, token := newTestPlatform(t)
+	var ready atomic.Bool
+	addr := startServer(t, p, Options{Ready: ready.Load})
+	c := dialWire(t, addr)
+	ft, payload := c.recv() // GOAWAY arrives unprompted
+	if ft != proto.FrameGoAway {
+		t.Fatalf("got %v, want GOAWAY", ft)
+	}
+	if reason, _ := proto.ParseGoAway(payload); reason != "platform not ready" {
+		t.Fatalf("reason = %q", reason)
+	}
+
+	// Flipping readiness back admits new sessions.
+	ready.Store(true)
+	c2 := dialWire(t, addr)
+	if tenantID := c2.handshake(token); tenantID != "acme" {
+		t.Fatalf("tenant = %q", tenantID)
+	}
+}
+
+// TestAdmissionRetryFrame: a saturated shared semaphore answers QUERY
+// with RETRY + backoff instead of executing, and the session survives.
+func TestAdmissionRetryFrame(t *testing.T) {
+	p, token := newTestPlatform(t)
+	adm := server.NewAdmission(1, 0)
+	addr := startServer(t, p, Options{Admission: adm, RetryBackoff: 750 * time.Millisecond})
+	c := dialWire(t, addr)
+	c.handshake(token)
+
+	// Hold the only slot, as a stuck in-flight request would.
+	ok, _ := adm.Acquire(context.Background())
+	if !ok {
+		t.Fatal("could not saturate")
+	}
+	payload, err := proto.AppendQuery(nil, 5, "SELECT 1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.send(proto.FrameQuery, payload)
+	ft, pl := c.recv()
+	if ft != proto.FrameRetry {
+		t.Fatalf("got %v, want RETRY", ft)
+	}
+	id, backoff, err := proto.ParseRetry(pl)
+	if err != nil || id != 5 {
+		t.Fatalf("retry id=%d err=%v", id, err)
+	}
+	if backoff != 750*time.Millisecond {
+		t.Fatalf("backoff = %v, want 750ms", backoff)
+	}
+
+	// Free the slot: the same session executes normally again.
+	adm.Release()
+	c.query(6, "CREATE TABLE ok (i INT)")
+}
+
+// TestFaultNetsrvSession: arming the request fault point turns queries
+// into ERROR frames (the wire twin of the HTTP 500) without killing
+// the session.
+func TestFaultNetsrvSession(t *testing.T) {
+	p, token := newTestPlatform(t)
+	addr := startServer(t, p, Options{})
+	c := dialWire(t, addr)
+	c.handshake(token)
+
+	if err := fault.Arm(fault.NetsrvSession, fault.Behavior{Mode: fault.ModeError, Err: "drill"}); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+	code, msg := c.queryErr(1, "SELECT 1")
+	if code != 500 {
+		t.Fatalf("code = %d, want 500", code)
+	}
+	if msg == "" {
+		t.Fatal("empty error message")
+	}
+	fault.Reset()
+	c.query(2, "CREATE TABLE after_drill (i INT)")
+}
+
+// TestFaultNetsrvWrite: a write-side failure ends the session (the
+// connection is unusable once a response cannot be written).
+func TestFaultNetsrvWrite(t *testing.T) {
+	p, token := newTestPlatform(t)
+	addr := startServer(t, p, Options{})
+	c := dialWire(t, addr)
+	c.handshake(token)
+
+	if err := fault.Arm(fault.NetsrvWrite, fault.Behavior{Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+	payload, err := proto.AppendQuery(nil, 1, "SELECT 1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.send(proto.FrameQuery, payload)
+	if _, _, err := c.r.ReadFrame(); err == nil {
+		t.Fatal("want closed connection after write fault")
+	}
+}
+
+// TestRequestTimeout: a query held by a delay fault beyond the request
+// timeout comes back as 504, mirroring the HTTP behavior.
+func TestRequestTimeout(t *testing.T) {
+	p, token := newTestPlatform(t)
+	addr := startServer(t, p, Options{RequestTimeout: 50 * time.Millisecond})
+	c := dialWire(t, addr)
+	c.handshake(token)
+
+	if err := fault.Arm(fault.NetsrvSession, fault.Behavior{Mode: fault.ModeDelay, Delay: 5 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+	code, _ := c.queryErr(1, "SELECT 1")
+	if code != 504 {
+		t.Fatalf("code = %d, want 504", code)
+	}
+}
+
+// TestCloseSendsGoAway: shutting the server down broadcasts GOAWAY to
+// open sessions and closes their connections.
+func TestCloseSendsGoAway(t *testing.T) {
+	p, token := newTestPlatform(t)
+	srv := New(p, Options{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialWire(t, addr)
+	c.handshake(token)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- srv.Close()
+	}()
+	ft, payload := c.recv()
+	if ft != proto.FrameGoAway {
+		t.Fatalf("got %v, want GOAWAY", ft)
+	}
+	if reason, _ := proto.ParseGoAway(payload); reason != "server shutting down" {
+		t.Fatalf("reason = %q", reason)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Connection is torn down after the notice.
+	if _, _, err := c.r.ReadFrame(); err == nil {
+		t.Fatal("want EOF after GOAWAY")
+	}
+}
+
+// TestTenantIsolationOverWire: two tenants query the same logical
+// table name over protocol sessions and see only their own rows — the
+// paper's §2 isolation contract holds on the new front door.
+func TestTenantIsolationOverWire(t *testing.T) {
+	p, tokenAcme := newTestPlatform(t)
+	root, _, err := p.Login("root", "toor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := root.CreateTenant(ctx, "globex", "Globex", "standard"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.CreateUser(ctx, security.UserSpec{
+		Username: "bob", Password: "pw", Tenant: "globex",
+		Roles: []string{services.RoleDesigner},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, tokenGlobex, err := p.Login("bob", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addr := startServer(t, p, Options{})
+	ca := dialWire(t, addr)
+	if tid := ca.handshake(tokenAcme); tid != "acme" {
+		t.Fatalf("tenant = %q", tid)
+	}
+	cg := dialWire(t, addr)
+	if tid := cg.handshake(tokenGlobex); tid != "globex" {
+		t.Fatalf("tenant = %q", tid)
+	}
+
+	ca.query(1, "CREATE TABLE sales (amount INT)")
+	cg.query(1, "CREATE TABLE sales (amount INT)")
+	ca.query(2, "INSERT INTO sales (amount) VALUES (?)", int64(100))
+	cg.query(2, "INSERT INTO sales (amount) VALUES (?)", int64(999))
+
+	_, rowsA, _ := ca.query(3, "SELECT amount FROM sales")
+	_, rowsG, _ := cg.query(3, "SELECT amount FROM sales")
+	if len(rowsA) != 1 || rowsA[0][0] != int64(100) {
+		t.Fatalf("acme rows = %v", rowsA)
+	}
+	if len(rowsG) != 1 || rowsG[0][0] != int64(999) {
+		t.Fatalf("globex rows = %v", rowsG)
+	}
+}
+
+// TestConcurrentSessions drives several authenticated sessions at once
+// — the accept loop, per-session goroutines and the shared platform
+// must hold up under parallel mixed traffic (run under -race in CI).
+func TestConcurrentSessions(t *testing.T) {
+	p, token := newTestPlatform(t)
+	addr := startServer(t, p, Options{})
+	setup := dialWire(t, addr)
+	setup.handshake(token)
+	setup.query(1, "CREATE TABLE hits (worker INT, n INT)")
+
+	const workers = 8
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			var reported error
+			defer func() { errs <- reported }()
+			conn, err := net.DialTimeout("tcp", addr.String(), 2*time.Second)
+			if err != nil {
+				reported = err
+				return
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(20 * time.Second))
+			pw, pr := proto.NewWriter(conn), proto.NewReader(conn)
+			send := func(ft proto.FrameType, payload []byte) error {
+				if err := pw.WriteFrame(ft, payload); err != nil {
+					return err
+				}
+				return pw.Flush()
+			}
+			if err := send(proto.FrameHello, proto.AppendHello(nil, token)); err != nil {
+				reported = err
+				return
+			}
+			if ft, _, err := pr.ReadFrame(); err != nil || ft != proto.FrameWelcome {
+				reported = err
+				return
+			}
+			for i := 0; i < 10; i++ {
+				q, err := proto.AppendQuery(nil, uint32(i), "INSERT INTO hits (worker, n) VALUES (?, ?)", []storage.Value{int64(w), int64(i)})
+				if err != nil {
+					reported = err
+					return
+				}
+				if err := send(proto.FrameQuery, q); err != nil {
+					reported = err
+					return
+				}
+				for {
+					ft, _, err := pr.ReadFrame()
+					if err != nil {
+						reported = err
+						return
+					}
+					if ft == proto.FrameResultDone {
+						break
+					}
+					if ft == proto.FrameError {
+						reported = errTestQueryFailed
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, rows, _ := setup.query(2, "SELECT COUNT(*) FROM hits")
+	if len(rows) != 1 || rows[0][0] != int64(workers*10) {
+		t.Fatalf("rows = %v, want %d inserts", rows, workers*10)
+	}
+}
+
+var errTestQueryFailed = errTQF{}
+
+type errTQF struct{}
+
+func (errTQF) Error() string { return "query failed with ERROR frame" }

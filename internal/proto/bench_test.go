@@ -1,0 +1,72 @@
+package proto
+
+import (
+	"io"
+	"testing"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// benchRows is a representative result chunk: 64 rows of the shape the
+// workload mix produces (group key, two aggregates).
+func benchRows() []storage.Row {
+	rows := make([]storage.Row, 64)
+	for i := range rows {
+		rows[i] = storage.Row{"ward-" + string(rune('a'+i%8)), int64(i * 17), float64(i) * 1234.5}
+	}
+	return rows
+}
+
+// BenchmarkFrameEncode measures encoding one query frame and one
+// 64-row result chunk into a reused buffer — the per-request encode
+// cost of the wire path. The budget gate holds this at 0 allocs/op.
+func BenchmarkFrameEncode(b *testing.B) {
+	rows := benchRows()
+	args := []storage.Value{int64(3), "icu"}
+	var buf []byte
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf, err = AppendQuery(buf[:0], uint32(i), "SELECT ward, SUM(patients), SUM(cost) FROM admissions GROUP BY ward", args); err != nil {
+			b.Fatal(err)
+		}
+		if buf, err = AppendRows(buf[:0], uint32(i), rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameDecode measures scanning a 64-row chunk through the
+// zero-allocation RawValue cursor — the per-chunk decode cost on the
+// client. The budget gate holds this at 0 allocs/op.
+func BenchmarkFrameDecode(b *testing.B) {
+	payload, err := AppendRows(nil, 1, benchRows())
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := make([]RawValue, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rr := RowReader{c: cursor{p: payload}}
+		id, err := rr.c.u32()
+		if err != nil || id != 1 {
+			b.Fatal("bad chunk")
+		}
+		n, err := rr.c.u16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rr.left = int(n)
+		for {
+			raw, err = rr.Scan(raw)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// FuzzDecodeFrame throws arbitrary byte streams at the frame reader
+// and every payload parser. The invariants are the wire protocol's
+// safety contract: no panic on any input, and no read past the end of
+// a frame (the cursor either yields exactly the declared content or
+// fails with ErrShortFrame — enforced structurally, and spot-checked
+// here by re-parsing a copy to catch aliasing bugs).
+func FuzzDecodeFrame(f *testing.F) {
+	// Corpus: golden frames of every type, wrapped with real headers.
+	frame := func(t FrameType, payload []byte) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteFrame(t, payload); err != nil {
+			f.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	queryPayload, err := AppendQuery(nil, 7, "SELECT ward, SUM(patients) FROM admissions WHERE severity = ? GROUP BY ward", []storage.Value{int64(3), "icu", 1.5, true, nil, time.Unix(1754000000, 0).UTC(), []byte{1, 2, 3}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	rowsPayload, err := AppendRows(nil, 7, []storage.Row{
+		{int64(1), "ward-a", 12.5, true},
+		{int64(2), "ward-b", nil, false},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(frame(FrameHello, AppendHello(nil, "tok-abc123")))
+	f.Add(frame(FrameWelcome, AppendWelcome(nil, "acme")))
+	f.Add(frame(FrameQuery, queryPayload))
+	f.Add(frame(FrameResultHeader, AppendResultHeader(nil, 7, []string{"ward", "patients"})))
+	f.Add(frame(FrameResultChunk, rowsPayload))
+	f.Add(frame(FrameResultDone, AppendDone(nil, 7, 0, 2, "scan(admissions)")))
+	f.Add(frame(FrameError, AppendError(nil, 7, 503, "over capacity")))
+	f.Add(frame(FramePing, []byte("keepalive")))
+	f.Add(frame(FrameRetry, AppendRetry(nil, 7, 250*time.Millisecond)))
+	f.Add(frame(FrameGoAway, AppendGoAway(nil, "draining")))
+	// Mutation bait: truncated header, hostile length prefix, empty.
+	f.Add([]byte{byte(FrameQuery), 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{byte(FramePing)})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		// A hostile stream must not make the reader allocate its
+		// declared (possibly multi-GiB) length; cap well below the
+		// input size bound.
+		r.SetMaxFrame(1 << 20)
+		for {
+			ft, payload, err := r.ReadFrame()
+			if err != nil {
+				return
+			}
+			// The payload view must sit inside the stream that produced
+			// it: decode from a defensive copy and require identical
+			// outcomes, so an over-read (reading bytes beyond the frame)
+			// would diverge and fail.
+			cp := make([]byte, len(payload))
+			copy(cp, payload)
+			parseAll(t, ft, payload, cp)
+		}
+	})
+}
+
+// parseAll runs every payload parser that accepts the frame type over
+// both the live view and the defensive copy, requiring identical
+// success/failure.
+func parseAll(t *testing.T, ft FrameType, live, cp []byte) {
+	check := func(name string, e1, e2 error) {
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("%s: live err=%v copy err=%v — decoder read outside the frame", name, e1, e2)
+		}
+	}
+	switch ft {
+	case FrameHello:
+		_, e1 := ParseHello(live)
+		_, e2 := ParseHello(cp)
+		check("hello", e1, e2)
+	case FrameWelcome:
+		_, e1 := ParseWelcome(live)
+		_, e2 := ParseWelcome(cp)
+		check("welcome", e1, e2)
+	case FrameQuery:
+		_, _, _, e1 := ParseQuery(live)
+		_, _, _, e2 := ParseQuery(cp)
+		check("query", e1, e2)
+	case FrameResultHeader:
+		_, _, e1 := ParseResultHeader(live)
+		_, _, e2 := ParseResultHeader(cp)
+		check("header", e1, e2)
+	case FrameResultChunk:
+		_, r1, e1 := ParseRows(live)
+		_, r2, e2 := ParseRows(cp)
+		check("rows", e1, e2)
+		if e1 == nil && len(r1) != len(r2) {
+			t.Fatalf("rows: live decoded %d rows, copy %d", len(r1), len(r2))
+		}
+	case FrameResultDone:
+		_, _, _, _, e1 := ParseDone(live)
+		_, _, _, _, e2 := ParseDone(cp)
+		check("done", e1, e2)
+	case FrameError:
+		_, _, _, e1 := ParseError(live)
+		_, _, _, e2 := ParseError(cp)
+		check("error", e1, e2)
+	case FrameRetry:
+		_, _, e1 := ParseRetry(live)
+		_, _, e2 := ParseRetry(cp)
+		check("retry", e1, e2)
+	case FrameGoAway:
+		_, e1 := ParseGoAway(live)
+		_, e2 := ParseGoAway(cp)
+		check("goaway", e1, e2)
+	}
+}

@@ -1,0 +1,832 @@
+// Package proto defines the ODBIS binary wire protocol — the
+// persistent-connection traffic path of the end-user access layer. The
+// HTTP/JSON API is one-shot: every request pays TCP setup, header
+// parsing, JSON encode/decode and re-authentication. The paper's
+// on-demand economics ("heavy multi-tenant traffic on one platform
+// instance") want the opposite shape: a connection that authenticates
+// once, then streams many cheap requests. This package supplies the
+// framing for that connection; internal/netsrv serves it and client/
+// consumes it.
+//
+// # Frame grammar
+//
+// Every frame is a 5-byte header followed by a payload:
+//
+//	frame   := type(u8) length(u32 BE) payload(length bytes)
+//
+// Payloads are type-specific (see the Append*/Parse* pairs). Integers
+// are big-endian; strings are length-prefixed (u16 for short protocol
+// strings, u32 for SQL text); cell values are a tag byte plus a fixed
+// or length-prefixed body (see AppendValue). A reader enforces
+// MaxFrame before allocating, so a corrupt or hostile length prefix
+// cannot balloon memory.
+//
+// # Handshake
+//
+// The client opens with HELLO (magic "ODBP", protocol version, bearer
+// token — the same token POST /api/login mints); the server answers
+// WELCOME (version, tenant id) or ERROR and closes. After the
+// handshake the session is authenticated for its lifetime: per-request
+// auth, the largest constant cost of the HTTP path, is gone.
+//
+// # Requests and streaming results
+//
+// QUERY carries a client-chosen request id, SQL text and bound args.
+// The server streams RESULT_HEADER (column names), zero or more
+// RESULT_CHUNK frames (a bounded batch of rows each, so a million-row
+// result never materializes as one frame), and RESULT_DONE (affected
+// count + access-path plan). Errors end a request with ERROR carrying
+// the HTTP-equivalent status code. PING/PONG keep idle connections
+// verifiably alive; RETRY is the protocol twin of 503 + Retry-After
+// (admission control says "back off N ms"); GOAWAY is a graceful "this
+// connection is closing, open a new one elsewhere".
+//
+// Encode is allocation-free over a caller-reused buffer (append
+// convention); decode is allocation-free through RawValue views into
+// the frame buffer, materializing storage.Values only when the caller
+// asks.
+package proto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/odbis/odbis/internal/fault"
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// Version is the protocol version this package speaks. A server
+// rejects HELLO frames carrying any other version (there is exactly
+// one deployed version; the field exists so there can be two).
+const Version = 1
+
+// Magic opens every HELLO payload. Four bytes chosen to be
+// implausible as the start of an HTTP request or TLS record, so a
+// client pointed at the wrong port fails fast with a clear error.
+const Magic = "ODBP"
+
+// DefaultMaxFrame bounds a frame payload (16 MiB). Result chunks are
+// far smaller (see netsrv); the bound exists so a corrupt length
+// prefix cannot allocate unbounded memory.
+const DefaultMaxFrame = 16 << 20
+
+// headerSize is the fixed frame header: type(1) + length(4).
+const headerSize = 5
+
+// FrameType discriminates frames.
+type FrameType uint8
+
+// Frame types of the wire protocol.
+const (
+	FrameInvalid FrameType = iota
+	// FrameHello is the client's opening frame: magic, version, token.
+	FrameHello
+	// FrameWelcome accepts a handshake: version, tenant id.
+	FrameWelcome
+	// FrameQuery is one SQL request: id, flags, SQL text, args.
+	FrameQuery
+	// FrameResultHeader starts a result stream: id, column names.
+	FrameResultHeader
+	// FrameResultChunk carries a batch of rows: id, row count, rows.
+	FrameResultChunk
+	// FrameResultDone ends a result stream: id, affected, plan.
+	FrameResultDone
+	// FrameError reports a failure: id (0 = connection-level), code
+	// (HTTP-equivalent status), message.
+	FrameError
+	// FramePing requests a liveness echo; payload is opaque.
+	FramePing
+	// FramePong answers a ping, echoing its payload.
+	FramePong
+	// FrameRetry is the protocol twin of 503 + Retry-After: id, backoff
+	// in milliseconds. The request was shed before execution and may be
+	// retried after the backoff.
+	FrameRetry
+	// FrameGoAway announces a graceful close: reason. The peer should
+	// stop sending and reconnect elsewhere.
+	FrameGoAway
+)
+
+// String names a frame type for errors and logs.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "HELLO"
+	case FrameWelcome:
+		return "WELCOME"
+	case FrameQuery:
+		return "QUERY"
+	case FrameResultHeader:
+		return "RESULT_HEADER"
+	case FrameResultChunk:
+		return "RESULT_CHUNK"
+	case FrameResultDone:
+		return "RESULT_DONE"
+	case FrameError:
+		return "ERROR"
+	case FramePing:
+		return "PING"
+	case FramePong:
+		return "PONG"
+	case FrameRetry:
+		return "RETRY"
+	case FrameGoAway:
+		return "GOAWAY"
+	default:
+		return fmt.Sprintf("FRAME(%d)", uint8(t))
+	}
+}
+
+// Protocol errors.
+var (
+	// ErrShortFrame means a payload ended before its declared content —
+	// a truncated or corrupt frame. Decoders return it instead of
+	// over-reading.
+	ErrShortFrame = errors.New("proto: truncated frame payload")
+	// ErrFrameTooLarge means a frame declared a payload beyond the
+	// reader's maximum.
+	ErrFrameTooLarge = errors.New("proto: frame exceeds maximum size")
+	// ErrBadMagic means a HELLO did not start with Magic — the peer is
+	// not speaking this protocol.
+	ErrBadMagic = errors.New("proto: bad handshake magic")
+	// ErrBadVersion means the peer speaks an unsupported protocol
+	// version.
+	ErrBadVersion = errors.New("proto: unsupported protocol version")
+	// ErrBadValue means a value tag byte is unknown.
+	ErrBadValue = errors.New("proto: unknown value tag")
+)
+
+// --- frame I/O ---
+
+// Writer frames payloads onto an underlying connection. It owns a
+// buffered writer; call Flush after the last frame of a response.
+// Writers are not safe for concurrent use — one goroutine owns each
+// connection's write side.
+type Writer struct {
+	w   *bufio.Writer
+	hdr [headerSize]byte
+	// frames and bytes count traffic for the owner's metrics.
+	frames uint64
+	bytes  uint64
+}
+
+// NewWriter wraps w for frame output.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// WriteFrame appends one frame to the output buffer.
+func (w *Writer) WriteFrame(t FrameType, payload []byte) error {
+	w.hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(w.hdr[1:], uint32(len(payload)))
+	if _, err := w.w.Write(w.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	w.frames++
+	w.bytes += uint64(headerSize + len(payload))
+	return nil
+}
+
+// Flush pushes buffered frames to the connection.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Frames reports how many frames have been written.
+func (w *Writer) Frames() uint64 { return w.frames }
+
+// Bytes reports how many bytes have been written (including headers).
+func (w *Writer) Bytes() uint64 { return w.bytes }
+
+// Reader reads frames from an underlying connection into a reused
+// buffer. The payload returned by ReadFrame is valid only until the
+// next call. Readers are not safe for concurrent use.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+	max int
+	// frames and bytes count traffic for the owner's metrics.
+	frames uint64
+	bytes  uint64
+}
+
+// NewReader wraps r for frame input with the DefaultMaxFrame bound.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r), max: DefaultMaxFrame}
+}
+
+// SetMaxFrame overrides the payload size bound.
+func (r *Reader) SetMaxFrame(n int) {
+	if n > 0 {
+		r.max = n
+	}
+}
+
+// ReadFrame reads the next frame. The returned payload aliases the
+// reader's internal buffer and is valid until the next ReadFrame. The
+// proto.decode fault point fires here: arming it simulates a peer
+// whose stream turned to garbage mid-connection.
+func (r *Reader) ReadFrame() (FrameType, []byte, error) {
+	if err := fault.Point(fault.ProtoDecode); err != nil {
+		return FrameInvalid, nil, err
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return FrameInvalid, nil, err
+	}
+	t := FrameType(hdr[0])
+	n := int(binary.BigEndian.Uint32(hdr[1:]))
+	if n > r.max {
+		return FrameInvalid, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, r.max)
+	}
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n)
+	}
+	payload := r.buf[:n]
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return FrameInvalid, nil, err
+	}
+	r.frames++
+	r.bytes += uint64(headerSize + n)
+	return t, payload, nil
+}
+
+// Frames reports how many frames have been read.
+func (r *Reader) Frames() uint64 { return r.frames }
+
+// Bytes reports how many bytes have been read (including headers).
+func (r *Reader) Bytes() uint64 { return r.bytes }
+
+// --- primitive append/read helpers ---
+
+func appendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return appendU32(appendU32(b, uint32(v>>32)), uint32(v))
+}
+
+// appendStr16 appends a u16-length-prefixed string (protocol strings:
+// tokens, column names, reasons). Longer input is an encoding bug; the
+// caller validates sizes at the API boundary.
+func appendStr16(b []byte, s string) []byte {
+	b = appendU16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// appendStr32 appends a u32-length-prefixed string (SQL text).
+func appendStr32(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// cursor walks a payload without ever indexing past its end: every
+// read checks remaining length first and fails with ErrShortFrame.
+// This is the invariant FuzzDecodeFrame hammers on.
+type cursor struct {
+	p   []byte
+	off int
+}
+
+func (c *cursor) remain() int { return len(c.p) - c.off }
+
+func (c *cursor) u8() (byte, error) {
+	if c.remain() < 1 {
+		return 0, ErrShortFrame
+	}
+	v := c.p[c.off]
+	c.off++
+	return v, nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	if c.remain() < 2 {
+		return 0, ErrShortFrame
+	}
+	v := binary.BigEndian.Uint16(c.p[c.off:])
+	c.off += 2
+	return v, nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	if c.remain() < 4 {
+		return 0, ErrShortFrame
+	}
+	v := binary.BigEndian.Uint32(c.p[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	if c.remain() < 8 {
+		return 0, ErrShortFrame
+	}
+	v := binary.BigEndian.Uint64(c.p[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+// bytes returns an n-byte view into the payload (no copy).
+func (c *cursor) bytes(n int) ([]byte, error) {
+	if n < 0 || c.remain() < n {
+		return nil, ErrShortFrame
+	}
+	v := c.p[c.off : c.off+n]
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) str16() (string, error) {
+	n, err := c.u16()
+	if err != nil {
+		return "", err
+	}
+	raw, err := c.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+func (c *cursor) str32() (string, error) {
+	n, err := c.u32()
+	if err != nil {
+		return "", err
+	}
+	raw, err := c.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+// --- value codec ---
+
+// Value tags. The set mirrors storage's dynamic value types exactly.
+const (
+	tagNull   = 0
+	tagInt    = 1
+	tagFloat  = 2
+	tagString = 3
+	tagBool   = 4
+	tagTime   = 5 // int64 microseconds since Unix epoch, UTC
+	tagBytes  = 6
+)
+
+// AppendValue appends one cell value in wire form. Canonical dynamic
+// types encode directly (no re-boxing — this path must stay
+// allocation-free); anything else goes through storage.Normalize once,
+// and types the engine would reject fail cleanly.
+func AppendValue(b []byte, v storage.Value) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(b, tagNull), nil
+	case int64:
+		return appendU64(append(b, tagInt), uint64(x)), nil
+	case float64:
+		return appendU64(append(b, tagFloat), math.Float64bits(x)), nil
+	case string:
+		return appendStr32(append(b, tagString), x), nil
+	case bool:
+		n := byte(0)
+		if x {
+			n = 1
+		}
+		return append(b, tagBool, n), nil
+	case time.Time:
+		// UnixMicro is location-independent; decode re-stamps UTC.
+		return appendU64(append(b, tagTime), uint64(x.UnixMicro())), nil
+	case []byte:
+		b = appendU32(append(b, tagBytes), uint32(len(x)))
+		return append(b, x...), nil
+	default:
+		switch y := storage.Normalize(v).(type) {
+		case int64:
+			return appendU64(append(b, tagInt), uint64(y)), nil
+		case float64:
+			return appendU64(append(b, tagFloat), math.Float64bits(y)), nil
+		case string:
+			return appendStr32(append(b, tagString), y), nil
+		}
+		return nil, fmt.Errorf("proto: cannot encode value of type %T", v)
+	}
+}
+
+// RawValue is a decoded cell value that still aliases the frame
+// buffer: Bytes points into the payload for string/bytes kinds, so a
+// RawValue is only valid until the next ReadFrame. Value() pays the
+// materialization cost (string copy) only when asked — the
+// zero-allocation decode contract lives here.
+type RawValue struct {
+	// Kind is the wire tag (tagNull..tagBytes).
+	Kind uint8
+	// Int holds int64, bool (0/1) and time (UnixMicro) kinds.
+	Int int64
+	// Float holds the float kind.
+	Float float64
+	// Bytes views string/bytes kinds inside the frame buffer.
+	Bytes []byte
+}
+
+// IsNull reports whether the value is SQL NULL.
+func (rv RawValue) IsNull() bool { return rv.Kind == tagNull }
+
+// Value materializes the canonical storage.Value (allocating for
+// string/bytes kinds).
+func (rv RawValue) Value() storage.Value {
+	switch rv.Kind {
+	case tagInt:
+		return rv.Int
+	case tagFloat:
+		return rv.Float
+	case tagString:
+		return string(rv.Bytes)
+	case tagBool:
+		return rv.Int != 0
+	case tagTime:
+		return time.UnixMicro(rv.Int).UTC()
+	case tagBytes:
+		out := make([]byte, len(rv.Bytes))
+		copy(out, rv.Bytes)
+		return out
+	default:
+		return nil
+	}
+}
+
+// readValue decodes one value at the cursor into rv without
+// allocating.
+func readValue(c *cursor, rv *RawValue) error {
+	tag, err := c.u8()
+	if err != nil {
+		return err
+	}
+	rv.Kind = tag
+	rv.Bytes = nil
+	switch tag {
+	case tagNull:
+		return nil
+	case tagInt, tagTime:
+		u, err := c.u64()
+		if err != nil {
+			return err
+		}
+		rv.Int = int64(u)
+		return nil
+	case tagFloat:
+		u, err := c.u64()
+		if err != nil {
+			return err
+		}
+		rv.Float = math.Float64frombits(u)
+		return nil
+	case tagBool:
+		b, err := c.u8()
+		if err != nil {
+			return err
+		}
+		rv.Int = int64(b)
+		return nil
+	case tagString, tagBytes:
+		n, err := c.u32()
+		if err != nil {
+			return err
+		}
+		raw, err := c.bytes(int(n))
+		if err != nil {
+			return err
+		}
+		rv.Bytes = raw
+		return nil
+	default:
+		return fmt.Errorf("%w: %d", ErrBadValue, tag)
+	}
+}
+
+// --- HELLO / WELCOME ---
+
+// AppendHello builds a HELLO payload: magic, version, bearer token.
+func AppendHello(b []byte, token string) []byte {
+	b = append(b, Magic...)
+	b = append(b, Version)
+	return appendStr16(b, token)
+}
+
+// ParseHello decodes a HELLO payload, validating magic and version.
+func ParseHello(p []byte) (token string, err error) {
+	c := cursor{p: p}
+	magic, err := c.bytes(len(Magic))
+	if err != nil {
+		return "", err
+	}
+	if string(magic) != Magic {
+		return "", ErrBadMagic
+	}
+	v, err := c.u8()
+	if err != nil {
+		return "", err
+	}
+	if v != Version {
+		return "", fmt.Errorf("%w: %d (want %d)", ErrBadVersion, v, Version)
+	}
+	return c.str16()
+}
+
+// AppendWelcome builds a WELCOME payload: version, tenant id.
+func AppendWelcome(b []byte, tenant string) []byte {
+	b = append(b, Version)
+	return appendStr16(b, tenant)
+}
+
+// ParseWelcome decodes a WELCOME payload.
+func ParseWelcome(p []byte) (tenant string, err error) {
+	c := cursor{p: p}
+	v, err := c.u8()
+	if err != nil {
+		return "", err
+	}
+	if v != Version {
+		return "", fmt.Errorf("%w: %d (want %d)", ErrBadVersion, v, Version)
+	}
+	return c.str16()
+}
+
+// --- QUERY ---
+
+// AppendQuery builds a QUERY payload: request id, SQL text, bound
+// args. The append convention keeps steady-state encoding
+// allocation-free: pass last call's buffer back in.
+func AppendQuery(b []byte, id uint32, sql string, args []storage.Value) ([]byte, error) {
+	b = appendU32(b, id)
+	b = appendStr32(b, sql)
+	b = appendU16(b, uint16(len(args)))
+	var err error
+	for _, a := range args {
+		if b, err = AppendValue(b, a); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// ParseQuery decodes a QUERY payload. The SQL string and arg values
+// are materialized (the executor keeps them past the frame buffer's
+// lifetime).
+func ParseQuery(p []byte) (id uint32, sql string, args []storage.Value, err error) {
+	c := cursor{p: p}
+	if id, err = c.u32(); err != nil {
+		return 0, "", nil, err
+	}
+	if sql, err = c.str32(); err != nil {
+		return 0, "", nil, err
+	}
+	n, err := c.u16()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if n > 0 {
+		args = make([]storage.Value, n)
+		var rv RawValue
+		for i := range args {
+			if err = readValue(&c, &rv); err != nil {
+				return 0, "", nil, err
+			}
+			args[i] = rv.Value()
+		}
+	}
+	return id, sql, args, nil
+}
+
+// --- RESULT_HEADER ---
+
+// AppendResultHeader builds a RESULT_HEADER payload: request id plus
+// column names. A statement with no result columns (DDL/DML) sends an
+// empty column list.
+func AppendResultHeader(b []byte, id uint32, cols []string) []byte {
+	b = appendU32(b, id)
+	b = appendU16(b, uint16(len(cols)))
+	for _, col := range cols {
+		b = appendStr16(b, col)
+	}
+	return b
+}
+
+// ParseResultHeader decodes a RESULT_HEADER payload.
+func ParseResultHeader(p []byte) (id uint32, cols []string, err error) {
+	c := cursor{p: p}
+	if id, err = c.u32(); err != nil {
+		return 0, nil, err
+	}
+	n, err := c.u16()
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > 0 {
+		cols = make([]string, n)
+		for i := range cols {
+			if cols[i], err = c.str16(); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+	return id, cols, nil
+}
+
+// --- RESULT_CHUNK ---
+
+// AppendRows builds a RESULT_CHUNK payload: request id, row count,
+// then each row as a u16 column count plus values. Encoding appends
+// into the caller's buffer — the hot path reuses one buffer per
+// session.
+func AppendRows(b []byte, id uint32, rows []storage.Row) ([]byte, error) {
+	b = appendU32(b, id)
+	b = appendU16(b, uint16(len(rows)))
+	var err error
+	for _, row := range rows {
+		b = appendU16(b, uint16(len(row)))
+		for _, v := range row {
+			if b, err = AppendValue(b, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+// RowReader iterates a RESULT_CHUNK payload without allocating: Scan
+// fills a caller-reused RawValue slice whose string views alias the
+// frame buffer.
+type RowReader struct {
+	c    cursor
+	id   uint32
+	left int
+}
+
+// NewRowReader opens a RESULT_CHUNK payload.
+func NewRowReader(p []byte) (*RowReader, error) {
+	rr := &RowReader{c: cursor{p: p}}
+	id, err := rr.c.u32()
+	if err != nil {
+		return nil, err
+	}
+	n, err := rr.c.u16()
+	if err != nil {
+		return nil, err
+	}
+	rr.id, rr.left = id, int(n)
+	return rr, nil
+}
+
+// ID returns the request id the chunk belongs to.
+func (rr *RowReader) ID() uint32 { return rr.id }
+
+// Remaining reports how many rows are left to scan.
+func (rr *RowReader) Remaining() int { return rr.left }
+
+// Scan decodes the next row into dst (reusing its backing array when
+// large enough) and returns the filled prefix. io.EOF signals the end
+// of the chunk; dst is returned unchanged then, so `buf, err =
+// rr.Scan(buf)` loops keep their buffer across chunks.
+func (rr *RowReader) Scan(dst []RawValue) ([]RawValue, error) {
+	if rr.left == 0 {
+		return dst, io.EOF
+	}
+	n, err := rr.c.u16()
+	if err != nil {
+		return nil, err
+	}
+	if cap(dst) < int(n) {
+		dst = make([]RawValue, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		if err := readValue(&rr.c, &dst[i]); err != nil {
+			return nil, err
+		}
+	}
+	rr.left--
+	return dst, nil
+}
+
+// ParseRows materializes every row of a RESULT_CHUNK (test and
+// convenience path; the pooled client scans).
+func ParseRows(p []byte) (id uint32, rows []storage.Row, err error) {
+	rr, err := NewRowReader(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	var raw []RawValue
+	for {
+		raw, err = rr.Scan(raw)
+		if err == io.EOF {
+			return rr.ID(), rows, nil
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+		row := make(storage.Row, len(raw))
+		for i, rv := range raw {
+			row[i] = rv.Value()
+		}
+		rows = append(rows, row)
+	}
+}
+
+// --- RESULT_DONE ---
+
+// AppendDone builds a RESULT_DONE payload: request id, affected row
+// count, total rows streamed, access-path plan (the sql.Result.Plan
+// string, kept for parity with the HTTP result shape).
+func AppendDone(b []byte, id uint32, affected, rows uint32, plan string) []byte {
+	b = appendU32(b, id)
+	b = appendU32(b, affected)
+	b = appendU32(b, rows)
+	return appendStr16(b, plan)
+}
+
+// ParseDone decodes a RESULT_DONE payload.
+func ParseDone(p []byte) (id, affected, rows uint32, plan string, err error) {
+	c := cursor{p: p}
+	if id, err = c.u32(); err != nil {
+		return 0, 0, 0, "", err
+	}
+	if affected, err = c.u32(); err != nil {
+		return 0, 0, 0, "", err
+	}
+	if rows, err = c.u32(); err != nil {
+		return 0, 0, 0, "", err
+	}
+	plan, err = c.str16()
+	return id, affected, rows, plan, err
+}
+
+// --- ERROR / RETRY / GOAWAY ---
+
+// AppendError builds an ERROR payload: request id (0 for
+// connection-level failures like a rejected handshake), an
+// HTTP-equivalent status code, and a message.
+func AppendError(b []byte, id uint32, code uint16, msg string) []byte {
+	b = appendU32(b, id)
+	b = appendU16(b, code)
+	return appendStr16(b, msg)
+}
+
+// ParseError decodes an ERROR payload.
+func ParseError(p []byte) (id uint32, code uint16, msg string, err error) {
+	c := cursor{p: p}
+	if id, err = c.u32(); err != nil {
+		return 0, 0, "", err
+	}
+	if code, err = c.u16(); err != nil {
+		return 0, 0, "", err
+	}
+	msg, err = c.str16()
+	return id, code, msg, err
+}
+
+// AppendRetry builds a RETRY payload: request id plus backoff in
+// milliseconds — the admission-control rejection, carrying the same
+// hint 503 + Retry-After carries on the HTTP path.
+func AppendRetry(b []byte, id uint32, backoff time.Duration) []byte {
+	b = appendU32(b, id)
+	ms := backoff.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	return appendU32(b, uint32(ms))
+}
+
+// ParseRetry decodes a RETRY payload.
+func ParseRetry(p []byte) (id uint32, backoff time.Duration, err error) {
+	c := cursor{p: p}
+	if id, err = c.u32(); err != nil {
+		return 0, 0, err
+	}
+	ms, err := c.u32()
+	if err != nil {
+		return 0, 0, err
+	}
+	return id, time.Duration(ms) * time.Millisecond, nil
+}
+
+// AppendGoAway builds a GOAWAY payload: a human-readable reason.
+func AppendGoAway(b []byte, reason string) []byte {
+	return appendStr16(b, reason)
+}
+
+// ParseGoAway decodes a GOAWAY payload.
+func ParseGoAway(p []byte) (reason string, err error) {
+	c := cursor{p: p}
+	return c.str16()
+}

@@ -1,0 +1,443 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/odbis/odbis/internal/storage"
+)
+
+// roundTrip frames a payload through a Writer and reads it back.
+func roundTrip(t *testing.T, ft FrameType, payload []byte) (FrameType, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(ft, payload); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	r := NewReader(&buf)
+	gt, gp, err := r.ReadFrame()
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return gt, gp
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	ft, p := roundTrip(t, FramePing, []byte("hello"))
+	if ft != FramePing || string(p) != "hello" {
+		t.Fatalf("got %v %q, want PING hello", ft, p)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	ft, p := roundTrip(t, FramePong, nil)
+	if ft != FramePong || len(p) != 0 {
+		t.Fatalf("got %v %q, want PONG empty", ft, p)
+	}
+}
+
+func TestReaderCounters(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := w.WriteFrame(FramePing, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Frames() != 3 || w.Bytes() != 3*(headerSize+1) {
+		t.Fatalf("writer counters frames=%d bytes=%d", w.Frames(), w.Bytes())
+	}
+	r := NewReader(&buf)
+	for i := 0; i < 3; i++ {
+		if _, _, err := r.ReadFrame(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Frames() != 3 || r.Bytes() != 3*(headerSize+1) {
+		t.Fatalf("reader counters frames=%d bytes=%d", r.Frames(), r.Bytes())
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(FramePing, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	r.SetMaxFrame(512)
+	if _, _, err := r.ReadFrame(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(FramePing, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		if _, _, err := r.ReadFrame(); err == nil {
+			t.Fatalf("cut=%d: want error on truncated stream", cut)
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	p := AppendHello(nil, "tok-123")
+	tok, err := ParseHello(p)
+	if err != nil {
+		t.Fatalf("ParseHello: %v", err)
+	}
+	if tok != "tok-123" {
+		t.Fatalf("token = %q", tok)
+	}
+}
+
+func TestHelloBadMagic(t *testing.T) {
+	p := AppendHello(nil, "tok")
+	p[0] = 'X'
+	if _, err := ParseHello(p); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestHelloBadVersion(t *testing.T) {
+	p := AppendHello(nil, "tok")
+	p[len(Magic)] = 99
+	if _, err := ParseHello(p); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("want ErrBadVersion, got %v", err)
+	}
+}
+
+func TestWelcomeRoundTrip(t *testing.T) {
+	p := AppendWelcome(nil, "acme")
+	tenant, err := ParseWelcome(p)
+	if err != nil || tenant != "acme" {
+		t.Fatalf("got %q, %v", tenant, err)
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	when := time.Date(2026, 8, 7, 12, 0, 0, 123456000, time.UTC)
+	args := []storage.Value{int64(42), 3.5, "ward-a", true, nil, when, []byte{0xde, 0xad}}
+	p, err := AppendQuery(nil, 7, "SELECT * FROM t WHERE a = ?", args)
+	if err != nil {
+		t.Fatalf("AppendQuery: %v", err)
+	}
+	id, sqlText, gotArgs, err := ParseQuery(p)
+	if err != nil {
+		t.Fatalf("ParseQuery: %v", err)
+	}
+	if id != 7 || sqlText != "SELECT * FROM t WHERE a = ?" {
+		t.Fatalf("id=%d sql=%q", id, sqlText)
+	}
+	if !reflect.DeepEqual(gotArgs, args) {
+		t.Fatalf("args = %#v, want %#v", gotArgs, args)
+	}
+}
+
+func TestQueryNoArgs(t *testing.T) {
+	p, err := AppendQuery(nil, 1, "SELECT 1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, args, err := ParseQuery(p)
+	if err != nil || args != nil {
+		t.Fatalf("args=%v err=%v", args, err)
+	}
+}
+
+func TestQueryRejectsUnknownType(t *testing.T) {
+	if _, err := AppendQuery(nil, 1, "SELECT ?", []storage.Value{struct{}{}}); err == nil {
+		t.Fatal("want error encoding unsupported type")
+	}
+}
+
+func TestResultHeaderRoundTrip(t *testing.T) {
+	p := AppendResultHeader(nil, 9, []string{"ward", "patients"})
+	id, cols, err := ParseResultHeader(p)
+	if err != nil || id != 9 || !reflect.DeepEqual(cols, []string{"ward", "patients"}) {
+		t.Fatalf("id=%d cols=%v err=%v", id, cols, err)
+	}
+}
+
+func TestResultHeaderNoCols(t *testing.T) {
+	p := AppendResultHeader(nil, 2, nil)
+	id, cols, err := ParseResultHeader(p)
+	if err != nil || id != 2 || cols != nil {
+		t.Fatalf("id=%d cols=%v err=%v", id, cols, err)
+	}
+}
+
+func TestRowsRoundTrip(t *testing.T) {
+	rows := []storage.Row{
+		{int64(1), "a", 1.5},
+		{int64(2), "b", nil},
+	}
+	p, err := AppendRows(nil, 4, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, got, err := ParseRows(p)
+	if err != nil || id != 4 {
+		t.Fatalf("id=%d err=%v", id, err)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Fatalf("rows = %#v, want %#v", got, rows)
+	}
+}
+
+func TestRowReaderScan(t *testing.T) {
+	rows := []storage.Row{{int64(10), "x"}, {int64(20), "y"}}
+	p, err := AppendRows(nil, 1, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewRowReader(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Remaining() != 2 {
+		t.Fatalf("remaining = %d", rr.Remaining())
+	}
+	var raw []RawValue
+	raw, err = rr.Scan(raw)
+	if err != nil || raw[0].Int != 10 || string(raw[1].Bytes) != "x" {
+		t.Fatalf("row 0: %v %v", raw, err)
+	}
+	raw, err = rr.Scan(raw)
+	if err != nil || raw[0].Int != 20 || string(raw[1].Bytes) != "y" {
+		t.Fatalf("row 1: %v %v", raw, err)
+	}
+	if _, err := rr.Scan(raw); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}
+
+func TestDoneRoundTrip(t *testing.T) {
+	p := AppendDone(nil, 3, 17, 120, "scan(t)")
+	id, affected, rows, plan, err := ParseDone(p)
+	if err != nil || id != 3 || affected != 17 || rows != 120 || plan != "scan(t)" {
+		t.Fatalf("got %d %d %d %q %v", id, affected, rows, plan, err)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	p := AppendError(nil, 5, 403, "denied")
+	id, code, msg, err := ParseError(p)
+	if err != nil || id != 5 || code != 403 || msg != "denied" {
+		t.Fatalf("got %d %d %q %v", id, code, msg, err)
+	}
+}
+
+func TestRetryRoundTrip(t *testing.T) {
+	p := AppendRetry(nil, 8, 250*time.Millisecond)
+	id, backoff, err := ParseRetry(p)
+	if err != nil || id != 8 || backoff != 250*time.Millisecond {
+		t.Fatalf("got %d %v %v", id, backoff, err)
+	}
+}
+
+func TestRetryNegativeBackoff(t *testing.T) {
+	p := AppendRetry(nil, 1, -time.Second)
+	_, backoff, err := ParseRetry(p)
+	if err != nil || backoff != 0 {
+		t.Fatalf("got %v %v", backoff, err)
+	}
+}
+
+func TestGoAwayRoundTrip(t *testing.T) {
+	p := AppendGoAway(nil, "draining")
+	reason, err := ParseGoAway(p)
+	if err != nil || reason != "draining" {
+		t.Fatalf("got %q %v", reason, err)
+	}
+}
+
+// TestParsersRejectTruncation feeds every parser every proper prefix of
+// a valid payload: each must fail cleanly, never over-read or panic.
+func TestParsersRejectTruncation(t *testing.T) {
+	queryPayload, err := AppendQuery(nil, 1, "SELECT ?", []storage.Value{int64(1), "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsPayload, err := AppendRows(nil, 1, []storage.Row{{int64(1), "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		payload []byte
+		parse   func([]byte) error
+	}{
+		{"hello", AppendHello(nil, "token"), func(p []byte) error { _, err := ParseHello(p); return err }},
+		{"welcome", AppendWelcome(nil, "acme"), func(p []byte) error { _, err := ParseWelcome(p); return err }},
+		{"query", queryPayload, func(p []byte) error { _, _, _, err := ParseQuery(p); return err }},
+		{"header", AppendResultHeader(nil, 1, []string{"a", "b"}), func(p []byte) error { _, _, err := ParseResultHeader(p); return err }},
+		{"rows", rowsPayload, func(p []byte) error { _, _, err := ParseRows(p); return err }},
+		{"done", AppendDone(nil, 1, 2, 3, "plan"), func(p []byte) error { _, _, _, _, err := ParseDone(p); return err }},
+		{"error", AppendError(nil, 1, 500, "boom"), func(p []byte) error { _, _, _, err := ParseError(p); return err }},
+		{"retry", AppendRetry(nil, 1, time.Second), func(p []byte) error { _, _, err := ParseRetry(p); return err }},
+		{"goaway", AppendGoAway(nil, "bye"), func(p []byte) error { _, err := ParseGoAway(p); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.parse(tc.payload); err != nil {
+				t.Fatalf("full payload should parse: %v", err)
+			}
+			for cut := 0; cut < len(tc.payload); cut++ {
+				if err := tc.parse(tc.payload[:cut]); err == nil {
+					t.Fatalf("cut=%d: truncated payload parsed without error", cut)
+				}
+			}
+		})
+	}
+}
+
+// TestParsersRejectOversizedLengths hand-crafts payloads whose length
+// prefixes point past the end of the buffer.
+func TestParsersRejectOversizedLengths(t *testing.T) {
+	// HELLO with a token length far beyond the payload.
+	p := append([]byte(Magic), Version, 0xFF, 0xFF)
+	if _, err := ParseHello(p); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("hello: want ErrShortFrame, got %v", err)
+	}
+	// QUERY claiming a 4 GiB SQL string.
+	q := []byte{0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, _, err := ParseQuery(q); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("query: want ErrShortFrame, got %v", err)
+	}
+}
+
+func TestValueBadTag(t *testing.T) {
+	// A one-row chunk whose single value has an unknown tag.
+	p := appendU16(appendU32(nil, 1), 1) // id, rowc=1
+	p = appendU16(p, 1)                  // colc=1
+	p = append(p, 0x7F)                  // bogus tag
+	if _, _, err := ParseRows(p); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("want ErrBadValue, got %v", err)
+	}
+}
+
+func TestTimeNormalizedToUTCMicros(t *testing.T) {
+	loc := time.FixedZone("X", 3600)
+	in := time.Date(2026, 1, 2, 3, 4, 5, 678901234, loc)
+	b, err := AppendValue(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rv RawValue
+	c := cursor{p: b}
+	if err := readValue(&c, &rv); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rv.Value().(time.Time)
+	if !ok {
+		t.Fatalf("got %T", rv.Value())
+	}
+	want := in.UTC().Truncate(time.Microsecond)
+	if !got.Equal(want) || got.Location() != time.UTC {
+		t.Fatalf("got %v, want %v (UTC)", got, want)
+	}
+}
+
+func TestFrameTypeString(t *testing.T) {
+	for ft, want := range map[FrameType]string{
+		FrameHello: "HELLO", FrameWelcome: "WELCOME", FrameQuery: "QUERY",
+		FrameResultHeader: "RESULT_HEADER", FrameResultChunk: "RESULT_CHUNK",
+		FrameResultDone: "RESULT_DONE", FrameError: "ERROR", FramePing: "PING",
+		FramePong: "PONG", FrameRetry: "RETRY", FrameGoAway: "GOAWAY",
+	} {
+		if got := ft.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ft, got, want)
+		}
+	}
+	if got := FrameType(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown type String() = %q", got)
+	}
+}
+
+// TestEncodeReuseIsAllocationFree proves the append convention: once
+// the buffer has grown to steady-state size, encoding a query and a
+// row chunk into it allocates nothing.
+func TestEncodeReuseIsAllocationFree(t *testing.T) {
+	args := []storage.Value{int64(1), "ward-a"}
+	rows := []storage.Row{{int64(1), "a", 2.5}, {int64(2), "b", 3.5}}
+	var buf []byte
+	var err error
+	// Warm the buffer.
+	if buf, err = AppendQuery(buf[:0], 1, "SELECT ?", args); err != nil {
+		t.Fatal(err)
+	}
+	if buf, err = AppendRows(buf[:0], 1, rows); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if buf, err = AppendQuery(buf[:0], 1, "SELECT ?", args); err != nil {
+			t.Fatal(err)
+		}
+		if buf, err = AppendRows(buf[:0], 1, rows); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state encode allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestDecodeScanIsAllocationFree proves the RawValue cursor contract:
+// scanning a chunk's rows with a reused destination allocates nothing.
+func TestDecodeScanIsAllocationFree(t *testing.T) {
+	rows := []storage.Row{{int64(1), "a", 2.5}, {int64(2), "b", 3.5}}
+	payload, err := AppendRows(nil, 1, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]RawValue, 3)
+	allocs := testing.AllocsPerRun(100, func() {
+		rr := RowReader{c: cursor{p: payload}}
+		id, err := rr.c.u32()
+		if err != nil || id != 1 {
+			t.Fatal("bad chunk")
+		}
+		n, err := rr.c.u16()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr.left = int(n)
+		for {
+			raw, err = rr.Scan(raw)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state scan allocates %.1f/op, want 0", allocs)
+	}
+}

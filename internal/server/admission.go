@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// Admission is the platform's load-shedding semaphore, shared by every
+// front door. The HTTP façade and the binary protocol listener
+// (internal/netsrv) both acquire from the same instance, so
+// MaxInFlight bounds total concurrent work regardless of which path a
+// request arrived on — N HTTP requests plus M protocol requests never
+// exceed the limit together. A nil *Admission admits everything (the
+// unlimited configuration).
+type Admission struct {
+	sem chan struct{}
+	// queueWait is how long an over-limit request may wait for a slot
+	// before being shed (0 = shed immediately).
+	queueWait time.Duration
+}
+
+// NewAdmission builds a semaphore admitting maxInFlight concurrent
+// requests, queueing over-limit arrivals up to queueWait. It returns
+// nil (admit everything) when maxInFlight is zero or negative.
+func NewAdmission(maxInFlight int, queueWait time.Duration) *Admission {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	return &Admission{sem: make(chan struct{}, maxInFlight), queueWait: queueWait}
+}
+
+// Acquire claims an admission slot, waiting up to the configured
+// queueWait. It returns false when the request should be shed —
+// including when ctx is cancelled while queued (a caller that gave up
+// must not be admitted posthumously) — plus how long the request sat
+// in the queue. Nil-safe: a nil Admission admits immediately.
+func (a *Admission) Acquire(ctx context.Context) (bool, time.Duration) {
+	if a == nil {
+		return true, 0
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return true, 0
+	default:
+	}
+	if a.queueWait <= 0 {
+		return false, 0
+	}
+	queued := time.Now()
+	t := time.NewTimer(a.queueWait)
+	defer t.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		return true, time.Since(queued)
+	case <-ctx.Done():
+		return false, time.Since(queued)
+	case <-t.C:
+		return false, time.Since(queued)
+	}
+}
+
+// Release frees a slot claimed by a successful Acquire. Nil-safe.
+func (a *Admission) Release() {
+	if a != nil {
+		<-a.sem
+	}
+}

@@ -132,7 +132,7 @@ func TestAdmissionControlShedsWithRetryAfter(t *testing.T) {
 	ts, srv := testServerOpts(t, Options{MaxInFlight: 1, RetryAfterSeconds: 7})
 	token := setupTenantWithUser(t, ts)
 
-	srv.sem <- struct{}{} // the one slot is now held by a "stuck" request
+	srv.adm.sem <- struct{}{} // the one slot is now held by a "stuck" request
 
 	req, _ := http.NewRequest("GET", ts.URL+"/api/whoami", nil)
 	req.Header.Set("Authorization", "Bearer "+token)
@@ -158,7 +158,7 @@ func TestAdmissionControlShedsWithRetryAfter(t *testing.T) {
 		t.Errorf("healthz under saturation = %d, want 200", hr.StatusCode)
 	}
 
-	<-srv.sem // free the slot
+	<-srv.adm.sem // free the slot
 	if status, _, raw := call(t, ts, token, "GET", "/api/whoami", nil); status != http.StatusOK {
 		t.Fatalf("whoami after slot freed = %d %s, want 200", status, raw)
 	}
@@ -170,13 +170,13 @@ func TestAdmissionQueueWaitAdmitsWhenSlotFrees(t *testing.T) {
 	ts, srv := testServerOpts(t, Options{MaxInFlight: 1, QueueWait: 5 * time.Second})
 	token := setupTenantWithUser(t, ts)
 
-	srv.sem <- struct{}{} // saturate, then free the slot shortly after
+	srv.adm.sem <- struct{}{} // saturate, then free the slot shortly after
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		time.Sleep(100 * time.Millisecond)
-		<-srv.sem
+		<-srv.adm.sem
 	}()
 	status, _, raw := call(t, ts, token, "GET", "/api/whoami", nil)
 	if status != http.StatusOK {

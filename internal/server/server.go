@@ -32,10 +32,10 @@ type Server struct {
 	mux      *http.ServeMux
 	// requestTimeout bounds each authenticated API call (0 = unbounded).
 	requestTimeout time.Duration
-	// sem is the admission-control semaphore (nil = unlimited): a slot
-	// must be acquired before any non-exempt request runs.
-	sem        chan struct{}
-	queueWait  time.Duration
+	// adm is the admission-control semaphore (nil = unlimited): a slot
+	// must be acquired before any non-exempt request runs. It may be
+	// shared with other front doors (the binary protocol listener).
+	adm        *Admission
 	retryAfter int
 }
 
@@ -59,6 +59,12 @@ type Options struct {
 	QueueWait time.Duration
 	// RetryAfterSeconds is advertised on 503 responses (default 1).
 	RetryAfterSeconds int
+	// Admission, when non-nil, is a pre-built admission semaphore shared
+	// with another front door; it overrides MaxInFlight/QueueWait. The
+	// façade (odbis.Open) builds one and hands it to both the HTTP
+	// server and the protocol listener so the in-flight bound covers
+	// them jointly.
+	Admission *Admission
 }
 
 // New builds a server over a platform.
@@ -69,10 +75,10 @@ func New(p *services.Platform) *Server {
 // NewWithOptions builds a server with explicit options.
 func NewWithOptions(p *services.Platform, opts Options) *Server {
 	s := &Server{platform: p, mux: http.NewServeMux(), requestTimeout: opts.RequestTimeout}
-	if opts.MaxInFlight > 0 {
-		s.sem = make(chan struct{}, opts.MaxInFlight)
+	s.adm = opts.Admission
+	if s.adm == nil {
+		s.adm = NewAdmission(opts.MaxInFlight, opts.QueueWait)
 	}
-	s.queueWait = opts.QueueWait
 	s.retryAfter = opts.RetryAfterSeconds
 	if s.retryAfter <= 0 {
 		s.retryAfter = 1
@@ -97,7 +103,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	admitted, wait := s.admit(r)
+	admitted, wait := s.adm.Acquire(r.Context())
 	if !admitted {
 		mHTTPShed.Inc()
 		mHTTP5xx.Inc()
@@ -105,7 +111,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server at capacity, retry later"})
 		return
 	}
-	defer s.release()
+	defer s.adm.Release()
 	ctx := r.Context()
 	if wait > 0 {
 		mHTTPQueueWait.ObserveDuration(wait)
@@ -121,39 +127,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	mHTTPSeconds.ObserveDuration(time.Since(start))
 }
 
-// admit acquires an admission slot, waiting up to queueWait. It returns
-// false when the request should be shed (including a client that gave up
-// while queued), plus how long the request sat in the queue.
-func (s *Server) admit(r *http.Request) (bool, time.Duration) {
-	if s.sem == nil {
-		return true, 0
-	}
-	select {
-	case s.sem <- struct{}{}:
-		return true, 0
-	default:
-	}
-	if s.queueWait <= 0 {
-		return false, 0
-	}
-	queued := time.Now()
-	t := time.NewTimer(s.queueWait)
-	defer t.Stop()
-	select {
-	case s.sem <- struct{}{}:
-		return true, time.Since(queued)
-	case <-r.Context().Done():
-		return false, time.Since(queued)
-	case <-t.C:
-		return false, time.Since(queued)
-	}
-}
-
-func (s *Server) release() {
-	if s.sem != nil {
-		<-s.sem
-	}
-}
+// Admission exposes the server's admission semaphore so another front
+// door can share it (nil when unlimited).
+func (s *Server) Admission() *Admission { return s.adm }
 
 // statusRecorder remembers whether a handler already wrote a header (so
 // the recovery middleware knows if a structured 500 can still be sent)
@@ -308,6 +284,13 @@ const StatusClientClosedRequest = 499
 
 // writeErr maps service errors onto HTTP statuses.
 func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, StatusFor(err), apiError{Error: err.Error()})
+}
+
+// StatusFor maps a service error onto its HTTP-equivalent status code.
+// The binary protocol reuses the same mapping in its ERROR frames, so
+// a client sees one error vocabulary regardless of transport.
+func StatusFor(err error) int {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, context.Canceled):
@@ -350,7 +333,7 @@ func writeErr(w http.ResponseWriter, err error) {
 			}
 		}
 	}
-	writeJSON(w, status, apiError{Error: err.Error()})
+	return status
 }
 
 func decodeBody(r *http.Request, v any) error {

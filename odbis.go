@@ -32,6 +32,7 @@ package odbis
 import (
 	"context"
 	"fmt"
+	"net"
 	"net/http"
 	"time"
 
@@ -39,6 +40,7 @@ import (
 	"github.com/odbis/odbis/internal/metamodel"
 	"github.com/odbis/odbis/internal/metamodel/cwm"
 	"github.com/odbis/odbis/internal/metamodel/odm"
+	"github.com/odbis/odbis/internal/netsrv"
 	"github.com/odbis/odbis/internal/obs"
 	"github.com/odbis/odbis/internal/olap"
 	"github.com/odbis/odbis/internal/replica"
@@ -217,17 +219,28 @@ type Options struct {
 	// TraceRingSize bounds the in-memory request-trace history (default
 	// 128, bounds [16, 65536]).
 	TraceRingSize int
+	// ListenProto, when set (host:port; use ":0" for an ephemeral port),
+	// serves the binary wire protocol on a TCP listener beside the HTTP
+	// API. Protocol sessions authenticate once with a bearer token, then
+	// stream framed requests over the open connection; they share the
+	// MaxInFlight admission semaphore with HTTP (over-limit requests get
+	// a RETRY frame mirroring 503 + Retry-After), respect RequestTimeout,
+	// refuse new sessions while readiness is degraded, and route reads
+	// through the replica router. The bound address is ProtoAddr().
+	ListenProto string
 }
 
 // Platform is a running ODBIS instance.
 type Platform struct {
-	engine   *storage.Engine
-	registry *tenant.Registry
-	security *security.Manager
-	services *services.Platform
-	mddws    *mddws.Service
-	replicas *replica.Set
-	handler  http.Handler
+	engine    *storage.Engine
+	registry  *tenant.Registry
+	security  *security.Manager
+	services  *services.Platform
+	mddws     *mddws.Service
+	replicas  *replica.Set
+	handler   http.Handler
+	netsrv    *netsrv.Server
+	protoAddr net.Addr
 }
 
 // maxReplicas bounds Options.Replicas: in-process replicas multiply
@@ -301,7 +314,11 @@ func Open(opts Options) (*Platform, error) {
 		svc.AttachReplicas(replicas)
 	}
 	svc.StartScheduler(context.Background(), opts.SchedulerResolution)
-	return &Platform{
+	// One admission semaphore serves every front door: HTTP requests and
+	// protocol-session requests draw from the same MaxInFlight budget, so
+	// total in-flight work stays bounded no matter how traffic splits.
+	adm := server.NewAdmission(opts.MaxInFlight, opts.QueueWait)
+	p := &Platform{
 		engine:   engine,
 		registry: registry,
 		security: sec,
@@ -310,17 +327,48 @@ func Open(opts Options) (*Platform, error) {
 		replicas: replicas,
 		handler: server.NewWithOptions(svc, server.Options{
 			RequestTimeout: opts.RequestTimeout,
-			MaxInFlight:    opts.MaxInFlight,
-			QueueWait:      opts.QueueWait,
+			Admission:      adm,
 		}),
-	}, nil
+	}
+	if opts.ListenProto != "" {
+		ns := netsrv.New(svc, netsrv.Options{
+			RequestTimeout: opts.RequestTimeout,
+			Admission:      adm,
+			RetryBackoff:   time.Second,
+			// New protocol sessions follow the same readiness the HTTP
+			// /readyz probe reports: WAL latch healthy, replica fleet not
+			// fully tripped.
+			Ready: func() bool {
+				if !engine.WALHealthy() {
+					return false
+				}
+				return replicas == nil || !replicas.AllTripped()
+			},
+		})
+		addr, err := ns.Listen(opts.ListenProto)
+		if err != nil {
+			svc.Close()
+			engine.Close()
+			return nil, fmt.Errorf("odbis: listen-proto: %w", err)
+		}
+		p.netsrv = ns
+		p.protoAddr = addr
+	}
+	return p, nil
 }
 
 // Close stops the platform's background machinery (scheduler loop,
 // detached bus deliveries), checkpoints (for durable platforms) and
 // releases the engine. No platform goroutine survives Close.
 func (p *Platform) Close() error {
-	// Stop replica followers before anything else: they subscribe to the
+	// The protocol listener goes first: it stops accepting, cancels
+	// in-flight protocol requests, notifies open sessions with GOAWAY
+	// and joins every session goroutine — after it returns, nothing is
+	// still submitting work to the services below.
+	if p.netsrv != nil {
+		p.netsrv.Close()
+	}
+	// Stop replica followers next: they subscribe to the
 	// engine's frame stream and must not observe teardown as a fault.
 	if p.replicas != nil {
 		p.replicas.Close()
@@ -349,6 +397,11 @@ func (p *Platform) Resume(token string) (*Session, error) {
 
 // Handler is the HTTP façade (mount it on any mux or server).
 func (p *Platform) Handler() http.Handler { return p.handler }
+
+// ProtoAddr is the bound address of the binary protocol listener (nil
+// unless Options.ListenProto was set). With ListenProto ":0" this is
+// where the ephemeral port lands — dial it with the client package.
+func (p *Platform) ProtoAddr() net.Addr { return p.protoAddr }
 
 // ListenAndServe runs the HTTP API on addr (blocking).
 func (p *Platform) ListenAndServe(addr string) error {

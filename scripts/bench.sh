@@ -16,6 +16,12 @@
 # BenchmarkVectorScan vs RowScan is the batch-at-a-time storage edge;
 # the E1 figure reports a hit_ratio column that perf_gate.sh holds at
 # ≥ 0.90, and the _NoPlanCache variant is the cached-vs-uncached A/B).
+# The wire path added in PR 10 rides the same harness: the proto frame
+# codecs (BenchmarkFrameEncode/Decode must stay zero-alloc — the whole
+# point of the reused-buffer design) and the closed-loop load harness
+# (BenchmarkLoadHarness drives the binary protocol end to end over
+# loopback and reports tail latency as a p99_ns column, gated by
+# max_p99_ns in the budget).
 # Each benchmark runs BENCH_COUNT times and the minimum ns/op is
 # recorded — the min is the noise-robust estimator on shared CI
 # hardware, where a single pass showed ±10% swings that dwarf the effect
@@ -26,7 +32,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${BENCH_OUT:-BENCH_PR8.json}"
-PKGS="${BENCH_PKGS:-./internal/analysis/ ./internal/sql/ ./internal/olap/ ./internal/fault/ ./internal/obs/ ./internal/server/ ./internal/replica/}"
+PKGS="${BENCH_PKGS:-./internal/analysis/ ./internal/sql/ ./internal/olap/ ./internal/fault/ ./internal/obs/ ./internal/server/ ./internal/replica/ ./internal/proto/ ./cmd/odbis-load/}"
 # The experiment hot paths the context-first refactor must not regress:
 # E1 (Fig. 1 end-to-end request) and E5 (Fig. 4 per-layer overhead).
 ROOT_BENCH="${BENCH_ROOT:-Figure1_|Figure4_}"
@@ -39,16 +45,18 @@ echo "==> go test -bench (${PKGS} + root ${ROOT_BENCH}) -> ${OUT}"
 	awk -v out="$OUT" '
 	/^Benchmark/ {
 		name = $1; iters = $2; ns = $3 + 0
-		bop = "null"; aop = "null"; hr = "null"
+		bop = "null"; aop = "null"; hr = "null"; p99 = "null"
 		for (i = 4; i <= NF; i++) {
 			if ($i == "B/op") bop = $(i - 1)
 			if ($i == "allocs/op") aop = $(i - 1)
 			if ($i == "hit_ratio") hr = $(i - 1)
+			if ($i == "p99_ns") p99 = $(i - 1)
 		}
 		if (!(name in min_ns)) { order[n++] = name }
 		if (!(name in min_ns) || ns < min_ns[name]) {
 			min_ns[name] = ns; best_it[name] = iters
 			best_b[name] = bop; best_a[name] = aop; best_h[name] = hr
+			best_p[name] = p99
 		}
 	}
 	{ print }
@@ -57,8 +65,8 @@ echo "==> go test -bench (${PKGS} + root ${ROOT_BENCH}) -> ${OUT}"
 		printf "[\n" > out
 		for (i = 0; i < n; i++) {
 			name = order[i]
-			printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"hit_ratio\": %s}%s\n", \
-				name, best_it[name], min_ns[name], best_b[name], best_a[name], best_h[name], (i < n - 1 ? "," : "") >> out
+			printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"hit_ratio\": %s, \"p99_ns\": %s}%s\n", \
+				name, best_it[name], min_ns[name], best_b[name], best_a[name], best_h[name], best_p[name], (i < n - 1 ? "," : "") >> out
 		}
 		printf "]\n" >> out
 	}

@@ -48,16 +48,21 @@ rm -f "$VET_LOG"
 echo "==> go test ./..."
 go test ./...
 
-# Fuzz smoke: ten seconds of FuzzBuildCFG keeps the CFG builder's
-# panic-freedom and structural invariants exercised on every CI run
-# without turning CI into a fuzz farm.
+# Fuzz smoke: ten seconds each of FuzzBuildCFG (the CFG builder's
+# panic-freedom and structural invariants) and FuzzDecodeFrame (the wire
+# decoder against hostile bytes — truncation, oversized lengths,
+# over-reads past the frame view) on every CI run without turning CI
+# into a fuzz farm.
 echo "==> fuzz smoke (FuzzBuildCFG, ${ODBIS_FUZZ_TIME:-10s})"
 go test ./internal/analysis/ -run '^$' -fuzz '^FuzzBuildCFG$' -fuzztime "${ODBIS_FUZZ_TIME:-10s}"
+echo "==> fuzz smoke (FuzzDecodeFrame, ${ODBIS_FUZZ_TIME:-10s})"
+go test ./internal/proto/ -run '^$' -fuzz '^FuzzDecodeFrame$' -fuzztime "${ODBIS_FUZZ_TIME:-10s}"
 
-echo "==> go test -race (bus, etl, storage, tenant, sql, olap, services, server, fault, obs, replica)"
+echo "==> go test -race (bus, etl, storage, tenant, sql, olap, services, server, fault, obs, replica, proto, netsrv, client)"
 go test -race ./internal/bus/ ./internal/etl/ ./internal/storage/ ./internal/tenant/ \
 	./internal/sql/ ./internal/olap/ ./internal/services/ ./internal/server/ \
-	./internal/fault/ ./internal/obs/ ./internal/replica/
+	./internal/fault/ ./internal/obs/ ./internal/replica/ \
+	./internal/proto/ ./internal/netsrv/ ./client/
 
 # The fault suite re-runs under -race explicitly: panic recovery, bus
 # redelivery, admission control and the child-process crash matrix are
@@ -68,7 +73,7 @@ go test -race ./internal/bus/ ./internal/etl/ ./internal/storage/ ./internal/ten
 echo "==> fault-injection + cache-coherence suite under -race"
 go test -race -run 'Fault|Crash|TornTail|TornFrame|Panic|Admission|Redeliver|DeadLetter|PlanCacheCoherent|Replica' \
 	./internal/fault/ ./internal/storage/ ./internal/bus/ ./internal/etl/ ./internal/server/ \
-	./internal/sql/ ./internal/services/ ./internal/replica/
+	./internal/sql/ ./internal/services/ ./internal/replica/ ./internal/netsrv/
 
 
 # Perf regression gate: re-run the benchmark harness and compare against

@@ -14,6 +14,9 @@
 #                       workload, so NO tolerance is applied.
 #   min_hit_ratio     — plan-cache hit ratio (a ReportMetric column);
 #                       a floor, not a ceiling, and also untolerated.
+#   max_p99_ns        — tail latency (a ReportMetric column from the
+#                       load harness); wall time like max_ns_per_op, so
+#                       the same tolerance widens it.
 #
 # Usage: perf_gate.sh <fresh-bench.json> [budget.json]
 set -eu
@@ -48,6 +51,7 @@ awk -v tol="$TOL" -v freshfile="$FRESH" '
 		fresh_ns[name] = field($0, "ns_per_op") + 0
 		fresh_allocs[name] = field($0, "allocs_per_op")
 		fresh_ratio[name] = field($0, "hit_ratio")
+		fresh_p99[name] = field($0, "p99_ns")
 		infresh[name] = 1
 		nfresh++
 	}
@@ -56,6 +60,7 @@ awk -v tol="$TOL" -v freshfile="$FRESH" '
 		max_ns[name] = field($0, "max_ns_per_op")
 		max_allocs[name] = field($0, "max_allocs_per_op")
 		min_ratio[name] = field($0, "min_hit_ratio")
+		max_p99[name] = field($0, "max_p99_ns")
 		why[name] = field($0, "why")
 		order[n++] = name
 	}
@@ -96,6 +101,19 @@ awk -v tol="$TOL" -v freshfile="$FRESH" '
 					bad++
 				} else {
 					printf "perf_gate: ok       %-45s %12s allocs/op <= %s\n", name, fresh_allocs[name], max_allocs[name]
+				}
+			}
+			if (max_p99[name] != "") {
+				limit = (max_p99[name] + 0) * (1 + tol)
+				if (fresh_p99[name] == "" || fresh_p99[name] == "null") {
+					printf "perf_gate: MISSING  %-45s (p99 gated but fresh run lacks p99_ns)\n", name
+					bad++
+				} else if (fresh_p99[name] + 0 > limit) {
+					printf "perf_gate: TAIL     %-45s %12.1f p99_ns > %.1f (budget %s ns +%d%%) — %s\n", \
+						name, fresh_p99[name], limit, max_p99[name], tol * 100, why[name]
+					bad++
+				} else {
+					printf "perf_gate: ok       %-45s %12.1f p99_ns <= %.1f\n", name, fresh_p99[name] + 0, limit
 				}
 			}
 			if (min_ratio[name] != "") {

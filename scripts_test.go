@@ -85,6 +85,43 @@ func TestPerfGateWithinBudget(t *testing.T) {
 	}
 }
 
+// TestPerfGateTailCeiling: the max_p99_ns column (reported by the load
+// harness) gates tail latency with the same tolerance as ns_per_op, and
+// a gated row whose fresh run lacks the metric hard-fails rather than
+// silently passing.
+func TestPerfGateTailCeiling(t *testing.T) {
+	budget := `[
+  {"name": "BenchmarkLoad", "max_p99_ns": 1000000, "why": "tail row"}
+]`
+	ok := `[
+  {"name": "BenchmarkLoad", "iterations": 100, "ns_per_op": 50, "p99_ns": 900000}
+]`
+	out, code := runPerfGate(t, ok, budget)
+	if code != 0 {
+		t.Fatalf("gate failed within p99 budget (exit %d):\n%s", code, out)
+	}
+	over := `[
+  {"name": "BenchmarkLoad", "iterations": 100, "ns_per_op": 50, "p99_ns": 9000000}
+]`
+	out, code = runPerfGate(t, over, budget)
+	if code == 0 {
+		t.Fatalf("gate passed over p99 budget:\n%s", out)
+	}
+	if !strings.Contains(out, "TAIL") {
+		t.Errorf("tail diagnostic absent:\n%s", out)
+	}
+	missing := `[
+  {"name": "BenchmarkLoad", "iterations": 100, "ns_per_op": 50}
+]`
+	out, code = runPerfGate(t, missing, budget)
+	if code == 0 {
+		t.Fatalf("gate passed with p99 gated but unreported:\n%s", out)
+	}
+	if !strings.Contains(out, "MISSING") {
+		t.Errorf("missing-p99 diagnostic absent:\n%s", out)
+	}
+}
+
 // TestPerfGateOverBudget: exceeding a ceiling (after tolerance) fails.
 func TestPerfGateOverBudget(t *testing.T) {
 	fresh := `[
